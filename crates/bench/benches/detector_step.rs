@@ -1,0 +1,97 @@
+//! Per-heartbeat processing cost of each detector — the operational
+//! overhead a monitor pays per message (relevant to the paper's
+//! scalability claim for SFD with small windows).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfd_core::bertier::{BertierConfig, BertierFd};
+use sfd_core::chen::{ChenConfig, ChenFd};
+use sfd_core::detector::FailureDetector;
+use sfd_core::phi::{PhiConfig, PhiFd};
+use sfd_core::qos::QosSpec;
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::time::{Duration, Instant};
+
+const INTERVAL_MS: i64 = 100;
+
+fn drive<D: FailureDetector>(fd: &mut D, n: u64) {
+    for i in 0..n {
+        let jitter = ((i * 31) % 11) as i64 - 5;
+        fd.heartbeat(i, Instant::from_millis((i as i64 + 1) * INTERVAL_MS + jitter));
+    }
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_step");
+    for window in [100usize, 1000] {
+        let interval = Duration::from_millis(INTERVAL_MS);
+
+        group.bench_with_input(BenchmarkId::new("chen", window), &window, |b, &w| {
+            let mut fd = ChenFd::new(ChenConfig {
+                window: w,
+                expected_interval: interval,
+                alpha: Duration::from_millis(200),
+            });
+            drive(&mut fd, 2 * w as u64);
+            let mut i = 2 * w as u64;
+            b.iter(|| {
+                i += 1;
+                fd.heartbeat(i, Instant::from_millis(i as i64 * INTERVAL_MS));
+                black_box(fd.freshness_point());
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("bertier", window), &window, |b, &w| {
+            let mut fd = BertierFd::new(BertierConfig {
+                window: w,
+                expected_interval: interval,
+                ..Default::default()
+            });
+            drive(&mut fd, 2 * w as u64);
+            let mut i = 2 * w as u64;
+            b.iter(|| {
+                i += 1;
+                fd.heartbeat(i, Instant::from_millis(i as i64 * INTERVAL_MS));
+                black_box(fd.freshness_point());
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("phi", window), &window, |b, &w| {
+            let mut fd = PhiFd::new(PhiConfig {
+                window: w,
+                expected_interval: interval,
+                threshold: 8.0,
+                min_std_fraction: 0.01,
+            });
+            drive(&mut fd, 2 * w as u64);
+            let mut i = 2 * w as u64;
+            b.iter(|| {
+                i += 1;
+                fd.heartbeat(i, Instant::from_millis(i as i64 * INTERVAL_MS));
+                black_box(fd.freshness_point());
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("sfd", window), &window, |b, &w| {
+            let mut fd = SfdFd::new(
+                SfdConfig {
+                    window: w,
+                    expected_interval: interval,
+                    initial_margin: Duration::from_millis(200),
+                    ..Default::default()
+                },
+                QosSpec::permissive(),
+            );
+            drive(&mut fd, 2 * w as u64);
+            let mut i = 2 * w as u64;
+            b.iter(|| {
+                i += 1;
+                fd.heartbeat(i, Instant::from_millis(i as i64 * INTERVAL_MS));
+                black_box(fd.freshness_point());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Cost of the normal-distribution primitives the φ detector leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfd_core::stats::{erfc, normal_quantile, normal_tail, std_normal_cdf, std_normal_quantile};
+
+fn bench_normal_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal_math");
+    group.bench_function("erfc", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.01) % 8.0;
+            black_box(erfc(black_box(x)))
+        });
+    });
+    group.bench_function("cdf", |b| {
+        let mut z = -4.0f64;
+        b.iter(|| {
+            z = if z > 4.0 { -4.0 } else { z + 0.01 };
+            black_box(std_normal_cdf(black_box(z)))
+        });
+    });
+    group.bench_function("quantile", |b| {
+        let mut p = 0.001f64;
+        b.iter(|| {
+            p = if p > 0.999 { 0.001 } else { p + 0.001 };
+            black_box(std_normal_quantile(black_box(p)))
+        });
+    });
+    group.bench_function("phi_suspicion_kernel", |b| {
+        // The per-query work of the φ detector: one tail + one log10.
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t = (t + 0.0001) % 0.5;
+            let p = normal_tail(black_box(t), 0.1035, 0.015);
+            black_box(-p.max(f64::MIN_POSITIVE).log10())
+        });
+    });
+    group.bench_function("phi_timeout_kernel", |b| {
+        // The per-heartbeat work of converting Φ to a timeout.
+        let mut phi = 0.5f64;
+        b.iter(|| {
+            phi = if phi > 15.0 { 0.5 } else { phi + 0.1 };
+            let p = 1.0 - 10f64.powf(-phi);
+            black_box(normal_quantile(black_box(p), 0.1035, 0.015))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal_math);
+criterion_main!(benches);

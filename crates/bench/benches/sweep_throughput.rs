@@ -1,0 +1,72 @@
+//! End-to-end replay throughput: how many heartbeats per second the
+//! evaluation pipeline processes (trace generation is measured
+//! separately; replay+measure is where the figure binaries spend time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sfd_core::chen::{ChenConfig, ChenFd};
+use sfd_core::qos::QosSpec;
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::time::Duration;
+use sfd_qos::eval::{EvalConfig, ReplayEvaluator};
+use sfd_trace::presets::WanCase;
+
+const N: u64 = 50_000;
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = WanCase::Wan3.preset().generate(N);
+    let eval = ReplayEvaluator::new(EvalConfig { warmup: 1000 });
+
+    let mut group = c.benchmark_group("replay");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20);
+
+    group.bench_function("chen_50k", |b| {
+        b.iter(|| {
+            let mut fd = ChenFd::new(ChenConfig {
+                window: 1000,
+                expected_interval: trace.interval,
+                alpha: Duration::from_millis(60),
+            });
+            black_box(eval.evaluate(&mut fd, &trace))
+        });
+    });
+
+    group.bench_function("sfd_feedback_50k", |b| {
+        let spec = QosSpec::new(Duration::from_millis(200), 0.05, 0.98).unwrap();
+        b.iter(|| {
+            let mut fd = SfdFd::new(
+                SfdConfig {
+                    window: 1000,
+                    expected_interval: trace.interval,
+                    initial_margin: Duration::from_millis(60),
+                    ..Default::default()
+                },
+                spec,
+            );
+            black_box(eval.evaluate_with_epochs(
+                &mut fd,
+                &trace,
+                Duration::from_secs(20),
+                |d, q| {
+                    use sfd_core::detector::SelfTuning;
+                    let _ = d.apply_feedback(q);
+                },
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20);
+    group.bench_function("wan0_50k", |b| {
+        b.iter(|| black_box(WanCase::Wan0.preset().generate(N)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Cost of the sliding-window primitives all detectors share.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfd_core::time::{Duration, Instant};
+use sfd_core::window::{ArrivalWindow, SampleWindow};
+
+fn bench_sample_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_window");
+    for cap in [100usize, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push", cap), &cap, |b, &cap| {
+            let mut w = SampleWindow::new(cap);
+            for i in 0..cap {
+                w.push(i as f64);
+            }
+            let mut x = 0.0f64;
+            b.iter(|| {
+                x += 1.0;
+                w.push(black_box(x));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("moments", cap), &cap, |b, &cap| {
+            let mut w = SampleWindow::new(cap);
+            for i in 0..2 * cap {
+                w.push((i % 97) as f64);
+            }
+            b.iter(|| black_box((w.mean(), w.variance())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_arrival_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_window");
+    for cap in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("record", cap), &cap, |b, &cap| {
+            let mut w = ArrivalWindow::new(cap, Duration::from_millis(100));
+            let mut seq = 0u64;
+            for _ in 0..cap {
+                w.record(seq, Instant::from_millis(seq as i64 * 100));
+                seq += 1;
+            }
+            b.iter(|| {
+                seq += 1;
+                w.record(black_box(seq), Instant::from_millis(seq as i64 * 100));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("shifted_mean", cap), &cap, |b, &cap| {
+            let mut w = ArrivalWindow::new(cap, Duration::from_millis(100));
+            for seq in 0..2 * cap as u64 {
+                w.record(seq, Instant::from_millis(seq as i64 * 100));
+            }
+            b.iter(|| black_box(w.shifted_mean_secs()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_window, bench_arrival_window);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Design-choice ablations for SFD (DESIGN.md experiment index):
+//! gap filling on/off, feedback epoch length, and adjustment rate β.
+
+use sfd_bench::Cli;
+use sfd_core::feedback::FeedbackConfig;
+use sfd_core::qos::QosSpec;
+use sfd_core::sfd::SfdConfig;
+use sfd_core::time::Duration;
+use sfd_qos::ablation::{beta_ablation, epoch_length_ablation, gap_fill_ablation};
+use sfd_qos::eval::EvalConfig;
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    let eval = EvalConfig { warmup: 1000 };
+    std::fs::create_dir_all(&cli.out).expect("create out dir");
+
+    // ── 1. Gap filling, on the lossiest workload (WAN-2, 5% bursty). ──
+    let trace = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2));
+    let spec = QosSpec::new(Duration::from_millis(900), 0.10, 0.95).expect("spec");
+    let cfg = SfdConfig {
+        window: 1000,
+        expected_interval: trace.interval,
+        initial_margin: Duration::from_millis(30),
+        feedback: FeedbackConfig {
+            alpha: trace.interval.mul_f64(2.0),
+            beta: 0.5,
+            ..Default::default()
+        },
+        fill_gaps: true,
+    };
+    let gf = gap_fill_ablation(&trace, cfg, spec, Duration::from_secs(15), eval)
+        .expect("trace long enough");
+    println!("── gap-filling ablation on WAN-2 (5% bursty loss)");
+    println!("   synthetic samples injected: {}", gf.synthetic_samples);
+    println!(
+        "   with fill:    TD {:.3}s  MR {:.4}/s  QAP {:.4}%",
+        gf.with_fill.detection_time.as_secs_f64(),
+        gf.with_fill.mistake_rate,
+        gf.with_fill.query_accuracy * 100.0
+    );
+    println!(
+        "   without fill: TD {:.3}s  MR {:.4}/s  QAP {:.4}%",
+        gf.without_fill.detection_time.as_secs_f64(),
+        gf.without_fill.mistake_rate,
+        gf.without_fill.query_accuracy * 100.0
+    );
+    std::fs::write(
+        cli.out.join("ablation_gapfill.json"),
+        serde_json::to_string_pretty(&gf).expect("serialise"),
+    )
+    .expect("write");
+
+    // ── 2. Epoch length. ──
+    let trace3 = WanCase::Wan3.preset().generate(cli.count_for(WanCase::Wan3));
+    let spec3 = QosSpec::new(Duration::from_millis(800), 0.05, 0.97).expect("spec");
+    let cfg3 = SfdConfig { expected_interval: trace3.interval, ..cfg };
+    let epochs = [
+        Duration::from_secs(5),
+        Duration::from_secs(15),
+        Duration::from_secs(30),
+        Duration::from_secs(60),
+    ];
+    let rows = epoch_length_ablation(&trace3, cfg3, spec3, &epochs, eval);
+    println!("\n── feedback epoch-length ablation on WAN-3");
+    println!(
+        "   {:>9} {:>11} {:>11} {:>9} {:>12} {:>10}",
+        "epoch [s]", "first hold", "infeasible", "TD [s]", "MR [1/s]", "margin"
+    );
+    for r in &rows {
+        println!(
+            "   {:>9.0} {:>11} {:>11} {:>9.3} {:>12.5} {:>10}",
+            r.value,
+            r.first_hold.map(|h| h.to_string()).unwrap_or_else(|| "—".into()),
+            r.infeasible_epochs,
+            r.overall.detection_time.as_secs_f64(),
+            r.overall.mistake_rate,
+            r.final_margin,
+        );
+    }
+    std::fs::write(
+        cli.out.join("ablation_epoch.json"),
+        serde_json::to_string_pretty(&rows).expect("serialise"),
+    )
+    .expect("write");
+
+    // ── 3. Adjustment rate β. ──
+    let betas = [0.1, 0.25, 0.5, 1.0];
+    let rows = beta_ablation(&trace3, cfg3, spec3, &betas, Duration::from_secs(15), eval);
+    println!("\n── adjustment-rate (β) ablation on WAN-3");
+    println!(
+        "   {:>6} {:>11} {:>9} {:>12} {:>10}",
+        "β", "first hold", "TD [s]", "MR [1/s]", "margin"
+    );
+    for r in &rows {
+        println!(
+            "   {:>6.2} {:>11} {:>9.3} {:>12.5} {:>10}",
+            r.value,
+            r.first_hold.map(|h| h.to_string()).unwrap_or_else(|| "—".into()),
+            r.overall.detection_time.as_secs_f64(),
+            r.overall.mistake_rate,
+            r.final_margin,
+        );
+    }
+    std::fs::write(
+        cli.out.join("ablation_beta.json"),
+        serde_json::to_string_pretty(&rows).expect("serialise"),
+    )
+    .expect("write");
+    eprintln!("artifacts written to {}", cli.out.display());
+}

@@ -1,0 +1,53 @@
+//! The paper's "area covered" comparison (Sec. V): for each workload,
+//! what fraction of a grid of QoS requirements can each detector be
+//! parameterised to match? This quantifies the qualitative figure
+//! readings ("Chen FD has an extensive performance range", "φ FD is
+//! available in only the aggressive range", "Bertier FD has only one
+//! aggressive performance value").
+
+use sfd_bench::{run_comparison, Cli, ExperimentPlan};
+use sfd_qos::area::{coverage, crossover_td, RequirementGrid};
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    std::fs::create_dir_all(&cli.out).expect("create out dir");
+    let mut artifacts = Vec::new();
+
+    for case in [WanCase::Wan0, WanCase::Wan1, WanCase::Wan3] {
+        let count = cli.count_for(case);
+        eprintln!("generating {case} trace ({count} heartbeats)…");
+        let trace = case.preset().generate(count);
+        let spec = ExperimentPlan::paper_spec(trace.interval);
+        let plan = ExperimentPlan::standard(trace.interval, spec);
+        let result = run_comparison(&format!("area-{case}"), &trace, &plan);
+
+        // Requirement grid spanning the figure's axes.
+        let grid = RequirementGrid::log_mr(0.05, 2.0, 40, 1e-4, 30.0, 40);
+        println!("── {case}: fraction of QoS requirements matchable (grid {}×{})",
+            grid.td_bounds.len(), grid.mr_bounds.len());
+        let mut per_detector = Vec::new();
+        for s in &result.series {
+            let c = coverage(&s.points, &grid);
+            println!("   {:<12} {:>6.1}%", s.detector.label(), c * 100.0);
+            per_detector.push((s.detector.label().to_string(), c));
+        }
+
+        // Crossover between Chen and φ (the paper's aggressive-range
+        // comparison).
+        let chen = result.series.iter().find(|s| s.detector.label() == "Chen FD").unwrap();
+        let phi = result.series.iter().find(|s| s.detector.label() == "phi FD").unwrap();
+        match crossover_td(&chen.points, &phi.points, &grid) {
+            Some(td) => println!("   Chen/φ best-MR crossover near TD ≈ {td:.2} s"),
+            None => println!("   no Chen/φ crossover in the grid range"),
+        }
+        artifacts.push((case.to_string(), per_detector));
+    }
+
+    std::fs::write(
+        cli.out.join("area_coverage.json"),
+        serde_json::to_string_pretty(&artifacts).expect("serialise"),
+    )
+    .expect("write");
+    eprintln!("artifacts written to {}", cli.out.display());
+}

@@ -1,0 +1,39 @@
+//! Figures 6 and 7: mistake rate vs. detection time and query accuracy
+//! probability vs. detection time on the WAN-0 (EPFL↔JAIST) workload.
+//!
+//! Paper shapes this run must reproduce:
+//! * Chen FD covers the widest TD range and reaches the lowest MR at the
+//!   conservative end;
+//! * φ FD matches Chen in the aggressive range but its curve stops early
+//!   (rounding prevents conservative points);
+//! * Bertier FD is a single aggressive point;
+//! * SFD has no points in the too-aggressive or too-conservative ranges —
+//!   self-tuning pulls every SM₁ into the feasible band.
+
+use sfd_bench::{print_figure_summary, run_comparison, Cli, ExperimentPlan};
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    let case = WanCase::Wan0;
+    let count = cli.count_for(case);
+    eprintln!("generating {case} trace ({count} heartbeats)…");
+    let trace = case.preset().generate(count);
+
+    let spec = ExperimentPlan::paper_spec(trace.interval);
+    let plan = ExperimentPlan::standard(trace.interval, spec);
+    eprintln!(
+        "SFD requirement: TD ≤ {}, MR ≤ {}/s, QAP ≥ {}",
+        spec.max_detection_time, spec.max_mistake_rate, spec.min_query_accuracy
+    );
+
+    let result = run_comparison("fig6_7-wan0", &trace, &plan);
+
+    println!("\nFig. 6 — mistake rate vs detection time (WAN-0)");
+    println!("Fig. 7 — query accuracy vs detection time (WAN-0)\n");
+    println!("{}", result.to_table());
+    print_figure_summary(&result);
+
+    result.write_artifacts(&cli.out).expect("write artifacts");
+    eprintln!("artifacts written to {}", cli.out.display());
+}

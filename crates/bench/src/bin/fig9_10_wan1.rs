@@ -1,0 +1,27 @@
+//! Figures 9 and 10: the four-detector comparison on the PlanetLab WAN-1
+//! workload (Stanford → NAIST, 12.8 ms heartbeats, 0% loss, send-side
+//! jitter and clock drift).
+
+use sfd_bench::{print_figure_summary, run_comparison, Cli, ExperimentPlan};
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    let case = WanCase::Wan1;
+    let count = cli.count_for(case);
+    eprintln!("generating {case} trace ({count} heartbeats)…");
+    let trace = case.preset().generate(count);
+
+    let spec = ExperimentPlan::paper_spec(trace.interval);
+    let plan = ExperimentPlan::standard(trace.interval, spec);
+
+    let result = run_comparison("fig9_10-wan1", &trace, &plan);
+
+    println!("\nFig. 9 — mistake rate vs detection time (WAN-1)");
+    println!("Fig. 10 — query accuracy vs detection time (WAN-1)\n");
+    println!("{}", result.to_table());
+    print_figure_summary(&result);
+
+    result.write_artifacts(&cli.out).expect("write artifacts");
+    eprintln!("artifacts written to {}", cli.out.display());
+}

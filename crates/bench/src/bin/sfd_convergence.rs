@@ -1,0 +1,124 @@
+//! Section V-B2 self-tuning narrative: margin trajectories, `Sat`
+//! decision sequences, re-tuning after a mid-run network shift, and the
+//! infeasibility response of Algorithm 1.
+
+use sfd_bench::Cli;
+use sfd_core::feedback::{FeedbackConfig, Sat};
+use sfd_core::qos::QosSpec;
+use sfd_core::sfd::SfdConfig;
+use sfd_core::time::Duration;
+use sfd_qos::convergence::{concat_traces, run_convergence, ConvergenceReport};
+use sfd_qos::eval::EvalConfig;
+use sfd_trace::presets::WanCase;
+
+fn cfg(interval: Duration, sm1: Duration) -> SfdConfig {
+    SfdConfig {
+        window: 1000,
+        expected_interval: interval,
+        initial_margin: sm1,
+        feedback: FeedbackConfig {
+            alpha: interval.mul_f64(2.0),
+            beta: 0.5,
+            ..Default::default()
+        },
+        fill_gaps: true,
+    }
+}
+
+fn print_report(title: &str, rep: &ConvergenceReport) {
+    println!("── {title}");
+    println!(
+        "   epochs: {}   first hold: {:?}   infeasible epochs: {}",
+        rep.epochs.len(),
+        rep.first_hold,
+        rep.infeasible_epochs
+    );
+    let sats: String = rep
+        .epochs
+        .iter()
+        .map(|e| match e.sat {
+            Some(Sat::Increase) => '+',
+            Some(Sat::Hold) => '·',
+            Some(Sat::Decrease) => '-',
+            None => '!',
+        })
+        .collect();
+    println!("   Sat sequence: {sats}");
+    let step = (rep.epochs.len() / 12).max(1);
+    print!("   margin [ms]:");
+    for e in rep.epochs.iter().step_by(step) {
+        print!(" {:.0}", e.margin.as_millis_f64());
+    }
+    println!();
+    println!(
+        "   overall: TD {:.3}s  MR {:.2e}/s  QAP {:.4}%",
+        rep.overall.detection_time.as_secs_f64(),
+        rep.overall.mistake_rate,
+        rep.overall.query_accuracy * 100.0
+    );
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let eval = EvalConfig { warmup: 1000 };
+    let epoch = Duration::from_secs(15);
+    std::fs::create_dir_all(&cli.out).expect("create out dir");
+    let mut artifacts: Vec<(String, ConvergenceReport)> = Vec::new();
+
+    // 1. Aggressive start on WAN-1: margin must grow until MR is in
+    //    budget ("we should take multiple steps to increase SM").
+    let trace = WanCase::Wan1.preset().generate(cli.count_for(WanCase::Wan1));
+    let spec = QosSpec::new(Duration::from_millis(400), 0.02, 0.99).expect("spec");
+    let rep = run_convergence(&trace, cfg(trace.interval, Duration::from_millis(1)), spec, epoch, eval)
+        .expect("trace long enough");
+    print_report("aggressive start (SM₁ = 1 ms) on WAN-1", &rep);
+    artifacts.push(("aggressive_start".into(), rep));
+
+    // 2. Conservative start: margin must shrink until TD is in budget
+    //    ("our scheme can reduce the SM … to get shorter TD gradually").
+    let rep = run_convergence(
+        &trace,
+        cfg(trace.interval, Duration::from_millis(2000)),
+        spec,
+        epoch,
+        eval,
+    )
+    .expect("trace long enough");
+    print_report("conservative start (SM₁ = 2 s) on WAN-1", &rep);
+    artifacts.push(("conservative_start".into(), rep));
+
+    // 3. Network shift: calm WAN-3, then lossy WAN-2 ("if the network has
+    //    significant changes" SFD re-tunes where fixed detectors cannot).
+    let calm = WanCase::Wan3.preset().generate(cli.count_for(WanCase::Wan3) / 2);
+    let rough = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2) / 2);
+    let both = concat_traces(&calm, &rough, Duration::from_millis(500));
+    let spec3 = QosSpec::new(Duration::from_millis(900), 0.05, 0.95).expect("spec");
+    let rep = run_convergence(&both, cfg(both.interval, Duration::from_millis(30)), spec3, epoch, eval)
+        .expect("trace long enough");
+    print_report("network shift: WAN-3 → WAN-2 (loss 2% → 5%)", &rep);
+    artifacts.push(("network_shift".into(), rep));
+
+    // 4. Infeasible requirement: Algorithm 1's "give a response" branch.
+    let spec4 = QosSpec::new(Duration::from_millis(15), 1e-6, 0.999999).expect("spec");
+    let rough_only = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2) / 2);
+    let rep = run_convergence(
+        &rough_only,
+        cfg(rough_only.interval, Duration::from_millis(300)),
+        spec4,
+        epoch,
+        eval,
+    )
+    .expect("trace long enough");
+    print_report("infeasible requirement (TD ≤ 15 ms, MR ≤ 1e-6) on WAN-2", &rep);
+    if rep.hit_infeasible() {
+        println!("   → SFD responded: \"this SFD can not satisfy the QoS for the application\"");
+    }
+    artifacts.push(("infeasible".into(), rep));
+
+    std::fs::write(
+        cli.out.join("sfd_convergence.json"),
+        serde_json::to_string_pretty(&artifacts).expect("serialise"),
+    )
+    .expect("write artifact");
+    eprintln!("artifacts written to {}", cli.out.display());
+}

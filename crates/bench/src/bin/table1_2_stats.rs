@@ -1,0 +1,63 @@
+//! Tables I and II: the WAN experiment roster and per-trace statistics,
+//! re-measured from the synthetic workloads and printed next to the
+//! paper's published values for calibration.
+
+use sfd_bench::Cli;
+use sfd_trace::presets::WanCase;
+use sfd_trace::stats::TraceStats;
+
+fn main() {
+    let cli = Cli::parse();
+
+    println!("Table I — summary of the WAN experiments");
+    println!(
+        "{:8} {:<22} {:<36} {:<22} {:<36}",
+        "case", "sender", "sender-hostname", "receiver", "receiver-hostname"
+    );
+    for case in WanCase::planetlab() {
+        let p = case.preset();
+        println!(
+            "{:8} {:<22} {:<36} {:<22} {:<36}",
+            case.to_string(),
+            p.sender,
+            p.sender_host,
+            p.receiver,
+            p.receiver_host
+        );
+    }
+
+    println!("\nTable II — summary of the experiments: statistics (measured from synthetic traces)");
+    println!("{}", TraceStats::table_header());
+    let mut rows = Vec::new();
+    for case in WanCase::all() {
+        let p = case.preset();
+        let count = cli.count_for(case);
+        let trace = p.generate(count);
+        let s = TraceStats::measure(&trace);
+        println!("{}", s.table_row(&case.to_string()));
+        println!(
+            "{:8} {:>10} {:>7.3}% {:>11.3} (published targets; RTT {:.3} ms)",
+            "  paper",
+            p.paper_count,
+            p.paper_loss_rate * 100.0,
+            p.paper_send_mean.as_millis_f64(),
+            p.paper_rtt.as_millis_f64(),
+        );
+        rows.push((case.to_string(), s));
+    }
+
+    println!("\nLoss-burst structure (Sec. V-A1: WAN-0 losses arrive in bursts)");
+    println!("{:8} {:>8} {:>14}", "case", "bursts", "longest burst");
+    for (name, s) in &rows {
+        println!("{:8} {:>8} {:>14}", name, s.loss_bursts, s.longest_loss_burst);
+    }
+
+    std::fs::create_dir_all(&cli.out).expect("create out dir");
+    let json = serde_json::to_string_pretty(
+        &rows.iter().map(|(n, s)| (n.clone(), *s)).collect::<Vec<_>>(),
+    )
+    .expect("serialise");
+    let path = cli.out.join("table2.json");
+    std::fs::write(&path, json).expect("write table2.json");
+    eprintln!("artifacts written to {}", path.display());
+}

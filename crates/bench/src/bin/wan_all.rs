@@ -1,0 +1,25 @@
+//! The "similar results" runs: the four-detector comparison on every
+//! PlanetLab workload WAN-2 … WAN-6 (paper Sec. V-B2: "The experimental
+//! results from WAN-2 to WAN-6 obtained on the PlanetLab are similar to
+//! WAN-1. For the limited space for this paper, here we only show … WAN-1"
+//! — we have no page limit, so we print them all).
+
+use sfd_bench::{print_figure_summary, run_comparison, Cli, ExperimentPlan};
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    for case in [WanCase::Wan2, WanCase::Wan3, WanCase::Wan4, WanCase::Wan5, WanCase::Wan6] {
+        let count = cli.count_for(case);
+        eprintln!("generating {case} trace ({count} heartbeats)…");
+        let trace = case.preset().generate(count);
+        let spec = ExperimentPlan::paper_spec(trace.interval);
+        let plan = ExperimentPlan::standard(trace.interval, spec);
+        let id = format!("wan_all-{}", case.to_string().to_lowercase());
+        let result = run_comparison(&id, &trace, &plan);
+        println!();
+        print_figure_summary(&result);
+        result.write_artifacts(&cli.out).expect("write artifacts");
+    }
+    eprintln!("artifacts written to {}", cli.out.display());
+}

@@ -1,0 +1,117 @@
+//! Section V-C ablation: effect of window size on each detector's QoS.
+//!
+//! Paper claims to reproduce:
+//! * φ FD — "a larger window size tends to achieve better performance"
+//!   (more history → better normal fit);
+//! * Bertier FD — "the effect of window size … can be negligible" (its
+//!   margin comes from the EWMA smoother, not the window);
+//! * Chen FD and SFD — "a lower window size leads to better performance"
+//!   (stale and burst-era samples pollute the arrival estimate), and SFD
+//!   "is able to get acceptable performance with very small window size,
+//!   and it can save valuable memory resources" (scalability claim).
+
+use sfd_bench::{Cli, ExperimentPlan};
+use sfd_core::bertier::BertierConfig;
+use sfd_core::chen::ChenConfig;
+use sfd_core::feedback::FeedbackConfig;
+use sfd_core::phi::PhiConfig;
+use sfd_core::sfd::SfdConfig;
+use sfd_core::time::Duration;
+use sfd_qos::eval::EvalConfig;
+use sfd_qos::sweep::{bertier_point, sweep_chen, sweep_phi, sweep_sfd};
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    let case = WanCase::Wan1;
+    let count = cli.count_for(case);
+    eprintln!("generating {case} trace ({count} heartbeats)…");
+    let trace = case.preset().generate(count);
+    let interval = trace.interval;
+    let spec = ExperimentPlan::paper_spec(interval);
+
+    // One representative operating point per detector, held fixed while
+    // the window varies.
+    let alpha = interval.mul_f64(6.0);
+    let threshold = 4.0;
+    let sm1 = interval.mul_f64(6.0);
+
+    let windows = [100usize, 500, 1000, 2000];
+    println!(
+        "{:<10} {:>6} {:>10} {:>12} {:>9}",
+        "detector", "WS", "TD [s]", "MR [1/s]", "QAP [%]"
+    );
+
+    let mut artifacts = Vec::new();
+    for &ws in &windows {
+        let eval = EvalConfig { warmup: ws.max(1000) };
+
+        let chen = sweep_chen(
+            &trace,
+            ChenConfig { window: ws, expected_interval: interval, alpha },
+            &[alpha],
+            eval,
+        );
+        let phi = sweep_phi(
+            &trace,
+            PhiConfig {
+                window: ws,
+                expected_interval: interval,
+                threshold,
+                min_std_fraction: 0.01,
+            },
+            &[threshold],
+            eval,
+        );
+        let bertier = bertier_point(
+            &trace,
+            BertierConfig { window: ws, expected_interval: interval, ..Default::default() },
+            eval,
+        );
+        let sfd = sweep_sfd(
+            &trace,
+            SfdConfig {
+                window: ws,
+                expected_interval: interval,
+                initial_margin: sm1,
+                feedback: FeedbackConfig {
+                    alpha: interval.mul_f64(2.0),
+                    beta: 0.5,
+                    ..Default::default()
+                },
+                fill_gaps: true,
+            },
+            spec,
+            &[sm1],
+            Duration::from_secs(20),
+            eval,
+        );
+
+        let mut row = |name: &str, pts: &[sfd_qos::sweep::SweepPoint]| {
+            if let Some(p) = pts.first() {
+                println!(
+                    "{:<10} {:>6} {:>10.4} {:>12.6} {:>9.4}",
+                    name,
+                    ws,
+                    p.qos.detection_time.as_secs_f64(),
+                    p.qos.mistake_rate,
+                    p.qos.query_accuracy * 100.0
+                );
+                artifacts.push((name.to_string(), ws, p.qos));
+            }
+        };
+        row("SFD", &sfd);
+        row("Chen FD", &chen);
+        row("Bertier FD", &bertier.into_iter().collect::<Vec<_>>());
+        row("phi FD", &phi);
+        println!();
+    }
+
+    std::fs::create_dir_all(&cli.out).expect("create out dir");
+    std::fs::write(
+        cli.out.join("window_ablation.json"),
+        serde_json::to_string_pretty(&artifacts).expect("serialise"),
+    )
+    .expect("write artifact");
+    eprintln!("artifacts written to {}", cli.out.display());
+}

@@ -1,0 +1,276 @@
+//! # sfd-bench — experiment harness
+//!
+//! Shared driver code for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (see `DESIGN.md` for the
+//! experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig6_7_wan` | Figs. 6–7 (WAN-0, EPFL↔JAIST) |
+//! | `fig9_10_wan1` | Figs. 9–10 (WAN-1) |
+//! | `wan_all` | the "similar results" runs on WAN-2…WAN-6 |
+//! | `table1_2_stats` | Tables I–II |
+//! | `window_ablation` | Sec. V-C window-size analysis |
+//! | `sfd_convergence` | Sec. V-B2 self-tuning narrative + infeasibility |
+//!
+//! Each binary accepts `--count N` (heartbeats to generate; default
+//! 300 000), `--full` (use the paper's multi-million-heartbeat counts),
+//! and `--out DIR` (artifact directory, default `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sfd_core::bertier::BertierConfig;
+use sfd_core::chen::ChenConfig;
+use sfd_core::detector::DetectorKind;
+use sfd_core::feedback::FeedbackConfig;
+use sfd_core::phi::PhiConfig;
+use sfd_core::qos::QosSpec;
+use sfd_core::sfd::SfdConfig;
+use sfd_core::time::Duration;
+use sfd_qos::eval::EvalConfig;
+use sfd_qos::report::{CurveSeries, ExperimentResult};
+use sfd_qos::sweep::{
+    bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd,
+};
+use sfd_trace::presets::WanCase;
+use sfd_trace::trace::Trace;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Heartbeats to generate per workload.
+    pub count: u64,
+    /// Use each preset's published heartbeat count instead of `count`.
+    pub full: bool,
+    /// Output directory for JSON/CSV artifacts.
+    pub out: std::path::PathBuf,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { count: 300_000, full: false, out: "results".into() }
+    }
+}
+
+impl Cli {
+    /// Parse from `std::env::args`. Unknown flags abort with usage.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--count" => {
+                    let v = args.next().expect("--count needs a value");
+                    cli.count = v.parse().expect("--count must be an integer");
+                }
+                "--full" => cli.full = true,
+                "--out" => {
+                    cli.out = args.next().expect("--out needs a value").into();
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--count N] [--full] [--out DIR]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// Effective heartbeat count for a given workload.
+    pub fn count_for(&self, case: WanCase) -> u64 {
+        if self.full {
+            case.preset().paper_count
+        } else {
+            self.count
+        }
+    }
+}
+
+/// Detector parameter grids and the SFD requirement for one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    /// Window size (paper: `WS = 1000`).
+    pub window: usize,
+    /// Chen margins `α` to sweep.
+    pub alphas: Vec<Duration>,
+    /// φ thresholds `Φ` to sweep (paper: `[0.5, 16]`).
+    pub thresholds: Vec<f64>,
+    /// SFD initial margins `SM₁` to sweep.
+    pub sm1: Vec<Duration>,
+    /// The QoS requirement SFD tunes toward.
+    pub spec: QosSpec,
+    /// Feedback epoch length.
+    pub epoch: Duration,
+    /// Replay warm-up (deliveries).
+    pub warmup: usize,
+}
+
+impl ExperimentPlan {
+    /// The paper's standard plan, scaled to a workload's heartbeat
+    /// interval: margins span roughly 0.3×–80× the interval, mirroring
+    /// `α ∈ [0, 10 s]` on the 100 ms WAN-0 workload.
+    ///
+    /// The SFD requirement encodes the feasible band the paper describes
+    /// for its figures: detection within `max_td`, mistake rate at most
+    /// `max_mr`, QAP at least `min_qap`.
+    pub fn standard(interval: Duration, spec: QosSpec) -> ExperimentPlan {
+        let lo = interval.mul_f64(0.3).max(Duration::from_millis(1));
+        let hi = interval.mul_f64(80.0);
+        ExperimentPlan {
+            window: 1000,
+            alphas: log_spaced_margins(lo, hi, 18),
+            thresholds: lin_spaced(0.5, 16.0, 16),
+            sm1: log_spaced_margins(lo, hi, 12),
+            spec,
+            epoch: Duration::from_secs(20),
+            warmup: 1000,
+        }
+    }
+
+    /// The paper's figure-scale requirement: the feasible band of
+    /// Figs. 6/9. The paper's SFD curves end near TD ≈ 0.87–0.9 s on both
+    /// the 100 ms WAN-0 workload and the ~12 ms PlanetLab ones, so the
+    /// speed budget is an absolute 0.9 s; the accuracy floors mark the
+    /// aggressive edge at roughly the paper's WAN-1 beginning point
+    /// (TD 0.10 s, MR 0.31/s, QAP 99.5%).
+    pub fn paper_spec(_interval: Duration) -> QosSpec {
+        QosSpec::new(Duration::from_millis(900), 0.35, 0.95).expect("valid spec")
+    }
+}
+
+/// Run the full four-detector comparison on one trace.
+pub fn run_comparison(id: &str, trace: &Trace, plan: &ExperimentPlan) -> ExperimentResult {
+    let eval = EvalConfig { warmup: plan.warmup };
+    let interval = trace.interval;
+
+    let chen = sweep_chen(
+        trace,
+        ChenConfig { window: plan.window, expected_interval: interval, alpha: Duration::ZERO },
+        &plan.alphas,
+        eval,
+    );
+    let phi = sweep_phi(
+        trace,
+        PhiConfig {
+            window: plan.window,
+            expected_interval: interval,
+            threshold: 1.0,
+            min_std_fraction: 0.01,
+        },
+        &plan.thresholds,
+        eval,
+    );
+    let bertier = bertier_point(
+        trace,
+        BertierConfig { window: plan.window, expected_interval: interval, ..Default::default() },
+        eval,
+    );
+    let sfd = sweep_sfd(
+        trace,
+        SfdConfig {
+            window: plan.window,
+            expected_interval: interval,
+            initial_margin: Duration::ZERO,
+            feedback: FeedbackConfig {
+                alpha: interval.mul_f64(2.0),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        },
+        plan.spec,
+        &plan.sm1,
+        plan.epoch,
+        eval,
+    );
+
+    ExperimentResult {
+        id: id.to_string(),
+        workload: trace.name.clone(),
+        heartbeats: trace.sent(),
+        series: vec![
+            CurveSeries::from_sweep(DetectorKind::Sfd, sfd),
+            CurveSeries::from_sweep(DetectorKind::Chen, chen),
+            CurveSeries::from_sweep(DetectorKind::Bertier, bertier.into_iter().collect()),
+            CurveSeries::from_sweep(DetectorKind::Phi, phi),
+        ],
+    }
+}
+
+/// Print the figure-style summary: per detector, the TD range covered and
+/// the best accuracy achieved — the qualitative claims of Figs. 6/7/9/10.
+pub fn print_figure_summary(result: &ExperimentResult) {
+    println!("── {} on {} ({} heartbeats)", result.id, result.workload, result.heartbeats);
+    for s in &result.series {
+        if s.points.is_empty() {
+            println!("{:<12} (no points)", s.detector.label());
+            continue;
+        }
+        let (lo, hi) = s.td_range_secs().unwrap();
+        let best_mr = s.points.iter().map(|p| p.mr).fold(f64::INFINITY, f64::min);
+        let best_qap = s.points.iter().map(|p| p.qap).fold(0.0f64, f64::max);
+        println!(
+            "{:<12} {:>3} pts  TD {:.3}s – {:.3}s   best MR {:.2e}/s   best QAP {:.4}%",
+            s.detector.label(),
+            s.points.len(),
+            lo,
+            hi,
+            best_mr,
+            best_qap * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_scales_with_interval() {
+        let spec = ExperimentPlan::paper_spec(Duration::from_millis(100));
+        assert_eq!(spec.max_detection_time, Duration::from_millis(900));
+        let p = ExperimentPlan::standard(Duration::from_millis(100), spec);
+        assert_eq!(p.alphas.len(), 18);
+        assert!(p.alphas[0] >= Duration::from_millis(29));
+        assert!(*p.alphas.last().unwrap() <= Duration::from_millis(8001));
+        // Margin grids scale with the interval even though the TD budget
+        // is absolute.
+        let p12 = ExperimentPlan::standard(Duration::from_secs_f64(0.012), spec);
+        assert!(p12.alphas[0] < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn comparison_produces_all_series() {
+        let trace = WanCase::Wan3.preset().generate(40_000);
+        let mut plan =
+            ExperimentPlan::standard(trace.interval, ExperimentPlan::paper_spec(trace.interval));
+        // Shrink for test speed.
+        plan.alphas.truncate(4);
+        plan.thresholds.truncate(4);
+        plan.sm1.truncate(3);
+        plan.warmup = 500;
+        let r = run_comparison("test", &trace, &plan);
+        assert_eq!(r.series.len(), 4);
+        assert_eq!(r.series[0].detector, DetectorKind::Sfd);
+        assert_eq!(r.series[0].points.len(), 3);
+        assert_eq!(r.series[1].points.len(), 4);
+        assert_eq!(r.series[2].points.len(), 1); // Bertier: one point
+        assert!(!r.series[3].points.is_empty());
+        print_figure_summary(&r); // must not panic
+    }
+
+    #[test]
+    fn cli_defaults() {
+        let cli = Cli::default();
+        assert_eq!(cli.count, 300_000);
+        assert!(!cli.full);
+        assert_eq!(cli.count_for(WanCase::Wan1), 300_000);
+        let full = Cli { full: true, ..Cli::default() };
+        assert_eq!(full.count_for(WanCase::Wan1), 6_737_054);
+    }
+}

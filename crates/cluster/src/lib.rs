@@ -1,0 +1,35 @@
+//! # sfd-cluster — cloud-network monitoring
+//!
+//! The paper's deployment context (Fig. 1) is a consortium of education
+//! clouds monitored by managers, with users needing to know which servers
+//! are *active, slow, offline, or dead* (the PlanetLab motivation of
+//! Sec. I). Its conclusion claims SFD extends to the "one monitors
+//! multiple" and "multiple monitor multiple" cases "based on the parallel
+//! theory" — i.e. by running independent detector instances per link.
+//! This crate implements exactly that:
+//!
+//! * [`model`] — the topology: clouds, nodes, managers (an executable
+//!   rendering of Fig. 1);
+//! * [`status`] — the four-level status classification driven by the
+//!   accrual suspicion level;
+//! * [`monitor`] — `OneMonitorsMany` (a manager running one SFD per
+//!   monitored target) and `MonitorPanel` (quorum aggregation of several
+//!   managers' opinions about the same target);
+//! * [`sim`] — closed-loop cluster simulations on `sfd-simnet`: per-link
+//!   channels, staggered crashes, detection-latency reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod monitor;
+pub mod sim;
+pub mod status;
+
+pub use model::{Cloud, CloudNetwork, Manager, TargetId};
+pub use monitor::{MonitorPanel, OneMonitorsMany, PanelVerdict, TargetConfig};
+pub use sim::{
+    ClusterRunReport, ClusterSim, ClusterSimConfig, CrashPlan, DetectionRecord, LinkSetup,
+    TimelineFrame,
+};
+pub use status::{NodeStatus, StatusClassifier};

@@ -1,0 +1,164 @@
+//! The cloud-network topology of the paper's Fig. 1: education clouds,
+//! member nodes, and the managers that monitor them.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a monitored target (a cloud or a node) network-wide.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TargetId(pub u64);
+
+impl std::fmt::Display for TargetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "target#{}", self.0)
+    }
+}
+
+/// One education cloud (e.g. "GA Education Cloud") with its member nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cloud {
+    /// Unique target id of the cloud itself (a cloud is monitored as one
+    /// process, per the paper's Sec. II-B footnote: "a total education
+    /// cloud is regarded as a process").
+    pub id: TargetId,
+    /// Human-readable name.
+    pub name: String,
+    /// Member node names (informational).
+    pub nodes: Vec<String>,
+}
+
+/// A monitoring manager (the paper's process `q`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manager {
+    /// Unique manager id.
+    pub id: TargetId,
+    /// Human-readable name.
+    pub name: String,
+    /// Targets this manager monitors.
+    pub monitors: Vec<TargetId>,
+}
+
+/// The whole consortium.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloudNetwork {
+    /// All clouds.
+    pub clouds: Vec<Cloud>,
+    /// All managers.
+    pub managers: Vec<Manager>,
+}
+
+impl CloudNetwork {
+    /// The U.S. southern-states education cloud consortium of Fig. 1:
+    /// five state clouds plus the SURA and HBCU communities, monitored by
+    /// two managers with overlapping coverage (so the
+    /// multiple-monitor-multiple case is exercised out of the box).
+    pub fn education_consortium() -> CloudNetwork {
+        let mk = |id: u64, name: &str, nodes: &[&str]| Cloud {
+            id: TargetId(id),
+            name: name.to_string(),
+            nodes: nodes.iter().map(|s| s.to_string()).collect(),
+        };
+        let clouds = vec![
+            mk(1, "GA Education Cloud", &["GSU"]),
+            mk(2, "SC Education Cloud", &["U of SC", "Clemson"]),
+            mk(3, "NC Education Cloud", &["NC State"]),
+            mk(4, "VA Education Cloud", &["GMU"]),
+            mk(5, "MD Education Cloud", &["UMBC"]),
+            mk(6, "SURA Cloud", &["SURA"]),
+            mk(7, "HBCU Cloud", &["HBCU"]),
+        ];
+        let all: Vec<TargetId> = clouds.iter().map(|c| c.id).collect();
+        let managers = vec![
+            Manager { id: TargetId(100), name: "Manager A (IBM)".into(), monitors: all.clone() },
+            Manager {
+                id: TargetId(101),
+                name: "Manager B (SURA/TTP)".into(),
+                monitors: all,
+            },
+        ];
+        CloudNetwork { clouds, managers }
+    }
+
+    /// Look up a cloud by id.
+    pub fn cloud(&self, id: TargetId) -> Option<&Cloud> {
+        self.clouds.iter().find(|c| c.id == id)
+    }
+
+    /// Look up a manager by id.
+    pub fn manager(&self, id: TargetId) -> Option<&Manager> {
+        self.managers.iter().find(|m| m.id == id)
+    }
+
+    /// All managers that monitor `target` (≥ 2 ⇒ the
+    /// multiple-monitor-multiple case applies to it).
+    pub fn monitors_of(&self, target: TargetId) -> Vec<&Manager> {
+        self.managers.iter().filter(|m| m.monitors.contains(&target)).collect()
+    }
+
+    /// Consistency check: every monitored target exists, ids are unique.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.clouds {
+            if !seen.insert(c.id) {
+                return Err(format!("duplicate id {}", c.id));
+            }
+        }
+        for m in &self.managers {
+            if !seen.insert(m.id) {
+                return Err(format!("duplicate id {}", m.id));
+            }
+            for t in &m.monitors {
+                if self.cloud(*t).is_none() {
+                    return Err(format!("{} monitors unknown {}", m.name, t));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consortium_is_valid_and_shaped_like_fig1() {
+        let net = CloudNetwork::education_consortium();
+        net.validate().unwrap();
+        assert_eq!(net.clouds.len(), 7);
+        assert_eq!(net.managers.len(), 2);
+        // Every cloud is watched by both managers.
+        for c in &net.clouds {
+            assert_eq!(net.monitors_of(c.id).len(), 2, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let net = CloudNetwork::education_consortium();
+        assert_eq!(net.cloud(TargetId(1)).unwrap().name, "GA Education Cloud");
+        assert!(net.cloud(TargetId(999)).is_none());
+        assert!(net.manager(TargetId(100)).is_some());
+        assert!(net.manager(TargetId(1)).is_none());
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_dangling_refs() {
+        let mut net = CloudNetwork::education_consortium();
+        net.managers[0].monitors.push(TargetId(999));
+        assert!(net.validate().is_err());
+
+        let mut net = CloudNetwork::education_consortium();
+        net.clouds[1].id = net.clouds[0].id;
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = CloudNetwork::education_consortium();
+        let js = serde_json::to_string(&net).unwrap();
+        let back: CloudNetwork = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, net);
+    }
+}

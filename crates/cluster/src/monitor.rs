@@ -1,0 +1,301 @@
+//! One-monitors-multiple and multiple-monitor-multiple (paper Sec. VII).
+//!
+//! Both cases are built "based on the parallel theory": a manager runs an
+//! *independent* SFD instance per monitored target (heartbeat streams are
+//! independent, so there is nothing to share), and several managers'
+//! binary opinions about one target combine by quorum.
+
+use crate::model::TargetId;
+use crate::status::{NodeStatus, StatusClassifier};
+use serde::{Deserialize, Serialize};
+use sfd_core::detector::{AccrualDetector, FailureDetector, SelfTuning};
+use sfd_core::feedback::FeedbackConfig;
+use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::time::{Duration, Instant};
+use std::collections::BTreeMap;
+
+/// Per-target detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetConfig {
+    /// Heartbeat interval expected from this target.
+    pub interval: Duration,
+    /// Detector window size.
+    pub window: usize,
+    /// Initial safety margin `SM₁`.
+    pub initial_margin: Duration,
+    /// Feedback parameters.
+    pub feedback: FeedbackConfig,
+}
+
+impl Default for TargetConfig {
+    fn default() -> Self {
+        TargetConfig {
+            interval: Duration::from_millis(100),
+            window: 500,
+            initial_margin: Duration::from_millis(100),
+            feedback: FeedbackConfig::default(),
+        }
+    }
+}
+
+impl TargetConfig {
+    fn to_sfd(self) -> SfdConfig {
+        SfdConfig {
+            window: self.window,
+            expected_interval: self.interval,
+            initial_margin: self.initial_margin,
+            feedback: self.feedback,
+            fill_gaps: true,
+        }
+    }
+}
+
+/// A manager monitoring many targets: one SFD instance per target.
+#[derive(Debug, Clone)]
+pub struct OneMonitorsMany {
+    spec: QosSpec,
+    classifier: StatusClassifier,
+    detectors: BTreeMap<TargetId, SfdFd>,
+}
+
+impl OneMonitorsMany {
+    /// New manager targeting `spec` for every link.
+    pub fn new(spec: QosSpec, classifier: StatusClassifier) -> Self {
+        OneMonitorsMany { spec, classifier, detectors: BTreeMap::new() }
+    }
+
+    /// Register a target. Replaces any previous registration.
+    pub fn watch(&mut self, target: TargetId, cfg: TargetConfig) {
+        self.detectors.insert(target, SfdFd::new(cfg.to_sfd(), self.spec));
+    }
+
+    /// Stop monitoring a target.
+    pub fn unwatch(&mut self, target: TargetId) -> bool {
+        self.detectors.remove(&target).is_some()
+    }
+
+    /// Number of watched targets.
+    pub fn watched(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Feed a heartbeat from `target`. Unknown targets are ignored
+    /// (e.g. a heartbeat racing an `unwatch`).
+    pub fn heartbeat(&mut self, target: TargetId, seq: u64, arrival: Instant) {
+        if let Some(d) = self.detectors.get_mut(&target) {
+            d.heartbeat(seq, arrival);
+        }
+    }
+
+    /// Binary suspicion for one target (`None` = not watched).
+    pub fn is_suspect(&self, target: TargetId, now: Instant) -> Option<bool> {
+        self.detectors.get(&target).map(|d| d.is_suspect(now))
+    }
+
+    /// Accrual suspicion level for one target.
+    pub fn suspicion(&self, target: TargetId, now: Instant) -> Option<f64> {
+        self.detectors.get(&target).map(|d| d.suspicion(now))
+    }
+
+    /// Four-level status for one target.
+    pub fn status(&self, target: TargetId, now: Instant) -> Option<NodeStatus> {
+        self.detectors.get(&target).map(|d| self.classifier.classify(d, now))
+    }
+
+    /// Status snapshot of all targets (the "guidance" table the paper's
+    /// PlanetLab example asks for).
+    pub fn statuses(&self, now: Instant) -> BTreeMap<TargetId, NodeStatus> {
+        self.detectors
+            .iter()
+            .map(|(&t, d)| (t, self.classifier.classify(d, now)))
+            .collect()
+    }
+
+    /// Apply QoS feedback for one target's detector (the per-link epoch
+    /// loop; links have independent QoS, so feedback is per-link too).
+    pub fn apply_feedback(&mut self, target: TargetId, measured: &QosMeasured) -> bool {
+        match self.detectors.get_mut(&target) {
+            Some(d) => {
+                let _ = d.apply_feedback(measured);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Read-only access to a target's detector.
+    pub fn detector(&self, target: TargetId) -> Option<&SfdFd> {
+        self.detectors.get(&target)
+    }
+}
+
+/// Verdict of a monitor panel about one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PanelVerdict {
+    /// Monitors that currently suspect the target.
+    pub suspecting: usize,
+    /// Panel size.
+    pub total: usize,
+    /// Quorum used.
+    pub quorum: usize,
+    /// `suspecting >= quorum`.
+    pub suspected: bool,
+}
+
+/// Multiple-monitor-multiple: combine several managers' opinions about a
+/// target with a quorum rule (majority by default). Tolerates individual
+/// monitors being partitioned from a healthy target.
+#[derive(Debug, Clone)]
+pub struct MonitorPanel {
+    quorum: Option<usize>,
+}
+
+impl MonitorPanel {
+    /// Majority quorum (`⌊n/2⌋+1`).
+    pub fn majority() -> Self {
+        MonitorPanel { quorum: None }
+    }
+
+    /// Fixed quorum of `k` suspecting monitors.
+    pub fn with_quorum(k: usize) -> Self {
+        MonitorPanel { quorum: Some(k.max(1)) }
+    }
+
+    /// Combine the panel's opinions about `target` at `now`. Monitors not
+    /// watching the target abstain (they shrink the panel).
+    pub fn verdict(
+        &self,
+        monitors: &[&OneMonitorsMany],
+        target: TargetId,
+        now: Instant,
+    ) -> PanelVerdict {
+        let opinions: Vec<bool> =
+            monitors.iter().filter_map(|m| m.is_suspect(target, now)).collect();
+        let total = opinions.len();
+        let suspecting = opinions.iter().filter(|&&s| s).count();
+        let quorum = self.quorum.unwrap_or(total / 2 + 1).min(total.max(1));
+        PanelVerdict { suspecting, total, quorum, suspected: total > 0 && suspecting >= quorum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn manager_with(targets: &[u64]) -> OneMonitorsMany {
+        let mut m = OneMonitorsMany::new(QosSpec::permissive(), StatusClassifier::default());
+        for &t in targets {
+            m.watch(
+                TargetId(t),
+                TargetConfig { window: 10, ..Default::default() },
+            );
+        }
+        m
+    }
+
+    fn feed(m: &mut OneMonitorsMany, t: u64, n: u64) {
+        for i in 0..n {
+            m.heartbeat(TargetId(t), i, inst((i as i64 + 1) * 100));
+        }
+    }
+
+    #[test]
+    fn independent_detectors_per_target() {
+        let mut m = manager_with(&[1, 2]);
+        feed(&mut m, 1, 50);
+        feed(&mut m, 2, 20);
+        // Target 1's last heartbeat at 5000, target 2's at 2000.
+        let now = inst(2300);
+        assert_eq!(m.is_suspect(TargetId(1), now), Some(false));
+        assert_eq!(m.is_suspect(TargetId(2), now), Some(true));
+        assert_eq!(m.is_suspect(TargetId(3), now), None);
+        assert_eq!(m.watched(), 2);
+    }
+
+    #[test]
+    fn statuses_snapshot() {
+        let mut m = manager_with(&[1, 2]);
+        feed(&mut m, 1, 50);
+        feed(&mut m, 2, 20);
+        let statuses = m.statuses(inst(5050));
+        assert_eq!(statuses[&TargetId(1)], NodeStatus::Active);
+        assert!(matches!(
+            statuses[&TargetId(2)],
+            NodeStatus::Offline | NodeStatus::Dead
+        ));
+    }
+
+    #[test]
+    fn unwatch_and_stale_heartbeats() {
+        let mut m = manager_with(&[1]);
+        feed(&mut m, 1, 10);
+        assert!(m.unwatch(TargetId(1)));
+        assert!(!m.unwatch(TargetId(1)));
+        // Racing heartbeat is ignored.
+        m.heartbeat(TargetId(1), 11, inst(1200));
+        assert_eq!(m.watched(), 0);
+    }
+
+    #[test]
+    fn feedback_routing() {
+        let mut m = manager_with(&[1]);
+        feed(&mut m, 1, 10);
+        let sloppy = QosMeasured {
+            detection_time: Duration::from_millis(10),
+            mistake_rate: 100.0,
+            query_accuracy: 0.5,
+            ..QosMeasured::empty()
+        };
+        let before = m.detector(TargetId(1)).unwrap().margin();
+        // Permissive spec → even "sloppy" satisfies it → margin holds.
+        assert!(m.apply_feedback(TargetId(1), &sloppy));
+        assert_eq!(m.detector(TargetId(1)).unwrap().margin(), before);
+        assert!(!m.apply_feedback(TargetId(9), &sloppy));
+    }
+
+    #[test]
+    fn panel_majority_tolerates_one_partitioned_monitor() {
+        // Three managers watch target 1; one of them is partitioned from
+        // it (saw no recent heartbeats) and suspects wrongly.
+        let mut a = manager_with(&[1]);
+        let mut b = manager_with(&[1]);
+        let mut c = manager_with(&[1]);
+        feed(&mut a, 1, 50);
+        feed(&mut b, 1, 50);
+        feed(&mut c, 1, 20); // partitioned: stale view
+        let now = inst(5050);
+        let panel = MonitorPanel::majority();
+        let v = panel.verdict(&[&a, &b, &c], TargetId(1), now);
+        assert_eq!(v.total, 3);
+        assert_eq!(v.suspecting, 1);
+        assert_eq!(v.quorum, 2);
+        assert!(!v.suspected, "majority should overrule the partitioned monitor");
+    }
+
+    #[test]
+    fn panel_detects_real_crash() {
+        let mut a = manager_with(&[1]);
+        let mut b = manager_with(&[1]);
+        feed(&mut a, 1, 20);
+        feed(&mut b, 1, 20);
+        let now = inst(4000); // long after last heartbeat at 2000
+        let v = MonitorPanel::majority().verdict(&[&a, &b], TargetId(1), now);
+        assert_eq!(v.suspecting, 2);
+        assert!(v.suspected);
+    }
+
+    #[test]
+    fn panel_abstentions_and_empty() {
+        let a = manager_with(&[2]); // doesn't watch 1
+        let v = MonitorPanel::majority().verdict(&[&a], TargetId(1), inst(100));
+        assert_eq!(v.total, 0);
+        assert!(!v.suspected);
+        let v = MonitorPanel::with_quorum(1).verdict(&[], TargetId(1), inst(100));
+        assert!(!v.suspected);
+    }
+}

@@ -1,0 +1,355 @@
+//! Closed-loop cluster simulation: a manager monitoring a whole cloud
+//! consortium over per-link unreliable channels, with staggered crash
+//! injection.
+//!
+//! Events from all links are merged in arrival order and fed to an
+//! [`OneMonitorsMany`] manager; crashed targets simply stop producing
+//! heartbeats (fail-stop). The report records, per crashed target, when
+//! the manager's detector started suspecting it permanently — the
+//! cluster-level analogue of the pairwise crash experiment in
+//! `sfd-simnet`.
+
+use crate::model::TargetId;
+use crate::monitor::{OneMonitorsMany, TargetConfig};
+use crate::status::{NodeStatus, StatusClassifier};
+use serde::{Deserialize, Serialize};
+use sfd_core::qos::QosSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_simnet::channel::ChannelConfig;
+use sfd_simnet::heartbeat::HeartbeatSchedule;
+use sfd_simnet::sim::{PairSim, PairSimConfig};
+use std::collections::BTreeMap;
+
+/// When (if ever) a target crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// The target that crashes.
+    pub target: TargetId,
+    /// Crash instant: heartbeats sent strictly after this are suppressed.
+    pub at: Instant,
+}
+
+/// One monitored link's simulation setup.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSetup {
+    /// The target at the far end.
+    pub target: TargetId,
+    /// Its sending schedule.
+    pub schedule: HeartbeatSchedule,
+    /// The channel between target and manager.
+    pub channel: ChannelConfig,
+    /// Detector configuration on the manager side.
+    pub detector: TargetConfig,
+}
+
+/// Cluster simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    /// All monitored links.
+    pub links: Vec<LinkSetup>,
+    /// Crash schedule.
+    pub crashes: Vec<CrashPlan>,
+    /// Simulated duration.
+    pub duration: Duration,
+    /// QoS requirement shared by all links.
+    pub spec: QosSpec,
+    /// Status classifier.
+    pub classifier: StatusClassifier,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Detection outcome for one crashed target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionRecord {
+    /// The crashed target.
+    pub target: TargetId,
+    /// When it crashed.
+    pub crash_at: Instant,
+    /// When the manager's detector began suspecting it permanently.
+    pub suspected_at: Instant,
+    /// `suspected_at − crash_at`.
+    pub latency: Duration,
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRunReport {
+    /// One record per crashed target that was detected.
+    pub detections: Vec<DetectionRecord>,
+    /// Final status of every target at the end of the run.
+    pub final_statuses: BTreeMap<TargetId, NodeStatus>,
+    /// Heartbeats delivered to the manager in total.
+    pub deliveries: u64,
+}
+
+/// One sampled frame of the cluster's status timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineFrame {
+    /// Sample instant.
+    pub at: Instant,
+    /// Status of every watched target at that instant.
+    pub statuses: BTreeMap<TargetId, NodeStatus>,
+}
+
+/// The runnable simulation.
+pub struct ClusterSim {
+    cfg: ClusterSimConfig,
+}
+
+impl ClusterSim {
+    /// Build from a configuration.
+    pub fn new(cfg: ClusterSimConfig) -> Self {
+        ClusterSim { cfg }
+    }
+
+    /// Run to completion, sampling the full status table every
+    /// `sample_every` — the data behind a live dashboard's history view.
+    pub fn run_timeline(&self, sample_every: Duration) -> (ClusterRunReport, Vec<TimelineFrame>) {
+        assert!(sample_every > Duration::ZERO, "sample interval must be positive");
+        let (report, events, _) = self.run_inner();
+        // Re-run the event feed on a fresh manager, interleaving samples.
+        // Detector queries only depend on heartbeats processed so far, so
+        // feeding events in arrival order and sampling between them is
+        // exact.
+        let mut manager = OneMonitorsMany::new(self.cfg.spec, self.cfg.classifier);
+        for link in &self.cfg.links {
+            manager.watch(link.target, link.detector);
+        }
+        let end = Instant::ZERO + self.cfg.duration;
+        let mut frames = Vec::new();
+        let mut next_sample = Instant::ZERO + sample_every;
+        for &(arrival, target, seq) in &events {
+            while next_sample <= arrival && next_sample <= end {
+                frames.push(TimelineFrame {
+                    at: next_sample,
+                    statuses: manager.statuses(next_sample),
+                });
+                next_sample += sample_every;
+            }
+            manager.heartbeat(target, seq, arrival);
+        }
+        while next_sample <= end {
+            frames.push(TimelineFrame {
+                at: next_sample,
+                statuses: manager.statuses(next_sample),
+            });
+            next_sample += sample_every;
+        }
+        (report, frames)
+    }
+
+    /// Run to completion.
+    pub fn run(&self) -> ClusterRunReport {
+        self.run_inner().0
+    }
+
+    fn run_inner(&self) -> (ClusterRunReport, Vec<(Instant, TargetId, u64)>, OneMonitorsMany) {
+        let end = Instant::ZERO + self.cfg.duration;
+        let crash_of = |t: TargetId| -> Option<Instant> {
+            self.cfg.crashes.iter().find(|c| c.target == t).map(|c| c.at)
+        };
+
+        // Generate every link's records up front, suppressing heartbeats
+        // sent after the link's crash point.
+        let mut events: Vec<(Instant, TargetId, u64)> = Vec::new();
+        let mut manager =
+            OneMonitorsMany::new(self.cfg.spec, self.cfg.classifier);
+        for (i, link) in self.cfg.links.iter().enumerate() {
+            manager.watch(link.target, link.detector);
+            let sim_cfg = PairSimConfig {
+                schedule: link.schedule,
+                channel: link.channel,
+                seed: self.cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            };
+            let mut sim = PairSim::new(sim_cfg);
+            let crash = crash_of(link.target);
+            for rec in sim.generate_until(end) {
+                if let Some(c) = crash {
+                    if rec.sent > c {
+                        continue; // crashed: never sent
+                    }
+                }
+                if let Some(arrival) = rec.arrival {
+                    if arrival <= end {
+                        events.push((arrival, link.target, rec.seq));
+                    }
+                }
+            }
+        }
+        events.sort_by_key(|&(at, t, seq)| (at, t, seq));
+
+        // Feed the manager in global arrival order.
+        let deliveries = events.len() as u64;
+        for &(arrival, target, seq) in &events {
+            manager.heartbeat(target, seq, arrival);
+        }
+
+        // Detection outcomes: after all deliveries, each crashed target's
+        // freshness point fixes the start of permanent suspicion.
+        let mut detections = Vec::new();
+        for crash in &self.cfg.crashes {
+            if let Some(det) = manager.detector(crash.target) {
+                if let Some(fp) = sfd_core::detector::FailureDetector::freshness_point(det) {
+                    let last_arrival = events
+                        .iter()
+                        .filter(|&&(_, t, _)| t == crash.target)
+                        .map(|&(a, _, _)| a)
+                        .max()
+                        .unwrap_or(crash.at);
+                    let suspected_at = fp.max(crash.at).max(last_arrival);
+                    detections.push(DetectionRecord {
+                        target: crash.target,
+                        crash_at: crash.at,
+                        suspected_at,
+                        latency: suspected_at - crash.at,
+                    });
+                }
+            }
+        }
+
+        let report = ClusterRunReport {
+            detections,
+            final_statuses: manager.statuses(end),
+            deliveries,
+        };
+        (report, events, manager)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_simnet::delay::DelayConfig;
+    use sfd_simnet::loss::LossConfig;
+
+    fn link(target: u64) -> LinkSetup {
+        LinkSetup {
+            target: TargetId(target),
+            schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+            channel: ChannelConfig {
+                delay: DelayConfig::normal(
+                    Duration::from_millis(50),
+                    Duration::from_millis(5),
+                    Duration::from_millis(30),
+                ),
+                loss: LossConfig::Bernoulli { p: 0.01 },
+                fifo: true,
+            },
+            detector: TargetConfig {
+                interval: Duration::from_millis(100),
+                window: 100,
+                initial_margin: Duration::from_millis(150),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn base_cfg() -> ClusterSimConfig {
+        ClusterSimConfig {
+            links: (1..=5).map(link).collect(),
+            crashes: vec![
+                CrashPlan { target: TargetId(2), at: Instant::from_millis(30_000) },
+                CrashPlan { target: TargetId(4), at: Instant::from_millis(45_000) },
+            ],
+            duration: Duration::from_secs(60),
+            spec: QosSpec::permissive(),
+            classifier: StatusClassifier {
+                slow_fraction: 0.5,
+                dead_after: Duration::from_secs(5),
+            },
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn detects_all_crashes_with_reasonable_latency() {
+        let report = ClusterSim::new(base_cfg()).run();
+        assert_eq!(report.detections.len(), 2);
+        for d in &report.detections {
+            assert!(
+                d.latency > Duration::ZERO && d.latency < Duration::from_secs(2),
+                "{}: latency {}",
+                d.target,
+                d.latency
+            );
+        }
+        // Crashed long ago → dead; healthy → active.
+        assert_eq!(report.final_statuses[&TargetId(2)], NodeStatus::Dead);
+        assert_eq!(report.final_statuses[&TargetId(4)], NodeStatus::Dead);
+        assert_eq!(report.final_statuses[&TargetId(1)], NodeStatus::Active);
+        assert_eq!(report.final_statuses[&TargetId(3)], NodeStatus::Active);
+        assert_eq!(report.final_statuses[&TargetId(5)], NodeStatus::Active);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ClusterSim::new(base_cfg()).run();
+        let b = ClusterSim::new(base_cfg()).run();
+        assert_eq!(a, b);
+        let mut cfg = base_cfg();
+        cfg.seed = 43;
+        let c = ClusterSim::new(cfg).run();
+        assert_ne!(a.deliveries, c.deliveries);
+    }
+
+    #[test]
+    fn no_crashes_all_active() {
+        let mut cfg = base_cfg();
+        cfg.crashes.clear();
+        let report = ClusterSim::new(cfg).run();
+        assert!(report.detections.is_empty());
+        assert!(report
+            .final_statuses
+            .values()
+            .all(|&s| s == NodeStatus::Active));
+        // 5 links × ~600 heartbeats × 99% delivery.
+        assert!(report.deliveries > 2_800, "{}", report.deliveries);
+    }
+
+    #[test]
+    fn timeline_shows_the_status_transitions() {
+        let (report, frames) = ClusterSim::new(base_cfg()).run_timeline(Duration::from_secs(1));
+        assert_eq!(frames.len(), 60);
+        // Before the first crash (t=30s): everything active.
+        let early = &frames[20];
+        assert!(early.statuses.values().all(|&s| s == NodeStatus::Active), "{early:?}");
+        // Shortly after the crash: target 2 offline (not yet dead).
+        let mid = &frames[32];
+        assert_eq!(mid.statuses[&TargetId(2)], NodeStatus::Offline);
+        assert_eq!(mid.statuses[&TargetId(1)], NodeStatus::Active);
+        // Well past dead_after (5s): dead.
+        let late = &frames[45];
+        assert_eq!(late.statuses[&TargetId(2)], NodeStatus::Dead);
+        // The timeline's final frame agrees with the plain run's verdicts.
+        let last = frames.last().unwrap();
+        for (t, s) in &report.final_statuses {
+            // Final frame sampled 1 s before `end`; crashed targets match,
+            // healthy ones stay active throughout.
+            if *s == NodeStatus::Dead {
+                assert_eq!(last.statuses[t], NodeStatus::Dead);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn timeline_rejects_zero_interval() {
+        let _ = ClusterSim::new(base_cfg()).run_timeline(Duration::ZERO);
+    }
+
+    #[test]
+    fn crash_latency_reflects_margin() {
+        let mut fast = base_cfg();
+        for l in &mut fast.links {
+            l.detector.initial_margin = Duration::from_millis(20);
+        }
+        let mut slow = base_cfg();
+        for l in &mut slow.links {
+            l.detector.initial_margin = Duration::from_millis(800);
+        }
+        let lf = ClusterSim::new(fast).run().detections[0].latency;
+        let ls = ClusterSim::new(slow).run().detections[0].latency;
+        assert!(ls > lf, "slow {ls} vs fast {lf}");
+    }
+}

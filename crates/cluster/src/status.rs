@@ -1,0 +1,138 @@
+//! Four-level node status classification.
+//!
+//! The paper motivates failure detection with PlanetLab: "lots of nodes
+//! are inactive at any time, yet we do not know the exact status (active,
+//! slow, offline, or dead)". An accrual detector makes this gradation
+//! natural (Sec. IV-C1: "a low threshold … quickly detects an actual
+//! crash; a high threshold is prone to generate fewer mistakes"): the
+//! classifier maps the continuous suspicion level to the four statuses.
+
+use serde::{Deserialize, Serialize};
+use sfd_core::detector::AccrualDetector;
+use sfd_core::time::{Duration, Instant};
+
+/// The four statuses of the paper's introduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Heartbeats arriving on schedule.
+    Active,
+    /// Suspicion rising but below the suspect threshold: heartbeats are
+    /// late — loaded or congested, take precautionary measures.
+    Slow,
+    /// Past the suspect threshold, but not long enough to write off:
+    /// could be a partition or a long outage.
+    Offline,
+    /// Suspected for longer than the dead-after horizon: treat as
+    /// crashed and reallocate its work.
+    Dead,
+}
+
+impl std::fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NodeStatus::Active => "active",
+            NodeStatus::Slow => "slow",
+            NodeStatus::Offline => "offline",
+            NodeStatus::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps a detector's suspicion level to a [`NodeStatus`].
+///
+/// Thresholds are expressed relative to the detector's own default
+/// threshold: `slow_fraction` of it marks the active→slow boundary, the
+/// threshold itself marks slow→offline (the detector's binary suspect
+/// point), and `dead_after` of continuous suspicion marks offline→dead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatusClassifier {
+    /// Fraction of the suspect threshold at which a node is called slow.
+    pub slow_fraction: f64,
+    /// Continuous suspicion time after which a node is called dead.
+    pub dead_after: Duration,
+}
+
+impl Default for StatusClassifier {
+    fn default() -> Self {
+        StatusClassifier { slow_fraction: 0.5, dead_after: Duration::from_secs(30) }
+    }
+}
+
+impl StatusClassifier {
+    /// Classify a target given its accrual detector at time `now`.
+    pub fn classify<D: AccrualDetector>(&self, det: &D, now: Instant) -> NodeStatus {
+        let threshold = det.default_threshold();
+        let s = det.suspicion(now);
+        if s < threshold * self.slow_fraction {
+            return NodeStatus::Active;
+        }
+        if s < threshold {
+            return NodeStatus::Slow;
+        }
+        // Suspected: offline vs dead by how long the suspicion has stood.
+        match det.freshness_point() {
+            Some(fp) if now - fp >= self.dead_after => NodeStatus::Dead,
+            _ => NodeStatus::Offline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::qos::QosSpec;
+    use sfd_core::sfd::{SfdConfig, SfdFd};
+    use sfd_core::time::Duration;
+    use sfd_core::detector::FailureDetector;
+
+    fn fed_sfd() -> SfdFd {
+        let mut fd = SfdFd::new(
+            SfdConfig {
+                window: 20,
+                expected_interval: Duration::from_millis(100),
+                initial_margin: Duration::from_millis(100),
+                ..Default::default()
+            },
+            QosSpec::permissive(),
+        );
+        for i in 0..40u64 {
+            fd.heartbeat(i, Instant::from_millis((i as i64 + 1) * 100));
+        }
+        fd // last heartbeat at 4000ms; EA(next) = 4100; τ = 4200.
+    }
+
+    #[test]
+    fn classification_ladder() {
+        let fd = fed_sfd();
+        let c = StatusClassifier { slow_fraction: 0.5, dead_after: Duration::from_secs(2) };
+        // suspicion = (t − 4100)/100ms.
+        assert_eq!(c.classify(&fd, Instant::from_millis(4100)), NodeStatus::Active);
+        assert_eq!(c.classify(&fd, Instant::from_millis(4140)), NodeStatus::Active); // s=0.4
+        assert_eq!(c.classify(&fd, Instant::from_millis(4170)), NodeStatus::Slow); // s=0.7
+        assert_eq!(c.classify(&fd, Instant::from_millis(4300)), NodeStatus::Offline); // s=2
+        // Dead after 2 s past the freshness point (τ=4200).
+        assert_eq!(c.classify(&fd, Instant::from_millis(6100)), NodeStatus::Offline);
+        assert_eq!(c.classify(&fd, Instant::from_millis(6250)), NodeStatus::Dead);
+    }
+
+    #[test]
+    fn warmup_is_active() {
+        let fd = SfdFd::new(
+            SfdConfig {
+                window: 20,
+                expected_interval: Duration::from_millis(100),
+                ..Default::default()
+            },
+            QosSpec::permissive(),
+        );
+        let c = StatusClassifier::default();
+        assert_eq!(c.classify(&fd, Instant::from_millis(10_000)), NodeStatus::Active);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeStatus::Active.to_string(), "active");
+        assert_eq!(NodeStatus::Dead.to_string(), "dead");
+    }
+}

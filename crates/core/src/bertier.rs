@@ -1,0 +1,243 @@
+//! Bertier FD — the adaptive detector of Bertier, Marin & Sens
+//! (*Implementation and performance evaluation of an adaptable failure
+//! detector*, DSN 2002; paper Sec. III, Eqs. 4–8).
+//!
+//! Chen's expected-arrival estimator plus a **dynamic** safety margin
+//! produced by a Jacobson-style smoother over the estimation error:
+//!
+//! ```text
+//! τ(k+1) = EA(k+1) + α(k+1),   α(k+1) = β·delay(k+1) + φ·var(k)
+//! ```
+//!
+//! Bertier FD has no free parameter to sweep (β, φ, γ are fixed at 1, 4,
+//! 0.1), which is why it appears as a *single point* in the paper's
+//! figures.
+
+use crate::detector::{DetectorKind, FailureDetector};
+use crate::error::{CoreError, CoreResult};
+use crate::estimate::{ChenEstimator, JacobsonConfig, JacobsonEstimator};
+use crate::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`BertierFd`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BertierConfig {
+    /// Sliding-window size for the arrival estimator.
+    pub window: usize,
+    /// Nominal heartbeat sending interval `Δ`.
+    pub expected_interval: Duration,
+    /// Jacobson smoother weights (paper defaults: β=1, φ=4, γ=0.1).
+    pub jacobson: JacobsonConfig,
+}
+
+impl Default for BertierConfig {
+    fn default() -> Self {
+        BertierConfig {
+            window: 1000,
+            expected_interval: Duration::from_millis(100),
+            jacobson: JacobsonConfig::default(),
+        }
+    }
+}
+
+impl BertierConfig {
+    /// Validate field domains.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.window == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "window",
+                reason: "window size must be positive".into(),
+            });
+        }
+        if self.expected_interval <= Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "expected_interval",
+                reason: "heartbeat interval must be positive".into(),
+            });
+        }
+        if !(self.jacobson.gamma > 0.0 && self.jacobson.gamma <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "jacobson.gamma",
+                reason: "gamma must lie in (0, 1]".into(),
+            });
+        }
+        if self.jacobson.beta < 0.0 || self.jacobson.phi < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                field: "jacobson.beta/phi",
+                reason: "weights must be non-negative".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Bertier's dynamic-margin failure detector.
+#[derive(Debug, Clone)]
+pub struct BertierFd {
+    cfg: BertierConfig,
+    estimator: ChenEstimator,
+    margin: JacobsonEstimator,
+}
+
+impl BertierFd {
+    /// Create a detector from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`BertierConfig::validate`] first when the values are untrusted.
+    pub fn new(cfg: BertierConfig) -> Self {
+        cfg.validate().expect("invalid BertierConfig");
+        BertierFd {
+            cfg,
+            estimator: ChenEstimator::new(cfg.window, cfg.expected_interval),
+            margin: JacobsonEstimator::new(cfg.jacobson),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> BertierConfig {
+        self.cfg
+    }
+
+    /// Current dynamic margin `α(k+1)`.
+    pub fn margin(&self) -> Duration {
+        self.margin.margin_duration()
+    }
+
+    /// The margin smoother (read-only), for diagnostics.
+    pub fn margin_estimator(&self) -> &JacobsonEstimator {
+        &self.margin
+    }
+}
+
+impl FailureDetector for BertierFd {
+    fn heartbeat(&mut self, seq: u64, arrival: Instant) {
+        // Compute the expected arrival of *this* heartbeat before folding
+        // it into the window — the estimation error of Eq. 4 is against
+        // the prediction the detector actually held.
+        let expected = self.estimator.expected_arrival(seq);
+        if self.estimator.record(seq, arrival) {
+            if let Some(expected) = expected {
+                self.margin.observe(arrival, expected);
+            }
+        }
+    }
+
+    fn freshness_point(&self) -> Option<Instant> {
+        Some(self.estimator.next_expected_arrival()? + self.margin.margin_duration())
+    }
+
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Bertier
+    }
+
+    fn reset(&mut self) {
+        self.estimator.reset();
+        self.margin.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn fd() -> BertierFd {
+        BertierFd::new(BertierConfig {
+            window: 10,
+            expected_interval: Duration::from_millis(100),
+            jacobson: JacobsonConfig::default(),
+        })
+    }
+
+    #[test]
+    fn margin_stays_small_on_periodic_arrivals() {
+        let mut fd = fd();
+        for i in 0..200u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100));
+        }
+        // Zero estimation error → margin collapses to ~0.
+        assert!(fd.margin() < Duration::from_millis(1), "margin {}", fd.margin());
+        let fp = fd.freshness_point().unwrap();
+        assert!((fp - inst(20_100)).abs() < Duration::from_millis(2));
+    }
+
+    #[test]
+    fn margin_tracks_jitter() {
+        let mut calm = fd();
+        let mut noisy = fd();
+        for i in 0..500u64 {
+            let base = (i as i64 + 1) * 100;
+            calm.heartbeat(i, inst(base));
+            let jitter = if i % 2 == 0 { 30 } else { -10 };
+            noisy.heartbeat(i, inst(base + jitter));
+        }
+        assert!(noisy.margin() > calm.margin());
+    }
+
+    #[test]
+    fn behaves_aggressively_relative_to_conservative_chen() {
+        use crate::chen::{ChenConfig, ChenFd};
+        let mut bertier = fd();
+        let mut chen = ChenFd::new(ChenConfig {
+            window: 10,
+            expected_interval: Duration::from_millis(100),
+            alpha: Duration::from_millis(1000),
+        });
+        for i in 0..200u64 {
+            let t = inst((i as i64 + 1) * 100 + ((i % 5) as i64) * 3);
+            bertier.heartbeat(i, t);
+            chen.heartbeat(i, t);
+        }
+        // Bertier's learned margin is far below a 1 s constant margin.
+        assert!(bertier.freshness_point().unwrap() < chen.freshness_point().unwrap());
+    }
+
+    #[test]
+    fn warmup_trusts() {
+        let fd = fd();
+        assert_eq!(fd.freshness_point(), None);
+        assert!(!fd.is_suspect(inst(1_000_000)));
+    }
+
+    #[test]
+    fn reset_clears_both_estimators() {
+        let mut fd = fd();
+        for i in 0..50u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100 + (i as i64 % 7)));
+        }
+        fd.reset();
+        assert_eq!(fd.freshness_point(), None);
+        assert_eq!(fd.margin_estimator().observations(), 0);
+    }
+
+    #[test]
+    fn stale_heartbeat_does_not_update_margin() {
+        let mut fd = fd();
+        for i in 0..50u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100));
+        }
+        let obs = fd.margin_estimator().observations();
+        fd.heartbeat(10, inst(10_000)); // stale
+        assert_eq!(fd.margin_estimator().observations(), obs);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BertierConfig::default().validate().is_ok());
+        assert!(BertierConfig { window: 0, ..Default::default() }.validate().is_err());
+        let bad = BertierConfig {
+            jacobson: JacobsonConfig { gamma: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = BertierConfig {
+            jacobson: JacobsonConfig { beta: -1.0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

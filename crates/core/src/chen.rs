@@ -1,0 +1,220 @@
+//! Chen FD — the adaptive detector of Chen, Toueg & Aguilera
+//! (*On the quality of service of failure detectors*, IEEE ToC 2002;
+//! paper Sec. III, Eqs. 2–3).
+//!
+//! The next freshness point is the estimated arrival of the next heartbeat
+//! plus a **constant** safety margin chosen by the operator:
+//!
+//! ```text
+//! τ(k+1) = EA(k+1) + α
+//! ```
+//!
+//! Sweeping `α` from small to large moves the detector from aggressive
+//! (fast, mistake-prone) to conservative (slow, accurate); the paper sweeps
+//! `α ∈ [0, 10000]` ms in its experiments.
+
+use crate::detector::{DetectorKind, FailureDetector};
+use crate::error::{CoreError, CoreResult};
+use crate::estimate::ChenEstimator;
+use crate::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`ChenFd`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChenConfig {
+    /// Sliding-window size `n` (paper experiments: 1000).
+    pub window: usize,
+    /// Nominal heartbeat sending interval `Δ`.
+    pub expected_interval: Duration,
+    /// Constant safety margin `α`.
+    pub alpha: Duration,
+}
+
+impl Default for ChenConfig {
+    fn default() -> Self {
+        ChenConfig {
+            window: 1000,
+            expected_interval: Duration::from_millis(100),
+            alpha: Duration::from_millis(200),
+        }
+    }
+}
+
+impl ChenConfig {
+    /// Validate field domains.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.window == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "window",
+                reason: "window size must be positive".into(),
+            });
+        }
+        if self.expected_interval <= Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "expected_interval",
+                reason: "heartbeat interval must be positive".into(),
+            });
+        }
+        if self.alpha < Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "alpha",
+                reason: "safety margin must be non-negative".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Chen's constant-safety-margin adaptive failure detector.
+#[derive(Debug, Clone)]
+pub struct ChenFd {
+    cfg: ChenConfig,
+    estimator: ChenEstimator,
+}
+
+impl ChenFd {
+    /// Create a detector from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`ChenConfig::validate`] first when the values are untrusted.
+    pub fn new(cfg: ChenConfig) -> Self {
+        cfg.validate().expect("invalid ChenConfig");
+        let estimator = ChenEstimator::new(cfg.window, cfg.expected_interval);
+        ChenFd { cfg, estimator }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ChenConfig {
+        self.cfg
+    }
+
+    /// Change the safety margin `α` (used by parameter sweeps).
+    pub fn set_alpha(&mut self, alpha: Duration) {
+        self.cfg.alpha = alpha.max_zero();
+    }
+
+    /// The arrival estimator (read-only), exposed for diagnostics.
+    pub fn estimator(&self) -> &ChenEstimator {
+        &self.estimator
+    }
+
+    /// Expected arrival of the next heartbeat, `EA(k+1)`.
+    pub fn next_expected_arrival(&self) -> Option<Instant> {
+        self.estimator.next_expected_arrival()
+    }
+}
+
+impl FailureDetector for ChenFd {
+    fn heartbeat(&mut self, seq: u64, arrival: Instant) {
+        self.estimator.record(seq, arrival);
+    }
+
+    fn freshness_point(&self) -> Option<Instant> {
+        Some(self.estimator.next_expected_arrival()? + self.cfg.alpha)
+    }
+
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Chen
+    }
+
+    fn reset(&mut self) {
+        self.estimator.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn periodic_fd(alpha_ms: i64) -> ChenFd {
+        let mut fd = ChenFd::new(ChenConfig {
+            window: 10,
+            expected_interval: Duration::from_millis(100),
+            alpha: Duration::from_millis(alpha_ms),
+        });
+        for i in 0..20u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100));
+        }
+        fd
+    }
+
+    #[test]
+    fn freshness_point_is_ea_plus_alpha() {
+        let fd = periodic_fd(50);
+        // Last heartbeat: seq 19 at 2000 ms → EA(20) = 2100, τ = 2150.
+        assert_eq!(fd.freshness_point(), Some(inst(2150)));
+        assert!(!fd.is_suspect(inst(2150)));
+        assert!(fd.is_suspect(inst(2151)));
+    }
+
+    #[test]
+    fn larger_alpha_is_more_conservative() {
+        let fast = periodic_fd(10);
+        let slow = periodic_fd(500);
+        assert!(slow.freshness_point().unwrap() > fast.freshness_point().unwrap());
+        let t = inst(2200);
+        assert!(fast.is_suspect(t));
+        assert!(!slow.is_suspect(t));
+    }
+
+    #[test]
+    fn trusts_during_warmup() {
+        let fd = ChenFd::new(ChenConfig::default());
+        assert_eq!(fd.freshness_point(), None);
+        assert!(!fd.is_suspect(inst(1_000_000)));
+    }
+
+    #[test]
+    fn recovers_after_late_heartbeat() {
+        let mut fd = periodic_fd(50);
+        // τ = 2150; heartbeat 20 arrives 20 ms past its expectation.
+        assert!(fd.is_suspect(inst(2160)));
+        fd.heartbeat(20, inst(2170));
+        // Window {11..=20}: shifted mean = (9·100 + 170)/10 = 107 ms
+        // → EA(21) = 2207, τ = 2257.
+        assert_eq!(fd.freshness_point(), Some(inst(2257)));
+        assert!(!fd.is_suspect(inst(2200)));
+        assert!(fd.is_suspect(inst(2258)));
+    }
+
+    #[test]
+    fn ignores_stale_heartbeats() {
+        let mut fd = periodic_fd(50);
+        let fp = fd.freshness_point();
+        fd.heartbeat(5, inst(2400)); // stale duplicate of old seq
+        assert_eq!(fd.freshness_point(), fp);
+    }
+
+    #[test]
+    fn set_alpha_applies_immediately() {
+        let mut fd = periodic_fd(50);
+        fd.set_alpha(Duration::from_millis(300));
+        assert_eq!(fd.freshness_point(), Some(inst(2400)));
+        fd.set_alpha(Duration::from_millis(-10));
+        assert_eq!(fd.config().alpha, Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_returns_to_warmup() {
+        let mut fd = periodic_fd(50);
+        fd.reset();
+        assert_eq!(fd.freshness_point(), None);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ChenConfig::default().validate().is_ok());
+        assert!(ChenConfig { window: 0, ..Default::default() }.validate().is_err());
+        assert!(ChenConfig { expected_interval: Duration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(ChenConfig { alpha: Duration::from_millis(-1), ..Default::default() }
+            .validate()
+            .is_err());
+    }
+}

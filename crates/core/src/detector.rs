@@ -1,0 +1,166 @@
+//! Detector traits.
+//!
+//! All detectors in the paper share one input interface — heartbeat
+//! arrivals tagged with a sequence number — and differ in their *output*
+//! interface:
+//!
+//! * Timeout-based detectors (Chen, Bertier) answer a **binary** question:
+//!   trusted or suspected *now*.
+//! * Accrual detectors (φ, SFD) output a continuous **suspicion level**
+//!   that applications threshold themselves (paper footnote 3 and
+//!   Sec. IV-C1: Monitoring / Interpretation / Action).
+//!
+//! [`FailureDetector`] is the common input + binary-query surface (an
+//! accrual detector is also binary once a default threshold is fixed);
+//! [`AccrualDetector`] adds the continuous output. The replay-based QoS
+//! evaluator in `sfd-qos` only needs [`FailureDetector`].
+
+use crate::qos::{QosMeasured, QosSpec};
+use crate::time::Instant;
+use serde::{Deserialize, Serialize};
+
+/// Which detector scheme an object implements; used for labelling
+/// experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Chen, Toueg & Aguilera's constant-margin adaptive detector.
+    Chen,
+    /// Bertier, Marin & Sens' Jacobson-margin detector.
+    Bertier,
+    /// Hayashibara et al.'s φ accrual detector.
+    Phi,
+    /// The paper's self-tuning detector.
+    Sfd,
+}
+
+impl DetectorKind {
+    /// Human-readable name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectorKind::Chen => "Chen FD",
+            DetectorKind::Bertier => "Bertier FD",
+            DetectorKind::Phi => "phi FD",
+            DetectorKind::Sfd => "SFD",
+        }
+    }
+
+    /// All four kinds, in the order the paper lists them.
+    pub fn all() -> [DetectorKind; 4] {
+        [DetectorKind::Sfd, DetectorKind::Chen, DetectorKind::Bertier, DetectorKind::Phi]
+    }
+}
+
+impl std::fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Common interface of every heartbeat failure detector.
+///
+/// The monitor process `q` drives this: each received heartbeat is passed
+/// to [`heartbeat`](FailureDetector::heartbeat); at any instant the
+/// application may ask whether the monitored process `p` is currently
+/// suspected.
+pub trait FailureDetector {
+    /// Record the arrival of heartbeat `seq` at instant `arrival`
+    /// (monitor-local clock). Implementations must tolerate gaps in `seq`
+    /// (lost messages) and silently ignore stale/reordered heartbeats.
+    fn heartbeat(&mut self, seq: u64, arrival: Instant);
+
+    /// The current *freshness point* `τ`: the instant at which, absent any
+    /// further heartbeat, the detector transitions (or transitioned) to
+    /// suspicion. `None` while the detector is still warming up — during
+    /// warm-up the detector trusts unconditionally.
+    ///
+    /// For a binary detector this is exactly the timeout expiry of paper
+    /// Fig. 2; for an accrual detector it is the instant its suspicion
+    /// level crosses the configured default threshold.
+    fn freshness_point(&self) -> Option<Instant>;
+
+    /// Does the detector suspect the monitored process at `now`?
+    ///
+    /// Default: suspect iff the freshness point has passed.
+    fn is_suspect(&self, now: Instant) -> bool {
+        match self.freshness_point() {
+            Some(fp) => now > fp,
+            None => false,
+        }
+    }
+
+    /// Which scheme this is.
+    fn kind(&self) -> DetectorKind;
+
+    /// Forget all learned state (monitored process restarted).
+    fn reset(&mut self);
+}
+
+/// Continuous-output (accrual) failure detection (paper refs [30–31]).
+///
+/// The suspicion level is non-negative, zero (or near zero) right after a
+/// heartbeat, and non-decreasing while no heartbeat arrives; applications
+/// trigger increasingly drastic actions as it passes their own thresholds.
+pub trait AccrualDetector: FailureDetector {
+    /// Current suspicion level at `now`.
+    fn suspicion(&self, now: Instant) -> f64;
+
+    /// The threshold [`FailureDetector::is_suspect`] compares against.
+    fn default_threshold(&self) -> f64;
+}
+
+/// A detector whose parameters adjust themselves from output-QoS feedback
+/// (the paper's Sec. IV-A general method).
+pub trait SelfTuning {
+    /// The QoS requirement the detector is tuning towards.
+    fn qos_spec(&self) -> QosSpec;
+
+    /// Feed back the output QoS measured over the last epoch; the detector
+    /// adjusts its parameters per Algorithm 1 and reports what it did.
+    fn apply_feedback(&mut self, measured: &QosMeasured) -> crate::feedback::FeedbackDecision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// Minimal fixed-timeout detector to exercise the trait defaults.
+    struct FixedTimeout {
+        last: Option<Instant>,
+        timeout: Duration,
+    }
+
+    impl FailureDetector for FixedTimeout {
+        fn heartbeat(&mut self, _seq: u64, arrival: Instant) {
+            self.last = Some(arrival);
+        }
+        fn freshness_point(&self) -> Option<Instant> {
+            self.last.map(|t| t + self.timeout)
+        }
+        fn kind(&self) -> DetectorKind {
+            DetectorKind::Chen
+        }
+        fn reset(&mut self) {
+            self.last = None;
+        }
+    }
+
+    #[test]
+    fn default_is_suspect_uses_freshness_point() {
+        let mut fd = FixedTimeout { last: None, timeout: Duration::from_millis(100) };
+        assert!(!fd.is_suspect(Instant::from_millis(1_000_000)));
+        fd.heartbeat(0, Instant::from_millis(100));
+        assert!(!fd.is_suspect(Instant::from_millis(150)));
+        assert!(!fd.is_suspect(Instant::from_millis(200))); // boundary: not yet past
+        assert!(fd.is_suspect(Instant::from_millis(201)));
+        fd.reset();
+        assert!(!fd.is_suspect(Instant::from_millis(201)));
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(DetectorKind::Chen.label(), "Chen FD");
+        assert_eq!(DetectorKind::Sfd.to_string(), "SFD");
+        assert_eq!(DetectorKind::all().len(), 4);
+    }
+}

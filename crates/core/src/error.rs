@@ -1,0 +1,59 @@
+//! Error types for `sfd-core`.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors produced while configuring or driving a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration field was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable explanation of the constraint.
+        reason: String,
+    },
+    /// The requested QoS cannot be satisfied by this detector on the
+    /// current network — Algorithm 1's "give a response" branch.
+    QosInfeasible {
+        /// Explanation of which targets conflict.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            CoreError::QosInfeasible { detail } => {
+                write!(f, "QoS requirement infeasible: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::InvalidConfig { field: "alpha", reason: "must be positive".into() };
+        assert_eq!(e.to_string(), "invalid configuration for `alpha`: must be positive");
+        let e = CoreError::QosInfeasible { detail: "TD and MR both violated".into() };
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        let e = CoreError::QosInfeasible { detail: String::new() };
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,309 @@
+//! Arrival-time estimators shared by the detectors.
+//!
+//! * [`ChenEstimator`] — the expected-arrival estimator of Chen, Toueg &
+//!   Aguilera (paper Eq. 2): average the window's *shifted* arrival times
+//!   `A_i − i·Δ` and project to the next sequence number. Used by Chen FD,
+//!   Bertier FD and SFD.
+//! * [`JacobsonEstimator`] — the RTT-style error smoother Bertier layers on
+//!   top (paper Eqs. 4–7), directly analogous to TCP's RTO estimation
+//!   (Jacobson, SIGCOMM '88).
+
+use crate::time::{Duration, Instant};
+use crate::window::ArrivalWindow;
+use serde::{Deserialize, Serialize};
+
+/// Chen's expected-arrival-time estimator (paper Eq. 2).
+///
+/// ```text
+/// EA(k+1) = (1/n) Σ_{i∈window} (A_i − Δ·i)  +  (k+1)·Δ
+/// ```
+///
+/// The estimator is driven by recording heartbeat arrivals; it answers
+/// with the expected arrival instant of any future sequence number.
+#[derive(Debug, Clone)]
+pub struct ChenEstimator {
+    window: ArrivalWindow,
+}
+
+impl ChenEstimator {
+    /// Create an estimator over a window of `window` samples for heartbeats
+    /// sent every `interval`.
+    pub fn new(window: usize, interval: Duration) -> Self {
+        ChenEstimator { window: ArrivalWindow::new(window, interval) }
+    }
+
+    /// Nominal sending interval `Δ`.
+    pub fn interval(&self) -> Duration {
+        self.window.interval()
+    }
+
+    /// Underlying arrival window (read-only).
+    pub fn window(&self) -> &ArrivalWindow {
+        &self.window
+    }
+
+    /// Record the arrival of heartbeat `seq` at `arrival`.
+    /// Returns `false` for stale (out-of-order) heartbeats, which are
+    /// ignored.
+    pub fn record(&mut self, seq: u64, arrival: Instant) -> bool {
+        self.window.record(seq, arrival)
+    }
+
+    /// Number of samples currently contributing to the estimate.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Sequence number of the most recent recorded heartbeat.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.window.last().map(|s| s.seq)
+    }
+
+    /// Arrival instant of the most recent recorded heartbeat.
+    pub fn last_arrival(&self) -> Option<Instant> {
+        self.window.last().map(|s| s.arrival)
+    }
+
+    /// Expected arrival instant `EA(seq)` of heartbeat `seq`, or `None`
+    /// before any heartbeat has been observed.
+    pub fn expected_arrival(&self, seq: u64) -> Option<Instant> {
+        let base = self.window.shifted_mean_secs()?;
+        let ea = base + seq as f64 * self.window.interval().as_secs_f64();
+        Some(Instant::from_secs_f64(ea))
+    }
+
+    /// Expected arrival of the heartbeat *after* the most recent one — the
+    /// `EA(k+1)` that the timeout-based detectors add their margin to.
+    pub fn next_expected_arrival(&self) -> Option<Instant> {
+        let last = self.window.last()?;
+        self.expected_arrival(last.seq + 1)
+    }
+
+    /// Empirical mean inter-arrival time over the window (falls back to the
+    /// nominal interval until two samples exist).
+    pub fn mean_interarrival(&self) -> Duration {
+        self.window.mean_interarrival().unwrap_or_else(|| self.window.interval())
+    }
+
+    /// Forget all samples (used when a monitored process is restarted).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Configuration of the Jacobson margin estimator (paper Eqs. 4–7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JacobsonConfig {
+    /// Weight of a new error observation (`γ`, paper default 0.1).
+    pub gamma: f64,
+    /// Weight of the smoothed delay in the margin (`β`, paper default 1.0).
+    pub beta: f64,
+    /// Weight of the error magnitude in the margin (`φ`, paper default 4.0).
+    pub phi: f64,
+}
+
+impl Default for JacobsonConfig {
+    fn default() -> Self {
+        // "Typical values of β, φ and γ are 1, 4 and 0.1" (paper Sec. III).
+        JacobsonConfig { gamma: 0.1, beta: 1.0, phi: 4.0 }
+    }
+}
+
+/// Jacobson-style smoother producing Bertier's dynamic safety margin `α`.
+///
+/// ```text
+/// error_k     = A_k − EA_k − delay_k
+/// delay_{k+1} = delay_k + γ·error_k
+/// var_{k+1}   = var_k + γ·(|error_k| − var_k)
+/// α_{k+1}     = β·delay_{k+1} + φ·var_k
+/// ```
+///
+/// (The paper's Eq. 7 uses `var_k`, i.e. the magnitude estimate *before*
+/// this observation; we follow the paper.)
+#[derive(Debug, Clone)]
+pub struct JacobsonEstimator {
+    cfg: JacobsonConfig,
+    delay: f64,
+    var: f64,
+    margin: f64,
+    observations: u64,
+}
+
+impl JacobsonEstimator {
+    /// Create an estimator with the given weights and zero initial state.
+    pub fn new(cfg: JacobsonConfig) -> Self {
+        JacobsonEstimator { cfg, delay: 0.0, var: 0.0, margin: 0.0, observations: 0 }
+    }
+
+    /// The configured weights.
+    pub fn config(&self) -> JacobsonConfig {
+        self.cfg
+    }
+
+    /// Fold in one observation: actual arrival vs. expected arrival.
+    /// Returns the updated margin `α`.
+    pub fn observe(&mut self, arrival: Instant, expected: Instant) -> Duration {
+        let error = (arrival - expected).as_secs_f64() - self.delay;
+        let prev_var = self.var;
+        self.delay += self.cfg.gamma * error;
+        self.var += self.cfg.gamma * (error.abs() - self.var);
+        self.margin = self.cfg.beta * self.delay + self.cfg.phi * prev_var;
+        self.observations += 1;
+        self.margin_duration()
+    }
+
+    /// Current margin `α` (never negative: a negative margin would mean
+    /// suspecting heartbeats *before* their expected arrival).
+    pub fn margin_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.margin.max(0.0))
+    }
+
+    /// Raw (possibly negative) margin in seconds, for diagnostics.
+    pub fn raw_margin_secs(&self) -> f64 {
+        self.margin
+    }
+
+    /// Smoothed estimation error ("delay" in the paper), seconds.
+    pub fn smoothed_delay_secs(&self) -> f64 {
+        self.delay
+    }
+
+    /// Smoothed error magnitude ("var" in the paper), seconds.
+    pub fn error_magnitude_secs(&self) -> f64 {
+        self.var
+    }
+
+    /// Number of observations folded in.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Reset to the zero state.
+    pub fn reset(&mut self) {
+        self.delay = 0.0;
+        self.var = 0.0;
+        self.margin = 0.0;
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn chen_exact_on_periodic_arrivals() {
+        let delta = Duration::from_millis(100);
+        let mut est = ChenEstimator::new(10, delta);
+        // A_i = (i+1)*100ms + 7ms constant delay offset.
+        for i in 0..20u64 {
+            est.record(i, inst((i as i64 + 1) * 100 + 7));
+        }
+        let ea = est.next_expected_arrival().unwrap();
+        assert_eq!(ea, inst(21 * 100 + 7));
+        assert_eq!(est.mean_interarrival(), delta);
+        assert_eq!(est.last_seq(), Some(19));
+    }
+
+    #[test]
+    fn chen_averages_jitter() {
+        let delta = Duration::from_millis(100);
+        let mut est = ChenEstimator::new(4, delta);
+        // Alternating ±4 ms jitter averages out.
+        for i in 0..8u64 {
+            let j = if i % 2 == 0 { 4 } else { -4 };
+            est.record(i, inst((i as i64 + 1) * 100 + j));
+        }
+        let ea = est.next_expected_arrival().unwrap();
+        assert_eq!(ea, inst(900));
+    }
+
+    #[test]
+    fn chen_handles_sequence_gaps() {
+        let delta = Duration::from_millis(100);
+        let mut est = ChenEstimator::new(10, delta);
+        est.record(0, inst(100));
+        est.record(1, inst(200));
+        // 2, 3 lost.
+        est.record(4, inst(500));
+        let ea = est.expected_arrival(5).unwrap();
+        assert_eq!(ea, inst(600));
+    }
+
+    #[test]
+    fn chen_empty_has_no_estimate() {
+        let est = ChenEstimator::new(10, Duration::from_millis(100));
+        assert!(est.next_expected_arrival().is_none());
+        assert!(est.expected_arrival(3).is_none());
+        assert!(est.last_arrival().is_none());
+    }
+
+    #[test]
+    fn chen_reset_clears_state() {
+        let mut est = ChenEstimator::new(10, Duration::from_millis(100));
+        est.record(0, inst(100));
+        est.reset();
+        assert_eq!(est.samples(), 0);
+        assert!(est.next_expected_arrival().is_none());
+    }
+
+    #[test]
+    fn jacobson_converges_on_constant_error() {
+        let mut j = JacobsonEstimator::new(JacobsonConfig::default());
+        // Heartbeats always arrive exactly 20 ms later than expected.
+        for k in 0..2000 {
+            let expected = inst(k * 100);
+            let arrival = expected + Duration::from_millis(20);
+            j.observe(arrival, expected);
+        }
+        // delay → 0.020 s; error → 0 so var → 0; margin → β·0.020.
+        assert!((j.smoothed_delay_secs() - 0.020).abs() < 1e-6);
+        assert!(j.error_magnitude_secs() < 1e-6);
+        let m = j.margin_duration().as_secs_f64();
+        assert!((m - 0.020).abs() < 1e-5, "margin {m}");
+    }
+
+    #[test]
+    fn jacobson_margin_grows_with_jitter() {
+        let mut calm = JacobsonEstimator::new(JacobsonConfig::default());
+        let mut noisy = JacobsonEstimator::new(JacobsonConfig::default());
+        for k in 0..1000i64 {
+            let expected = inst(k * 100);
+            calm.observe(expected + Duration::from_millis(10), expected);
+            let jitter = if k % 2 == 0 { 40 } else { -20 };
+            noisy.observe(expected + Duration::from_millis(10 + jitter), expected);
+        }
+        assert!(
+            noisy.margin_duration() > calm.margin_duration(),
+            "noisy {} <= calm {}",
+            noisy.margin_duration(),
+            calm.margin_duration()
+        );
+    }
+
+    #[test]
+    fn jacobson_margin_never_negative() {
+        let mut j = JacobsonEstimator::new(JacobsonConfig::default());
+        // Arrivals consistently earlier than expected drive delay negative.
+        for k in 0..100i64 {
+            let expected = inst(k * 100);
+            j.observe(expected - Duration::from_millis(30), expected);
+        }
+        assert!(j.raw_margin_secs() < 0.0 || j.error_magnitude_secs() > 0.0);
+        assert!(j.margin_duration() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn jacobson_reset() {
+        let mut j = JacobsonEstimator::new(JacobsonConfig::default());
+        j.observe(inst(130), inst(100));
+        assert_eq!(j.observations(), 1);
+        j.reset();
+        assert_eq!(j.observations(), 0);
+        assert_eq!(j.margin_duration(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,407 @@
+//! The self-tuning feedback controller (paper Sec. IV-A/IV-B, Algorithm 1).
+//!
+//! Each feedback epoch compares the *measured* output QoS against the
+//! user's requirement and emits `Sat_k{QoS, QoS̄} ∈ {+β, 0, −β}` (paper
+//! Eq. 13); the safety margin is then updated as
+//!
+//! ```text
+//! SM(k+1) = SM(k) + Sat_k · α          (paper Eq. 12)
+//! ```
+//!
+//! Decision table (Algorithm 1, with overlines denoting targets — see
+//! DESIGN.md for the OCR note):
+//!
+//! | speed (`T_D ≤ T̄_D`) | accuracy (`MR ≤ M̄R ∧ QAP ≥ Q̄AP`) | `Sat_k` |
+//! |---|---|---|
+//! | ok       | bad | `+β` — grow the margin, trading speed for accuracy |
+//! | ok       | ok  | `0` — stable, parameters match the network |
+//! | bad      | ok  | `−β` — shrink the margin, trading accuracy for speed |
+//! | bad      | bad | infeasible: "this SFD can not satisfy the QoS" |
+
+use crate::error::{CoreError, CoreResult};
+use crate::qos::{QosMeasured, QosSpec};
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// The paper's `Sat_k{QoS, QoS̄}` control signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sat {
+    /// `+β`: output accuracy is below requirement and there is speed slack —
+    /// increase the safety margin.
+    Increase,
+    /// `0`: all three targets met — hold parameters.
+    Hold,
+    /// `−β`: detection is too slow and there is accuracy slack — decrease
+    /// the safety margin.
+    Decrease,
+}
+
+/// Outcome of one feedback epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeedbackDecision {
+    /// The margin was adjusted (or deliberately held).
+    Adjusted {
+        /// The control signal that was applied.
+        sat: Sat,
+        /// The safety margin after the update.
+        margin: Duration,
+    },
+    /// Both the speed and the accuracy requirement are violated at once:
+    /// no margin value can fix this network/requirement pair (Algorithm 1
+    /// line 14, "give a response").
+    Infeasible {
+        /// Diagnostic: the measured QoS that triggered the verdict.
+        measured: QosMeasured,
+    },
+}
+
+impl FeedbackDecision {
+    /// `true` if this epoch concluded the requirement is unachievable.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, FeedbackDecision::Infeasible { .. })
+    }
+
+    /// The applied control signal, if the epoch was feasible.
+    pub fn sat(&self) -> Option<Sat> {
+        match self {
+            FeedbackDecision::Adjusted { sat, .. } => Some(*sat),
+            FeedbackDecision::Infeasible { .. } => None,
+        }
+    }
+}
+
+/// Configuration of the feedback controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// Step scale `α` (the paper reuses Chen's constant-margin symbol; the
+    /// per-epoch margin change is `α·β`).
+    pub alpha: Duration,
+    /// Adjustment rate `β ∈ (0, 1]` — "the value β is for the adjusting
+    /// rate, and it could be dynamically chosen by users".
+    pub beta: f64,
+    /// Lower clamp for the margin (a negative margin would suspect
+    /// heartbeats before their expected arrival).
+    pub min_margin: Duration,
+    /// Upper clamp for the margin; prevents unbounded growth when the
+    /// accuracy target is unreachable but the speed target still has slack.
+    pub max_margin: Duration,
+    /// Number of consecutive infeasible epochs tolerated before reporting
+    /// infeasibility (1 = report immediately, as in Algorithm 1; larger
+    /// values ride out loss bursts).
+    pub infeasible_tolerance: u32,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            alpha: Duration::from_millis(100),
+            beta: 0.5,
+            min_margin: Duration::ZERO,
+            max_margin: Duration::from_secs(30),
+            infeasible_tolerance: 1,
+        }
+    }
+}
+
+impl FeedbackConfig {
+    /// Validate field domains.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.alpha <= Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "alpha",
+                reason: "step scale must be positive".into(),
+            });
+        }
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "beta",
+                reason: "adjusting rate must lie in (0, 1]".into(),
+            });
+        }
+        if self.min_margin > self.max_margin {
+            return Err(CoreError::InvalidConfig {
+                field: "min_margin",
+                reason: "min_margin must not exceed max_margin".into(),
+            });
+        }
+        if self.infeasible_tolerance == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "infeasible_tolerance",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Stateful implementation of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackController {
+    spec: QosSpec,
+    cfg: FeedbackConfig,
+    margin: Duration,
+    epochs: u64,
+    stable_epochs: u64,
+    consecutive_infeasible: u32,
+}
+
+impl FeedbackController {
+    /// Create a controller targeting `spec`, starting from margin
+    /// `initial_margin` (`SM₁` in the paper).
+    pub fn new(spec: QosSpec, cfg: FeedbackConfig, initial_margin: Duration) -> CoreResult<Self> {
+        cfg.validate()?;
+        let margin = initial_margin.max(cfg.min_margin).min(cfg.max_margin);
+        Ok(FeedbackController {
+            spec,
+            cfg,
+            margin,
+            epochs: 0,
+            stable_epochs: 0,
+            consecutive_infeasible: 0,
+        })
+    }
+
+    /// The QoS requirement being tracked.
+    pub fn spec(&self) -> QosSpec {
+        self.spec
+    }
+
+    /// Replace the requirement (applications may renegotiate QoS at run
+    /// time); resets the stability counters.
+    pub fn set_spec(&mut self, spec: QosSpec) {
+        self.spec = spec;
+        self.stable_epochs = 0;
+        self.consecutive_infeasible = 0;
+    }
+
+    /// The current safety margin `SM`.
+    pub fn margin(&self) -> Duration {
+        self.margin
+    }
+
+    /// Override the margin (e.g. when sweeping `SM₁` in experiments).
+    pub fn set_margin(&mut self, margin: Duration) {
+        self.margin = margin.max(self.cfg.min_margin).min(self.cfg.max_margin);
+    }
+
+    /// Number of feedback epochs processed.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Number of epochs (total, not consecutive) in which all targets held.
+    pub fn stable_epochs(&self) -> u64 {
+        self.stable_epochs
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> FeedbackConfig {
+        self.cfg
+    }
+
+    /// Classify one epoch's measurement into the `Sat` signal without
+    /// mutating state; `None` means infeasible.
+    pub fn classify(&self, measured: &QosMeasured) -> Option<Sat> {
+        let speed_ok = measured.speed_ok(&self.spec);
+        let accuracy_ok = measured.accuracy_ok(&self.spec);
+        match (speed_ok, accuracy_ok) {
+            (true, true) => Some(Sat::Hold),
+            (true, false) => Some(Sat::Increase),
+            (false, true) => Some(Sat::Decrease),
+            (false, false) => None,
+        }
+    }
+
+    /// Process one epoch: update `SM` per Eqs. 12–13 and report.
+    pub fn step(&mut self, measured: &QosMeasured) -> FeedbackDecision {
+        self.epochs += 1;
+        match self.classify(measured) {
+            None => {
+                self.consecutive_infeasible += 1;
+                if self.consecutive_infeasible >= self.cfg.infeasible_tolerance {
+                    return FeedbackDecision::Infeasible { measured: *measured };
+                }
+                // Tolerated: hold parameters this epoch.
+                FeedbackDecision::Adjusted { sat: Sat::Hold, margin: self.margin }
+            }
+            Some(sat) => {
+                self.consecutive_infeasible = 0;
+                let step = self.cfg.alpha.mul_f64(self.cfg.beta);
+                match sat {
+                    Sat::Increase => self.margin = self.margin.saturating_add(step),
+                    Sat::Decrease => self.margin = self.margin.saturating_sub(step),
+                    Sat::Hold => self.stable_epochs += 1,
+                }
+                self.margin = self.margin.max(self.cfg.min_margin).min(self.cfg.max_margin);
+                FeedbackDecision::Adjusted { sat, margin: self.margin }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> QosSpec {
+        QosSpec::new(Duration::from_millis(500), 0.01, 0.99).unwrap()
+    }
+
+    fn meas(td_ms: i64, mr: f64, qap: f64) -> QosMeasured {
+        QosMeasured {
+            detection_time: Duration::from_millis(td_ms),
+            mistake_rate: mr,
+            query_accuracy: qap,
+            ..QosMeasured::empty()
+        }
+    }
+
+    fn controller(initial_ms: i64) -> FeedbackController {
+        FeedbackController::new(
+            spec(),
+            FeedbackConfig { alpha: Duration::from_millis(100), beta: 0.5, ..Default::default() },
+            Duration::from_millis(initial_ms),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = FeedbackConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.beta = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.beta = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg = FeedbackConfig { alpha: Duration::ZERO, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        cfg = FeedbackConfig {
+            min_margin: Duration::from_secs(60),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg = FeedbackConfig { infeasible_tolerance: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn accuracy_violation_grows_margin() {
+        let mut c = controller(100);
+        // Fast but sloppy: TD fine, MR too high.
+        let d = c.step(&meas(200, 0.5, 0.95));
+        assert_eq!(d.sat(), Some(Sat::Increase));
+        assert_eq!(c.margin(), Duration::from_millis(150));
+    }
+
+    #[test]
+    fn speed_violation_shrinks_margin() {
+        let mut c = controller(1000);
+        // Accurate but slow.
+        let d = c.step(&meas(800, 0.0, 1.0));
+        assert_eq!(d.sat(), Some(Sat::Decrease));
+        assert_eq!(c.margin(), Duration::from_millis(950));
+    }
+
+    #[test]
+    fn satisfied_holds_margin() {
+        let mut c = controller(300);
+        let d = c.step(&meas(400, 0.001, 0.999));
+        assert_eq!(d.sat(), Some(Sat::Hold));
+        assert_eq!(c.margin(), Duration::from_millis(300));
+        assert_eq!(c.stable_epochs(), 1);
+    }
+
+    #[test]
+    fn double_violation_is_infeasible() {
+        let mut c = controller(300);
+        let d = c.step(&meas(900, 0.5, 0.5));
+        assert!(d.is_infeasible());
+        assert_eq!(d.sat(), None);
+    }
+
+    #[test]
+    fn infeasible_tolerance_rides_out_bursts() {
+        let mut c = FeedbackController::new(
+            spec(),
+            FeedbackConfig { infeasible_tolerance: 3, ..Default::default() },
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        assert!(!c.step(&meas(900, 0.5, 0.5)).is_infeasible());
+        assert!(!c.step(&meas(900, 0.5, 0.5)).is_infeasible());
+        assert!(c.step(&meas(900, 0.5, 0.5)).is_infeasible());
+        // A good epoch resets the streak.
+        let mut c2 = FeedbackController::new(
+            spec(),
+            FeedbackConfig { infeasible_tolerance: 2, ..Default::default() },
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        assert!(!c2.step(&meas(900, 0.5, 0.5)).is_infeasible());
+        assert_eq!(c2.step(&meas(400, 0.0, 1.0)).sat(), Some(Sat::Hold));
+        assert!(!c2.step(&meas(900, 0.5, 0.5)).is_infeasible());
+    }
+
+    #[test]
+    fn margin_clamped_to_bounds() {
+        let cfg = FeedbackConfig {
+            alpha: Duration::from_millis(100),
+            beta: 1.0,
+            min_margin: Duration::from_millis(50),
+            max_margin: Duration::from_millis(250),
+            infeasible_tolerance: 1,
+        };
+        let mut c = FeedbackController::new(spec(), cfg, Duration::from_millis(200)).unwrap();
+        c.step(&meas(200, 0.5, 0.95)); // +100 → clamp 250
+        assert_eq!(c.margin(), Duration::from_millis(250));
+        c.step(&meas(800, 0.0, 1.0)); // −100 → 150
+        c.step(&meas(800, 0.0, 1.0)); // −100 → clamp 50
+        c.step(&meas(800, 0.0, 1.0));
+        assert_eq!(c.margin(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn initial_margin_is_clamped() {
+        let cfg = FeedbackConfig {
+            min_margin: Duration::from_millis(10),
+            max_margin: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let c = FeedbackController::new(spec(), cfg, Duration::from_secs(5)).unwrap();
+        assert_eq!(c.margin(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn convergence_from_below() {
+        // Simulated plant: larger margin → slower detection, fewer
+        // mistakes. MR = 2·exp(−margin/50ms); TD = 100ms + margin.
+        let plant = |margin: Duration| {
+            let m = margin.as_millis_f64();
+            meas((100.0 + m) as i64, 2.0 * (-m / 50.0).exp(), 1.0 - 0.01 * (-m / 50.0).exp())
+        };
+        let mut c = controller(0);
+        let mut verdict = None;
+        for _ in 0..200 {
+            let d = c.step(&plant(c.margin()));
+            if d.sat() == Some(Sat::Hold) {
+                verdict = Some(c.margin());
+                break;
+            }
+        }
+        let m = verdict.expect("controller should stabilise");
+        // Needs exp(−m/50) ≤ 0.005 → m ≥ 50·ln(400) ≈ 300 ms, and
+        // TD = 100+m ≤ 500 → m ≤ 400 ms.
+        assert!(m >= Duration::from_millis(295) && m <= Duration::from_millis(400), "{m}");
+    }
+
+    #[test]
+    fn set_spec_resets_counters() {
+        let mut c = controller(300);
+        c.step(&meas(400, 0.0, 1.0));
+        assert_eq!(c.stable_epochs(), 1);
+        c.set_spec(QosSpec::new(Duration::from_millis(100), 0.01, 0.99).unwrap());
+        assert_eq!(c.epochs(), 1);
+        // Now too slow → decrease.
+        assert_eq!(c.step(&meas(400, 0.0, 1.0)).sat(), Some(Sat::Decrease));
+    }
+}

@@ -1,0 +1,154 @@
+//! Time-series gap filling for lost heartbeats (paper Sec. IV-C2).
+//!
+//! The communication delay of a *lost* heartbeat cannot be observed, yet
+//! SFD's sampling window should not silently skip it — a loss burst would
+//! otherwise leave the window stale. Following the paper (which follows
+//! Nunes & Jansch-Pôrto's time-series modelling, ref [18]), the gap left by
+//! lost heartbeat `i` is filled with
+//!
+//! ```text
+//! d_i = Δt · n_ag + d_{i−1}
+//! ```
+//!
+//! where `Δt` is the mean inter-arrival time and `n_ag` the running average
+//! number of *adjacent gaps* (consecutive losses) observed so far.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Gap filler implementing the paper's `d_i = Δt·n_ag + d_{i−1}` rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapFiller {
+    /// Delay attributed to the previous heartbeat (`d_{i−1}`), seconds.
+    last_delay_secs: f64,
+    /// Number of completed gap runs observed.
+    gap_runs: u64,
+    /// Total lost heartbeats across completed runs.
+    total_gap_len: u64,
+    /// Length of the loss run currently in progress.
+    current_run: u64,
+}
+
+impl Default for GapFiller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GapFiller {
+    /// New filler with no observed gaps and zero baseline delay.
+    pub fn new() -> Self {
+        GapFiller { last_delay_secs: 0.0, gap_runs: 0, total_gap_len: 0, current_run: 0 }
+    }
+
+    /// Average number of adjacent gaps (`n_ag`). Defaults to 1 before any
+    /// run completes so the first fill is a plain one-interval extrapolation.
+    pub fn avg_adjacent_gaps(&self) -> f64 {
+        if self.gap_runs == 0 {
+            1.0
+        } else {
+            self.total_gap_len as f64 / self.gap_runs as f64
+        }
+    }
+
+    /// Record that a heartbeat *arrived* with observed one-way delay
+    /// `delay` (estimated as `arrival − expected_send`). Ends any loss run
+    /// in progress.
+    pub fn observe_arrival(&mut self, delay: Duration) {
+        if self.current_run > 0 {
+            self.gap_runs += 1;
+            self.total_gap_len += self.current_run;
+            self.current_run = 0;
+        }
+        self.last_delay_secs = delay.as_secs_f64();
+    }
+
+    /// Record that a heartbeat was *lost* and return the synthetic delay
+    /// `d_i = Δt·n_ag + d_{i−1}` to attribute to it, given the current mean
+    /// inter-arrival time `mean_interval`.
+    pub fn fill_loss(&mut self, mean_interval: Duration) -> Duration {
+        self.current_run += 1;
+        let d = mean_interval.as_secs_f64() * self.avg_adjacent_gaps() + self.last_delay_secs;
+        self.last_delay_secs = d;
+        Duration::from_secs_f64(d)
+    }
+
+    /// Number of completed loss runs.
+    pub fn completed_runs(&self) -> u64 {
+        self.gap_runs
+    }
+
+    /// Losses in the run currently in progress (0 if none).
+    pub fn current_run_len(&self) -> u64 {
+        self.current_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fill_extrapolates_one_interval() {
+        let mut g = GapFiller::new();
+        g.observe_arrival(Duration::from_millis(5));
+        let d = g.fill_loss(Duration::from_millis(100));
+        // n_ag defaults to 1: d = 100ms·1 + 5ms.
+        assert_eq!(d, Duration::from_millis(105));
+    }
+
+    #[test]
+    fn consecutive_losses_accumulate() {
+        let mut g = GapFiller::new();
+        g.observe_arrival(Duration::from_millis(0));
+        let d1 = g.fill_loss(Duration::from_millis(100));
+        let d2 = g.fill_loss(Duration::from_millis(100));
+        assert_eq!(d1, Duration::from_millis(100));
+        assert_eq!(d2, Duration::from_millis(200));
+        assert_eq!(g.current_run_len(), 2);
+    }
+
+    #[test]
+    fn arrival_ends_run_and_updates_average() {
+        let mut g = GapFiller::new();
+        g.observe_arrival(Duration::ZERO);
+        g.fill_loss(Duration::from_millis(100));
+        g.fill_loss(Duration::from_millis(100));
+        g.observe_arrival(Duration::from_millis(3));
+        assert_eq!(g.completed_runs(), 1);
+        assert_eq!(g.current_run_len(), 0);
+        assert!((g.avg_adjacent_gaps() - 2.0).abs() < 1e-12);
+
+        // Second run of length 1 → average (2+1)/2 = 1.5.
+        g.fill_loss(Duration::from_millis(100));
+        g.observe_arrival(Duration::from_millis(3));
+        assert!((g.avg_adjacent_gaps() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_uses_running_average() {
+        let mut g = GapFiller::new();
+        g.observe_arrival(Duration::ZERO);
+        // Complete a run of 3.
+        for _ in 0..3 {
+            g.fill_loss(Duration::from_millis(10));
+        }
+        g.observe_arrival(Duration::ZERO);
+        assert!((g.avg_adjacent_gaps() - 3.0).abs() < 1e-12);
+        // Next fill uses n_ag = 3: d = 10ms·3 + 0.
+        let d = g.fill_loss(Duration::from_millis(10));
+        assert_eq!(d, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut g = GapFiller::new();
+        g.observe_arrival(Duration::from_millis(5));
+        g.fill_loss(Duration::from_millis(100));
+        let js = serde_json::to_string(&g).unwrap();
+        let back: GapFiller = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.completed_runs(), g.completed_runs());
+        assert_eq!(back.current_run_len(), g.current_run_len());
+        assert!((back.avg_adjacent_gaps() - g.avg_adjacent_gaps()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,296 @@
+//! A log-bucketed duration histogram for latency distributions.
+//!
+//! The paper reports mean detection times; a production failure detector
+//! also needs the tail (a `T_D` p99 ten times the mean means ten times the
+//! outage window for the unlucky decile of crashes). [`DurationHistogram`]
+//! records durations into geometrically spaced buckets — constant relative
+//! error (~5% by default), constant memory, O(1) insertion — the same
+//! trade HdrHistogram makes.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Geometric-bucket histogram over non-negative durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    /// Bucket `i` covers `[min·growth^i, min·growth^(i+1))`.
+    counts: Vec<u64>,
+    /// Values below `min` land in bucket 0.
+    min: Duration,
+    /// Bucket width growth factor (> 1).
+    growth: f64,
+    /// Total recorded values.
+    total: u64,
+    /// Exact running extremes (buckets only bound them).
+    min_seen: Duration,
+    max_seen: Duration,
+    /// Exact running sum for the mean.
+    sum_secs: f64,
+}
+
+impl DurationHistogram {
+    /// Default configuration: 1 µs floor, 10% bucket growth, covering
+    /// microseconds to hours in ~180 buckets.
+    pub fn new() -> Self {
+        Self::with_params(Duration::from_micros(1), 1.10, 180)
+    }
+
+    /// Custom floor, growth factor and bucket count.
+    ///
+    /// # Panics
+    /// Panics if `min` is not positive, `growth <= 1`, or `buckets == 0`.
+    pub fn with_params(min: Duration, growth: f64, buckets: usize) -> Self {
+        assert!(min > Duration::ZERO, "histogram floor must be positive");
+        assert!(growth > 1.0, "growth factor must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        DurationHistogram {
+            counts: vec![0; buckets],
+            min,
+            growth,
+            total: 0,
+            min_seen: Duration::MAX,
+            max_seen: Duration::ZERO,
+            sum_secs: 0.0,
+        }
+    }
+
+    fn bucket_of(&self, d: Duration) -> usize {
+        if d <= self.min {
+            return 0;
+        }
+        let ratio = d.as_secs_f64() / self.min.as_secs_f64();
+        let idx = (ratio.ln() / self.growth.ln()).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Lower bound of bucket `i`.
+    fn bucket_floor(&self, i: usize) -> Duration {
+        self.min.mul_f64(self.growth.powi(i as i32))
+    }
+
+    /// Record one duration (negative values clamp to zero).
+    pub fn record(&mut self, d: Duration) {
+        let d = d.max_zero();
+        let b = self.bucket_of(d);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min_seen = self.min_seen.min(d);
+        self.max_seen = self.max_seen.max(d);
+        self.sum_secs += d.as_secs_f64();
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of the recorded values.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(self.sum_secs / self.total as f64)
+        }
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min_value(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            self.min_seen
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max_value(&self) -> Duration {
+        self.max_seen
+    }
+
+    /// Quantile estimate (`q ∈ [0, 1]`), accurate to one bucket width
+    /// (≤ `growth − 1` relative error). Clamped to the exact extremes.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly; return them exactly.
+        if q == 0.0 {
+            return self.min_seen;
+        }
+        if q == 1.0 {
+            return self.max_seen;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Midpoint of the bucket, clamped to the observed range.
+                let lo = self.bucket_floor(i);
+                let hi = self.bucket_floor(i + 1);
+                let mid = Duration::from_secs_f64((lo.as_secs_f64() + hi.as_secs_f64()) / 2.0);
+                return mid.max(self.min_seen).min(self.max_seen);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merge another histogram with the same parameters into this one.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        assert_eq!(self.min, other.min, "histogram floors differ");
+        assert!((self.growth - other.growth).abs() < 1e-12, "growth factors differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+        self.sum_secs += other.sum_secs;
+    }
+
+    /// Reset to empty, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.min_seen = Duration::MAX;
+        self.max_seen = Duration::ZERO;
+        self.sum_secs = 0.0;
+    }
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = DurationHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.min_value(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = DurationHistogram::new();
+        for ms in [10i64, 20, 30, 40] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.mean(), Duration::from_millis(25));
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min_value(), Duration::from_millis(10));
+        assert_eq!(h.max_value(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = DurationHistogram::new();
+        // 1..=1000 ms uniformly.
+        for ms in 1..=1000i64 {
+            h.record(Duration::from_millis(ms));
+        }
+        for (q, expect_ms) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q).as_millis_f64();
+            let rel = (got - expect_ms).abs() / expect_ms;
+            assert!(rel < 0.12, "q{q}: got {got} want ~{expect_ms}");
+        }
+        // Extremes are exact.
+        assert_eq!(h.quantile(0.0), Duration::from_millis(1));
+        assert_eq!(h.quantile(1.0), Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn skewed_distribution_tail() {
+        let mut h = DurationHistogram::new();
+        for _ in 0..990 {
+            h.record(Duration::from_millis(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_secs(5));
+        }
+        assert!(h.quantile(0.5) < Duration::from_millis(12));
+        assert!(h.quantile(0.995) > Duration::from_secs(4));
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        let mut all = DurationHistogram::new();
+        for ms in 1..500i64 {
+            a.record(Duration::from_millis(ms));
+            all.record(Duration::from_millis(ms));
+        }
+        for ms in 500..1000i64 {
+            b.record(Duration::from_millis(ms));
+            all.record(Duration::from_millis(ms));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+        assert_eq!(a.mean(), all.mean());
+    }
+
+    #[test]
+    fn negative_values_clamp() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::from_millis(-50));
+        assert_eq!(h.min_value(), Duration::ZERO);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let mut h = DurationHistogram::with_params(Duration::from_micros(1), 1.5, 10);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_value(), Duration::from_secs(100_000));
+        assert_eq!(h.quantile(1.0), Duration::from_secs(100_000));
+    }
+
+    #[test]
+    fn clear_keeps_config() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::from_millis(5));
+        h.clear();
+        assert!(h.is_empty());
+        h.record(Duration::from_millis(7));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "floors differ")]
+    fn merge_rejects_mismatched_config() {
+        let mut a = DurationHistogram::with_params(Duration::from_micros(1), 1.1, 10);
+        let b = DurationHistogram::with_params(Duration::from_micros(2), 1.1, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = DurationHistogram::new();
+        for ms in [1i64, 10, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        let js = serde_json::to_string(&h).unwrap();
+        let back: DurationHistogram = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, h);
+    }
+}

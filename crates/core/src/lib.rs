@@ -1,0 +1,105 @@
+//! # sfd-core — self-tuning failure detection
+//!
+//! This crate implements the failure detectors studied in *"A Self-tuning
+//! Failure Detection Scheme for Cloud Computing Service"* (Xiong et al.,
+//! IEEE IPDPS 2012), together with the estimation and statistics substrate
+//! they rest on:
+//!
+//! * [`ChenFd`] — Chen, Toueg & Aguilera's adaptive detector: expected
+//!   arrival estimation over a sliding window plus a **constant** safety
+//!   margin `α` (paper Eqs. 2–3).
+//! * [`BertierFd`] — Bertier, Marin & Sens' detector: the same arrival
+//!   estimator with a Jacobson-style dynamic margin (paper Eqs. 4–8).
+//! * [`PhiFd`] — Hayashibara et al.'s φ accrual detector: a continuous
+//!   suspicion level `φ = −log₁₀ P_later(t_now − T_last)` under a normal
+//!   model of inter-arrival times (paper Eqs. 9–10).
+//! * [`SfdFd`] — the paper's contribution: Chen's estimator plus a
+//!   **self-tuning** safety margin driven by a QoS feedback controller
+//!   (paper Eqs. 11–13 and Algorithm 1), exposed as an accrual detector.
+//!
+//! The crate is deliberately free of I/O: detectors consume *heartbeat
+//! arrival events* (`(sequence number, arrival instant)`) and answer
+//! queries about trust, suspicion level, and the next freshness point.
+//! Transports (UDP, simulated channels, trace replay) live in the sibling
+//! crates `sfd-runtime`, `sfd-simnet` and `sfd-trace`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sfd_core::prelude::*;
+//!
+//! // Target QoS: detect within 1s, at most one mistake per 100s,
+//! // query accuracy at least 99%.
+//! let qos = QosSpec::new(Duration::from_secs_f64(1.0), 0.01, 0.99).unwrap();
+//! let cfg = SfdConfig {
+//!     window: 100,
+//!     expected_interval: Duration::from_millis(100),
+//!     initial_margin: Duration::from_millis(50),
+//!     ..SfdConfig::default()
+//! };
+//! let mut fd = SfdFd::new(cfg, qos);
+//!
+//! // Feed heartbeats that arrive every ~100 ms.
+//! let mut now = Instant::ZERO;
+//! for seq in 0..200u64 {
+//!     now = Instant::from_millis((seq as i64 + 1) * 100);
+//!     fd.heartbeat(seq, now);
+//! }
+//! assert!(!fd.is_suspect(now));
+//! // 2 s of silence pushes the suspicion level over the threshold.
+//! let later = now + Duration::from_secs_f64(2.0);
+//! assert!(fd.is_suspect(later));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bertier;
+pub mod chen;
+pub mod detector;
+pub mod error;
+pub mod estimate;
+pub mod feedback;
+pub mod gapfill;
+pub mod histogram;
+pub mod phi;
+pub mod registry;
+pub mod qos;
+pub mod sfd;
+pub mod stats;
+pub mod suspicion;
+pub mod time;
+pub mod window;
+
+pub use bertier::{BertierConfig, BertierFd};
+pub use chen::{ChenConfig, ChenFd};
+pub use detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
+pub use error::{CoreError, CoreResult};
+pub use estimate::{ChenEstimator, JacobsonEstimator};
+pub use feedback::{FeedbackController, FeedbackDecision, Sat};
+pub use gapfill::GapFiller;
+pub use histogram::DurationHistogram;
+pub use phi::{PhiConfig, PhiFd};
+pub use registry::DetectorSpec;
+pub use qos::{QosMeasured, QosSpec};
+pub use sfd::{SfdConfig, SfdFd};
+pub use suspicion::{SuspicionLog, Transition};
+pub use time::{Duration, Instant};
+pub use window::SampleWindow;
+
+/// Convenient glob-import surface for downstream crates and examples.
+pub mod prelude {
+    pub use crate::bertier::{BertierConfig, BertierFd};
+    pub use crate::chen::{ChenConfig, ChenFd};
+    pub use crate::detector::{
+        AccrualDetector, DetectorKind, FailureDetector, SelfTuning,
+    };
+    pub use crate::feedback::{FeedbackController, FeedbackDecision, Sat};
+    pub use crate::phi::{PhiConfig, PhiFd};
+    pub use crate::registry::DetectorSpec;
+    pub use crate::qos::{QosMeasured, QosSpec};
+    pub use crate::sfd::{SfdConfig, SfdFd};
+    pub use crate::suspicion::{SuspicionLog, Transition};
+    pub use crate::time::{Duration, Instant};
+    pub use crate::window::SampleWindow;
+}

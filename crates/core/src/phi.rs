@@ -1,0 +1,361 @@
+//! φ FD — the accrual detector of Hayashibara, Défago, Yared & Katayama
+//! (*The φ accrual failure detector*, SRDS 2004; paper Sec. III,
+//! Eqs. 9–10).
+//!
+//! Inter-arrival times are modelled as a normal distribution estimated
+//! over the sliding window; the suspicion level at time `t_now` is
+//!
+//! ```text
+//! φ(t_now) = −log₁₀( P_later(t_now − T_last) ),
+//! P_later(t) = 1 − F(t)
+//! ```
+//!
+//! Applications compare `φ` against their own threshold `Φ`. The paper
+//! sweeps `Φ ∈ [0.5, 16]` and observes that the φ curve "stops early"
+//! in the conservative range because of floating-point rounding: for large
+//! `Φ`, `1 − 10^{−Φ}` rounds to 1 and the equivalent timeout becomes
+//! infinite. This implementation reproduces that behaviour faithfully
+//! (see `freshness_point`).
+
+use crate::detector::{AccrualDetector, DetectorKind, FailureDetector};
+use crate::error::{CoreError, CoreResult};
+use crate::stats::{normal_quantile, normal_tail};
+use crate::time::{Duration, Instant};
+use crate::window::SampleWindow;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`PhiFd`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhiConfig {
+    /// Sliding-window size over inter-arrival times (paper: 1000).
+    pub window: usize,
+    /// Nominal heartbeat sending interval; seeds the estimate before the
+    /// first two heartbeats arrive.
+    pub expected_interval: Duration,
+    /// Suspicion threshold `Φ` used for the binary view.
+    pub threshold: f64,
+    /// Floor on the estimated standard deviation, as a fraction of the
+    /// mean inter-arrival time. Real deployments (Cassandra, Akka) apply
+    /// the same guard: a perfectly regular network would otherwise make
+    /// the detector infinitely aggressive.
+    pub min_std_fraction: f64,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig {
+            window: 1000,
+            expected_interval: Duration::from_millis(100),
+            threshold: 8.0,
+            min_std_fraction: 0.01,
+        }
+    }
+}
+
+impl PhiConfig {
+    /// Validate field domains.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.window == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "window",
+                reason: "window size must be positive".into(),
+            });
+        }
+        if self.expected_interval <= Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "expected_interval",
+                reason: "heartbeat interval must be positive".into(),
+            });
+        }
+        if self.threshold <= 0.0 || self.threshold.is_nan() {
+            return Err(CoreError::InvalidConfig {
+                field: "threshold",
+                reason: "Φ must be positive".into(),
+            });
+        }
+        if self.min_std_fraction < 0.0 || self.min_std_fraction.is_nan() {
+            return Err(CoreError::InvalidConfig {
+                field: "min_std_fraction",
+                reason: "must be non-negative and not NaN".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The φ accrual failure detector.
+#[derive(Debug, Clone)]
+pub struct PhiFd {
+    cfg: PhiConfig,
+    inter_arrivals: SampleWindow,
+    last_arrival: Option<Instant>,
+    last_seq: Option<u64>,
+}
+
+impl PhiFd {
+    /// Create a detector from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`PhiConfig::validate`] first when the values are untrusted.
+    pub fn new(cfg: PhiConfig) -> Self {
+        cfg.validate().expect("invalid PhiConfig");
+        PhiFd {
+            cfg,
+            inter_arrivals: SampleWindow::new(cfg.window),
+            last_arrival: None,
+            last_seq: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> PhiConfig {
+        self.cfg
+    }
+
+    /// Change the threshold `Φ` (used by parameter sweeps).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.cfg.threshold = threshold.max(f64::MIN_POSITIVE);
+    }
+
+    /// Estimated mean of the inter-arrival distribution, seconds.
+    pub fn mean_secs(&self) -> f64 {
+        if self.inter_arrivals.is_empty() {
+            self.cfg.expected_interval.as_secs_f64()
+        } else {
+            self.inter_arrivals.mean()
+        }
+    }
+
+    /// Estimated standard deviation (after the configured floor), seconds.
+    pub fn std_secs(&self) -> f64 {
+        let floor = self.mean_secs() * self.cfg.min_std_fraction;
+        self.inter_arrivals.std_dev().max(floor)
+    }
+
+    /// Number of inter-arrival samples currently in the window.
+    pub fn samples(&self) -> usize {
+        self.inter_arrivals.len()
+    }
+
+    /// The paper's Eq. 10: probability that a heartbeat arrives more than
+    /// `elapsed` after the previous one.
+    pub fn p_later(&self, elapsed: Duration) -> f64 {
+        normal_tail(elapsed.as_secs_f64(), self.mean_secs(), self.std_secs())
+    }
+
+    /// Equivalent timeout for a given threshold: the elapsed time at which
+    /// `φ` reaches `threshold`. Returns `Duration::MAX` when rounding makes
+    /// the quantile infinite (the paper's "rounding errors prevent …
+    /// points in the conservative range").
+    pub fn timeout_for_threshold(&self, threshold: f64) -> Duration {
+        let p = 1.0 - 10f64.powf(-threshold);
+        if p >= 1.0 {
+            return Duration::MAX;
+        }
+        let q = normal_quantile(p, self.mean_secs(), self.std_secs());
+        if !q.is_finite() {
+            Duration::MAX
+        } else {
+            Duration::from_secs_f64(q.max(0.0))
+        }
+    }
+}
+
+impl FailureDetector for PhiFd {
+    fn heartbeat(&mut self, seq: u64, arrival: Instant) {
+        if let Some(last_seq) = self.last_seq {
+            if seq <= last_seq {
+                return; // stale / reordered datagram
+            }
+        }
+        if let Some(last) = self.last_arrival {
+            let gap = arrival - last;
+            if !gap.is_negative() {
+                // Lost heartbeats are *not* normalised away: a loss shows
+                // up as a long inter-arrival, exactly as in the original
+                // φ implementation driven by raw receipt times.
+                self.inter_arrivals.push(gap.as_secs_f64());
+            }
+        }
+        self.last_arrival = Some(arrival);
+        self.last_seq = Some(seq);
+    }
+
+    fn freshness_point(&self) -> Option<Instant> {
+        let last = self.last_arrival?;
+        if self.inter_arrivals.is_empty() {
+            return None; // still warming up
+        }
+        let timeout = self.timeout_for_threshold(self.cfg.threshold);
+        if timeout == Duration::MAX {
+            Some(Instant::FAR_FUTURE)
+        } else {
+            Some(last + timeout)
+        }
+    }
+
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Phi
+    }
+
+    fn reset(&mut self) {
+        self.inter_arrivals.clear();
+        self.last_arrival = None;
+        self.last_seq = None;
+    }
+}
+
+impl AccrualDetector for PhiFd {
+    fn suspicion(&self, now: Instant) -> f64 {
+        let Some(last) = self.last_arrival else { return 0.0 };
+        let elapsed = (now - last).max_zero();
+        let p = self.p_later(elapsed);
+        if p <= 0.0 {
+            f64::INFINITY
+        } else {
+            -p.log10()
+        }
+    }
+
+    fn default_threshold(&self) -> f64 {
+        self.cfg.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn jittered_fd(threshold: f64) -> PhiFd {
+        let mut fd = PhiFd::new(PhiConfig {
+            window: 100,
+            expected_interval: Duration::from_millis(100),
+            threshold,
+            min_std_fraction: 0.01,
+        });
+        for i in 0..200u64 {
+            let jitter = ((i * 31) % 11) as i64 - 5; // ±5 ms deterministic jitter
+            fd.heartbeat(i, inst((i as i64 + 1) * 100 + jitter));
+        }
+        fd
+    }
+
+    #[test]
+    fn suspicion_grows_with_silence() {
+        let fd = jittered_fd(8.0);
+        let last = fd.last_arrival.unwrap();
+        let s1 = fd.suspicion(last + Duration::from_millis(50));
+        let s2 = fd.suspicion(last + Duration::from_millis(150));
+        let s3 = fd.suspicion(last + Duration::from_millis(500));
+        assert!(s1 < s2 && s2 < s3, "{s1} {s2} {s3}");
+    }
+
+    #[test]
+    fn suspicion_low_right_after_heartbeat() {
+        let fd = jittered_fd(8.0);
+        let last = fd.last_arrival.unwrap();
+        // At the instant of arrival, elapsed=0 → P_later ≈ 1 → φ ≈ 0.
+        assert!(fd.suspicion(last) < 0.01);
+    }
+
+    #[test]
+    fn binary_view_thresholds_phi() {
+        let fd = jittered_fd(2.0);
+        let fp = fd.freshness_point().unwrap();
+        assert!(!fd.is_suspect(fp));
+        assert!(fd.is_suspect(fp + Duration::from_millis(1)));
+        // φ at the freshness point equals the threshold (within tolerance).
+        let phi_at_fp = fd.suspicion(fp);
+        assert!((phi_at_fp - 2.0).abs() < 0.05, "{phi_at_fp}");
+    }
+
+    #[test]
+    fn higher_threshold_is_more_conservative() {
+        let aggressive = jittered_fd(1.0);
+        let conservative = jittered_fd(8.0);
+        assert!(
+            conservative.freshness_point().unwrap() > aggressive.freshness_point().unwrap()
+        );
+    }
+
+    #[test]
+    fn rounding_stops_conservative_range() {
+        let fd = jittered_fd(8.0);
+        // 10^{-17} underflows the 1−p computation → timeout saturates.
+        assert_eq!(fd.timeout_for_threshold(17.0), Duration::MAX);
+        let mut fd2 = jittered_fd(17.0);
+        fd2.set_threshold(17.0);
+        assert_eq!(fd2.freshness_point(), Some(Instant::FAR_FUTURE));
+        assert!(!fd2.is_suspect(Instant::from_nanos(i64::MAX / 2)));
+    }
+
+    #[test]
+    fn warmup_behaviour() {
+        let mut fd = PhiFd::new(PhiConfig::default());
+        assert_eq!(fd.freshness_point(), None);
+        assert_eq!(fd.suspicion(inst(1000)), 0.0);
+        fd.heartbeat(0, inst(100));
+        // One arrival: still no inter-arrival sample.
+        assert_eq!(fd.freshness_point(), None);
+        fd.heartbeat(1, inst(200));
+        assert!(fd.freshness_point().is_some());
+    }
+
+    #[test]
+    fn losses_widen_the_distribution() {
+        let mut lossy = PhiFd::new(PhiConfig {
+            window: 100,
+            expected_interval: Duration::from_millis(100),
+            threshold: 8.0,
+            min_std_fraction: 0.01,
+        });
+        let mut seq = 0u64;
+        let mut t = 0i64;
+        for i in 0..200 {
+            t += 100;
+            // Drop every 10th heartbeat.
+            if i % 10 == 9 {
+                seq += 1;
+                continue;
+            }
+            lossy.heartbeat(seq, inst(t));
+            seq += 1;
+        }
+        let clean = jittered_fd(8.0);
+        assert!(lossy.std_secs() > clean.std_secs());
+    }
+
+    #[test]
+    fn stale_heartbeats_ignored() {
+        let mut fd = jittered_fd(8.0);
+        let samples = fd.samples();
+        fd.heartbeat(3, inst(1_000_000));
+        assert_eq!(fd.samples(), samples);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut fd = jittered_fd(8.0);
+        fd.reset();
+        assert_eq!(fd.samples(), 0);
+        assert_eq!(fd.freshness_point(), None);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PhiConfig::default().validate().is_ok());
+        assert!(PhiConfig { window: 0, ..Default::default() }.validate().is_err());
+        assert!(PhiConfig { threshold: 0.0, ..Default::default() }.validate().is_err());
+        assert!(PhiConfig { min_std_fraction: f64::NAN, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(PhiConfig { expected_interval: Duration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! QoS metric types (paper Sec. II-C, after Chen et al. [28]).
+//!
+//! The QoS of a failure detector is the tuple `(T_D, MR, QAP)`:
+//!
+//! * **Detection time `T_D`** — time from a crash until the monitor starts
+//!   suspecting the crashed process permanently (speed).
+//! * **Mistake rate `MR`** — wrong suspicions per unit time (accuracy).
+//! * **Query accuracy probability `QAP`** — probability that a query at a
+//!   random instant correctly reports the (alive) process as trusted.
+//!
+//! [`QosSpec`] holds a *user requirement*: an upper bound on `T_D`, an
+//! upper bound on `MR` and a lower bound on `QAP`. [`QosMeasured`] holds
+//! the *output QoS* measured over an execution (or a feedback epoch) and is
+//! what the self-tuning controller compares against the spec.
+
+use crate::error::{CoreError, CoreResult};
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// A user's QoS requirement `QoS̄ = (T̄_D, M̄R, Q̄AP)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// Upper bound on acceptable detection time.
+    pub max_detection_time: Duration,
+    /// Upper bound on acceptable mistake rate, in mistakes per second.
+    pub max_mistake_rate: f64,
+    /// Lower bound on acceptable query accuracy probability, in `[0, 1]`.
+    pub min_query_accuracy: f64,
+}
+
+impl QosSpec {
+    /// Validated constructor.
+    pub fn new(
+        max_detection_time: Duration,
+        max_mistake_rate: f64,
+        min_query_accuracy: f64,
+    ) -> CoreResult<Self> {
+        if max_detection_time <= Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "max_detection_time",
+                reason: "must be positive".into(),
+            });
+        }
+        if max_mistake_rate < 0.0 || max_mistake_rate.is_nan() {
+            return Err(CoreError::InvalidConfig {
+                field: "max_mistake_rate",
+                reason: "must be non-negative and not NaN".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&min_query_accuracy) {
+            return Err(CoreError::InvalidConfig {
+                field: "min_query_accuracy",
+                reason: "must lie in [0, 1]".into(),
+            });
+        }
+        Ok(QosSpec { max_detection_time, max_mistake_rate, min_query_accuracy })
+    }
+
+    /// A permissive spec that any working detector satisfies; useful as a
+    /// starting point when only one axis matters.
+    pub fn permissive() -> Self {
+        QosSpec {
+            max_detection_time: Duration::from_secs(3600),
+            max_mistake_rate: f64::INFINITY,
+            min_query_accuracy: 0.0,
+        }
+    }
+
+    /// Is the measured output QoS acceptable under this spec?
+    pub fn is_satisfied_by(&self, m: &QosMeasured) -> bool {
+        m.detection_time <= self.max_detection_time
+            && m.mistake_rate <= self.max_mistake_rate
+            && m.query_accuracy >= self.min_query_accuracy
+    }
+}
+
+/// Measured output QoS of a detector over some observation period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosMeasured {
+    /// Average detection time `T_D`.
+    pub detection_time: Duration,
+    /// Mistake rate `MR`, mistakes per second.
+    pub mistake_rate: f64,
+    /// Query accuracy probability `QAP ∈ [0, 1]`.
+    pub query_accuracy: f64,
+    /// Average mistake duration `T_M` (Fig. 3), if any mistakes occurred.
+    pub avg_mistake_duration: Option<Duration>,
+    /// Average mistake recurrence time `T_MR` (Fig. 3), if ≥ 2 mistakes.
+    pub avg_mistake_recurrence: Option<Duration>,
+    /// Number of wrong suspicions observed.
+    pub mistakes: u64,
+    /// Length of the observation period.
+    pub observed_for: Duration,
+}
+
+impl QosMeasured {
+    /// A neutral measurement for an empty observation period.
+    pub fn empty() -> Self {
+        QosMeasured {
+            detection_time: Duration::ZERO,
+            mistake_rate: 0.0,
+            query_accuracy: 1.0,
+            avg_mistake_duration: None,
+            avg_mistake_recurrence: None,
+            mistakes: 0,
+            observed_for: Duration::ZERO,
+        }
+    }
+
+    /// `true` if the accuracy axes (MR and QAP) meet the spec.
+    pub fn accuracy_ok(&self, spec: &QosSpec) -> bool {
+        self.mistake_rate <= spec.max_mistake_rate
+            && self.query_accuracy >= spec.min_query_accuracy
+    }
+
+    /// `true` if the speed axis (T_D) meets the spec.
+    pub fn speed_ok(&self, spec: &QosSpec) -> bool {
+        self.detection_time <= spec.max_detection_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(td_ms: i64, mr: f64, qap: f64) -> QosMeasured {
+        QosMeasured {
+            detection_time: Duration::from_millis(td_ms),
+            mistake_rate: mr,
+            query_accuracy: qap,
+            ..QosMeasured::empty()
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(QosSpec::new(Duration::from_millis(500), 0.01, 0.99).is_ok());
+        assert!(QosSpec::new(Duration::ZERO, 0.01, 0.99).is_err());
+        assert!(QosSpec::new(Duration::from_millis(500), -1.0, 0.99).is_err());
+        assert!(QosSpec::new(Duration::from_millis(500), f64::NAN, 0.99).is_err());
+        assert!(QosSpec::new(Duration::from_millis(500), 0.01, 1.5).is_err());
+        assert!(QosSpec::new(Duration::from_millis(500), 0.01, -0.1).is_err());
+    }
+
+    #[test]
+    fn satisfaction_is_componentwise() {
+        let spec = QosSpec::new(Duration::from_millis(500), 0.01, 0.99).unwrap();
+        assert!(spec.is_satisfied_by(&meas(400, 0.005, 0.995)));
+        assert!(!spec.is_satisfied_by(&meas(600, 0.005, 0.995))); // slow
+        assert!(!spec.is_satisfied_by(&meas(400, 0.02, 0.995))); // mistaken
+        assert!(!spec.is_satisfied_by(&meas(400, 0.005, 0.98))); // inaccurate
+    }
+
+    #[test]
+    fn boundary_values_satisfy() {
+        let spec = QosSpec::new(Duration::from_millis(500), 0.01, 0.99).unwrap();
+        assert!(spec.is_satisfied_by(&meas(500, 0.01, 0.99)));
+    }
+
+    #[test]
+    fn axis_helpers() {
+        let spec = QosSpec::new(Duration::from_millis(500), 0.01, 0.99).unwrap();
+        let m = meas(600, 0.001, 0.999);
+        assert!(m.accuracy_ok(&spec));
+        assert!(!m.speed_ok(&spec));
+        let m = meas(100, 0.1, 0.90);
+        assert!(!m.accuracy_ok(&spec));
+        assert!(m.speed_ok(&spec));
+    }
+
+    #[test]
+    fn permissive_accepts_anything_reasonable() {
+        let spec = QosSpec::permissive();
+        assert!(spec.is_satisfied_by(&meas(30_000, 5.0, 0.0)));
+    }
+
+    #[test]
+    fn empty_measurement_is_perfectly_accurate() {
+        let m = QosMeasured::empty();
+        assert_eq!(m.query_accuracy, 1.0);
+        assert_eq!(m.mistakes, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = meas(123, 0.5, 0.75);
+        let js = serde_json::to_string(&m).unwrap();
+        let back: QosMeasured = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic detector construction from declarative configuration.
+//!
+//! Operators configure monitoring in files, not code: a
+//! [`DetectorSpec`] names a scheme and its parameters and can be stored
+//! as JSON next to the rest of a deployment's configuration; `build()`
+//! yields a ready detector behind the common trait object.
+
+use crate::bertier::{BertierConfig, BertierFd};
+use crate::chen::{ChenConfig, ChenFd};
+use crate::detector::{DetectorKind, FailureDetector};
+use crate::error::CoreResult;
+use crate::phi::{PhiConfig, PhiFd};
+use crate::qos::QosSpec;
+use crate::sfd::{SfdConfig, SfdFd};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a detector instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "scheme", rename_all = "kebab-case")]
+pub enum DetectorSpec {
+    /// Chen FD with a constant margin.
+    Chen(ChenConfig),
+    /// Bertier FD (no free parameter).
+    Bertier(BertierConfig),
+    /// φ accrual FD.
+    Phi(PhiConfig),
+    /// The self-tuning detector; carries its QoS requirement.
+    Sfd {
+        /// Detector parameters.
+        config: SfdConfig,
+        /// The QoS requirement to tune toward.
+        qos: QosSpec,
+    },
+}
+
+impl DetectorSpec {
+    /// Which scheme this spec describes.
+    pub fn kind(&self) -> DetectorKind {
+        match self {
+            DetectorSpec::Chen(_) => DetectorKind::Chen,
+            DetectorSpec::Bertier(_) => DetectorKind::Bertier,
+            DetectorSpec::Phi(_) => DetectorKind::Phi,
+            DetectorSpec::Sfd { .. } => DetectorKind::Sfd,
+        }
+    }
+
+    /// Validate the embedded configuration.
+    pub fn validate(&self) -> CoreResult<()> {
+        match self {
+            DetectorSpec::Chen(c) => c.validate(),
+            DetectorSpec::Bertier(c) => c.validate(),
+            DetectorSpec::Phi(c) => c.validate(),
+            DetectorSpec::Sfd { config, .. } => config.validate(),
+        }
+    }
+
+    /// Build the detector. Fails (rather than panics) on an invalid
+    /// configuration, so specs can come from untrusted files.
+    pub fn build(&self) -> CoreResult<Box<dyn FailureDetector + Send>> {
+        self.validate()?;
+        Ok(match self.clone() {
+            DetectorSpec::Chen(c) => Box::new(ChenFd::new(c)),
+            DetectorSpec::Bertier(c) => Box::new(BertierFd::new(c)),
+            DetectorSpec::Phi(c) => Box::new(PhiFd::new(c)),
+            DetectorSpec::Sfd { config, qos } => Box::new(SfdFd::new(config, qos)),
+        })
+    }
+
+    /// A sensible default spec for each scheme, given the expected
+    /// heartbeat interval.
+    pub fn default_for(kind: DetectorKind, interval: crate::time::Duration) -> DetectorSpec {
+        match kind {
+            DetectorKind::Chen => DetectorSpec::Chen(ChenConfig {
+                expected_interval: interval,
+                alpha: interval * 2,
+                ..Default::default()
+            }),
+            DetectorKind::Bertier => DetectorSpec::Bertier(BertierConfig {
+                expected_interval: interval,
+                ..Default::default()
+            }),
+            DetectorKind::Phi => DetectorSpec::Phi(PhiConfig {
+                expected_interval: interval,
+                ..Default::default()
+            }),
+            DetectorKind::Sfd => DetectorSpec::Sfd {
+                config: SfdConfig {
+                    expected_interval: interval,
+                    initial_margin: interval * 2,
+                    ..Default::default()
+                },
+                qos: QosSpec::permissive(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Duration, Instant};
+
+    #[test]
+    fn build_all_kinds() {
+        let interval = Duration::from_millis(100);
+        for kind in DetectorKind::all() {
+            let spec = DetectorSpec::default_for(kind, interval);
+            assert_eq!(spec.kind(), kind);
+            let mut fd = spec.build().unwrap();
+            assert_eq!(fd.kind(), kind);
+            // Drive it a little: trait object works end to end.
+            for i in 0..50u64 {
+                fd.heartbeat(i, Instant::from_millis((i as i64 + 1) * 100));
+            }
+            assert!(!fd.is_suspect(Instant::from_millis(5_020)));
+            assert!(fd.is_suspect(Instant::from_millis(60_000)));
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_not_a_panic() {
+        let spec = DetectorSpec::Chen(ChenConfig { window: 0, ..Default::default() });
+        assert!(spec.build().is_err());
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn json_format_is_tagged_and_stable() {
+        let spec =
+            DetectorSpec::default_for(DetectorKind::Phi, Duration::from_millis(50));
+        let js = serde_json::to_string(&spec).unwrap();
+        assert!(js.contains("\"scheme\":\"phi\""), "{js}");
+        let back: DetectorSpec = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, spec);
+
+        // Hand-written config file style.
+        let manual = r#"{
+            "scheme": "sfd",
+            "config": {
+                "window": 100,
+                "expected_interval": 100000000,
+                "initial_margin": 50000000,
+                "feedback": {
+                    "alpha": 100000000, "beta": 0.5,
+                    "min_margin": 0, "max_margin": 30000000000,
+                    "infeasible_tolerance": 1
+                },
+                "fill_gaps": true
+            },
+            "qos": {
+                "max_detection_time": 1000000000,
+                "max_mistake_rate": 0.01,
+                "min_query_accuracy": 0.99
+            }
+        }"#;
+        let spec: DetectorSpec = serde_json::from_str(manual).unwrap();
+        assert_eq!(spec.kind(), DetectorKind::Sfd);
+        spec.build().unwrap();
+    }
+}

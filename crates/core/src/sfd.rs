@@ -1,0 +1,466 @@
+//! SFD — the paper's Self-tuning Failure Detector (Sec. IV-B/IV-C).
+//!
+//! SFD combines:
+//!
+//! * **Chen's expected-arrival estimator** over a sliding window
+//!   (`EA(k+1)`, paper Eq. 2) — reused unchanged, giving SFD Chen's wide
+//!   usable performance range;
+//! * a **dynamic safety margin** updated by QoS feedback (paper
+//!   Eqs. 11–13): `τ(k+1) = EA(k+1) + SM(k+1)` with
+//!   `SM(k+1) = SM(k) + Sat_k{QoS, QoS̄}·α`, `Sat_k ∈ {+β, 0, −β}` decided
+//!   by [`FeedbackController`] (Algorithm 1);
+//! * **gap filling** for lost heartbeats using the time-series rule
+//!   `d_i = Δt·n_ag + d_{i−1}` (Sec. IV-C2), so loss bursts keep the
+//!   sampling window representative instead of stale;
+//! * an **accrual output** (footnote 3): the suspicion level scales the
+//!   elapsed time past `EA` by the current margin, so `suspicion = 1`
+//!   exactly at the tuned freshness point, and applications may threshold
+//!   it anywhere on the continuous scale.
+//!
+//! Driving the feedback loop is the responsibility of the embedding layer
+//! (replay evaluator, live monitor service): it measures the output QoS
+//! over an epoch and calls [`SfdFd::apply_feedback`]. This mirrors the
+//! paper's architecture, where monitoring and interpretation are separate
+//! (Sec. IV-C1).
+
+use crate::detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
+use crate::error::{CoreError, CoreResult};
+use crate::estimate::ChenEstimator;
+use crate::feedback::{FeedbackConfig, FeedbackController, FeedbackDecision};
+use crate::gapfill::GapFiller;
+use crate::qos::{QosMeasured, QosSpec};
+use crate::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`SfdFd`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SfdConfig {
+    /// Sliding-window size (paper experiments: 1000; Sec. V-C notes SFD
+    /// also performs well with much smaller windows).
+    pub window: usize,
+    /// Nominal heartbeat sending interval `Δ`.
+    pub expected_interval: Duration,
+    /// Initial safety margin `SM₁`. The paper sweeps this to trace SFD's
+    /// QoS curve; self-tuning then moves `SM` from here.
+    pub initial_margin: Duration,
+    /// Feedback controller parameters (`α`, `β`, clamps).
+    pub feedback: FeedbackConfig,
+    /// Whether to synthesise window samples for lost heartbeats
+    /// (Sec. IV-C2). Disabled only for ablation experiments.
+    pub fill_gaps: bool,
+}
+
+impl Default for SfdConfig {
+    fn default() -> Self {
+        SfdConfig {
+            window: 1000,
+            expected_interval: Duration::from_millis(100),
+            initial_margin: Duration::from_millis(100),
+            feedback: FeedbackConfig::default(),
+            fill_gaps: true,
+        }
+    }
+}
+
+impl SfdConfig {
+    /// Validate field domains.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.window == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "window",
+                reason: "window size must be positive".into(),
+            });
+        }
+        if self.expected_interval <= Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "expected_interval",
+                reason: "heartbeat interval must be positive".into(),
+            });
+        }
+        if self.initial_margin < Duration::ZERO {
+            return Err(CoreError::InvalidConfig {
+                field: "initial_margin",
+                reason: "initial safety margin must be non-negative".into(),
+            });
+        }
+        self.feedback.validate()
+    }
+}
+
+/// The Self-tuning Failure Detector.
+#[derive(Debug, Clone)]
+pub struct SfdFd {
+    cfg: SfdConfig,
+    estimator: ChenEstimator,
+    controller: FeedbackController,
+    gap_filler: GapFiller,
+    /// Set once the controller has reported the target infeasible; the
+    /// detector keeps operating with its last parameters, but the flag is
+    /// surfaced so the application can renegotiate (Algorithm 1 line 14).
+    infeasible_reported: bool,
+    /// Heartbeats synthesised by the gap filler (diagnostics).
+    synthetic_samples: u64,
+}
+
+impl SfdFd {
+    /// Create an SFD targeting the QoS requirement `spec`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`SfdConfig::validate`] first when the values are untrusted.
+    pub fn new(cfg: SfdConfig, spec: QosSpec) -> Self {
+        cfg.validate().expect("invalid SfdConfig");
+        let controller = FeedbackController::new(spec, cfg.feedback, cfg.initial_margin)
+            .expect("validated feedback config");
+        SfdFd {
+            cfg,
+            estimator: ChenEstimator::new(cfg.window, cfg.expected_interval),
+            controller,
+            gap_filler: GapFiller::new(),
+            infeasible_reported: false,
+            synthetic_samples: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> SfdConfig {
+        self.cfg
+    }
+
+    /// Current safety margin `SM`.
+    pub fn margin(&self) -> Duration {
+        self.controller.margin()
+    }
+
+    /// Override the margin (used when sweeping `SM₁`).
+    pub fn set_margin(&mut self, margin: Duration) {
+        self.controller.set_margin(margin);
+    }
+
+    /// The feedback controller (read-only), for diagnostics.
+    pub fn controller(&self) -> &FeedbackController {
+        &self.controller
+    }
+
+    /// The arrival estimator (read-only), for diagnostics.
+    pub fn estimator(&self) -> &ChenEstimator {
+        &self.estimator
+    }
+
+    /// `true` once Algorithm 1 has concluded the requirement is
+    /// unachievable on this network.
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible_reported
+    }
+
+    /// Clear the infeasibility flag (after the application renegotiated).
+    pub fn acknowledge_infeasible(&mut self) {
+        self.infeasible_reported = false;
+    }
+
+    /// Replace the QoS requirement at run time.
+    pub fn set_qos_spec(&mut self, spec: QosSpec) {
+        self.controller.set_spec(spec);
+        self.infeasible_reported = false;
+    }
+
+    /// Number of synthetic (gap-filled) samples injected so far.
+    pub fn synthetic_samples(&self) -> u64 {
+        self.synthetic_samples
+    }
+
+    /// Expected arrival of the next heartbeat, `EA(k+1)`.
+    pub fn next_expected_arrival(&self) -> Option<Instant> {
+        self.estimator.next_expected_arrival()
+    }
+
+    /// Synthesise window samples for heartbeats `last+1 .. seq` that never
+    /// arrived, per the paper's `d_i = Δt·n_ag + d_{i−1}` rule.
+    fn fill_gap(&mut self, from_seq: u64, to_seq: u64) {
+        let mean = self.estimator.mean_interarrival();
+        for missing in from_seq..to_seq {
+            let d = self.gap_filler.fill_loss(mean);
+            // Anchor the synthetic arrival at the expected arrival of the
+            // missing heartbeat plus the synthetic excess delay.
+            if let Some(ea) = self.estimator.expected_arrival(missing) {
+                let synthetic = ea + d;
+                if self.estimator.record(missing, synthetic) {
+                    self.synthetic_samples += 1;
+                }
+            }
+        }
+    }
+}
+
+impl FailureDetector for SfdFd {
+    fn heartbeat(&mut self, seq: u64, arrival: Instant) {
+        // Expected arrival *before* this sample updates the window; the
+        // deviation feeds the gap filler's `d_{i−1}` baseline.
+        let expected = self.estimator.expected_arrival(seq);
+        if self.cfg.fill_gaps {
+            if let Some(last) = self.estimator.last_seq() {
+                if seq > last + 1 {
+                    self.fill_gap(last + 1, seq);
+                }
+            }
+        }
+        if self.estimator.record(seq, arrival) {
+            let deviation = expected.map(|ea| (arrival - ea).max_zero()).unwrap_or(Duration::ZERO);
+            self.gap_filler.observe_arrival(deviation);
+        }
+    }
+
+    fn freshness_point(&self) -> Option<Instant> {
+        // τ(k+1) = EA(k+1) + SM(k+1)   (paper Eq. 11)
+        Some(self.estimator.next_expected_arrival()? + self.controller.margin())
+    }
+
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Sfd
+    }
+
+    fn reset(&mut self) {
+        self.estimator.reset();
+        self.gap_filler = GapFiller::new();
+        self.controller.set_margin(self.cfg.initial_margin);
+        self.infeasible_reported = false;
+        self.synthetic_samples = 0;
+    }
+}
+
+impl AccrualDetector for SfdFd {
+    /// Suspicion level: elapsed time past `EA(k+1)` in units of the current
+    /// safety margin. `0` before the expected arrival, exactly `1` at the
+    /// tuned freshness point `τ`, growing linearly beyond it. Applications
+    /// with stricter or laxer needs threshold it at other values, getting
+    /// the paper's "different QoS of failure detection to trigger
+    /// different reactions".
+    fn suspicion(&self, now: Instant) -> f64 {
+        let Some(ea) = self.estimator.next_expected_arrival() else { return 0.0 };
+        let elapsed = (now - ea).max_zero().as_secs_f64();
+        if elapsed == 0.0 {
+            return 0.0;
+        }
+        // Scale by the margin; floor the scale so a fully aggressive
+        // (zero) margin yields a finite, steep ramp instead of ∞.
+        let scale = self
+            .controller
+            .margin()
+            .max(Duration::from_micros(1))
+            .as_secs_f64();
+        elapsed / scale
+    }
+
+    fn default_threshold(&self) -> f64 {
+        1.0
+    }
+}
+
+impl SelfTuning for SfdFd {
+    fn qos_spec(&self) -> QosSpec {
+        self.controller.spec()
+    }
+
+    fn apply_feedback(&mut self, measured: &QosMeasured) -> FeedbackDecision {
+        let decision = self.controller.step(measured);
+        if decision.is_infeasible() {
+            self.infeasible_reported = true;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::Sat;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn spec() -> QosSpec {
+        QosSpec::new(Duration::from_millis(500), 0.01, 0.99).unwrap()
+    }
+
+    fn cfg(margin_ms: i64) -> SfdConfig {
+        SfdConfig {
+            window: 20,
+            expected_interval: Duration::from_millis(100),
+            initial_margin: Duration::from_millis(margin_ms),
+            feedback: FeedbackConfig {
+                alpha: Duration::from_millis(100),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        }
+    }
+
+    fn fed(margin_ms: i64) -> SfdFd {
+        let mut fd = SfdFd::new(cfg(margin_ms), spec());
+        for i in 0..40u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100));
+        }
+        fd
+    }
+
+    #[test]
+    fn freshness_point_is_ea_plus_margin() {
+        let fd = fed(50);
+        // Last heartbeat seq 39 at 4000 → EA(40) = 4100, τ = 4150.
+        assert_eq!(fd.freshness_point(), Some(inst(4150)));
+    }
+
+    #[test]
+    fn suspicion_scale() {
+        let fd = fed(100);
+        // EA = 4100; margin 100 ms.
+        assert_eq!(fd.suspicion(inst(4000)), 0.0);
+        assert_eq!(fd.suspicion(inst(4100)), 0.0);
+        assert!((fd.suspicion(inst(4200)) - 1.0).abs() < 1e-9);
+        assert!((fd.suspicion(inst(4300)) - 2.0).abs() < 1e-9);
+        assert!(!fd.is_suspect(inst(4199)));
+        assert!(fd.is_suspect(inst(4201)));
+    }
+
+    #[test]
+    fn suspicion_monotone_in_time() {
+        let fd = fed(70);
+        let mut prev = -1.0;
+        for ms in (4000..6000).step_by(50) {
+            let s = fd.suspicion(inst(ms));
+            assert!(s >= prev, "suspicion decreased at {ms}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn feedback_adjusts_margin_and_freshness() {
+        let mut fd = fed(100);
+        let sloppy = QosMeasured {
+            detection_time: Duration::from_millis(200),
+            mistake_rate: 0.5,
+            query_accuracy: 0.9,
+            ..QosMeasured::empty()
+        };
+        let d = fd.apply_feedback(&sloppy);
+        assert_eq!(d.sat(), Some(Sat::Increase));
+        assert_eq!(fd.margin(), Duration::from_millis(150));
+        assert_eq!(fd.freshness_point(), Some(inst(4250)));
+
+        let slow = QosMeasured {
+            detection_time: Duration::from_millis(900),
+            mistake_rate: 0.0,
+            query_accuracy: 1.0,
+            ..QosMeasured::empty()
+        };
+        let d = fd.apply_feedback(&slow);
+        assert_eq!(d.sat(), Some(Sat::Decrease));
+        assert_eq!(fd.margin(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn infeasible_flag_sticks_until_acknowledged() {
+        let mut fd = fed(100);
+        let hopeless = QosMeasured {
+            detection_time: Duration::from_millis(900),
+            mistake_rate: 0.5,
+            query_accuracy: 0.5,
+            ..QosMeasured::empty()
+        };
+        let d = fd.apply_feedback(&hopeless);
+        assert!(d.is_infeasible());
+        assert!(fd.is_infeasible());
+        fd.acknowledge_infeasible();
+        assert!(!fd.is_infeasible());
+    }
+
+    #[test]
+    fn gap_filling_injects_synthetic_samples() {
+        let mut fd = SfdFd::new(cfg(100), spec());
+        for i in 0..10u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100));
+        }
+        assert_eq!(fd.synthetic_samples(), 0);
+        // seqs 10, 11, 12 lost; 13 arrives on schedule.
+        fd.heartbeat(13, inst(1400));
+        assert_eq!(fd.synthetic_samples(), 3);
+        // The estimator window saw all of 0..=13.
+        assert_eq!(fd.estimator().last_seq(), Some(13));
+        assert_eq!(fd.estimator().samples(), 14);
+    }
+
+    #[test]
+    fn gap_filling_disabled_leaves_holes() {
+        let mut c = cfg(100);
+        c.fill_gaps = false;
+        let mut fd = SfdFd::new(c, spec());
+        for i in 0..10u64 {
+            fd.heartbeat(i, inst((i as i64 + 1) * 100));
+        }
+        fd.heartbeat(13, inst(1400));
+        assert_eq!(fd.synthetic_samples(), 0);
+        assert_eq!(fd.estimator().samples(), 11);
+    }
+
+    #[test]
+    fn gap_filling_raises_estimate_under_bursts() {
+        // Same arrivals, with vs without fill: filled window should push
+        // the freshness point at least as late (synthetic samples model
+        // degraded conditions).
+        let drive = |fill: bool| {
+            let mut c = cfg(100);
+            c.fill_gaps = fill;
+            let mut fd = SfdFd::new(c, spec());
+            for i in 0..10u64 {
+                fd.heartbeat(i, inst((i as i64 + 1) * 100));
+            }
+            fd.heartbeat(15, inst(1700)); // 5 losses, arrival late by 100ms
+            fd.freshness_point().unwrap()
+        };
+        assert!(drive(true) >= drive(false));
+    }
+
+    #[test]
+    fn set_qos_spec_clears_infeasible() {
+        let mut fd = fed(100);
+        fd.infeasible_reported = true;
+        fd.set_qos_spec(QosSpec::permissive());
+        assert!(!fd.is_infeasible());
+        assert_eq!(fd.qos_spec().min_query_accuracy, 0.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_margin() {
+        let mut fd = fed(100);
+        fd.set_margin(Duration::from_millis(400));
+        fd.reset();
+        assert_eq!(fd.margin(), Duration::from_millis(100));
+        assert_eq!(fd.freshness_point(), None);
+        assert_eq!(fd.synthetic_samples(), 0);
+    }
+
+    #[test]
+    fn zero_margin_still_finite_suspicion() {
+        let mut fd = fed(0);
+        fd.set_margin(Duration::ZERO);
+        let s = fd.suspicion(inst(5000));
+        assert!(s.is_finite());
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SfdConfig::default().validate().is_ok());
+        assert!(SfdConfig { window: 0, ..Default::default() }.validate().is_err());
+        assert!(SfdConfig { initial_margin: Duration::from_millis(-1), ..Default::default() }
+            .validate()
+            .is_err());
+        let bad_fb = SfdConfig {
+            feedback: FeedbackConfig { beta: 2.0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(bad_fb.validate().is_err());
+    }
+}

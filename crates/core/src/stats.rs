@@ -1,0 +1,379 @@
+//! Scalar statistics used by the detectors: running moments and the normal
+//! distribution functions the φ accrual detector is built on.
+//!
+//! The φ detector (paper Eqs. 9–10) needs the normal CDF tail
+//! `P_later(t) = 1 − F(t)` and — for converting a suspicion threshold `Φ`
+//! back into an equivalent timeout — the normal quantile function. Neither
+//! is in `std`, and pulling in a scientific-computing dependency for two
+//! functions is not justified, so both are implemented here:
+//!
+//! * `erf`/`erfc` via the Abramowitz & Stegun 7.1.26 rational approximation
+//!   (max absolute error ≈ 1.5·10⁻⁷, ample for suspicion levels), and
+//! * the inverse normal CDF via Acklam's rational approximation refined by
+//!   one step of Halley's method (relative error below 1·10⁻⁹).
+
+use serde::{Deserialize, Serialize};
+
+/// Complementary error function `erfc(x)`.
+///
+/// Chebyshev-fitted rational approximation (Numerical Recipes' `erfcc`),
+/// with fractional error below 1.2·10⁻⁷ *everywhere* — crucially including
+/// the deep tail, where the φ detector needs `erfc` of 10⁻¹⁵ and below to
+/// stay meaningful (a `1 − erf(x)` formulation would cancel to zero there
+/// and clip the suspicion scale at φ ≈ 16).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function `erf(x) = 1 − erfc(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal cumulative distribution function.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Cumulative distribution function of `N(mean, std²)` at `x`.
+///
+/// A degenerate distribution (`std <= 0`) is treated as a step at `mean`.
+pub fn normal_cdf(x: f64, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 || !std.is_finite() {
+        return if x < mean { 0.0 } else { 1.0 };
+    }
+    std_normal_cdf((x - mean) / std)
+}
+
+/// Upper tail `P[X > x]` of `N(mean, std²)` — the paper's `P_later`.
+pub fn normal_tail(x: f64, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 || !std.is_finite() {
+        return if x < mean { 1.0 } else { 0.0 };
+    }
+    0.5 * erfc((x - mean) / (std * std::f64::consts::SQRT_2))
+}
+
+/// Inverse of the standard normal CDF (the probit function).
+///
+/// Acklam's rational approximation with one Halley refinement step.
+/// Returns `-inf`/`+inf` at `p = 0`/`p = 1` and `NaN` outside `[0, 1]`.
+pub fn std_normal_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement against a high-precision CDF (our erf-based CDF
+    // is good to ~1e-7; the refinement keeps the quantile consistent with
+    // it, which is what the round-trip property tests check).
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Quantile of `N(mean, std²)`.
+pub fn normal_quantile(p: f64, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 || !std.is_finite() {
+        return mean;
+    }
+    mean + std * std_normal_quantile(p)
+}
+
+/// Numerically stable running mean/variance (Welford's online algorithm).
+///
+/// Used by the Jacobson estimator's diagnostics and by the trace statistics
+/// code; also handy for tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        RunningMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables of erf (approximation error ≤ 2e-7).
+        assert_close(erf(0.0), 0.0, 2e-7);
+        assert_close(erf(0.5), 0.5204998778, 2e-7);
+        assert_close(erf(1.0), 0.8427007929, 2e-7);
+        assert_close(erf(2.0), 0.9953222650, 2e-7);
+        assert_close(erf(-1.0), -0.8427007929, 2e-7);
+        assert_close(erf(5.0), 1.0, 1e-7);
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert_close(std_normal_cdf(0.0), 0.5, 1e-7);
+        assert_close(std_normal_cdf(1.0), 0.8413447461, 1e-6);
+        assert_close(std_normal_cdf(-1.0), 0.1586552539, 1e-6);
+        assert_close(std_normal_cdf(1.959964), 0.975, 1e-5);
+        assert_close(std_normal_cdf(3.0), 0.9986501020, 1e-6);
+    }
+
+    #[test]
+    fn tail_is_one_minus_cdf() {
+        for &z in &[-3.0, -1.0, 0.0, 0.7, 2.5] {
+            assert_close(normal_tail(z, 0.0, 1.0), 1.0 - std_normal_cdf(z), 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        assert_close(std_normal_quantile(0.5), 0.0, 1e-6);
+        assert_close(std_normal_quantile(0.975), 1.959964, 1e-5);
+        assert_close(std_normal_quantile(0.025), -1.959964, 1e-5);
+        assert_close(std_normal_quantile(0.9986501), 3.0, 1e-4);
+        assert!(std_normal_quantile(0.0).is_infinite());
+        assert!(std_normal_quantile(1.0).is_infinite());
+        assert!(std_normal_quantile(-0.1).is_nan());
+        assert!(std_normal_quantile(1.1).is_nan());
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let z = std_normal_quantile(p);
+            assert_close(std_normal_cdf(z), p, 1e-6);
+        }
+    }
+
+    #[test]
+    fn scaled_normal_consistency() {
+        let mean = 103.5;
+        let std = 14.8;
+        let x = 120.0;
+        let z = (x - mean) / std;
+        assert_close(normal_cdf(x, mean, std), std_normal_cdf(z), 1e-12);
+        assert_close(normal_quantile(0.9, mean, std), mean + std * std_normal_quantile(0.9), 1e-9);
+    }
+
+    #[test]
+    fn degenerate_distribution_is_a_step() {
+        assert_eq!(normal_cdf(0.9, 1.0, 0.0), 0.0);
+        assert_eq!(normal_cdf(1.1, 1.0, 0.0), 1.0);
+        assert_eq!(normal_tail(0.9, 1.0, 0.0), 1.0);
+        assert_eq!(normal_tail(1.1, 1.0, 0.0), 0.0);
+        assert_eq!(normal_quantile(0.3, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn running_moments_basic() {
+        let mut m = RunningMoments::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert_close(m.mean(), 5.0, 1e-12);
+        assert_close(m.variance(), 4.0, 1e-12);
+        assert_close(m.std_dev(), 2.0, 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn running_moments_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut all = RunningMoments::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningMoments::new();
+        let mut right = RunningMoments::new();
+        for &x in &xs[..400] {
+            left.push(x);
+        }
+        for &x in &xs[400..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_close(left.mean(), all.mean(), 1e-9);
+        assert_close(left.variance(), all.variance(), 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn running_moments_empty() {
+        let m = RunningMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        let mut m2 = RunningMoments::new();
+        m2.merge(&m);
+        assert_eq!(m2.count(), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Trust/suspect transition logging and the accuracy metrics derived from
+//! it (paper Fig. 3: `T_M`, `T_MR`, and through them `MR` and `QAP`).
+//!
+//! A [`SuspicionLog`] records the instants at which a detector's binary
+//! output toggled while the monitored process was known to be alive. The
+//! summary over an observation window yields the accuracy half of the QoS
+//! tuple; the speed half (`T_D`) is computed by the evaluator in `sfd-qos`
+//! from freshness points.
+
+use crate::qos::QosMeasured;
+use crate::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+
+/// One output transition of a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// When the output changed.
+    pub at: Instant,
+    /// New state: `true` = suspect, `false` = trust.
+    pub suspect: bool,
+}
+
+/// Append-only log of trust/suspect transitions.
+///
+/// The log assumes the conventional initial state "trust" (paper Fig. 2:
+/// "we assume that p is trusted in the initial case"). Redundant
+/// transitions (to the current state) are ignored, and transition times
+/// must be non-decreasing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuspicionLog {
+    transitions: Vec<Transition>,
+}
+
+impl SuspicionLog {
+    /// Empty log (state: trusting).
+    pub fn new() -> Self {
+        SuspicionLog { transitions: Vec::new() }
+    }
+
+    /// Record that the detector output `suspect` at instant `at`.
+    ///
+    /// Returns `true` if this was an actual state change.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the last recorded transition (the log is a
+    /// timeline).
+    pub fn record(&mut self, at: Instant, suspect: bool) -> bool {
+        if let Some(last) = self.transitions.last() {
+            assert!(at >= last.at, "transitions must be recorded in time order");
+            if last.suspect == suspect {
+                return false;
+            }
+        } else if !suspect {
+            return false; // initial state is already "trust"
+        }
+        self.transitions.push(Transition { at, suspect });
+        true
+    }
+
+    /// All transitions, in time order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Detector state at instant `t` (state *after* any transition at `t`).
+    pub fn state_at(&self, t: Instant) -> bool {
+        match self.transitions.partition_point(|tr| tr.at <= t) {
+            0 => false,
+            n => self.transitions[n - 1].suspect,
+        }
+    }
+
+    /// Number of suspicion periods that *start* within `[start, end)`.
+    pub fn mistakes_in(&self, start: Instant, end: Instant) -> u64 {
+        self.transitions
+            .iter()
+            .filter(|tr| tr.suspect && tr.at >= start && tr.at < end)
+            .count() as u64
+    }
+
+    /// Total time spent in the suspect state within `[start, end]`.
+    pub fn suspect_time_in(&self, start: Instant, end: Instant) -> Duration {
+        if end <= start {
+            return Duration::ZERO;
+        }
+        let mut total = Duration::ZERO;
+        let mut state = self.state_at(start);
+        let mut cursor = start;
+        for tr in self.transitions.iter().filter(|tr| tr.at > start && tr.at <= end) {
+            if state {
+                total += tr.at - cursor;
+            }
+            state = tr.suspect;
+            cursor = tr.at;
+        }
+        if state {
+            total += end - cursor;
+        }
+        total
+    }
+
+    /// Summarise the accuracy metrics over `[start, end]`, assuming the
+    /// monitored process was alive throughout (so every suspicion period is
+    /// a mistake). The speed metric `detection_time` is left at zero for
+    /// the caller to fill in.
+    pub fn accuracy_summary(&self, start: Instant, end: Instant) -> QosMeasured {
+        let span = (end - start).max_zero();
+        if span == Duration::ZERO {
+            return QosMeasured::empty();
+        }
+        let mistakes = self.mistakes_in(start, end);
+        let suspect_time = self.suspect_time_in(start, end);
+        let span_secs = span.as_secs_f64();
+
+        // Average mistake duration T_M over mistakes starting in-window.
+        let mut durations = Vec::new();
+        let mut starts = Vec::new();
+        for (i, tr) in self.transitions.iter().enumerate() {
+            if tr.suspect && tr.at >= start && tr.at < end {
+                starts.push(tr.at);
+                let close = self.transitions[i + 1..]
+                    .iter()
+                    .find(|t2| !t2.suspect)
+                    .map(|t2| t2.at)
+                    .unwrap_or(end)
+                    .min(end);
+                durations.push(close - tr.at);
+            }
+        }
+        let avg_mistake_duration = if durations.is_empty() {
+            None
+        } else {
+            Some(durations.iter().copied().sum::<Duration>() / durations.len() as i64)
+        };
+        let avg_mistake_recurrence = if starts.len() >= 2 {
+            let total: Duration = starts.windows(2).map(|w| w[1] - w[0]).sum();
+            Some(total / (starts.len() as i64 - 1))
+        } else {
+            None
+        };
+
+        QosMeasured {
+            detection_time: Duration::ZERO,
+            mistake_rate: mistakes as f64 / span_secs,
+            query_accuracy: 1.0 - suspect_time.as_secs_f64() / span_secs,
+            avg_mistake_duration,
+            avg_mistake_recurrence,
+            mistakes,
+            observed_for: span,
+        }
+    }
+
+    /// Drop transitions strictly before `t` (epoch rollover), preserving
+    /// the state at `t` as the new implicit-or-explicit initial state.
+    pub fn truncate_before(&mut self, t: Instant) {
+        let state = self.state_at(t);
+        self.transitions.retain(|tr| tr.at >= t);
+        if state && self.transitions.first().is_none_or(|tr| tr.at > t || !tr.suspect) {
+            self.transitions.insert(0, Transition { at: t, suspect: true });
+        }
+    }
+
+    /// Clear the log entirely.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn initial_state_is_trust() {
+        let log = SuspicionLog::new();
+        assert!(!log.state_at(inst(0)));
+        assert!(!log.state_at(inst(1_000_000)));
+    }
+
+    #[test]
+    fn redundant_records_ignored() {
+        let mut log = SuspicionLog::new();
+        assert!(!log.record(inst(10), false)); // already trusting
+        assert!(log.record(inst(20), true));
+        assert!(!log.record(inst(30), true)); // already suspecting
+        assert!(log.record(inst(40), false));
+        assert_eq!(log.transitions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_panics() {
+        let mut log = SuspicionLog::new();
+        log.record(inst(20), true);
+        log.record(inst(10), false);
+    }
+
+    #[test]
+    fn state_queries() {
+        let mut log = SuspicionLog::new();
+        log.record(inst(100), true);
+        log.record(inst(150), false);
+        assert!(!log.state_at(inst(99)));
+        assert!(log.state_at(inst(100)));
+        assert!(log.state_at(inst(149)));
+        assert!(!log.state_at(inst(150)));
+    }
+
+    #[test]
+    fn suspect_time_accounting() {
+        let mut log = SuspicionLog::new();
+        log.record(inst(100), true);
+        log.record(inst(150), false);
+        log.record(inst(300), true);
+        log.record(inst(320), false);
+        assert_eq!(log.suspect_time_in(inst(0), inst(400)), Duration::from_millis(70));
+        // Window cutting through a suspicion period.
+        assert_eq!(log.suspect_time_in(inst(120), inst(310)), Duration::from_millis(40));
+        // Empty/inverted windows.
+        assert_eq!(log.suspect_time_in(inst(200), inst(200)), Duration::ZERO);
+        assert_eq!(log.suspect_time_in(inst(300), inst(200)), Duration::ZERO);
+    }
+
+    #[test]
+    fn accuracy_summary_matches_hand_computation() {
+        let mut log = SuspicionLog::new();
+        // Two mistakes: [1s, 1.5s) and [6s, 6.1s), observed over [0, 10s].
+        log.record(inst(1000), true);
+        log.record(inst(1500), false);
+        log.record(inst(6000), true);
+        log.record(inst(6100), false);
+        let m = log.accuracy_summary(inst(0), inst(10_000));
+        assert_eq!(m.mistakes, 2);
+        assert!((m.mistake_rate - 0.2).abs() < 1e-12);
+        assert!((m.query_accuracy - (1.0 - 0.6 / 10.0)).abs() < 1e-12);
+        assert_eq!(m.avg_mistake_duration, Some(Duration::from_millis(300)));
+        assert_eq!(m.avg_mistake_recurrence, Some(Duration::from_millis(5000)));
+        assert_eq!(m.observed_for, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn open_mistake_clipped_at_window_end() {
+        let mut log = SuspicionLog::new();
+        log.record(inst(9000), true);
+        let m = log.accuracy_summary(inst(0), inst(10_000));
+        assert_eq!(m.mistakes, 1);
+        assert_eq!(m.avg_mistake_duration, Some(Duration::from_millis(1000)));
+        assert_eq!(m.avg_mistake_recurrence, None);
+        assert!((m.query_accuracy - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_preserves_state() {
+        let mut log = SuspicionLog::new();
+        log.record(inst(100), true);
+        log.record(inst(200), false);
+        log.record(inst(300), true);
+        // Truncate while suspecting.
+        log.truncate_before(inst(350));
+        assert!(log.state_at(inst(350)));
+        assert_eq!(log.suspect_time_in(inst(350), inst(450)), Duration::from_millis(100));
+
+        let mut log2 = SuspicionLog::new();
+        log2.record(inst(100), true);
+        log2.record(inst(200), false);
+        log2.truncate_before(inst(250));
+        assert!(!log2.state_at(inst(250)));
+        assert_eq!(log2.transitions().len(), 0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let log = SuspicionLog::new();
+        let m = log.accuracy_summary(inst(5), inst(5));
+        assert_eq!(m, QosMeasured::empty());
+        let m = log.accuracy_summary(inst(0), inst(1000));
+        assert_eq!(m.mistakes, 0);
+        assert_eq!(m.query_accuracy, 1.0);
+    }
+}

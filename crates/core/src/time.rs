@@ -1,0 +1,464 @@
+//! Integer nanosecond time types shared by the simulator, the trace replay
+//! engine and the live runtime.
+//!
+//! Failure-detector evaluation replays multi-hour traces through an event
+//! queue; floating-point timestamps accumulate rounding error and make event
+//! ordering non-deterministic across platforms. We therefore keep *time* as
+//! signed 64-bit nanoseconds (±292 years of range) and convert to `f64`
+//! seconds only inside the statistical estimators, where relative precision
+//! is what matters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A span of time, in signed nanoseconds.
+///
+/// Unlike `std::time::Duration` this type is signed: estimation errors
+/// (`arrival − expected`) are naturally negative when a heartbeat arrives
+/// early, and Jacobson-style estimators need that sign.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration {
+    nanos: i64,
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration { nanos: 0 };
+    /// One nanosecond.
+    pub const NANOSECOND: Duration = Duration { nanos: 1 };
+    /// One microsecond.
+    pub const MICROSECOND: Duration = Duration { nanos: 1_000 };
+    /// One millisecond.
+    pub const MILLISECOND: Duration = Duration { nanos: 1_000_000 };
+    /// One second.
+    pub const SECOND: Duration = Duration { nanos: 1_000_000_000 };
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration { nanos: i64::MAX };
+
+    /// Build from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: i64) -> Self {
+        Duration { nanos }
+    }
+
+    /// Build from microseconds (saturating).
+    #[inline]
+    pub const fn from_micros(micros: i64) -> Self {
+        Duration { nanos: micros.saturating_mul(1_000) }
+    }
+
+    /// Build from milliseconds (saturating).
+    #[inline]
+    pub const fn from_millis(millis: i64) -> Self {
+        Duration { nanos: millis.saturating_mul(1_000_000) }
+    }
+
+    /// Build from whole seconds (saturating).
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Duration { nanos: secs.saturating_mul(1_000_000_000) }
+    }
+
+    /// Build from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Saturates at the representable range instead of panicking so that
+    /// estimator outputs such as `+inf` quantiles degrade gracefully into
+    /// "never expires".
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() {
+            return Duration::ZERO;
+        }
+        let nanos = secs * 1e9;
+        if nanos >= i64::MAX as f64 {
+            Duration::MAX
+        } else if nanos <= i64::MIN as f64 {
+            Duration { nanos: i64::MIN }
+        } else {
+            Duration { nanos: nanos.round() as i64 }
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> i64 {
+        self.nanos
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+
+    /// `true` if this duration is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.nanos < 0
+    }
+
+    /// Absolute value, saturating on `i64::MIN`.
+    #[inline]
+    pub const fn abs(self) -> Duration {
+        Duration { nanos: self.nanos.saturating_abs() }
+    }
+
+    /// Clamp to a non-negative duration.
+    #[inline]
+    pub const fn max_zero(self) -> Duration {
+        if self.nanos < 0 {
+            Duration::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos.saturating_add(rhs.nanos) }
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+
+    /// Multiply by a float factor (used by jitter and margin scaling).
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Pairwise minimum.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Pairwise maximum.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Conversion to `std::time::Duration`; negative values clamp to zero.
+    #[inline]
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.nanos.max(0) as u64)
+    }
+
+    /// Conversion from `std::time::Duration`, saturating at `i64::MAX` ns.
+    #[inline]
+    pub fn from_std(d: std::time::Duration) -> Self {
+        let nanos = d.as_nanos();
+        Duration { nanos: nanos.min(i64::MAX as u128) as i64 }
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.nanos;
+        let (sign, a) = if n < 0 { ("-", n.unsigned_abs()) } else { ("", n as u64) };
+        if a >= 1_000_000_000 {
+            write!(f, "{sign}{:.3}s", a as f64 / 1e9)
+        } else if a >= 1_000_000 {
+            write!(f, "{sign}{:.3}ms", a as f64 / 1e6)
+        } else if a >= 1_000 {
+            write!(f, "{sign}{:.3}us", a as f64 / 1e3)
+        } else {
+            write!(f, "{sign}{a}ns")
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos - rhs.nanos }
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.nanos -= rhs.nanos;
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    #[inline]
+    fn neg(self) -> Duration {
+        Duration { nanos: -self.nanos }
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: i64) -> Duration {
+        Duration { nanos: self.nanos * rhs }
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: i64) -> Duration {
+        Duration { nanos: self.nanos / rhs }
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+/// A point on the (simulated or wall-clock) timeline, in nanoseconds since
+/// an arbitrary epoch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Instant {
+    nanos: i64,
+}
+
+impl Instant {
+    /// The epoch.
+    pub const ZERO: Instant = Instant { nanos: 0 };
+    /// The far future; used as "no deadline".
+    pub const FAR_FUTURE: Instant = Instant { nanos: i64::MAX };
+
+    /// Build from raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(nanos: i64) -> Self {
+        Instant { nanos }
+    }
+
+    /// Build from milliseconds since the epoch (saturating).
+    #[inline]
+    pub const fn from_millis(millis: i64) -> Self {
+        Instant { nanos: millis.saturating_mul(1_000_000) }
+    }
+
+    /// Build from fractional seconds since the epoch.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Instant { nanos: Duration::from_secs_f64(secs).as_nanos() }
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> i64 {
+        self.nanos
+    }
+
+    /// Fractional seconds since the epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Signed distance to another instant (`self − earlier`).
+    #[inline]
+    pub const fn since(self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos - earlier.nanos)
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Instant {
+        Instant { nanos: self.nanos.saturating_add(d.as_nanos()) }
+    }
+
+    /// Pairwise minimum.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Pairwise maximum.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", Duration::from_nanos(self.nanos))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Duration::from_nanos(self.nanos))
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant { nanos: self.nanos + rhs.as_nanos() }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.nanos += rhs.as_nanos();
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant { nanos: self.nanos - rhs.as_nanos() }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration::from_nanos(self.nanos - rhs.nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_secs(2), Duration::from_millis(2000));
+        assert_eq!(Duration::from_millis(3), Duration::from_micros(3000));
+        assert_eq!(Duration::from_micros(5), Duration::from_nanos(5000));
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn duration_float_round_trip() {
+        let d = Duration::from_nanos(123_456_789);
+        let back = Duration::from_secs_f64(d.as_secs_f64());
+        assert!((back.as_nanos() - d.as_nanos()).abs() <= 1);
+    }
+
+    #[test]
+    fn duration_saturates_instead_of_panicking() {
+        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::MAX);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::MAX.saturating_add(Duration::SECOND), Duration::MAX);
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let a = Duration::from_millis(10);
+        let b = Duration::from_millis(25);
+        assert_eq!((a - b).as_nanos(), -15_000_000);
+        assert!((a - b).is_negative());
+        assert_eq!((a - b).abs(), Duration::from_millis(15));
+        assert_eq!((a - b).max_zero(), Duration::ZERO);
+        assert_eq!(-(a - b), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::from_millis(100);
+        let t1 = t0 + Duration::from_millis(50);
+        assert_eq!(t1 - t0, Duration::from_millis(50));
+        assert_eq!(t0.since(t1), Duration::from_millis(-50));
+        assert_eq!(t1.max(t0), t1);
+        assert_eq!(t1.min(t0), t0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Duration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Duration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Duration::from_secs(12).to_string(), "12.000s");
+        assert_eq!(Duration::from_millis(-12).to_string(), "-12.000ms");
+    }
+
+    #[test]
+    fn std_round_trip() {
+        let d = Duration::from_millis(1234);
+        assert_eq!(Duration::from_std(d.to_std()), d);
+        assert_eq!(Duration::from_millis(-5).to_std(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let d = Duration::from_millis(7);
+        let js = serde_json::to_string(&d).unwrap();
+        assert_eq!(js, "7000000");
+        let back: Duration = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn sum_and_scalar_ops() {
+        let total: Duration =
+            [1i64, 2, 3].iter().map(|&ms| Duration::from_millis(ms)).sum();
+        assert_eq!(total, Duration::from_millis(6));
+        assert_eq!(Duration::from_millis(6) / 3, Duration::from_millis(2));
+        assert_eq!(Duration::from_millis(6) * 2, Duration::from_millis(12));
+        assert_eq!(Duration::from_millis(6).mul_f64(0.5), Duration::from_millis(3));
+    }
+}

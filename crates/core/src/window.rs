@@ -1,0 +1,470 @@
+//! Sliding sample windows.
+//!
+//! Every detector in the paper keeps "the most recent n samples" (paper
+//! Sec. III and IV-C2, experiments use `WS = 1000`). [`SampleWindow`] is a
+//! fixed-capacity ring buffer over `f64` observations with O(1) push and
+//! O(1) mean/variance queries; [`ArrivalWindow`] specialises it for
+//! `(sequence number, arrival instant)` heartbeat records and provides the
+//! quantities the estimators need (shifted-arrival mean for Chen's `EA`,
+//! mean inter-arrival time for SFD and φ).
+
+use crate::time::{Duration, Instant};
+
+/// Fixed-capacity sliding window of `f64` samples with incremental moments.
+///
+/// Pushing into a full window evicts the oldest sample (paper Sec. IV-C2:
+/// "the previous oldest one is pushed out of the sampling window").
+/// Running sums are recomputed from scratch every `capacity` evictions so
+/// floating-point drift stays bounded no matter how many samples stream
+/// through.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    sum: f64,
+    sum_sq: f64,
+    evictions_since_rebuild: usize,
+}
+
+impl SampleWindow {
+    /// Create a window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SampleWindow {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            evictions_since_rebuild: 0,
+        }
+    }
+
+    /// Maximum number of samples retained.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Current number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no samples have been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once the window has reached capacity (the "warm-up" is over).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Push a sample, evicting the oldest if full. Returns the evicted
+    /// sample, if any.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let cap = self.capacity();
+        let evicted = if self.len < cap {
+            self.buf.push(x);
+            self.len += 1;
+            None
+        } else {
+            let old = std::mem::replace(&mut self.buf[self.head], x);
+            self.head = (self.head + 1) % cap;
+            self.sum -= old;
+            self.sum_sq -= old * old;
+            self.evictions_since_rebuild += 1;
+            Some(old)
+        };
+        self.sum += x;
+        self.sum_sq += x * x;
+        if self.evictions_since_rebuild >= cap {
+            self.rebuild_sums();
+        }
+        evicted
+    }
+
+    fn rebuild_sums(&mut self) {
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        for &x in &self.buf {
+            self.sum += x;
+            self.sum_sq += x * x;
+        }
+        self.evictions_since_rebuild = 0;
+    }
+
+    /// Arithmetic mean of the retained samples (0 if empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
+        }
+    }
+
+    /// Population variance of the retained samples (0 if fewer than 2).
+    ///
+    /// Clamped at zero: catastrophic cancellation on near-constant data can
+    /// otherwise produce a tiny negative value.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let n = self.len as f64;
+        let mean = self.sum / n;
+        (self.sum_sq / n - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Oldest retained sample.
+    pub fn front(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else if self.len < self.capacity() {
+            Some(self.buf[0])
+        } else {
+            Some(self.buf[self.head])
+        }
+    }
+
+    /// Newest retained sample.
+    pub fn back(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else if self.len < self.capacity() {
+            Some(self.buf[self.len - 1])
+        } else {
+            let idx = (self.head + self.capacity() - 1) % self.capacity();
+            Some(self.buf[idx])
+        }
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let cap = self.capacity();
+        let (head, len) = if self.len < cap { (0, self.len) } else { (self.head, cap) };
+        (0..len).map(move |i| self.buf[(head + i) % cap])
+    }
+
+    /// Drop all samples, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        self.evictions_since_rebuild = 0;
+    }
+}
+
+/// One retained heartbeat record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalSample {
+    /// Heartbeat sequence number (`i` in the paper's `m_i`).
+    pub seq: u64,
+    /// Arrival instant `A_i` on the monitor's clock.
+    pub arrival: Instant,
+}
+
+/// Sliding window of heartbeat arrivals.
+///
+/// Stores `(seq, arrival)` pairs and maintains, incrementally, the sum of
+/// *shifted arrivals* `A_i − i·Δ` that Chen's estimator averages (paper
+/// Eq. 2), where `Δ` is the nominal sending interval fixed at construction.
+#[derive(Debug, Clone)]
+pub struct ArrivalWindow {
+    samples: std::collections::VecDeque<ArrivalSample>,
+    capacity: usize,
+    interval: Duration,
+    /// Σ (A_i − i·Δ) over retained samples, in seconds.
+    shifted_sum: f64,
+    evictions_since_rebuild: usize,
+}
+
+impl ArrivalWindow {
+    /// Create a window of at most `capacity` arrivals for heartbeats sent
+    /// with nominal interval `interval`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, interval: Duration) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        ArrivalWindow {
+            samples: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            interval,
+            shifted_sum: 0.0,
+            evictions_since_rebuild: 0,
+        }
+    }
+
+    /// The nominal sending interval `Δ`.
+    #[inline]
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Maximum number of retained arrivals.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of retained arrivals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no arrival has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `true` once the window holds `capacity` arrivals.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    fn shifted(&self, s: ArrivalSample) -> f64 {
+        s.arrival.as_secs_f64() - s.seq as f64 * self.interval.as_secs_f64()
+    }
+
+    /// Record a heartbeat arrival. Out-of-order heartbeats (seq not greater
+    /// than the newest retained seq) are ignored and `false` is returned —
+    /// the channel model has no duplication, but UDP reordering can still
+    /// deliver a stale datagram late.
+    pub fn record(&mut self, seq: u64, arrival: Instant) -> bool {
+        if let Some(last) = self.samples.back() {
+            if seq <= last.seq {
+                return false;
+            }
+        }
+        let sample = ArrivalSample { seq, arrival };
+        if self.samples.len() == self.capacity {
+            if let Some(old) = self.samples.pop_front() {
+                self.shifted_sum -= self.shifted(old);
+                self.evictions_since_rebuild += 1;
+            }
+        }
+        self.shifted_sum += self.shifted(sample);
+        self.samples.push_back(sample);
+        if self.evictions_since_rebuild >= self.capacity {
+            self.shifted_sum = self.samples.iter().map(|&s| self.shifted(s)).sum();
+            self.evictions_since_rebuild = 0;
+        }
+        true
+    }
+
+    /// Newest retained arrival.
+    pub fn last(&self) -> Option<ArrivalSample> {
+        self.samples.back().copied()
+    }
+
+    /// Oldest retained arrival.
+    pub fn first(&self) -> Option<ArrivalSample> {
+        self.samples.front().copied()
+    }
+
+    /// Mean of the shifted arrivals `A_i − i·Δ`, in seconds — the first term
+    /// of Chen's Eq. 2 before the `(k+1)Δ` projection.
+    pub fn shifted_mean_secs(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.shifted_sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Empirical mean inter-arrival time over the window, accounting for
+    /// sequence gaps left by lost heartbeats: `(A_last − A_first) /
+    /// (seq_last − seq_first)`.
+    ///
+    /// This is the "average inter-arrival time Δt in this sliding window"
+    /// that SFD recomputes on every arrival (paper Sec. IV-C2).
+    pub fn mean_interarrival(&self) -> Option<Duration> {
+        let first = self.samples.front()?;
+        let last = self.samples.back()?;
+        if last.seq == first.seq {
+            return None;
+        }
+        let span = last.arrival - first.arrival;
+        Some(Duration::from_secs_f64(
+            span.as_secs_f64() / (last.seq - first.seq) as f64,
+        ))
+    }
+
+    /// Iterate retained samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = ArrivalSample> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Drop all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.shifted_sum = 0.0;
+        self.evictions_since_rebuild = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SampleWindow::new(0);
+    }
+
+    #[test]
+    fn fills_then_slides() {
+        let mut w = SampleWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.push(4.0), Some(1.0));
+        assert_eq!(w.push(5.0), Some(2.0));
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.front(), Some(3.0));
+        assert_eq!(w.back(), Some(5.0));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn moments_match_naive() {
+        let mut w = SampleWindow::new(4);
+        for x in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            w.push(x);
+        }
+        // Window now holds 3,4,5,6.
+        assert!((w.mean() - 4.5).abs() < 1e-12);
+        let naive_var = [3.0f64, 4.0, 5.0, 6.0]
+            .iter()
+            .map(|x| (x - 4.5) * (x - 4.5))
+            .sum::<f64>()
+            / 4.0;
+        assert!((w.variance() - naive_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_stream_does_not_drift() {
+        let mut w = SampleWindow::new(100);
+        // Mix large and small magnitudes to stress cancellation.
+        for i in 0..1_000_000u64 {
+            let x = if i % 2 == 0 { 1e9 } else { 1e-3 } + (i % 97) as f64;
+            w.push(x);
+        }
+        let naive_mean = w.iter().sum::<f64>() / w.len() as f64;
+        let naive_var =
+            w.iter().map(|x| (x - naive_mean) * (x - naive_mean)).sum::<f64>() / w.len() as f64;
+        assert!((w.mean() - naive_mean).abs() / naive_mean.abs() < 1e-9);
+        assert!((w.variance() - naive_var).abs() / naive_var.max(1.0) < 1e-6);
+    }
+
+    #[test]
+    fn variance_never_negative_on_constant_data() {
+        let mut w = SampleWindow::new(10);
+        for _ in 0..1000 {
+            w.push(103.501e-3);
+        }
+        assert!(w.variance() >= 0.0);
+        assert!(w.variance() < 1e-15);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SampleWindow::new(2);
+        w.push(1.0);
+        w.push(2.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        w.push(7.0);
+        assert_eq!(w.mean(), 7.0);
+    }
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn arrival_window_rejects_out_of_order() {
+        let mut w = ArrivalWindow::new(4, Duration::from_millis(100));
+        assert!(w.record(0, inst(100)));
+        assert!(w.record(1, inst(200)));
+        assert!(!w.record(1, inst(250)));
+        assert!(!w.record(0, inst(300)));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn arrival_window_shifted_mean() {
+        let delta = Duration::from_millis(100);
+        let mut w = ArrivalWindow::new(3, delta);
+        // Perfectly periodic arrivals offset by a 5 ms network delay:
+        // A_i = (i+1)*100ms + 5ms → A_i − i*Δ = 105 ms for every i.
+        for i in 0..5u64 {
+            w.record(i, inst((i as i64 + 1) * 100 + 5));
+        }
+        let m = w.shifted_mean_secs().unwrap();
+        assert!((m - 0.105).abs() < 1e-12, "{m}");
+    }
+
+    #[test]
+    fn arrival_window_mean_interarrival_with_gaps() {
+        let mut w = ArrivalWindow::new(10, Duration::from_millis(100));
+        w.record(0, inst(100));
+        // seq 1, 2 lost; seq 3 arrives on schedule.
+        w.record(3, inst(400));
+        let d = w.mean_interarrival().unwrap();
+        assert_eq!(d, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn arrival_window_eviction_keeps_sum_consistent() {
+        let delta = Duration::from_millis(10);
+        let mut w = ArrivalWindow::new(8, delta);
+        for i in 0..1000u64 {
+            // jittered arrivals
+            let jitter = ((i * 7919) % 13) as i64 - 6;
+            w.record(i, inst((i as i64 + 1) * 10 + jitter));
+        }
+        let naive: f64 = w
+            .iter()
+            .map(|s| s.arrival.as_secs_f64() - s.seq as f64 * delta.as_secs_f64())
+            .sum::<f64>()
+            / w.len() as f64;
+        assert!((w.shifted_mean_secs().unwrap() - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_window_single_sample_has_no_interarrival() {
+        let mut w = ArrivalWindow::new(4, Duration::from_millis(100));
+        assert!(w.mean_interarrival().is_none());
+        w.record(5, inst(600));
+        assert!(w.mean_interarrival().is_none());
+        assert_eq!(w.first().unwrap().seq, 5);
+        assert_eq!(w.last().unwrap().seq, 5);
+    }
+}

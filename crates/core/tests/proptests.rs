@@ -1,0 +1,306 @@
+//! Property-based tests for the core data structures and detectors.
+
+use proptest::prelude::*;
+use sfd_core::prelude::*;
+use sfd_core::stats::{normal_quantile, normal_tail, std_normal_cdf, std_normal_quantile};
+use sfd_core::window::ArrivalWindow;
+
+// ───────────────────────── SampleWindow ─────────────────────────
+
+proptest! {
+    /// The incremental window agrees with a naive recomputation after any
+    /// push sequence, and its reported size never exceeds capacity.
+    #[test]
+    fn sample_window_matches_naive_model(
+        cap in 1usize..64,
+        xs in prop::collection::vec(-1e6f64..1e6, 0..300),
+    ) {
+        let mut w = SampleWindow::new(cap);
+        let mut model: Vec<f64> = Vec::new();
+        for &x in &xs {
+            w.push(x);
+            model.push(x);
+            if model.len() > cap {
+                model.remove(0);
+            }
+            prop_assert_eq!(w.len(), model.len());
+            prop_assert_eq!(w.iter().collect::<Vec<_>>(), model.clone());
+            if !model.is_empty() {
+                let mean = model.iter().sum::<f64>() / model.len() as f64;
+                prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+                let var = model.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / model.len() as f64;
+                prop_assert!((w.variance() - var).abs() <= 1e-5 * var.max(1.0));
+                prop_assert!(w.variance() >= 0.0);
+            }
+        }
+    }
+
+    /// Arrival windows only ever hold strictly increasing sequence
+    /// numbers, and the shifted mean matches a naive recomputation.
+    #[test]
+    fn arrival_window_invariants(
+        cap in 1usize..32,
+        interval_ms in 1i64..1000,
+        events in prop::collection::vec((0u64..500, 0i64..1_000_000), 0..200),
+    ) {
+        let interval = Duration::from_millis(interval_ms);
+        let mut w = ArrivalWindow::new(cap, interval);
+        for &(seq, at_ms) in &events {
+            w.record(seq, Instant::from_millis(at_ms));
+            let seqs: Vec<u64> = w.iter().map(|s| s.seq).collect();
+            prop_assert!(seqs.windows(2).all(|p| p[0] < p[1]), "non-increasing seqs");
+            prop_assert!(w.len() <= cap);
+            if let Some(m) = w.shifted_mean_secs() {
+                let naive: f64 = w
+                    .iter()
+                    .map(|s| s.arrival.as_secs_f64() - s.seq as f64 * interval.as_secs_f64())
+                    .sum::<f64>() / w.len() as f64;
+                prop_assert!((m - naive).abs() < 1e-6 * naive.abs().max(1.0));
+            }
+        }
+    }
+}
+
+// ───────────────────────── normal math ─────────────────────────
+
+proptest! {
+    /// CDF is monotone and maps into [0, 1].
+    #[test]
+    fn cdf_monotone_and_bounded(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (fl, fh) = (std_normal_cdf(lo), std_normal_cdf(hi));
+        prop_assert!((0.0..=1.0).contains(&fl));
+        prop_assert!((0.0..=1.0).contains(&fh));
+        prop_assert!(fl <= fh + 1e-12);
+    }
+
+    /// Quantile and CDF are mutually inverse (within the approximation's
+    /// tolerance) over the bulk of the distribution.
+    #[test]
+    fn quantile_cdf_round_trip(p in 1e-6f64..0.999999) {
+        let z = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(z) - p).abs() < 1e-6, "p={p} z={z}");
+    }
+
+    /// Scaled quantile/tail consistency: the timeout the φ detector
+    /// derives really leaves `10^{-Φ}` of tail mass.
+    #[test]
+    fn tail_at_quantile_matches(
+        mean in 0.001f64..10.0,
+        std in 0.0001f64..1.0,
+        phi in 0.5f64..12.0,
+    ) {
+        let p = 1.0 - 10f64.powf(-phi);
+        let q = normal_quantile(p, mean, std);
+        let tail = normal_tail(q, mean, std);
+        // Relative agreement within the erfc approximation's error.
+        prop_assert!(
+            (tail.log10() - (-phi)).abs() < 0.01,
+            "phi={phi} tail={tail:e}"
+        );
+    }
+}
+
+// ─────────────────────── suspicion log ─────────────────────────
+
+proptest! {
+    /// For any transition sequence, the accuracy summary is internally
+    /// consistent: QAP ∈ [0,1], MR ≥ 0, suspect time ≤ window span.
+    #[test]
+    fn suspicion_log_summary_bounds(
+        mut times in prop::collection::vec(0i64..100_000, 0..40),
+        start_suspect in any::<bool>(),
+    ) {
+        times.sort_unstable();
+        let mut log = SuspicionLog::new();
+        let mut state = start_suspect;
+        for &t in &times {
+            log.record(Instant::from_millis(t), state);
+            state = !state;
+        }
+        let start = Instant::from_millis(0);
+        let end = Instant::from_millis(120_000);
+        let m = log.accuracy_summary(start, end);
+        prop_assert!((0.0..=1.0).contains(&m.query_accuracy));
+        prop_assert!(m.mistake_rate >= 0.0);
+        prop_assert!(m.mistakes as usize <= times.len());
+        let suspect_time = log.suspect_time_in(start, end);
+        prop_assert!(suspect_time >= Duration::ZERO);
+        prop_assert!(suspect_time <= end - start);
+        // QAP must equal 1 − suspect fraction.
+        let frac = suspect_time.as_secs_f64() / (end - start).as_secs_f64();
+        prop_assert!((m.query_accuracy - (1.0 - frac)).abs() < 1e-9);
+    }
+}
+
+// ─────────────────── detectors: accrual laws ───────────────────
+
+/// Arbitrary-but-plausible heartbeat streams: mostly periodic with jitter
+/// and occasional gaps.
+fn heartbeat_stream() -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((1u64..4, -20i64..60), 20..120).prop_map(|steps| {
+        let mut seq = 0u64;
+        let mut t = 0i64;
+        let mut out = Vec::with_capacity(steps.len());
+        for (dseq, jitter) in steps {
+            seq += dseq; // dseq > 1 models losses
+            t += 100 * dseq as i64 + jitter;
+            out.push((seq, t));
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Accrual suspicion is non-negative and non-decreasing while no
+    /// heartbeat arrives, for both accrual detectors.
+    #[test]
+    fn suspicion_monotone_between_heartbeats(stream in heartbeat_stream()) {
+        let interval = Duration::from_millis(100);
+        let mut sfd = SfdFd::new(
+            SfdConfig { window: 30, expected_interval: interval, ..Default::default() },
+            QosSpec::permissive(),
+        );
+        let mut phi = PhiFd::new(PhiConfig {
+            window: 30,
+            expected_interval: interval,
+            ..Default::default()
+        });
+        for &(seq, t_ms) in &stream {
+            sfd.heartbeat(seq, Instant::from_millis(t_ms));
+            phi.heartbeat(seq, Instant::from_millis(t_ms));
+        }
+        let last = Instant::from_millis(stream.last().unwrap().1);
+        let mut prev_s = -1.0f64;
+        let mut prev_p = -1.0f64;
+        for k in 0..50 {
+            let now = last + Duration::from_millis(20 * k);
+            let s = sfd.suspicion(now);
+            let p = phi.suspicion(now);
+            prop_assert!(s >= 0.0 && s >= prev_s, "SFD suspicion decreased");
+            prop_assert!(p >= -0.0 && p >= prev_p - 1e-12, "phi suspicion decreased");
+            prev_s = s;
+            prev_p = p;
+        }
+    }
+
+    /// The binary view is exactly "suspicion past threshold" for SFD, and
+    /// a larger Chen α never suspects earlier than a smaller one.
+    #[test]
+    fn binary_consistency_and_alpha_ordering(stream in heartbeat_stream()) {
+        let interval = Duration::from_millis(100);
+        let mut sfd = SfdFd::new(
+            SfdConfig { window: 30, expected_interval: interval, ..Default::default() },
+            QosSpec::permissive(),
+        );
+        let mut chen_small = ChenFd::new(ChenConfig {
+            window: 30,
+            expected_interval: interval,
+            alpha: Duration::from_millis(50),
+        });
+        let mut chen_big = ChenFd::new(ChenConfig {
+            window: 30,
+            expected_interval: interval,
+            alpha: Duration::from_millis(500),
+        });
+        for &(seq, t_ms) in &stream {
+            let at = Instant::from_millis(t_ms);
+            sfd.heartbeat(seq, at);
+            chen_small.heartbeat(seq, at);
+            chen_big.heartbeat(seq, at);
+        }
+        let last = Instant::from_millis(stream.last().unwrap().1);
+        for k in 0..30 {
+            let now = last + Duration::from_millis(37 * k);
+            let threshold = sfd.default_threshold();
+            prop_assert_eq!(sfd.is_suspect(now), sfd.suspicion(now) > threshold);
+            // Monotone margins: suspect(big α) ⇒ suspect(small α).
+            if chen_big.is_suspect(now) {
+                prop_assert!(chen_small.is_suspect(now));
+            }
+        }
+    }
+}
+
+// ─────────────────── feedback controller laws ───────────────────
+
+proptest! {
+    /// The margin always stays inside the configured clamp band, and the
+    /// decision matches the classification table.
+    #[test]
+    fn feedback_margin_clamped_and_classified(
+        initial_ms in 0i64..5000,
+        epochs in prop::collection::vec((0i64..2000, 0.0f64..2.0, 0.5f64..1.0), 1..60),
+    ) {
+        use sfd_core::feedback::FeedbackConfig;
+        let spec = QosSpec::new(Duration::from_millis(500), 0.10, 0.98).unwrap();
+        let cfg = FeedbackConfig {
+            alpha: Duration::from_millis(100),
+            beta: 0.5,
+            min_margin: Duration::from_millis(10),
+            max_margin: Duration::from_millis(3000),
+            infeasible_tolerance: 1,
+        };
+        let mut ctl = FeedbackController::new(spec, cfg, Duration::from_millis(initial_ms)).unwrap();
+        for (td_ms, mr, qap) in epochs {
+            let measured = QosMeasured {
+                detection_time: Duration::from_millis(td_ms),
+                mistake_rate: mr,
+                query_accuracy: qap,
+                ..QosMeasured::empty()
+            };
+            let speed_ok = measured.speed_ok(&spec);
+            let acc_ok = measured.accuracy_ok(&spec);
+            let d = ctl.step(&measured);
+            match (speed_ok, acc_ok) {
+                (true, true) => prop_assert_eq!(d.sat(), Some(Sat::Hold)),
+                (true, false) => prop_assert_eq!(d.sat(), Some(Sat::Increase)),
+                (false, true) => prop_assert_eq!(d.sat(), Some(Sat::Decrease)),
+                (false, false) => prop_assert!(d.is_infeasible()),
+            }
+            prop_assert!(ctl.margin() >= cfg.min_margin);
+            prop_assert!(ctl.margin() <= cfg.max_margin);
+        }
+    }
+}
+
+// ─────────────────── gap filler laws ───────────────────
+
+proptest! {
+    /// Synthetic delays are monotone within a loss run and the average
+    /// adjacent-gap statistic equals total losses / runs.
+    #[test]
+    fn gap_filler_run_accounting(pattern in prop::collection::vec(any::<bool>(), 1..200)) {
+        use sfd_core::gapfill::GapFiller;
+        let mut g = GapFiller::new();
+        let interval = Duration::from_millis(100);
+        let mut total_losses = 0u64;
+        let mut runs = 0u64;
+        let mut in_run = false;
+        let mut last_fill = Duration::ZERO;
+        for lost in pattern {
+            if lost {
+                let d = g.fill_loss(interval);
+                if in_run {
+                    prop_assert!(d > last_fill, "fills must grow within a run");
+                } else {
+                    in_run = true;
+                }
+                last_fill = d;
+                total_losses += 1;
+            } else {
+                if in_run {
+                    runs += 1;
+                    in_run = false;
+                }
+                g.observe_arrival(Duration::from_millis(5));
+            }
+        }
+        if runs > 0 {
+            prop_assert!((g.avg_adjacent_gaps()
+                - (total_losses - g.current_run_len()) as f64 / runs as f64).abs() < 1e-9);
+        }
+        prop_assert_eq!(g.completed_runs(), runs);
+    }
+}

@@ -1,0 +1,203 @@
+//! Ablations of SFD's design choices (the DESIGN.md experiment index's
+//! "ablation benches for the design choices").
+//!
+//! * **Gap filling** (paper Sec. IV-C2): does synthesising window samples
+//!   for lost heartbeats actually help on a lossy channel?
+//! * **Feedback epoch length** (paper Sec. IV-A "time slots"): short
+//!   epochs react faster but measure noisier QoS; long epochs are stable
+//!   but slow to converge.
+//! * **Adjustment rate `β`** (paper Eq. 13): "the value β is for the
+//!   adjusting rate, and it could be dynamically chosen by users".
+
+use crate::convergence::run_convergence;
+use crate::eval::{EvalConfig, ReplayEvaluator};
+use serde::{Deserialize, Serialize};
+use sfd_core::detector::SelfTuning;
+use sfd_core::feedback::FeedbackConfig;
+use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::time::Duration;
+use sfd_trace::trace::Trace;
+
+/// Result of the gap-filling ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapFillAblation {
+    /// QoS with gap filling enabled (the paper's design).
+    pub with_fill: QosMeasured,
+    /// QoS with gap filling disabled.
+    pub without_fill: QosMeasured,
+    /// Synthetic samples the filling variant injected.
+    pub synthetic_samples: u64,
+}
+
+/// Run SFD twice over the same trace — gap filling on and off — with the
+/// feedback loop active in both runs.
+pub fn gap_fill_ablation(
+    trace: &Trace,
+    base: SfdConfig,
+    spec: QosSpec,
+    epoch: Duration,
+    eval: EvalConfig,
+) -> Option<GapFillAblation> {
+    let evaluator = ReplayEvaluator::new(eval);
+    let run = |fill: bool| -> Option<(QosMeasured, u64)> {
+        let mut fd = SfdFd::new(SfdConfig { fill_gaps: fill, ..base }, spec);
+        let r = evaluator.evaluate_with_epochs(&mut fd, trace, epoch, |d, q| {
+            let _ = d.apply_feedback(q);
+        })?;
+        Some((r.qos, fd.synthetic_samples()))
+    };
+    let (with_fill, synthetic) = run(true)?;
+    let (without_fill, _) = run(false)?;
+    Some(GapFillAblation { with_fill, without_fill, synthetic_samples: synthetic })
+}
+
+/// One row of the epoch-length (or β) ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningAblationRow {
+    /// The varied quantity (epoch seconds, or β).
+    pub value: f64,
+    /// Epoch index of the first `Hold` decision (`None` = never settled).
+    pub first_hold: Option<u64>,
+    /// Number of infeasible epochs.
+    pub infeasible_epochs: u64,
+    /// Overall run QoS.
+    pub overall: QosMeasured,
+    /// Final margin after the run.
+    pub final_margin: Duration,
+}
+
+/// Vary the feedback epoch length; everything else fixed.
+pub fn epoch_length_ablation(
+    trace: &Trace,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    epochs: &[Duration],
+    eval: EvalConfig,
+) -> Vec<TuningAblationRow> {
+    epochs
+        .iter()
+        .filter_map(|&epoch| {
+            let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
+            Some(TuningAblationRow {
+                value: epoch.as_secs_f64(),
+                first_hold: rep.first_hold,
+                infeasible_epochs: rep.infeasible_epochs,
+                overall: rep.overall,
+                final_margin: rep.epochs.last().map(|e| e.margin).unwrap_or(Duration::ZERO),
+            })
+        })
+        .collect()
+}
+
+/// Vary the adjustment rate `β`; everything else fixed.
+pub fn beta_ablation(
+    trace: &Trace,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    betas: &[f64],
+    epoch: Duration,
+    eval: EvalConfig,
+) -> Vec<TuningAblationRow> {
+    betas
+        .iter()
+        .filter_map(|&beta| {
+            let cfg = SfdConfig {
+                feedback: FeedbackConfig { beta, ..cfg.feedback },
+                ..cfg
+            };
+            let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
+            Some(TuningAblationRow {
+                value: beta,
+                first_hold: rep.first_hold,
+                infeasible_epochs: rep.infeasible_epochs,
+                overall: rep.overall,
+                final_margin: rep.epochs.last().map(|e| e.margin).unwrap_or(Duration::ZERO),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_trace::presets::WanCase;
+
+    fn cfg(interval: Duration) -> SfdConfig {
+        SfdConfig {
+            window: 500,
+            expected_interval: interval,
+            initial_margin: Duration::from_millis(20),
+            feedback: FeedbackConfig {
+                alpha: Duration::from_millis(50),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        }
+    }
+
+    #[test]
+    fn gap_fill_injects_and_reports() {
+        // WAN-2: 5% bursty loss — the gap filler has work to do.
+        let trace = WanCase::Wan2.preset().generate(60_000);
+        let spec = QosSpec::new(Duration::from_millis(900), 0.10, 0.95).unwrap();
+        let ab = gap_fill_ablation(
+            &trace,
+            cfg(trace.interval),
+            spec,
+            Duration::from_secs(15),
+            EvalConfig { warmup: 500 },
+        )
+        .unwrap();
+        assert!(ab.synthetic_samples > 1000, "losses must be filled: {}", ab.synthetic_samples);
+        // Both runs produce sane QoS; the filled variant should not be
+        // wildly worse on accuracy (it models degraded conditions).
+        assert!((0.0..=1.0).contains(&ab.with_fill.query_accuracy));
+        assert!((0.0..=1.0).contains(&ab.without_fill.query_accuracy));
+    }
+
+    #[test]
+    fn epoch_length_trades_settling_for_stability() {
+        let trace = WanCase::Wan3.preset().generate(60_000);
+        let spec = QosSpec::new(Duration::from_millis(800), 0.05, 0.97).unwrap();
+        let rows = epoch_length_ablation(
+            &trace,
+            cfg(trace.interval),
+            spec,
+            &[Duration::from_secs(5), Duration::from_secs(60)],
+            EvalConfig { warmup: 500 },
+        );
+        assert_eq!(rows.len(), 2);
+        // Short epochs settle within fewer wall-clock seconds: the first
+        // Hold happens at epoch index i → time i·epoch. The 5 s run must
+        // not need more wall-clock time than the 60 s run.
+        if let (Some(h5), Some(h60)) = (rows[0].first_hold, rows[1].first_hold) {
+            assert!(h5 as f64 * 5.0 <= h60 as f64 * 60.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn beta_scales_step_size() {
+        let trace = WanCase::Wan3.preset().generate(40_000);
+        // A spec the initial margin badly misses so every run keeps
+        // increasing for a while.
+        let spec = QosSpec::new(Duration::from_millis(900), 0.001, 0.999).unwrap();
+        let rows = beta_ablation(
+            &trace,
+            cfg(trace.interval),
+            spec,
+            &[0.1, 1.0],
+            Duration::from_secs(10),
+            EvalConfig { warmup: 500 },
+        );
+        assert_eq!(rows.len(), 2);
+        // Bigger β moves the margin further in the same number of epochs.
+        assert!(
+            rows[1].final_margin >= rows[0].final_margin,
+            "β=1.0 margin {} vs β=0.1 margin {}",
+            rows[1].final_margin,
+            rows[0].final_margin
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! "Area covered" analysis (paper Sec. V):
+//!
+//! > "we measure the area covered by the failure detector when we vary
+//! > its parameter from a highly aggressive behavior to a very
+//! > conservative one. The area covered by a failure detector is the area
+//! > that corresponds to a set of QoS requirements that can possibly be
+//! > matched by that failure detector."
+//!
+//! A QoS requirement `(T̄_D, M̄R)` is *matched* by a sweep if some point
+//! has `T_D ≤ T̄_D` and `MR ≤ M̄R`. This module computes Pareto fronts of
+//! sweep curves, the matched-requirement area over a grid (log-scaled in
+//! MR, as the paper's figures are), and the crossover between two
+//! detectors' curves — the quantitative backing for statements like
+//! "when TD < 0.3 s, the Chen FD and φ FD can obtain the similar MR and
+//! TD … When TD > 0.9 s, Chen FD can obtain the lowest MR".
+
+use crate::report::CurvePoint;
+use serde::{Deserialize, Serialize};
+
+/// `a` dominates `b` in the (TD, MR) plane: at least as good on both
+/// axes, strictly better on one.
+pub fn dominates(a: &CurvePoint, b: &CurvePoint) -> bool {
+    (a.td_secs <= b.td_secs && a.mr <= b.mr) && (a.td_secs < b.td_secs || a.mr < b.mr)
+}
+
+/// The Pareto-optimal subset of a sweep (minimising TD and MR), sorted by
+/// ascending TD.
+pub fn pareto_front(points: &[CurvePoint]) -> Vec<CurvePoint> {
+    let mut sorted: Vec<CurvePoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.td_secs.partial_cmp(&b.td_secs).unwrap().then(a.mr.partial_cmp(&b.mr).unwrap())
+    });
+    let mut front: Vec<CurvePoint> = Vec::new();
+    let mut best_mr = f64::INFINITY;
+    for p in sorted {
+        if p.mr < best_mr {
+            best_mr = p.mr;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// A requirement grid over which matched area is measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequirementGrid {
+    /// Candidate detection-time bounds, seconds (ascending).
+    pub td_bounds: Vec<f64>,
+    /// Candidate mistake-rate bounds, 1/s (ascending).
+    pub mr_bounds: Vec<f64>,
+}
+
+impl RequirementGrid {
+    /// A log-spaced grid spanning `td ∈ [td_lo, td_hi]` (linear, `n_td`
+    /// points) × `mr ∈ [mr_lo, mr_hi]` (log, `n_mr` points) — matching the
+    /// axes of the paper's Figs. 6/9.
+    pub fn log_mr(td_lo: f64, td_hi: f64, n_td: usize, mr_lo: f64, mr_hi: f64, n_mr: usize) -> Self {
+        assert!(n_td >= 2 && n_mr >= 2 && td_hi > td_lo && mr_hi > mr_lo && mr_lo > 0.0);
+        let td_bounds = (0..n_td)
+            .map(|i| td_lo + (td_hi - td_lo) * i as f64 / (n_td - 1) as f64)
+            .collect();
+        let (a, b) = (mr_lo.ln(), mr_hi.ln());
+        let mr_bounds =
+            (0..n_mr).map(|i| (a + (b - a) * i as f64 / (n_mr - 1) as f64).exp()).collect();
+        RequirementGrid { td_bounds, mr_bounds }
+    }
+
+    /// Total number of candidate requirements.
+    pub fn len(&self) -> usize {
+        self.td_bounds.len() * self.mr_bounds.len()
+    }
+
+    /// `true` if the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.td_bounds.is_empty() || self.mr_bounds.is_empty()
+    }
+}
+
+/// Can this sweep match the requirement `(max_td, max_mr)`?
+pub fn can_match(points: &[CurvePoint], max_td: f64, max_mr: f64) -> bool {
+    points.iter().any(|p| p.td_secs <= max_td && p.mr <= max_mr)
+}
+
+/// Fraction of the grid's requirements this sweep can match — the paper's
+/// "area covered".
+pub fn coverage(points: &[CurvePoint], grid: &RequirementGrid) -> f64 {
+    if grid.is_empty() {
+        return 0.0;
+    }
+    // Only the Pareto front matters; pre-reducing makes this O(front · grid).
+    let front = pareto_front(points);
+    let mut matched = 0usize;
+    for &td in &grid.td_bounds {
+        for &mr in &grid.mr_bounds {
+            if can_match(&front, td, mr) {
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / grid.len() as f64
+}
+
+/// Where two curves cross: the smallest grid TD bound at which `b` can
+/// match a strictly lower MR than `a` (or vice versa). Returns `None` if
+/// one curve dominates throughout the grid range.
+pub fn crossover_td(
+    a: &[CurvePoint],
+    b: &[CurvePoint],
+    grid: &RequirementGrid,
+) -> Option<f64> {
+    let best_mr_at = |pts: &[CurvePoint], max_td: f64| -> f64 {
+        pts.iter()
+            .filter(|p| p.td_secs <= max_td)
+            .map(|p| p.mr)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut last_sign = 0i8;
+    for &td in &grid.td_bounds {
+        let (ma, mb) = (best_mr_at(a, td), best_mr_at(b, td));
+        if !ma.is_finite() && !mb.is_finite() {
+            continue;
+        }
+        let sign = match ma.partial_cmp(&mb).unwrap() {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Equal => 0,
+        };
+        if sign != 0 && last_sign != 0 && sign != last_sign {
+            return Some(td);
+        }
+        if sign != 0 {
+            last_sign = sign;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(td: f64, mr: f64) -> CurvePoint {
+        CurvePoint { param: 0.0, td_secs: td, mr, qap: 1.0 - mr / 100.0 }
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(dominates(&pt(0.1, 1.0), &pt(0.2, 2.0)));
+        assert!(dominates(&pt(0.1, 1.0), &pt(0.1, 2.0)));
+        assert!(!dominates(&pt(0.1, 1.0), &pt(0.1, 1.0)));
+        assert!(!dominates(&pt(0.1, 2.0), &pt(0.2, 1.0))); // trade-off
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated() {
+        let pts = vec![pt(0.1, 10.0), pt(0.2, 5.0), pt(0.25, 7.0), pt(0.4, 1.0), pt(0.5, 1.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 3);
+        assert_eq!(front[0].td_secs, 0.1);
+        assert_eq!(front[1].td_secs, 0.2);
+        assert_eq!(front[2].td_secs, 0.4);
+    }
+
+    #[test]
+    fn coverage_orders_detectors_correctly() {
+        // A wide curve (Chen-like) must cover more than a truncated one
+        // (φ-like) on the same grid.
+        let wide: Vec<CurvePoint> =
+            (1..=10).map(|i| pt(0.1 * i as f64, 10.0 / i as f64)).collect();
+        let truncated: Vec<CurvePoint> =
+            (1..=3).map(|i| pt(0.1 * i as f64, 10.0 / i as f64)).collect();
+        let grid = RequirementGrid::log_mr(0.05, 1.2, 24, 0.5, 20.0, 24);
+        let cw = coverage(&wide, &grid);
+        let ct = coverage(&truncated, &grid);
+        assert!(cw > ct, "wide {cw} vs truncated {ct}");
+        assert!(cw > 0.0 && cw < 1.0);
+    }
+
+    #[test]
+    fn coverage_empty_curve_is_zero() {
+        let grid = RequirementGrid::log_mr(0.1, 1.0, 4, 0.01, 1.0, 4);
+        assert_eq!(coverage(&[], &grid), 0.0);
+    }
+
+    #[test]
+    fn can_match_boundary() {
+        let pts = [pt(0.3, 0.5)];
+        assert!(can_match(&pts, 0.3, 0.5));
+        assert!(!can_match(&pts, 0.29, 0.5));
+        assert!(!can_match(&pts, 0.3, 0.49));
+    }
+
+    #[test]
+    fn crossover_detects_flip() {
+        // a wins early (low TD), b wins late.
+        let a = vec![pt(0.1, 1.0), pt(0.5, 0.9)];
+        let b = vec![pt(0.1, 2.0), pt(0.5, 0.1)];
+        let grid = RequirementGrid::log_mr(0.1, 0.6, 11, 0.05, 3.0, 11);
+        let x = crossover_td(&a, &b, &grid).expect("must cross");
+        assert!(x > 0.1 && x <= 0.6, "{x}");
+        // A dominant curve never crosses.
+        let dom = vec![pt(0.1, 0.5), pt(0.5, 0.05)];
+        assert_eq!(crossover_td(&dom, &a, &grid), None);
+    }
+
+    #[test]
+    fn grid_shapes() {
+        let g = RequirementGrid::log_mr(0.1, 1.0, 10, 1e-4, 1.0, 5);
+        assert_eq!(g.len(), 50);
+        assert!(!g.is_empty());
+        assert!((g.mr_bounds[0] - 1e-4).abs() < 1e-12);
+        assert!((g.mr_bounds[4] - 1.0).abs() < 1e-12);
+        assert!(g.td_bounds.windows(2).all(|w| w[1] > w[0]));
+    }
+}

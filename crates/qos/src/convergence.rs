@@ -1,0 +1,225 @@
+//! Self-tuning convergence analysis (paper Sec. V-B2 narrative).
+//!
+//! Runs SFD with the Algorithm-1 feedback loop and records the margin
+//! trajectory, the `Sat` decision sequence, and per-epoch QoS — the data
+//! behind statements like "our scheme gradually increased SM in next
+//! multiple freshness points τ to reduce the MR of output QoS" and the
+//! infeasibility response.
+
+use crate::eval::{EvalConfig, ReplayEvaluator};
+use serde::{Deserialize, Serialize};
+use sfd_core::detector::SelfTuning;
+use sfd_core::feedback::Sat;
+use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::time::Duration;
+use sfd_trace::trace::Trace;
+
+/// One feedback epoch's snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochSnapshot {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Safety margin *after* this epoch's adjustment.
+    pub margin: Duration,
+    /// The control signal applied (`None` = infeasible epoch).
+    pub sat: Option<Sat>,
+    /// QoS measured over this epoch.
+    pub qos: QosMeasured,
+}
+
+/// Full convergence report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Per-epoch snapshots, in order.
+    pub epochs: Vec<EpochSnapshot>,
+    /// Overall QoS over the whole measured run.
+    pub overall: QosMeasured,
+    /// Epoch index at which the margin first stabilised (first `Hold`
+    /// followed only by `Hold`s or sign-alternations around a fixed
+    /// point), if it did.
+    pub first_hold: Option<u64>,
+    /// Number of epochs flagged infeasible.
+    pub infeasible_epochs: u64,
+}
+
+impl ConvergenceReport {
+    /// Did the run ever report the target infeasible?
+    pub fn hit_infeasible(&self) -> bool {
+        self.infeasible_epochs > 0
+    }
+
+    /// Margins over time (convenience for plotting).
+    pub fn margin_trajectory(&self) -> Vec<(u64, Duration)> {
+        self.epochs.iter().map(|e| (e.epoch, e.margin)).collect()
+    }
+}
+
+/// Run SFD over `trace` with feedback every `epoch_len`, recording the
+/// full trajectory. Returns `None` if the trace is shorter than warm-up.
+pub fn run_convergence(
+    trace: &Trace,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    epoch_len: Duration,
+    eval: EvalConfig,
+) -> Option<ConvergenceReport> {
+    let evaluator = ReplayEvaluator::new(eval);
+    let mut fd = SfdFd::new(cfg, spec);
+    let mut epochs: Vec<EpochSnapshot> = Vec::new();
+    let report = evaluator.evaluate_with_epochs(&mut fd, trace, epoch_len, |d, q| {
+        let decision = d.apply_feedback(q);
+        epochs.push(EpochSnapshot {
+            epoch: epochs.len() as u64,
+            margin: d.margin(),
+            sat: decision.sat(),
+            qos: *q,
+        });
+    })?;
+
+    let first_hold = epochs.iter().find(|e| e.sat == Some(Sat::Hold)).map(|e| e.epoch);
+    let infeasible_epochs = epochs.iter().filter(|e| e.sat.is_none()).count() as u64;
+    Some(ConvergenceReport { epochs, overall: report.qos, first_hold, infeasible_epochs })
+}
+
+/// Concatenate two traces in time (the second shifted to start after the
+/// first) — models the "if systems have great changes" scenario where the
+/// network degrades mid-run and SFD must re-tune.
+pub fn concat_traces(first: &Trace, second: &Trace, gap: Duration) -> Trace {
+    let first_end = first
+        .records
+        .first()
+        .map(|r| r.sent + first.span())
+        .unwrap_or(sfd_core::time::Instant::ZERO);
+    let seq_base = first.records.last().map(|r| r.seq + 1).unwrap_or(0);
+    let t0 = second.records.first().map(|r| r.sent).unwrap_or(sfd_core::time::Instant::ZERO);
+    let shift = (first_end + gap) - t0;
+    let mut records = first.records.clone();
+    records.extend(second.records.iter().map(|r| sfd_simnet::heartbeat::HeartbeatRecord {
+        seq: seq_base + r.seq,
+        sent: r.sent + shift,
+        arrival: r.arrival.map(|a| a + shift),
+    }));
+    Trace::new(
+        format!("{}+{}", first.name, second.name),
+        first.interval,
+        records,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::feedback::FeedbackConfig;
+    use sfd_trace::presets::WanCase;
+
+    fn cfg(sm1_ms: i64, interval: Duration) -> SfdConfig {
+        SfdConfig {
+            window: 500,
+            expected_interval: interval,
+            initial_margin: Duration::from_millis(sm1_ms),
+            feedback: FeedbackConfig {
+                alpha: Duration::from_millis(50),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        }
+    }
+
+    #[test]
+    fn aggressive_start_converges_upward() {
+        let trace = WanCase::Wan3.preset().generate(50_000);
+        // Accuracy-driven spec with generous TD budget.
+        let spec = QosSpec::new(Duration::from_millis(800), 0.02, 0.98).unwrap();
+        let rep = run_convergence(
+            &trace,
+            cfg(1, trace.interval),
+            spec,
+            Duration::from_secs(10),
+            EvalConfig { warmup: 500 },
+        )
+        .unwrap();
+        assert!(!rep.epochs.is_empty());
+        // Margin must have grown from ~1 ms.
+        let last = rep.epochs.last().unwrap().margin;
+        assert!(last > Duration::from_millis(20), "margin {last}");
+        // Early epochs push upward.
+        assert_eq!(rep.epochs[0].sat, Some(Sat::Increase));
+        assert!(rep.first_hold.is_some(), "should eventually hold");
+        assert_eq!(rep.infeasible_epochs, 0);
+    }
+
+    #[test]
+    fn conservative_start_converges_downward() {
+        let trace = WanCase::Wan3.preset().generate(50_000);
+        let spec = QosSpec::new(Duration::from_millis(250), 1.0, 0.5).unwrap();
+        let rep = run_convergence(
+            &trace,
+            cfg(3000, trace.interval),
+            spec,
+            Duration::from_secs(10),
+            EvalConfig { warmup: 500 },
+        )
+        .unwrap();
+        assert_eq!(rep.epochs[0].sat, Some(Sat::Decrease));
+        let last = rep.epochs.last().unwrap().margin;
+        assert!(last < Duration::from_millis(3000), "margin {last}");
+    }
+
+    #[test]
+    fn impossible_target_reports_infeasible() {
+        let trace = WanCase::Wan2.preset().generate(50_000); // 5% bursty loss
+        // Detect within one heartbeat period AND essentially never be
+        // wrong, on a 5%-loss channel: hopeless.
+        let spec = QosSpec::new(Duration::from_millis(15), 1e-6, 0.999999).unwrap();
+        let rep = run_convergence(
+            &trace,
+            cfg(300, trace.interval),
+            spec,
+            Duration::from_secs(10),
+            EvalConfig { warmup: 500 },
+        )
+        .unwrap();
+        assert!(rep.hit_infeasible(), "expected infeasibility report");
+    }
+
+    #[test]
+    fn concat_shifts_second_trace() {
+        let a = WanCase::Wan3.preset().generate(1000);
+        let b = WanCase::Wan2.preset().generate(1000);
+        let c = concat_traces(&a, &b, Duration::from_secs(1));
+        assert_eq!(c.sent(), 2000);
+        // Seqs strictly increasing.
+        assert!(c.records.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        // Second part starts after the first ends.
+        let a_end = a.records.first().unwrap().sent + a.span();
+        assert!(c.records[1000].sent >= a_end + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retunes_after_network_shift() {
+        // Calm network, then 5%-loss network. SFD tuned on the calm part
+        // must grow its margin after the shift to keep MR in budget.
+        let calm = WanCase::Wan3.preset().generate(40_000);
+        let rough = WanCase::Wan2.preset().generate(40_000);
+        let both = concat_traces(&calm, &rough, Duration::from_millis(100));
+        let spec = QosSpec::new(Duration::from_millis(900), 0.05, 0.95).unwrap();
+        let rep = run_convergence(
+            &both,
+            cfg(30, both.interval),
+            spec,
+            Duration::from_secs(10),
+            EvalConfig { warmup: 500 },
+        )
+        .unwrap();
+        let n = rep.epochs.len();
+        assert!(n >= 10);
+        let early_margin = rep.epochs[n / 4].margin;
+        let late_margin = rep.epochs[n - 1].margin;
+        assert!(
+            late_margin > early_margin,
+            "margin should grow after the shift: {early_margin} → {late_margin}"
+        );
+    }
+}

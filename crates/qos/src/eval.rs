@@ -1,0 +1,413 @@
+//! Replay a heartbeat trace through a failure detector and measure its
+//! output QoS.
+//!
+//! ## Methodology (paper Sec. V, following Chen et al. [28])
+//!
+//! **Accuracy.** The monitored process is alive for the whole trace, so
+//! every suspicion period is a mistake. Between consecutive deliveries
+//! `A_k → A_{k+1}`, a binary detector suspects exactly on
+//! `(max(fp_k, A_k), A_{k+1})` where `fp_k` is the freshness point held
+//! after processing `A_k`; we accumulate those intervals in a
+//! [`SuspicionLog`] and read `MR`, `QAP`, `T_M`, `T_MR` off it.
+//!
+//! **Speed.** For every delivered heartbeat `m_k` we evaluate the
+//! *crash-after-send* hypothesis: had `p` crashed immediately after
+//! sending `m_k` (paper Fig. 2, case four), no later heartbeat exists and
+//! suspicion becomes permanent at `max(fp_k, A_k)`; the detection time
+//! sample is `max(fp_k, A_k) − σ_k`. `T_D` is the mean over all samples
+//! after warm-up. (The send log `σ_k` is "used only for statistics",
+//! exactly as in the paper.)
+//!
+//! **Warm-up.** The first `warmup` deliveries only feed the estimators;
+//! metric accounting starts at the warm-up boundary ("it is reasonable to
+//! analyze the sampled data only after the sliding window is full").
+
+use serde::{Deserialize, Serialize};
+use sfd_core::detector::FailureDetector;
+use sfd_core::histogram::DurationHistogram;
+use sfd_core::qos::QosMeasured;
+use sfd_core::suspicion::SuspicionLog;
+use sfd_core::time::{Duration, Instant};
+use sfd_trace::trace::Trace;
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Deliveries consumed before metric accounting starts. The paper
+    /// fills the whole sliding window (1000) before measuring.
+    pub warmup: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { warmup: 1000 }
+    }
+}
+
+/// Full evaluation output: the paper's QoS tuple plus distributional
+/// detail useful for debugging and the benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// The headline QoS tuple (T_D mean, MR, QAP, T_M, T_MR).
+    pub qos: QosMeasured,
+    /// Largest detection-time sample.
+    pub max_detection_time: Duration,
+    /// Full detection-time distribution (log-bucketed); `qos.detection_time`
+    /// is its exact mean, and the tail quantiles (p99, p999) tell how much
+    /// worse the unlucky crashes fare.
+    pub td_histogram: DurationHistogram,
+    /// Number of detection-time samples (delivered heartbeats after
+    /// warm-up).
+    pub td_samples: u64,
+    /// Deliveries processed in total (including warm-up).
+    pub deliveries: u64,
+    /// Start of the measurement window.
+    pub measured_from: Instant,
+    /// End of the measurement window.
+    pub measured_to: Instant,
+}
+
+/// Replays traces through detectors.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayEvaluator {
+    cfg: EvalConfig,
+}
+
+impl ReplayEvaluator {
+    /// Evaluator with the given configuration.
+    pub fn new(cfg: EvalConfig) -> Self {
+        ReplayEvaluator { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> EvalConfig {
+        self.cfg
+    }
+
+    /// Replay `trace` through `detector` and measure its QoS.
+    ///
+    /// Returns `None` if the trace has fewer post-warm-up deliveries than
+    /// needed to measure anything.
+    pub fn evaluate<D: FailureDetector + ?Sized>(
+        &self,
+        detector: &mut D,
+        trace: &Trace,
+    ) -> Option<EvalReport> {
+        self.evaluate_with_epochs(detector, trace, Duration::MAX, |_, _| {})
+    }
+
+    /// Replay with an epoch callback: `on_epoch(detector, epoch_qos)` is
+    /// invoked every `epoch_len` of trace time with the QoS measured over
+    /// that epoch — the hook the self-tuning feedback loop plugs into.
+    pub fn evaluate_with_epochs<D, F>(
+        &self,
+        detector: &mut D,
+        trace: &Trace,
+        epoch_len: Duration,
+        mut on_epoch: F,
+    ) -> Option<EvalReport>
+    where
+        D: FailureDetector + ?Sized,
+        F: FnMut(&mut D, &QosMeasured),
+    {
+        let deliveries = trace.deliveries();
+        if deliveries.len() <= self.cfg.warmup {
+            return None;
+        }
+        // Send-time lookup: records are in sequence order.
+        let send_of = |seq: u64| -> Option<Instant> {
+            let idx = trace.records.partition_point(|r| r.seq < seq);
+            trace.records.get(idx).filter(|r| r.seq == seq).map(|r| r.sent)
+        };
+
+        let mut log = SuspicionLog::new();
+        let mut td_sum = 0.0f64;
+        let mut td_count = 0u64;
+        let mut td_max = Duration::ZERO;
+        let mut td_hist = DurationHistogram::new();
+        // Epoch-local TD accumulation for the feedback callback.
+        let mut epoch_td_sum = 0.0f64;
+        let mut epoch_td_count = 0u64;
+
+        let mut measured_from = None;
+        let mut prev_fp: Option<Instant> = None;
+        let mut prev_arrival: Option<Instant> = None;
+        let mut epoch_start: Option<Instant> = None;
+
+        for (i, &(seq, arrival)) in deliveries.iter().enumerate() {
+            // 1. Close the suspicion interval the previous freshness point
+            //    opened, if it started before this arrival.
+            if let (Some(fp), Some(pa)) = (prev_fp, prev_arrival) {
+                let suspect_from = fp.max(pa);
+                if suspect_from < arrival {
+                    log.record(suspect_from, true);
+                    log.record(arrival, false);
+                }
+            }
+
+            // 2. Feed the detector.
+            detector.heartbeat(seq, arrival);
+            let fp = detector.freshness_point();
+
+            // 3. Crash-after-send detection-time sample.
+            let in_measurement = i >= self.cfg.warmup;
+            if in_measurement {
+                if measured_from.is_none() {
+                    measured_from = Some(arrival);
+                    epoch_start = Some(arrival);
+                }
+                if let (Some(fp), Some(sent)) = (fp, send_of(seq)) {
+                    if fp != Instant::FAR_FUTURE {
+                        let suspected_at = fp.max(arrival);
+                        let td = suspected_at - sent;
+                        td_sum += td.as_secs_f64();
+                        td_count += 1;
+                        td_max = td_max.max(td);
+                        td_hist.record(td);
+                        epoch_td_sum += td.as_secs_f64();
+                        epoch_td_count += 1;
+                    }
+                }
+            }
+
+            prev_fp = fp;
+            prev_arrival = Some(arrival);
+
+            // 4. Epoch rollover for the feedback hook.
+            if let Some(es) = epoch_start {
+                if epoch_len != Duration::MAX && arrival - es >= epoch_len {
+                    let mut epoch_qos = log.accuracy_summary(es, arrival);
+                    epoch_qos.detection_time = if epoch_td_count > 0 {
+                        Duration::from_secs_f64(epoch_td_sum / epoch_td_count as f64)
+                    } else {
+                        Duration::ZERO
+                    };
+                    on_epoch(detector, &epoch_qos);
+                    epoch_start = Some(arrival);
+                    epoch_td_sum = 0.0;
+                    epoch_td_count = 0;
+                    // A parameter change invalidates the pre-arrival
+                    // freshness point; recompute from current state.
+                    prev_fp = detector.freshness_point();
+                }
+            }
+        }
+
+        let measured_from = measured_from?;
+        let last_arrival = prev_arrival.expect("at least one delivery");
+        // Close any trailing suspicion up to the end of the trace.
+        let trace_end = trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO) + trace.span();
+        if let Some(fp) = prev_fp {
+            let suspect_from = fp.max(last_arrival);
+            if suspect_from < trace_end {
+                log.record(suspect_from, true);
+            }
+        }
+
+        let mut qos = log.accuracy_summary(measured_from, trace_end);
+        qos.detection_time = if td_count > 0 {
+            Duration::from_secs_f64(td_sum / td_count as f64)
+        } else {
+            // Pure warm-up or always-far-future detector: report the span
+            // as a conservative upper bound.
+            trace_end - measured_from
+        };
+
+        Some(EvalReport {
+            qos,
+            max_detection_time: td_max,
+            td_histogram: td_hist,
+            td_samples: td_count,
+            deliveries: deliveries.len() as u64,
+            measured_from,
+            measured_to: trace_end,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::chen::{ChenConfig, ChenFd};
+    use sfd_core::phi::{PhiConfig, PhiFd};
+    use sfd_simnet::heartbeat::HeartbeatRecord;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    /// Periodic trace, constant 50 ms delay, with chosen seqs lost.
+    fn trace_with_losses(n: u64, lost: &[u64]) -> Trace {
+        let records = (0..n)
+            .map(|i| HeartbeatRecord {
+                seq: i,
+                sent: inst((i as i64 + 1) * 100),
+                arrival: (!lost.contains(&i)).then(|| inst((i as i64 + 1) * 100 + 50)),
+            })
+            .collect();
+        Trace::new("t", Duration::from_millis(100), records)
+    }
+
+    fn chen(window: usize, alpha_ms: i64) -> ChenFd {
+        ChenFd::new(ChenConfig {
+            window,
+            expected_interval: Duration::from_millis(100),
+            alpha: Duration::from_millis(alpha_ms),
+        })
+    }
+
+    #[test]
+    fn perfect_trace_has_no_mistakes() {
+        let trace = trace_with_losses(500, &[]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 30);
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert_eq!(r.qos.mistakes, 0);
+        assert_eq!(r.qos.query_accuracy, 1.0);
+        assert_eq!(r.qos.mistake_rate, 0.0);
+        // On a perfectly periodic trace, EA(k+1) = A_k + 100 ms; the TD
+        // sample is (A_k + 100 + 30) − σ_k = 50 + 130 = 180 ms.
+        assert!(
+            (r.qos.detection_time.as_millis_f64() - 180.0).abs() < 1.0,
+            "TD {}",
+            r.qos.detection_time
+        );
+        assert_eq!(r.td_samples, 450);
+    }
+
+    #[test]
+    fn td_scales_with_alpha() {
+        let trace = trace_with_losses(500, &[]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut aggressive = chen(20, 10);
+        let mut conservative = chen(20, 500);
+        let ta = eval.evaluate(&mut aggressive, &trace).unwrap().qos.detection_time;
+        let tc = eval.evaluate(&mut conservative, &trace).unwrap().qos.detection_time;
+        assert!((tc - ta).as_millis_f64() - 490.0 < 1.0 && (tc - ta).as_millis_f64() > 480.0);
+    }
+
+    #[test]
+    fn a_loss_causes_a_mistake_for_aggressive_chen() {
+        // Heartbeat 100 lost: with α = 10 ms the timeout expires ~60 ms
+        // before heartbeat 101 arrives → one mistake.
+        let trace = trace_with_losses(300, &[100]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert_eq!(r.qos.mistakes, 1);
+        assert!(r.qos.query_accuracy < 1.0);
+        // Mistake duration ≈ arrival(101) − τ(100) ≈ 10_250 − 10_160 = 90 ms.
+        let tm = r.qos.avg_mistake_duration.unwrap();
+        assert!((tm.as_millis_f64() - 90.0).abs() < 2.0, "T_M {tm}");
+    }
+
+    #[test]
+    fn conservative_margin_rides_out_losses() {
+        let trace = trace_with_losses(300, &[100, 150, 200]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 300); // margin > one lost interval
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert_eq!(r.qos.mistakes, 0);
+    }
+
+    #[test]
+    fn mistake_rate_counts_per_second() {
+        // Deliveries every 100 ms over ~30 s, 3 single losses with a
+        // 10 ms margin → 3 mistakes.
+        let trace = trace_with_losses(300, &[100, 150, 200]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert_eq!(r.qos.mistakes, 3);
+        let span = (r.measured_to - r.measured_from).as_secs_f64();
+        assert!((r.qos.mistake_rate - 3.0 / span).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_excludes_early_mistakes() {
+        // Loss at seq 10 lands inside the warm-up window and must not be
+        // counted.
+        let trace = trace_with_losses(300, &[10]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert_eq!(r.qos.mistakes, 0);
+    }
+
+    #[test]
+    fn too_short_trace_returns_none() {
+        let trace = trace_with_losses(30, &[]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        assert!(eval.evaluate(&mut fd, &trace).is_none());
+    }
+
+    #[test]
+    fn phi_far_future_freshness_is_not_a_mistake() {
+        // Conservative φ (huge threshold): timeout saturates, no mistakes,
+        // and TD samples are skipped (would be infinite).
+        let trace = trace_with_losses(300, &[100]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = PhiFd::new(PhiConfig {
+            window: 100,
+            expected_interval: Duration::from_millis(100),
+            threshold: 17.0, // past the rounding cliff
+            min_std_fraction: 0.01,
+        });
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert_eq!(r.qos.mistakes, 0);
+        assert_eq!(r.td_samples, 0);
+    }
+
+    #[test]
+    fn epoch_callback_fires_and_sees_qos() {
+        let trace = trace_with_losses(1000, &[200, 400, 600]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        let mut epochs = 0;
+        let mut saw_mistake_epoch = false;
+        eval.evaluate_with_epochs(&mut fd, &trace, Duration::from_secs(10), |_, q| {
+            epochs += 1;
+            if q.mistakes > 0 {
+                saw_mistake_epoch = true;
+            }
+            assert!(q.detection_time > Duration::ZERO);
+        })
+        .unwrap();
+        // ~95 s of measured trace → ~9 epochs.
+        assert!(epochs >= 8, "epochs {epochs}");
+        assert!(saw_mistake_epoch);
+    }
+
+    #[test]
+    fn epoch_callback_can_mutate_detector() {
+        let trace = trace_with_losses(1000, &[]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        let mut bumped = false;
+        let r = eval
+            .evaluate_with_epochs(&mut fd, &trace, Duration::from_secs(20), |d, _| {
+                if !bumped {
+                    d.set_alpha(Duration::from_millis(500));
+                    bumped = true;
+                }
+            })
+            .unwrap();
+        // Mixed TD: some samples at α=10, later ones at α=500.
+        let td = r.qos.detection_time.as_millis_f64();
+        assert!(td > 200.0 && td < 680.0, "mixed TD {td}");
+    }
+
+    #[test]
+    fn trailing_suspicion_counts_until_trace_end() {
+        // Final heartbeats lost → detector suspects from its last timeout
+        // to the end of the trace.
+        let lost: Vec<u64> = (290..300).collect();
+        let trace = trace_with_losses(300, &lost);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = chen(20, 10);
+        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        assert!(r.qos.mistakes >= 1);
+        assert!(r.qos.query_accuracy < 1.0);
+    }
+}

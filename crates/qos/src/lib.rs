@@ -1,0 +1,44 @@
+//! # sfd-qos — replay-based QoS evaluation
+//!
+//! Implements the paper's evaluation methodology (Sec. V):
+//!
+//! * [`eval`] — replay a trace through a detector and measure the QoS
+//!   tuple: detection time `T_D` (crash-after-send hypothesis at every
+//!   delivered heartbeat), mistake rate `MR`, query accuracy probability
+//!   `QAP`, plus `T_M`/`T_MR`;
+//! * [`sweep`] — vary a detector's parameter from aggressive to
+//!   conservative and produce the (T_D, MR) / (T_D, QAP) curves of
+//!   Figs. 6–7 and 9–10, including the epoch-feedback SFD runs;
+//! * [`convergence`] — trace SFD's safety margin and `Sat` decisions over
+//!   time, including under mid-run network shifts;
+//! * [`area`] — the paper's "area covered by the failure detector"
+//!   analysis: Pareto fronts, matched-requirement coverage, crossovers;
+//! * [`ablation`] — ablations of SFD's design choices (gap filling,
+//!   epoch length, adjustment rate β);
+//! * [`planner`] — analytic margin planning from measured network
+//!   statistics (a warm start for SFD's `SM₁`);
+//! * [`report`] — serialisable series/result types and CSV emission.
+//!
+//! The same replayed trace drives every detector, so "all the FDs are
+//! compared in the same experimental condition" (paper Sec. V).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod area;
+pub mod convergence;
+pub mod eval;
+pub mod planner;
+pub mod report;
+pub mod sweep;
+
+pub use ablation::{beta_ablation, epoch_length_ablation, gap_fill_ablation, GapFillAblation, TuningAblationRow};
+pub use area::{can_match, coverage, crossover_td, dominates, pareto_front, RequirementGrid};
+pub use convergence::{ConvergenceReport, EpochSnapshot};
+pub use eval::{EvalConfig, EvalReport, ReplayEvaluator};
+pub use planner::{plan_margin, MarginPlan, NetworkModel};
+pub use report::{CurvePoint, CurveSeries, ExperimentResult};
+pub use sweep::{
+    bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd, SweepPoint,
+};

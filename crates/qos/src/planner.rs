@@ -1,0 +1,313 @@
+//! Analytic margin planning — a warm start for SFD's `SM₁`.
+//!
+//! Chen et al.'s original paper includes a *configuration procedure*:
+//! from the network's observable statistics, compute the parameter that
+//! meets a QoS requirement, instead of sweeping blindly. The SFD paper
+//! replaces the procedure with run-time feedback, but the two compose:
+//! an analytic estimate makes an excellent initial margin, and the
+//! feedback loop then corrects the model error ("a list about the initial
+//! safety margin SM₁ is given" — this module computes that list's best
+//! entry instead of guessing).
+//!
+//! ## Model
+//!
+//! Let `Δ` be the heartbeat interval, `p_L` the message-loss probability,
+//! and let the deviation of an arrival from its expected arrival be
+//! `N(0, σ²)` (σ estimated from the receiver's inter-arrival spread).
+//! With margin `α`:
+//!
+//! * a *delivered* heartbeat causes a wrong suspicion if its deviation
+//!   exceeds the margin: `P[N > α] = Q(α/σ)`;
+//! * a *loss run* causes a wrong suspicion only if it outlasts the
+//!   margin: the gap after `k` consecutive losses is `(k+1)·Δ`, so a
+//!   mistake needs `k ≥ ⌈α/Δ⌉`; with independent losses that run has
+//!   probability `p_L^⌈α/Δ⌉` per heartbeat (bursty channels are worse —
+//!   the model errs aggressive there, which the `+β` feedback path then
+//!   corrects);
+//! * mistake rate `λ(α) ≈ (p_L^max(1,⌈α/Δ⌉) + (1−p_L)·Q(α/σ)) / Δ`;
+//! * detection time `T_D(α) ≈ Δ + d̄ + α` (next send + mean delay +
+//!   margin);
+//! * `QAP(α) ≈ 1 − λ(α)·E[T_M]`, with the mean mistake duration
+//!   bounded by one interval (`E[T_M] ≲ Δ`: the next heartbeat ends it).
+//!
+//! The model errs aggressive on bursty channels (bursts beat the
+//! independence assumption) — which is the right side to err on for a
+//! warm start, since SFD's `+β` path will walk the margin up.
+
+use serde::{Deserialize, Serialize};
+use sfd_core::error::{CoreError, CoreResult};
+use sfd_core::qos::QosSpec;
+use sfd_core::time::Duration;
+use sfd_trace::stats::TraceStats;
+
+/// The network statistics the planner consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Heartbeat interval `Δ` (effective mean send period).
+    pub interval: Duration,
+    /// Mean one-way delay `d̄`.
+    pub mean_delay: Duration,
+    /// Standard deviation of the arrival deviation (σ).
+    pub deviation_std: Duration,
+    /// Message-loss probability `p_L`.
+    pub loss_rate: f64,
+}
+
+impl NetworkModel {
+    /// Derive the model from measured trace statistics.
+    ///
+    /// The arrival-deviation σ is estimated from the receiver-side
+    /// inter-arrival spread: `recv_var ≈ send_var + 2σ_dev²` under
+    /// independent deviations, so `σ_dev = sqrt(max(0, (recv² − send²)/2))`
+    /// — floored at 5% of the interval so a perfectly calm trace still
+    /// yields a usable margin scale.
+    pub fn from_stats(stats: &TraceStats) -> NetworkModel {
+        let recv = stats.recv_std.as_secs_f64();
+        let send = stats.send_std.as_secs_f64();
+        let var = ((recv * recv - send * send) / 2.0).max(0.0);
+        let floor = stats.send_mean.as_secs_f64() * 0.05;
+        NetworkModel {
+            interval: stats.send_mean,
+            mean_delay: stats.delay_mean,
+            deviation_std: Duration::from_secs_f64(var.sqrt().max(floor)),
+            loss_rate: stats.loss_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Predicted mistake rate at margin `α` (mistakes per second).
+    pub fn predicted_mistake_rate(&self, alpha: Duration) -> f64 {
+        let sigma = self.deviation_std.as_secs_f64();
+        let delta = self.interval.as_secs_f64();
+        let tail = if sigma <= 0.0 {
+            if alpha > Duration::ZERO {
+                0.0
+            } else {
+                0.5
+            }
+        } else {
+            sfd_core::stats::normal_tail(alpha.as_secs_f64(), 0.0, sigma)
+        };
+        // Loss runs longer than the margin covers.
+        let needed = (alpha.as_secs_f64() / delta).ceil().max(1.0);
+        let loss_term = if self.loss_rate <= 0.0 {
+            0.0
+        } else {
+            self.loss_rate.powf(needed)
+        };
+        let per_heartbeat = loss_term + (1.0 - self.loss_rate) * tail;
+        per_heartbeat / delta
+    }
+
+    /// Predicted detection time at margin `α` (saturating).
+    pub fn predicted_detection_time(&self, alpha: Duration) -> Duration {
+        self.interval.saturating_add(self.mean_delay).saturating_add(alpha)
+    }
+
+    /// Predicted query accuracy at margin `α` (mistakes last at most one
+    /// interval before the next heartbeat clears them).
+    pub fn predicted_qap(&self, alpha: Duration) -> f64 {
+        let lambda = self.predicted_mistake_rate(alpha);
+        (1.0 - lambda * self.interval.as_secs_f64()).clamp(0.0, 1.0)
+    }
+}
+
+/// The planner's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginPlan {
+    /// Recommended initial margin `SM₁`.
+    pub margin: Duration,
+    /// Predicted QoS at that margin (model values, to be corrected by the
+    /// live feedback).
+    pub predicted_td: Duration,
+    /// Predicted mistake rate.
+    pub predicted_mr: f64,
+    /// Predicted query accuracy.
+    pub predicted_qap: f64,
+}
+
+/// Compute the smallest margin whose *predicted* accuracy meets the spec,
+/// then verify the speed budget. Mirrors Algorithm 1's decision table
+/// analytically: if no margin satisfies both axes, the requirement is
+/// reported infeasible — before a single heartbeat is exchanged.
+pub fn plan_margin(model: &NetworkModel, spec: &QosSpec) -> CoreResult<MarginPlan> {
+    let delta = model.interval.as_secs_f64();
+    // Accuracy budget in mistakes/s, combining MR̄ and Q̄AP (mistakes last
+    // at most one interval).
+    let budget = spec.max_mistake_rate.min((1.0 - spec.min_query_accuracy) / delta);
+
+    // The speed budget bounds the search: α_max = T̄D − Δ − d̄.
+    let alpha_max = spec
+        .max_detection_time
+        .saturating_sub(model.interval)
+        .saturating_sub(model.mean_delay);
+    if alpha_max < Duration::ZERO {
+        return Err(CoreError::QosInfeasible {
+            detail: format!(
+                "interval {} + mean delay {} already exceed the T_D budget {}",
+                model.interval, model.mean_delay, spec.max_detection_time
+            ),
+        });
+    }
+
+    // λ(α) is non-increasing; binary-search the smallest feasible α.
+    if model.predicted_mistake_rate(alpha_max) > budget {
+        return Err(CoreError::QosInfeasible {
+            detail: format!(
+                "even at the largest margin the T_D budget allows ({alpha_max}), \
+                 the predicted mistake rate {:.5}/s exceeds the accuracy budget {:.5}/s",
+                model.predicted_mistake_rate(alpha_max),
+                budget
+            ),
+        });
+    }
+    let mut lo = Duration::ZERO;
+    let mut hi = alpha_max;
+    for _ in 0..64 {
+        let mid = Duration::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2);
+        if model.predicted_mistake_rate(mid) <= budget {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let alpha = hi;
+
+    Ok(MarginPlan {
+        margin: alpha,
+        predicted_td: model.predicted_detection_time(alpha),
+        predicted_mr: model.predicted_mistake_rate(alpha),
+        predicted_qap: model.predicted_qap(alpha),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NetworkModel {
+        NetworkModel {
+            interval: Duration::from_millis(100),
+            mean_delay: Duration::from_millis(50),
+            deviation_std: Duration::from_millis(10),
+            loss_rate: 0.01,
+        }
+    }
+
+    #[test]
+    fn predictions_are_monotone_in_margin() {
+        let m = model();
+        let a = Duration::from_millis(5);
+        let b = Duration::from_millis(50);
+        assert!(m.predicted_mistake_rate(a) > m.predicted_mistake_rate(b));
+        assert!(m.predicted_detection_time(a) < m.predicted_detection_time(b));
+        assert!(m.predicted_qap(a) <= m.predicted_qap(b));
+    }
+
+    #[test]
+    fn feasible_spec_gets_a_margin_meeting_the_model() {
+        let m = model();
+        let spec = QosSpec::new(Duration::from_secs(1), 0.2, 0.97).unwrap();
+        let plan = plan_margin(&m, &spec).unwrap();
+        assert!(plan.margin > Duration::ZERO);
+        assert!(plan.predicted_mr <= spec.max_mistake_rate * 1.01);
+        assert!(plan.predicted_td <= spec.max_detection_time);
+        assert!(plan.predicted_qap >= spec.min_query_accuracy - 1e-9);
+    }
+
+    #[test]
+    fn tight_td_budget_is_infeasible() {
+        let m = model();
+        // Accuracy demands a margin that blows a 120 ms TD budget
+        // (Δ + d̄ alone is 150 ms).
+        let spec = QosSpec::new(Duration::from_millis(120), 0.01, 0.99).unwrap();
+        let err = plan_margin(&m, &spec).unwrap_err();
+        assert!(matches!(err, CoreError::QosInfeasible { .. }));
+    }
+
+    #[test]
+    fn heavy_loss_with_tight_td_is_infeasible() {
+        // 20% loss with a T_D budget that only allows a sub-interval
+        // margin: loss runs cannot be covered → infeasible.
+        let m = NetworkModel { loss_rate: 0.2, ..model() };
+        let spec = QosSpec::new(Duration::from_millis(200), 0.05, 0.5).unwrap();
+        let err = plan_margin(&m, &spec).unwrap_err();
+        assert!(matches!(err, CoreError::QosInfeasible { .. }), "{err}");
+
+        // With a generous T_D budget the same loss is coverable: the
+        // margin spans several intervals so only long runs hurt.
+        let spec = QosSpec::new(Duration::from_secs(5), 0.05, 0.5).unwrap();
+        let plan = plan_margin(&m, &spec).unwrap();
+        assert!(plan.margin > Duration::from_millis(100), "{}", plan.margin);
+    }
+
+    #[test]
+    fn stricter_accuracy_needs_larger_margin() {
+        let m = model();
+        let loose = QosSpec::new(Duration::from_secs(5), 1.0, 0.9).unwrap();
+        let strict = QosSpec::new(Duration::from_secs(5), 0.15, 0.99).unwrap();
+        let a = plan_margin(&m, &loose).unwrap().margin;
+        let b = plan_margin(&m, &strict).unwrap().margin;
+        assert!(b > a, "strict {b} vs loose {a}");
+    }
+
+    #[test]
+    fn model_from_stats_on_a_preset() {
+        use sfd_trace::presets::WanCase;
+        let trace = WanCase::Wan3.preset().generate(50_000);
+        let stats = TraceStats::measure(&trace);
+        let m = NetworkModel::from_stats(&stats);
+        assert!((m.interval.as_millis_f64() - 12.21).abs() < 0.5);
+        assert!((m.loss_rate - 0.02).abs() < 0.01);
+        assert!(m.deviation_std > Duration::ZERO);
+        // The planner produces something usable for a sane requirement.
+        let spec = QosSpec::new(Duration::from_millis(900), 2.0, 0.95).unwrap();
+        let plan = plan_margin(&m, &spec).unwrap();
+        assert!(plan.margin > Duration::ZERO && plan.margin < Duration::from_millis(500));
+    }
+
+    /// The composition test: a planner-seeded SFD should start inside (or
+    /// near) the feasible band and need fewer corrective epochs than a
+    /// cold start from ~zero margin.
+    #[test]
+    fn warm_start_converges_faster_than_cold_start() {
+        use crate::convergence::run_convergence;
+        use crate::eval::EvalConfig;
+        use sfd_core::feedback::{FeedbackConfig, Sat};
+        use sfd_core::sfd::SfdConfig;
+        use sfd_trace::presets::WanCase;
+
+        let trace = WanCase::Wan3.preset().generate(60_000);
+        let stats = TraceStats::measure(&trace);
+        let model = NetworkModel::from_stats(&stats);
+        let spec = QosSpec::new(Duration::from_millis(800), 0.10, 0.97).unwrap();
+        let plan = plan_margin(&model, &spec).unwrap();
+
+        let cfg = |sm1| SfdConfig {
+            window: 500,
+            expected_interval: trace.interval,
+            initial_margin: sm1,
+            feedback: FeedbackConfig {
+                alpha: Duration::from_millis(20),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        };
+        let eval = EvalConfig { warmup: 500 };
+        let epoch = Duration::from_secs(10);
+        let corrective = |sm1| {
+            run_convergence(&trace, cfg(sm1), spec, epoch, eval)
+                .unwrap()
+                .epochs
+                .iter()
+                .filter(|e| e.sat != Some(Sat::Hold))
+                .count()
+        };
+        let warm = corrective(plan.margin);
+        let cold = corrective(Duration::from_millis(1));
+        assert!(
+            warm <= cold,
+            "warm start ({warm} corrective epochs) should not be worse than cold ({cold})"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Serialisable experiment outputs: curve series per detector, experiment
+//! bundles, and CSV emission for plotting.
+
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize};
+use sfd_core::detector::DetectorKind;
+use std::fmt::Write as _;
+
+/// One plotted point of a figure: `(T_D, MR, QAP)` plus the parameter that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// The swept parameter (ms for margins, raw for `Φ`; 0 for Bertier).
+    pub param: f64,
+    /// Detection time, seconds.
+    pub td_secs: f64,
+    /// Mistake rate, 1/s.
+    pub mr: f64,
+    /// Query accuracy probability, `[0, 1]`.
+    pub qap: f64,
+}
+
+impl From<SweepPoint> for CurvePoint {
+    fn from(p: SweepPoint) -> Self {
+        CurvePoint {
+            param: p.param,
+            td_secs: p.qos.detection_time.as_secs_f64(),
+            mr: p.qos.mistake_rate,
+            qap: p.qos.query_accuracy,
+        }
+    }
+}
+
+/// A labelled series — one detector's curve in a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveSeries {
+    /// Which detector produced this series.
+    pub detector: DetectorKind,
+    /// Points in sweep order (aggressive → conservative).
+    pub points: Vec<CurvePoint>,
+}
+
+impl CurveSeries {
+    /// Build from sweep output.
+    pub fn from_sweep(detector: DetectorKind, pts: Vec<SweepPoint>) -> Self {
+        CurveSeries { detector, points: pts.into_iter().map(CurvePoint::from).collect() }
+    }
+
+    /// The point with the smallest detection time.
+    pub fn most_aggressive(&self) -> Option<&CurvePoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
+    }
+
+    /// The point with the largest detection time.
+    pub fn most_conservative(&self) -> Option<&CurvePoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
+    }
+
+    /// Detection-time span covered by this detector (the "area covered"
+    /// proxy the paper argues with).
+    pub fn td_range_secs(&self) -> Option<(f64, f64)> {
+        Some((self.most_aggressive()?.td_secs, self.most_conservative()?.td_secs))
+    }
+}
+
+/// A complete experiment output: the figure id, workload, and all series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"fig6"`, `"fig9-wan1"`.
+    pub id: String,
+    /// Workload name, e.g. `"WAN-0"`.
+    pub workload: String,
+    /// Heartbeats replayed.
+    pub heartbeats: u64,
+    /// All detector series.
+    pub series: Vec<CurveSeries>,
+}
+
+impl ExperimentResult {
+    /// Render as CSV (`detector,param,td_secs,mr,qap`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("detector,param,td_secs,mr,qap\n");
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    s.detector.label(),
+                    p.param,
+                    p.td_secs,
+                    p.mr,
+                    p.qap
+                );
+            }
+        }
+        out
+    }
+
+    /// Render an aligned text table (what the experiment binaries print).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>12} {:>9}",
+            "detector", "param", "TD [s]", "MR [1/s]", "QAP [%]"
+        );
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>10.3} {:>10.4} {:>12.6} {:>9.4}",
+                    s.detector.label(),
+                    p.param,
+                    p.td_secs,
+                    p.mr,
+                    p.qap * 100.0
+                );
+            }
+        }
+        out
+    }
+
+    /// Write both JSON and CSV artefacts next to each other under `dir`.
+    pub fn write_artifacts(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(self).expect("serialisable"),
+        )?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::qos::QosMeasured;
+    use sfd_core::time::Duration;
+
+    fn pt(param: f64, td_ms: i64, mr: f64, qap: f64) -> SweepPoint {
+        SweepPoint {
+            param,
+            qos: QosMeasured {
+                detection_time: Duration::from_millis(td_ms),
+                mistake_rate: mr,
+                query_accuracy: qap,
+                ..QosMeasured::empty()
+            },
+        }
+    }
+
+    fn series() -> CurveSeries {
+        CurveSeries::from_sweep(
+            DetectorKind::Chen,
+            vec![pt(10.0, 100, 0.5, 0.99), pt(100.0, 300, 0.05, 0.995), pt(1000.0, 1200, 0.001, 0.999)],
+        )
+    }
+
+    #[test]
+    fn extremes() {
+        let s = series();
+        assert_eq!(s.most_aggressive().unwrap().param, 10.0);
+        assert_eq!(s.most_conservative().unwrap().param, 1000.0);
+        let (lo, hi) = s.td_range_secs().unwrap();
+        assert!((lo - 0.1).abs() < 1e-9 && (hi - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = CurveSeries { detector: DetectorKind::Bertier, points: vec![] };
+        assert!(s.most_aggressive().is_none());
+        assert!(s.td_range_secs().is_none());
+    }
+
+    #[test]
+    fn csv_and_table_render() {
+        let r = ExperimentResult {
+            id: "fig6".into(),
+            workload: "WAN-0".into(),
+            heartbeats: 1000,
+            series: vec![series()],
+        };
+        let csv = r.to_csv();
+        assert!(csv.starts_with("detector,param,td_secs,mr,qap\n"));
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("Chen FD,10,0.1,0.5,0.99"));
+        let table = r.to_table();
+        assert!(table.contains("Chen FD"));
+        assert!(table.contains("QAP"));
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let r = ExperimentResult {
+            id: "test-exp".into(),
+            workload: "WAN-0".into(),
+            heartbeats: 10,
+            series: vec![series()],
+        };
+        let dir = std::env::temp_dir().join("sfd_qos_report_test");
+        r.write_artifacts(&dir).unwrap();
+        let js = std::fs::read_to_string(dir.join("test-exp.json")).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,292 @@
+//! Parameter sweeps: the paper's method for comparing parametric failure
+//! detectors (Sec. V, "the idea is based on the following question: given
+//! a set of QoS requirements, can the failure detector be parameterized to
+//! match these requirements?").
+//!
+//! Each sweep varies one detector's parameter from aggressive to
+//! conservative and records the measured `(T_D, MR, QAP)` at every value:
+//!
+//! * Chen FD — the constant margin `α` (paper: `α ∈ [0, 10000]` ms);
+//! * φ FD — the threshold `Φ` (paper: `Φ ∈ [0.5, 16]`); the curve stops
+//!   early in the conservative range when rounding saturates the timeout;
+//! * Bertier FD — no free parameter: a single point;
+//! * SFD — the initial margin `SM₁`, with the epoch feedback loop running
+//!   during the replay; points cluster inside the feasible region of the
+//!   QoS requirement because self-tuning pulls out-of-range margins back.
+
+use crate::eval::{EvalConfig, ReplayEvaluator};
+use serde::{Deserialize, Serialize};
+use sfd_core::bertier::{BertierConfig, BertierFd};
+use sfd_core::chen::{ChenConfig, ChenFd};
+use sfd_core::detector::SelfTuning;
+use sfd_core::phi::{PhiConfig, PhiFd};
+use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::time::Duration;
+use sfd_trace::trace::Trace;
+
+/// One sweep sample: a parameter value and the QoS it produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter (ms for margins, raw for `Φ`).
+    pub param: f64,
+    /// Measured output QoS.
+    pub qos: QosMeasured,
+}
+
+/// Sweep Chen FD over a list of constant margins `α`.
+pub fn sweep_chen(
+    trace: &Trace,
+    base: ChenConfig,
+    alphas: &[Duration],
+    eval: EvalConfig,
+) -> Vec<SweepPoint> {
+    let evaluator = ReplayEvaluator::new(eval);
+    alphas
+        .iter()
+        .filter_map(|&alpha| {
+            let mut fd = ChenFd::new(ChenConfig { alpha, ..base });
+            let r = evaluator.evaluate(&mut fd, trace)?;
+            Some(SweepPoint { param: alpha.as_millis_f64(), qos: r.qos })
+        })
+        .collect()
+}
+
+/// Sweep φ FD over a list of thresholds `Φ`.
+pub fn sweep_phi(
+    trace: &Trace,
+    base: PhiConfig,
+    thresholds: &[f64],
+    eval: EvalConfig,
+) -> Vec<SweepPoint> {
+    let evaluator = ReplayEvaluator::new(eval);
+    thresholds
+        .iter()
+        .filter_map(|&threshold| {
+            let mut fd = PhiFd::new(PhiConfig { threshold, ..base });
+            let r = evaluator.evaluate(&mut fd, trace)?;
+            // The paper's φ curves stop where rounding prevents computing
+            // points (no valid timeout → no TD samples).
+            if r.td_samples == 0 {
+                return None;
+            }
+            Some(SweepPoint { param: threshold, qos: r.qos })
+        })
+        .collect()
+}
+
+/// Bertier FD has no dynamic parameter — evaluate its single point.
+pub fn bertier_point(trace: &Trace, cfg: BertierConfig, eval: EvalConfig) -> Option<SweepPoint> {
+    let evaluator = ReplayEvaluator::new(eval);
+    let mut fd = BertierFd::new(cfg);
+    let r = evaluator.evaluate(&mut fd, trace)?;
+    Some(SweepPoint { param: 0.0, qos: r.qos })
+}
+
+/// Sweep SFD over a list of initial margins `SM₁`, running the Algorithm-1
+/// feedback every `epoch_len` of trace time against the requirement
+/// `spec`.
+///
+/// The reported QoS for each `SM₁` is measured over the whole
+/// post-warm-up execution ("the performance parameters for a period
+/// experiment, not for a time slot" — Sec. IV-A), so the trajectory of the
+/// self-tuning is part of the point, exactly as in the paper's Figs. 6/9.
+pub fn sweep_sfd(
+    trace: &Trace,
+    base: SfdConfig,
+    spec: QosSpec,
+    initial_margins: &[Duration],
+    epoch_len: Duration,
+    eval: EvalConfig,
+) -> Vec<SweepPoint> {
+    let evaluator = ReplayEvaluator::new(eval);
+    initial_margins
+        .iter()
+        .filter_map(|&sm1| {
+            let cfg = SfdConfig { initial_margin: sm1, ..base };
+            let mut fd = SfdFd::new(cfg, spec);
+            let r = evaluator.evaluate_with_epochs(&mut fd, trace, epoch_len, |d, q| {
+                let _ = d.apply_feedback(q);
+            })?;
+            Some(SweepPoint { param: sm1.as_millis_f64(), qos: r.qos })
+        })
+        .collect()
+}
+
+/// Geometrically spaced margin list from `lo` to `hi` (inclusive-ish),
+/// `n` points — a convenient sweep grid.
+pub fn log_spaced_margins(lo: Duration, hi: Duration, n: usize) -> Vec<Duration> {
+    assert!(n >= 2 && lo > Duration::ZERO && hi > lo);
+    let (a, b) = (lo.as_secs_f64().ln(), hi.as_secs_f64().ln());
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            Duration::from_secs_f64((a + t * (b - a)).exp())
+        })
+        .collect()
+}
+
+/// Linearly spaced threshold list (for `Φ`).
+pub fn lin_spaced(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && hi > lo);
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::feedback::FeedbackConfig;
+    use sfd_trace::presets::WanCase;
+
+    fn small_trace() -> Trace {
+        // 60k heartbeats of WAN-3 (12 ms period, 2% bursty loss): enough
+        // structure for meaningful curves, fast enough for unit tests.
+        WanCase::Wan3.preset().generate(60_000)
+    }
+
+    fn eval() -> EvalConfig {
+        EvalConfig { warmup: 1000 }
+    }
+
+    #[test]
+    fn chen_curve_trades_speed_for_accuracy() {
+        let trace = small_trace();
+        let base = ChenConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            alpha: Duration::ZERO,
+        };
+        let alphas = log_spaced_margins(
+            Duration::from_millis(5),
+            Duration::from_millis(2000),
+            8,
+        );
+        let pts = sweep_chen(&trace, base, &alphas, eval());
+        assert_eq!(pts.len(), 8);
+        // TD strictly increases with α.
+        for w in pts.windows(2) {
+            assert!(w[1].qos.detection_time > w[0].qos.detection_time);
+        }
+        // MR at the aggressive end strictly above MR at the conservative end.
+        assert!(pts.first().unwrap().qos.mistake_rate > pts.last().unwrap().qos.mistake_rate);
+        // QAP improves toward the conservative end.
+        assert!(pts.last().unwrap().qos.query_accuracy >= pts.first().unwrap().qos.query_accuracy);
+    }
+
+    #[test]
+    fn phi_curve_exists_and_stops_at_rounding_cliff() {
+        let trace = small_trace();
+        let base = PhiConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            threshold: 1.0,
+            min_std_fraction: 0.01,
+        };
+        let mut thresholds = lin_spaced(0.5, 16.0, 8);
+        thresholds.push(18.0); // beyond the f64 rounding cliff
+        let pts = sweep_phi(&trace, base, &thresholds, eval());
+        // The 18.0 point must be dropped (no computable timeout).
+        assert_eq!(pts.len(), 8);
+        assert!(pts.iter().all(|p| p.param <= 16.0));
+        // Monotone TD in Φ.
+        for w in pts.windows(2) {
+            assert!(w[1].qos.detection_time >= w[0].qos.detection_time);
+        }
+    }
+
+    #[test]
+    fn bertier_is_one_aggressive_point() {
+        let trace = small_trace();
+        let cfg = BertierConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            ..Default::default()
+        };
+        let p = bertier_point(&trace, cfg, eval()).unwrap();
+        // Bertier tracks the estimation error tightly → its single point
+        // sits at the aggressive end: a small multiple of the heartbeat
+        // interval, far below a conservative Chen configuration.
+        assert!(p.qos.detection_time < Duration::from_millis(300), "{}", p.qos.detection_time);
+        let chen_conservative = sweep_chen(
+            &trace,
+            ChenConfig {
+                window: 1000,
+                expected_interval: trace.interval,
+                alpha: Duration::from_millis(1500),
+            },
+            &[Duration::from_millis(1500)],
+            eval(),
+        );
+        assert!(p.qos.detection_time < chen_conservative[0].qos.detection_time);
+    }
+
+    #[test]
+    fn sfd_points_cluster_in_the_feasible_region() {
+        let trace = small_trace();
+        // Requirement: detect within 300 ms, ≤ 0.05 mistakes/s, QAP ≥ 98%.
+        let spec = QosSpec::new(Duration::from_millis(300), 0.05, 0.98).unwrap();
+        let base = SfdConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            initial_margin: Duration::from_millis(50),
+            feedback: FeedbackConfig {
+                alpha: Duration::from_millis(40),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        };
+        // SM₁ from hyper-aggressive (2 ms) to far too conservative (2 s).
+        let margins = vec![
+            Duration::from_millis(2),
+            Duration::from_millis(60),
+            Duration::from_millis(2000),
+        ];
+        let pts = sweep_sfd(&trace, base, spec, &margins, Duration::from_secs(20), eval());
+        assert_eq!(pts.len(), 3);
+        // The conservative start must have been pulled back: its overall
+        // TD stays well below a Chen run stuck at α = 2 s.
+        let chen_cfg = ChenConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            alpha: Duration::from_millis(2000),
+        };
+        let chen_pt = sweep_chen(&trace, chen_cfg, &[Duration::from_millis(2000)], eval());
+        assert!(
+            pts[2].qos.detection_time < chen_pt[0].qos.detection_time,
+            "SFD {} vs Chen {}",
+            pts[2].qos.detection_time,
+            chen_pt[0].qos.detection_time
+        );
+        // The aggressive start must have been pulled up: fewer mistakes
+        // than a Chen run stuck at α = 2 ms.
+        let chen_aggr = sweep_chen(
+            &trace,
+            ChenConfig {
+                window: 1000,
+                expected_interval: trace.interval,
+                alpha: Duration::from_millis(2),
+            },
+            &[Duration::from_millis(2)],
+            eval(),
+        );
+        assert!(
+            pts[0].qos.mistake_rate < chen_aggr[0].qos.mistake_rate,
+            "SFD {} vs Chen {}",
+            pts[0].qos.mistake_rate,
+            chen_aggr[0].qos.mistake_rate
+        );
+    }
+
+    #[test]
+    fn grid_helpers() {
+        let m = log_spaced_margins(Duration::from_millis(10), Duration::from_millis(1000), 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], Duration::from_millis(10));
+        assert!((m[1].as_millis_f64() - 100.0).abs() < 0.5);
+        assert!((m[2].as_millis_f64() - 1000.0).abs() < 0.5);
+        let l = lin_spaced(0.5, 16.0, 4);
+        assert_eq!(l.len(), 4);
+        assert!((l[3] - 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the replay evaluation engine.
+
+use proptest::prelude::*;
+use sfd_core::chen::{ChenConfig, ChenFd};
+use sfd_core::time::{Duration, Instant};
+use sfd_qos::eval::{EvalConfig, ReplayEvaluator};
+use sfd_qos::sweep::sweep_chen;
+use sfd_simnet::heartbeat::HeartbeatRecord;
+use sfd_trace::trace::Trace;
+
+/// Random-but-plausible traces: periodic sends, jittered delays, random
+/// losses.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        50u64..400,
+        prop::collection::vec((0i64..80, any::<bool>()), 400),
+    )
+        .prop_map(|(interval_ms, noise)| {
+            let interval = Duration::from_millis(interval_ms as i64);
+            let records: Vec<HeartbeatRecord> = noise
+                .iter()
+                .enumerate()
+                .map(|(i, &(jitter, keep_roll))| {
+                    let sent = Instant::from_millis((i as i64 + 1) * interval_ms as i64);
+                    // ~10% loss.
+                    let lost = !keep_roll && jitter % 10 == 0;
+                    HeartbeatRecord {
+                        seq: i as u64,
+                        sent,
+                        arrival: (!lost).then(|| sent + Duration::from_millis(30 + jitter)),
+                    }
+                })
+                .collect();
+            Trace::new("prop", interval, records)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The evaluator's outputs always satisfy the QoS-metric domains.
+    #[test]
+    fn eval_report_within_domains(trace in arb_trace(), alpha_ms in 1i64..2000) {
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd = ChenFd::new(ChenConfig {
+            window: 30,
+            expected_interval: trace.interval,
+            alpha: Duration::from_millis(alpha_ms),
+        });
+        if let Some(r) = eval.evaluate(&mut fd, &trace) {
+            prop_assert!((0.0..=1.0).contains(&r.qos.query_accuracy));
+            prop_assert!(r.qos.mistake_rate >= 0.0);
+            prop_assert!(r.qos.detection_time > Duration::ZERO);
+            prop_assert!(r.max_detection_time >= r.qos.detection_time
+                || r.td_samples == 0);
+            prop_assert!(r.measured_to >= r.measured_from);
+            prop_assert!(r.td_samples <= r.deliveries);
+            if let Some(tm) = r.qos.avg_mistake_duration {
+                prop_assert!(tm > Duration::ZERO);
+            }
+        }
+    }
+
+    /// Chen's detection time is monotone in α on any workload, and its
+    /// mistake count is antitone (more margin can never create mistakes).
+    #[test]
+    fn chen_td_monotone_mr_antitone(trace in arb_trace()) {
+        let alphas = [
+            Duration::from_millis(10),
+            Duration::from_millis(100),
+            Duration::from_millis(1000),
+        ];
+        let pts = sweep_chen(
+            &trace,
+            ChenConfig { window: 30, expected_interval: trace.interval, alpha: Duration::ZERO },
+            &alphas,
+            EvalConfig { warmup: 50 },
+        );
+        if pts.len() == 3 {
+            prop_assert!(pts[0].qos.detection_time <= pts[1].qos.detection_time);
+            prop_assert!(pts[1].qos.detection_time <= pts[2].qos.detection_time);
+            prop_assert!(pts[0].qos.mistakes >= pts[1].qos.mistakes);
+            prop_assert!(pts[1].qos.mistakes >= pts[2].qos.mistakes);
+            prop_assert!(pts[0].qos.query_accuracy <= pts[1].qos.query_accuracy + 1e-9);
+        }
+    }
+
+    /// Evaluation is a pure function of (detector config, trace).
+    #[test]
+    fn eval_is_deterministic(trace in arb_trace()) {
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let run = || {
+            let mut fd = ChenFd::new(ChenConfig {
+                window: 30,
+                expected_interval: trace.interval,
+                alpha: Duration::from_millis(120),
+            });
+            eval.evaluate(&mut fd, &trace)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

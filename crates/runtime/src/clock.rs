@@ -1,0 +1,59 @@
+//! Wall-clock adapter.
+//!
+//! Detectors operate on the crate-wide integer
+//! [`Instant`](sfd_core::time::Instant) timeline; the live runtime maps a
+//! monotonic OS clock onto it. Each process anchors its own epoch at
+//! clock creation — senders and monitors do *not* share an epoch, exactly
+//! like the unsynchronised clocks of the paper's system model.
+
+use sfd_core::time::Instant;
+
+/// Monotonic wall clock anchored at its creation instant.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    base: std::time::Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// Anchor a new clock at "now".
+    pub fn new() -> Self {
+        WallClock { base: std::time::Instant::now() }
+    }
+
+    /// Current time on this clock's timeline.
+    pub fn now(&self) -> Instant {
+        let elapsed = self.base.elapsed();
+        Instant::from_nanos(elapsed.as_nanos().min(i64::MAX as u128) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_near_zero_and_is_monotone() {
+        let c = WallClock::new();
+        let t0 = c.now();
+        assert!(t0.as_nanos() < 1_000_000_000, "fresh clock should read < 1 s");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t1 = c.now();
+        assert!(t1 > t0);
+        assert!((t1 - t0).as_millis_f64() >= 4.0);
+    }
+
+    #[test]
+    fn clones_share_the_epoch() {
+        let c = WallClock::new();
+        let d = c.clone();
+        let a = c.now();
+        let b = d.now();
+        assert!((b - a).abs() < sfd_core::time::Duration::from_millis(50));
+    }
+}

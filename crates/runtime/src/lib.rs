@@ -1,0 +1,44 @@
+//! # sfd-runtime — live heartbeat monitoring
+//!
+//! The paper deploys its detectors over real UDP paths; this crate is the
+//! corresponding *online* runtime (the offline replay evaluation lives in
+//! `sfd-qos`):
+//!
+//! * [`wire`] — the heartbeat datagram format (stream id, sequence number,
+//!   sender timestamp);
+//! * [`clock`] — a monotonic wall clock mapped onto the crate-wide
+//!   [`Instant`](sfd_core::time::Instant) timeline;
+//! * [`transport`] — the send/receive abstraction with two
+//!   implementations: real UDP sockets (the paper's protocol) and an
+//!   in-process channel with configurable loss for deterministic tests;
+//! * [`sender`] — the monitored process `p`: a thread emitting heartbeats
+//!   at a fixed interval, with `crash()` for fail-stop injection;
+//! * [`monitor`] — the monitoring process `q`: a thread feeding any
+//!   [`FailureDetector`](sfd_core::detector::FailureDetector), tracking
+//!   trust/suspect transitions, and (optionally) running the Algorithm-1
+//!   feedback epoch loop for self-tuning detectors;
+//! * [`multi`] — one-monitors-multiple at the transport level: a single
+//!   socket demultiplexed to per-stream detectors built from declarative
+//!   [`DetectorSpec`](sfd_core::registry::DetectorSpec)s;
+//! * [`probe`] — the paper's parallel low-frequency ping: RTT statistics
+//!   and a connectivity verdict, feeding the margin planner and
+//!   disambiguating crash from partition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod monitor;
+pub mod multi;
+pub mod probe;
+pub mod sender;
+pub mod transport;
+pub mod wire;
+
+pub use clock::WallClock;
+pub use monitor::{MonitorConfig, MonitorService, StatusSnapshot};
+pub use multi::{MultiMonitorService, StreamStatus};
+pub use probe::{EchoResponder, RttProbe, RttReport};
+pub use sender::{HeartbeatSender, SenderConfig};
+pub use transport::{HeartbeatSink, HeartbeatSource, MemoryTransport, UdpSink, UdpSource};
+pub use wire::Heartbeat;

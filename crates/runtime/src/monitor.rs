@@ -1,0 +1,362 @@
+//! The monitoring process `q`: a service thread feeding a failure
+//! detector from a transport and answering status queries.
+//!
+//! The service also implements the *live* side of the paper's feedback
+//! architecture (Fig. 4): an optional epoch hook receives the QoS
+//! measured over each epoch — wrong-suspicion accounting from the
+//! transition log, and a detection-time estimate from sender timestamps —
+//! and may mutate the detector (e.g. call
+//! [`SfdFd::apply_feedback`](sfd_core::sfd::SfdFd)).
+//!
+//! ### Live `T_D` estimation
+//!
+//! Sender and monitor clocks share no epoch. The estimator anchors the
+//! offset at the first heartbeat (`offset = A₀ − sent₀`, absorbing the
+//! first message's one-way delay) and evaluates every later heartbeat's
+//! crash-after-send hypothesis against `σ_k ≈ sent_k + offset`. Under the
+//! paper's negligible-drift assumption (footnote 7) the estimate is exact
+//! up to the difference between the first and current one-way delay.
+
+use crate::clock::WallClock;
+use crate::transport::HeartbeatSource;
+use parking_lot::Mutex;
+use sfd_core::detector::FailureDetector;
+use sfd_core::qos::QosMeasured;
+use sfd_core::suspicion::SuspicionLog;
+use sfd_core::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Transition-sampling granularity: how often the service re-examines
+    /// the detector while no heartbeat arrives.
+    pub poll_interval: Duration,
+    /// Feedback epoch length; `None` disables the epoch hook.
+    pub epoch: Option<Duration>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { poll_interval: Duration::from_millis(2), epoch: None }
+    }
+}
+
+/// A point-in-time view of the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatusSnapshot {
+    /// Query time on the monitor's clock.
+    pub now: Instant,
+    /// Is the monitored process currently suspected?
+    pub suspect: bool,
+    /// Arrival of the most recent heartbeat.
+    pub last_heartbeat: Option<Instant>,
+    /// Heartbeats received so far.
+    pub heartbeats: u64,
+    /// Wrong suspicions observed so far (suspicion periods that ended
+    /// with the process provably alive).
+    pub mistakes: u64,
+    /// Current freshness point, if past warm-up.
+    pub freshness_point: Option<Instant>,
+    /// Feedback epochs completed.
+    pub epochs: u64,
+}
+
+struct State<D> {
+    detector: D,
+    log: SuspicionLog,
+    last_state: bool,
+    last_heartbeat: Option<Instant>,
+    heartbeats: u64,
+    finished_mistakes: u64,
+    epochs: u64,
+    // clock-offset anchor for live TD estimation
+    offset_nanos: Option<i64>,
+    epoch_start: Option<Instant>,
+    epoch_td_sum: f64,
+    epoch_td_count: u64,
+}
+
+/// A running monitor service around a detector `D`.
+pub struct MonitorService<D> {
+    state: Arc<Mutex<State<D>>>,
+    clock: WallClock,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<D: FailureDetector + Send + 'static> MonitorService<D> {
+    /// Spawn a monitor with no feedback hook.
+    pub fn spawn<S: HeartbeatSource + 'static>(
+        detector: D,
+        source: S,
+        cfg: MonitorConfig,
+    ) -> MonitorService<D> {
+        Self::spawn_with_hook(detector, source, cfg, |_, _| {})
+    }
+
+    /// Spawn a monitor whose epoch hook is invoked with the per-epoch QoS
+    /// (requires `cfg.epoch` to be set for the hook to ever fire).
+    pub fn spawn_with_hook<S, F>(
+        detector: D,
+        source: S,
+        cfg: MonitorConfig,
+        mut hook: F,
+    ) -> MonitorService<D>
+    where
+        S: HeartbeatSource + 'static,
+        F: FnMut(&mut D, &QosMeasured) + Send + 'static,
+    {
+        let clock = WallClock::new();
+        let state = Arc::new(Mutex::new(State {
+            detector,
+            log: SuspicionLog::new(),
+            last_state: false,
+            last_heartbeat: None,
+            heartbeats: 0,
+            finished_mistakes: 0,
+            epochs: 0,
+            offset_nanos: None,
+            epoch_start: None,
+            epoch_td_sum: 0.0,
+            epoch_td_count: 0,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let t_state = state.clone();
+        let t_clock = clock.clone();
+        let t_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("sfd-monitor".into())
+            .spawn(move || {
+                while !t_stop.load(Ordering::Relaxed) {
+                    let received = match source.recv(cfg.poll_interval) {
+                        Ok(r) => r,
+                        Err(_) => break, // transport gone
+                    };
+                    let now = t_clock.now();
+                    let mut st = t_state.lock();
+
+                    // Sample the binary output *before* feeding the
+                    // heartbeat so a suspicion that this heartbeat ends is
+                    // recorded as a (finished) mistake.
+                    let pre = st.detector.is_suspect(now);
+                    if pre != st.last_state {
+                        st.log.record(now, pre);
+                        st.last_state = pre;
+                    }
+
+                    if let Some(hb) = received {
+                        if pre {
+                            // The process just proved it is alive: the
+                            // suspicion period was wrong and is over.
+                            st.log.record(now, false);
+                            st.last_state = false;
+                        }
+                        st.detector.heartbeat(hb.seq, now);
+                        st.heartbeats += 1;
+                        st.last_heartbeat = Some(now);
+                        if st.epoch_start.is_none() {
+                            st.epoch_start = Some(now);
+                        }
+
+                        // Live TD sample against the anchored send clock.
+                        let offset =
+                            *st.offset_nanos.get_or_insert(now.as_nanos() - hb.sent_nanos);
+                        if let Some(fp) = st.detector.freshness_point() {
+                            if fp != Instant::FAR_FUTURE {
+                                let send_est = Instant::from_nanos(hb.sent_nanos + offset);
+                                let td = (fp.max(now) - send_est).max_zero();
+                                st.epoch_td_sum += td.as_secs_f64();
+                                st.epoch_td_count += 1;
+                            }
+                        }
+                    }
+
+                    // Epoch rollover.
+                    if let (Some(epoch_len), Some(start)) = (cfg.epoch, st.epoch_start) {
+                        if now - start >= epoch_len {
+                            let mut qos = st.log.accuracy_summary(start, now);
+                            qos.detection_time = if st.epoch_td_count > 0 {
+                                Duration::from_secs_f64(
+                                    st.epoch_td_sum / st.epoch_td_count as f64,
+                                )
+                            } else {
+                                Duration::ZERO
+                            };
+                            hook(&mut st.detector, &qos);
+                            st.finished_mistakes += qos.mistakes;
+                            st.log.truncate_before(now);
+                            st.epoch_start = Some(now);
+                            st.epoch_td_sum = 0.0;
+                            st.epoch_td_count = 0;
+                            st.epochs += 1;
+                        }
+                    }
+                }
+            })
+            .expect("spawn monitor thread");
+
+        MonitorService { state, clock, stop, handle: Some(handle) }
+    }
+
+    /// Snapshot the current status.
+    pub fn status(&self) -> StatusSnapshot {
+        let now = self.clock.now();
+        let st = self.state.lock();
+        let suspect = st.detector.is_suspect(now);
+        StatusSnapshot {
+            now,
+            suspect,
+            last_heartbeat: st.last_heartbeat,
+            heartbeats: st.heartbeats,
+            mistakes: st.finished_mistakes
+                + st.log.mistakes_in(Instant::ZERO, Instant::FAR_FUTURE),
+            freshness_point: st.detector.freshness_point(),
+            epochs: st.epochs,
+        }
+    }
+
+    /// Run a closure against the detector (read-only view).
+    pub fn with_detector<R>(&self, f: impl FnOnce(&D) -> R) -> R {
+        f(&self.state.lock().detector)
+    }
+
+    /// The monitor's clock (shares its epoch with all timestamps in
+    /// status snapshots).
+    pub fn clock(&self) -> &WallClock {
+        &self.clock
+    }
+
+    /// Stop the service thread and wait for it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<D> Drop for MonitorService<D> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::{HeartbeatSender, SenderConfig};
+    use crate::transport::MemoryTransport;
+    use sfd_core::chen::{ChenConfig, ChenFd};
+    use sfd_core::feedback::FeedbackConfig;
+    use sfd_core::qos::QosSpec;
+    use sfd_core::sfd::{SfdConfig, SfdFd};
+
+    fn chen() -> ChenFd {
+        ChenFd::new(ChenConfig {
+            window: 10,
+            expected_interval: Duration::from_millis(5),
+            alpha: Duration::from_millis(30),
+        })
+    }
+
+    #[test]
+    fn trusts_live_sender_and_detects_crash() {
+        let (sink, source) = MemoryTransport::perfect();
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            sink,
+        );
+        let mut monitor = MonitorService::spawn(chen(), source, MonitorConfig::default());
+
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let s = monitor.status();
+        assert!(s.heartbeats > 10, "heartbeats {}", s.heartbeats);
+        assert!(!s.suspect, "should trust a live sender");
+        assert!(s.last_heartbeat.is_some());
+
+        sender.crash();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let s = monitor.status();
+        assert!(s.suspect, "should suspect after crash (fp {:?})", s.freshness_point);
+        monitor.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let (sink, source) = MemoryTransport::perfect();
+        let _sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            sink,
+        );
+        let mut monitor = MonitorService::spawn(chen(), source, MonitorConfig::default());
+        monitor.stop();
+        monitor.stop();
+        drop(monitor);
+    }
+
+    #[test]
+    fn epoch_hook_drives_self_tuning() {
+        let (sink, source) = MemoryTransport::perfect();
+        let _sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            sink,
+        );
+        let spec = QosSpec::new(Duration::from_millis(200), 10.0, 0.5).unwrap();
+        let fd = SfdFd::new(
+            SfdConfig {
+                window: 10,
+                expected_interval: Duration::from_millis(5),
+                initial_margin: Duration::from_millis(400), // too slow for the spec
+                feedback: FeedbackConfig {
+                    alpha: Duration::from_millis(100),
+                    beta: 0.5,
+                    ..Default::default()
+                },
+                fill_gaps: true,
+            },
+            spec,
+        );
+        let mut monitor = MonitorService::spawn_with_hook(
+            fd,
+            source,
+            MonitorConfig {
+                poll_interval: Duration::from_millis(2),
+                epoch: Some(Duration::from_millis(50)),
+            },
+            |d, q| {
+                use sfd_core::detector::SelfTuning;
+                let _ = d.apply_feedback(q);
+            },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        let s = monitor.status();
+        assert!(s.epochs >= 3, "epochs {}", s.epochs);
+        // Margin must have been pulled down toward the 200 ms TD budget.
+        let margin = monitor.with_detector(|d| d.margin());
+        assert!(
+            margin < Duration::from_millis(400),
+            "margin should shrink, still {margin}"
+        );
+        monitor.stop();
+    }
+
+    #[test]
+    fn with_detector_exposes_state() {
+        let (sink, source) = MemoryTransport::perfect();
+        let _sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            sink,
+        );
+        let monitor = MonitorService::spawn(chen(), source, MonitorConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let alpha = monitor.with_detector(|d| d.config().alpha);
+        assert_eq!(alpha, Duration::from_millis(30));
+    }
+}

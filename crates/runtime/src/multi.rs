@@ -1,0 +1,273 @@
+//! One-monitors-multiple over a single transport: heartbeats from many
+//! senders (distinguished by the wire `stream` id) arrive on one socket
+//! and are demultiplexed to per-stream detectors.
+//!
+//! This is the live-runtime realisation of the paper's "one monitors
+//! multiple" claim: because heartbeat streams are independent, the
+//! monitor simply runs one detector per stream ("based on the parallel
+//! theory"). Streams can be registered and deregistered at run time;
+//! heartbeats for unknown streams are counted but ignored (a node that
+//! was just decommissioned keeps sending for a while).
+
+use crate::clock::WallClock;
+use crate::transport::HeartbeatSource;
+use parking_lot::Mutex;
+use sfd_core::detector::FailureDetector;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Status of one monitored stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStatus {
+    /// The stream id.
+    pub stream: u64,
+    /// Is the stream's sender currently suspected?
+    pub suspect: bool,
+    /// Heartbeats received on this stream.
+    pub heartbeats: u64,
+    /// Arrival of the most recent heartbeat.
+    pub last_heartbeat: Option<Instant>,
+    /// Current freshness point, if past warm-up.
+    pub freshness_point: Option<Instant>,
+}
+
+struct StreamState {
+    detector: Box<dyn FailureDetector + Send>,
+    heartbeats: u64,
+    last_heartbeat: Option<Instant>,
+}
+
+struct Shared {
+    streams: Mutex<BTreeMap<u64, StreamState>>,
+    unknown_heartbeats: AtomicU64,
+}
+
+/// A monitor service demultiplexing one transport to many detectors.
+pub struct MultiMonitorService {
+    shared: Arc<Shared>,
+    clock: WallClock,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MultiMonitorService {
+    /// Spawn the service on `source`, polling at `poll_interval`.
+    pub fn spawn<S: HeartbeatSource + 'static>(
+        source: S,
+        poll_interval: Duration,
+    ) -> MultiMonitorService {
+        let shared = Arc::new(Shared {
+            streams: Mutex::new(BTreeMap::new()),
+            unknown_heartbeats: AtomicU64::new(0),
+        });
+        let clock = WallClock::new();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let t_shared = shared.clone();
+        let t_clock = clock.clone();
+        let t_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("sfd-multi-monitor".into())
+            .spawn(move || {
+                while !t_stop.load(Ordering::Relaxed) {
+                    let received = match source.recv(poll_interval) {
+                        Ok(r) => r,
+                        Err(_) => break,
+                    };
+                    let Some(hb) = received else { continue };
+                    let now = t_clock.now();
+                    let mut streams = t_shared.streams.lock();
+                    match streams.get_mut(&hb.stream) {
+                        Some(st) => {
+                            st.detector.heartbeat(hb.seq, now);
+                            st.heartbeats += 1;
+                            st.last_heartbeat = Some(now);
+                        }
+                        None => {
+                            t_shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+            .expect("spawn multi-monitor thread");
+
+        MultiMonitorService { shared, clock, stop, handle: Some(handle) }
+    }
+
+    /// Register a stream with a detector built from `spec`. Replaces any
+    /// existing registration for the id.
+    pub fn watch(&self, stream: u64, spec: &DetectorSpec) -> sfd_core::error::CoreResult<()> {
+        let detector = spec.build()?;
+        self.shared.streams.lock().insert(
+            stream,
+            StreamState { detector, heartbeats: 0, last_heartbeat: None },
+        );
+        Ok(())
+    }
+
+    /// Deregister a stream. Returns `false` if it was not watched.
+    pub fn unwatch(&self, stream: u64) -> bool {
+        self.shared.streams.lock().remove(&stream).is_some()
+    }
+
+    /// Number of watched streams.
+    pub fn watched(&self) -> usize {
+        self.shared.streams.lock().len()
+    }
+
+    /// Heartbeats that arrived for unregistered streams.
+    pub fn unknown_heartbeats(&self) -> u64 {
+        self.shared.unknown_heartbeats.load(Ordering::Relaxed)
+    }
+
+    /// Status of one stream (`None` if not watched).
+    pub fn status(&self, stream: u64) -> Option<StreamStatus> {
+        let now = self.clock.now();
+        let streams = self.shared.streams.lock();
+        streams.get(&stream).map(|st| StreamStatus {
+            stream,
+            suspect: st.detector.is_suspect(now),
+            heartbeats: st.heartbeats,
+            last_heartbeat: st.last_heartbeat,
+            freshness_point: st.detector.freshness_point(),
+        })
+    }
+
+    /// Status snapshot of every watched stream.
+    pub fn statuses(&self) -> Vec<StreamStatus> {
+        let now = self.clock.now();
+        self.shared
+            .streams
+            .lock()
+            .iter()
+            .map(|(&stream, st)| StreamStatus {
+                stream,
+                suspect: st.detector.is_suspect(now),
+                heartbeats: st.heartbeats,
+                last_heartbeat: st.last_heartbeat,
+                freshness_point: st.detector.freshness_point(),
+            })
+            .collect()
+    }
+
+    /// Stop the service thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MultiMonitorService {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::{HeartbeatSender, SenderConfig};
+    use crate::transport::{HeartbeatSink, MemoryTransport};
+    
+    /// Fan-in sink: several senders share one channel.
+    #[derive(Clone)]
+    struct SharedSink(Arc<crate::transport::MemorySink>);
+    impl HeartbeatSink for SharedSink {
+        fn send(&self, hb: crate::wire::Heartbeat) -> std::io::Result<()> {
+            self.0.send(hb)
+        }
+    }
+
+    fn spec() -> DetectorSpec {
+        // Generous margin: the test runner's scheduler can stall sender
+        // threads for tens of milliseconds under parallel-test load, and
+        // this test is about demultiplexing, not margin tuning.
+        DetectorSpec::Sfd {
+            config: sfd_core::sfd::SfdConfig {
+                window: 50,
+                expected_interval: Duration::from_millis(5),
+                initial_margin: Duration::from_millis(150),
+                ..Default::default()
+            },
+            qos: sfd_core::qos::QosSpec::permissive(),
+        }
+    }
+
+    #[test]
+    fn demultiplexes_streams_and_detects_single_crash() {
+        let (sink, source) = MemoryTransport::perfect();
+        let sink = Arc::new(sink);
+        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        monitor.watch(1, &spec()).unwrap();
+        monitor.watch(2, &spec()).unwrap();
+        assert_eq!(monitor.watched(), 2);
+
+        let mut sender1 = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+        let _sender2 = HeartbeatSender::spawn(
+            SenderConfig { stream: 2, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let s1 = monitor.status(1).unwrap();
+        let s2 = monitor.status(2).unwrap();
+        assert!(s1.heartbeats > 20 && s2.heartbeats > 20);
+        assert!(!s1.suspect && !s2.suspect);
+
+        // Crash only stream 1.
+        sender1.crash();
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        assert!(monitor.status(1).unwrap().suspect, "crashed stream");
+        assert!(!monitor.status(2).unwrap().suspect, "alive stream");
+
+        let all = monitor.statuses();
+        assert_eq!(all.len(), 2);
+        monitor.stop();
+    }
+
+    #[test]
+    fn unknown_streams_are_counted_not_crashing() {
+        let (sink, source) = MemoryTransport::perfect();
+        let sink = Arc::new(sink);
+        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        // Nothing registered: all heartbeats are "unknown".
+        let _sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 99, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(monitor.unknown_heartbeats() > 5);
+        assert_eq!(monitor.watched(), 0);
+        monitor.stop();
+    }
+
+    #[test]
+    fn watch_unwatch_lifecycle() {
+        let (_sink, source) = MemoryTransport::perfect();
+        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        monitor.watch(7, &spec()).unwrap();
+        assert!(monitor.status(7).is_some());
+        assert!(monitor.unwatch(7));
+        assert!(!monitor.unwatch(7));
+        assert!(monitor.status(7).is_none());
+        // Invalid spec is rejected without panicking.
+        let bad = DetectorSpec::Chen(sfd_core::chen::ChenConfig {
+            window: 0,
+            ..Default::default()
+        });
+        assert!(monitor.watch(8, &bad).is_err());
+        monitor.stop();
+    }
+}

@@ -1,0 +1,294 @@
+//! RTT probing — the paper's parallel ping.
+//!
+//! "A low-frequency ping process runs in parallel with the experiment as
+//! a means to obtain a rough estimation of the round-trip time, and also
+//! to make sure the network is connected." (Sec. V)
+//!
+//! [`EchoResponder`] is the reflector to run next to a heartbeat sender;
+//! [`RttProbe`] sends low-frequency echo requests and keeps running RTT
+//! statistics plus a connectivity verdict. RTT estimates feed the
+//! analytic margin planner (one-way delay ≈ RTT/2) and the connectivity
+//! signal disambiguates "peer crashed" from "we are partitioned".
+
+use crate::clock::WallClock;
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+use sfd_core::stats::RunningMoments;
+use sfd_core::time::{Duration, Instant};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const PROBE_MAGIC: &[u8; 4] = b"SFPR";
+const PROBE_SIZE: usize = 20; // magic + u64 id + i64 sender timestamp
+
+fn encode_probe(id: u64, sent_nanos: i64) -> [u8; PROBE_SIZE] {
+    let mut buf = [0u8; PROBE_SIZE];
+    {
+        let mut w = &mut buf[..];
+        w.put_slice(PROBE_MAGIC);
+        w.put_u64(id);
+        w.put_i64(sent_nanos);
+    }
+    buf
+}
+
+fn decode_probe(mut data: &[u8]) -> Option<(u64, i64)> {
+    if data.len() != PROBE_SIZE {
+        return None;
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != PROBE_MAGIC {
+        return None;
+    }
+    Some((data.get_u64(), data.get_i64()))
+}
+
+/// The echo side: reflects every probe datagram back to its sender.
+pub struct EchoResponder {
+    stop: Arc<AtomicBool>,
+    reflected: Arc<AtomicU64>,
+    local: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EchoResponder {
+    /// Bind and start reflecting.
+    pub fn spawn(addr: impl ToSocketAddrs) -> io::Result<EchoResponder> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(std::time::Duration::from_millis(20)))?;
+        let local = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let reflected = Arc::new(AtomicU64::new(0));
+        let t_stop = stop.clone();
+        let t_reflected = reflected.clone();
+        let handle = std::thread::Builder::new()
+            .name("sfd-echo".into())
+            .spawn(move || {
+                let mut buf = [0u8; 64];
+                while !t_stop.load(Ordering::Relaxed) {
+                    match socket.recv_from(&mut buf) {
+                        Ok((n, from)) => {
+                            if decode_probe(&buf[..n]).is_some()
+                                && socket.send_to(&buf[..n], from).is_ok()
+                            {
+                                t_reflected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut => {}
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(EchoResponder { stop, reflected, local, handle: Some(handle) })
+    }
+
+    /// The bound address probers should target.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Probes reflected so far.
+    pub fn reflected(&self) -> u64 {
+        self.reflected.load(Ordering::Relaxed)
+    }
+
+    /// Stop the responder.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EchoResponder {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A point-in-time view of the probe's findings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttReport {
+    /// Probes sent.
+    pub sent: u64,
+    /// Echoes received.
+    pub received: u64,
+    /// Mean RTT over received echoes.
+    pub rtt_mean: Duration,
+    /// RTT standard deviation.
+    pub rtt_std: Duration,
+    /// Smallest observed RTT.
+    pub rtt_min: Duration,
+    /// Largest observed RTT.
+    pub rtt_max: Duration,
+    /// `true` if an echo arrived within the last few probe intervals —
+    /// the paper's "make sure the network is connected".
+    pub connected: bool,
+}
+
+struct ProbeState {
+    rtt: RunningMoments,
+    received: u64,
+    last_echo: Option<Instant>,
+}
+
+/// The probing side.
+pub struct RttProbe {
+    stop: Arc<AtomicBool>,
+    sent: Arc<AtomicU64>,
+    state: Arc<Mutex<ProbeState>>,
+    clock: WallClock,
+    interval: Duration,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RttProbe {
+    /// Start probing `dest` every `interval` (the paper used a low
+    /// frequency — seconds, not milliseconds).
+    pub fn spawn(dest: impl ToSocketAddrs, interval: Duration) -> io::Result<RttProbe> {
+        let socket = UdpSocket::bind(("0.0.0.0", 0))?;
+        socket.connect(dest)?;
+        socket.set_read_timeout(Some(std::time::Duration::from_millis(5)))?;
+        let clock = WallClock::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let sent = Arc::new(AtomicU64::new(0));
+        let state = Arc::new(Mutex::new(ProbeState {
+            rtt: RunningMoments::new(),
+            received: 0,
+            last_echo: None,
+        }));
+
+        let t_stop = stop.clone();
+        let t_sent = sent.clone();
+        let t_state = state.clone();
+        let t_clock = clock.clone();
+        let handle = std::thread::Builder::new()
+            .name("sfd-rtt-probe".into())
+            .spawn(move || {
+                let mut id = 0u64;
+                let mut next_send = t_clock.now();
+                let mut buf = [0u8; 64];
+                while !t_stop.load(Ordering::Relaxed) {
+                    let now = t_clock.now();
+                    if now >= next_send {
+                        let _ = socket.send(&encode_probe(id, now.as_nanos()));
+                        id += 1;
+                        t_sent.store(id, Ordering::Relaxed);
+                        next_send += interval;
+                    }
+                    // Drain any echoes.
+                    while let Ok(n) = socket.recv(&mut buf) {
+                        if let Some((_, sent_nanos)) = decode_probe(&buf[..n]) {
+                            let now = t_clock.now();
+                            let rtt = now - Instant::from_nanos(sent_nanos);
+                            if !rtt.is_negative() {
+                                let mut st = t_state.lock();
+                                st.rtt.push(rtt.as_secs_f64());
+                                st.received += 1;
+                                st.last_echo = Some(now);
+                            }
+                        }
+                    }
+                }
+            })?;
+        Ok(RttProbe { stop, sent, state, clock, interval, handle: Some(handle) })
+    }
+
+    /// Current findings.
+    pub fn report(&self) -> RttReport {
+        let st = self.state.lock();
+        let now = self.clock.now();
+        let connected = st
+            .last_echo
+            .map(|t| now - t < self.interval.mul_f64(3.0) + Duration::from_millis(200))
+            .unwrap_or(false);
+        let dur = |s: f64| Duration::from_secs_f64(s);
+        RttReport {
+            sent: self.sent.load(Ordering::Relaxed),
+            received: st.received,
+            rtt_mean: dur(st.rtt.mean()),
+            rtt_std: dur(st.rtt.std_dev()),
+            rtt_min: if st.received == 0 { Duration::ZERO } else { dur(st.rtt.min()) },
+            rtt_max: if st.received == 0 { Duration::ZERO } else { dur(st.rtt.max()) },
+            connected,
+        }
+    }
+
+    /// Stop probing.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RttProbe {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_codec_round_trip() {
+        let enc = encode_probe(42, -7);
+        assert_eq!(decode_probe(&enc), Some((42, -7)));
+        assert_eq!(decode_probe(&enc[..10]), None);
+        let mut bad = enc;
+        bad[0] = b'X';
+        assert_eq!(decode_probe(&bad), None);
+    }
+
+    #[test]
+    fn loopback_rtt_measurement() {
+        let responder = EchoResponder::spawn(("127.0.0.1", 0)).expect("bind echo");
+        let mut probe =
+            RttProbe::spawn(responder.local_addr(), Duration::from_millis(20)).expect("probe");
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let r = probe.report();
+        assert!(r.sent >= 10, "sent {}", r.sent);
+        assert!(r.received >= 5, "received {}", r.received);
+        assert!(r.connected, "loopback must be connected");
+        // Loopback RTT is small but positive.
+        assert!(r.rtt_mean > Duration::ZERO);
+        assert!(r.rtt_mean < Duration::from_millis(100), "{}", r.rtt_mean);
+        assert!(r.rtt_max >= r.rtt_min);
+        assert!(responder.reflected() >= r.received);
+        probe.stop();
+    }
+
+    #[test]
+    fn dead_target_reports_disconnected() {
+        // Probe a bound-but-silent socket: no echoes ever.
+        let silent = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let mut probe =
+            RttProbe::spawn(silent.local_addr().unwrap(), Duration::from_millis(20))
+                .expect("probe");
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let r = probe.report();
+        assert!(r.sent >= 5);
+        assert_eq!(r.received, 0);
+        assert!(!r.connected);
+        probe.stop();
+    }
+
+    #[test]
+    fn responder_ignores_garbage() {
+        let responder = EchoResponder::spawn(("127.0.0.1", 0)).expect("bind echo");
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"not a probe", responder.local_addr()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(responder.reflected(), 0);
+    }
+}

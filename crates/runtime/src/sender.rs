@@ -1,0 +1,142 @@
+//! The monitored process `p`: a heartbeat sender thread.
+
+use crate::clock::WallClock;
+use crate::transport::HeartbeatSink;
+use crate::wire::Heartbeat;
+use sfd_core::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Sender configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderConfig {
+    /// Stream id stamped on every heartbeat.
+    pub stream: u64,
+    /// Sending interval `Δt`.
+    pub interval: Duration,
+}
+
+/// A running heartbeat sender.
+///
+/// Dropping the handle stops the thread gracefully. Calling
+/// [`HeartbeatSender::crash`] emulates a fail-stop crash: the thread stops
+/// emitting *without* any goodbye message, which is exactly what the
+/// failure detector must notice.
+pub struct HeartbeatSender {
+    stop: Arc<AtomicBool>,
+    sent: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HeartbeatSender {
+    /// Spawn a sender emitting heartbeats on `sink` every
+    /// `cfg.interval`, starting immediately.
+    pub fn spawn<S: HeartbeatSink + 'static>(cfg: SenderConfig, sink: S) -> HeartbeatSender {
+        let stop = Arc::new(AtomicBool::new(false));
+        let sent = Arc::new(AtomicU64::new(0));
+        let thread_stop = stop.clone();
+        let thread_sent = sent.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("sfd-sender-{}", cfg.stream))
+            .spawn(move || {
+                let clock = WallClock::new();
+                let mut seq = 0u64;
+                let mut next = clock.now();
+                while !thread_stop.load(Ordering::Relaxed) {
+                    let hb = Heartbeat {
+                        stream: cfg.stream,
+                        seq,
+                        sent_nanos: clock.now().as_nanos(),
+                    };
+                    if sink.send(hb).is_err() {
+                        break; // transport gone: nothing left to do
+                    }
+                    seq += 1;
+                    thread_sent.store(seq, Ordering::Relaxed);
+                    next += cfg.interval;
+                    // Absolute-deadline pacing: a slow send does not shift
+                    // the whole schedule (avoids cumulative drift).
+                    let now = clock.now();
+                    if next > now {
+                        std::thread::sleep((next - now).to_std());
+                    }
+                }
+            })
+            .expect("spawn sender thread");
+        HeartbeatSender { stop, sent, handle: Some(handle) }
+    }
+
+    /// Heartbeats sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Fail-stop crash: stop emitting, silently. Blocks until the sender
+    /// thread has exited, so no heartbeat is emitted after this returns.
+    pub fn crash(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// `true` once crashed/stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.handle.is_none() || self.stop.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for HeartbeatSender {
+    fn drop(&mut self) {
+        self.crash();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{HeartbeatSource, MemoryTransport};
+
+    #[test]
+    fn emits_at_roughly_the_configured_rate() {
+        let (sink, source) = MemoryTransport::perfect();
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            sink,
+        );
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        sender.crash();
+        let n = sender.sent();
+        // ~24 expected; CI schedulers are rough, accept a wide band.
+        assert!((10..=40).contains(&n), "sent {n}");
+        // All heartbeats are sequential and carry the stream id.
+        let mut expected = 0;
+        while let Some(hb) = source.recv(Duration::ZERO).unwrap() {
+            assert_eq!(hb.stream, 1);
+            assert_eq!(hb.seq, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, n);
+    }
+
+    #[test]
+    fn crash_stops_emission_permanently() {
+        let (sink, source) = MemoryTransport::perfect();
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 2, interval: Duration::from_millis(2) },
+            sink,
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sender.crash();
+        assert!(sender.is_stopped());
+        let at_crash = sender.sent();
+        // Drain and wait: nothing new may appear.
+        while source.recv(Duration::ZERO).unwrap().is_some() {}
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(source.recv(Duration::ZERO).unwrap(), None);
+        assert_eq!(sender.sent(), at_crash);
+        // Idempotent.
+        sender.crash();
+    }
+}

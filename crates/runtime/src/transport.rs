@@ -1,0 +1,302 @@
+//! Heartbeat transports.
+//!
+//! [`HeartbeatSink`] / [`HeartbeatSource`] abstract the unidirectional
+//! unreliable channel of the system model. Two implementations:
+//!
+//! * [`UdpSink`] / [`UdpSource`] — real UDP sockets, the paper's
+//!   deployment protocol ("all heartbeat messages use the UDP/IP
+//!   protocol");
+//! * [`MemoryTransport`] — an in-process crossbeam channel with optional
+//!   Bernoulli loss, for deterministic tests and examples that should not
+//!   depend on networking.
+
+use crate::wire::{Heartbeat, WIRE_SIZE};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use sfd_core::time::Duration;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The sending half of a heartbeat channel.
+pub trait HeartbeatSink: Send {
+    /// Emit one heartbeat. A lost message is *not* an error — the channel
+    /// is unreliable by contract; errors are for broken transports.
+    fn send(&self, hb: Heartbeat) -> io::Result<()>;
+}
+
+/// The receiving half of a heartbeat channel.
+pub trait HeartbeatSource: Send {
+    /// Wait up to `timeout` for a heartbeat. `Ok(None)` = nothing arrived
+    /// (or a malformed datagram was discarded).
+    fn recv(&self, timeout: Duration) -> io::Result<Option<Heartbeat>>;
+}
+
+// ───────────────────────── UDP ─────────────────────────
+
+/// UDP sending endpoint.
+pub struct UdpSink {
+    socket: UdpSocket,
+}
+
+impl UdpSink {
+    /// Bind an ephemeral local socket and connect it to `dest`.
+    pub fn connect(dest: impl ToSocketAddrs) -> io::Result<UdpSink> {
+        let socket = UdpSocket::bind(("0.0.0.0", 0))?;
+        socket.connect(dest)?;
+        Ok(UdpSink { socket })
+    }
+
+    /// Local address of the sending socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl HeartbeatSink for UdpSink {
+    fn send(&self, hb: Heartbeat) -> io::Result<()> {
+        // A full OS buffer (WouldBlock) is a lost message, not a failure.
+        match self.socket.send(&hb.encode()) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// UDP receiving endpoint.
+pub struct UdpSource {
+    socket: UdpSocket,
+}
+
+impl UdpSource {
+    /// Bind to `addr` (use port 0 for an ephemeral port, then read it
+    /// back with [`UdpSource::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<UdpSource> {
+        let socket = UdpSocket::bind(addr)?;
+        Ok(UdpSource { socket })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl HeartbeatSource for UdpSource {
+    fn recv(&self, timeout: Duration) -> io::Result<Option<Heartbeat>> {
+        self.socket.set_read_timeout(Some(timeout.to_std().max(std::time::Duration::from_millis(1))))?;
+        let mut buf = [0u8; WIRE_SIZE + 16];
+        match self.socket.recv(&mut buf) {
+            Ok(n) => Ok(Heartbeat::decode(&buf[..n])),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ───────────────────── in-memory ───────────────────────
+
+/// In-process transport: a channel pair with optional deterministic loss.
+///
+/// Loss is decided by a splitmix-style hash of the sequence number against
+/// the configured rate, so a given `(seed, rate)` drops the *same*
+/// heartbeats on every run — tests stay deterministic without real time.
+pub struct MemoryTransport {
+    tx: Sender<Heartbeat>,
+    rx: Receiver<Heartbeat>,
+    loss_rate: f64,
+    seed: u64,
+    sent: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl MemoryTransport {
+    /// Lossless in-memory transport.
+    pub fn perfect() -> (MemorySink, MemorySourceHalf) {
+        Self::with_loss(0.0, 0)
+    }
+
+    /// Transport dropping roughly `loss_rate` of messages,
+    /// deterministically in `seed`.
+    pub fn with_loss(loss_rate: f64, seed: u64) -> (MemorySink, MemorySourceHalf) {
+        let (tx, rx) = unbounded();
+        let sent = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let t = MemoryTransport {
+            tx,
+            rx,
+            loss_rate,
+            seed,
+            sent: sent.clone(),
+            dropped: dropped.clone(),
+        };
+        let shared = Arc::new(t);
+        (MemorySink { inner: shared.clone() }, MemorySourceHalf { inner: shared })
+    }
+
+    fn is_dropped(&self, hb: &Heartbeat) -> bool {
+        if self.loss_rate <= 0.0 {
+            return false;
+        }
+        if self.loss_rate >= 1.0 {
+            return true;
+        }
+        // splitmix64 of (seed ^ seq ^ stream) → uniform in [0,1).
+        let mut z = self.seed ^ hb.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hb.stream;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.loss_rate
+    }
+}
+
+/// Sending half of a [`MemoryTransport`].
+pub struct MemorySink {
+    inner: Arc<MemoryTransport>,
+}
+
+impl HeartbeatSink for MemorySink {
+    fn send(&self, hb: Heartbeat) -> io::Result<()> {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+        if self.inner.is_dropped(&hb) {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.inner.tx.send(hb).map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+    }
+}
+
+impl MemorySink {
+    /// Messages offered so far.
+    pub fn sent(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Receiving half of a [`MemoryTransport`].
+pub struct MemorySourceHalf {
+    inner: Arc<MemoryTransport>,
+}
+
+impl HeartbeatSource for MemorySourceHalf {
+    fn recv(&self, timeout: Duration) -> io::Result<Option<Heartbeat>> {
+        if timeout <= Duration::ZERO {
+            return match self.inner.rx.try_recv() {
+                Ok(hb) => Ok(Some(hb)),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => {
+                    Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+                }
+            };
+        }
+        match self.inner.rx.recv_timeout(timeout.to_std()) {
+            Ok(hb) => Ok(Some(hb)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(seq: u64) -> Heartbeat {
+        Heartbeat { stream: 7, seq, sent_nanos: seq as i64 * 1000 }
+    }
+
+    #[test]
+    fn memory_perfect_delivers_in_order() {
+        let (sink, source) = MemoryTransport::perfect();
+        for i in 0..100 {
+            sink.send(hb(i)).unwrap();
+        }
+        for i in 0..100 {
+            let got = source.recv(Duration::from_millis(10)).unwrap().unwrap();
+            assert_eq!(got.seq, i);
+        }
+        assert_eq!(source.recv(Duration::ZERO).unwrap(), None);
+        assert_eq!(sink.sent(), 100);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn memory_loss_is_deterministic_and_near_rate() {
+        let run = |seed| {
+            let (sink, source) = MemoryTransport::with_loss(0.2, seed);
+            for i in 0..10_000 {
+                sink.send(hb(i)).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Some(h) = source.recv(Duration::ZERO).unwrap() {
+                got.push(h.seq);
+            }
+            (got, sink.dropped())
+        };
+        let (a, dropped_a) = run(1);
+        let (b, _) = run(1);
+        assert_eq!(a, b, "same seed → same losses");
+        let (c, _) = run(2);
+        assert_ne!(a, c, "different seed → different losses");
+        let rate = dropped_a as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn memory_full_loss_and_zero_timeout() {
+        let (sink, source) = MemoryTransport::with_loss(1.0, 0);
+        sink.send(hb(1)).unwrap();
+        assert_eq!(source.recv(Duration::ZERO).unwrap(), None);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn udp_loopback_round_trip() {
+        let source = UdpSource::bind(("127.0.0.1", 0)).unwrap();
+        let addr = source.local_addr().unwrap();
+        let sink = UdpSink::connect(addr).unwrap();
+        for i in 0..50 {
+            sink.send(hb(i)).unwrap();
+        }
+        let mut seen = 0;
+        while let Some(h) = source.recv(Duration::from_millis(100)).unwrap() {
+            assert_eq!(h.stream, 7);
+            seen += 1;
+            if seen == 50 {
+                break;
+            }
+        }
+        assert_eq!(seen, 50, "loopback should deliver everything");
+    }
+
+    #[test]
+    fn udp_recv_times_out_cleanly() {
+        let source = UdpSource::bind(("127.0.0.1", 0)).unwrap();
+        let got = source.recv(Duration::from_millis(20)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn udp_discards_foreign_datagrams() {
+        let source = UdpSource::bind(("127.0.0.1", 0)).unwrap();
+        let addr = source.local_addr().unwrap();
+        let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        raw.send_to(b"not a heartbeat", addr).unwrap();
+        // The malformed datagram is consumed and reported as "nothing".
+        let got = source.recv(Duration::from_millis(100)).unwrap();
+        assert_eq!(got, None);
+    }
+}

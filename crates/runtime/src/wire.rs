@@ -1,0 +1,115 @@
+//! Heartbeat datagram format.
+//!
+//! Heartbeats are tiny fixed-size messages — the paper's protocol carries
+//! nothing but identity and ordering information over UDP/IP. The wire
+//! layout (network byte order) is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "SFHB"
+//! 4       1     version (1)
+//! 5       8     stream id    — distinguishes monitored processes
+//! 13      8     sequence     — the i of m_i
+//! 21      8     sender clock — nanoseconds, for statistics only
+//! ```
+//!
+//! The sender timestamp is *never* used for failure detection decisions
+//! (clocks are unsynchronised; paper footnote 7) — only for diagnostics
+//! and the live detection-time estimate, where drift is assumed
+//! negligible exactly as Chen et al. assume.
+
+use bytes::{Buf, BufMut};
+
+/// Size of an encoded heartbeat, bytes.
+pub const WIRE_SIZE: usize = 29;
+
+const MAGIC: &[u8; 4] = b"SFHB";
+const VERSION: u8 = 1;
+
+/// One heartbeat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Which monitored process sent this.
+    pub stream: u64,
+    /// Sequence number (`i` of `m_i`).
+    pub seq: u64,
+    /// Sender-clock timestamp, nanoseconds since the sender's epoch.
+    pub sent_nanos: i64,
+}
+
+impl Heartbeat {
+    /// Encode into a fixed-size buffer.
+    pub fn encode(&self) -> [u8; WIRE_SIZE] {
+        let mut buf = [0u8; WIRE_SIZE];
+        {
+            let mut w = &mut buf[..];
+            w.put_slice(MAGIC);
+            w.put_u8(VERSION);
+            w.put_u64(self.stream);
+            w.put_u64(self.seq);
+            w.put_i64(self.sent_nanos);
+        }
+        buf
+    }
+
+    /// Decode from a received datagram; `None` for malformed or foreign
+    /// packets (wrong size, magic, or version).
+    pub fn decode(mut data: &[u8]) -> Option<Heartbeat> {
+        if data.len() != WIRE_SIZE {
+            return None;
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return None;
+        }
+        if data.get_u8() != VERSION {
+            return None;
+        }
+        Some(Heartbeat {
+            stream: data.get_u64(),
+            seq: data.get_u64(),
+            sent_nanos: data.get_i64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hb = Heartbeat { stream: 42, seq: 123_456, sent_nanos: -7 };
+        let enc = hb.encode();
+        assert_eq!(enc.len(), WIRE_SIZE);
+        assert_eq!(Heartbeat::decode(&enc), Some(hb));
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        let hb = Heartbeat { stream: 1, seq: 2, sent_nanos: 3 };
+        let enc = hb.encode();
+        assert_eq!(Heartbeat::decode(&enc[..WIRE_SIZE - 1]), None);
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert_eq!(Heartbeat::decode(&long), None);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let hb = Heartbeat { stream: 1, seq: 2, sent_nanos: 3 };
+        let mut enc = hb.encode();
+        enc[0] = b'X';
+        assert_eq!(Heartbeat::decode(&enc), None);
+        let mut enc = hb.encode();
+        enc[4] = 9;
+        assert_eq!(Heartbeat::decode(&enc), None);
+    }
+
+    #[test]
+    fn extreme_values() {
+        let hb = Heartbeat { stream: u64::MAX, seq: u64::MAX, sent_nanos: i64::MIN };
+        assert_eq!(Heartbeat::decode(&hb.encode()), Some(hb));
+    }
+}

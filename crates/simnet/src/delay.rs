@@ -1,0 +1,302 @@
+//! One-way delay models for the unreliable channel.
+//!
+//! The paper's WAN traces show three regimes that the detectors must cope
+//! with (Sec. V-A/V-B): a tight body of delays around the path's base
+//! latency, a heavy upper tail (routing events, cross-traffic, OS
+//! scheduling — "timing inaccuracies due to irregular OS scheduling"), and
+//! rare multi-second *burst episodes* during which consecutive heartbeats
+//! are all severely delayed. [`DelayConfig`] composes:
+//!
+//! * a **base** distribution: constant, normal (clipped), or log-normal
+//!   (the usual heavy-tailed WAN fit);
+//! * an optional **spike** mixture: with small probability a message takes
+//!   `spike_scale ×` its base delay (tail events);
+//! * an optional **burst** process: episodes start with a small per-message
+//!   probability, last a geometric number of messages, and add a large
+//!   extra delay to every message they cover.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use sfd_core::time::Duration;
+
+/// The body of the delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BaseDelay {
+    /// Every message takes exactly this long.
+    Constant(Duration),
+    /// Normally distributed, clipped from below at `min`.
+    Normal {
+        /// Mean one-way delay.
+        mean: Duration,
+        /// Standard deviation.
+        std: Duration,
+        /// Hard floor (propagation delay of the path).
+        min: Duration,
+    },
+    /// Log-normal with the given median and shape; shifted by `min`.
+    LogNormal {
+        /// Median of the variable part.
+        median: Duration,
+        /// Shape parameter σ of the underlying normal.
+        sigma: f64,
+        /// Hard floor added to every sample.
+        min: Duration,
+    },
+}
+
+impl BaseDelay {
+    fn sample(&self, rng: &mut SimRng) -> Duration {
+        match *self {
+            BaseDelay::Constant(d) => d,
+            BaseDelay::Normal { mean, std, min } => {
+                let s = rng.normal(mean.as_secs_f64(), std.as_secs_f64());
+                Duration::from_secs_f64(s).max(min)
+            }
+            BaseDelay::LogNormal { median, sigma, min } => {
+                let s = rng.log_normal(median.as_secs_f64(), sigma);
+                min + Duration::from_secs_f64(s)
+            }
+        }
+    }
+}
+
+/// Rare tail events: with probability `prob`, a message's delay is
+/// multiplied by `scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeConfig {
+    /// Per-message spike probability.
+    pub prob: f64,
+    /// Multiplier applied to the base delay.
+    pub scale: f64,
+}
+
+/// Burst episodes: network events that delay *runs* of messages.
+///
+/// Reproduces the paper's observation of loss/delay bursts up to 1,093
+/// consecutive heartbeats (≈ 2 minutes) on the EPFL↔JAIST path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Probability that a burst starts at any given message (while not
+    /// already in a burst).
+    pub start_prob: f64,
+    /// Mean burst length in messages (geometric).
+    pub mean_len: f64,
+    /// Extra delay added to every message inside the burst.
+    pub extra_delay: Duration,
+}
+
+/// Full delay model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayConfig {
+    /// Distribution body.
+    pub base: BaseDelay,
+    /// Optional tail-spike mixture.
+    pub spike: Option<SpikeConfig>,
+    /// Optional burst episodes.
+    pub burst: Option<BurstConfig>,
+}
+
+impl DelayConfig {
+    /// A constant-delay configuration (useful in tests).
+    pub fn constant(d: Duration) -> Self {
+        DelayConfig { base: BaseDelay::Constant(d), spike: None, burst: None }
+    }
+
+    /// A clipped-normal configuration with no tail processes.
+    pub fn normal(mean: Duration, std: Duration, min: Duration) -> Self {
+        DelayConfig { base: BaseDelay::Normal { mean, std, min }, spike: None, burst: None }
+    }
+}
+
+/// Stateful sampler for a [`DelayConfig`] (owns the burst state machine).
+#[derive(Debug, Clone)]
+pub struct DelaySampler {
+    cfg: DelayConfig,
+    /// Messages remaining in the current burst (0 = not bursting).
+    burst_remaining: u64,
+    /// Total messages covered by bursts so far (diagnostics).
+    burst_messages: u64,
+    /// Number of burst episodes started (diagnostics).
+    bursts_started: u64,
+}
+
+impl DelaySampler {
+    /// Create a sampler for `cfg`.
+    pub fn new(cfg: DelayConfig) -> Self {
+        DelaySampler { cfg, burst_remaining: 0, burst_messages: 0, bursts_started: 0 }
+    }
+
+    /// The configuration being sampled.
+    pub fn config(&self) -> &DelayConfig {
+        &self.cfg
+    }
+
+    /// Sample the one-way delay of the next message.
+    pub fn sample(&mut self, rng: &mut SimRng) -> Duration {
+        let mut d = self.cfg.base.sample(rng);
+        if let Some(spike) = self.cfg.spike {
+            if rng.bernoulli(spike.prob) {
+                d = d.mul_f64(spike.scale);
+            }
+        }
+        if let Some(burst) = self.cfg.burst {
+            if self.burst_remaining == 0 && rng.bernoulli(burst.start_prob) {
+                // Geometric length with the requested mean.
+                let p = 1.0 / burst.mean_len.max(1.0);
+                self.burst_remaining = rng.geometric(p, 1_000_000);
+                self.bursts_started += 1;
+            }
+            if self.burst_remaining > 0 {
+                self.burst_remaining -= 1;
+                self.burst_messages += 1;
+                d += burst.extra_delay;
+            }
+        }
+        d.max_zero()
+    }
+
+    /// `true` while a burst episode is in progress.
+    pub fn in_burst(&self) -> bool {
+        self.burst_remaining > 0
+    }
+
+    /// Number of burst episodes started so far.
+    pub fn bursts_started(&self) -> u64 {
+        self.bursts_started
+    }
+
+    /// Total messages affected by bursts so far.
+    pub fn burst_messages(&self) -> u64 {
+        self.burst_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut s = DelaySampler::new(DelayConfig::constant(Duration::from_millis(42)));
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Duration::from_millis(42));
+        }
+    }
+
+    #[test]
+    fn normal_respects_floor_and_moments() {
+        let cfg = DelayConfig::normal(
+            Duration::from_millis(100),
+            Duration::from_millis(20),
+            Duration::from_millis(80),
+        );
+        let mut s = DelaySampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.sample(&mut rng).as_secs_f64()).collect();
+        assert!(xs.iter().all(|&x| x >= 0.080));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        // Clipping at −1σ biases the mean slightly upward of 100 ms.
+        assert!(mean > 0.098 && mean < 0.115, "{mean}");
+    }
+
+    #[test]
+    fn log_normal_is_heavy_tailed_and_floored() {
+        let cfg = DelayConfig {
+            base: BaseDelay::LogNormal {
+                median: Duration::from_millis(10),
+                sigma: 0.8,
+                min: Duration::from_millis(90),
+            },
+            spike: None,
+            burst: None,
+        };
+        let mut s = DelaySampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.sample(&mut rng).as_secs_f64()).collect();
+        assert!(xs.iter().all(|&x| x >= 0.090));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[n / 2];
+        // Log-normal: mean of the variable part exceeds its median.
+        assert!(mean - 0.090 > median - 0.090, "mean {mean}, median {median}");
+    }
+
+    #[test]
+    fn spikes_inflate_the_tail() {
+        let base = DelayConfig::constant(Duration::from_millis(100));
+        let spiky = DelayConfig {
+            spike: Some(SpikeConfig { prob: 0.01, scale: 5.0 }),
+            ..base
+        };
+        let mut s = DelaySampler::new(spiky);
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 100_000;
+        let spikes = (0..n)
+            .filter(|_| s.sample(&mut rng) > Duration::from_millis(400))
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.002, "spike rate {rate}");
+    }
+
+    #[test]
+    fn bursts_cover_runs_of_messages() {
+        let cfg = DelayConfig {
+            base: BaseDelay::Constant(Duration::from_millis(100)),
+            spike: None,
+            burst: Some(BurstConfig {
+                start_prob: 0.001,
+                mean_len: 50.0,
+                extra_delay: Duration::from_secs(2),
+            }),
+        };
+        let mut s = DelaySampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(5);
+        let n = 200_000;
+        let mut delayed = 0u64;
+        for _ in 0..n {
+            if s.sample(&mut rng) > Duration::from_secs(1) {
+                delayed += 1;
+            }
+        }
+        assert!(s.bursts_started() > 50, "bursts {}", s.bursts_started());
+        assert_eq!(delayed, s.burst_messages());
+        // Mean burst length ≈ 50.
+        let mean_len = s.burst_messages() as f64 / s.bursts_started() as f64;
+        assert!((mean_len - 50.0).abs() < 10.0, "mean burst len {mean_len}");
+    }
+
+    #[test]
+    fn never_negative() {
+        // Aggressive normal with mean 0 would go negative without clipping.
+        let cfg = DelayConfig::normal(Duration::ZERO, Duration::from_millis(50), Duration::ZERO);
+        let mut s = DelaySampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) >= Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = DelayConfig {
+            base: BaseDelay::LogNormal {
+                median: Duration::from_millis(10),
+                sigma: 0.8,
+                min: Duration::from_millis(90),
+            },
+            spike: Some(SpikeConfig { prob: 0.01, scale: 5.0 }),
+            burst: Some(BurstConfig {
+                start_prob: 0.001,
+                mean_len: 50.0,
+                extra_delay: Duration::from_secs(2),
+            }),
+        };
+        let js = serde_json::to_string(&cfg).unwrap();
+        let back: DelayConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

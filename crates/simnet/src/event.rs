@@ -1,0 +1,177 @@
+//! Deterministic discrete-event queue.
+//!
+//! A minimal but complete DES core: events carry a payload `T` and fire in
+//! timestamp order; ties break by insertion order (FIFO), which keeps
+//! simulations deterministic when several events share an instant — e.g. a
+//! heartbeat arrival and a query sample scheduled for the same nanosecond.
+
+use sfd_core::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: Instant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside BinaryHeap (a max-heap).
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with a monotone virtual clock.
+#[derive(Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue with the clock at `Instant::ZERO`.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO }
+    }
+
+    /// Current virtual time: the timestamp of the most recently popped
+    /// event (or zero).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the virtual past — a DES must never rewind.
+    pub fn schedule(&mut self, at: Instant, payload: T) {
+        assert!(at >= self.now, "cannot schedule an event in the past ({at:?} < {:?})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Instant, T)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// Pop the next event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: Instant) -> Option<(Instant, T)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Discard all pending events (the clock keeps its value).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(inst(30), "c");
+        q.schedule(inst(10), "a");
+        q.schedule(inst(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(inst(100), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(inst(5), ());
+        q.schedule(inst(15), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), inst(5));
+        q.pop();
+        assert_eq!(q.now(), inst(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(inst(10), ());
+        q.pop();
+        q.schedule(inst(5), ());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(inst(10), "a");
+        q.schedule(inst(20), "b");
+        assert_eq!(q.pop_until(inst(15)).map(|(_, p)| p), Some("a"));
+        assert_eq!(q.pop_until(inst(15)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(inst(20)).map(|(_, p)| p), Some("b"));
+    }
+
+    #[test]
+    fn interleaved_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(inst(10), 1);
+        let (_, v) = q.pop().unwrap();
+        assert_eq!(v, 1);
+        // Schedule relative to the advanced clock.
+        q.schedule(q.now() + sfd_core::time::Duration::from_millis(5), 2);
+        q.schedule(q.now() + sfd_core::time::Duration::from_millis(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! The sending side of the heartbeat protocol (paper Fig. 2, process `p`).
+//!
+//! Real senders do not tick perfectly: the paper's EPFL↔JAIST trace shows
+//! a target period of 100 ms but a measured mean of 103.501 ms with
+//! occasional 234 ms outliers ("timing inaccuracies due to irregular OS
+//! scheduling"), and the WAN-1 PlanetLab trace shows a slight clock drift
+//! (send mean 12.825 ms vs receive mean 12.83 ms). [`HeartbeatSchedule`]
+//! models all three effects: per-tick jitter, rare scheduling stalls, and
+//! proportional clock drift.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use sfd_core::time::{Duration, Instant};
+
+/// Configuration of a heartbeat sender's timing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatSchedule {
+    /// Target sending interval `Δt`.
+    pub interval: Duration,
+    /// Standard deviation of per-tick jitter (normal, clipped so the
+    /// next send never precedes the previous one).
+    pub jitter_std: Duration,
+    /// Probability that a tick suffers an OS-scheduling stall.
+    pub stall_prob: f64,
+    /// Mean extra delay of a stall (exponential).
+    pub stall_mean: Duration,
+    /// Clock drift in parts-per-million: every interval is stretched by
+    /// `1 + drift_ppm·1e-6` (positive = slow sender clock).
+    pub drift_ppm: f64,
+    /// Absolute-deadline scheduling: each tick aims at `k·Δ` on the
+    /// (drifted) ideal timeline, so a stall delays *one* send and the
+    /// next tick catches back up — how real fixed-rate senders behave.
+    /// With `false`, every disturbance shifts all later sends (a random
+    /// walk), which models a naive `sleep(Δ)`-loop sender.
+    #[serde(default)]
+    pub catch_up: bool,
+}
+
+impl HeartbeatSchedule {
+    /// A perfectly periodic schedule.
+    pub fn periodic(interval: Duration) -> Self {
+        HeartbeatSchedule {
+            interval,
+            jitter_std: Duration::ZERO,
+            stall_prob: 0.0,
+            stall_mean: Duration::ZERO,
+            drift_ppm: 0.0,
+            catch_up: true,
+        }
+    }
+}
+
+/// One heartbeat's fate, as recorded by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatRecord {
+    /// Sequence number.
+    pub seq: u64,
+    /// When process `p` sent it (sender clock = global time here; the
+    /// monitor never reads this field — it is "used only for statistics",
+    /// as in the paper's methodology).
+    pub sent: Instant,
+    /// When process `q` received it, or `None` if the channel lost it.
+    pub arrival: Option<Instant>,
+}
+
+impl HeartbeatRecord {
+    /// Transmission delay, if the heartbeat arrived.
+    pub fn delay(&self) -> Option<Duration> {
+        self.arrival.map(|a| a - self.sent)
+    }
+}
+
+/// Iterator-style generator of send instants.
+#[derive(Debug, Clone)]
+pub struct SenderSim {
+    schedule: HeartbeatSchedule,
+    next_seq: u64,
+    /// Next send in random-walk mode; ideal (undisturbed) tick in
+    /// catch-up mode.
+    next_ideal: Instant,
+    /// Last emitted send instant (sends must strictly increase).
+    last_send: Option<Instant>,
+    rng: SimRng,
+}
+
+impl SenderSim {
+    /// Create a sender whose first heartbeat is due one interval after
+    /// `start`.
+    pub fn new(schedule: HeartbeatSchedule, start: Instant, rng: SimRng) -> Self {
+        let first = start + schedule.interval;
+        SenderSim { schedule, next_seq: 0, next_ideal: first, last_send: None, rng }
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> HeartbeatSchedule {
+        self.schedule
+    }
+
+    /// Peek at the next (undisturbed) send instant.
+    pub fn peek(&self) -> Instant {
+        self.next_ideal
+    }
+
+    /// Per-tick transient disturbance (jitter + possible stall), seconds.
+    fn transient(&mut self) -> f64 {
+        let mut t = 0.0;
+        if self.schedule.jitter_std > Duration::ZERO {
+            t += self.rng.normal(0.0, self.schedule.jitter_std.as_secs_f64());
+        }
+        if self.rng.bernoulli(self.schedule.stall_prob) {
+            t += self.rng.exponential(self.schedule.stall_mean.as_secs_f64());
+        }
+        t
+    }
+
+    /// Produce the next `(seq, send_instant)` and advance the schedule.
+    pub fn next_send(&mut self) -> (u64, Instant) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let drift = 1.0 + self.schedule.drift_ppm * 1e-6;
+        let step = self.schedule.interval.mul_f64(drift);
+        let floor = self.schedule.interval.mul_f64(0.01).max(Duration::NANOSECOND);
+        let t = self.transient();
+
+        let send = if self.schedule.catch_up {
+            // Absolute deadline: the disturbance delays this send only.
+            let target = self.next_ideal + Duration::from_secs_f64(t.max(0.0));
+            self.next_ideal += step;
+            match self.last_send {
+                Some(last) => target.max(last + floor),
+                None => target,
+            }
+        } else {
+            // Random walk: the disturbance shifts all later sends too.
+            let out = self.next_ideal;
+            let shifted = step + Duration::from_secs_f64(t);
+            self.next_ideal += shifted.max(floor);
+            out
+        };
+        self.last_send = Some(send);
+        (seq, send)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_schedule_is_exact() {
+        let mut s = SenderSim::new(
+            HeartbeatSchedule::periodic(Duration::from_millis(100)),
+            Instant::ZERO,
+            SimRng::seed_from_u64(1),
+        );
+        for i in 0..100u64 {
+            let (seq, at) = s.next_send();
+            assert_eq!(seq, i);
+            assert_eq!(at, Instant::from_millis((i as i64 + 1) * 100));
+        }
+    }
+
+    #[test]
+    fn jitter_keeps_mean_interval() {
+        let sched = HeartbeatSchedule {
+            interval: Duration::from_millis(100),
+            jitter_std: Duration::from_millis(5),
+            stall_prob: 0.0,
+            stall_mean: Duration::ZERO,
+            drift_ppm: 0.0,
+            catch_up: false,
+        };
+        let mut s = SenderSim::new(sched, Instant::ZERO, SimRng::seed_from_u64(2));
+        let n = 100_000;
+        let mut last = Instant::ZERO;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let (_, at) = s.next_send();
+            sum += (at - last).as_secs_f64();
+            last = at;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.100).abs() < 0.001, "{mean}");
+    }
+
+    #[test]
+    fn stalls_shift_the_mean_like_the_paper() {
+        // EPFL↔JAIST: target 100 ms, measured mean 103.5 ms. A ~3.4%
+        // stall tax reproduces that.
+        let sched = HeartbeatSchedule {
+            interval: Duration::from_millis(100),
+            jitter_std: Duration::from_micros(200),
+            stall_prob: 0.05,
+            stall_mean: Duration::from_millis(70),
+            drift_ppm: 0.0,
+            catch_up: false,
+        };
+        let mut s = SenderSim::new(sched, Instant::ZERO, SimRng::seed_from_u64(3));
+        let n = 100_000;
+        let mut last = Instant::ZERO;
+        let mut sum = 0.0;
+        let mut max = Duration::ZERO;
+        for _ in 0..n {
+            let (_, at) = s.next_send();
+            let gap = at - last;
+            sum += gap.as_secs_f64();
+            max = max.max(gap);
+            last = at;
+        }
+        let mean = sum / n as f64;
+        assert!(mean > 0.102 && mean < 0.106, "mean {mean}");
+        assert!(max > Duration::from_millis(150), "max {max}");
+    }
+
+    #[test]
+    fn drift_stretches_intervals() {
+        let sched = HeartbeatSchedule {
+            interval: Duration::from_millis(100),
+            jitter_std: Duration::ZERO,
+            stall_prob: 0.0,
+            stall_mean: Duration::ZERO,
+            drift_ppm: 400.0, // 0.04%
+            catch_up: true,
+        };
+        let mut s = SenderSim::new(sched, Instant::ZERO, SimRng::seed_from_u64(4));
+        let mut last = Instant::ZERO;
+        for _ in 0..1000 {
+            let (_, at) = s.next_send();
+            last = at;
+        }
+        // First send at 100 ms (undrifted), then 999 drifted steps.
+        let expected = 0.100 + 999.0 * 0.100 * 1.0004;
+        assert!((last.as_secs_f64() - expected).abs() < 1e-6, "{last}");
+    }
+
+    #[test]
+    fn sends_are_strictly_increasing_even_with_huge_jitter() {
+        let sched = HeartbeatSchedule {
+            interval: Duration::from_millis(10),
+            jitter_std: Duration::from_millis(50), // pathological
+            stall_prob: 0.0,
+            stall_mean: Duration::ZERO,
+            drift_ppm: 0.0,
+            catch_up: true,
+        };
+        let mut s = SenderSim::new(sched, Instant::ZERO, SimRng::seed_from_u64(5));
+        let mut last = Instant::ZERO;
+        for _ in 0..10_000 {
+            let (_, at) = s.next_send();
+            assert!(at > last, "send times must increase");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn catch_up_does_not_random_walk() {
+        // Same stall process; catch-up keeps the k-th send anchored near
+        // k·Δ while the random walk wanders off.
+        let mk = |catch_up| HeartbeatSchedule {
+            interval: Duration::from_millis(10),
+            jitter_std: Duration::from_micros(300),
+            stall_prob: 0.1,
+            stall_mean: Duration::from_millis(20),
+            drift_ppm: 0.0,
+            catch_up,
+        };
+        let run = |catch_up| {
+            let mut s = SenderSim::new(mk(catch_up), Instant::ZERO, SimRng::seed_from_u64(9));
+            let mut last = Instant::ZERO;
+            for _ in 0..10_000 {
+                last = s.next_send().1;
+            }
+            last
+        };
+        let anchored = run(true);
+        let walked = run(false);
+        // Ideal end: 10_000 · 10 ms = 100 s.
+        let ideal = Instant::from_millis(100_000);
+        assert!((anchored - ideal).abs() < Duration::from_millis(100), "{anchored}");
+        // The walk accumulates ~10_000·0.1·20 ms = +20 s of stall.
+        assert!((walked - ideal).abs() > Duration::from_secs(10), "{walked}");
+    }
+
+    #[test]
+    fn catch_up_sends_strictly_increase() {
+        let sched = HeartbeatSchedule {
+            interval: Duration::from_millis(10),
+            jitter_std: Duration::ZERO,
+            stall_prob: 0.2,
+            stall_mean: Duration::from_millis(50),
+            drift_ppm: 0.0,
+            catch_up: true,
+        };
+        let mut s = SenderSim::new(sched, Instant::ZERO, SimRng::seed_from_u64(10));
+        let mut last = Instant::ZERO;
+        for _ in 0..20_000 {
+            let (_, at) = s.next_send();
+            assert!(at > last, "send times must strictly increase");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn record_delay() {
+        let r = HeartbeatRecord {
+            seq: 3,
+            sent: Instant::from_millis(100),
+            arrival: Some(Instant::from_millis(180)),
+        };
+        assert_eq!(r.delay(), Some(Duration::from_millis(80)));
+        let lost = HeartbeatRecord { seq: 4, sent: Instant::from_millis(200), arrival: None };
+        assert_eq!(lost.delay(), None);
+    }
+}

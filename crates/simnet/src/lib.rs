@@ -1,0 +1,49 @@
+//! # sfd-simnet — discrete-event network simulation substrate
+//!
+//! The paper evaluates failure detectors on recorded heartbeat traces from
+//! seven real WAN paths (EPFL↔JAIST and six PlanetLab pairs). Those traces
+//! are not redistributable, so this crate provides the substrate used to
+//! *synthesise* statistically equivalent workloads and to run live
+//! closed-loop experiments (crash injection, end-to-end detection):
+//!
+//! * [`event::EventQueue`] — a deterministic discrete-event queue with
+//!   stable FIFO tie-breaking;
+//! * [`delay`] — one-way delay models: constant, normal, log-normal
+//!   (heavy-tailed, the usual WAN fit), plus burst episodes that reproduce
+//!   the multi-second outages visible in the paper's EPFL↔JAIST trace;
+//! * [`loss`] — message-loss models: Bernoulli and the Gilbert–Elliott
+//!   two-state chain, which produces the *bursty* losses the paper reports
+//!   (0.399% loss concentrated in 814 bursts);
+//! * [`channel`] — the paper's unreliable unidirectional channel (Sec.
+//!   II-B: no creation, no alteration, no duplication; losses allowed);
+//! * [`heartbeat`] — the sending side: periodic heartbeats with jitter,
+//!   clock drift and OS-scheduling spikes;
+//! * [`sim`] — pairwise simulations (process `p` monitored by process `q`,
+//!   paper Fig. 2) with crash injection and detector harnesses;
+//! * [`scenario`] — multi-phase regimes over one continuous timeline, for
+//!   "network has significant changes" experiments.
+//!
+//! Everything is seeded and deterministic: the same configuration and seed
+//! always produce byte-identical workloads, which is what lets the
+//! benchmark binaries regenerate the paper's tables reproducibly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod delay;
+pub mod event;
+pub mod heartbeat;
+pub mod loss;
+pub mod rng;
+pub mod scenario;
+pub mod sim;
+
+pub use channel::{Channel, ChannelConfig};
+pub use delay::{BurstConfig, DelayConfig, DelaySampler};
+pub use event::EventQueue;
+pub use heartbeat::{HeartbeatRecord, HeartbeatSchedule, SenderSim};
+pub use loss::{LossConfig, LossSampler};
+pub use rng::SimRng;
+pub use scenario::{Phase, Scenario};
+pub use sim::{CrashOutcome, PairSim, PairSimConfig};

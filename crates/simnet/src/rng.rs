@@ -1,0 +1,205 @@
+//! Seeded randomness for deterministic simulations.
+//!
+//! All stochastic components (delay samplers, loss chains, jittered
+//! schedules) draw from a [`SimRng`], a thin wrapper over `StdRng` that
+//! adds the distribution helpers the channel models need. Simulations are
+//! reproducible given `(config, seed)`; sub-streams for independent
+//! components are derived with [`SimRng::fork`] so adding a component
+//! never perturbs the draws of another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Normal};
+
+/// Deterministic simulation RNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent sub-stream, keyed by `salt`.
+    ///
+    /// The child stream is a function of the parent's seed position and
+    /// the salt, so components seeded with distinct salts stay decoupled.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let mixed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(mixed)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    /// A non-positive `std` returns `mean` exactly.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        if std <= 0.0 {
+            return mean;
+        }
+        Normal::new(mean, std).expect("validated std").sample(&mut self.inner)
+    }
+
+    /// Log-normal draw parameterised by the *median* `exp(μ)` and shape
+    /// `σ`. A non-positive `sigma` returns the median exactly.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return median;
+        }
+        LogNormal::new(median.ln(), sigma).expect("validated sigma").sample(&mut self.inner)
+    }
+
+    /// Exponential draw with the given mean. A non-positive mean returns 0.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        Exp::new(1.0 / mean).expect("validated rate").sample(&mut self.inner)
+    }
+
+    /// Geometric draw: number of trials until first success (≥ 1) with
+    /// success probability `p`; returns `max` if `p` is too small or the
+    /// run exceeds `max`.
+    pub fn geometric(&mut self, p: f64, max: u64) -> u64 {
+        if p >= 1.0 {
+            return 1;
+        }
+        if p <= 0.0 {
+            return max;
+        }
+        // Inverse-CDF sampling: ceil(ln(1-u)/ln(1-p)).
+        let u = self.uniform();
+        let n = ((1.0 - u).ln() / (1.0 - p).ln()).ceil();
+        if !n.is_finite() || n < 1.0 {
+            1
+        } else if n >= max as f64 {
+            max
+        } else {
+            n as u64
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn forks_are_decoupled() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut c1 = parent1.fork(1);
+        let _unused = parent2.fork(1);
+        let mut c2b = parent2.fork(2);
+        // Different salts at different positions → different streams.
+        let x: Vec<u64> = (0..8).map(|_| c1.uniform().to_bits()).collect();
+        let y: Vec<u64> = (0..8).map(|_| c2b.uniform().to_bits()).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn bernoulli_respects_edges() {
+        let mut r = SimRng::seed_from_u64(1);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+        assert!(!r.bernoulli(-0.5));
+        assert!(r.bernoulli(1.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = SimRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::seed_from_u64(3);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "{mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "{}", var.sqrt());
+        assert_eq!(r.normal(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = SimRng::seed_from_u64(4);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| r.log_normal(0.1, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median - 0.1).abs() < 0.005, "{median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+        assert_eq!(r.log_normal(0.2, 0.0), 0.2);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "{mean}");
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_one_over_p() {
+        let mut r = SimRng::seed_from_u64(6);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.geometric(0.2, 1_000_000) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "{mean}");
+        assert_eq!(r.geometric(1.0, 10), 1);
+        assert_eq!(r.geometric(0.0, 10), 10);
+        assert!(r.geometric(1e-12, 7) <= 7);
+    }
+
+    #[test]
+    fn int_in_bounds() {
+        let mut r = SimRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let v = r.int_in(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(r.int_in(5, 5), 5);
+        assert_eq!(r.int_in(9, 3), 9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-phase network scenarios.
+//!
+//! The paper's core selling point is behaviour under *change*: "if the
+//! network has significant changes, the engineers have to change the
+//! relevant parameters manually again" — unless the detector self-tunes.
+//! A [`Scenario`] strings together phases, each with its own channel and
+//! schedule, over one continuous timeline and one continuous sequence
+//! space, producing a single coherent heartbeat stream that crosses
+//! regime boundaries (unlike naive trace concatenation, which splices
+//! two unrelated runs).
+
+use crate::channel::{Channel, ChannelConfig};
+use crate::heartbeat::{HeartbeatRecord, HeartbeatSchedule, SenderSim};
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use sfd_core::time::{Duration, Instant};
+
+/// One network regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// How long this regime lasts.
+    pub duration: Duration,
+    /// Channel behaviour during the regime.
+    pub channel: ChannelConfig,
+    /// Sending behaviour during the regime. The schedule's `interval`
+    /// should normally stay constant across phases (the monitored process
+    /// does not change its protocol when the network does), but jitter
+    /// and stall parameters may vary.
+    pub schedule: HeartbeatSchedule,
+}
+
+/// A sequence of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Phases, in order.
+    pub phases: Vec<Phase>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Build a scenario.
+    pub fn new(phases: Vec<Phase>, seed: u64) -> Self {
+        Scenario { phases, seed }
+    }
+
+    /// Total duration across phases.
+    pub fn duration(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Generate the full heartbeat stream. Sequence numbers and the send
+    /// clock run continuously across phase boundaries; each phase gets
+    /// its own channel state (routing changed — old queue state is gone)
+    /// but the sender keeps its cadence.
+    pub fn generate(&self) -> Vec<HeartbeatRecord> {
+        let mut master = SimRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut phase_start = Instant::ZERO;
+        let mut next_seq = 0u64;
+        let mut sender: Option<SenderSim> = None;
+
+        for (i, phase) in self.phases.iter().enumerate() {
+            let phase_end = phase_start + phase.duration;
+            let mut channel = Channel::new(phase.channel, master.fork(0xC0 + i as u64));
+            // A schedule change re-anchors the sender at the phase start
+            // (same cadence, new parameters); otherwise keep it running.
+            let need_new = match &sender {
+                Some(s) => s.schedule() != phase.schedule,
+                None => true,
+            };
+            if need_new {
+                let anchor = out
+                    .last()
+                    .map(|r: &HeartbeatRecord| r.sent)
+                    .unwrap_or(phase_start);
+                sender = Some(SenderSim::new(
+                    phase.schedule,
+                    anchor,
+                    master.fork(0x50 + i as u64),
+                ));
+            }
+            let s = sender.as_mut().expect("sender initialised");
+            while s.peek() <= phase_end {
+                let (_, sent) = s.next_send();
+                let seq = next_seq;
+                next_seq += 1;
+                let arrival = channel.transmit(sent);
+                out.push(HeartbeatRecord { seq, sent, arrival });
+            }
+            phase_start = phase_end;
+        }
+        out
+    }
+
+    /// The instants at which regimes change (exclusive of t=0 and the
+    /// end) — useful for annotating plots and assertions.
+    pub fn boundaries(&self) -> Vec<Instant> {
+        let mut out = Vec::new();
+        let mut t = Instant::ZERO;
+        for p in &self.phases[..self.phases.len().saturating_sub(1)] {
+            t += p.duration;
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayConfig;
+    use crate::loss::LossConfig;
+
+    fn phase(secs: i64, delay_ms: i64, loss: f64) -> Phase {
+        Phase {
+            duration: Duration::from_secs(secs),
+            channel: ChannelConfig {
+                delay: DelayConfig::normal(
+                    Duration::from_millis(delay_ms),
+                    Duration::from_millis(3),
+                    Duration::from_millis(delay_ms / 2),
+                ),
+                loss: LossConfig::Bernoulli { p: loss },
+                fifo: true,
+            },
+            schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+        }
+    }
+
+    #[test]
+    fn continuous_seq_and_time_across_phases() {
+        let sc = Scenario::new(vec![phase(10, 40, 0.0), phase(10, 120, 0.05)], 1);
+        let recs = sc.generate();
+        // ~200 heartbeats over 20 s of 100 ms cadence.
+        assert!((195..=205).contains(&recs.len()), "{}", recs.len());
+        // Contiguous sequences, strictly increasing sends.
+        assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert!(recs.windows(2).all(|w| w[1].sent > w[0].sent));
+        assert_eq!(sc.duration(), Duration::from_secs(20));
+        assert_eq!(sc.boundaries(), vec![Instant::from_secs_f64(10.0)]);
+    }
+
+    #[test]
+    fn regime_change_is_visible_in_the_data() {
+        let sc = Scenario::new(vec![phase(30, 40, 0.0), phase(30, 150, 0.10)], 2);
+        let recs = sc.generate();
+        let boundary = Instant::from_secs_f64(30.0);
+        let (first, second): (Vec<_>, Vec<_>) = recs.iter().partition(|r| r.sent <= boundary);
+        let mean_delay = |rs: &[&HeartbeatRecord]| {
+            let ds: Vec<f64> =
+                rs.iter().filter_map(|r| r.delay()).map(|d| d.as_secs_f64()).collect();
+            ds.iter().sum::<f64>() / ds.len() as f64
+        };
+        assert!(mean_delay(&second) > mean_delay(&first) * 2.0);
+        let lost_first = first.iter().filter(|r| r.arrival.is_none()).count();
+        let lost_second = second.iter().filter(|r| r.arrival.is_none()).count();
+        assert!(lost_second > lost_first, "{lost_second} vs {lost_first}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = Scenario::new(vec![phase(5, 40, 0.02), phase(5, 60, 0.02)], 7);
+        assert_eq!(sc.generate(), sc.generate());
+        let other = Scenario::new(vec![phase(5, 40, 0.02), phase(5, 60, 0.02)], 8);
+        assert_ne!(sc.generate(), other.generate());
+    }
+
+    #[test]
+    fn empty_scenario() {
+        let sc = Scenario::new(vec![], 1);
+        assert!(sc.generate().is_empty());
+        assert_eq!(sc.duration(), Duration::ZERO);
+        assert!(sc.boundaries().is_empty());
+    }
+
+    #[test]
+    fn schedule_change_reanchors_without_time_travel() {
+        let mut p1 = phase(10, 40, 0.0);
+        let mut p2 = phase(10, 40, 0.0);
+        p1.schedule = HeartbeatSchedule::periodic(Duration::from_millis(100));
+        p2.schedule = HeartbeatSchedule {
+            jitter_std: Duration::from_millis(2),
+            ..HeartbeatSchedule::periodic(Duration::from_millis(100))
+        };
+        let recs = Scenario::new(vec![p1, p2], 3).generate();
+        assert!(recs.windows(2).all(|w| w[1].sent > w[0].sent));
+        assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use sfd_core::time::{Duration, Instant};
+use sfd_simnet::channel::{Channel, ChannelConfig};
+use sfd_simnet::delay::{BaseDelay, DelayConfig, DelaySampler};
+use sfd_simnet::event::EventQueue;
+use sfd_simnet::heartbeat::{HeartbeatSchedule, SenderSim};
+use sfd_simnet::loss::{LossConfig, LossSampler};
+use sfd_simnet::rng::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delay samples are never negative and respect the configured floor,
+    /// for any model parameters.
+    #[test]
+    fn delay_respects_floor(
+        mean_ms in 0i64..500,
+        std_ms in 0i64..200,
+        min_ms in 0i64..100,
+        seed in any::<u64>(),
+    ) {
+        let cfg = DelayConfig::normal(
+            Duration::from_millis(mean_ms),
+            Duration::from_millis(std_ms),
+            Duration::from_millis(min_ms),
+        );
+        let mut s = DelaySampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let d = s.sample(&mut rng);
+            prop_assert!(d >= Duration::from_millis(min_ms));
+        }
+    }
+
+    /// Log-normal delays are positive and floored.
+    #[test]
+    fn log_normal_delay_positive(
+        median_ms in 1i64..100,
+        sigma in 0.01f64..2.0,
+        min_ms in 0i64..200,
+        seed in any::<u64>(),
+    ) {
+        let cfg = DelayConfig {
+            base: BaseDelay::LogNormal {
+                median: Duration::from_millis(median_ms),
+                sigma,
+                min: Duration::from_millis(min_ms),
+            },
+            spike: None,
+            burst: None,
+        };
+        let mut s = DelaySampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let d = s.sample(&mut rng);
+            prop_assert!(d >= Duration::from_millis(min_ms));
+        }
+    }
+
+    /// Long-run Gilbert–Elliott loss matches its analytic stationary rate.
+    #[test]
+    fn gilbert_elliott_matches_expected_rate(
+        rate in 0.001f64..0.2,
+        burst_len in 2.0f64..40.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = LossConfig::bursty(rate, burst_len);
+        let expected = cfg.expected_rate();
+        prop_assert!((expected - rate).abs() < 0.02 * rate.max(0.01));
+        let mut s = LossSampler::new(cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 150_000u64;
+        for _ in 0..n {
+            s.is_lost(&mut rng);
+        }
+        // The sampling error of a bursty rate scales with the number of
+        // bursts observed, not messages: with B expected bursts the
+        // relative std of the observed rate is ≈ sqrt(2/B) (geometric run
+        // lengths double the variance). Use a ~5σ bound.
+        let expected_bursts = (n as f64 * expected / burst_len).max(1.0);
+        let rel_tol = (5.0 * (2.0 / expected_bursts).sqrt()).max(0.2);
+        prop_assert!(
+            (s.observed_rate() - expected).abs() < rel_tol * expected + 0.002,
+            "observed {} vs expected {} (tol {rel_tol:.2})",
+            s.observed_rate(),
+            expected
+        );
+    }
+
+    /// Sender timestamps strictly increase for any schedule.
+    #[test]
+    fn sender_strictly_increasing(
+        interval_ms in 1i64..200,
+        jitter_ms in 0i64..100,
+        stall_prob in 0.0f64..0.5,
+        stall_ms in 0i64..200,
+        drift in -2000.0f64..2000.0,
+        catch_up in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let sched = HeartbeatSchedule {
+            interval: Duration::from_millis(interval_ms),
+            jitter_std: Duration::from_millis(jitter_ms),
+            stall_prob,
+            stall_mean: Duration::from_millis(stall_ms),
+            drift_ppm: drift,
+            catch_up,
+        };
+        let mut s = SenderSim::new(sched, Instant::ZERO, SimRng::seed_from_u64(seed));
+        let mut last = Instant::ZERO;
+        let mut prev_seq = None;
+        for _ in 0..500 {
+            let (seq, at) = s.next_send();
+            prop_assert!(at > last, "sends must strictly increase");
+            if let Some(p) = prev_seq {
+                prop_assert_eq!(seq, p + 1);
+            }
+            prev_seq = Some(seq);
+            last = at;
+        }
+    }
+
+    /// FIFO channels never reorder; accounting always balances.
+    #[test]
+    fn fifo_channel_is_ordered_and_balanced(
+        loss in 0.0f64..0.3,
+        std_ms in 0i64..80,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ChannelConfig {
+            delay: DelayConfig::normal(
+                Duration::from_millis(100),
+                Duration::from_millis(std_ms),
+                Duration::from_millis(1),
+            ),
+            loss: LossConfig::Bernoulli { p: loss },
+            fifo: true,
+        };
+        let mut ch = Channel::new(cfg, SimRng::seed_from_u64(seed));
+        let mut last: Option<Instant> = None;
+        for i in 0..2000i64 {
+            if let Some(at) = ch.transmit(Instant::from_millis(i * 10)) {
+                if let Some(l) = last {
+                    prop_assert!(at > l, "FIFO violated");
+                }
+                last = Some(at);
+            }
+        }
+        prop_assert_eq!(ch.offered(), 2000);
+        prop_assert_eq!(ch.delivered() + ch.lost(), 2000);
+    }
+
+    /// The event queue pops any scheduled multiset in non-decreasing time
+    /// order with FIFO ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0i64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Instant::from_millis(t), i);
+        }
+        let mut popped: Vec<(Instant, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # sfd-trace — heartbeat traces, WAN workload presets, record/replay
+//!
+//! The paper's evaluation methodology (Sec. V) is *trace replay*: heartbeat
+//! send/arrival times are logged once, then every failure detector is
+//! replayed over the **same** log so all schemes face identical network
+//! conditions. This crate provides:
+//!
+//! * [`trace::Trace`] — the logged workload: nominal interval plus one
+//!   [`HeartbeatRecord`](sfd_simnet::HeartbeatRecord) per heartbeat;
+//!   serialisable as JSON or a compact binary format;
+//! * [`stats::TraceStats`] — every column of the paper's Table II
+//!   (heartbeat counts, loss rate, send/receive period mean and standard
+//!   deviation) plus loss-burst statistics;
+//! * [`presets`] — generator configurations for the paper's seven WAN
+//!   cases (EPFL↔JAIST plus PlanetLab WAN-1…WAN-6, Tables I–II),
+//!   synthesised to the published statistics since the original traces are
+//!   not redistributable;
+//! * [`replay`] — iteration of a trace in monitor-observed (arrival)
+//!   order, with epoch chunking for the self-tuning feedback loop;
+//! * [`transform`] — trace surgery: slicing, decimation, post-hoc loss
+//!   and delay injection for what-if replays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+pub mod replay;
+pub mod stats;
+pub mod trace;
+pub mod transform;
+
+pub use presets::{WanCase, WanPreset};
+pub use replay::{EpochReplay, ReplayIter};
+pub use stats::TraceStats;
+pub use trace::Trace;

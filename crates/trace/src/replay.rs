@@ -1,0 +1,175 @@
+//! Replay of a trace from the monitor's point of view.
+//!
+//! [`ReplayIter`] yields delivered heartbeats in arrival order (what
+//! process `q` actually observes); [`EpochReplay`] additionally cuts the
+//! stream into fixed-length wall-clock epochs, which is the granularity at
+//! which the self-tuning feedback loop runs ("in a specific time slot, we
+//! adjust the parameters of SFD only one time" — paper Sec. IV-A).
+
+use crate::trace::Trace;
+use sfd_core::time::{Duration, Instant};
+
+/// Iterator over `(seq, arrival)` pairs in arrival order.
+#[derive(Debug, Clone)]
+pub struct ReplayIter {
+    deliveries: Vec<(u64, Instant)>,
+    pos: usize,
+}
+
+impl ReplayIter {
+    /// Build from a trace.
+    pub fn new(trace: &Trace) -> Self {
+        ReplayIter { deliveries: trace.deliveries(), pos: 0 }
+    }
+
+    /// Remaining deliveries without consuming them.
+    pub fn remaining(&self) -> &[(u64, Instant)] {
+        &self.deliveries[self.pos..]
+    }
+
+    /// Peek at the next delivery.
+    pub fn peek(&self) -> Option<(u64, Instant)> {
+        self.deliveries.get(self.pos).copied()
+    }
+}
+
+impl Iterator for ReplayIter {
+    type Item = (u64, Instant);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.deliveries.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.deliveries.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ReplayIter {}
+
+/// One feedback epoch of a replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch {
+    /// Epoch start (inclusive).
+    pub start: Instant,
+    /// Epoch end (exclusive).
+    pub end: Instant,
+    /// Deliveries whose arrival falls in `[start, end)`.
+    pub deliveries: Vec<(u64, Instant)>,
+}
+
+/// Cuts a trace's delivery stream into fixed wall-clock epochs.
+#[derive(Debug, Clone)]
+pub struct EpochReplay {
+    deliveries: Vec<(u64, Instant)>,
+    pos: usize,
+    next_start: Instant,
+    epoch_len: Duration,
+    horizon: Instant,
+}
+
+impl EpochReplay {
+    /// Build from a trace with the given epoch length.
+    ///
+    /// # Panics
+    /// Panics if `epoch_len` is not positive.
+    pub fn new(trace: &Trace, epoch_len: Duration) -> Self {
+        assert!(epoch_len > Duration::ZERO, "epoch length must be positive");
+        let deliveries = trace.deliveries();
+        let start = trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO);
+        let horizon = start + trace.span();
+        EpochReplay { deliveries, pos: 0, next_start: start, epoch_len, horizon }
+    }
+
+    /// The instant past which no further epochs are produced.
+    pub fn horizon(&self) -> Instant {
+        self.horizon
+    }
+}
+
+impl Iterator for EpochReplay {
+    type Item = Epoch;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_start >= self.horizon {
+            return None;
+        }
+        let start = self.next_start;
+        let end = (start + self.epoch_len).min(self.horizon);
+        self.next_start = end;
+        let from = self.pos;
+        while self.pos < self.deliveries.len() && self.deliveries[self.pos].1 < end {
+            self.pos += 1;
+        }
+        Some(Epoch { start, end, deliveries: self.deliveries[from..self.pos].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_simnet::heartbeat::HeartbeatRecord;
+
+    fn trace() -> Trace {
+        let records = (0..50u64)
+            .map(|i| HeartbeatRecord {
+                seq: i,
+                sent: Instant::from_millis(i as i64 * 100),
+                arrival: (i % 5 != 4).then(|| Instant::from_millis(i as i64 * 100 + 40)),
+            })
+            .collect();
+        Trace::new("t", Duration::from_millis(100), records)
+    }
+
+    #[test]
+    fn replay_yields_all_deliveries_in_order() {
+        let t = trace();
+        let it = ReplayIter::new(&t);
+        assert_eq!(it.len(), 40);
+        let v: Vec<_> = it.collect();
+        assert!(v.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn replay_peek_does_not_consume() {
+        let t = trace();
+        let mut it = ReplayIter::new(&t);
+        let first = it.peek().unwrap();
+        assert_eq!(it.next().unwrap(), first);
+        assert_eq!(it.remaining().len(), 39);
+    }
+
+    #[test]
+    fn epochs_partition_the_stream() {
+        let t = trace();
+        let epochs: Vec<_> = EpochReplay::new(&t, Duration::from_secs(1)).collect();
+        // Span: 0 → 4940 ms → 5 epochs.
+        assert_eq!(epochs.len(), 5);
+        let total: usize = epochs.iter().map(|e| e.deliveries.len()).sum();
+        assert_eq!(total, 40);
+        for e in &epochs {
+            assert!(e.deliveries.iter().all(|&(_, a)| a >= e.start && a < e.end));
+        }
+        // Contiguous cover.
+        for w in epochs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(epochs.last().unwrap().end, Instant::ZERO + t.span());
+    }
+
+    #[test]
+    fn empty_trace_yields_no_epochs() {
+        let t = Trace::new("e", Duration::from_millis(100), vec![]);
+        assert_eq!(EpochReplay::new(&t, Duration::from_secs(1)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epoch_panics() {
+        let t = trace();
+        let _ = EpochReplay::new(&t, Duration::ZERO);
+    }
+}

@@ -1,0 +1,239 @@
+//! Trace statistics — every column of the paper's Table II, re-measured
+//! from a trace rather than trusted from its generator configuration.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use sfd_core::stats::RunningMoments;
+use sfd_core::time::Duration;
+
+/// Summary statistics of a heartbeat trace (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Heartbeats sent (`total #msg`).
+    pub sent: u64,
+    /// Heartbeats received.
+    pub received: u64,
+    /// Loss rate (`loss rate`).
+    pub loss_rate: f64,
+    /// Mean sending period (`send Avg.`).
+    pub send_mean: Duration,
+    /// Standard deviation of the sending period (`send stddev`).
+    pub send_std: Duration,
+    /// Mean inter-arrival period at the receiver (`receive Avg.`).
+    pub recv_mean: Duration,
+    /// Standard deviation of the receiver inter-arrival (`receive stddev`).
+    pub recv_std: Duration,
+    /// Mean one-way transmission delay (not in Table II, but reported in
+    /// the prose; the paper's RTT ≈ 2× this under symmetric paths).
+    pub delay_mean: Duration,
+    /// Minimum / maximum one-way delay.
+    pub delay_min: Duration,
+    /// Maximum one-way delay.
+    pub delay_max: Duration,
+    /// Number of loss bursts (runs of consecutive losses; Sec. V-A1
+    /// reports 814 for the EPFL↔JAIST trace).
+    pub loss_bursts: u64,
+    /// Length of the longest loss burst (Sec. V-A1 reports 1,093).
+    pub longest_loss_burst: u64,
+    /// Trace span (first send → last event).
+    pub span: Duration,
+}
+
+impl TraceStats {
+    /// Measure a trace.
+    pub fn measure(trace: &Trace) -> TraceStats {
+        let mut send_gaps = RunningMoments::new();
+        let mut delays = RunningMoments::new();
+        let mut prev_sent: Option<sfd_core::time::Instant> = None;
+        let mut loss_bursts = 0u64;
+        let mut run = 0u64;
+        let mut longest = 0u64;
+        for r in &trace.records {
+            if let Some(p) = prev_sent {
+                send_gaps.push((r.sent - p).as_secs_f64());
+            }
+            prev_sent = Some(r.sent);
+            match r.arrival {
+                Some(a) => {
+                    delays.push((a - r.sent).as_secs_f64());
+                    if run > 0 {
+                        loss_bursts += 1;
+                        longest = longest.max(run);
+                        run = 0;
+                    }
+                }
+                None => run += 1,
+            }
+        }
+        if run > 0 {
+            loss_bursts += 1;
+            longest = longest.max(run);
+        }
+
+        // Receiver inter-arrival: consecutive *arrivals* in arrival order.
+        let mut recv_gaps = RunningMoments::new();
+        let deliveries = trace.deliveries();
+        for w in deliveries.windows(2) {
+            recv_gaps.push((w[1].1 - w[0].1).as_secs_f64());
+        }
+
+        let dur = |s: f64| Duration::from_secs_f64(s);
+        TraceStats {
+            sent: trace.sent(),
+            received: trace.received(),
+            loss_rate: trace.loss_rate(),
+            send_mean: dur(send_gaps.mean()),
+            send_std: dur(send_gaps.std_dev()),
+            recv_mean: dur(recv_gaps.mean()),
+            recv_std: dur(recv_gaps.std_dev()),
+            delay_mean: dur(delays.mean()),
+            delay_min: if delays.count() == 0 { Duration::ZERO } else { dur(delays.min()) },
+            delay_max: if delays.count() == 0 { Duration::ZERO } else { dur(delays.max()) },
+            loss_bursts,
+            longest_loss_burst: longest,
+            span: trace.span(),
+        }
+    }
+
+    /// Format one Table II row (fixed-width, milliseconds).
+    pub fn table_row(&self, case: &str) -> String {
+        format!(
+            "{case:8} {:>10} {:>7.3}% {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>10.3}",
+            self.sent,
+            self.loss_rate * 100.0,
+            self.send_mean.as_millis_f64(),
+            self.send_std.as_millis_f64(),
+            self.recv_mean.as_millis_f64(),
+            self.recv_std.as_millis_f64(),
+            self.delay_mean.as_millis_f64(),
+        )
+    }
+
+    /// Header matching [`TraceStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:8} {:>10} {:>8} {:>11} {:>11} {:>11} {:>11} {:>10}",
+            "case", "#msg", "loss", "send avg", "send std", "recv avg", "recv std", "delay avg"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::time::Instant;
+    use sfd_simnet::heartbeat::HeartbeatRecord;
+
+    fn rec(seq: u64, sent_ms: i64, arr_ms: Option<i64>) -> HeartbeatRecord {
+        HeartbeatRecord {
+            seq,
+            sent: Instant::from_millis(sent_ms),
+            arrival: arr_ms.map(Instant::from_millis),
+        }
+    }
+
+    #[test]
+    fn basic_measurement() {
+        let t = Trace::new(
+            "t",
+            Duration::from_millis(100),
+            vec![
+                rec(0, 100, Some(150)),
+                rec(1, 200, Some(260)),
+                rec(2, 300, None),
+                rec(3, 400, Some(440)),
+            ],
+        );
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.sent, 4);
+        assert_eq!(s.received, 3);
+        assert!((s.loss_rate - 0.25).abs() < 1e-12);
+        assert_eq!(s.send_mean, Duration::from_millis(100));
+        assert_eq!(s.send_std, Duration::ZERO);
+        // Delays: 50, 60, 40 → mean 50.
+        assert_eq!(s.delay_mean, Duration::from_millis(50));
+        assert_eq!(s.delay_min, Duration::from_millis(40));
+        assert_eq!(s.delay_max, Duration::from_millis(60));
+        // Receiver gaps: 110 (150→260), 180 (260→440) → mean 145.
+        assert_eq!(s.recv_mean, Duration::from_millis(145));
+        assert_eq!(s.loss_bursts, 1);
+        assert_eq!(s.longest_loss_burst, 1);
+    }
+
+    #[test]
+    fn burst_detection() {
+        let t = Trace::new(
+            "t",
+            Duration::from_millis(10),
+            vec![
+                rec(0, 0, Some(5)),
+                rec(1, 10, None),
+                rec(2, 20, None),
+                rec(3, 30, None),
+                rec(4, 40, Some(45)),
+                rec(5, 50, None),
+                rec(6, 60, Some(65)),
+                rec(7, 70, None), // trailing open burst
+            ],
+        );
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.loss_bursts, 3);
+        assert_eq!(s.longest_loss_burst, 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e", Duration::from_millis(100), vec![]);
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.sent, 0);
+        assert_eq!(s.loss_rate, 0.0);
+        assert_eq!(s.delay_mean, Duration::ZERO);
+        assert_eq!(s.loss_bursts, 0);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let t = Trace::new("t", Duration::from_millis(100), vec![rec(0, 0, Some(50))]);
+        let s = TraceStats::measure(&t);
+        let row = s.table_row("WAN-1");
+        assert!(row.starts_with("WAN-1"));
+        assert!(TraceStats::table_header().contains("loss"));
+    }
+
+    #[test]
+    fn measured_matches_generator_targets() {
+        use sfd_simnet::channel::ChannelConfig;
+        use sfd_simnet::heartbeat::HeartbeatSchedule;
+        use sfd_simnet::loss::LossConfig;
+        use sfd_simnet::sim::{PairSim, PairSimConfig};
+
+        let cfg = PairSimConfig {
+            schedule: HeartbeatSchedule {
+                interval: Duration::from_millis(100),
+                jitter_std: Duration::from_millis(2),
+                stall_prob: 0.0,
+                stall_mean: Duration::ZERO,
+                drift_ppm: 0.0,
+                catch_up: true,
+            },
+            channel: ChannelConfig {
+                delay: sfd_simnet::delay::DelayConfig::normal(
+                    Duration::from_millis(140),
+                    Duration::from_millis(10),
+                    Duration::from_millis(100),
+                ),
+                loss: LossConfig::Bernoulli { p: 0.02 },
+                fifo: true,
+            },
+            seed: 99,
+        };
+        let records = PairSim::new(cfg).generate(100_000);
+        let t = Trace::new("gen", Duration::from_millis(100), records);
+        let s = TraceStats::measure(&t);
+        assert!((s.loss_rate - 0.02).abs() < 0.003, "loss {}", s.loss_rate);
+        assert!((s.send_mean.as_millis_f64() - 100.0).abs() < 0.5);
+        assert!((s.delay_mean.as_millis_f64() - 140.0).abs() < 1.0);
+        // 2% loss stretches the receiver's inter-arrival mean by ≈ 1/0.98.
+        assert!((s.recv_mean.as_millis_f64() - 100.0 / 0.98).abs() < 0.5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Trace transformations: slice, decimate, inject loss, shift, merge.
+//!
+//! The paper's methodology replays *the same* log under controlled
+//! variations; these operators produce those variations without touching
+//! the generator — e.g. injecting extra loss into a recorded trace to ask
+//! "what would this detector have done had the channel been worse", or
+//! decimating a 12 ms trace to emulate a larger heartbeat interval from
+//! the same network conditions.
+
+use crate::trace::Trace;
+use sfd_core::time::{Duration, Instant};
+use sfd_simnet::heartbeat::HeartbeatRecord;
+use sfd_simnet::loss::{LossConfig, LossSampler};
+use sfd_simnet::rng::SimRng;
+
+/// Keep only heartbeats whose *send* time falls in `[from, to)`, and
+/// renumber sequences from zero (so the slice is a standalone trace).
+pub fn slice_time(trace: &Trace, from: Instant, to: Instant) -> Trace {
+    let records: Vec<HeartbeatRecord> = trace
+        .records
+        .iter()
+        .filter(|r| r.sent >= from && r.sent < to)
+        .enumerate()
+        .map(|(i, r)| HeartbeatRecord { seq: i as u64, sent: r.sent, arrival: r.arrival })
+        .collect();
+    Trace::new(format!("{}[sliced]", trace.name), trace.interval, records)
+}
+
+/// Keep every `factor`-th heartbeat, renumbering sequences — emulates a
+/// `factor ×` larger sending interval over the same network behaviour.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn decimate(trace: &Trace, factor: u64) -> Trace {
+    assert!(factor > 0, "decimation factor must be positive");
+    let records: Vec<HeartbeatRecord> = trace
+        .records
+        .iter()
+        .filter(|r| r.seq % factor == 0)
+        .enumerate()
+        .map(|(i, r)| HeartbeatRecord { seq: i as u64, sent: r.sent, arrival: r.arrival })
+        .collect();
+    Trace::new(
+        format!("{}[/{}]", trace.name, factor),
+        trace.interval * factor as i64,
+        records,
+    )
+}
+
+/// Drop additional (delivered) heartbeats according to `loss`,
+/// deterministically in `seed`. Already-lost heartbeats stay lost.
+pub fn inject_loss(trace: &Trace, loss: LossConfig, seed: u64) -> Trace {
+    let mut sampler = LossSampler::new(loss);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let records: Vec<HeartbeatRecord> = trace
+        .records
+        .iter()
+        .map(|r| {
+            let extra_lost = sampler.is_lost(&mut rng);
+            HeartbeatRecord {
+                seq: r.seq,
+                sent: r.sent,
+                arrival: if extra_lost { None } else { r.arrival },
+            }
+        })
+        .collect();
+    Trace::new(format!("{}[+loss]", trace.name), trace.interval, records)
+}
+
+/// Shift the whole trace by `offset` (both send and arrival times).
+pub fn shift(trace: &Trace, offset: Duration) -> Trace {
+    let records = trace
+        .records
+        .iter()
+        .map(|r| HeartbeatRecord {
+            seq: r.seq,
+            sent: r.sent + offset,
+            arrival: r.arrival.map(|a| a + offset),
+        })
+        .collect();
+    Trace::new(trace.name.clone(), trace.interval, records)
+}
+
+/// Add `extra` to every delivery's one-way time (e.g. to model a route
+/// change adding constant latency).
+pub fn add_delay(trace: &Trace, extra: Duration) -> Trace {
+    let records = trace
+        .records
+        .iter()
+        .map(|r| HeartbeatRecord {
+            seq: r.seq,
+            sent: r.sent,
+            arrival: r.arrival.map(|a| a + extra),
+        })
+        .collect();
+    Trace::new(format!("{}[+{extra}]", trace.name), trace.interval, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::WanCase;
+    use crate::stats::TraceStats;
+
+    fn base() -> Trace {
+        WanCase::Wan3.preset().generate(10_000)
+    }
+
+    #[test]
+    fn slice_keeps_window_and_renumbers() {
+        let t = base();
+        let from = Instant::from_secs_f64(20.0);
+        let to = Instant::from_secs_f64(40.0);
+        let s = slice_time(&t, from, to);
+        assert!(s.sent() > 0);
+        assert!(s.records.iter().all(|r| r.sent >= from && r.sent < to));
+        assert!(s.records.iter().enumerate().all(|(i, r)| r.seq == i as u64));
+    }
+
+    #[test]
+    fn decimate_halves_and_doubles_interval() {
+        let t = base();
+        let d = decimate(&t, 2);
+        assert_eq!(d.sent(), t.sent().div_ceil(2));
+        assert_eq!(d.interval, t.interval * 2);
+        let stats = TraceStats::measure(&d);
+        assert!(
+            (stats.send_mean.as_secs_f64() - t.interval.as_secs_f64() * 2.0).abs()
+                < t.interval.as_secs_f64() * 0.6,
+            "decimated send mean {}",
+            stats.send_mean
+        );
+        // Renumbered contiguously.
+        assert!(d.records.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn decimate_zero_panics() {
+        decimate(&base(), 0);
+    }
+
+    #[test]
+    fn inject_loss_only_removes() {
+        let t = base();
+        let worse = inject_loss(&t, LossConfig::Bernoulli { p: 0.1 }, 1);
+        assert_eq!(worse.sent(), t.sent());
+        assert!(worse.loss_rate() > t.loss_rate());
+        // No resurrection: everything delivered in `worse` was delivered
+        // in `t` with the same arrival.
+        for (a, b) in worse.records.iter().zip(&t.records) {
+            if let Some(arr) = a.arrival {
+                assert_eq!(Some(arr), b.arrival);
+            }
+        }
+        // Deterministic.
+        let again = inject_loss(&t, LossConfig::Bernoulli { p: 0.1 }, 1);
+        assert_eq!(again, worse);
+    }
+
+    #[test]
+    fn shift_preserves_structure() {
+        let t = base();
+        let s = shift(&t, Duration::from_secs(100));
+        assert_eq!(s.sent(), t.sent());
+        assert_eq!(s.loss_rate(), t.loss_rate());
+        assert_eq!(s.span(), t.span());
+        assert_eq!(s.records[0].sent, t.records[0].sent + Duration::from_secs(100));
+    }
+
+    #[test]
+    fn add_delay_shifts_arrivals_only() {
+        let t = base();
+        let slower = add_delay(&t, Duration::from_millis(50));
+        let s0 = TraceStats::measure(&t);
+        let s1 = TraceStats::measure(&slower);
+        assert_eq!(s1.sent, s0.sent);
+        let diff = s1.delay_mean - s0.delay_mean;
+        assert!((diff - Duration::from_millis(50)).abs() < Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cloud-consortium monitoring (the paper's Fig. 1 scenario).
+//!
+//! ```sh
+//! cargo run --release --example cloud_monitor
+//! ```
+//!
+//! A manager watches the seven clouds of the U.S. southern-states
+//! education consortium over heterogeneous WAN links. Two clouds crash at
+//! staggered times; one link degrades without a crash. The manager's
+//! status table shows the four-level classification (active / slow /
+//! offline / dead) the paper's PlanetLab motivation calls for, and a
+//! second manager plus a quorum panel demonstrates
+//! multiple-monitor-multiple.
+
+use sfd::cluster::{
+    ClusterSim, ClusterSimConfig, CloudNetwork, CrashPlan, LinkSetup, MonitorPanel,
+    OneMonitorsMany, StatusClassifier, TargetConfig, TargetId,
+};
+use sfd::core::prelude::*;
+use sfd::simnet::channel::ChannelConfig;
+use sfd::simnet::delay::DelayConfig;
+use sfd::simnet::heartbeat::HeartbeatSchedule;
+use sfd::simnet::loss::LossConfig;
+
+fn link_for(cloud: TargetId, delay_ms: i64, loss: f64) -> LinkSetup {
+    LinkSetup {
+        target: cloud,
+        schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+        channel: ChannelConfig {
+            delay: DelayConfig::normal(
+                Duration::from_millis(delay_ms),
+                Duration::from_millis(delay_ms / 8),
+                Duration::from_millis(delay_ms / 2),
+            ),
+            loss: LossConfig::Bernoulli { p: loss },
+            fifo: true,
+        },
+        detector: TargetConfig {
+            interval: Duration::from_millis(100),
+            window: 200,
+            initial_margin: Duration::from_millis(200),
+            ..TargetConfig::default()
+        },
+    }
+}
+
+fn main() {
+    let net = CloudNetwork::education_consortium();
+    net.validate().expect("consistent topology");
+    println!("consortium: {} clouds, {} managers", net.clouds.len(), net.managers.len());
+    for c in &net.clouds {
+        println!("  {} — nodes: {}", c.name, c.nodes.join(", "));
+    }
+
+    // Per-cloud link characteristics (distance → delay; health → loss).
+    let links: Vec<LinkSetup> = net
+        .clouds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let delay = 20 + 15 * i as i64;
+            let loss = if c.name.starts_with("SC") { 0.08 } else { 0.01 };
+            link_for(c.id, delay, loss)
+        })
+        .collect();
+
+    let cfg = ClusterSimConfig {
+        links,
+        crashes: vec![
+            // NC crashes at t = 40 s, HBCU at t = 70 s.
+            CrashPlan { target: TargetId(3), at: Instant::from_secs_f64(40.0) },
+            CrashPlan { target: TargetId(7), at: Instant::from_secs_f64(70.0) },
+        ],
+        duration: Duration::from_secs(120),
+        spec: QosSpec::new(Duration::from_secs_f64(1.5), 0.05, 0.98).expect("spec"),
+        classifier: StatusClassifier {
+            slow_fraction: 0.5,
+            dead_after: Duration::from_secs(20),
+        },
+        seed: 2024,
+    };
+
+    let report = ClusterSim::new(cfg).run();
+    println!("\ndeliveries processed by the manager: {}", report.deliveries);
+
+    println!("\ndetections:");
+    for d in &report.detections {
+        let name = &net.cloud(d.target).expect("known").name;
+        println!(
+            "  {:<22} crashed {:>8}  suspected {:>8}  T_D = {}",
+            name, d.crash_at, d.suspected_at, d.latency
+        );
+    }
+
+    println!("\nfinal status table (t = 120 s):");
+    for (target, status) in &report.final_statuses {
+        let name = &net.cloud(*target).expect("known").name;
+        println!("  {:<22} {status}", name);
+    }
+
+    // Multiple-monitor-multiple: two managers with different views vote.
+    println!("\nquorum demo — two managers, one partitioned from GA:");
+    let mk = |partitioned: bool| {
+        let mut m = OneMonitorsMany::new(QosSpec::permissive(), StatusClassifier::default());
+        m.watch(TargetId(1), TargetConfig { window: 50, ..TargetConfig::default() });
+        let last = if partitioned { 20 } else { 50 };
+        for i in 0..last {
+            m.heartbeat(TargetId(1), i, Instant::from_millis((i as i64 + 1) * 100));
+        }
+        m
+    };
+    let healthy_view = mk(false);
+    let partitioned_view = mk(true);
+    let now = Instant::from_millis(5_050);
+    let verdict =
+        MonitorPanel::majority().verdict(&[&healthy_view, &partitioned_view], TargetId(1), now);
+    println!(
+        "  suspecting {}/{} (quorum {}) → suspected: {}",
+        verdict.suspecting, verdict.total, verdict.quorum, verdict.suspected
+    );
+    assert!(!verdict.suspected, "quorum must overrule the partitioned view");
+}

@@ -1,0 +1,92 @@
+//! Quickstart: monitor one simulated process with the self-tuning
+//! failure detector.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A process `p` sends heartbeats every 100 ms over a lossy WAN-like
+//! channel; the monitor `q` runs SFD with a QoS requirement of
+//! "detect within 1 s, at most one wrong suspicion per 50 s, 99% query
+//! accuracy". Mid-run, `p` crashes and we watch the suspicion level rise.
+
+use sfd::core::prelude::*;
+use sfd::simnet::channel::ChannelConfig;
+use sfd::simnet::delay::DelayConfig;
+use sfd::simnet::heartbeat::HeartbeatSchedule;
+use sfd::simnet::loss::LossConfig;
+use sfd::simnet::sim::{run_crash_detection, PairSim, PairSimConfig};
+
+fn main() {
+    // 1. The user's QoS requirement (paper Sec. IV-A: the application
+    //    states what it needs; the detector tunes itself to it).
+    let qos = QosSpec::new(
+        Duration::from_secs_f64(1.0), // T̄_D
+        0.02,                         // M̄R: ≤ one mistake per 50 s
+        0.99,                         // Q̄AP
+    )
+    .expect("valid requirement");
+
+    // 2. An SFD instance for a 100 ms heartbeat stream.
+    let cfg = SfdConfig {
+        window: 200,
+        expected_interval: Duration::from_millis(100),
+        initial_margin: Duration::from_millis(80),
+        ..SfdConfig::default()
+    };
+    let mut fd = SfdFd::new(cfg, qos);
+
+    // 3. A WAN-like path: 50 ms one-way delay with jitter, 1% loss.
+    let sim_cfg = PairSimConfig {
+        schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+        channel: ChannelConfig {
+            delay: DelayConfig::normal(
+                Duration::from_millis(50),
+                Duration::from_millis(8),
+                Duration::from_millis(30),
+            ),
+            loss: LossConfig::Bernoulli { p: 0.01 },
+            fifo: true,
+        },
+        seed: 7,
+    };
+    let mut sim = PairSim::new(sim_cfg);
+    let records = sim.generate(1200); // 2 minutes of heartbeats
+
+    // 4. Live phase: feed deliveries, print the detector's view once per
+    //    simulated 10 s.
+    println!("time      suspicion  margin    state");
+    for (seq, arrival) in sfd::trace::Trace::new("demo", Duration::from_millis(100), records.clone())
+        .deliveries()
+    {
+        fd.heartbeat(seq, arrival);
+        if seq % 100 == 99 {
+            let s = fd.suspicion(arrival);
+            println!(
+                "{:>8}  {:>9.3}  {:>8}  {}",
+                arrival,
+                s,
+                fd.margin(),
+                if fd.is_suspect(arrival) { "SUSPECT" } else { "trust" }
+            );
+        }
+    }
+
+    // 5. Crash phase: p fails right after sending heartbeat #1000; the
+    //    crash-detection harness reports when SFD notices.
+    let mut fresh = SfdFd::new(cfg, qos);
+    let outcome = run_crash_detection(&mut fresh, &records, 1000)
+        .expect("enough heartbeats to detect");
+    println!("\nprocess p crashed at {}", outcome.crash_at);
+    println!("SFD suspected permanently at {}", outcome.suspected_at);
+    println!("detection time: {}", outcome.latency);
+    assert!(outcome.latency < Duration::from_secs(1), "within the QoS budget");
+
+    // 6. The suspicion level keeps climbing after the crash — applications
+    //    can stage reactions at different thresholds (paper Sec. IV-C1).
+    let after = outcome.suspected_at;
+    for extra_ms in [0i64, 200, 500, 1000] {
+        let t = after + Duration::from_millis(extra_ms);
+        println!("suspicion {:>6.2} at {} after permanent suspicion", fresh.suspicion(t), t);
+    }
+}

@@ -1,0 +1,89 @@
+//! Live failure detection over real UDP sockets (the paper's deployment
+//! protocol), on localhost.
+//!
+//! ```sh
+//! cargo run --release --example udp_live
+//! ```
+//!
+//! A sender thread emits heartbeats every 20 ms over UDP; a monitor
+//! service feeds them to an SFD instance with the epoch feedback loop
+//! running. After two seconds the sender fail-stops, and we time how long
+//! the monitor takes to notice.
+
+use sfd::core::detector::SelfTuning;
+use sfd::core::prelude::*;
+use sfd::runtime::{
+    HeartbeatSender, MonitorConfig, MonitorService, SenderConfig, UdpSink, UdpSource,
+};
+
+fn main() {
+    // Monitor side: bind an ephemeral UDP port.
+    let source = UdpSource::bind(("127.0.0.1", 0)).expect("bind UDP");
+    let addr = source.local_addr().expect("local addr");
+    println!("monitor listening on {addr}");
+
+    // Sender side: process p, heartbeats every 20 ms.
+    let sink = UdpSink::connect(addr).expect("connect UDP");
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 1, interval: Duration::from_millis(20) },
+        sink,
+    );
+
+    // Detector: SFD targeting "detect within 400 ms".
+    let qos = QosSpec::new(Duration::from_millis(400), 1.0, 0.90).expect("spec");
+    let fd = SfdFd::new(
+        SfdConfig {
+            window: 100,
+            expected_interval: Duration::from_millis(20),
+            initial_margin: Duration::from_millis(100),
+            ..SfdConfig::default()
+        },
+        qos,
+    );
+    let mut monitor = MonitorService::spawn_with_hook(
+        fd,
+        source,
+        MonitorConfig {
+            poll_interval: Duration::from_millis(2),
+            epoch: Some(Duration::from_millis(250)),
+        },
+        |d, q| {
+            let _ = d.apply_feedback(q);
+        },
+    );
+
+    // Healthy phase.
+    std::thread::sleep(std::time::Duration::from_secs(2));
+    let s = monitor.status();
+    println!(
+        "after 2 s: {} heartbeats, {} feedback epochs, suspect = {}, margin = {}",
+        s.heartbeats,
+        s.epochs,
+        s.suspect,
+        monitor.with_detector(|d| d.margin()),
+    );
+    assert!(s.heartbeats > 50, "UDP loopback should deliver heartbeats");
+    assert!(!s.suspect, "live sender must be trusted");
+
+    // Crash phase.
+    println!("crashing the sender (fail-stop, no goodbye message)…");
+    let crash_wall = std::time::Instant::now();
+    sender.crash();
+    let detected_after = loop {
+        if monitor.status().suspect {
+            break crash_wall.elapsed();
+        }
+        if crash_wall.elapsed() > std::time::Duration::from_secs(5) {
+            panic!("crash not detected within 5 s");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    println!("crash detected after {detected_after:?}");
+
+    let s = monitor.status();
+    println!(
+        "final: heartbeats = {}, wrong suspicions during healthy phase = {}",
+        s.heartbeats, s.mistakes
+    );
+    monitor.stop();
+}

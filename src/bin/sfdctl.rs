@@ -1,0 +1,416 @@
+//! `sfdctl` — operator CLI for the sfd toolkit.
+//!
+//! ```text
+//! sfdctl generate --case WAN-3 --count 100000 --out wan3.sfdt [--seed N]
+//! sfdctl stats    wan3.sfdt
+//! sfdctl eval     wan3.sfdt --scheme chen --margin 200ms [--window N] [--warmup N]
+//! sfdctl eval     wan3.sfdt --spec detector.json
+//! sfdctl sweep    wan3.sfdt --scheme chen --from 10ms --to 2s --points 12
+//! sfdctl send     --to 127.0.0.1:9999 --interval 100ms [--stream N] [--crash-after 30s]
+//! sfdctl monitor  --bind 0.0.0.0:9999 --interval 100ms [--margin 200ms] [--for 60s]
+//! ```
+//!
+//! `generate`/`stats`/`eval`/`sweep` operate on trace files (the compact
+//! `SFDT` binary format); `send`/`monitor` run the live UDP runtime — one
+//! on each end of a real path gives you the paper's deployment.
+
+use sfd::core::prelude::*;
+use sfd::core::registry::DetectorSpec;
+use sfd::qos::eval::{EvalConfig, ReplayEvaluator};
+use sfd::qos::sweep::{log_spaced_margins, sweep_chen, sweep_phi};
+use sfd::runtime::{
+    HeartbeatSender, MonitorConfig, MonitorService, SenderConfig, UdpSink, UdpSource,
+};
+use sfd::trace::presets::WanCase;
+use sfd::trace::stats::TraceStats;
+use sfd::trace::trace::Trace;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         sfdctl generate --case WAN-0..WAN-6 --count N --out FILE [--seed N]\n  \
+         sfdctl stats FILE\n  \
+         sfdctl eval FILE (--scheme chen|bertier|phi|sfd [--margin D] [--threshold F] | --spec JSONFILE) [--window N] [--warmup N]\n  \
+         sfdctl sweep FILE --scheme chen|phi [--from D --to D --points N]\n  \
+         sfdctl plan FILE [--max-td D] [--max-mr F] [--min-qap F]\n  \
+         sfdctl send --to ADDR --interval D [--stream N] [--crash-after D]\n  \
+         sfdctl monitor --bind ADDR --interval D [--margin D] [--for D]\n\n\
+         durations: 100ms, 2s, 1.5s, 250us"
+    );
+    exit(2);
+}
+
+/// Parse `100ms` / `2s` / `1.5s` / `250us`.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, unit) = s.split_at(s.find(|c: char| c.is_alphabetic())?);
+    let v: f64 = num.parse().ok()?;
+    let secs = match unit {
+        "ns" => v * 1e-9,
+        "us" => v * 1e-6,
+        "ms" => v * 1e-3,
+        "s" => v,
+        "m" => v * 60.0,
+        _ => return None,
+    };
+    Some(Duration::from_secs_f64(secs))
+}
+
+/// Split argv into positional args and `--key value` flags.
+fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("flag --{key} needs a value");
+                usage();
+            }
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+fn flag_duration(flags: &HashMap<String, String>, key: &str) -> Option<Duration> {
+    flags.get(key).map(|v| {
+        parse_duration(v).unwrap_or_else(|| {
+            eprintln!("--{key}: cannot parse duration `{v}`");
+            usage()
+        })
+    })
+}
+
+fn flag_num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Option<T> {
+    flags.get(key).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key}: cannot parse `{v}`");
+            usage()
+        })
+    })
+}
+
+fn load_trace(path: &str) -> Trace {
+    Trace::load(path).unwrap_or_else(|e| {
+        eprintln!("cannot load trace {path}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) {
+    let case_name = flags.get("case").unwrap_or_else(|| usage());
+    let case = WanCase::all()
+        .into_iter()
+        .find(|c| c.to_string().eq_ignore_ascii_case(case_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown case {case_name}");
+            usage()
+        });
+    let count: u64 = flag_num(flags, "count").unwrap_or(100_000);
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let preset = case.preset();
+    let trace = match flag_num::<u64>(flags, "seed") {
+        Some(seed) => preset.generate_seeded(count, seed),
+        None => preset.generate(count),
+    };
+    trace.save(out).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!(
+        "wrote {out}: {} heartbeats of {case} (interval {}, loss {:.3}%)",
+        trace.sent(),
+        trace.interval,
+        trace.loss_rate() * 100.0
+    );
+}
+
+fn cmd_stats(pos: &[String]) {
+    let path = pos.first().unwrap_or_else(|| usage());
+    let trace = load_trace(path);
+    let s = TraceStats::measure(&trace);
+    println!("{}", TraceStats::table_header());
+    println!("{}", s.table_row(&trace.name));
+    println!(
+        "\nspan {}   delay min/max {} / {}   loss bursts {} (longest {})",
+        s.span, s.delay_min, s.delay_max, s.loss_bursts, s.longest_loss_burst
+    );
+}
+
+fn detector_from_flags(
+    trace: &Trace,
+    flags: &HashMap<String, String>,
+) -> Box<dyn sfd::core::detector::FailureDetector + Send> {
+    if let Some(spec_path) = flags.get("spec") {
+        let js = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {spec_path}: {e}");
+            exit(1);
+        });
+        let spec: DetectorSpec = serde_json::from_str(&js).unwrap_or_else(|e| {
+            eprintln!("bad detector spec: {e}");
+            exit(1);
+        });
+        return spec.build().unwrap_or_else(|e| {
+            eprintln!("invalid detector spec: {e}");
+            exit(1);
+        });
+    }
+    let scheme = flags.get("scheme").map(String::as_str).unwrap_or("sfd");
+    let window: usize = flag_num(flags, "window").unwrap_or(1000);
+    let margin = flag_duration(flags, "margin").unwrap_or(trace.interval * 2);
+    let spec = match scheme {
+        "chen" => DetectorSpec::Chen(sfd::core::chen::ChenConfig {
+            window,
+            expected_interval: trace.interval,
+            alpha: margin,
+        }),
+        "bertier" => DetectorSpec::Bertier(sfd::core::bertier::BertierConfig {
+            window,
+            expected_interval: trace.interval,
+            ..Default::default()
+        }),
+        "phi" => DetectorSpec::Phi(sfd::core::phi::PhiConfig {
+            window,
+            expected_interval: trace.interval,
+            threshold: flag_num(flags, "threshold").unwrap_or(8.0),
+            min_std_fraction: 0.01,
+        }),
+        "sfd" => DetectorSpec::Sfd {
+            config: SfdConfig {
+                window,
+                expected_interval: trace.interval,
+                initial_margin: margin,
+                ..Default::default()
+            },
+            qos: QosSpec::permissive(),
+        },
+        other => {
+            eprintln!("unknown scheme {other}");
+            usage()
+        }
+    };
+    spec.build().unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_eval(pos: &[String], flags: &HashMap<String, String>) {
+    let path = pos.first().unwrap_or_else(|| usage());
+    let trace = load_trace(path);
+    let mut fd = detector_from_flags(&trace, flags);
+    let warmup: usize = flag_num(flags, "warmup").unwrap_or(1000);
+    let eval = ReplayEvaluator::new(EvalConfig { warmup });
+    match eval.evaluate(&mut *fd, &trace) {
+        Some(r) => {
+            println!("detector: {}", fd.kind().label());
+            println!("deliveries replayed: {} (warm-up {warmup})", r.deliveries);
+            println!(
+                "T_D  mean {:.4}s   p50 {:.4}s   p99 {:.4}s   max {:.4}s",
+                r.qos.detection_time.as_secs_f64(),
+                r.td_histogram.quantile(0.50).as_secs_f64(),
+                r.td_histogram.quantile(0.99).as_secs_f64(),
+                r.max_detection_time.as_secs_f64()
+            );
+            println!("MR   {:.6} mistakes/s ({} mistakes)", r.qos.mistake_rate, r.qos.mistakes);
+            println!("QAP  {:.4}%", r.qos.query_accuracy * 100.0);
+            if let Some(tm) = r.qos.avg_mistake_duration {
+                println!("T_M  {tm}");
+            }
+            if let Some(tmr) = r.qos.avg_mistake_recurrence {
+                println!("T_MR {tmr}");
+            }
+        }
+        None => {
+            eprintln!("trace too short for the requested warm-up");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_sweep(pos: &[String], flags: &HashMap<String, String>) {
+    let path = pos.first().unwrap_or_else(|| usage());
+    let trace = load_trace(path);
+    let warmup: usize = flag_num(flags, "warmup").unwrap_or(1000);
+    let points: usize = flag_num(flags, "points").unwrap_or(12);
+    let window: usize = flag_num(flags, "window").unwrap_or(1000);
+    let eval = EvalConfig { warmup };
+    let scheme = flags.get("scheme").map(String::as_str).unwrap_or("chen");
+    println!("{:>12} {:>10} {:>12} {:>9}", "param", "TD [s]", "MR [1/s]", "QAP [%]");
+    let pts = match scheme {
+        "chen" => {
+            let from = flag_duration(flags, "from").unwrap_or(trace.interval.mul_f64(0.3));
+            let to = flag_duration(flags, "to").unwrap_or(trace.interval.mul_f64(80.0));
+            sweep_chen(
+                &trace,
+                sfd::core::chen::ChenConfig {
+                    window,
+                    expected_interval: trace.interval,
+                    alpha: Duration::ZERO,
+                },
+                &log_spaced_margins(from, to, points),
+                eval,
+            )
+        }
+        "phi" => {
+            let from: f64 = flag_num(flags, "from-phi").unwrap_or(0.5);
+            let to: f64 = flag_num(flags, "to-phi").unwrap_or(16.0);
+            sweep_phi(
+                &trace,
+                sfd::core::phi::PhiConfig {
+                    window,
+                    expected_interval: trace.interval,
+                    threshold: 1.0,
+                    min_std_fraction: 0.01,
+                },
+                &sfd::qos::sweep::lin_spaced(from, to, points),
+                eval,
+            )
+        }
+        other => {
+            eprintln!("sweep supports chen|phi, not {other}");
+            usage()
+        }
+    };
+    for p in pts {
+        println!(
+            "{:>12.3} {:>10.4} {:>12.6} {:>9.4}",
+            p.param,
+            p.qos.detection_time.as_secs_f64(),
+            p.qos.mistake_rate,
+            p.qos.query_accuracy * 100.0
+        );
+    }
+}
+
+fn cmd_plan(pos: &[String], flags: &HashMap<String, String>) {
+    use sfd::qos::planner::{plan_margin, NetworkModel};
+    let path = pos.first().unwrap_or_else(|| usage());
+    let trace = load_trace(path);
+    let stats = TraceStats::measure(&trace);
+    let model = NetworkModel::from_stats(&stats);
+    let max_td = flag_duration(flags, "max-td").unwrap_or(Duration::from_millis(900));
+    let max_mr: f64 = flag_num(flags, "max-mr").unwrap_or(0.1);
+    let min_qap: f64 = flag_num(flags, "min-qap").unwrap_or(0.98);
+    let spec = QosSpec::new(max_td, max_mr, min_qap).unwrap_or_else(|e| {
+        eprintln!("bad requirement: {e}");
+        exit(1);
+    });
+    println!(
+        "network model: Δ {}  d̄ {}  σ_dev {}  loss {:.3}%",
+        model.interval,
+        model.mean_delay,
+        model.deviation_std,
+        model.loss_rate * 100.0
+    );
+    println!(
+        "requirement:   T_D ≤ {}  MR ≤ {}/s  QAP ≥ {}",
+        spec.max_detection_time, spec.max_mistake_rate, spec.min_query_accuracy
+    );
+    match plan_margin(&model, &spec) {
+        Ok(plan) => {
+            println!("recommended SM₁: {}", plan.margin);
+            println!(
+                "model predicts:  T_D {:.3}s  MR {:.5}/s  QAP {:.4}%",
+                plan.predicted_td.as_secs_f64(),
+                plan.predicted_mr,
+                plan.predicted_qap * 100.0
+            );
+            println!("(SFD's feedback loop will correct residual model error at run time)");
+        }
+        Err(e) => {
+            println!("requirement infeasible on this network: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_send(flags: &HashMap<String, String>) {
+    let to = flags.get("to").unwrap_or_else(|| usage());
+    let interval = flag_duration(flags, "interval").unwrap_or(Duration::from_millis(100));
+    let stream: u64 = flag_num(flags, "stream").unwrap_or(1);
+    let crash_after = flag_duration(flags, "crash-after");
+    let sink = UdpSink::connect(to).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {to}: {e}");
+        exit(1);
+    });
+    println!("sending heartbeats to {to} every {interval} (stream {stream}); ctrl-c to stop");
+    let mut sender = HeartbeatSender::spawn(SenderConfig { stream, interval }, sink);
+    match crash_after {
+        Some(d) => {
+            std::thread::sleep(d.to_std());
+            println!("fail-stop after {d}: sent {} heartbeats", sender.sent());
+            sender.crash();
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+            println!("alive: {} heartbeats sent", sender.sent());
+        },
+    }
+}
+
+fn cmd_monitor(flags: &HashMap<String, String>) {
+    let bind = flags.get("bind").unwrap_or_else(|| usage());
+    let interval = flag_duration(flags, "interval").unwrap_or(Duration::from_millis(100));
+    let margin = flag_duration(flags, "margin").unwrap_or(interval * 2);
+    let run_for = flag_duration(flags, "for");
+    let source = UdpSource::bind(bind).unwrap_or_else(|e| {
+        eprintln!("cannot bind {bind}: {e}");
+        exit(1);
+    });
+    println!("monitoring on {bind} (interval {interval}, SM₁ {margin}); one status line per second");
+    let fd = SfdFd::new(
+        SfdConfig {
+            window: 1000,
+            expected_interval: interval,
+            initial_margin: margin,
+            ..SfdConfig::default()
+        },
+        QosSpec::permissive(),
+    );
+    let mut monitor = MonitorService::spawn(
+        fd,
+        source,
+        MonitorConfig { poll_interval: Duration::from_millis(5), epoch: None },
+    );
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let s = monitor.status();
+        println!(
+            "[{:>6.1}s] heartbeats {:>8}  wrong suspicions {:>4}  state: {}",
+            started.elapsed().as_secs_f64(),
+            s.heartbeats,
+            s.mistakes,
+            if s.suspect { "SUSPECT" } else { "trust" }
+        );
+        if let Some(d) = run_for {
+            if started.elapsed() >= d.to_std() {
+                break;
+            }
+        }
+    }
+    monitor.stop();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let (pos, flags) = parse_args(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&pos),
+        "eval" => cmd_eval(&pos, &flags),
+        "sweep" => cmd_sweep(&pos, &flags),
+        "plan" => cmd_plan(&pos, &flags),
+        "send" => cmd_send(&flags),
+        "monitor" => cmd_monitor(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,29 @@
+//! # sfd — self-tuning failure detection for cloud computing services
+//!
+//! Facade crate re-exporting the whole workspace: a production-grade
+//! reproduction of *"A Self-tuning Failure Detection Scheme for Cloud
+//! Computing Service"* (Xiong et al., IEEE IPDPS 2012).
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `sfd-core` | the SFD detector, the Chen / Bertier / φ baselines, QoS types, feedback controller |
+//! | [`simnet`] | `sfd-simnet` | discrete-event simulator: lossy delayed channels, heartbeat processes, crash injection |
+//! | [`trace`] | `sfd-trace` | heartbeat traces, the paper's seven WAN workload presets, statistics, record/replay |
+//! | [`qos`] | `sfd-qos` | replay-based QoS evaluation (`T_D`, `MR`, `QAP`), parameter sweeps, convergence harness |
+//! | [`runtime`] | `sfd-runtime` | live monitoring over UDP or in-memory transports with epoch self-tuning |
+//! | [`cluster`] | `sfd-cluster` | cloud topology monitoring: managers, clouds, multi-monitor aggregation |
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! paper-to-code map.
+
+pub use sfd_cluster as cluster;
+pub use sfd_core as core;
+pub use sfd_qos as qos;
+pub use sfd_runtime as runtime;
+pub use sfd_simnet as simnet;
+pub use sfd_trace as trace;
+
+/// One-stop prelude for examples and applications.
+pub mod prelude {
+    pub use sfd_core::prelude::*;
+}

@@ -1,0 +1,141 @@
+//! Cluster-level integration: the education-consortium topology, staggered
+//! crashes, four-level status, and quorum panels — across `sfd-cluster`,
+//! `sfd-simnet` and `sfd-core`.
+
+use sfd::cluster::{
+    ClusterSim, ClusterSimConfig, CloudNetwork, CrashPlan, LinkSetup, MonitorPanel, NodeStatus,
+    OneMonitorsMany, StatusClassifier, TargetConfig, TargetId,
+};
+use sfd::core::prelude::*;
+use sfd::simnet::channel::ChannelConfig;
+use sfd::simnet::delay::DelayConfig;
+use sfd::simnet::heartbeat::HeartbeatSchedule;
+use sfd::simnet::loss::LossConfig;
+
+fn consortium_links() -> Vec<LinkSetup> {
+    CloudNetwork::education_consortium()
+        .clouds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| LinkSetup {
+            target: c.id,
+            schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+            channel: ChannelConfig {
+                delay: DelayConfig::normal(
+                    Duration::from_millis(20 + 10 * i as i64),
+                    Duration::from_millis(4),
+                    Duration::from_millis(5),
+                ),
+                loss: LossConfig::Bernoulli { p: 0.01 },
+                fifo: true,
+            },
+            detector: TargetConfig {
+                interval: Duration::from_millis(100),
+                window: 200,
+                initial_margin: Duration::from_millis(200),
+                ..Default::default()
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn consortium_crashes_are_detected_and_classified() {
+    let cfg = ClusterSimConfig {
+        links: consortium_links(),
+        crashes: vec![
+            CrashPlan { target: TargetId(2), at: Instant::from_secs_f64(30.0) },
+            CrashPlan { target: TargetId(6), at: Instant::from_secs_f64(55.0) },
+        ],
+        duration: Duration::from_secs(90),
+        spec: QosSpec::permissive(),
+        classifier: StatusClassifier { slow_fraction: 0.5, dead_after: Duration::from_secs(10) },
+        seed: 11,
+    };
+    let report = ClusterSim::new(cfg).run();
+    assert_eq!(report.detections.len(), 2);
+    for d in &report.detections {
+        assert!(d.latency < Duration::from_secs(1), "{}: {}", d.target, d.latency);
+    }
+    assert_eq!(report.final_statuses[&TargetId(2)], NodeStatus::Dead);
+    assert_eq!(report.final_statuses[&TargetId(6)], NodeStatus::Dead);
+    let alive = [1u64, 3, 4, 5, 7];
+    for t in alive {
+        assert_eq!(report.final_statuses[&TargetId(t)], NodeStatus::Active, "target {t}");
+    }
+}
+
+#[test]
+fn recently_crashed_is_offline_not_dead() {
+    let cfg = ClusterSimConfig {
+        links: consortium_links(),
+        crashes: vec![CrashPlan { target: TargetId(1), at: Instant::from_secs_f64(57.0) }],
+        duration: Duration::from_secs(60),
+        spec: QosSpec::permissive(),
+        classifier: StatusClassifier { slow_fraction: 0.5, dead_after: Duration::from_secs(30) },
+        seed: 12,
+    };
+    let report = ClusterSim::new(cfg).run();
+    // Crashed 3 s before the end, dead_after = 30 s → offline, not dead.
+    assert_eq!(report.final_statuses[&TargetId(1)], NodeStatus::Offline);
+}
+
+#[test]
+fn two_managers_quorum_over_the_same_cloud() {
+    // Build two managers fed by *different* channels from the same cloud
+    // (different seeds = different loss/delay realisations), then ask the
+    // panel for a verdict.
+    let net = CloudNetwork::education_consortium();
+    let target = net.clouds[0].id;
+    let mk_manager = |seed: u64, alive: bool| {
+        let mut m = OneMonitorsMany::new(QosSpec::permissive(), StatusClassifier::default());
+        m.watch(target, TargetConfig { window: 100, ..Default::default() });
+        let cfg = sfd::simnet::sim::PairSimConfig {
+            schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+            channel: ChannelConfig {
+                delay: DelayConfig::constant(Duration::from_millis(30)),
+                loss: LossConfig::Bernoulli { p: 0.02 },
+                fifo: true,
+            },
+            seed,
+        };
+        let records = sfd::simnet::sim::PairSim::new(cfg).generate(if alive { 600 } else { 300 });
+        for (seq, at) in sfd::simnet::sim::deliveries(&records) {
+            m.heartbeat(target, seq, at);
+        }
+        m
+    };
+    // Both managers saw the full healthy stream.
+    let a = mk_manager(1, true);
+    let b = mk_manager(2, true);
+    let now = Instant::from_millis(600 * 100 + 50);
+    let v = MonitorPanel::majority().verdict(&[&a, &b], target, now);
+    assert!(!v.suspected, "both views healthy");
+
+    // One manager is partitioned (saw only half the stream): majority of
+    // a 2-panel requires both, so the target stays trusted.
+    let c = mk_manager(3, false);
+    let v = MonitorPanel::majority().verdict(&[&a, &c], target, now);
+    assert_eq!(v.suspecting, 1);
+    assert!(!v.suspected);
+
+    // With quorum 1 (any suspicion counts), the partitioned view wins.
+    let v = MonitorPanel::with_quorum(1).verdict(&[&a, &c], target, now);
+    assert!(v.suspected);
+}
+
+#[test]
+fn degraded_link_reads_slow_before_offline() {
+    // Feed a manager a stream whose delays grow: the accrual level passes
+    // through "slow" before the binary threshold trips.
+    let mut m = OneMonitorsMany::new(QosSpec::permissive(), StatusClassifier::default());
+    let t = TargetId(1);
+    m.watch(t, TargetConfig { window: 50, initial_margin: Duration::from_millis(100), ..Default::default() });
+    for i in 0..100u64 {
+        m.heartbeat(t, i, Instant::from_millis((i as i64 + 1) * 100));
+    }
+    // Last heartbeat at 10_000 ms; EA(next) ≈ 10_100, margin 100 ms.
+    assert_eq!(m.status(t, Instant::from_millis(10_120)).unwrap(), NodeStatus::Active);
+    assert_eq!(m.status(t, Instant::from_millis(10_170)).unwrap(), NodeStatus::Slow);
+    assert_eq!(m.status(t, Instant::from_millis(10_600)).unwrap(), NodeStatus::Offline);
+}

@@ -1,0 +1,174 @@
+//! Closed-loop crash-detection across `sfd-simnet` and all four
+//! detectors: the process crashes and the detector must notice — quickly
+//! if aggressive, slowly-but-surely if conservative.
+
+use sfd::core::bertier::{BertierConfig, BertierFd};
+use sfd::core::chen::{ChenConfig, ChenFd};
+use sfd::core::phi::{PhiConfig, PhiFd};
+use sfd::core::prelude::*;
+use sfd::simnet::channel::ChannelConfig;
+use sfd::simnet::delay::DelayConfig;
+use sfd::simnet::heartbeat::HeartbeatSchedule;
+use sfd::simnet::loss::LossConfig;
+use sfd::simnet::sim::{run_crash_detection, PairSim, PairSimConfig};
+
+fn workload(seed: u64) -> Vec<sfd::simnet::heartbeat::HeartbeatRecord> {
+    let cfg = PairSimConfig {
+        schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+        channel: ChannelConfig {
+            delay: DelayConfig::normal(
+                Duration::from_millis(60),
+                Duration::from_millis(6),
+                Duration::from_millis(40),
+            ),
+            loss: LossConfig::Bernoulli { p: 0.01 },
+            fifo: true,
+        },
+        seed,
+    };
+    PairSim::new(cfg).generate(600)
+}
+
+const INTERVAL: Duration = Duration::from_millis(100);
+const CRASH_SEQ: u64 = 500;
+
+#[test]
+fn every_detector_detects_the_crash() {
+    let records = workload(1);
+
+    let mut chen = ChenFd::new(ChenConfig {
+        window: 100,
+        expected_interval: INTERVAL,
+        alpha: Duration::from_millis(100),
+    });
+    let chen_out = run_crash_detection(&mut chen, &records, CRASH_SEQ).unwrap();
+
+    let mut bertier = BertierFd::new(BertierConfig {
+        window: 100,
+        expected_interval: INTERVAL,
+        ..Default::default()
+    });
+    let bertier_out = run_crash_detection(&mut bertier, &records, CRASH_SEQ).unwrap();
+
+    let mut phi = PhiFd::new(PhiConfig {
+        window: 100,
+        expected_interval: INTERVAL,
+        threshold: 4.0,
+        min_std_fraction: 0.01,
+    });
+    let phi_out = run_crash_detection(&mut phi, &records, CRASH_SEQ).unwrap();
+
+    let mut sfd = SfdFd::new(
+        SfdConfig {
+            window: 100,
+            expected_interval: INTERVAL,
+            initial_margin: Duration::from_millis(100),
+            ..Default::default()
+        },
+        QosSpec::permissive(),
+    );
+    let sfd_out = run_crash_detection(&mut sfd, &records, CRASH_SEQ).unwrap();
+
+    for (name, out) in [
+        ("chen", chen_out),
+        ("bertier", bertier_out),
+        ("phi", phi_out),
+        ("sfd", sfd_out),
+    ] {
+        assert!(out.suspected_at > out.crash_at, "{name}");
+        assert!(
+            out.latency > Duration::from_millis(50) && out.latency < Duration::from_secs(3),
+            "{name}: latency {}",
+            out.latency
+        );
+    }
+
+    // Chen and SFD share the estimator and the same margin here → nearly
+    // identical detection behaviour; SFD's gap filling (1% loss) nudges
+    // its arrival estimate by at most a few milliseconds.
+    assert!(
+        (chen_out.suspected_at - sfd_out.suspected_at).abs() < Duration::from_millis(20),
+        "chen {} vs sfd {}",
+        chen_out.suspected_at,
+        sfd_out.suspected_at
+    );
+    // Bertier's learned margin on this calm channel is tighter than the
+    // fixed 100 ms margin.
+    assert!(bertier_out.latency <= chen_out.latency);
+}
+
+#[test]
+fn suspicion_escalates_after_the_crash() {
+    let records = workload(2);
+    let mut sfd = SfdFd::new(
+        SfdConfig {
+            window: 100,
+            expected_interval: INTERVAL,
+            initial_margin: Duration::from_millis(100),
+            ..Default::default()
+        },
+        QosSpec::permissive(),
+    );
+    let out = run_crash_detection(&mut sfd, &records, CRASH_SEQ).unwrap();
+    let s1 = sfd.suspicion(out.suspected_at);
+    let s2 = sfd.suspicion(out.suspected_at + Duration::from_secs(1));
+    let s3 = sfd.suspicion(out.suspected_at + Duration::from_secs(10));
+    assert!(s1 <= s2 && s2 < s3, "escalation: {s1} {s2} {s3}");
+    assert!(s3 > 10.0, "ten seconds of silence must be loud: {s3}");
+}
+
+#[test]
+fn latency_monotone_in_margin() {
+    let records = workload(3);
+    let latency = |margin_ms: i64| {
+        let mut fd = ChenFd::new(ChenConfig {
+            window: 100,
+            expected_interval: INTERVAL,
+            alpha: Duration::from_millis(margin_ms),
+        });
+        run_crash_detection(&mut fd, &records, CRASH_SEQ).unwrap().latency
+    };
+    let l = [latency(10), latency(100), latency(1000), latency(5000)];
+    assert!(l.windows(2).all(|w| w[0] < w[1]), "{l:?}");
+}
+
+#[test]
+fn in_flight_heartbeats_still_arrive_after_crash() {
+    // The heartbeat sent at the crash instant is in flight and must still
+    // be processed (paper Fig. 2 case four).
+    let records = workload(4);
+    let mut fd = ChenFd::new(ChenConfig {
+        window: 100,
+        expected_interval: INTERVAL,
+        alpha: Duration::from_millis(100),
+    });
+    let out = run_crash_detection(&mut fd, &records, CRASH_SEQ).unwrap();
+    let last = out.last_arrival.unwrap();
+    assert!(last > out.crash_at, "the in-flight heartbeat arrives after the crash");
+    assert!(out.suspected_at >= last);
+}
+
+#[test]
+fn lossy_channel_crash_detection_still_works() {
+    let cfg = PairSimConfig {
+        schedule: HeartbeatSchedule::periodic(Duration::from_millis(100)),
+        channel: ChannelConfig {
+            delay: DelayConfig::constant(Duration::from_millis(50)),
+            loss: LossConfig::bursty(0.05, 6.0),
+            fifo: true,
+        },
+        seed: 5,
+    };
+    let records = PairSim::new(cfg).generate(600);
+    let mut fd = SfdFd::new(
+        SfdConfig {
+            window: 100,
+            expected_interval: INTERVAL,
+            initial_margin: Duration::from_millis(700), // ride out loss bursts
+            ..Default::default()
+        },
+        QosSpec::permissive(),
+    );
+    let out = run_crash_detection(&mut fd, &records, CRASH_SEQ).unwrap();
+    assert!(out.latency < Duration::from_secs(2), "{}", out.latency);
+}

@@ -1,0 +1,162 @@
+//! Live-runtime integration: real threads, real (loopback) sockets and
+//! in-memory transports, across `sfd-runtime` and `sfd-core`.
+
+use sfd::core::detector::SelfTuning;
+use sfd::core::prelude::*;
+use sfd::runtime::{
+    HeartbeatSender, MemoryTransport, MonitorConfig, MonitorService, SenderConfig, UdpSink,
+    UdpSource,
+};
+
+fn sfd_for(interval_ms: i64, margin_ms: i64) -> SfdFd {
+    SfdFd::new(
+        SfdConfig {
+            window: 50,
+            expected_interval: Duration::from_millis(interval_ms),
+            initial_margin: Duration::from_millis(margin_ms),
+            ..Default::default()
+        },
+        QosSpec::new(Duration::from_millis(500), 5.0, 0.8).unwrap(),
+    )
+}
+
+#[test]
+fn udp_end_to_end_crash_detection() {
+    let source = UdpSource::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = source.local_addr().expect("addr");
+    let sink = UdpSink::connect(addr).expect("connect");
+
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 9, interval: Duration::from_millis(10) },
+        sink,
+    );
+    let mut monitor = MonitorService::spawn(sfd_for(10, 80), source, MonitorConfig::default());
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let healthy = monitor.status();
+    assert!(healthy.heartbeats > 15, "heartbeats {}", healthy.heartbeats);
+    assert!(!healthy.suspect);
+
+    sender.crash();
+    let began = std::time::Instant::now();
+    loop {
+        if monitor.status().suspect {
+            break;
+        }
+        assert!(
+            began.elapsed() < std::time::Duration::from_secs(5),
+            "crash not detected in 5 s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    monitor.stop();
+}
+
+#[test]
+fn lossy_memory_transport_with_self_tuning() {
+    // 20% deterministic loss: an aggressive margin would blow the mistake
+    // budget; the feedback loop must widen it.
+    let (sink, source) = MemoryTransport::with_loss(0.20, 42);
+    let _sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+        sink,
+    );
+    let fd = SfdFd::new(
+        SfdConfig {
+            window: 50,
+            expected_interval: Duration::from_millis(5),
+            initial_margin: Duration::from_millis(2), // too aggressive
+            feedback: sfd::core::feedback::FeedbackConfig {
+                alpha: Duration::from_millis(20),
+                beta: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        QosSpec::new(Duration::from_millis(500), 2.0, 0.90).unwrap(),
+    );
+    let mut monitor = MonitorService::spawn_with_hook(
+        fd,
+        source,
+        MonitorConfig {
+            poll_interval: Duration::from_millis(1),
+            epoch: Some(Duration::from_millis(100)),
+        },
+        |d, q| {
+            let _ = d.apply_feedback(q);
+        },
+    );
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    let s = monitor.status();
+    assert!(s.epochs >= 5, "epochs {}", s.epochs);
+    let margin = monitor.with_detector(|d| d.margin());
+    assert!(
+        margin > Duration::from_millis(2),
+        "margin should have widened under loss, still {margin}"
+    );
+    monitor.stop();
+}
+
+#[test]
+fn two_monitors_one_sender_udp() {
+    // Fan-out at the transport level: the sender unicasts to one monitor,
+    // a second monitor watches an independent sender — both stay healthy
+    // and independent (the "parallel theory" at runtime level).
+    let src_a = UdpSource::bind(("127.0.0.1", 0)).unwrap();
+    let src_b = UdpSource::bind(("127.0.0.1", 0)).unwrap();
+    let sink_a = UdpSink::connect(src_a.local_addr().unwrap()).unwrap();
+    let sink_b = UdpSink::connect(src_b.local_addr().unwrap()).unwrap();
+
+    let mut sender_a = HeartbeatSender::spawn(
+        SenderConfig { stream: 1, interval: Duration::from_millis(10) },
+        sink_a,
+    );
+    let _sender_b = HeartbeatSender::spawn(
+        SenderConfig { stream: 2, interval: Duration::from_millis(10) },
+        sink_b,
+    );
+    let mut mon_a = MonitorService::spawn(sfd_for(10, 80), src_a, MonitorConfig::default());
+    let mut mon_b = MonitorService::spawn(sfd_for(10, 80), src_b, MonitorConfig::default());
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    assert!(!mon_a.status().suspect);
+    assert!(!mon_b.status().suspect);
+
+    // Crash only A: B must stay trusted.
+    sender_a.crash();
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    assert!(mon_a.status().suspect, "A crashed");
+    assert!(!mon_b.status().suspect, "B is alive");
+    mon_a.stop();
+    mon_b.stop();
+}
+
+#[test]
+fn monitor_counts_wrong_suspicions_on_flaky_transport() {
+    // Heavy loss + tiny margin: the monitor should record mistakes (wrong
+    // suspicions corrected by later heartbeats) while the sender is alive.
+    let (sink, source) = MemoryTransport::with_loss(0.30, 7);
+    let _sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+        sink,
+    );
+    let fd = SfdFd::new(
+        SfdConfig {
+            window: 30,
+            expected_interval: Duration::from_millis(5),
+            initial_margin: Duration::from_millis(1),
+            ..Default::default()
+        },
+        QosSpec::permissive(),
+    );
+    let mut monitor = MonitorService::spawn(
+        fd,
+        source,
+        MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None },
+    );
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    let s = monitor.status();
+    assert!(s.heartbeats > 50);
+    assert!(s.mistakes > 0, "30% loss with a 1 ms margin must cause wrong suspicions");
+    monitor.stop();
+}

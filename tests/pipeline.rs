@@ -1,0 +1,187 @@
+//! End-to-end pipeline: workload presets → trace → replay evaluation →
+//! cross-detector comparisons, spanning `sfd-trace`, `sfd-core` and
+//! `sfd-qos`.
+
+use sfd::core::bertier::BertierConfig;
+use sfd::core::chen::ChenConfig;
+use sfd::core::phi::PhiConfig;
+use sfd::core::prelude::*;
+use sfd::qos::eval::EvalConfig;
+use sfd::qos::sweep::{bertier_point, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd};
+use sfd::trace::presets::WanCase;
+use sfd::trace::stats::TraceStats;
+
+const N: u64 = 60_000;
+const EVAL: EvalConfig = EvalConfig { warmup: 1000 };
+
+#[test]
+fn chen_curve_shape_matches_the_paper() {
+    let trace = WanCase::Wan1.preset().generate(N);
+    let alphas = log_spaced_margins(
+        Duration::from_millis(5),
+        trace.interval.mul_f64(80.0),
+        10,
+    );
+    let pts = sweep_chen(
+        &trace,
+        ChenConfig { window: 1000, expected_interval: trace.interval, alpha: Duration::ZERO },
+        &alphas,
+        EVAL,
+    );
+    assert_eq!(pts.len(), 10);
+    // TD monotone in α; MR antitone; conservative end reaches MR = 0
+    // ("Chen FD … can get the 0 MR finally").
+    for w in pts.windows(2) {
+        assert!(w[1].qos.detection_time > w[0].qos.detection_time);
+        assert!(w[1].qos.mistakes <= w[0].qos.mistakes);
+    }
+    assert!(pts.first().unwrap().qos.mistake_rate > 0.1);
+    assert_eq!(pts.last().unwrap().qos.mistake_rate, 0.0);
+    assert_eq!(pts.last().unwrap().qos.query_accuracy, 1.0);
+}
+
+#[test]
+fn phi_stops_early_while_chen_continues() {
+    let trace = WanCase::Wan1.preset().generate(N);
+    let base = PhiConfig {
+        window: 1000,
+        expected_interval: trace.interval,
+        threshold: 1.0,
+        min_std_fraction: 0.01,
+    };
+    let thresholds: Vec<f64> = vec![0.5, 2.0, 8.0, 16.0, 18.0, 20.0];
+    let pts = sweep_phi(&trace, base, &thresholds, EVAL);
+    // Points beyond the rounding cliff (Φ ≥ 17) are unproducible.
+    assert!(pts.len() <= 4, "conservative φ points must be dropped, got {}", pts.len());
+    let phi_max_td = pts.last().unwrap().qos.detection_time;
+
+    let chen = sweep_chen(
+        &trace,
+        ChenConfig { window: 1000, expected_interval: trace.interval, alpha: Duration::ZERO },
+        &[trace.interval.mul_f64(80.0)],
+        EVAL,
+    );
+    assert!(
+        chen[0].qos.detection_time > phi_max_td,
+        "Chen's conservative range must extend past φ's stop ({} vs {})",
+        chen[0].qos.detection_time,
+        phi_max_td
+    );
+}
+
+#[test]
+fn bertier_sits_at_the_aggressive_end() {
+    let trace = WanCase::Wan3.preset().generate(N);
+    let b = bertier_point(
+        &trace,
+        BertierConfig { window: 1000, expected_interval: trace.interval, ..Default::default() },
+        EVAL,
+    )
+    .unwrap();
+    let chen_cons = sweep_chen(
+        &trace,
+        ChenConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            alpha: trace.interval.mul_f64(40.0),
+        },
+        &[trace.interval.mul_f64(40.0)],
+        EVAL,
+    );
+    assert!(b.qos.detection_time < chen_cons[0].qos.detection_time);
+    // And it pays for that speed with a nonzero mistake rate on a lossy
+    // channel.
+    assert!(b.qos.mistake_rate > 0.0);
+}
+
+#[test]
+fn sfd_band_is_clipped_into_the_feasible_region() {
+    let trace = WanCase::Wan3.preset().generate(N);
+    let spec = QosSpec::new(Duration::from_millis(700), 0.2, 0.97).unwrap();
+    let margins = vec![
+        Duration::from_millis(1),    // absurdly aggressive
+        trace.interval.mul_f64(8.0), // reasonable
+        Duration::from_millis(4000), // absurdly conservative
+    ];
+    let pts = sweep_sfd(
+        &trace,
+        SfdConfig {
+            window: 1000,
+            expected_interval: trace.interval,
+            initial_margin: Duration::ZERO,
+            ..Default::default()
+        },
+        spec,
+        &margins,
+        Duration::from_secs(15),
+        EVAL,
+    );
+    assert_eq!(pts.len(), 3);
+    // Compare against Chen pinned at the same extreme margins.
+    let chen_at = |alpha: Duration| {
+        sweep_chen(
+            &trace,
+            ChenConfig { window: 1000, expected_interval: trace.interval, alpha },
+            &[alpha],
+            EVAL,
+        )
+        .remove(0)
+    };
+    let chen_aggr = chen_at(Duration::from_millis(1));
+    let chen_cons = chen_at(Duration::from_millis(4000));
+    assert!(
+        pts[0].qos.mistake_rate < chen_aggr.qos.mistake_rate / 2.0,
+        "self-tuning must fix the aggressive start: {} vs {}",
+        pts[0].qos.mistake_rate,
+        chen_aggr.qos.mistake_rate
+    );
+    assert!(
+        pts[2].qos.detection_time < chen_cons.qos.detection_time.mul_f64(0.75),
+        "self-tuning must fix the conservative start: {} vs {}",
+        pts[2].qos.detection_time,
+        chen_cons.qos.detection_time
+    );
+}
+
+#[test]
+fn all_presets_survive_the_full_pipeline() {
+    for case in WanCase::all() {
+        let trace = case.preset().generate(20_000);
+        let stats = TraceStats::measure(&trace);
+        assert_eq!(stats.sent, 20_000, "{case}");
+        let mut fd = ChenFd::new(ChenConfig {
+            window: 500,
+            expected_interval: trace.interval,
+            alpha: trace.interval.mul_f64(10.0),
+        });
+        let eval = sfd::qos::eval::ReplayEvaluator::new(EvalConfig { warmup: 500 });
+        let r = eval.evaluate(&mut fd, &trace).unwrap_or_else(|| panic!("{case} evaluable"));
+        assert!(r.qos.detection_time > Duration::ZERO, "{case}");
+        assert!((0.0..=1.0).contains(&r.qos.query_accuracy), "{case}");
+    }
+}
+
+#[test]
+fn same_trace_drives_all_detectors_identically() {
+    // The replay methodology: detectors must not perturb the workload.
+    let trace = WanCase::Wan2.preset().generate(20_000);
+    let before = trace.clone();
+    let _ = sweep_chen(
+        &trace,
+        ChenConfig { window: 500, expected_interval: trace.interval, alpha: Duration::ZERO },
+        &[Duration::from_millis(100)],
+        EvalConfig { warmup: 500 },
+    );
+    let _ = sweep_phi(
+        &trace,
+        PhiConfig {
+            window: 500,
+            expected_interval: trace.interval,
+            threshold: 3.0,
+            min_std_fraction: 0.01,
+        },
+        &[3.0],
+        EvalConfig { warmup: 500 },
+    );
+    assert_eq!(trace, before);
+}

@@ -1,0 +1,130 @@
+//! Serialisation round-trips across crate boundaries: trace files,
+//! experiment artifacts, configurations.
+
+use sfd::core::prelude::*;
+use sfd::qos::report::{CurveSeries, ExperimentResult};
+use sfd::qos::sweep::{sweep_chen, SweepPoint};
+use sfd::trace::presets::WanCase;
+use sfd::trace::trace::Trace;
+
+#[test]
+fn trace_binary_round_trip_at_scale() {
+    let trace = WanCase::Wan2.preset().generate(50_000);
+    let bytes = trace.to_bytes();
+    // 24 B/record + small header: compactness is the point of the format.
+    assert!(bytes.len() < 50_000 * 24 + 256);
+    let back = Trace::from_bytes(&bytes[..]).expect("decode");
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn trace_json_and_binary_agree() {
+    let trace = WanCase::Wan6.preset().generate(500);
+    let js = serde_json::to_string(&trace).expect("encode json");
+    let from_json: Trace = serde_json::from_str(&js).expect("decode json");
+    let from_bin = Trace::from_bytes(&trace.to_bytes()[..]).expect("decode bin");
+    assert_eq!(from_json, from_bin);
+}
+
+#[test]
+fn trace_file_round_trip() {
+    let dir = std::env::temp_dir().join("sfd_integration_ser");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wan3.sfdt");
+    let trace = WanCase::Wan3.preset().generate(10_000);
+    trace.save(&path).expect("save");
+    let back = Trace::load(&path).expect("load");
+    assert_eq!(back, trace);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn experiment_artifacts_round_trip() {
+    let trace = WanCase::Wan3.preset().generate(20_000);
+    let pts = sweep_chen(
+        &trace,
+        sfd::core::chen::ChenConfig {
+            window: 500,
+            expected_interval: trace.interval,
+            alpha: Duration::ZERO,
+        },
+        &[Duration::from_millis(50), Duration::from_millis(200)],
+        sfd::qos::eval::EvalConfig { warmup: 500 },
+    );
+    let result = ExperimentResult {
+        id: "integration-test".into(),
+        workload: trace.name.clone(),
+        heartbeats: trace.sent(),
+        series: vec![CurveSeries::from_sweep(
+            sfd::core::detector::DetectorKind::Chen,
+            pts.clone(),
+        )],
+    };
+    // Unique per process: a stale artifact from a previous build of this
+    // test (debug vs release float ulps) must not leak in.
+    let dir = std::env::temp_dir()
+        .join(format!("sfd_integration_artifacts_{}", std::process::id()));
+    result.write_artifacts(&dir).expect("write");
+    let js = std::fs::read_to_string(dir.join("integration-test.json")).expect("read json");
+    let back: ExperimentResult = serde_json::from_str(&js).expect("decode");
+    assert_eq!(back, result);
+    let csv = std::fs::read_to_string(dir.join("integration-test.csv")).expect("read csv");
+    assert_eq!(csv.lines().count(), 1 + pts.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn configs_round_trip_through_json() {
+    // Every public config type is serde-stable: an operator can keep the
+    // whole experiment setup in a JSON file.
+    let sfd_cfg = SfdConfig::default();
+    let back: SfdConfig =
+        serde_json::from_str(&serde_json::to_string(&sfd_cfg).unwrap()).unwrap();
+    assert_eq!(back, sfd_cfg);
+
+    let chen = sfd::core::chen::ChenConfig::default();
+    let back: sfd::core::chen::ChenConfig =
+        serde_json::from_str(&serde_json::to_string(&chen).unwrap()).unwrap();
+    assert_eq!(back, chen);
+
+    let phi = sfd::core::phi::PhiConfig::default();
+    let back: sfd::core::phi::PhiConfig =
+        serde_json::from_str(&serde_json::to_string(&phi).unwrap()).unwrap();
+    assert_eq!(back, phi);
+
+    let bertier = sfd::core::bertier::BertierConfig::default();
+    let back: sfd::core::bertier::BertierConfig =
+        serde_json::from_str(&serde_json::to_string(&bertier).unwrap()).unwrap();
+    assert_eq!(back, bertier);
+
+    let pair = WanCase::Wan5.preset().sim;
+    let back: sfd::simnet::sim::PairSimConfig =
+        serde_json::from_str(&serde_json::to_string(&pair).unwrap()).unwrap();
+    assert_eq!(back, pair);
+
+    let spec = QosSpec::new(Duration::from_millis(500), 0.1, 0.99).unwrap();
+    let back: QosSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(back, spec);
+}
+
+#[test]
+fn sweep_points_serialise() {
+    let p = SweepPoint {
+        param: 42.0,
+        qos: sfd::core::qos::QosMeasured::empty(),
+    };
+    let back: SweepPoint = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(back, p);
+}
+
+#[test]
+fn channel_config_fifo_defaults_on_old_json() {
+    // Backwards compatibility: configs written before the `fifo` field
+    // existed must still parse (defaulting to FIFO).
+    let js = r#"{
+        "delay": { "base": { "Constant": 50000000 }, "spike": null, "burst": null },
+        "loss": "Never"
+    }"#;
+    let cfg: sfd::simnet::channel::ChannelConfig = serde_json::from_str(js).expect("parse");
+    assert!(cfg.fifo);
+}
