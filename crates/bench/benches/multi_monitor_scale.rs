@@ -1,0 +1,160 @@
+//! Multi-stream monitor at scale: timing-wheel expiry vs brute-force
+//! scan, on simulated time (no threads, no transport — pure [`ShardCore`]
+//! engine cost, the part the redesign changed).
+//!
+//! Three measurements at 1k / 10k / 100k watched streams:
+//!
+//! * `ingest` — heartbeats/sec: every stream beats once, then one
+//!   `advance`. Both policies pay the detector-update cost; the wheel
+//!   additionally re-arms a timer per beat.
+//! * `idle_poll` — cost of one `advance` when nothing is due. This is
+//!   the monitor's steady-state overhead: the scan touches every
+//!   detector's freshness point on every poll, the wheel touches only
+//!   drained slots.
+//! * `detect_cycle` — CPU cost of one crash-to-suspicion cycle: a victim
+//!   stream goes silent while the rest keep beating, and the monitor
+//!   polls every 10 ms until the victim's transition is logged. Both
+//!   policies report the *same simulated* detection instant (see
+//!   `tests/wheel_equivalence.rs`); what differs is how much work the
+//!   monitor burns getting there, which is what bounds real-time
+//!   detection latency once the poll loop saturates a core.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sfd_core::chen::ChenConfig;
+use sfd_core::monitor::Monitor;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::{ExpiryPolicy, ShardCore};
+
+/// Heartbeat period of every simulated stream.
+const INTERVAL_MS: i64 = 100;
+/// Constant Chen margin: suspicion ~200 ms after a missed freshness point.
+const ALPHA_MS: i64 = 200;
+/// Poll cadence of the detection-cycle loop.
+const POLL_MS: i64 = 10;
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const POLICIES: [(&str, ExpiryPolicy); 2] =
+    [("scan", ExpiryPolicy::Scan), ("wheel", ExpiryPolicy::Wheel)];
+
+/// A core watching `n` streams, each warmed with one heartbeat at t=0 so
+/// every detector has a freshness point. Small window keeps 100k streams
+/// within memory reach without changing the cost shape.
+fn build_core(n: usize, policy: ExpiryPolicy) -> ShardCore {
+    let spec = DetectorSpec::Chen(ChenConfig {
+        window: 32,
+        expected_interval: Duration::from_millis(INTERVAL_MS),
+        alpha: Duration::from_millis(ALPHA_MS),
+    });
+    let mut core = ShardCore::new(policy, Duration::from_millis(1));
+    for s in 0..n as u64 {
+        core.register(s, &spec).expect("register");
+        core.heartbeat(s, 0, Instant::ZERO);
+    }
+    core
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    for &n in &SIZES {
+        let mut group = c.benchmark_group(format!("ingest/{n}"));
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        for (label, policy) in POLICIES {
+            let mut core = build_core(n, policy);
+            let mut t = Instant::ZERO;
+            let mut seq = 0u64;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    t += Duration::from_millis(INTERVAL_MS);
+                    seq += 1;
+                    for s in 0..n as u64 {
+                        core.heartbeat(s, seq, t);
+                    }
+                    black_box(core.advance(t))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_idle_poll(c: &mut Criterion) {
+    for &n in &SIZES {
+        let mut group = c.benchmark_group(format!("idle_poll/{n}"));
+        group.sample_size(10);
+        for (label, policy) in POLICIES {
+            let mut core = build_core(n, policy);
+            let mut t = Instant::ZERO;
+            let mut seq = 0u64;
+            let mut polls = 0u32;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    // Re-feed every 50 polls (= 50 ms of simulated time)
+                    // so no stream ever expires; the advance below is the
+                    // pure "nothing is due" poll both policies pay every
+                    // tick of real operation.
+                    polls += 1;
+                    if polls % 50 == 0 {
+                        seq += 1;
+                        for s in 0..n as u64 {
+                            core.heartbeat(s, seq, t);
+                        }
+                    }
+                    t += Duration::from_millis(1);
+                    black_box(core.advance(t))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_detect_cycle(c: &mut Criterion) {
+    for &n in &SIZES {
+        let mut group = c.benchmark_group(format!("detect_cycle/{n}"));
+        group.sample_size(10);
+        for (label, policy) in POLICIES {
+            let mut core = build_core(n, policy);
+            let mut t = Instant::ZERO;
+            let mut seq = 0u64;
+            let mut cycle = 0u64;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    cycle += 1;
+                    let victim = cycle % n as u64;
+                    let mut next_beat = t + Duration::from_millis(INTERVAL_MS);
+                    // Poll every 10 ms until the victim's missed
+                    // heartbeats push it over its freshness point and the
+                    // monitor logs the suspect transition.
+                    let detected = loop {
+                        t += Duration::from_millis(POLL_MS);
+                        if t >= next_beat {
+                            seq += 1;
+                            for s in (0..n as u64).filter(|&s| s != victim) {
+                                core.heartbeat(s, seq, t);
+                            }
+                            next_beat += Duration::from_millis(INTERVAL_MS);
+                        }
+                        core.advance(t);
+                        let suspect = core
+                            .transitions(victim)
+                            .and_then(|ts| ts.last())
+                            .is_some_and(|tr| tr.suspect);
+                        if suspect {
+                            break t;
+                        }
+                    };
+                    // Revive the victim so the next cycle starts trusted.
+                    seq += 1;
+                    core.heartbeat(victim, seq, t);
+                    core.advance(t);
+                    black_box(detected)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest, bench_idle_poll, bench_detect_cycle);
+criterion_main!(benches);

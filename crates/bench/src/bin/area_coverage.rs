@@ -24,8 +24,11 @@ fn main() {
 
         // Requirement grid spanning the figure's axes.
         let grid = RequirementGrid::log_mr(0.05, 2.0, 40, 1e-4, 30.0, 40);
-        println!("── {case}: fraction of QoS requirements matchable (grid {}×{})",
-            grid.td_bounds.len(), grid.mr_bounds.len());
+        println!(
+            "── {case}: fraction of QoS requirements matchable (grid {}×{})",
+            grid.td_bounds.len(),
+            grid.mr_bounds.len()
+        );
         let mut per_detector = Vec::new();
         for s in &result.series {
             let c = coverage(&s.points, &grid);

@@ -16,11 +16,7 @@ fn cfg(interval: Duration, sm1: Duration) -> SfdConfig {
         window: 1000,
         expected_interval: interval,
         initial_margin: sm1,
-        feedback: FeedbackConfig {
-            alpha: interval.mul_f64(2.0),
-            beta: 0.5,
-            ..Default::default()
-        },
+        feedback: FeedbackConfig { alpha: interval.mul_f64(2.0), beta: 0.5, ..Default::default() },
         fill_gaps: true,
     }
 }
@@ -69,8 +65,9 @@ fn main() {
     //    budget ("we should take multiple steps to increase SM").
     let trace = WanCase::Wan1.preset().generate(cli.count_for(WanCase::Wan1));
     let spec = QosSpec::new(Duration::from_millis(400), 0.02, 0.99).expect("spec");
-    let rep = run_convergence(&trace, cfg(trace.interval, Duration::from_millis(1)), spec, epoch, eval)
-        .expect("trace long enough");
+    let rep =
+        run_convergence(&trace, cfg(trace.interval, Duration::from_millis(1)), spec, epoch, eval)
+            .expect("trace long enough");
     print_report("aggressive start (SM₁ = 1 ms) on WAN-1", &rep);
     artifacts.push(("aggressive_start".into(), rep));
 
@@ -93,8 +90,9 @@ fn main() {
     let rough = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2) / 2);
     let both = concat_traces(&calm, &rough, Duration::from_millis(500));
     let spec3 = QosSpec::new(Duration::from_millis(900), 0.05, 0.95).expect("spec");
-    let rep = run_convergence(&both, cfg(both.interval, Duration::from_millis(30)), spec3, epoch, eval)
-        .expect("trace long enough");
+    let rep =
+        run_convergence(&both, cfg(both.interval, Duration::from_millis(30)), spec3, epoch, eval)
+            .expect("trace long enough");
     print_report("network shift: WAN-3 → WAN-2 (loss 2% → 5%)", &rep);
     artifacts.push(("network_shift".into(), rep));
 

@@ -26,7 +26,9 @@ fn main() {
         );
     }
 
-    println!("\nTable II — summary of the experiments: statistics (measured from synthetic traces)");
+    println!(
+        "\nTable II — summary of the experiments: statistics (measured from synthetic traces)"
+    );
     println!("{}", TraceStats::table_header());
     let mut rows = Vec::new();
     for case in WanCase::all() {

@@ -37,10 +37,7 @@ fn main() {
     let sm1 = interval.mul_f64(6.0);
 
     let windows = [100usize, 500, 1000, 2000];
-    println!(
-        "{:<10} {:>6} {:>10} {:>12} {:>9}",
-        "detector", "WS", "TD [s]", "MR [1/s]", "QAP [%]"
-    );
+    println!("{:<10} {:>6} {:>10} {:>12} {:>9}", "detector", "WS", "TD [s]", "MR [1/s]", "QAP [%]");
 
     let mut artifacts = Vec::new();
     for &ws in &windows {

@@ -28,6 +28,7 @@ pub mod status;
 
 pub use model::{Cloud, CloudNetwork, Manager, TargetId};
 pub use monitor::{MonitorPanel, OneMonitorsMany, PanelVerdict, TargetConfig};
+pub use sfd_core::monitor::{Monitor, StreamSnapshot};
 pub use sim::{
     ClusterRunReport, ClusterSim, ClusterSimConfig, CrashPlan, DetectionRecord, LinkSetup,
     TimelineFrame,

@@ -4,9 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifies a monitored target (a cloud or a node) network-wide.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TargetId(pub u64);
 
 impl std::fmt::Display for TargetId {
@@ -71,11 +69,7 @@ impl CloudNetwork {
         let all: Vec<TargetId> = clouds.iter().map(|c| c.id).collect();
         let managers = vec![
             Manager { id: TargetId(100), name: "Manager A (IBM)".into(), monitors: all.clone() },
-            Manager {
-                id: TargetId(101),
-                name: "Manager B (SURA/TTP)".into(),
-                monitors: all,
-            },
+            Manager { id: TargetId(101), name: "Manager B (SURA/TTP)".into(), monitors: all },
         ];
         CloudNetwork { clouds, managers }
     }

@@ -9,8 +9,11 @@ use crate::model::TargetId;
 use crate::status::{NodeStatus, StatusClassifier};
 use serde::{Deserialize, Serialize};
 use sfd_core::detector::{AccrualDetector, FailureDetector, SelfTuning};
+use sfd_core::error::{CoreError, CoreResult};
 use sfd_core::feedback::FeedbackConfig;
+use sfd_core::monitor::{Monitor, StreamSnapshot};
 use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::registry::DetectorSpec;
 use sfd_core::sfd::{SfdConfig, SfdFd};
 use sfd_core::time::{Duration, Instant};
 use std::collections::BTreeMap;
@@ -51,73 +54,91 @@ impl TargetConfig {
     }
 }
 
+#[derive(Debug, Clone)]
+struct TargetState {
+    fd: SfdFd,
+    heartbeats: u64,
+    last_heartbeat: Option<Instant>,
+}
+
 /// A manager monitoring many targets: one SFD instance per target.
+///
+/// Also a [`Monitor`] over target ids, so cluster managers and the
+/// live-runtime monitors answer status queries through one interface;
+/// being SFD-only, [`Monitor::register`] accepts only
+/// [`DetectorSpec::Sfd`] specs.
 #[derive(Debug, Clone)]
 pub struct OneMonitorsMany {
     spec: QosSpec,
     classifier: StatusClassifier,
-    detectors: BTreeMap<TargetId, SfdFd>,
+    targets: BTreeMap<TargetId, TargetState>,
 }
 
 impl OneMonitorsMany {
     /// New manager targeting `spec` for every link.
     pub fn new(spec: QosSpec, classifier: StatusClassifier) -> Self {
-        OneMonitorsMany { spec, classifier, detectors: BTreeMap::new() }
+        OneMonitorsMany { spec, classifier, targets: BTreeMap::new() }
     }
 
     /// Register a target. Replaces any previous registration.
     pub fn watch(&mut self, target: TargetId, cfg: TargetConfig) {
-        self.detectors.insert(target, SfdFd::new(cfg.to_sfd(), self.spec));
+        self.targets.insert(
+            target,
+            TargetState {
+                fd: SfdFd::new(cfg.to_sfd(), self.spec),
+                heartbeats: 0,
+                last_heartbeat: None,
+            },
+        );
     }
 
     /// Stop monitoring a target.
     pub fn unwatch(&mut self, target: TargetId) -> bool {
-        self.detectors.remove(&target).is_some()
+        self.targets.remove(&target).is_some()
     }
 
     /// Number of watched targets.
     pub fn watched(&self) -> usize {
-        self.detectors.len()
+        self.targets.len()
     }
 
     /// Feed a heartbeat from `target`. Unknown targets are ignored
     /// (e.g. a heartbeat racing an `unwatch`).
     pub fn heartbeat(&mut self, target: TargetId, seq: u64, arrival: Instant) {
-        if let Some(d) = self.detectors.get_mut(&target) {
-            d.heartbeat(seq, arrival);
+        if let Some(st) = self.targets.get_mut(&target) {
+            st.fd.heartbeat(seq, arrival);
+            st.heartbeats += 1;
+            st.last_heartbeat = Some(arrival);
         }
     }
 
     /// Binary suspicion for one target (`None` = not watched).
     pub fn is_suspect(&self, target: TargetId, now: Instant) -> Option<bool> {
-        self.detectors.get(&target).map(|d| d.is_suspect(now))
+        self.targets.get(&target).map(|st| st.fd.is_suspect(now))
     }
 
     /// Accrual suspicion level for one target.
     pub fn suspicion(&self, target: TargetId, now: Instant) -> Option<f64> {
-        self.detectors.get(&target).map(|d| d.suspicion(now))
+        self.targets.get(&target).map(|st| st.fd.suspicion(now))
     }
 
     /// Four-level status for one target.
     pub fn status(&self, target: TargetId, now: Instant) -> Option<NodeStatus> {
-        self.detectors.get(&target).map(|d| self.classifier.classify(d, now))
+        self.targets.get(&target).map(|st| self.classifier.classify(&st.fd, now))
     }
 
     /// Status snapshot of all targets (the "guidance" table the paper's
     /// PlanetLab example asks for).
     pub fn statuses(&self, now: Instant) -> BTreeMap<TargetId, NodeStatus> {
-        self.detectors
-            .iter()
-            .map(|(&t, d)| (t, self.classifier.classify(d, now)))
-            .collect()
+        self.targets.iter().map(|(&t, st)| (t, self.classifier.classify(&st.fd, now))).collect()
     }
 
     /// Apply QoS feedback for one target's detector (the per-link epoch
     /// loop; links have independent QoS, so feedback is per-link too).
     pub fn apply_feedback(&mut self, target: TargetId, measured: &QosMeasured) -> bool {
-        match self.detectors.get_mut(&target) {
-            Some(d) => {
-                let _ = d.apply_feedback(measured);
+        match self.targets.get_mut(&target) {
+            Some(st) => {
+                let _ = st.fd.apply_feedback(measured);
                 true
             }
             None => false,
@@ -126,7 +147,60 @@ impl OneMonitorsMany {
 
     /// Read-only access to a target's detector.
     pub fn detector(&self, target: TargetId) -> Option<&SfdFd> {
-        self.detectors.get(&target)
+        self.targets.get(&target).map(|st| &st.fd)
+    }
+
+    fn snapshot_inner(&self, target: TargetId, st: &TargetState, now: Instant) -> StreamSnapshot {
+        StreamSnapshot {
+            stream: target.0,
+            suspect: st.fd.is_suspect(now),
+            suspicion: Some(st.fd.suspicion(now)),
+            heartbeats: st.heartbeats,
+            last_heartbeat: st.last_heartbeat,
+            freshness_point: st.fd.freshness_point(),
+        }
+    }
+}
+
+impl Monitor for OneMonitorsMany {
+    /// Registers the target with an [`DetectorSpec::Sfd`] spec; any other
+    /// scheme is an `InvalidConfig` error (this manager is SFD-only).
+    /// The spec's embedded QoS requirement overrides the manager default
+    /// for this target.
+    fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
+        spec.validate()?;
+        let DetectorSpec::Sfd { config, qos } = spec else {
+            return Err(CoreError::InvalidConfig {
+                field: "scheme",
+                reason: format!("cluster managers run SFD detectors only, got {}", spec.kind()),
+            });
+        };
+        self.targets.insert(
+            TargetId(stream),
+            TargetState { fd: SfdFd::new(*config, *qos), heartbeats: 0, last_heartbeat: None },
+        );
+        Ok(())
+    }
+
+    fn deregister(&mut self, stream: u64) -> bool {
+        self.unwatch(TargetId(stream))
+    }
+
+    fn watched(&self) -> usize {
+        OneMonitorsMany::watched(self)
+    }
+
+    fn snapshot(&self, stream: u64, now: Instant) -> Option<StreamSnapshot> {
+        let target = TargetId(stream);
+        self.targets.get(&target).map(|st| self.snapshot_inner(target, st, now))
+    }
+
+    fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
+        self.targets.iter().map(|(&t, st)| self.snapshot_inner(t, st, now)).collect()
+    }
+
+    fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
+        self.apply_feedback(TargetId(stream), measured)
     }
 }
 
@@ -190,10 +264,7 @@ mod tests {
     fn manager_with(targets: &[u64]) -> OneMonitorsMany {
         let mut m = OneMonitorsMany::new(QosSpec::permissive(), StatusClassifier::default());
         for &t in targets {
-            m.watch(
-                TargetId(t),
-                TargetConfig { window: 10, ..Default::default() },
-            );
+            m.watch(TargetId(t), TargetConfig { window: 10, ..Default::default() });
         }
         m
     }
@@ -224,10 +295,7 @@ mod tests {
         feed(&mut m, 2, 20);
         let statuses = m.statuses(inst(5050));
         assert_eq!(statuses[&TargetId(1)], NodeStatus::Active);
-        assert!(matches!(
-            statuses[&TargetId(2)],
-            NodeStatus::Offline | NodeStatus::Dead
-        ));
+        assert!(matches!(statuses[&TargetId(2)], NodeStatus::Offline | NodeStatus::Dead));
     }
 
     #[test]
@@ -287,6 +355,37 @@ mod tests {
         let v = MonitorPanel::majority().verdict(&[&a, &b], TargetId(1), now);
         assert_eq!(v.suspecting, 2);
         assert!(v.suspected);
+    }
+
+    #[test]
+    fn monitor_trait_is_sfd_only_and_exposes_suspicion() {
+        use sfd_core::detector::DetectorKind;
+        let mut m = manager_with(&[]);
+        let mon: &mut dyn Monitor = &mut m;
+        let interval = Duration::from_millis(100);
+        mon.register(5, &DetectorSpec::default_for(DetectorKind::Sfd, interval)).unwrap();
+        assert!(
+            mon.register(6, &DetectorSpec::default_for(DetectorKind::Chen, interval)).is_err(),
+            "non-SFD schemes are rejected"
+        );
+        assert_eq!(mon.watched(), 1);
+
+        feed(&mut m, 5, 50);
+        let mon: &mut dyn Monitor = &mut m;
+        let s = mon.snapshot(5, inst(5_050)).unwrap();
+        assert!(!s.suspect);
+        assert_eq!(s.heartbeats, 50);
+        assert_eq!(s.last_heartbeat, Some(inst(5_000)));
+        assert!(s.suspicion.is_some(), "SFD is accrual: suspicion is exposed");
+        let late = mon.snapshot(5, inst(60_000)).unwrap();
+        assert!(late.suspect);
+        assert!(late.suspicion.unwrap() > s.suspicion.unwrap());
+
+        assert_eq!(mon.snapshot_all(inst(5_050)).len(), 1);
+        assert!(mon.feedback(5, &QosMeasured::empty()));
+        assert!(!mon.feedback(9, &QosMeasured::empty()));
+        assert!(mon.deregister(5));
+        assert!(!mon.deregister(5));
     }
 
     #[test]

@@ -130,10 +130,7 @@ impl ClusterSim {
             manager.heartbeat(target, seq, arrival);
         }
         while next_sample <= end {
-            frames.push(TimelineFrame {
-                at: next_sample,
-                statuses: manager.statuses(next_sample),
-            });
+            frames.push(TimelineFrame { at: next_sample, statuses: manager.statuses(next_sample) });
             next_sample += sample_every;
         }
         (report, frames)
@@ -153,8 +150,7 @@ impl ClusterSim {
         // Generate every link's records up front, suppressing heartbeats
         // sent after the link's crash point.
         let mut events: Vec<(Instant, TargetId, u64)> = Vec::new();
-        let mut manager =
-            OneMonitorsMany::new(self.cfg.spec, self.cfg.classifier);
+        let mut manager = OneMonitorsMany::new(self.cfg.spec, self.cfg.classifier);
         for (i, link) in self.cfg.links.iter().enumerate() {
             manager.watch(link.target, link.detector);
             let sim_cfg = PairSimConfig {
@@ -208,11 +204,8 @@ impl ClusterSim {
             }
         }
 
-        let report = ClusterRunReport {
-            detections,
-            final_statuses: manager.statuses(end),
-            deliveries,
-        };
+        let report =
+            ClusterRunReport { detections, final_statuses: manager.statuses(end), deliveries };
         (report, events, manager)
     }
 }
@@ -254,10 +247,7 @@ mod tests {
             ],
             duration: Duration::from_secs(60),
             spec: QosSpec::permissive(),
-            classifier: StatusClassifier {
-                slow_fraction: 0.5,
-                dead_after: Duration::from_secs(5),
-            },
+            classifier: StatusClassifier { slow_fraction: 0.5, dead_after: Duration::from_secs(5) },
             seed: 42,
         }
     }
@@ -299,10 +289,7 @@ mod tests {
         cfg.crashes.clear();
         let report = ClusterSim::new(cfg).run();
         assert!(report.detections.is_empty());
-        assert!(report
-            .final_statuses
-            .values()
-            .all(|&s| s == NodeStatus::Active));
+        assert!(report.final_statuses.values().all(|&s| s == NodeStatus::Active));
         // 5 links × ~600 heartbeats × 99% delivery.
         assert!(report.deliveries > 2_800, "{}", report.deliveries);
     }

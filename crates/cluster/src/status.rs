@@ -81,10 +81,10 @@ impl StatusClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sfd_core::detector::FailureDetector;
     use sfd_core::qos::QosSpec;
     use sfd_core::sfd::{SfdConfig, SfdFd};
     use sfd_core::time::Duration;
-    use sfd_core::detector::FailureDetector;
 
     fn fed_sfd() -> SfdFd {
         let mut fd = SfdFd::new(
@@ -111,7 +111,7 @@ mod tests {
         assert_eq!(c.classify(&fd, Instant::from_millis(4140)), NodeStatus::Active); // s=0.4
         assert_eq!(c.classify(&fd, Instant::from_millis(4170)), NodeStatus::Slow); // s=0.7
         assert_eq!(c.classify(&fd, Instant::from_millis(4300)), NodeStatus::Offline); // s=2
-        // Dead after 2 s past the freshness point (τ=4200).
+                                                                                      // Dead after 2 s past the freshness point (τ=4200).
         assert_eq!(c.classify(&fd, Instant::from_millis(6100)), NodeStatus::Offline);
         assert_eq!(c.classify(&fd, Instant::from_millis(6250)), NodeStatus::Dead);
     }

@@ -93,6 +93,36 @@ pub trait FailureDetector {
 
     /// Forget all learned state (monitored process restarted).
     fn reset(&mut self);
+
+    /// Access the detector's self-tuning surface, if it has one.
+    ///
+    /// Monitors that hold detectors behind `dyn FailureDetector` use this
+    /// to route epoch QoS feedback without downcasting; only schemes that
+    /// implement [`SelfTuning`] (SFD) override it.
+    fn self_tuning(&mut self) -> Option<&mut dyn SelfTuning> {
+        None
+    }
+}
+
+impl<T: FailureDetector + ?Sized> FailureDetector for Box<T> {
+    fn heartbeat(&mut self, seq: u64, arrival: Instant) {
+        (**self).heartbeat(seq, arrival)
+    }
+    fn freshness_point(&self) -> Option<Instant> {
+        (**self).freshness_point()
+    }
+    fn is_suspect(&self, now: Instant) -> bool {
+        (**self).is_suspect(now)
+    }
+    fn kind(&self) -> DetectorKind {
+        (**self).kind()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn self_tuning(&mut self) -> Option<&mut dyn SelfTuning> {
+        (**self).self_tuning()
+    }
 }
 
 /// Continuous-output (accrual) failure detection (paper refs [30–31]).
@@ -106,6 +136,15 @@ pub trait AccrualDetector: FailureDetector {
 
     /// The threshold [`FailureDetector::is_suspect`] compares against.
     fn default_threshold(&self) -> f64;
+}
+
+impl<T: AccrualDetector + ?Sized> AccrualDetector for Box<T> {
+    fn suspicion(&self, now: Instant) -> f64 {
+        (**self).suspicion(now)
+    }
+    fn default_threshold(&self) -> f64 {
+        (**self).default_threshold()
+    }
 }
 
 /// A detector whose parameters adjust themselves from output-QoS feedback

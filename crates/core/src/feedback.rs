@@ -275,10 +275,7 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg = FeedbackConfig { alpha: Duration::ZERO, ..Default::default() };
         assert!(cfg.validate().is_err());
-        cfg = FeedbackConfig {
-            min_margin: Duration::from_secs(60),
-            ..Default::default()
-        };
+        cfg = FeedbackConfig { min_margin: Duration::from_secs(60), ..Default::default() };
         assert!(cfg.validate().is_err());
         cfg = FeedbackConfig { infeasible_tolerance: 0, ..Default::default() };
         assert!(cfg.validate().is_err());

@@ -62,9 +62,10 @@ pub mod estimate;
 pub mod feedback;
 pub mod gapfill;
 pub mod histogram;
+pub mod monitor;
 pub mod phi;
-pub mod registry;
 pub mod qos;
+pub mod registry;
 pub mod sfd;
 pub mod stats;
 pub mod suspicion;
@@ -76,12 +77,13 @@ pub use chen::{ChenConfig, ChenFd};
 pub use detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
 pub use error::{CoreError, CoreResult};
 pub use estimate::{ChenEstimator, JacobsonEstimator};
-pub use feedback::{FeedbackController, FeedbackDecision, Sat};
+pub use feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
 pub use gapfill::GapFiller;
 pub use histogram::DurationHistogram;
+pub use monitor::{Monitor, StreamId, StreamSnapshot};
 pub use phi::{PhiConfig, PhiFd};
-pub use registry::DetectorSpec;
 pub use qos::{QosMeasured, QosSpec};
+pub use registry::DetectorSpec;
 pub use sfd::{SfdConfig, SfdFd};
 pub use suspicion::{SuspicionLog, Transition};
 pub use time::{Duration, Instant};
@@ -91,13 +93,12 @@ pub use window::SampleWindow;
 pub mod prelude {
     pub use crate::bertier::{BertierConfig, BertierFd};
     pub use crate::chen::{ChenConfig, ChenFd};
-    pub use crate::detector::{
-        AccrualDetector, DetectorKind, FailureDetector, SelfTuning,
-    };
-    pub use crate::feedback::{FeedbackController, FeedbackDecision, Sat};
+    pub use crate::detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
+    pub use crate::feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
+    pub use crate::monitor::{Monitor, StreamId, StreamSnapshot};
     pub use crate::phi::{PhiConfig, PhiFd};
-    pub use crate::registry::DetectorSpec;
     pub use crate::qos::{QosMeasured, QosSpec};
+    pub use crate::registry::DetectorSpec;
     pub use crate::sfd::{SfdConfig, SfdFd};
     pub use crate::suspicion::{SuspicionLog, Transition};
     pub use crate::time::{Duration, Instant};

@@ -1,0 +1,172 @@
+//! The unified monitor interface.
+//!
+//! Every deployment shape in the paper — one-monitors-one (Sec. IV),
+//! one-monitors-multiple and multiple-monitor-multiple (Sec. VII) — ends
+//! up answering the same questions about a set of heartbeat streams:
+//! which streams exist, is each one suspected right now, and how does
+//! epoch QoS feedback reach each stream's detector. [`Monitor`] is that
+//! common surface; `sfd-runtime`'s live services and `sfd-cluster`'s
+//! simulated managers all implement it, so callers (dashboards, quorum
+//! panels, feedback drivers) are written once.
+//!
+//! The trait is deliberately I/O-free and clock-free: queries take an
+//! explicit `now` on the crate-wide [`Instant`] timeline, which is the
+//! monitor's own clock for live services and simulated time for replay.
+
+use crate::error::CoreResult;
+use crate::qos::QosMeasured;
+use crate::registry::DetectorSpec;
+use crate::time::Instant;
+
+/// Identifier of one monitored heartbeat stream (the wire-level stream id
+/// in `sfd-runtime`, the target id in `sfd-cluster`).
+pub type StreamId = u64;
+
+/// Point-in-time view of one monitored stream.
+///
+/// This is the one snapshot type shared by every [`Monitor`]
+/// implementation; it replaces the per-crate status structs that used to
+/// exist in the runtime and cluster layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSnapshot {
+    /// The stream id.
+    pub stream: StreamId,
+    /// Is the stream's sender currently suspected?
+    pub suspect: bool,
+    /// Continuous suspicion level, when the stream's detector is an
+    /// accrual scheme (φ, SFD); `None` for binary-only detectors.
+    pub suspicion: Option<f64>,
+    /// Heartbeats received on this stream.
+    pub heartbeats: u64,
+    /// Arrival of the most recent heartbeat.
+    pub last_heartbeat: Option<Instant>,
+    /// Current freshness point `τ`, if past warm-up.
+    pub freshness_point: Option<Instant>,
+}
+
+/// A monitor of one or more heartbeat streams.
+///
+/// Registration is declarative — a [`DetectorSpec`] describes the scheme
+/// and its parameters — so membership can come from configuration files
+/// and be changed at run time. Implementations that monitor a fixed
+/// single stream may reject or reinterpret registration; see their docs.
+pub trait Monitor {
+    /// Start monitoring `stream` with a detector built from `spec`,
+    /// replacing any existing registration for the id.
+    fn register(&mut self, stream: StreamId, spec: &DetectorSpec) -> CoreResult<()>;
+
+    /// Stop monitoring `stream`. Returns `false` if it was not watched.
+    fn deregister(&mut self, stream: StreamId) -> bool;
+
+    /// Number of streams currently watched.
+    fn watched(&self) -> usize;
+
+    /// Snapshot one stream at `now` (`None` if not watched).
+    fn snapshot(&self, stream: StreamId, now: Instant) -> Option<StreamSnapshot>;
+
+    /// Snapshot every watched stream at `now`.
+    fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot>;
+
+    /// Epoch-feedback hook: deliver the QoS measured over the last epoch
+    /// to `stream`'s detector (paper Algorithm 1). Returns `false` if the
+    /// stream is not watched or its detector is not self-tuning.
+    fn feedback(&mut self, stream: StreamId, measured: &QosMeasured) -> bool;
+
+    /// Binary suspicion for one stream (`None` = not watched).
+    fn is_suspect(&self, stream: StreamId, now: Instant) -> Option<bool> {
+        self.snapshot(stream, now).map(|s| s.suspect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::FailureDetector;
+    use crate::time::Duration;
+    use std::collections::BTreeMap;
+
+    /// Minimal in-memory implementation to pin down trait semantics.
+    #[derive(Default)]
+    struct MapMonitor {
+        streams: BTreeMap<StreamId, (Box<dyn FailureDetector + Send>, u64)>,
+    }
+
+    impl MapMonitor {
+        fn heartbeat(&mut self, stream: StreamId, seq: u64, at: Instant) {
+            if let Some((fd, n)) = self.streams.get_mut(&stream) {
+                fd.heartbeat(seq, at);
+                *n += 1;
+            }
+        }
+    }
+
+    impl Monitor for MapMonitor {
+        fn register(&mut self, stream: StreamId, spec: &DetectorSpec) -> CoreResult<()> {
+            self.streams.insert(stream, (spec.build()?, 0));
+            Ok(())
+        }
+        fn deregister(&mut self, stream: StreamId) -> bool {
+            self.streams.remove(&stream).is_some()
+        }
+        fn watched(&self) -> usize {
+            self.streams.len()
+        }
+        fn snapshot(&self, stream: StreamId, now: Instant) -> Option<StreamSnapshot> {
+            self.streams.get(&stream).map(|(fd, n)| StreamSnapshot {
+                stream,
+                suspect: fd.is_suspect(now),
+                suspicion: None,
+                heartbeats: *n,
+                last_heartbeat: None,
+                freshness_point: fd.freshness_point(),
+            })
+        }
+        fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
+            self.streams.keys().filter_map(|&s| self.snapshot(s, now)).collect()
+        }
+        fn feedback(&mut self, stream: StreamId, measured: &QosMeasured) -> bool {
+            match self.streams.get_mut(&stream) {
+                Some((fd, _)) => match fd.self_tuning() {
+                    Some(t) => {
+                        let _ = t.apply_feedback(measured);
+                        true
+                    }
+                    None => false,
+                },
+                None => false,
+            }
+        }
+    }
+
+    #[test]
+    fn register_query_feedback_lifecycle() {
+        use crate::detector::DetectorKind;
+        let interval = Duration::from_millis(100);
+        let mut m = MapMonitor::default();
+        m.register(1, &DetectorSpec::default_for(DetectorKind::Sfd, interval)).unwrap();
+        m.register(2, &DetectorSpec::default_for(DetectorKind::Chen, interval)).unwrap();
+        assert_eq!(m.watched(), 2);
+
+        for i in 0..50u64 {
+            let at = Instant::from_millis((i as i64 + 1) * 100);
+            m.heartbeat(1, i, at);
+            m.heartbeat(2, i, at);
+        }
+        let now = Instant::from_millis(5_050);
+        assert_eq!(m.is_suspect(1, now), Some(false));
+        assert_eq!(m.is_suspect(3, now), None);
+        let late = Instant::from_millis(60_000);
+        assert!(m.snapshot(1, late).unwrap().suspect);
+        assert_eq!(m.snapshot_all(late).len(), 2);
+
+        // Feedback reaches the self-tuning detector, not the Chen one.
+        let q = QosMeasured::empty();
+        assert!(m.feedback(1, &q));
+        assert!(!m.feedback(2, &q));
+        assert!(!m.feedback(9, &q));
+
+        assert!(m.deregister(2));
+        assert!(!m.deregister(2));
+        assert_eq!(m.watched(), 1);
+    }
+}

@@ -278,9 +278,7 @@ mod tests {
     fn higher_threshold_is_more_conservative() {
         let aggressive = jittered_fd(1.0);
         let conservative = jittered_fd(8.0);
-        assert!(
-            conservative.freshness_point().unwrap() > aggressive.freshness_point().unwrap()
-        );
+        assert!(conservative.freshness_point().unwrap() > aggressive.freshness_point().unwrap());
     }
 
     #[test]
@@ -351,9 +349,7 @@ mod tests {
         assert!(PhiConfig::default().validate().is_ok());
         assert!(PhiConfig { window: 0, ..Default::default() }.validate().is_err());
         assert!(PhiConfig { threshold: 0.0, ..Default::default() }.validate().is_err());
-        assert!(PhiConfig { min_std_fraction: f64::NAN, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(PhiConfig { min_std_fraction: f64::NAN, ..Default::default() }.validate().is_err());
         assert!(PhiConfig { expected_interval: Duration::ZERO, ..Default::default() }
             .validate()
             .is_err());

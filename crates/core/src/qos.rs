@@ -109,8 +109,7 @@ impl QosMeasured {
 
     /// `true` if the accuracy axes (MR and QAP) meet the spec.
     pub fn accuracy_ok(&self, spec: &QosSpec) -> bool {
-        self.mistake_rate <= spec.max_mistake_rate
-            && self.query_accuracy >= spec.min_query_accuracy
+        self.mistake_rate <= spec.max_mistake_rate && self.query_accuracy >= spec.min_query_accuracy
     }
 
     /// `true` if the speed axis (T_D) meets the spec.

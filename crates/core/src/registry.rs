@@ -7,7 +7,7 @@
 
 use crate::bertier::{BertierConfig, BertierFd};
 use crate::chen::{ChenConfig, ChenFd};
-use crate::detector::{DetectorKind, FailureDetector};
+use crate::detector::{AccrualDetector, DetectorKind, FailureDetector};
 use crate::error::CoreResult;
 use crate::phi::{PhiConfig, PhiFd};
 use crate::qos::QosSpec;
@@ -66,6 +66,22 @@ impl DetectorSpec {
         })
     }
 
+    /// Build the detector behind the accrual interface, when the scheme
+    /// has one.
+    ///
+    /// φ and SFD expose a continuous suspicion level and yield
+    /// `Some(detector)`; Chen and Bertier are binary-only and yield
+    /// `Ok(None)`. An invalid configuration is an error for every scheme,
+    /// so callers can still use this to validate binary specs.
+    pub fn build_accrual(&self) -> CoreResult<Option<Box<dyn AccrualDetector + Send>>> {
+        self.validate()?;
+        Ok(match self.clone() {
+            DetectorSpec::Chen(_) | DetectorSpec::Bertier(_) => None,
+            DetectorSpec::Phi(c) => Some(Box::new(PhiFd::new(c))),
+            DetectorSpec::Sfd { config, qos } => Some(Box::new(SfdFd::new(config, qos))),
+        })
+    }
+
     /// A sensible default spec for each scheme, given the expected
     /// heartbeat interval.
     pub fn default_for(kind: DetectorKind, interval: crate::time::Duration) -> DetectorSpec {
@@ -79,10 +95,9 @@ impl DetectorSpec {
                 expected_interval: interval,
                 ..Default::default()
             }),
-            DetectorKind::Phi => DetectorSpec::Phi(PhiConfig {
-                expected_interval: interval,
-                ..Default::default()
-            }),
+            DetectorKind::Phi => {
+                DetectorSpec::Phi(PhiConfig { expected_interval: interval, ..Default::default() })
+            }
             DetectorKind::Sfd => DetectorSpec::Sfd {
                 config: SfdConfig {
                     expected_interval: interval,
@@ -125,9 +140,33 @@ mod tests {
     }
 
     #[test]
+    fn build_accrual_only_for_accrual_schemes() {
+        let interval = Duration::from_millis(100);
+        for kind in DetectorKind::all() {
+            let spec = DetectorSpec::default_for(kind, interval);
+            let built = spec.build_accrual().unwrap();
+            match kind {
+                DetectorKind::Chen | DetectorKind::Bertier => assert!(built.is_none()),
+                DetectorKind::Phi | DetectorKind::Sfd => {
+                    let mut fd = built.unwrap();
+                    for i in 0..50u64 {
+                        fd.heartbeat(i, Instant::from_millis((i as i64 + 1) * 100));
+                    }
+                    let early = fd.suspicion(Instant::from_millis(5_050));
+                    let late = fd.suspicion(Instant::from_millis(60_000));
+                    assert!(late > early);
+                    assert!(late > fd.default_threshold());
+                }
+            }
+        }
+        // An invalid config still errors even for binary schemes.
+        let bad = DetectorSpec::Chen(ChenConfig { window: 0, ..Default::default() });
+        assert!(bad.build_accrual().is_err());
+    }
+
+    #[test]
     fn json_format_is_tagged_and_stable() {
-        let spec =
-            DetectorSpec::default_for(DetectorKind::Phi, Duration::from_millis(50));
+        let spec = DetectorSpec::default_for(DetectorKind::Phi, Duration::from_millis(50));
         let js = serde_json::to_string(&spec).unwrap();
         assert!(js.contains("\"scheme\":\"phi\""), "{js}");
         let back: DetectorSpec = serde_json::from_str(&js).unwrap();

@@ -226,6 +226,10 @@ impl FailureDetector for SfdFd {
         self.infeasible_reported = false;
         self.synthetic_samples = 0;
     }
+
+    fn self_tuning(&mut self) -> Option<&mut dyn crate::detector::SelfTuning> {
+        Some(self)
+    }
 }
 
 impl AccrualDetector for SfdFd {
@@ -243,11 +247,7 @@ impl AccrualDetector for SfdFd {
         }
         // Scale by the margin; floor the scale so a fully aggressive
         // (zero) margin yields a finite, steep ramp instead of ∞.
-        let scale = self
-            .controller
-            .margin()
-            .max(Duration::from_micros(1))
-            .as_secs_f64();
+        let scale = self.controller.margin().max(Duration::from_micros(1)).as_secs_f64();
         elapsed / scale
     }
 

@@ -72,10 +72,8 @@ impl SuspicionLog {
 
     /// Number of suspicion periods that *start* within `[start, end)`.
     pub fn mistakes_in(&self, start: Instant, end: Instant) -> u64 {
-        self.transitions
-            .iter()
-            .filter(|tr| tr.suspect && tr.at >= start && tr.at < end)
-            .count() as u64
+        self.transitions.iter().filter(|tr| tr.suspect && tr.at >= start && tr.at < end).count()
+            as u64
     }
 
     /// Total time spent in the suspect state within `[start, end]`.

@@ -18,9 +18,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// Unlike `std::time::Duration` this type is signed: estimation errors
 /// (`arrival − expected`) are naturally negative when a heartbeat arrives
 /// early, and Jacobson-style estimators need that sign.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Duration {
     nanos: i64,
@@ -260,9 +258,7 @@ impl Sum for Duration {
 
 /// A point on the (simulated or wall-clock) timeline, in nanoseconds since
 /// an arbitrary epoch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Instant {
     nanos: i64,
@@ -454,8 +450,7 @@ mod tests {
 
     #[test]
     fn sum_and_scalar_ops() {
-        let total: Duration =
-            [1i64, 2, 3].iter().map(|&ms| Duration::from_millis(ms)).sum();
+        let total: Duration = [1i64, 2, 3].iter().map(|&ms| Duration::from_millis(ms)).sum();
         assert_eq!(total, Duration::from_millis(6));
         assert_eq!(Duration::from_millis(6) / 3, Duration::from_millis(2));
         assert_eq!(Duration::from_millis(6) * 2, Duration::from_millis(12));

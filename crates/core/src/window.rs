@@ -307,9 +307,7 @@ impl ArrivalWindow {
             return None;
         }
         let span = last.arrival - first.arrival;
-        Some(Duration::from_secs_f64(
-            span.as_secs_f64() / (last.seq - first.seq) as f64,
-        ))
+        Some(Duration::from_secs_f64(span.as_secs_f64() / (last.seq - first.seq) as f64))
     }
 
     /// Iterate retained samples oldest → newest.
@@ -359,11 +357,8 @@ mod tests {
         }
         // Window now holds 3,4,5,6.
         assert!((w.mean() - 4.5).abs() < 1e-12);
-        let naive_var = [3.0f64, 4.0, 5.0, 6.0]
-            .iter()
-            .map(|x| (x - 4.5) * (x - 4.5))
-            .sum::<f64>()
-            / 4.0;
+        let naive_var =
+            [3.0f64, 4.0, 5.0, 6.0].iter().map(|x| (x - 4.5) * (x - 4.5)).sum::<f64>() / 4.0;
         assert!((w.variance() - naive_var).abs() < 1e-12);
     }
 

@@ -102,10 +102,7 @@ pub fn beta_ablation(
     betas
         .iter()
         .filter_map(|&beta| {
-            let cfg = SfdConfig {
-                feedback: FeedbackConfig { beta, ..cfg.feedback },
-                ..cfg
-            };
+            let cfg = SfdConfig { feedback: FeedbackConfig { beta, ..cfg.feedback }, ..cfg };
             let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
             Some(TuningAblationRow {
                 value: beta,

@@ -54,11 +54,17 @@ impl RequirementGrid {
     /// A log-spaced grid spanning `td ∈ [td_lo, td_hi]` (linear, `n_td`
     /// points) × `mr ∈ [mr_lo, mr_hi]` (log, `n_mr` points) — matching the
     /// axes of the paper's Figs. 6/9.
-    pub fn log_mr(td_lo: f64, td_hi: f64, n_td: usize, mr_lo: f64, mr_hi: f64, n_mr: usize) -> Self {
+    pub fn log_mr(
+        td_lo: f64,
+        td_hi: f64,
+        n_td: usize,
+        mr_lo: f64,
+        mr_hi: f64,
+        n_mr: usize,
+    ) -> Self {
         assert!(n_td >= 2 && n_mr >= 2 && td_hi > td_lo && mr_hi > mr_lo && mr_lo > 0.0);
-        let td_bounds = (0..n_td)
-            .map(|i| td_lo + (td_hi - td_lo) * i as f64 / (n_td - 1) as f64)
-            .collect();
+        let td_bounds =
+            (0..n_td).map(|i| td_lo + (td_hi - td_lo) * i as f64 / (n_td - 1) as f64).collect();
         let (a, b) = (mr_lo.ln(), mr_hi.ln());
         let mr_bounds =
             (0..n_mr).map(|i| (a + (b - a) * i as f64 / (n_mr - 1) as f64).exp()).collect();
@@ -103,16 +109,9 @@ pub fn coverage(points: &[CurvePoint], grid: &RequirementGrid) -> f64 {
 /// Where two curves cross: the smallest grid TD bound at which `b` can
 /// match a strictly lower MR than `a` (or vice versa). Returns `None` if
 /// one curve dominates throughout the grid range.
-pub fn crossover_td(
-    a: &[CurvePoint],
-    b: &[CurvePoint],
-    grid: &RequirementGrid,
-) -> Option<f64> {
+pub fn crossover_td(a: &[CurvePoint], b: &[CurvePoint], grid: &RequirementGrid) -> Option<f64> {
     let best_mr_at = |pts: &[CurvePoint], max_td: f64| -> f64 {
-        pts.iter()
-            .filter(|p| p.td_secs <= max_td)
-            .map(|p| p.mr)
-            .fold(f64::INFINITY, f64::min)
+        pts.iter().filter(|p| p.td_secs <= max_td).map(|p| p.mr).fold(f64::INFINITY, f64::min)
     };
     let mut last_sign = 0i8;
     for &td in &grid.td_bounds {
@@ -165,8 +164,7 @@ mod tests {
     fn coverage_orders_detectors_correctly() {
         // A wide curve (Chen-like) must cover more than a truncated one
         // (φ-like) on the same grid.
-        let wide: Vec<CurvePoint> =
-            (1..=10).map(|i| pt(0.1 * i as f64, 10.0 / i as f64)).collect();
+        let wide: Vec<CurvePoint> = (1..=10).map(|i| pt(0.1 * i as f64, 10.0 / i as f64)).collect();
         let truncated: Vec<CurvePoint> =
             (1..=3).map(|i| pt(0.1 * i as f64, 10.0 / i as f64)).collect();
         let grid = RequirementGrid::log_mr(0.05, 1.2, 24, 0.5, 20.0, 24);

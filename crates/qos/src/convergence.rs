@@ -100,11 +100,7 @@ pub fn concat_traces(first: &Trace, second: &Trace, gap: Duration) -> Trace {
         sent: r.sent + shift,
         arrival: r.arrival.map(|a| a + shift),
     }));
-    Trace::new(
-        format!("{}+{}", first.name, second.name),
-        first.interval,
-        records,
-    )
+    Trace::new(format!("{}+{}", first.name, second.name), first.interval, records)
 }
 
 #[cfg(test)]
@@ -170,8 +166,8 @@ mod tests {
     #[test]
     fn impossible_target_reports_infeasible() {
         let trace = WanCase::Wan2.preset().generate(50_000); // 5% bursty loss
-        // Detect within one heartbeat period AND essentially never be
-        // wrong, on a 5%-loss channel: hopeless.
+                                                             // Detect within one heartbeat period AND essentially never be
+                                                             // wrong, on a 5%-loss channel: hopeless.
         let spec = QosSpec::new(Duration::from_millis(15), 1e-6, 0.999999).unwrap();
         let rep = run_convergence(
             &trace,

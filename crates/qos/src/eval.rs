@@ -196,7 +196,8 @@ impl ReplayEvaluator {
         let measured_from = measured_from?;
         let last_arrival = prev_arrival.expect("at least one delivery");
         // Close any trailing suspicion up to the end of the trace.
-        let trace_end = trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO) + trace.span();
+        let trace_end =
+            trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO) + trace.span();
         if let Some(fp) = prev_fp {
             let suspect_from = fp.max(last_arrival);
             if suspect_from < trace_end {

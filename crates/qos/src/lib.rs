@@ -33,7 +33,9 @@ pub mod planner;
 pub mod report;
 pub mod sweep;
 
-pub use ablation::{beta_ablation, epoch_length_ablation, gap_fill_ablation, GapFillAblation, TuningAblationRow};
+pub use ablation::{
+    beta_ablation, epoch_length_ablation, gap_fill_ablation, GapFillAblation, TuningAblationRow,
+};
 pub use area::{can_match, coverage, crossover_td, dominates, pareto_front, RequirementGrid};
 pub use convergence::{ConvergenceReport, EpochSnapshot};
 pub use eval::{EvalConfig, EvalReport, ReplayEvaluator};

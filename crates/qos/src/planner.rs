@@ -89,11 +89,7 @@ impl NetworkModel {
         };
         // Loss runs longer than the margin covers.
         let needed = (alpha.as_secs_f64() / delta).ceil().max(1.0);
-        let loss_term = if self.loss_rate <= 0.0 {
-            0.0
-        } else {
-            self.loss_rate.powf(needed)
-        };
+        let loss_term = if self.loss_rate <= 0.0 { 0.0 } else { self.loss_rate.powf(needed) };
         let per_heartbeat = loss_term + (1.0 - self.loss_rate) * tail;
         per_heartbeat / delta
     }
@@ -136,10 +132,8 @@ pub fn plan_margin(model: &NetworkModel, spec: &QosSpec) -> CoreResult<MarginPla
     let budget = spec.max_mistake_rate.min((1.0 - spec.min_query_accuracy) / delta);
 
     // The speed budget bounds the search: α_max = T̄D − Δ − d̄.
-    let alpha_max = spec
-        .max_detection_time
-        .saturating_sub(model.interval)
-        .saturating_sub(model.mean_delay);
+    let alpha_max =
+        spec.max_detection_time.saturating_sub(model.interval).saturating_sub(model.mean_delay);
     if alpha_max < Duration::ZERO {
         return Err(CoreError::QosInfeasible {
             detail: format!(

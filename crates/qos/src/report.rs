@@ -48,16 +48,12 @@ impl CurveSeries {
 
     /// The point with the smallest detection time.
     pub fn most_aggressive(&self) -> Option<&CurvePoint> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
+        self.points.iter().min_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
     }
 
     /// The point with the largest detection time.
     pub fn most_conservative(&self) -> Option<&CurvePoint> {
-        self.points
-            .iter()
-            .max_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
+        self.points.iter().max_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
     }
 
     /// Detection-time span covered by this detector (the "area covered"
@@ -157,7 +153,11 @@ mod tests {
     fn series() -> CurveSeries {
         CurveSeries::from_sweep(
             DetectorKind::Chen,
-            vec![pt(10.0, 100, 0.5, 0.99), pt(100.0, 300, 0.05, 0.995), pt(1000.0, 1200, 0.001, 0.999)],
+            vec![
+                pt(10.0, 100, 0.5, 0.99),
+                pt(100.0, 300, 0.05, 0.995),
+                pt(1000.0, 1200, 0.001, 0.999),
+            ],
         )
     }
 

@@ -151,16 +151,9 @@ mod tests {
     #[test]
     fn chen_curve_trades_speed_for_accuracy() {
         let trace = small_trace();
-        let base = ChenConfig {
-            window: 1000,
-            expected_interval: trace.interval,
-            alpha: Duration::ZERO,
-        };
-        let alphas = log_spaced_margins(
-            Duration::from_millis(5),
-            Duration::from_millis(2000),
-            8,
-        );
+        let base =
+            ChenConfig { window: 1000, expected_interval: trace.interval, alpha: Duration::ZERO };
+        let alphas = log_spaced_margins(Duration::from_millis(5), Duration::from_millis(2000), 8);
         let pts = sweep_chen(&trace, base, &alphas, eval());
         assert_eq!(pts.len(), 8);
         // TD strictly increases with α.
@@ -197,11 +190,8 @@ mod tests {
     #[test]
     fn bertier_is_one_aggressive_point() {
         let trace = small_trace();
-        let cfg = BertierConfig {
-            window: 1000,
-            expected_interval: trace.interval,
-            ..Default::default()
-        };
+        let cfg =
+            BertierConfig { window: 1000, expected_interval: trace.interval, ..Default::default() };
         let p = bertier_point(&trace, cfg, eval()).unwrap();
         // Bertier tracks the estimation error tightly → its single point
         // sits at the aggressive end: a small multiple of the heartbeat
@@ -237,11 +227,8 @@ mod tests {
             fill_gaps: true,
         };
         // SM₁ from hyper-aggressive (2 ms) to far too conservative (2 s).
-        let margins = vec![
-            Duration::from_millis(2),
-            Duration::from_millis(60),
-            Duration::from_millis(2000),
-        ];
+        let margins =
+            vec![Duration::from_millis(2), Duration::from_millis(60), Duration::from_millis(2000)];
         let pts = sweep_sfd(&trace, base, spec, &margins, Duration::from_secs(20), eval());
         assert_eq!(pts.len(), 3);
         // The conservative start must have been pulled back: its overall

@@ -11,11 +11,8 @@ use sfd_trace::trace::Trace;
 /// Random-but-plausible traces: periodic sends, jittered delays, random
 /// losses.
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    (
-        50u64..400,
-        prop::collection::vec((0i64..80, any::<bool>()), 400),
-    )
-        .prop_map(|(interval_ms, noise)| {
+    (50u64..400, prop::collection::vec((0i64..80, any::<bool>()), 400)).prop_map(
+        |(interval_ms, noise)| {
             let interval = Duration::from_millis(interval_ms as i64);
             let records: Vec<HeartbeatRecord> = noise
                 .iter()
@@ -32,7 +29,8 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                 })
                 .collect();
             Trace::new("prop", interval, records)
-        })
+        },
+    )
 }
 
 proptest! {

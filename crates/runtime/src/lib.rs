@@ -19,7 +19,10 @@
 //!   feedback epoch loop for self-tuning detectors;
 //! * [`multi`] — one-monitors-multiple at the transport level: a single
 //!   socket demultiplexed to per-stream detectors built from declarative
-//!   [`DetectorSpec`](sfd_core::registry::DetectorSpec)s;
+//!   [`DetectorSpec`](sfd_core::registry::DetectorSpec)s, sharded by
+//!   stream-id hash and expiry-scheduled by a timing wheel;
+//! * [`wheel`] — the hierarchical timing wheel scheduling each stream's
+//!   freshness point, so idle ticks cost O(expiries) not O(streams);
 //! * [`probe`] — the paper's parallel low-frequency ping: RTT statistics
 //!   and a connectivity verdict, feeding the margin planner and
 //!   disambiguating crash from partition.
@@ -33,12 +36,15 @@ pub mod multi;
 pub mod probe;
 pub mod sender;
 pub mod transport;
+pub mod wheel;
 pub mod wire;
 
 pub use clock::WallClock;
-pub use monitor::{MonitorConfig, MonitorService, StatusSnapshot};
-pub use multi::{MultiMonitorService, StreamStatus};
+pub use monitor::{DynMonitorService, MonitorConfig, MonitorService, StatusSnapshot};
+pub use multi::{ExpiryPolicy, MultiMonitorService, ShardCore};
 pub use probe::{EchoResponder, RttProbe, RttReport};
 pub use sender::{HeartbeatSender, SenderConfig};
+pub use sfd_core::monitor::{Monitor, StreamSnapshot};
 pub use transport::{HeartbeatSink, HeartbeatSource, MemoryTransport, UdpSink, UdpSource};
+pub use wheel::TimingWheel;
 pub use wire::Heartbeat;

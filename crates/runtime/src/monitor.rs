@@ -21,7 +21,10 @@ use crate::clock::WallClock;
 use crate::transport::HeartbeatSource;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
+use sfd_core::error::CoreResult;
+use sfd_core::monitor::{Monitor, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
+use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::SuspicionLog;
 use sfd_core::time::{Duration, Instant};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,28 +47,30 @@ impl Default for MonitorConfig {
     }
 }
 
-/// A point-in-time view of the monitor.
+/// A point-in-time view of the monitor: the crate-wide per-stream
+/// [`StreamSnapshot`] plus the service-level counters only a live
+/// monitor has.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatusSnapshot {
     /// Query time on the monitor's clock.
     pub now: Instant,
-    /// Is the monitored process currently suspected?
-    pub suspect: bool,
-    /// Arrival of the most recent heartbeat.
-    pub last_heartbeat: Option<Instant>,
-    /// Heartbeats received so far.
-    pub heartbeats: u64,
+    /// The monitored stream's state (shared snapshot type of the
+    /// [`Monitor`] trait). `stream` is `0` until the first heartbeat
+    /// binds the wire id.
+    pub stream: StreamSnapshot,
     /// Wrong suspicions observed so far (suspicion periods that ended
     /// with the process provably alive).
     pub mistakes: u64,
-    /// Current freshness point, if past warm-up.
-    pub freshness_point: Option<Instant>,
     /// Feedback epochs completed.
     pub epochs: u64,
 }
 
 struct State<D> {
     detector: D,
+    /// Wire stream id this monitor is bound to: set by
+    /// [`Monitor::register`] or by the first heartbeat seen, after which
+    /// heartbeats from other streams are ignored.
+    stream: Option<u64>,
     log: SuspicionLog,
     last_state: bool,
     last_heartbeat: Option<Instant>,
@@ -112,6 +117,7 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
         let clock = WallClock::new();
         let state = Arc::new(Mutex::new(State {
             detector,
+            stream: None,
             log: SuspicionLog::new(),
             last_state: false,
             last_heartbeat: None,
@@ -148,6 +154,11 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
                         st.last_state = pre;
                     }
 
+                    // First heartbeat binds the stream id; later
+                    // heartbeats from other streams are not ours.
+                    let received =
+                        received.filter(|hb| *st.stream.get_or_insert(hb.stream) == hb.stream);
+
                     if let Some(hb) = received {
                         if pre {
                             // The process just proved it is alive: the
@@ -163,8 +174,7 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
                         }
 
                         // Live TD sample against the anchored send clock.
-                        let offset =
-                            *st.offset_nanos.get_or_insert(now.as_nanos() - hb.sent_nanos);
+                        let offset = *st.offset_nanos.get_or_insert(now.as_nanos() - hb.sent_nanos);
                         if let Some(fp) = st.detector.freshness_point() {
                             if fp != Instant::FAR_FUTURE {
                                 let send_est = Instant::from_nanos(hb.sent_nanos + offset);
@@ -180,9 +190,7 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
                         if now - start >= epoch_len {
                             let mut qos = st.log.accuracy_summary(start, now);
                             qos.detection_time = if st.epoch_td_count > 0 {
-                                Duration::from_secs_f64(
-                                    st.epoch_td_sum / st.epoch_td_count as f64,
-                                )
+                                Duration::from_secs_f64(st.epoch_td_sum / st.epoch_td_count as f64)
                             } else {
                                 Duration::ZERO
                             };
@@ -206,16 +214,22 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
     pub fn status(&self) -> StatusSnapshot {
         let now = self.clock.now();
         let st = self.state.lock();
-        let suspect = st.detector.is_suspect(now);
         StatusSnapshot {
             now,
-            suspect,
-            last_heartbeat: st.last_heartbeat,
-            heartbeats: st.heartbeats,
-            mistakes: st.finished_mistakes
-                + st.log.mistakes_in(Instant::ZERO, Instant::FAR_FUTURE),
-            freshness_point: st.detector.freshness_point(),
+            stream: Self::stream_snapshot(&st, now),
+            mistakes: st.finished_mistakes + st.log.mistakes_in(Instant::ZERO, Instant::FAR_FUTURE),
             epochs: st.epochs,
+        }
+    }
+
+    fn stream_snapshot(st: &State<D>, now: Instant) -> StreamSnapshot {
+        StreamSnapshot {
+            stream: st.stream.unwrap_or(0),
+            suspect: st.detector.is_suspect(now),
+            suspicion: None,
+            heartbeats: st.heartbeats,
+            last_heartbeat: st.last_heartbeat,
+            freshness_point: st.detector.freshness_point(),
         }
     }
 
@@ -244,6 +258,78 @@ impl<D> Drop for MonitorService<D> {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// A monitor service over a boxed registry-built detector: the shape
+/// needed to implement [`Monitor`], whose `register` swaps in a detector
+/// built from a [`DetectorSpec`] at run time.
+pub type DynMonitorService = MonitorService<Box<dyn FailureDetector + Send>>;
+
+/// The single-stream service as a [`Monitor`]: it watches at most one
+/// stream, so `register` rebinds which stream (and detector) that is.
+impl Monitor for DynMonitorService {
+    fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
+        let detector = spec.build()?;
+        let mut st = self.state.lock();
+        st.detector = detector;
+        st.stream = Some(stream);
+        st.log.clear();
+        st.last_state = false;
+        st.last_heartbeat = None;
+        st.heartbeats = 0;
+        st.finished_mistakes = 0;
+        st.offset_nanos = None;
+        st.epoch_start = None;
+        st.epoch_td_sum = 0.0;
+        st.epoch_td_count = 0;
+        Ok(())
+    }
+
+    fn deregister(&mut self, stream: u64) -> bool {
+        let mut st = self.state.lock();
+        if st.stream != Some(stream) {
+            return false;
+        }
+        st.stream = None;
+        st.detector.reset();
+        st.log.clear();
+        st.last_state = false;
+        st.last_heartbeat = None;
+        st.heartbeats = 0;
+        st.offset_nanos = None;
+        st.epoch_start = None;
+        st.epoch_td_sum = 0.0;
+        st.epoch_td_count = 0;
+        true
+    }
+
+    fn watched(&self) -> usize {
+        usize::from(self.state.lock().stream.is_some())
+    }
+
+    fn snapshot(&self, stream: u64, now: Instant) -> Option<StreamSnapshot> {
+        let st = self.state.lock();
+        (st.stream == Some(stream)).then(|| Self::stream_snapshot(&st, now))
+    }
+
+    fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
+        let st = self.state.lock();
+        st.stream.is_some().then(|| Self::stream_snapshot(&st, now)).into_iter().collect()
+    }
+
+    fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
+        let mut st = self.state.lock();
+        if st.stream != Some(stream) {
+            return false;
+        }
+        match st.detector.self_tuning() {
+            Some(tuner) => {
+                let _ = tuner.apply_feedback(measured);
+                true
+            }
+            None => false,
         }
     }
 }
@@ -277,14 +363,15 @@ mod tests {
 
         std::thread::sleep(std::time::Duration::from_millis(150));
         let s = monitor.status();
-        assert!(s.heartbeats > 10, "heartbeats {}", s.heartbeats);
-        assert!(!s.suspect, "should trust a live sender");
-        assert!(s.last_heartbeat.is_some());
+        assert!(s.stream.heartbeats > 10, "heartbeats {}", s.stream.heartbeats);
+        assert!(!s.stream.suspect, "should trust a live sender");
+        assert!(s.stream.last_heartbeat.is_some());
+        assert_eq!(s.stream.stream, 1, "first heartbeat binds the wire id");
 
         sender.crash();
         std::thread::sleep(std::time::Duration::from_millis(200));
         let s = monitor.status();
-        assert!(s.suspect, "should suspect after crash (fp {:?})", s.freshness_point);
+        assert!(s.stream.suspect, "should suspect after crash (fp {:?})", s.stream.freshness_point);
         monitor.stop();
     }
 
@@ -340,10 +427,7 @@ mod tests {
         assert!(s.epochs >= 3, "epochs {}", s.epochs);
         // Margin must have been pulled down toward the 200 ms TD budget.
         let margin = monitor.with_detector(|d| d.margin());
-        assert!(
-            margin < Duration::from_millis(400),
-            "margin should shrink, still {margin}"
-        );
+        assert!(margin < Duration::from_millis(400), "margin should shrink, still {margin}");
         monitor.stop();
     }
 

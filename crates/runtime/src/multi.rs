@@ -1,52 +1,300 @@
-//! One-monitors-multiple over a single transport: heartbeats from many
-//! senders (distinguished by the wire `stream` id) arrive on one socket
-//! and are demultiplexed to per-stream detectors.
+//! One-monitors-multiple over a single transport, at scale: heartbeats
+//! from many senders (distinguished by the wire `stream` id) arrive on
+//! one socket and are demultiplexed to per-stream detectors.
 //!
 //! This is the live-runtime realisation of the paper's "one monitors
-//! multiple" claim: because heartbeat streams are independent, the
-//! monitor simply runs one detector per stream ("based on the parallel
-//! theory"). Streams can be registered and deregistered at run time;
-//! heartbeats for unknown streams are counted but ignored (a node that
-//! was just decommissioned keeps sending for a while).
+//! multiple" claim (Sec. IV-C2): heartbeat streams are independent, so
+//! the monitor runs one detector per stream. What the paper leaves open
+//! is how a single monitor keeps up with *many* streams; this module
+//! answers with two structural moves:
+//!
+//! * **Sharding** — streams are partitioned by id hash across `N`
+//!   independent [`ShardCore`]s, each behind its own lock, so status
+//!   queries and ingest on different shards never contend.
+//! * **Expiry scheduling** — instead of re-scanning every detector on
+//!   every poll tick (O(streams) per tick), each shard schedules each
+//!   stream's freshness point `τ` in a hierarchical [`TimingWheel`] and
+//!   only touches streams whose timers fire; a heartbeat arrival re-arms
+//!   the stream's timer. Per tick, work is O(expiries), not O(streams).
+//!
+//! Ingest is **batched**: the service thread drains the transport into
+//! per-shard batches and takes each shard lock once per batch, so lock
+//! acquisitions scale with shards, not heartbeats.
+//!
+//! [`ShardCore`] is the single-threaded engine (also driven directly by
+//! benches and property tests on simulated time); [`MultiMonitorService`]
+//! wraps a shard array with a transport-draining service thread. Both
+//! implement the crate-wide [`Monitor`] trait.
 
 use crate::clock::WallClock;
+use crate::monitor::MonitorConfig;
 use crate::transport::HeartbeatSource;
+use crate::wheel::TimingWheel;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
+use sfd_core::error::CoreResult;
+use sfd_core::monitor::{Monitor, StreamSnapshot};
+use sfd_core::qos::QosMeasured;
 use sfd_core::registry::DetectorSpec;
+use sfd_core::suspicion::{SuspicionLog, Transition};
 use sfd_core::time::{Duration, Instant};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Status of one monitored stream.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StreamStatus {
-    /// The stream id.
-    pub stream: u64,
-    /// Is the stream's sender currently suspected?
-    pub suspect: bool,
-    /// Heartbeats received on this stream.
-    pub heartbeats: u64,
-    /// Arrival of the most recent heartbeat.
-    pub last_heartbeat: Option<Instant>,
-    /// Current freshness point, if past warm-up.
-    pub freshness_point: Option<Instant>,
+/// How a shard discovers that freshness points have passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpiryPolicy {
+    /// Brute force: every [`advance`](ShardCore::advance) re-examines
+    /// every stream. O(streams) per tick; the pre-redesign behaviour,
+    /// kept as the property-test oracle and bench baseline.
+    Scan,
+    /// Timing wheel: only streams whose scheduled `τ` fired are touched.
+    /// O(expiries) per tick.
+    Wheel,
+}
+
+/// Most heartbeats drained from the transport per service-loop pass, so
+/// status queries are never starved behind an ingest flood.
+const BATCH_CAP: usize = 1024;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 struct StreamState {
     detector: Box<dyn FailureDetector + Send>,
     heartbeats: u64,
     last_heartbeat: Option<Instant>,
+    /// Binary output as of the last heartbeat/advance, driving the
+    /// transition log. Snapshots recompute exactly from the detector.
+    suspect: bool,
+    log: SuspicionLog,
+}
+
+/// One shard of the multi-stream monitor: a detector map plus the expiry
+/// machinery, single-threaded and I/O-free.
+///
+/// All operations take an explicit `now`, so the same engine runs under
+/// the live service thread (wall clock) and under simulated time in
+/// benches and the wheel-vs-scan equivalence property test.
+pub struct ShardCore {
+    policy: ExpiryPolicy,
+    streams: HashMap<u64, StreamState>,
+    wheel: TimingWheel,
+}
+
+impl ShardCore {
+    /// An empty shard. `wheel_tick` is the wheel's slot granularity
+    /// (ignored under [`ExpiryPolicy::Scan`]); firing precision is exact
+    /// regardless — see [`TimingWheel`].
+    pub fn new(policy: ExpiryPolicy, wheel_tick: Duration) -> ShardCore {
+        ShardCore { policy, streams: HashMap::new(), wheel: TimingWheel::new(wheel_tick) }
+    }
+
+    /// Is `stream` registered here?
+    pub fn contains(&self, stream: u64) -> bool {
+        self.streams.contains_key(&stream)
+    }
+
+    /// Feed one heartbeat. Returns `false` if the stream is unknown
+    /// (the caller counts those). Re-arms the stream's expiry timer.
+    pub fn heartbeat(&mut self, stream: u64, seq: u64, now: Instant) -> bool {
+        let Some(st) = self.streams.get_mut(&stream) else {
+            return false;
+        };
+        if st.suspect {
+            // The process just proved it is alive: the suspicion period
+            // was wrong and is over.
+            st.suspect = false;
+            st.log.record(now, false);
+        }
+        st.detector.heartbeat(seq, now);
+        st.heartbeats += 1;
+        st.last_heartbeat = Some(now);
+        if self.policy == ExpiryPolicy::Wheel {
+            match st.detector.freshness_point() {
+                Some(fp) => self.wheel.schedule(stream, fp),
+                None => {
+                    self.wheel.cancel(stream);
+                }
+            }
+        }
+        true
+    }
+
+    /// Advance to `now`, recording any trust→suspect transitions whose
+    /// freshness point has passed. Returns how many streams became
+    /// suspect. `now` must be non-decreasing across calls.
+    pub fn advance(&mut self, now: Instant) -> usize {
+        match self.policy {
+            ExpiryPolicy::Scan => {
+                let mut newly = 0;
+                for st in self.streams.values_mut() {
+                    let s = st.detector.is_suspect(now);
+                    if s != st.suspect {
+                        st.suspect = s;
+                        st.log.record(now, s);
+                        newly += usize::from(s);
+                    }
+                }
+                newly
+            }
+            ExpiryPolicy::Wheel => {
+                let fired = self.wheel.advance(now);
+                let mut newly = 0;
+                for stream in fired {
+                    // A fired timer is exactly `τ < now`, i.e. is_suspect.
+                    if let Some(st) = self.streams.get_mut(&stream) {
+                        if !st.suspect {
+                            st.suspect = true;
+                            st.log.record(now, true);
+                            newly += 1;
+                        }
+                    }
+                }
+                newly
+            }
+        }
+    }
+
+    /// Deliver per-stream accuracy feedback for the epoch `[start, now]`
+    /// to every self-tuning detector, then roll the transition logs over.
+    pub fn apply_epoch_feedback(&mut self, start: Instant, now: Instant) {
+        let mut resync = Vec::new();
+        for (&stream, st) in self.streams.iter_mut() {
+            if let Some(tuner) = st.detector.self_tuning() {
+                let measured = st.log.accuracy_summary(start, now);
+                let _ = tuner.apply_feedback(&measured);
+                resync.push(stream);
+            }
+            st.log.truncate_before(now);
+        }
+        // Feedback moves the margin, which moves τ without a heartbeat:
+        // re-derive the binary output and re-arm the timers it stales.
+        for stream in resync {
+            self.resync(stream, now);
+        }
+    }
+
+    /// Epoch feedback for a single stream (the [`Monitor`] hook).
+    /// Returns `false` if the stream is unknown or not self-tuning.
+    pub fn feedback(&mut self, stream: u64, measured: &QosMeasured, now: Instant) -> bool {
+        let Some(st) = self.streams.get_mut(&stream) else {
+            return false;
+        };
+        let Some(tuner) = st.detector.self_tuning() else {
+            return false;
+        };
+        let _ = tuner.apply_feedback(measured);
+        self.resync(stream, now);
+        true
+    }
+
+    /// After anything other than a heartbeat mutates a detector, re-derive
+    /// the cached binary output and re-arm the wheel from the new `τ`.
+    fn resync(&mut self, stream: u64, now: Instant) {
+        let Some(st) = self.streams.get_mut(&stream) else {
+            return;
+        };
+        let s = st.detector.is_suspect(now);
+        if s != st.suspect {
+            st.suspect = s;
+            st.log.record(now, s);
+        }
+        if self.policy == ExpiryPolicy::Wheel {
+            match (s, st.detector.freshness_point()) {
+                // Already suspect: nothing left to fire.
+                (true, _) | (false, None) => {
+                    self.wheel.cancel(stream);
+                }
+                (false, Some(fp)) => self.wheel.schedule(stream, fp),
+            }
+        }
+    }
+
+    /// Transition log of one stream (oracle surface for equivalence
+    /// tests). `None` if the stream is unknown.
+    pub fn transitions(&self, stream: u64) -> Option<&[Transition]> {
+        self.streams.get(&stream).map(|st| st.log.transitions())
+    }
+
+    fn snapshot_inner(&self, stream: u64, st: &StreamState, now: Instant) -> StreamSnapshot {
+        StreamSnapshot {
+            stream,
+            suspect: st.detector.is_suspect(now),
+            suspicion: None,
+            heartbeats: st.heartbeats,
+            last_heartbeat: st.last_heartbeat,
+            freshness_point: st.detector.freshness_point(),
+        }
+    }
+}
+
+impl Monitor for ShardCore {
+    fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
+        let detector = spec.build()?;
+        self.streams.insert(
+            stream,
+            StreamState {
+                detector,
+                heartbeats: 0,
+                last_heartbeat: None,
+                suspect: false,
+                log: SuspicionLog::new(),
+            },
+        );
+        // A fresh detector is in warm-up (no τ yet); the first heartbeat
+        // arms the timer. Any stale timer for a replaced stream dies here.
+        self.wheel.cancel(stream);
+        Ok(())
+    }
+
+    fn deregister(&mut self, stream: u64) -> bool {
+        self.wheel.cancel(stream);
+        self.streams.remove(&stream).is_some()
+    }
+
+    fn watched(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn snapshot(&self, stream: u64, now: Instant) -> Option<StreamSnapshot> {
+        self.streams.get(&stream).map(|st| self.snapshot_inner(stream, st, now))
+    }
+
+    fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
+        self.streams.iter().map(|(&stream, st)| self.snapshot_inner(stream, st, now)).collect()
+    }
+
+    fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
+        // Without a service clock the best re-sync instant we have is the
+        // stream's last recorded activity.
+        let now =
+            self.streams.get(&stream).and_then(|st| st.last_heartbeat).unwrap_or(Instant::ZERO);
+        ShardCore::feedback(self, stream, measured, now)
+    }
 }
 
 struct Shared {
-    streams: Mutex<BTreeMap<u64, StreamState>>,
+    shards: Vec<Mutex<ShardCore>>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: u64,
     unknown_heartbeats: AtomicU64,
 }
 
-/// A monitor service demultiplexing one transport to many detectors.
+impl Shared {
+    fn shard_of(&self, stream: u64) -> &Mutex<ShardCore> {
+        &self.shards[(splitmix64(stream) & self.mask) as usize]
+    }
+}
+
+/// A monitor service demultiplexing one transport to many detectors,
+/// sharded and expiry-scheduled.
 pub struct MultiMonitorService {
     shared: Arc<Shared>,
     clock: WallClock,
@@ -55,13 +303,33 @@ pub struct MultiMonitorService {
 }
 
 impl MultiMonitorService {
-    /// Spawn the service on `source`, polling at `poll_interval`.
-    pub fn spawn<S: HeartbeatSource + 'static>(
+    /// Spawn the service on `source` with the shared [`MonitorConfig`]:
+    /// wheel expiry, one shard per available core (capped at 64).
+    pub fn spawn_with_config<S: HeartbeatSource + 'static>(
         source: S,
-        poll_interval: Duration,
+        cfg: MonitorConfig,
     ) -> MultiMonitorService {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .next_power_of_two()
+            .min(64);
+        Self::spawn_sharded(source, cfg, shards, ExpiryPolicy::Wheel)
+    }
+
+    /// Spawn with an explicit shard count (rounded up to a power of two)
+    /// and expiry policy.
+    pub fn spawn_sharded<S: HeartbeatSource + 'static>(
+        source: S,
+        cfg: MonitorConfig,
+        shards: usize,
+        policy: ExpiryPolicy,
+    ) -> MultiMonitorService {
+        let nshards = shards.max(1).next_power_of_two();
+        let wheel_tick = Duration::from_millis(1);
         let shared = Arc::new(Shared {
-            streams: Mutex::new(BTreeMap::new()),
+            shards: (0..nshards).map(|_| Mutex::new(ShardCore::new(policy, wheel_tick))).collect(),
+            mask: nshards as u64 - 1,
             unknown_heartbeats: AtomicU64::new(0),
         });
         let clock = WallClock::new();
@@ -73,22 +341,55 @@ impl MultiMonitorService {
         let handle = std::thread::Builder::new()
             .name("sfd-multi-monitor".into())
             .spawn(move || {
-                while !t_stop.load(Ordering::Relaxed) {
-                    let received = match source.recv(poll_interval) {
-                        Ok(r) => r,
-                        Err(_) => break,
-                    };
-                    let Some(hb) = received else { continue };
-                    let now = t_clock.now();
-                    let mut streams = t_shared.streams.lock();
-                    match streams.get_mut(&hb.stream) {
-                        Some(st) => {
-                            st.detector.heartbeat(hb.seq, now);
-                            st.heartbeats += 1;
-                            st.last_heartbeat = Some(now);
+                let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nshards];
+                let mut epoch_start = t_clock.now();
+                let mut dead = false;
+                while !dead && !t_stop.load(Ordering::Relaxed) {
+                    // Drain the transport into per-shard batches: one
+                    // blocking poll, then whatever is already queued.
+                    let mut drained = 0usize;
+                    loop {
+                        let timeout = if drained == 0 { cfg.poll_interval } else { Duration::ZERO };
+                        match source.recv(timeout) {
+                            Ok(Some(hb)) => {
+                                let idx = (splitmix64(hb.stream) & t_shared.mask) as usize;
+                                buckets[idx].push((hb.stream, hb.seq));
+                                drained += 1;
+                                if drained >= BATCH_CAP {
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                dead = true; // transport gone; flush and exit
+                                break;
+                            }
                         }
-                        None => {
-                            t_shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                    }
+
+                    let now = t_clock.now();
+                    if drained > 0 {
+                        for (idx, bucket) in buckets.iter_mut().enumerate() {
+                            if bucket.is_empty() {
+                                continue;
+                            }
+                            let mut shard = t_shared.shards[idx].lock();
+                            for (stream, seq) in bucket.drain(..) {
+                                if !shard.heartbeat(stream, seq, now) {
+                                    t_shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    for shard in &t_shared.shards {
+                        shard.lock().advance(now);
+                    }
+                    if let Some(epoch_len) = cfg.epoch {
+                        if now - epoch_start >= epoch_len {
+                            for shard in &t_shared.shards {
+                                shard.lock().apply_epoch_feedback(epoch_start, now);
+                            }
+                            epoch_start = now;
                         }
                     }
                 }
@@ -98,25 +399,33 @@ impl MultiMonitorService {
         MultiMonitorService { shared, clock, stop, handle: Some(handle) }
     }
 
+    /// Spawn the service on `source`, polling at `poll_interval`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use spawn_with_config(source, MonitorConfig { poll_interval, .. }) \
+                so both runtime entry points share one config type"
+    )]
+    pub fn spawn<S: HeartbeatSource + 'static>(
+        source: S,
+        poll_interval: Duration,
+    ) -> MultiMonitorService {
+        Self::spawn_with_config(source, MonitorConfig { poll_interval, ..MonitorConfig::default() })
+    }
+
     /// Register a stream with a detector built from `spec`. Replaces any
     /// existing registration for the id.
-    pub fn watch(&self, stream: u64, spec: &DetectorSpec) -> sfd_core::error::CoreResult<()> {
-        let detector = spec.build()?;
-        self.shared.streams.lock().insert(
-            stream,
-            StreamState { detector, heartbeats: 0, last_heartbeat: None },
-        );
-        Ok(())
+    pub fn watch(&self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
+        self.shared.shard_of(stream).lock().register(stream, spec)
     }
 
     /// Deregister a stream. Returns `false` if it was not watched.
     pub fn unwatch(&self, stream: u64) -> bool {
-        self.shared.streams.lock().remove(&stream).is_some()
+        self.shared.shard_of(stream).lock().deregister(stream)
     }
 
     /// Number of watched streams.
     pub fn watched(&self) -> usize {
-        self.shared.streams.lock().len()
+        self.shared.shards.iter().map(|s| s.lock().watched()).sum()
     }
 
     /// Heartbeats that arrived for unregistered streams.
@@ -124,34 +433,24 @@ impl MultiMonitorService {
         self.shared.unknown_heartbeats.load(Ordering::Relaxed)
     }
 
-    /// Status of one stream (`None` if not watched).
-    pub fn status(&self, stream: u64) -> Option<StreamStatus> {
+    /// Snapshot one stream now (`None` if not watched).
+    pub fn status(&self, stream: u64) -> Option<StreamSnapshot> {
         let now = self.clock.now();
-        let streams = self.shared.streams.lock();
-        streams.get(&stream).map(|st| StreamStatus {
-            stream,
-            suspect: st.detector.is_suspect(now),
-            heartbeats: st.heartbeats,
-            last_heartbeat: st.last_heartbeat,
-            freshness_point: st.detector.freshness_point(),
-        })
+        self.shared.shard_of(stream).lock().snapshot(stream, now)
     }
 
-    /// Status snapshot of every watched stream.
-    pub fn statuses(&self) -> Vec<StreamStatus> {
+    /// Snapshot every watched stream now.
+    pub fn statuses(&self) -> Vec<StreamSnapshot> {
         let now = self.clock.now();
-        self.shared
-            .streams
-            .lock()
-            .iter()
-            .map(|(&stream, st)| StreamStatus {
-                stream,
-                suspect: st.detector.is_suspect(now),
-                heartbeats: st.heartbeats,
-                last_heartbeat: st.last_heartbeat,
-                freshness_point: st.detector.freshness_point(),
-            })
-            .collect()
+        let mut all: Vec<StreamSnapshot> =
+            self.shared.shards.iter().flat_map(|s| s.lock().snapshot_all(now)).collect();
+        all.sort_unstable_by_key(|s| s.stream);
+        all
+    }
+
+    /// The monitor's clock (shares its epoch with snapshot timestamps).
+    pub fn clock(&self) -> &WallClock {
+        &self.clock
     }
 
     /// Stop the service thread.
@@ -160,6 +459,36 @@ impl MultiMonitorService {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+impl Monitor for MultiMonitorService {
+    fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
+        self.watch(stream, spec)
+    }
+
+    fn deregister(&mut self, stream: u64) -> bool {
+        self.unwatch(stream)
+    }
+
+    fn watched(&self) -> usize {
+        MultiMonitorService::watched(self)
+    }
+
+    fn snapshot(&self, stream: u64, now: Instant) -> Option<StreamSnapshot> {
+        self.shared.shard_of(stream).lock().snapshot(stream, now)
+    }
+
+    fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
+        let mut all: Vec<StreamSnapshot> =
+            self.shared.shards.iter().flat_map(|s| s.lock().snapshot_all(now)).collect();
+        all.sort_unstable_by_key(|s| s.stream);
+        all
+    }
+
+    fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
+        let now = self.clock.now();
+        self.shared.shard_of(stream).lock().feedback(stream, measured, now)
     }
 }
 
@@ -177,7 +506,7 @@ mod tests {
     use super::*;
     use crate::sender::{HeartbeatSender, SenderConfig};
     use crate::transport::{HeartbeatSink, MemoryTransport};
-    
+
     /// Fan-in sink: several senders share one channel.
     #[derive(Clone)]
     struct SharedSink(Arc<crate::transport::MemorySink>);
@@ -202,11 +531,15 @@ mod tests {
         }
     }
 
+    fn cfg() -> MonitorConfig {
+        MonitorConfig { poll_interval: Duration::from_millis(1), ..Default::default() }
+    }
+
     #[test]
     fn demultiplexes_streams_and_detects_single_crash() {
         let (sink, source) = MemoryTransport::perfect();
         let sink = Arc::new(sink);
-        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        let mut monitor = MultiMonitorService::spawn_with_config(source, cfg());
         monitor.watch(1, &spec()).unwrap();
         monitor.watch(2, &spec()).unwrap();
         assert_eq!(monitor.watched(), 2);
@@ -238,10 +571,28 @@ mod tests {
     }
 
     #[test]
+    fn scan_policy_detects_the_same_crash() {
+        let (sink, source) = MemoryTransport::perfect();
+        let sink = Arc::new(sink);
+        let mut monitor = MultiMonitorService::spawn_sharded(source, cfg(), 2, ExpiryPolicy::Scan);
+        monitor.watch(1, &spec()).unwrap();
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        assert!(!monitor.status(1).unwrap().suspect);
+        sender.crash();
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        assert!(monitor.status(1).unwrap().suspect);
+        monitor.stop();
+    }
+
+    #[test]
     fn unknown_streams_are_counted_not_crashing() {
         let (sink, source) = MemoryTransport::perfect();
         let sink = Arc::new(sink);
-        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        let mut monitor = MultiMonitorService::spawn_with_config(source, cfg());
         // Nothing registered: all heartbeats are "unknown".
         let _sender = HeartbeatSender::spawn(
             SenderConfig { stream: 99, interval: Duration::from_millis(5) },
@@ -256,18 +607,74 @@ mod tests {
     #[test]
     fn watch_unwatch_lifecycle() {
         let (_sink, source) = MemoryTransport::perfect();
-        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        let mut monitor = MultiMonitorService::spawn_with_config(source, cfg());
         monitor.watch(7, &spec()).unwrap();
         assert!(monitor.status(7).is_some());
         assert!(monitor.unwatch(7));
         assert!(!monitor.unwatch(7));
         assert!(monitor.status(7).is_none());
         // Invalid spec is rejected without panicking.
-        let bad = DetectorSpec::Chen(sfd_core::chen::ChenConfig {
-            window: 0,
-            ..Default::default()
-        });
+        let bad =
+            DetectorSpec::Chen(sfd_core::chen::ChenConfig { window: 0, ..Default::default() });
         assert!(monitor.watch(8, &bad).is_err());
         monitor.stop();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spawn_still_works() {
+        let (_sink, source) = MemoryTransport::perfect();
+        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
+        monitor.watch(1, &spec()).unwrap();
+        assert_eq!(monitor.watched(), 1);
+        monitor.stop();
+    }
+
+    #[test]
+    fn monitor_trait_surface_on_the_service() {
+        let (_sink, source) = MemoryTransport::perfect();
+        let mut monitor = MultiMonitorService::spawn_with_config(source, cfg());
+        let m: &mut dyn Monitor = &mut monitor;
+        m.register(3, &spec()).unwrap();
+        m.register(4, &spec()).unwrap();
+        let now = Instant::from_millis(1);
+        assert_eq!(m.snapshot_all(now).len(), 2);
+        assert_eq!(m.snapshot(3, now).unwrap().stream, 3);
+        assert_eq!(m.is_suspect(3, now), Some(false), "warm-up trusts");
+        // SFD detectors accept feedback through the trait hook.
+        assert!(m.feedback(3, &QosMeasured::empty()));
+        assert!(!m.feedback(99, &QosMeasured::empty()));
+        assert!(m.deregister(4));
+        assert_eq!(m.watched(), 1);
+        monitor.stop();
+    }
+
+    #[test]
+    fn shard_core_drives_on_simulated_time() {
+        let interval = Duration::from_millis(100);
+        let mut core = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+        core.register(
+            1,
+            &DetectorSpec::default_for(sfd_core::detector::DetectorKind::Chen, interval),
+        )
+        .unwrap();
+        for i in 0..50u64 {
+            let at = Instant::from_millis((i as i64 + 1) * 100);
+            assert!(core.heartbeat(1, i, at));
+            core.advance(at);
+        }
+        assert!(!core.heartbeat(9, 0, Instant::from_millis(5_000)), "unknown stream");
+        assert!(!core.snapshot(1, Instant::from_millis(5_050)).unwrap().suspect);
+        // Silence: the wheel fires and the transition is logged once.
+        assert_eq!(core.advance(Instant::from_millis(60_000)), 1);
+        assert_eq!(core.advance(Instant::from_millis(61_000)), 0);
+        let tr = core.transitions(1).unwrap();
+        assert_eq!(tr.len(), 1);
+        assert!(tr[0].suspect);
+        // The next heartbeat logs the trust transition and re-arms.
+        assert!(core.heartbeat(1, 50, Instant::from_millis(61_500)));
+        let tr = core.transitions(1).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert!(!tr[1].suspect);
     }
 }

@@ -65,26 +65,24 @@ impl EchoResponder {
         let reflected = Arc::new(AtomicU64::new(0));
         let t_stop = stop.clone();
         let t_reflected = reflected.clone();
-        let handle = std::thread::Builder::new()
-            .name("sfd-echo".into())
-            .spawn(move || {
-                let mut buf = [0u8; 64];
-                while !t_stop.load(Ordering::Relaxed) {
-                    match socket.recv_from(&mut buf) {
-                        Ok((n, from)) => {
-                            if decode_probe(&buf[..n]).is_some()
-                                && socket.send_to(&buf[..n], from).is_ok()
-                            {
-                                t_reflected.fetch_add(1, Ordering::Relaxed);
-                            }
+        let handle = std::thread::Builder::new().name("sfd-echo".into()).spawn(move || {
+            let mut buf = [0u8; 64];
+            while !t_stop.load(Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, from)) => {
+                        if decode_probe(&buf[..n]).is_some()
+                            && socket.send_to(&buf[..n], from).is_ok()
+                        {
+                            t_reflected.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut => {}
-                        Err(_) => break,
                     }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
                 }
-            })?;
+            }
+        })?;
         Ok(EchoResponder { stop, reflected, local, handle: Some(handle) })
     }
 
@@ -169,35 +167,33 @@ impl RttProbe {
         let t_sent = sent.clone();
         let t_state = state.clone();
         let t_clock = clock.clone();
-        let handle = std::thread::Builder::new()
-            .name("sfd-rtt-probe".into())
-            .spawn(move || {
-                let mut id = 0u64;
-                let mut next_send = t_clock.now();
-                let mut buf = [0u8; 64];
-                while !t_stop.load(Ordering::Relaxed) {
-                    let now = t_clock.now();
-                    if now >= next_send {
-                        let _ = socket.send(&encode_probe(id, now.as_nanos()));
-                        id += 1;
-                        t_sent.store(id, Ordering::Relaxed);
-                        next_send += interval;
-                    }
-                    // Drain any echoes.
-                    while let Ok(n) = socket.recv(&mut buf) {
-                        if let Some((_, sent_nanos)) = decode_probe(&buf[..n]) {
-                            let now = t_clock.now();
-                            let rtt = now - Instant::from_nanos(sent_nanos);
-                            if !rtt.is_negative() {
-                                let mut st = t_state.lock();
-                                st.rtt.push(rtt.as_secs_f64());
-                                st.received += 1;
-                                st.last_echo = Some(now);
-                            }
+        let handle = std::thread::Builder::new().name("sfd-rtt-probe".into()).spawn(move || {
+            let mut id = 0u64;
+            let mut next_send = t_clock.now();
+            let mut buf = [0u8; 64];
+            while !t_stop.load(Ordering::Relaxed) {
+                let now = t_clock.now();
+                if now >= next_send {
+                    let _ = socket.send(&encode_probe(id, now.as_nanos()));
+                    id += 1;
+                    t_sent.store(id, Ordering::Relaxed);
+                    next_send += interval;
+                }
+                // Drain any echoes.
+                while let Ok(n) = socket.recv(&mut buf) {
+                    if let Some((_, sent_nanos)) = decode_probe(&buf[..n]) {
+                        let now = t_clock.now();
+                        let rtt = now - Instant::from_nanos(sent_nanos);
+                        if !rtt.is_negative() {
+                            let mut st = t_state.lock();
+                            st.rtt.push(rtt.as_secs_f64());
+                            st.received += 1;
+                            st.last_echo = Some(now);
                         }
                     }
                 }
-            })?;
+            }
+        })?;
         Ok(RttProbe { stop, sent, state, clock, interval, handle: Some(handle) })
     }
 
@@ -272,9 +268,8 @@ mod tests {
     fn dead_target_reports_disconnected() {
         // Probe a bound-but-silent socket: no echoes ever.
         let silent = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
-        let mut probe =
-            RttProbe::spawn(silent.local_addr().unwrap(), Duration::from_millis(20))
-                .expect("probe");
+        let mut probe = RttProbe::spawn(silent.local_addr().unwrap(), Duration::from_millis(20))
+            .expect("probe");
         std::thread::sleep(std::time::Duration::from_millis(200));
         let r = probe.report();
         assert!(r.sent >= 5);

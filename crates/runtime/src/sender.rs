@@ -44,11 +44,8 @@ impl HeartbeatSender {
                 let mut seq = 0u64;
                 let mut next = clock.now();
                 while !thread_stop.load(Ordering::Relaxed) {
-                    let hb = Heartbeat {
-                        stream: cfg.stream,
-                        seq,
-                        sent_nanos: clock.now().as_nanos(),
-                    };
+                    let hb =
+                        Heartbeat { stream: cfg.stream, seq, sent_nanos: clock.now().as_nanos() };
                     if sink.send(hb).is_err() {
                         break; // transport gone: nothing left to do
                     }

@@ -85,13 +85,13 @@ impl UdpSource {
 
 impl HeartbeatSource for UdpSource {
     fn recv(&self, timeout: Duration) -> io::Result<Option<Heartbeat>> {
-        self.socket.set_read_timeout(Some(timeout.to_std().max(std::time::Duration::from_millis(1))))?;
+        self.socket
+            .set_read_timeout(Some(timeout.to_std().max(std::time::Duration::from_millis(1))))?;
         let mut buf = [0u8; WIRE_SIZE + 16];
         match self.socket.recv(&mut buf) {
             Ok(n) => Ok(Heartbeat::decode(&buf[..n])),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }

@@ -1,0 +1,312 @@
+//! Hierarchical timing wheel for freshness-point expiry.
+//!
+//! The paper's monitor decides suspicion by comparing `now` against each
+//! stream's freshness point `τ` (Fig. 2). A naive multi-stream monitor
+//! re-derives that comparison for *every* stream on *every* poll tick —
+//! O(streams) work per tick even when nothing changed. At the scale the
+//! ROADMAP targets, the monitor must instead schedule each stream's `τ`
+//! as a timer and only touch streams whose timers fire; a heartbeat
+//! arrival re-arms the stream's timer rather than being rediscovered by
+//! polling.
+//!
+//! This wheel is the classic hashed hierarchical design (Varghese &
+//! Lauck): [`LEVELS`] levels of 64 slots each, level `l` spanning
+//! `64^(l+1)` ticks, entries cascading to lower levels as their deadline
+//! era approaches. All operations are O(1) amortised; `advance` is
+//! O(ticks elapsed + entries fired).
+//!
+//! Re-arming and cancellation are **lazy**: [`schedule`] bumps a
+//! per-stream generation counter instead of hunting down the old entry,
+//! and stale entries are discarded when their slot drains. This keeps the
+//! heartbeat hot path to a hash-map write plus a slot push.
+//!
+//! ## Exactness
+//!
+//! `advance(now)` fires a stream iff its armed deadline `d` satisfies
+//! `d < now` — the exact complement of
+//! [`FailureDetector::is_suspect`](sfd_core::FailureDetector::is_suspect)'s
+//! `now > fp`. A deadline inside the current tick that has not yet
+//! passed is parked in a carry list and re-examined on the next
+//! `advance`, so wheel and brute-force scan report identical suspect
+//! transitions when sampled at identical instants (property-tested in
+//! `tests/wheel_equivalence.rs`).
+
+use sfd_core::time::{Duration, Instant};
+use std::collections::HashMap;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels. Four levels of 64 slots at a 1 ms tick cover a
+/// horizon of `64^4` ms ≈ 4.7 hours; deadlines beyond that are clamped
+/// to the top level and re-examined when it cascades.
+const LEVELS: usize = 4;
+/// Ticks covered by the whole wheel.
+const MAX_SPAN: i64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    stream: u64,
+    deadline: Instant,
+    gen: u64,
+}
+
+/// A hierarchical timing wheel mapping stream ids to expiry deadlines.
+///
+/// Instants are the caller's timeline ([`WallClock`](crate::WallClock)
+/// nanos for live monitors, simulated time in tests); the wheel itself
+/// never reads a clock.
+#[derive(Debug)]
+pub struct TimingWheel {
+    /// Tick width in nanoseconds.
+    tick: i64,
+    /// The last tick fully processed by `advance`.
+    cur_tick: i64,
+    /// `levels[l][slot]` holds entries due `64^l ..= 64^(l+1)-1` ticks out.
+    levels: Vec<Vec<Vec<Entry>>>,
+    /// Entries due within the current tick but not yet past `now`, plus
+    /// entries scheduled with already-past deadlines.
+    carry: Vec<Entry>,
+    /// stream → generation of its live entry; older generations are stale.
+    armed: HashMap<u64, u64>,
+    next_gen: u64,
+}
+
+impl TimingWheel {
+    /// A wheel with the given tick width, starting at instant zero.
+    ///
+    /// Tick width trades precision of slot placement against cascade
+    /// frequency; since firing always re-checks the exact deadline, a
+    /// coarse tick only delays firing to the end of the enclosing tick,
+    /// never fires early. Panics if `tick` is not positive.
+    pub fn new(tick: Duration) -> TimingWheel {
+        Self::with_start(tick, Instant::ZERO)
+    }
+
+    /// A wheel starting its tick counter at `start` (e.g. the monitor's
+    /// clock anchor), so early deadlines don't all land in the carry list.
+    pub fn with_start(tick: Duration, start: Instant) -> TimingWheel {
+        let tick = tick.as_nanos();
+        assert!(tick > 0, "wheel tick must be positive");
+        TimingWheel {
+            tick,
+            cur_tick: start.as_nanos().div_euclid(tick),
+            levels: vec![vec![Vec::new(); SLOTS]; LEVELS],
+            carry: Vec::new(),
+            armed: HashMap::new(),
+            next_gen: 0,
+        }
+    }
+
+    /// Arm (or re-arm) `stream` to fire once `deadline` has passed.
+    /// Any previously armed deadline for the stream is superseded.
+    pub fn schedule(&mut self, stream: u64, deadline: Instant) {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        self.armed.insert(stream, gen);
+        self.insert(Entry { stream, deadline, gen });
+    }
+
+    /// Disarm `stream`. Returns `false` if it was not armed. The slot
+    /// entry is left behind and discarded lazily when its slot drains.
+    pub fn cancel(&mut self, stream: u64) -> bool {
+        self.armed.remove(&stream).is_some()
+    }
+
+    /// Is `stream` currently armed?
+    pub fn is_armed(&self, stream: u64) -> bool {
+        self.armed.contains_key(&stream)
+    }
+
+    /// Number of armed streams.
+    pub fn armed(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Advance to `now`, returning every stream whose armed deadline has
+    /// passed (`deadline < now`). Fired streams are disarmed; re-arm them
+    /// via [`schedule`](TimingWheel::schedule) when their next heartbeat
+    /// arrives.
+    pub fn advance(&mut self, now: Instant) -> Vec<u64> {
+        let mut fired = Vec::new();
+
+        let target_tick = now.as_nanos().div_euclid(self.tick);
+        while self.cur_tick < target_tick {
+            self.cur_tick += 1;
+
+            // Cascade each higher level whose era boundary we crossed.
+            for l in 1..LEVELS {
+                if self.cur_tick.trailing_zeros() < SLOT_BITS * l as u32 {
+                    break;
+                }
+                let slot = (self.cur_tick >> (SLOT_BITS * l as u32)) as usize & (SLOTS - 1);
+                let entries = std::mem::take(&mut self.levels[l][slot]);
+                for e in entries {
+                    if self.is_live(&e) {
+                        self.insert(e);
+                    }
+                }
+            }
+
+            let slot = self.cur_tick as usize & (SLOTS - 1);
+            let drained = std::mem::take(&mut self.levels[0][slot]);
+            self.carry.extend(drained);
+        }
+
+        // Fire-check everything that reached the carry list — entries
+        // drained from level 0 above, cascades that landed inside the
+        // current tick, entries scheduled already-late, and leftovers
+        // from earlier advances. Checking *after* the tick loop is what
+        // makes a cascade-then-due-immediately entry fire in this call
+        // rather than the next one.
+        let carry = std::mem::take(&mut self.carry);
+        for e in carry {
+            self.fire_or_carry(e, now, &mut fired);
+        }
+        fired
+    }
+
+    fn is_live(&self, e: &Entry) -> bool {
+        self.armed.get(&e.stream) == Some(&e.gen)
+    }
+
+    fn fire_or_carry(&mut self, e: Entry, now: Instant, fired: &mut Vec<u64>) {
+        if !self.is_live(&e) {
+            return; // superseded or cancelled
+        }
+        if e.deadline < now {
+            self.armed.remove(&e.stream);
+            fired.push(e.stream);
+        } else {
+            self.carry.push(e);
+        }
+    }
+
+    fn insert(&mut self, e: Entry) {
+        let deadline_tick = e.deadline.as_nanos().div_euclid(self.tick);
+        let dticks = deadline_tick - self.cur_tick;
+        if dticks < 1 {
+            // Due within the current tick (or already past): the exact
+            // `deadline < now` check happens on the next advance.
+            self.carry.push(e);
+            return;
+        }
+        // Beyond the horizon: park in the top level's furthest era; the
+        // cascade re-inserts it with the true deadline as time passes.
+        let slot_tick = deadline_tick.min(self.cur_tick + MAX_SPAN - 1);
+        let dticks = dticks.min(MAX_SPAN - 1);
+        for l in 0..LEVELS {
+            if dticks < 1 << (SLOT_BITS * (l as u32 + 1)) {
+                let slot = (slot_tick >> (SLOT_BITS * l as u32)) as usize & (SLOTS - 1);
+                self.levels[l][slot].push(e);
+                return;
+            }
+        }
+        unreachable!("dticks clamped below MAX_SPAN");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    fn wheel() -> TimingWheel {
+        TimingWheel::new(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn fires_exactly_when_deadline_passes() {
+        let mut w = wheel();
+        w.schedule(7, ms(10));
+        assert!(w.advance(ms(9)).is_empty());
+        // Boundary: deadline == now is not yet past (is_suspect is strict).
+        assert!(w.advance(ms(10)).is_empty());
+        assert_eq!(w.advance(ms(11)), vec![7]);
+        assert!(!w.is_armed(7));
+        // Does not fire again.
+        assert!(w.advance(ms(1_000)).is_empty());
+    }
+
+    #[test]
+    fn rearm_supersedes_old_deadline() {
+        let mut w = wheel();
+        w.schedule(1, ms(10));
+        w.schedule(1, ms(50)); // heartbeat arrived, pushed τ out
+        assert!(w.advance(ms(20)).is_empty(), "old deadline is stale");
+        assert_eq!(w.advance(ms(51)), vec![1]);
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut w = wheel();
+        w.schedule(1, ms(10));
+        assert!(w.cancel(1));
+        assert!(!w.cancel(1));
+        assert!(w.advance(ms(100)).is_empty());
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = wheel();
+        w.advance(ms(100));
+        w.schedule(3, ms(5)); // already late when armed
+        assert_eq!(w.advance(ms(100)), vec![3]);
+    }
+
+    #[test]
+    fn sub_tick_deadline_waits_for_exact_instant() {
+        // 10 ms tick, deadline mid-tick: must not fire until now passes
+        // the true deadline even though the slot already drained.
+        let mut w = TimingWheel::new(Duration::from_millis(10));
+        w.schedule(1, Instant::from_nanos(15_000_000));
+        assert!(w.advance(Instant::from_nanos(14_000_000)).is_empty());
+        assert_eq!(w.advance(Instant::from_nanos(15_000_001)), vec![1]);
+    }
+
+    #[test]
+    fn long_horizons_cascade_down() {
+        let mut w = wheel();
+        // One deadline per level's span, plus one past the whole horizon.
+        w.schedule(0, ms(40)); // level 0
+        w.schedule(1, ms(5_000)); // level 1
+        w.schedule(2, ms(500_000)); // level 2
+        w.schedule(3, ms(10_000_000)); // level 3
+        w.schedule(4, ms(i64::from(u16::MAX) * 1_000)); // beyond horizon
+        let mut t = 0;
+        let mut fired_at = HashMap::new();
+        while t < 66_000_000 && fired_at.len() < 5 {
+            t += 1_000; // 1 s steps
+            for s in w.advance(ms(t)) {
+                fired_at.insert(s, t);
+            }
+        }
+        assert_eq!(fired_at.get(&0), Some(&1_000));
+        assert_eq!(fired_at.get(&1), Some(&6_000));
+        assert_eq!(fired_at.get(&2), Some(&501_000));
+        assert_eq!(fired_at.get(&3), Some(&10_001_000));
+        assert_eq!(fired_at.get(&4), Some(&65_536_000));
+    }
+
+    #[test]
+    fn many_streams_fire_once_each() {
+        let mut w = wheel();
+        for s in 0..1_000u64 {
+            w.schedule(s, ms(10 + s as i64));
+        }
+        assert_eq!(w.armed(), 1_000);
+        let mut all = Vec::new();
+        for t in (0..2_000).step_by(7) {
+            all.extend(w.advance(ms(t)));
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..1_000).collect();
+        assert_eq!(all, expect);
+        assert_eq!(w.armed(), 0);
+    }
+}

@@ -66,11 +66,7 @@ impl Heartbeat {
         if data.get_u8() != VERSION {
             return None;
         }
-        Some(Heartbeat {
-            stream: data.get_u64(),
-            seq: data.get_u64(),
-            sent_nanos: data.get_i64(),
-        })
+        Some(Heartbeat { stream: data.get_u64(), seq: data.get_u64(), sent_nanos: data.get_i64() })
     }
 }
 

@@ -1,0 +1,123 @@
+//! Property: for random heartbeat schedules the timing-wheel expiry path
+//! reports exactly the same suspect/trust transitions as the brute-force
+//! scan path, when both are sampled at identical instants.
+//!
+//! Two [`ShardCore`]s — one per [`ExpiryPolicy`] — are driven with the
+//! same `register`/`heartbeat`/`advance` call sequence, and their
+//! [`Transition`] logs must match event-for-event. This is the contract
+//! that lets `MultiMonitorService` default to the wheel without changing
+//! observable behaviour.
+
+use proptest::prelude::*;
+use sfd_core::detector::DetectorKind;
+use sfd_core::monitor::Monitor;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::{ExpiryPolicy, ShardCore};
+
+const STREAMS: usize = 4;
+const KINDS: [DetectorKind; 4] =
+    [DetectorKind::Chen, DetectorKind::Bertier, DetectorKind::Phi, DetectorKind::Sfd];
+
+/// Build a wheel-policy and a scan-policy core watching the same four
+/// streams, one per detector scheme.
+fn core_pair(interval_ms: i64, wheel_tick_ms: i64) -> (ShardCore, ShardCore) {
+    let interval = Duration::from_millis(interval_ms);
+    let mut wheel = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(wheel_tick_ms));
+    let mut scan = ShardCore::new(ExpiryPolicy::Scan, Duration::from_millis(wheel_tick_ms));
+    for s in 0..STREAMS as u64 {
+        let spec = DetectorSpec::default_for(KINDS[s as usize % KINDS.len()], interval);
+        wheel.register(s, &spec).expect("register wheel");
+        scan.register(s, &spec).expect("register scan");
+    }
+    (wheel, scan)
+}
+
+/// Drive both cores through one event list and assert lock-step equality.
+///
+/// Each event is `(dt_ms, stream_idx, is_heartbeat)`: time moves forward
+/// by `dt_ms`, then either stream `stream_idx` heartbeats or the tick is
+/// silent, and finally both cores advance to the new instant.
+fn drive_and_compare(events: &[(i64, usize, bool)], interval_ms: i64, wheel_tick_ms: i64) {
+    let (mut wheel, mut scan) = core_pair(interval_ms, wheel_tick_ms);
+    let mut t = 0i64;
+    let mut seqs = [0u64; STREAMS];
+    for &(dt, idx, beat) in events {
+        t += dt;
+        let now = Instant::from_millis(t);
+        if beat {
+            let stream = (idx % STREAMS) as u64;
+            let seq = seqs[idx % STREAMS];
+            seqs[idx % STREAMS] += 1;
+            assert!(wheel.heartbeat(stream, seq, now));
+            assert!(scan.heartbeat(stream, seq, now));
+        }
+        wheel.advance(now);
+        scan.advance(now);
+        for s in 0..STREAMS as u64 {
+            assert_eq!(
+                wheel.snapshot(s, now),
+                scan.snapshot(s, now),
+                "snapshot diverged for stream {s} at t={t}ms"
+            );
+        }
+    }
+    for s in 0..STREAMS as u64 {
+        assert_eq!(
+            wheel.transitions(s).expect("registered"),
+            scan.transitions(s).expect("registered"),
+            "transition log diverged for stream {s}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense schedules: inter-event gaps comparable to the heartbeat
+    /// interval, so streams flap between trust and suspicion often.
+    fn wheel_matches_scan_dense(
+        events in prop::collection::vec((1i64..120, 0usize..4, any::<bool>()), 20..150),
+    ) {
+        drive_and_compare(&events, 20, 1);
+    }
+
+    /// Sparse schedules: long silent jumps force multi-era cascades
+    /// through the upper wheel levels before the next sample.
+    fn wheel_matches_scan_sparse(
+        events in prop::collection::vec((1i64..5_000, 0usize..4, any::<bool>()), 10..60),
+    ) {
+        drive_and_compare(&events, 50, 1);
+    }
+
+    /// Coarse wheel tick (10 ms): deadlines land mid-tick, exercising the
+    /// carry list that keeps sub-tick expiries exact.
+    fn wheel_matches_scan_coarse_tick(
+        events in prop::collection::vec((1i64..250, 0usize..4, any::<bool>()), 20..120),
+    ) {
+        drive_and_compare(&events, 20, 10);
+    }
+}
+
+/// Deterministic smoke check of the same harness (runs even when the
+/// proptest case count is trimmed): one stream crashes, one flaps.
+#[test]
+fn harness_detects_crash_and_flap() {
+    let mut events = Vec::new();
+    // 40 rounds of everybody heartbeating every 20 ms.
+    for _ in 0..40 {
+        for idx in 0..STREAMS {
+            events.push((if idx == 0 { 20 } else { 0 }, idx, true));
+        }
+    }
+    // Stream 0 goes silent; streams 2 and 3 keep beating for 2 s while
+    // stream 1 skips five beats mid-run to flap and recover.
+    for round in 0..100 {
+        events.push((20, 2, true));
+        events.push((0, 3, true));
+        if !(40..45).contains(&round) {
+            events.push((0, 1, true));
+        }
+    }
+    drive_and_compare(&events, 20, 1);
+}

@@ -228,16 +228,11 @@ mod tests {
     #[test]
     fn spikes_inflate_the_tail() {
         let base = DelayConfig::constant(Duration::from_millis(100));
-        let spiky = DelayConfig {
-            spike: Some(SpikeConfig { prob: 0.01, scale: 5.0 }),
-            ..base
-        };
+        let spiky = DelayConfig { spike: Some(SpikeConfig { prob: 0.01, scale: 5.0 }), ..base };
         let mut s = DelaySampler::new(spiky);
         let mut rng = SimRng::seed_from_u64(4);
         let n = 100_000;
-        let spikes = (0..n)
-            .filter(|_| s.sample(&mut rng) > Duration::from_millis(400))
-            .count();
+        let spikes = (0..n).filter(|_| s.sample(&mut rng) > Duration::from_millis(400)).count();
         let rate = spikes as f64 / n as f64;
         assert!((rate - 0.01).abs() < 0.002, "spike rate {rate}");
     }

@@ -55,12 +55,7 @@ impl LossConfig {
         let p_bad_to_good = (1.0 - (1.0 - 1.0 / l) / loss_bad).clamp(1e-6, 1.0);
         let pi_bad = (target_rate / loss_bad).clamp(0.0, 0.99);
         let p_good_to_bad = pi_bad * p_bad_to_good / (1.0 - pi_bad);
-        LossConfig::GilbertElliott {
-            p_good_to_bad,
-            p_bad_to_good,
-            loss_good: 0.0,
-            loss_bad,
-        }
+        LossConfig::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good: 0.0, loss_bad }
     }
 
     /// Mean consecutive-loss run length implied by this configuration.
@@ -91,12 +86,7 @@ impl LossConfig {
         match *self {
             LossConfig::Never => 0.0,
             LossConfig::Bernoulli { p } => p.clamp(0.0, 1.0),
-            LossConfig::GilbertElliott {
-                p_good_to_bad,
-                p_bad_to_good,
-                loss_good,
-                loss_bad,
-            } => {
+            LossConfig::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad } => {
                 let denom = p_good_to_bad + p_bad_to_good;
                 if denom <= 0.0 {
                     return loss_good.clamp(0.0, 1.0);
@@ -139,12 +129,7 @@ impl LossSampler {
         let lost = match self.cfg {
             LossConfig::Never => false,
             LossConfig::Bernoulli { p } => rng.bernoulli(p),
-            LossConfig::GilbertElliott {
-                p_good_to_bad,
-                p_bad_to_good,
-                loss_good,
-                loss_bad,
-            } => {
+            LossConfig::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad } => {
                 // Transition first, then emit in the (possibly new) state.
                 if self.bad {
                     if rng.bernoulli(p_bad_to_good) {
@@ -234,11 +219,7 @@ mod tests {
         for _ in 0..n {
             s.is_lost(&mut rng);
         }
-        assert!(
-            (s.observed_rate() - 0.004).abs() < 0.001,
-            "observed {}",
-            s.observed_rate()
-        );
+        assert!((s.observed_rate() - 0.004).abs() < 0.001, "observed {}", s.observed_rate());
     }
 
     #[test]
@@ -256,10 +237,7 @@ mod tests {
                 s.is_lost(&mut rng);
             }
             let measured = s.lost() as f64 / s.bursts().max(1) as f64;
-            assert!(
-                (measured - l).abs() / l < 0.25,
-                "target run {l}, measured {measured}"
-            );
+            assert!((measured - l).abs() / l < 0.25, "target run {l}, measured {measured}");
             assert!((s.observed_rate() - rate).abs() < 0.25 * rate, "rate {}", s.observed_rate());
         }
     }

@@ -70,15 +70,8 @@ impl Scenario {
                 None => true,
             };
             if need_new {
-                let anchor = out
-                    .last()
-                    .map(|r: &HeartbeatRecord| r.sent)
-                    .unwrap_or(phase_start);
-                sender = Some(SenderSim::new(
-                    phase.schedule,
-                    anchor,
-                    master.fork(0x50 + i as u64),
-                ));
+                let anchor = out.last().map(|r: &HeartbeatRecord| r.sent).unwrap_or(phase_start);
+                sender = Some(SenderSim::new(phase.schedule, anchor, master.fork(0x50 + i as u64)));
             }
             let s = sender.as_mut().expect("sender initialised");
             while s.peek() <= phase_end {

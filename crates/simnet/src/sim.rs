@@ -121,12 +121,7 @@ pub fn run_crash_detection<D: FailureDetector + ?Sized>(
     let fp = detector.freshness_point()?;
     // Suspicion cannot predate the crash or the last processed arrival.
     let suspected_at = fp.max(crash_at).max(last_arrival.unwrap_or(crash_at));
-    Some(CrashOutcome {
-        crash_at,
-        last_arrival,
-        suspected_at,
-        latency: suspected_at - crash_at,
-    })
+    Some(CrashOutcome { crash_at, last_arrival, suspected_at, latency: suspected_at - crash_at })
 }
 
 #[cfg(test)]

@@ -6,9 +6,14 @@ fn main() {
         let p = case.preset();
         let t = p.generate(150_000);
         let s = TraceStats::measure(&t);
-        println!("{case}: send {:.3}±{:.3}  recv {:.3}±{:.3}  loss {:.4}  delay {:.1}",
-            s.send_mean.as_millis_f64(), s.send_std.as_millis_f64(),
-            s.recv_mean.as_millis_f64(), s.recv_std.as_millis_f64(),
-            s.loss_rate, s.delay_mean.as_millis_f64());
+        println!(
+            "{case}: send {:.3}±{:.3}  recv {:.3}±{:.3}  loss {:.4}  delay {:.1}",
+            s.send_mean.as_millis_f64(),
+            s.send_std.as_millis_f64(),
+            s.recv_mean.as_millis_f64(),
+            s.recv_std.as_millis_f64(),
+            s.loss_rate,
+            s.delay_mean.as_millis_f64()
+        );
     }
 }

@@ -229,10 +229,7 @@ mod tests {
     #[test]
     fn binary_rejects_garbage() {
         assert_eq!(Trace::from_bytes(&b"NOPE"[..]).unwrap_err(), TraceCodecError::Truncated);
-        assert_eq!(
-            Trace::from_bytes(&b"NOPExxxxyyy"[..]).unwrap_err(),
-            TraceCodecError::BadMagic
-        );
+        assert_eq!(Trace::from_bytes(&b"NOPExxxxyyy"[..]).unwrap_err(), TraceCodecError::BadMagic);
         let mut good = sample_trace().to_bytes().to_vec();
         good[4] = 99; // version
         assert_eq!(Trace::from_bytes(&good[..]).unwrap_err(), TraceCodecError::BadVersion(99));

@@ -40,11 +40,7 @@ pub fn decimate(trace: &Trace, factor: u64) -> Trace {
         .enumerate()
         .map(|(i, r)| HeartbeatRecord { seq: i as u64, sent: r.sent, arrival: r.arrival })
         .collect();
-    Trace::new(
-        format!("{}[/{}]", trace.name, factor),
-        trace.interval * factor as i64,
-        records,
-    )
+    Trace::new(format!("{}[/{}]", trace.name, factor), trace.interval * factor as i64, records)
 }
 
 /// Drop additional (delivered) heartbeats according to `loss`,

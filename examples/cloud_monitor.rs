@@ -12,11 +12,8 @@
 //! second manager plus a quorum panel demonstrates
 //! multiple-monitor-multiple.
 
-use sfd::cluster::{
-    ClusterSim, ClusterSimConfig, CloudNetwork, CrashPlan, LinkSetup, MonitorPanel,
-    OneMonitorsMany, StatusClassifier, TargetConfig, TargetId,
-};
-use sfd::core::prelude::*;
+use sfd::cluster::{CloudNetwork, ClusterSim, ClusterSimConfig, CrashPlan, LinkSetup};
+use sfd::prelude::*;
 use sfd::simnet::channel::ChannelConfig;
 use sfd::simnet::delay::DelayConfig;
 use sfd::simnet::heartbeat::HeartbeatSchedule;
@@ -73,10 +70,7 @@ fn main() {
         ],
         duration: Duration::from_secs(120),
         spec: QosSpec::new(Duration::from_secs_f64(1.5), 0.05, 0.98).expect("spec"),
-        classifier: StatusClassifier {
-            slow_fraction: 0.5,
-            dead_after: Duration::from_secs(20),
-        },
+        classifier: StatusClassifier { slow_fraction: 0.5, dead_after: Duration::from_secs(20) },
         seed: 2024,
     };
 

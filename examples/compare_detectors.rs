@@ -6,10 +6,7 @@
 //! cargo run --release --example compare_detectors [-- WAN-3]
 //! ```
 
-use sfd::core::bertier::BertierConfig;
-use sfd::core::chen::ChenConfig;
-use sfd::core::phi::PhiConfig;
-use sfd::core::prelude::*;
+use sfd::prelude::*;
 use sfd::qos::eval::EvalConfig;
 use sfd::qos::sweep::{bertier_point, sweep_chen, sweep_phi, sweep_sfd};
 use sfd::trace::presets::WanCase;

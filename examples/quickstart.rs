@@ -10,7 +10,7 @@
 //! "detect within 1 s, at most one wrong suspicion per 50 s, 99% query
 //! accuracy". Mid-run, `p` crashes and we watch the suspicion level rise.
 
-use sfd::core::prelude::*;
+use sfd::prelude::*;
 use sfd::simnet::channel::ChannelConfig;
 use sfd::simnet::delay::DelayConfig;
 use sfd::simnet::heartbeat::HeartbeatSchedule;
@@ -56,8 +56,8 @@ fn main() {
     // 4. Live phase: feed deliveries, print the detector's view once per
     //    simulated 10 s.
     println!("time      suspicion  margin    state");
-    for (seq, arrival) in sfd::trace::Trace::new("demo", Duration::from_millis(100), records.clone())
-        .deliveries()
+    for (seq, arrival) in
+        sfd::trace::Trace::new("demo", Duration::from_millis(100), records.clone()).deliveries()
     {
         fd.heartbeat(seq, arrival);
         if seq % 100 == 99 {
@@ -75,8 +75,8 @@ fn main() {
     // 5. Crash phase: p fails right after sending heartbeat #1000; the
     //    crash-detection harness reports when SFD notices.
     let mut fresh = SfdFd::new(cfg, qos);
-    let outcome = run_crash_detection(&mut fresh, &records, 1000)
-        .expect("enough heartbeats to detect");
+    let outcome =
+        run_crash_detection(&mut fresh, &records, 1000).expect("enough heartbeats to detect");
     println!("\nprocess p crashed at {}", outcome.crash_at);
     println!("SFD suspected permanently at {}", outcome.suspected_at);
     println!("detection time: {}", outcome.latency);

@@ -6,7 +6,7 @@
 //! cargo run --release --example self_tuning_demo
 //! ```
 
-use sfd::core::prelude::*;
+use sfd::prelude::*;
 use sfd::qos::convergence::{concat_traces, run_convergence};
 use sfd::qos::eval::EvalConfig;
 use sfd::trace::presets::WanCase;
@@ -31,14 +31,9 @@ fn main() {
         ..SfdConfig::default()
     };
 
-    let report = run_convergence(
-        &both,
-        cfg,
-        spec,
-        Duration::from_secs(15),
-        EvalConfig { warmup: 1000 },
-    )
-    .expect("trace long enough");
+    let report =
+        run_convergence(&both, cfg, spec, Duration::from_secs(15), EvalConfig { warmup: 1000 })
+            .expect("trace long enough");
 
     println!("\nepoch  margin      Sat  epoch-MR    epoch-QAP");
     let n = report.epochs.len();

@@ -10,11 +10,7 @@
 //! running. After two seconds the sender fail-stops, and we time how long
 //! the monitor takes to notice.
 
-use sfd::core::detector::SelfTuning;
-use sfd::core::prelude::*;
-use sfd::runtime::{
-    HeartbeatSender, MonitorConfig, MonitorService, SenderConfig, UdpSink, UdpSource,
-};
+use sfd::prelude::*;
 
 fn main() {
     // Monitor side: bind an ephemeral UDP port.
@@ -57,20 +53,20 @@ fn main() {
     let s = monitor.status();
     println!(
         "after 2 s: {} heartbeats, {} feedback epochs, suspect = {}, margin = {}",
-        s.heartbeats,
+        s.stream.heartbeats,
         s.epochs,
-        s.suspect,
+        s.stream.suspect,
         monitor.with_detector(|d| d.margin()),
     );
-    assert!(s.heartbeats > 50, "UDP loopback should deliver heartbeats");
-    assert!(!s.suspect, "live sender must be trusted");
+    assert!(s.stream.heartbeats > 50, "UDP loopback should deliver heartbeats");
+    assert!(!s.stream.suspect, "live sender must be trusted");
 
     // Crash phase.
     println!("crashing the sender (fail-stop, no goodbye message)…");
     let crash_wall = std::time::Instant::now();
     sender.crash();
     let detected_after = loop {
-        if monitor.status().suspect {
+        if monitor.status().stream.suspect {
             break crash_wall.elapsed();
         }
         if crash_wall.elapsed() > std::time::Duration::from_secs(5) {
@@ -83,7 +79,7 @@ fn main() {
     let s = monitor.status();
     println!(
         "final: heartbeats = {}, wrong suspicions during healthy phase = {}",
-        s.heartbeats, s.mistakes
+        s.stream.heartbeats, s.mistakes
     );
     monitor.stop();
 }

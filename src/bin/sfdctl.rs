@@ -14,13 +14,9 @@
 //! `SFDT` binary format); `send`/`monitor` run the live UDP runtime — one
 //! on each end of a real path gives you the paper's deployment.
 
-use sfd::core::prelude::*;
-use sfd::core::registry::DetectorSpec;
+use sfd::prelude::*;
 use sfd::qos::eval::{EvalConfig, ReplayEvaluator};
 use sfd::qos::sweep::{log_spaced_margins, sweep_chen, sweep_phi};
-use sfd::runtime::{
-    HeartbeatSender, MonitorConfig, MonitorService, SenderConfig, UdpSink, UdpSource,
-};
 use sfd::trace::presets::WanCase;
 use sfd::trace::stats::TraceStats;
 use sfd::trace::trace::Trace;
@@ -146,7 +142,7 @@ fn cmd_stats(pos: &[String]) {
 fn detector_from_flags(
     trace: &Trace,
     flags: &HashMap<String, String>,
-) -> Box<dyn sfd::core::detector::FailureDetector + Send> {
+) -> Box<dyn FailureDetector + Send> {
     if let Some(spec_path) = flags.get("spec") {
         let js = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
             eprintln!("cannot read {spec_path}: {e}");
@@ -165,17 +161,17 @@ fn detector_from_flags(
     let window: usize = flag_num(flags, "window").unwrap_or(1000);
     let margin = flag_duration(flags, "margin").unwrap_or(trace.interval * 2);
     let spec = match scheme {
-        "chen" => DetectorSpec::Chen(sfd::core::chen::ChenConfig {
+        "chen" => DetectorSpec::Chen(ChenConfig {
             window,
             expected_interval: trace.interval,
             alpha: margin,
         }),
-        "bertier" => DetectorSpec::Bertier(sfd::core::bertier::BertierConfig {
+        "bertier" => DetectorSpec::Bertier(BertierConfig {
             window,
             expected_interval: trace.interval,
             ..Default::default()
         }),
-        "phi" => DetectorSpec::Phi(sfd::core::phi::PhiConfig {
+        "phi" => DetectorSpec::Phi(PhiConfig {
             window,
             expected_interval: trace.interval,
             threshold: flag_num(flags, "threshold").unwrap_or(8.0),
@@ -249,11 +245,7 @@ fn cmd_sweep(pos: &[String], flags: &HashMap<String, String>) {
             let to = flag_duration(flags, "to").unwrap_or(trace.interval.mul_f64(80.0));
             sweep_chen(
                 &trace,
-                sfd::core::chen::ChenConfig {
-                    window,
-                    expected_interval: trace.interval,
-                    alpha: Duration::ZERO,
-                },
+                ChenConfig { window, expected_interval: trace.interval, alpha: Duration::ZERO },
                 &log_spaced_margins(from, to, points),
                 eval,
             )
@@ -263,7 +255,7 @@ fn cmd_sweep(pos: &[String], flags: &HashMap<String, String>) {
             let to: f64 = flag_num(flags, "to-phi").unwrap_or(16.0);
             sweep_phi(
                 &trace,
-                sfd::core::phi::PhiConfig {
+                PhiConfig {
                     window,
                     expected_interval: trace.interval,
                     threshold: 1.0,
@@ -364,7 +356,9 @@ fn cmd_monitor(flags: &HashMap<String, String>) {
         eprintln!("cannot bind {bind}: {e}");
         exit(1);
     });
-    println!("monitoring on {bind} (interval {interval}, SM₁ {margin}); one status line per second");
+    println!(
+        "monitoring on {bind} (interval {interval}, SM₁ {margin}); one status line per second"
+    );
     let fd = SfdFd::new(
         SfdConfig {
             window: 1000,
@@ -386,9 +380,9 @@ fn cmd_monitor(flags: &HashMap<String, String>) {
         println!(
             "[{:>6.1}s] heartbeats {:>8}  wrong suspicions {:>4}  state: {}",
             started.elapsed().as_secs_f64(),
-            s.heartbeats,
+            s.stream.heartbeats,
             s.mistakes,
-            if s.suspect { "SUSPECT" } else { "trust" }
+            if s.stream.suspect { "SUSPECT" } else { "trust" }
         );
         if let Some(d) = run_for {
             if started.elapsed() >= d.to_std() {

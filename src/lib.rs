@@ -23,7 +23,18 @@ pub use sfd_runtime as runtime;
 pub use sfd_simnet as simnet;
 pub use sfd_trace as trace;
 
-/// One-stop prelude for examples and applications.
+/// One-stop prelude for examples and applications: the detector and QoS
+/// types from `sfd-core` (including the unified [`Monitor`] trait), the
+/// live-runtime services, and the cluster managers.
 pub mod prelude {
+    pub use sfd_cluster::{
+        MonitorPanel, NodeStatus, OneMonitorsMany, PanelVerdict, StatusClassifier, TargetConfig,
+        TargetId,
+    };
     pub use sfd_core::prelude::*;
+    pub use sfd_runtime::{
+        DynMonitorService, ExpiryPolicy, Heartbeat, HeartbeatSender, HeartbeatSink,
+        HeartbeatSource, MemoryTransport, MonitorConfig, MonitorService, MultiMonitorService,
+        SenderConfig, ShardCore, StatusSnapshot, TimingWheel, UdpSink, UdpSource, WallClock,
+    };
 }

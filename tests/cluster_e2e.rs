@@ -3,7 +3,7 @@
 //! `sfd-simnet` and `sfd-core`.
 
 use sfd::cluster::{
-    ClusterSim, ClusterSimConfig, CloudNetwork, CrashPlan, LinkSetup, MonitorPanel, NodeStatus,
+    CloudNetwork, ClusterSim, ClusterSimConfig, CrashPlan, LinkSetup, MonitorPanel, NodeStatus,
     OneMonitorsMany, StatusClassifier, TargetConfig, TargetId,
 };
 use sfd::core::prelude::*;
@@ -130,7 +130,14 @@ fn degraded_link_reads_slow_before_offline() {
     // through "slow" before the binary threshold trips.
     let mut m = OneMonitorsMany::new(QosSpec::permissive(), StatusClassifier::default());
     let t = TargetId(1);
-    m.watch(t, TargetConfig { window: 50, initial_margin: Duration::from_millis(100), ..Default::default() });
+    m.watch(
+        t,
+        TargetConfig {
+            window: 50,
+            initial_margin: Duration::from_millis(100),
+            ..Default::default()
+        },
+    );
     for i in 0..100u64 {
         m.heartbeat(t, i, Instant::from_millis((i as i64 + 1) * 100));
     }

@@ -69,12 +69,9 @@ fn every_detector_detects_the_crash() {
     );
     let sfd_out = run_crash_detection(&mut sfd, &records, CRASH_SEQ).unwrap();
 
-    for (name, out) in [
-        ("chen", chen_out),
-        ("bertier", bertier_out),
-        ("phi", phi_out),
-        ("sfd", sfd_out),
-    ] {
+    for (name, out) in
+        [("chen", chen_out), ("bertier", bertier_out), ("phi", phi_out), ("sfd", sfd_out)]
+    {
         assert!(out.suspected_at > out.crash_at, "{name}");
         assert!(
             out.latency > Duration::from_millis(50) && out.latency < Duration::from_secs(3),

@@ -1,12 +1,7 @@
 //! Live-runtime integration: real threads, real (loopback) sockets and
 //! in-memory transports, across `sfd-runtime` and `sfd-core`.
 
-use sfd::core::detector::SelfTuning;
-use sfd::core::prelude::*;
-use sfd::runtime::{
-    HeartbeatSender, MemoryTransport, MonitorConfig, MonitorService, SenderConfig, UdpSink,
-    UdpSource,
-};
+use sfd::prelude::*;
 
 fn sfd_for(interval_ms: i64, margin_ms: i64) -> SfdFd {
     SfdFd::new(
@@ -34,19 +29,16 @@ fn udp_end_to_end_crash_detection() {
 
     std::thread::sleep(std::time::Duration::from_millis(400));
     let healthy = monitor.status();
-    assert!(healthy.heartbeats > 15, "heartbeats {}", healthy.heartbeats);
-    assert!(!healthy.suspect);
+    assert!(healthy.stream.heartbeats > 15, "heartbeats {}", healthy.stream.heartbeats);
+    assert!(!healthy.stream.suspect);
 
     sender.crash();
     let began = std::time::Instant::now();
     loop {
-        if monitor.status().suspect {
+        if monitor.status().stream.suspect {
             break;
         }
-        assert!(
-            began.elapsed() < std::time::Duration::from_secs(5),
-            "crash not detected in 5 s"
-        );
+        assert!(began.elapsed() < std::time::Duration::from_secs(5), "crash not detected in 5 s");
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     monitor.stop();
@@ -66,7 +58,7 @@ fn lossy_memory_transport_with_self_tuning() {
             window: 50,
             expected_interval: Duration::from_millis(5),
             initial_margin: Duration::from_millis(2), // too aggressive
-            feedback: sfd::core::feedback::FeedbackConfig {
+            feedback: FeedbackConfig {
                 alpha: Duration::from_millis(20),
                 beta: 1.0,
                 ..Default::default()
@@ -119,14 +111,14 @@ fn two_monitors_one_sender_udp() {
     let mut mon_b = MonitorService::spawn(sfd_for(10, 80), src_b, MonitorConfig::default());
 
     std::thread::sleep(std::time::Duration::from_millis(400));
-    assert!(!mon_a.status().suspect);
-    assert!(!mon_b.status().suspect);
+    assert!(!mon_a.status().stream.suspect);
+    assert!(!mon_b.status().stream.suspect);
 
     // Crash only A: B must stay trusted.
     sender_a.crash();
     std::thread::sleep(std::time::Duration::from_millis(800));
-    assert!(mon_a.status().suspect, "A crashed");
-    assert!(!mon_b.status().suspect, "B is alive");
+    assert!(mon_a.status().stream.suspect, "A crashed");
+    assert!(!mon_b.status().stream.suspect, "B is alive");
     mon_a.stop();
     mon_b.stop();
 }
@@ -156,7 +148,7 @@ fn monitor_counts_wrong_suspicions_on_flaky_transport() {
     );
     std::thread::sleep(std::time::Duration::from_millis(800));
     let s = monitor.status();
-    assert!(s.heartbeats > 50);
+    assert!(s.stream.heartbeats > 50);
     assert!(s.mistakes > 0, "30% loss with a 1 ms margin must cause wrong suspicions");
     monitor.stop();
 }

@@ -17,11 +17,7 @@ const EVAL: EvalConfig = EvalConfig { warmup: 1000 };
 #[test]
 fn chen_curve_shape_matches_the_paper() {
     let trace = WanCase::Wan1.preset().generate(N);
-    let alphas = log_spaced_margins(
-        Duration::from_millis(5),
-        trace.interval.mul_f64(80.0),
-        10,
-    );
+    let alphas = log_spaced_margins(Duration::from_millis(5), trace.interval.mul_f64(80.0), 10);
     let pts = sweep_chen(
         &trace,
         ChenConfig { window: 1000, expected_interval: trace.interval, alpha: Duration::ZERO },

@@ -55,15 +55,12 @@ fn experiment_artifacts_round_trip() {
         id: "integration-test".into(),
         workload: trace.name.clone(),
         heartbeats: trace.sent(),
-        series: vec![CurveSeries::from_sweep(
-            sfd::core::detector::DetectorKind::Chen,
-            pts.clone(),
-        )],
+        series: vec![CurveSeries::from_sweep(sfd::core::detector::DetectorKind::Chen, pts.clone())],
     };
     // Unique per process: a stale artifact from a previous build of this
     // test (debug vs release float ulps) must not leak in.
-    let dir = std::env::temp_dir()
-        .join(format!("sfd_integration_artifacts_{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("sfd_integration_artifacts_{}", std::process::id()));
     result.write_artifacts(&dir).expect("write");
     let js = std::fs::read_to_string(dir.join("integration-test.json")).expect("read json");
     let back: ExperimentResult = serde_json::from_str(&js).expect("decode");
@@ -78,8 +75,7 @@ fn configs_round_trip_through_json() {
     // Every public config type is serde-stable: an operator can keep the
     // whole experiment setup in a JSON file.
     let sfd_cfg = SfdConfig::default();
-    let back: SfdConfig =
-        serde_json::from_str(&serde_json::to_string(&sfd_cfg).unwrap()).unwrap();
+    let back: SfdConfig = serde_json::from_str(&serde_json::to_string(&sfd_cfg).unwrap()).unwrap();
     assert_eq!(back, sfd_cfg);
 
     let chen = sfd::core::chen::ChenConfig::default();
@@ -109,10 +105,7 @@ fn configs_round_trip_through_json() {
 
 #[test]
 fn sweep_points_serialise() {
-    let p = SweepPoint {
-        param: 42.0,
-        qos: sfd::core::qos::QosMeasured::empty(),
-    };
+    let p = SweepPoint { param: 42.0, qos: sfd::core::qos::QosMeasured::empty() };
     let back: SweepPoint = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
     assert_eq!(back, p);
 }
