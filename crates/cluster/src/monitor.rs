@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use sfd_core::detector::{AccrualDetector, FailureDetector, SelfTuning};
 use sfd_core::error::{CoreError, CoreResult};
 use sfd_core::feedback::FeedbackConfig;
-use sfd_core::monitor::{Monitor, StreamSnapshot};
+use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::{QosMeasured, QosSpec};
 use sfd_core::registry::DetectorSpec;
 use sfd_core::sfd::{SfdConfig, SfdFd};
@@ -59,6 +59,9 @@ struct TargetState {
     fd: SfdFd,
     heartbeats: u64,
     last_heartbeat: Option<Instant>,
+    /// Newest accepted sequence number — the dedupe baseline.
+    last_seq: Option<u64>,
+    health: StreamHealth,
 }
 
 /// A manager monitoring many targets: one SFD instance per target.
@@ -88,6 +91,8 @@ impl OneMonitorsMany {
                 fd: SfdFd::new(cfg.to_sfd(), self.spec),
                 heartbeats: 0,
                 last_heartbeat: None,
+                last_seq: None,
+                health: StreamHealth::default(),
             },
         );
     }
@@ -103,9 +108,16 @@ impl OneMonitorsMany {
     }
 
     /// Feed a heartbeat from `target`. Unknown targets are ignored
-    /// (e.g. a heartbeat racing an `unwatch`).
+    /// (e.g. a heartbeat racing an `unwatch`); stale sequence numbers
+    /// are rejected and counted rather than fed to the detector as
+    /// zero-gap arrivals.
     pub fn heartbeat(&mut self, target: TargetId, seq: u64, arrival: Instant) {
         if let Some(st) = self.targets.get_mut(&target) {
+            if st.last_seq.is_some_and(|last| seq <= last) {
+                st.health.duplicates += 1;
+                return;
+            }
+            st.last_seq = Some(seq);
             st.fd.heartbeat(seq, arrival);
             st.heartbeats += 1;
             st.last_heartbeat = Some(arrival);
@@ -158,6 +170,7 @@ impl OneMonitorsMany {
             heartbeats: st.heartbeats,
             last_heartbeat: st.last_heartbeat,
             freshness_point: st.fd.freshness_point(),
+            health: st.health,
         }
     }
 }
@@ -177,7 +190,13 @@ impl Monitor for OneMonitorsMany {
         };
         self.targets.insert(
             TargetId(stream),
-            TargetState { fd: SfdFd::new(*config, *qos), heartbeats: 0, last_heartbeat: None },
+            TargetState {
+                fd: SfdFd::new(*config, *qos),
+                heartbeats: 0,
+                last_heartbeat: None,
+                last_seq: None,
+                health: StreamHealth::default(),
+            },
         );
         Ok(())
     }
@@ -343,6 +362,21 @@ mod tests {
         assert_eq!(v.suspecting, 1);
         assert_eq!(v.quorum, 2);
         assert!(!v.suspected, "majority should overrule the partitioned monitor");
+    }
+
+    #[test]
+    fn replayed_heartbeats_are_rejected_and_counted() {
+        let mut m = manager_with(&[1]);
+        feed(&mut m, 1, 50);
+        let before = m.snapshot(TargetId(1).0, inst(5_050)).unwrap();
+        // Replay two earlier heartbeats: the detector must not see them.
+        m.heartbeat(TargetId(1), 10, inst(5_060));
+        m.heartbeat(TargetId(1), 49, inst(5_070));
+        let after = m.snapshot(TargetId(1).0, inst(5_080)).unwrap();
+        assert_eq!(after.heartbeats, 50, "replays not counted as heartbeats");
+        assert_eq!(after.health.duplicates, 2);
+        assert_eq!(after.freshness_point, before.freshness_point, "τ unmoved by replays");
+        assert_eq!(after.last_heartbeat, before.last_heartbeat);
     }
 
     #[test]

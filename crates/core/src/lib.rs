@@ -80,7 +80,7 @@ pub use estimate::{ChenEstimator, JacobsonEstimator};
 pub use feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
 pub use gapfill::GapFiller;
 pub use histogram::DurationHistogram;
-pub use monitor::{Monitor, StreamId, StreamSnapshot};
+pub use monitor::{Monitor, StreamHealth, StreamId, StreamSnapshot};
 pub use phi::{PhiConfig, PhiFd};
 pub use qos::{QosMeasured, QosSpec};
 pub use registry::DetectorSpec;
@@ -95,7 +95,7 @@ pub mod prelude {
     pub use crate::chen::{ChenConfig, ChenFd};
     pub use crate::detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
     pub use crate::feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
-    pub use crate::monitor::{Monitor, StreamId, StreamSnapshot};
+    pub use crate::monitor::{Monitor, StreamHealth, StreamId, StreamSnapshot};
     pub use crate::phi::{PhiConfig, PhiFd};
     pub use crate::qos::{QosMeasured, QosSpec};
     pub use crate::registry::DetectorSpec;

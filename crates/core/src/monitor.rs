@@ -42,6 +42,41 @@ pub struct StreamSnapshot {
     pub last_heartbeat: Option<Instant>,
     /// Current freshness point `τ`, if past warm-up.
     pub freshness_point: Option<Instant>,
+    /// Robustness counters: what the monitor refused to believe and how
+    /// often its own runtime misbehaved while watching this stream.
+    pub health: StreamHealth,
+}
+
+/// Robustness counters for one monitored stream.
+///
+/// Hostile input — duplicated datagrams, corrupted sequence numbers,
+/// implausible timestamps — must not silently distort the detector's
+/// inter-arrival statistics (a zero-gap duplicate collapses Chen's
+/// `EA(k+1)` toward the last arrival). Instead of feeding such input to
+/// the detector, the monitor rejects it and counts it here, so chaos
+/// tests and operators can reconcile injected faults against observed
+/// ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamHealth {
+    /// Heartbeats rejected because their sequence number was not newer
+    /// than the last accepted one (wire duplicates or reordering).
+    pub duplicates: u64,
+    /// Heartbeats rejected because the sequence number jumped implausibly
+    /// far ahead of the last accepted one (corruption, not loss).
+    pub rejected_seq_jumps: u64,
+    /// Heartbeats rejected because the sender timestamp was outside the
+    /// plausible wall-clock window (corruption or a hostile clock).
+    pub rejected_timestamps: u64,
+    /// Times the monitor's clock read non-monotonically and the ingest
+    /// timestamp had to be clamped to the last observed time.
+    pub clock_clamps: u64,
+    /// Times this stream's state was re-baselined after a streak of stale
+    /// sequence numbers (sender restart with a reset counter, or recovery
+    /// from a corrupted baseline).
+    pub rebaselines: u64,
+    /// Times the owning monitor/shard loop panicked and was restarted by
+    /// its supervisor while this stream was watched.
+    pub supervisor_restarts: u64,
 }
 
 /// A monitor of one or more heartbeat streams.
@@ -119,6 +154,7 @@ mod tests {
                 heartbeats: *n,
                 last_heartbeat: None,
                 freshness_point: fd.freshness_point(),
+                health: StreamHealth::default(),
             })
         }
         fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {

@@ -176,7 +176,14 @@ impl SfdFd {
 
     /// Synthesise window samples for heartbeats `last+1 .. seq` that never
     /// arrived, per the paper's `d_i = Δt·n_ag + d_{i−1}` rule.
+    ///
+    /// The fill is capped at the window capacity: synthesising more
+    /// samples than the window holds would only evict its own output, and
+    /// an uncapped loop turns one corrupted sequence number (e.g.
+    /// `u64::MAX`) into an unbounded CPU burn inside the detector.
     fn fill_gap(&mut self, from_seq: u64, to_seq: u64) {
+        let cap = self.estimator.window().capacity() as u64;
+        let from_seq = from_seq.max(to_seq.saturating_sub(cap));
         let mean = self.estimator.mean_interarrival();
         for missing in from_seq..to_seq {
             let d = self.gap_filler.fill_loss(mean);

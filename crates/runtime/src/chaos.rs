@@ -1,0 +1,539 @@
+//! Chaos transport: seeded, composable fault injection over any inner
+//! heartbeat transport.
+//!
+//! The paper assumes an unreliable, non-Byzantine channel: messages may
+//! be lost or late, but not forged. Real cloud networks are messier —
+//! datagrams are duplicated and reordered, bits flip, links partition,
+//! and sender VMs pause for garbage collection or migration. This module
+//! makes those faults *injectable* so the detector's robustness can be
+//! exercised deterministically:
+//!
+//! * **Loss / partition** — reuses `sfd-simnet`'s [`LossConfig`] (the
+//!   Gilbert–Elliott burst machinery fitted to the paper's traces), so
+//!   simulated and live fault models share one config vocabulary.
+//!   Partitions are scripted windows during which everything is dropped.
+//! * **Corruption** — a heartbeat is encoded, one random bit is flipped,
+//!   and the datagram is decoded again: flips in the header kill the
+//!   message (as [`Heartbeat::decode`] rejects it), flips in the payload
+//!   deliver a heartbeat with a wrong stream/seq/timestamp — exactly the
+//!   hostile input the monitor's ingest guards must absorb.
+//! * **Duplication / reordering** — duplicates are re-sent verbatim;
+//!   reordering holds messages back in a bounded shuffle buffer and
+//!   releases them out of order.
+//! * **Stall** — [`ChaosControl::stall_for`] blocks the *sending thread*
+//!   on its next send, emulating a GC or VM pause episode on the
+//!   monitored process.
+//!
+//! All random fates come from one [`SimRng`] seeded by
+//! [`ChaosConfig::seed`]: a given config replays the same fault schedule
+//! on every run.
+
+use crate::transport::{HeartbeatSink, HeartbeatSource};
+use crate::wire::{Heartbeat, WIRE_SIZE};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sfd_core::time::Duration;
+use sfd_simnet::{LossConfig, LossSampler, SimRng};
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+
+/// Upper bound on a single blocking stall episode, so a scripted stall
+/// can never wedge a test suite or a production sender indefinitely.
+pub const MAX_STALL: Duration = Duration::from_secs(30);
+
+/// Bounded-shuffle reordering model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderConfig {
+    /// Maximum heartbeats held back at once. A full buffer passes
+    /// messages through, so holdback delay is bounded.
+    pub buffer: usize,
+    /// Probability an in-flight heartbeat is held back for later,
+    /// out-of-order release.
+    pub p_hold: f64,
+}
+
+/// Fault-injection configuration: every model is independent and
+/// composable; the defaults inject nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule (same seed → same fates).
+    pub seed: u64,
+    /// Message-loss model (shared vocabulary with `sfd-simnet`).
+    pub loss: LossConfig,
+    /// Probability a delivered heartbeat is sent twice.
+    pub dup_rate: f64,
+    /// Probability one random bit of the encoded datagram is flipped.
+    pub corrupt_rate: f64,
+    /// Reordering model; `None` preserves order.
+    pub reorder: Option<ReorderConfig>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            loss: LossConfig::Never,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder: None,
+        }
+    }
+}
+
+/// Counters for every fault the chaos layer injected — the ground truth
+/// that tests reconcile against the monitor's observed health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Heartbeats offered to the chaos layer.
+    pub offered: u64,
+    /// Heartbeats actually handed to the inner transport (including
+    /// duplicates and corrupted survivors).
+    pub delivered: u64,
+    /// Dropped by the loss model.
+    pub lost: u64,
+    /// Dropped because a partition window was open.
+    pub partition_dropped: u64,
+    /// Extra copies injected by the duplication model.
+    pub duplicated: u64,
+    /// Heartbeats that had a bit flipped.
+    pub corrupted: u64,
+    /// Corrupted heartbeats whose flip landed in the header, killing the
+    /// datagram at decode (a subset of `corrupted`).
+    pub corrupt_dropped: u64,
+    /// Times a heartbeat was deferred by the reorder buffer.
+    pub held_back: u64,
+}
+
+impl ChaosStats {
+    /// Messages still owed to the inner transport given these counters —
+    /// zero once the reorder buffer has been flushed.
+    pub fn in_flight(&self) -> u64 {
+        (self.offered + self.duplicated).saturating_sub(
+            self.delivered + self.lost + self.partition_dropped + self.corrupt_dropped,
+        )
+    }
+}
+
+/// The shared fault engine: one per wrapped transport, behind a mutex so
+/// the control handle and the transport half see one schedule.
+struct ChaosEngine {
+    cfg: ChaosConfig,
+    rng: SimRng,
+    loss: LossSampler,
+    partitioned: bool,
+    /// Reorder shuffle buffer.
+    held: Vec<Heartbeat>,
+    /// Receive-side delivery queue (unused by the sink half).
+    ready: VecDeque<Heartbeat>,
+    stats: ChaosStats,
+}
+
+impl ChaosEngine {
+    fn new(cfg: ChaosConfig) -> ChaosEngine {
+        ChaosEngine {
+            cfg,
+            rng: SimRng::seed_from_u64(cfg.seed),
+            loss: LossSampler::new(cfg.loss),
+            partitioned: false,
+            held: Vec::new(),
+            ready: VecDeque::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Run one heartbeat through the fault pipeline
+    /// (partition → loss → corrupt → duplicate → reorder), pushing
+    /// whatever survives onto `out` in delivery order.
+    fn process(&mut self, hb: Heartbeat, out: &mut Vec<Heartbeat>) {
+        self.stats.offered += 1;
+        if self.partitioned {
+            self.stats.partition_dropped += 1;
+            return;
+        }
+        if self.loss.is_lost(&mut self.rng) {
+            self.stats.lost += 1;
+            return;
+        }
+        let hb = if self.cfg.corrupt_rate > 0.0 && self.rng.bernoulli(self.cfg.corrupt_rate) {
+            self.stats.corrupted += 1;
+            match flip_one_bit(hb, &mut self.rng) {
+                Some(corrupted) => corrupted,
+                None => {
+                    // The flip hit the header: the wire layer would have
+                    // discarded the datagram, so the chaos layer does too.
+                    self.stats.corrupt_dropped += 1;
+                    return;
+                }
+            }
+        } else {
+            hb
+        };
+        let copies = if self.cfg.dup_rate > 0.0 && self.rng.bernoulli(self.cfg.dup_rate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            self.reorder_emit(hb, out);
+        }
+    }
+
+    /// Reordering stage: maybe hold the message back; maybe release a
+    /// random previously held one after it (out of order).
+    fn reorder_emit(&mut self, hb: Heartbeat, out: &mut Vec<Heartbeat>) {
+        let Some(rc) = self.cfg.reorder else {
+            self.emit(hb, out);
+            return;
+        };
+        if self.held.len() < rc.buffer && self.rng.bernoulli(rc.p_hold) {
+            self.stats.held_back += 1;
+            self.held.push(hb);
+        } else {
+            self.emit(hb, out);
+        }
+        // Pressure release: each message that passes gives a random held
+        // one a coin-flip chance to follow it, so holdback is transient
+        // as long as traffic flows (and `flush` drains the remainder).
+        if !self.held.is_empty() && self.rng.bernoulli(0.5) {
+            let i = self.rng.int_in(0, self.held.len() as u64 - 1) as usize;
+            let released = self.held.swap_remove(i);
+            self.emit(released, out);
+        }
+    }
+
+    fn emit(&mut self, hb: Heartbeat, out: &mut Vec<Heartbeat>) {
+        self.stats.delivered += 1;
+        out.push(hb);
+    }
+
+    /// Drain the reorder buffer (end of a chaos episode).
+    fn flush(&mut self, out: &mut Vec<Heartbeat>) {
+        while let Some(hb) = self.held.pop() {
+            self.emit(hb, out);
+        }
+    }
+}
+
+/// Re-encode `hb`, flip one uniformly random bit, decode again. `None`
+/// when the flip lands in the magic/version header (or length-preserving
+/// decode otherwise fails): on a real wire that datagram dies at
+/// [`Heartbeat::decode`].
+fn flip_one_bit(hb: Heartbeat, rng: &mut SimRng) -> Option<Heartbeat> {
+    let mut raw = hb.encode();
+    let bit = rng.int_in(0, (WIRE_SIZE * 8 - 1) as u64) as usize;
+    raw[bit / 8] ^= 1 << (bit % 8);
+    Heartbeat::decode(&raw)
+}
+
+struct ChaosShared {
+    engine: Mutex<ChaosEngine>,
+    /// Pending stall deadline for the sending thread.
+    stall_until: Mutex<Option<std::time::Instant>>,
+}
+
+impl ChaosShared {
+    fn new(cfg: ChaosConfig) -> Arc<ChaosShared> {
+        Arc::new(ChaosShared {
+            engine: Mutex::new(ChaosEngine::new(cfg)),
+            stall_until: Mutex::new(None),
+        })
+    }
+
+    /// Serve any pending stall episode by blocking the calling thread.
+    /// The deadline is read and cleared under the lock but slept on
+    /// outside it, so the control handle never blocks behind a stall.
+    fn serve_stall(&self) {
+        let deadline = self.stall_until.lock().take();
+        if let Some(deadline) = deadline {
+            let now = std::time::Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+    }
+}
+
+/// Handle for scripting fault episodes and reading injection counters.
+#[derive(Clone)]
+pub struct ChaosControl {
+    shared: Arc<ChaosShared>,
+}
+
+impl ChaosControl {
+    /// Open (`true`) or heal (`false`) a partition window: while open,
+    /// every heartbeat is dropped.
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.shared.engine.lock().partitioned = partitioned;
+    }
+
+    /// Is a partition window currently open?
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.engine.lock().partitioned
+    }
+
+    /// Schedule a stall episode: the next `send` on the wrapped sink
+    /// blocks for `d` (capped at [`MAX_STALL`]), emulating a GC or VM
+    /// pause of the monitored process.
+    pub fn stall_for(&self, d: Duration) {
+        let d = d.min(MAX_STALL).max_zero();
+        *self.shared.stall_until.lock() = Some(std::time::Instant::now() + d.to_std());
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.shared.engine.lock().stats
+    }
+}
+
+/// A [`HeartbeatSink`] that runs every send through the fault pipeline.
+///
+/// Clones share one fault engine (and its schedule, stats and stall
+/// state), so several senders can feed one chaotic path.
+pub struct ChaosSink<S> {
+    inner: S,
+    shared: Arc<ChaosShared>,
+}
+
+impl<S: Clone> Clone for ChaosSink<S> {
+    fn clone(&self) -> Self {
+        ChaosSink { inner: self.inner.clone(), shared: self.shared.clone() }
+    }
+}
+
+impl<S: HeartbeatSink> ChaosSink<S> {
+    /// Wrap `inner`, returning the faulty sink and its control handle.
+    pub fn wrap(inner: S, cfg: ChaosConfig) -> (ChaosSink<S>, ChaosControl) {
+        let shared = ChaosShared::new(cfg);
+        (ChaosSink { inner, shared: shared.clone() }, ChaosControl { shared })
+    }
+
+    /// Release everything the reorder buffer is holding into the inner
+    /// sink (ends a reordering episode).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut out = Vec::new();
+        self.shared.engine.lock().flush(&mut out);
+        for hb in out {
+            self.inner.send(hb)?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: HeartbeatSink> HeartbeatSink for ChaosSink<S> {
+    fn send(&self, hb: Heartbeat) -> io::Result<()> {
+        self.shared.serve_stall();
+        let mut out = Vec::new();
+        self.shared.engine.lock().process(hb, &mut out);
+        for hb in out {
+            self.inner.send(hb)?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`HeartbeatSource`] that runs every received heartbeat through the
+/// fault pipeline — for harnesses that cannot wrap the sender's sink
+/// (e.g. chaos-testing against a live UDP socket).
+pub struct ChaosSource<S> {
+    inner: S,
+    shared: Arc<ChaosShared>,
+}
+
+impl<S: HeartbeatSource> ChaosSource<S> {
+    /// Wrap `inner`, returning the faulty source and its control handle.
+    pub fn wrap(inner: S, cfg: ChaosConfig) -> (ChaosSource<S>, ChaosControl) {
+        let shared = ChaosShared::new(cfg);
+        (ChaosSource { inner, shared: shared.clone() }, ChaosControl { shared })
+    }
+
+    /// Release the reorder buffer into the delivery queue.
+    pub fn flush(&self) {
+        let mut eng = self.shared.engine.lock();
+        let mut out = Vec::new();
+        eng.flush(&mut out);
+        eng.ready.extend(out);
+    }
+}
+
+impl<S: HeartbeatSource> HeartbeatSource for ChaosSource<S> {
+    fn recv(&self, timeout: Duration) -> io::Result<Option<Heartbeat>> {
+        if let Some(hb) = self.shared.engine.lock().ready.pop_front() {
+            return Ok(Some(hb));
+        }
+        // Keep pulling until a heartbeat survives the fault pipeline or
+        // the inner source has nothing (each pull may wait up to
+        // `timeout`, so a loss burst can stretch the effective wait —
+        // exactly what a lossy wire does to a blocking receiver).
+        loop {
+            match self.inner.recv(timeout)? {
+                None => return Ok(None),
+                Some(hb) => {
+                    let mut eng = self.shared.engine.lock();
+                    let mut out = Vec::new();
+                    eng.process(hb, &mut out);
+                    eng.ready.extend(out);
+                    if let Some(hb) = eng.ready.pop_front() {
+                        return Ok(Some(hb));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemoryTransport;
+
+    fn hb(seq: u64) -> Heartbeat {
+        Heartbeat { stream: 7, seq, sent_nanos: seq as i64 * 1_000_000 }
+    }
+
+    fn drain(source: &impl HeartbeatSource) -> Vec<Heartbeat> {
+        let mut got = Vec::new();
+        while let Some(h) = source.recv(Duration::ZERO).unwrap() {
+            got.push(h);
+        }
+        got
+    }
+
+    #[test]
+    fn default_config_is_transparent() {
+        let (inner_sink, source) = MemoryTransport::perfect();
+        let (sink, ctl) = ChaosSink::wrap(inner_sink, ChaosConfig::default());
+        for i in 0..100 {
+            sink.send(hb(i)).unwrap();
+        }
+        let got = drain(&source);
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().enumerate().all(|(i, h)| h.seq == i as u64), "order preserved");
+        let s = ctl.stats();
+        assert_eq!((s.offered, s.delivered), (100, 100));
+        assert_eq!(s.lost + s.duplicated + s.corrupted + s.held_back, 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let run = |seed| {
+            let (inner_sink, source) = MemoryTransport::perfect();
+            let cfg = ChaosConfig {
+                seed,
+                loss: LossConfig::Bernoulli { p: 0.2 },
+                dup_rate: 0.1,
+                corrupt_rate: 0.05,
+                reorder: Some(ReorderConfig { buffer: 4, p_hold: 0.3 }),
+            };
+            let (sink, ctl) = ChaosSink::wrap(inner_sink, cfg);
+            for i in 0..1_000 {
+                sink.send(hb(i)).unwrap();
+            }
+            sink.flush().unwrap();
+            (drain(&source), ctl.stats())
+        };
+        let (a, sa) = run(42);
+        let (b, sb) = run(42);
+        assert_eq!(a, b, "same seed → identical delivery");
+        assert_eq!(sa, sb);
+        let (c, _) = run(43);
+        assert_ne!(a, c, "different seed → different schedule");
+    }
+
+    #[test]
+    fn counters_are_conserved() {
+        let (inner_sink, source) = MemoryTransport::perfect();
+        let cfg = ChaosConfig {
+            seed: 7,
+            loss: LossConfig::bursty(0.05, 5.0),
+            dup_rate: 0.2,
+            corrupt_rate: 0.1,
+            reorder: Some(ReorderConfig { buffer: 8, p_hold: 0.4 }),
+        };
+        let (sink, ctl) = ChaosSink::wrap(inner_sink, cfg);
+        for i in 0..5_000 {
+            sink.send(hb(i)).unwrap();
+        }
+        sink.flush().unwrap();
+        let got = drain(&source);
+        let s = ctl.stats();
+        assert_eq!(s.offered, 5_000);
+        assert_eq!(s.in_flight(), 0, "flush drained the buffer: {s:?}");
+        assert_eq!(got.len() as u64, s.delivered, "{s:?}");
+        assert!(s.lost > 100 && s.duplicated > 500 && s.corrupted > 300, "{s:?}");
+        assert!(s.corrupt_dropped > 0 && s.corrupt_dropped < s.corrupted, "{s:?}");
+        assert!(s.held_back > 500, "{s:?}");
+    }
+
+    #[test]
+    fn partition_window_drops_everything_then_heals() {
+        let (inner_sink, source) = MemoryTransport::perfect();
+        let (sink, ctl) = ChaosSink::wrap(inner_sink, ChaosConfig::default());
+        sink.send(hb(0)).unwrap();
+        ctl.set_partitioned(true);
+        assert!(ctl.is_partitioned());
+        for i in 1..=10 {
+            sink.send(hb(i)).unwrap();
+        }
+        ctl.set_partitioned(false);
+        sink.send(hb(11)).unwrap();
+        let got = drain(&source);
+        assert_eq!(got.iter().map(|h| h.seq).collect::<Vec<_>>(), vec![0, 11]);
+        assert_eq!(ctl.stats().partition_dropped, 10);
+    }
+
+    #[test]
+    fn stall_blocks_the_sender_once() {
+        let (inner_sink, _source) = MemoryTransport::perfect();
+        let (sink, ctl) = ChaosSink::wrap(inner_sink, ChaosConfig::default());
+        ctl.stall_for(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        sink.send(hb(0)).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(45), "first send stalls");
+        let t1 = std::time::Instant::now();
+        sink.send(hb(1)).unwrap();
+        assert!(t1.elapsed() < std::time::Duration::from_millis(40), "stall does not repeat");
+    }
+
+    #[test]
+    fn reordering_scrambles_but_delivers_all() {
+        let (inner_sink, source) = MemoryTransport::perfect();
+        let cfg = ChaosConfig {
+            seed: 3,
+            reorder: Some(ReorderConfig { buffer: 8, p_hold: 0.5 }),
+            ..ChaosConfig::default()
+        };
+        let (sink, ctl) = ChaosSink::wrap(inner_sink, cfg);
+        for i in 0..500 {
+            sink.send(hb(i)).unwrap();
+        }
+        sink.flush().unwrap();
+        let mut seqs: Vec<u64> = drain(&source).iter().map(|h| h.seq).collect();
+        assert!(seqs.windows(2).any(|w| w[1] < w[0]), "some out-of-order delivery");
+        assert_eq!(ctl.stats().in_flight(), 0);
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..500).collect::<Vec<_>>(), "nothing lost, nothing invented");
+    }
+
+    #[test]
+    fn source_wrapper_injects_on_receive() {
+        let (inner_sink, inner_source) = MemoryTransport::perfect();
+        let cfg = ChaosConfig {
+            seed: 9,
+            loss: LossConfig::Bernoulli { p: 0.5 },
+            dup_rate: 0.5,
+            ..ChaosConfig::default()
+        };
+        let (source, ctl) = ChaosSource::wrap(inner_source, cfg);
+        for i in 0..2_000 {
+            inner_sink.send(hb(i)).unwrap();
+        }
+        let got = drain(&source);
+        let s = ctl.stats();
+        assert_eq!(s.offered, 2_000);
+        assert_eq!(got.len() as u64, s.delivered);
+        assert!(s.lost > 800, "{s:?}");
+        assert!(s.duplicated > 300, "{s:?}");
+    }
+}

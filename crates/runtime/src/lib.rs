@@ -25,11 +25,15 @@
 //!   freshness point, so idle ticks cost O(expiries) not O(streams);
 //! * [`probe`] — the paper's parallel low-frequency ping: RTT statistics
 //!   and a connectivity verdict, feeding the margin planner and
-//!   disambiguating crash from partition.
+//!   disambiguating crash from partition;
+//! * [`chaos`] — a fault-injecting wrapper around any transport
+//!   (loss, partitions, duplication, reordering, bit corruption, sender
+//!   stalls), seeded and deterministic, for chaos-testing the monitors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod monitor;
 pub mod multi;
@@ -39,12 +43,18 @@ pub mod transport;
 pub mod wheel;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, ReorderConfig};
 pub use clock::WallClock;
 pub use monitor::{DynMonitorService, MonitorConfig, MonitorService, StatusSnapshot};
-pub use multi::{ExpiryPolicy, MultiMonitorService, ShardCore};
+pub use multi::{
+    ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore, MAX_SEQ_JUMP,
+    STALE_STREAK_REBASELINE,
+};
 pub use probe::{EchoResponder, RttProbe, RttReport};
 pub use sender::{HeartbeatSender, SenderConfig};
-pub use sfd_core::monitor::{Monitor, StreamSnapshot};
-pub use transport::{HeartbeatSink, HeartbeatSource, MemoryTransport, UdpSink, UdpSource};
+pub use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
+pub use transport::{
+    HeartbeatSink, HeartbeatSource, MemoryTransport, OverloadPolicy, UdpSink, UdpSource,
+};
 pub use wheel::TimingWheel;
 pub use wire::Heartbeat;

@@ -18,11 +18,12 @@
 //! up to the difference between the first and current one-way delay.
 
 use crate::clock::WallClock;
+use crate::multi::{MAX_SEQ_JUMP, STALE_STREAK_REBASELINE};
 use crate::transport::HeartbeatSource;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
 use sfd_core::error::CoreResult;
-use sfd_core::monitor::{Monitor, StreamSnapshot};
+use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
 use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::SuspicionLog;
@@ -75,6 +76,11 @@ struct State<D> {
     last_state: bool,
     last_heartbeat: Option<Instant>,
     heartbeats: u64,
+    /// Newest accepted sequence number — the dedupe/corruption baseline.
+    last_seq: Option<u64>,
+    /// Consecutive stale arrivals since the last accepted heartbeat.
+    stale_streak: u32,
+    health: StreamHealth,
     finished_mistakes: u64,
     epochs: u64,
     // clock-offset anchor for live TD estimation
@@ -122,6 +128,9 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
             last_state: false,
             last_heartbeat: None,
             heartbeats: 0,
+            last_seq: None,
+            stale_streak: 0,
+            health: StreamHealth::default(),
             finished_mistakes: 0,
             epochs: 0,
             offset_nanos: None,
@@ -154,12 +163,51 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
                         st.last_state = pre;
                     }
 
+                    // Reject corrupted sender timestamps before anything
+                    // — crucially before the offset anchor below, which a
+                    // corrupt *first* heartbeat would otherwise poison
+                    // for the lifetime of the stream.
+                    let received = received.filter(|hb| {
+                        let ok = hb.plausible_sent();
+                        if !ok {
+                            st.health.rejected_timestamps += 1;
+                        }
+                        ok
+                    });
+
                     // First heartbeat binds the stream id; later
                     // heartbeats from other streams are not ours.
                     let received =
                         received.filter(|hb| *st.stream.get_or_insert(hb.stream) == hb.stream);
 
+                    // Dedupe and corruption-guard the sequence number so
+                    // replays never reach the detector as zero-gap
+                    // arrivals and one flipped bit never teleports the
+                    // baseline (same rules as the sharded monitor).
+                    let received = received.filter(|hb| match st.last_seq {
+                        Some(last) if hb.seq <= last => {
+                            st.stale_streak += 1;
+                            if st.stale_streak < STALE_STREAK_REBASELINE {
+                                st.health.duplicates += 1;
+                                return false;
+                            }
+                            // Persistent staleness: the baseline is what
+                            // is wrong (sender restart). Start over.
+                            st.detector.reset();
+                            st.offset_nanos = None;
+                            st.health.rebaselines += 1;
+                            true
+                        }
+                        Some(last) if hb.seq - last > MAX_SEQ_JUMP => {
+                            st.health.rejected_seq_jumps += 1;
+                            false
+                        }
+                        _ => true,
+                    });
+
                     if let Some(hb) = received {
+                        st.last_seq = Some(hb.seq);
+                        st.stale_streak = 0;
                         if pre {
                             // The process just proved it is alive: the
                             // suspicion period was wrong and is over.
@@ -230,6 +278,7 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
             heartbeats: st.heartbeats,
             last_heartbeat: st.last_heartbeat,
             freshness_point: st.detector.freshness_point(),
+            health: st.health,
         }
     }
 
@@ -279,6 +328,9 @@ impl Monitor for DynMonitorService {
         st.last_state = false;
         st.last_heartbeat = None;
         st.heartbeats = 0;
+        st.last_seq = None;
+        st.stale_streak = 0;
+        st.health = StreamHealth::default();
         st.finished_mistakes = 0;
         st.offset_nanos = None;
         st.epoch_start = None;
@@ -298,6 +350,9 @@ impl Monitor for DynMonitorService {
         st.last_state = false;
         st.last_heartbeat = None;
         st.heartbeats = 0;
+        st.last_seq = None;
+        st.stale_streak = 0;
+        st.health = StreamHealth::default();
         st.offset_nanos = None;
         st.epoch_start = None;
         st.epoch_td_sum = 0.0;
@@ -428,6 +483,26 @@ mod tests {
         // Margin must have been pulled down toward the 200 ms TD budget.
         let margin = monitor.with_detector(|d| d.margin());
         assert!(margin < Duration::from_millis(400), "margin should shrink, still {margin}");
+        monitor.stop();
+    }
+
+    #[test]
+    fn rejects_duplicates_and_corrupt_timestamps() {
+        use crate::transport::HeartbeatSink;
+        use crate::wire::Heartbeat;
+        let (sink, source) = MemoryTransport::perfect();
+        let mut monitor = MonitorService::spawn(chen(), source, MonitorConfig::default());
+        for i in 0..10u64 {
+            sink.send(Heartbeat { stream: 1, seq: i, sent_nanos: i as i64 * 5_000_000 }).unwrap();
+        }
+        // A replayed heartbeat and one with a corrupted timestamp.
+        sink.send(Heartbeat { stream: 1, seq: 4, sent_nanos: 20_000_000 }).unwrap();
+        sink.send(Heartbeat { stream: 1, seq: 10, sent_nanos: i64::MAX }).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let s = monitor.status();
+        assert_eq!(s.stream.heartbeats, 10, "replay and corrupt timestamp never landed");
+        assert_eq!(s.stream.health.duplicates, 1);
+        assert_eq!(s.stream.health.rejected_timestamps, 1);
         monitor.stop();
     }
 

@@ -33,7 +33,7 @@ use crate::wheel::TimingWheel;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
 use sfd_core::error::CoreResult;
-use sfd_core::monitor::{Monitor, StreamSnapshot};
+use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
 use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::{SuspicionLog, Transition};
@@ -42,6 +42,51 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// What [`ShardCore::heartbeat`] did with an incoming heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Fresh heartbeat: fed to the detector, timers re-armed.
+    Accepted,
+    /// Accepted after a stale-streak re-baseline: the detector was reset
+    /// because the sender evidently restarted with a lower sequence
+    /// counter (or the previous baseline was corrupt).
+    Rebaselined,
+    /// Rejected: sequence number not newer than the last accepted one
+    /// (wire-level duplicate or reordering). Feeding it through would
+    /// enter the detector as a zero-gap arrival and collapse `EA(k+1)`.
+    Duplicate,
+    /// Rejected: sequence number implausibly far ahead of the last
+    /// accepted one — bit-flip corruption, not loss.
+    SeqJump,
+    /// The stream id is not registered on this shard.
+    UnknownStream,
+}
+
+impl IngestOutcome {
+    /// Did the heartbeat reach the detector?
+    pub fn is_accepted(self) -> bool {
+        matches!(self, IngestOutcome::Accepted | IngestOutcome::Rebaselined)
+    }
+}
+
+/// Largest credible forward jump between consecutive sequence numbers.
+///
+/// Real gaps come from message loss, and a detector that has lost ~10⁶
+/// consecutive heartbeats has long since (correctly) suspected the
+/// stream; a jump beyond this is a corrupted sequence field. Rejecting it
+/// keeps one flipped high bit from teleporting the stream's baseline to
+/// `u64::MAX`-land, after which every honest heartbeat looks stale.
+pub const MAX_SEQ_JUMP: u64 = 1 << 20;
+
+/// Consecutive stale heartbeats after which the stream is re-baselined.
+///
+/// One or two stale arrivals are routine reordering/duplication; a long
+/// unbroken streak means the *monitor's* baseline is wrong — either a
+/// corrupted accepted seq (see [`MAX_SEQ_JUMP`], which bounds but cannot
+/// eliminate this) or a sender restart that reset its counter. Resetting
+/// the detector and adopting the incoming seq recovers in bounded time.
+pub const STALE_STREAK_REBASELINE: u32 = 8;
 
 /// How a shard discovers that freshness points have passed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,10 +115,30 @@ struct StreamState {
     detector: Box<dyn FailureDetector + Send>,
     heartbeats: u64,
     last_heartbeat: Option<Instant>,
+    /// Newest accepted sequence number — the dedupe/corruption baseline.
+    last_seq: Option<u64>,
+    /// Consecutive stale arrivals since the last accepted heartbeat.
+    stale_streak: u32,
     /// Binary output as of the last heartbeat/advance, driving the
     /// transition log. Snapshots recompute exactly from the detector.
     suspect: bool,
     log: SuspicionLog,
+    health: StreamHealth,
+}
+
+impl StreamState {
+    fn fresh(detector: Box<dyn FailureDetector + Send>) -> StreamState {
+        StreamState {
+            detector,
+            heartbeats: 0,
+            last_heartbeat: None,
+            last_seq: None,
+            stale_streak: 0,
+            suspect: false,
+            log: SuspicionLog::new(),
+            health: StreamHealth::default(),
+        }
+    }
 }
 
 /// One shard of the multi-stream monitor: a detector map plus the expiry
@@ -82,10 +147,21 @@ struct StreamState {
 /// All operations take an explicit `now`, so the same engine runs under
 /// the live service thread (wall clock) and under simulated time in
 /// benches and the wheel-vs-scan equivalence property test.
+///
+/// The shard defends its detectors from hostile input: stale sequence
+/// numbers are rejected (not fed as zero-gap arrivals), implausible
+/// sequence jumps are rejected as corruption, a persistent stale streak
+/// re-baselines the stream, and a backwards-stepping clock is clamped to
+/// the shard's high-water mark. Everything rejected or clamped is counted
+/// in the stream's [`StreamHealth`].
 pub struct ShardCore {
     policy: ExpiryPolicy,
     streams: HashMap<u64, StreamState>,
     wheel: TimingWheel,
+    /// High-water mark of observed time, enforcing monotonic ingest even
+    /// if the platform clock steps backwards.
+    last_now: Option<Instant>,
+    clock_clamps: u64,
 }
 
 impl ShardCore {
@@ -93,7 +169,13 @@ impl ShardCore {
     /// (ignored under [`ExpiryPolicy::Scan`]); firing precision is exact
     /// regardless — see [`TimingWheel`].
     pub fn new(policy: ExpiryPolicy, wheel_tick: Duration) -> ShardCore {
-        ShardCore { policy, streams: HashMap::new(), wheel: TimingWheel::new(wheel_tick) }
+        ShardCore {
+            policy,
+            streams: HashMap::new(),
+            wheel: TimingWheel::new(wheel_tick),
+            last_now: None,
+            clock_clamps: 0,
+        }
     }
 
     /// Is `stream` registered here?
@@ -101,12 +183,58 @@ impl ShardCore {
         self.streams.contains_key(&stream)
     }
 
-    /// Feed one heartbeat. Returns `false` if the stream is unknown
-    /// (the caller counts those). Re-arms the stream's expiry timer.
-    pub fn heartbeat(&mut self, stream: u64, seq: u64, now: Instant) -> bool {
+    /// Times a non-monotonic `now` was clamped to the shard's high-water
+    /// mark (also surfaced per stream via [`StreamHealth::clock_clamps`]).
+    pub fn clock_clamps(&self) -> u64 {
+        self.clock_clamps
+    }
+
+    /// Clamp `now` to be non-decreasing across all shard operations. The
+    /// detectors and the wheel both require monotonic time; a VM migration
+    /// or NTP step must not feed them a rewound clock.
+    fn clamp_now(&mut self, now: Instant) -> Instant {
+        match self.last_now {
+            Some(last) if now < last => {
+                self.clock_clamps += 1;
+                last
+            }
+            _ => {
+                self.last_now = Some(now);
+                now
+            }
+        }
+    }
+
+    /// Feed one heartbeat and report what became of it. Accepted
+    /// heartbeats reach the detector and re-arm the stream's expiry
+    /// timer; rejected ones only bump the stream's health counters.
+    pub fn heartbeat(&mut self, stream: u64, seq: u64, now: Instant) -> IngestOutcome {
+        let now = self.clamp_now(now);
         let Some(st) = self.streams.get_mut(&stream) else {
-            return false;
+            return IngestOutcome::UnknownStream;
         };
+        let mut outcome = IngestOutcome::Accepted;
+        match st.last_seq {
+            Some(last) if seq <= last => {
+                st.stale_streak += 1;
+                if st.stale_streak < STALE_STREAK_REBASELINE {
+                    st.health.duplicates += 1;
+                    return IngestOutcome::Duplicate;
+                }
+                // A whole streak of "stale" heartbeats: our baseline is
+                // the thing that is wrong. Start over from this arrival.
+                st.detector.reset();
+                st.health.rebaselines += 1;
+                outcome = IngestOutcome::Rebaselined;
+            }
+            Some(last) if seq - last > MAX_SEQ_JUMP => {
+                st.health.rejected_seq_jumps += 1;
+                return IngestOutcome::SeqJump;
+            }
+            _ => {}
+        }
+        st.last_seq = Some(seq);
+        st.stale_streak = 0;
         if st.suspect {
             // The process just proved it is alive: the suspicion period
             // was wrong and is over.
@@ -124,13 +252,14 @@ impl ShardCore {
                 }
             }
         }
-        true
+        outcome
     }
 
     /// Advance to `now`, recording any trust→suspect transitions whose
     /// freshness point has passed. Returns how many streams became
-    /// suspect. `now` must be non-decreasing across calls.
+    /// suspect. A `now` earlier than previously observed is clamped.
     pub fn advance(&mut self, now: Instant) -> usize {
+        let now = self.clamp_now(now);
         match self.policy {
             ExpiryPolicy::Scan => {
                 let mut newly = 0;
@@ -231,6 +360,7 @@ impl ShardCore {
             heartbeats: st.heartbeats,
             last_heartbeat: st.last_heartbeat,
             freshness_point: st.detector.freshness_point(),
+            health: StreamHealth { clock_clamps: self.clock_clamps, ..st.health },
         }
     }
 }
@@ -238,16 +368,7 @@ impl ShardCore {
 impl Monitor for ShardCore {
     fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
         let detector = spec.build()?;
-        self.streams.insert(
-            stream,
-            StreamState {
-                detector,
-                heartbeats: 0,
-                last_heartbeat: None,
-                suspect: false,
-                log: SuspicionLog::new(),
-            },
-        );
+        self.streams.insert(stream, StreamState::fresh(detector));
         // A fresh detector is in warm-up (no τ yet); the first heartbeat
         // arms the timer. Any stale timer for a replaced stream dies here.
         self.wheel.cancel(stream);
@@ -285,11 +406,25 @@ struct Shared {
     /// `shards.len() - 1`; the shard count is a power of two.
     mask: u64,
     unknown_heartbeats: AtomicU64,
+    /// Heartbeats discarded at ingest for an implausible sender
+    /// timestamp (see [`crate::wire::Heartbeat::plausible_sent`]).
+    implausible_timestamps: AtomicU64,
+    /// Times the service loop panicked and was restarted.
+    supervisor_restarts: AtomicU64,
+    /// Test hook: makes the next service-loop iteration panic.
+    inject_panic: AtomicBool,
 }
 
 impl Shared {
     fn shard_of(&self, stream: u64) -> &Mutex<ShardCore> {
         &self.shards[(splitmix64(stream) & self.mask) as usize]
+    }
+
+    /// Stamp service-level health (supervisor restarts) onto a snapshot
+    /// produced by a shard.
+    fn stamp(&self, mut snap: StreamSnapshot) -> StreamSnapshot {
+        snap.health.supervisor_restarts = self.supervisor_restarts.load(Ordering::Relaxed);
+        snap
     }
 }
 
@@ -331,6 +466,9 @@ impl MultiMonitorService {
             shards: (0..nshards).map(|_| Mutex::new(ShardCore::new(policy, wheel_tick))).collect(),
             mask: nshards as u64 - 1,
             unknown_heartbeats: AtomicU64::new(0),
+            implausible_timestamps: AtomicU64::new(0),
+            supervisor_restarts: AtomicU64::new(0),
+            inject_panic: AtomicBool::new(false),
         });
         let clock = WallClock::new();
         let stop = Arc::new(AtomicBool::new(false));
@@ -341,55 +479,25 @@ impl MultiMonitorService {
         let handle = std::thread::Builder::new()
             .name("sfd-multi-monitor".into())
             .spawn(move || {
-                let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nshards];
+                // Supervisor: a panic anywhere in the service loop must
+                // not silently end failure detection. Shard state (the
+                // detector maps and wheels) lives in `Shared` behind
+                // parking_lot mutexes, which unlock — without poisoning —
+                // when the loop unwinds, so the restarted loop resumes
+                // over the same detectors and pending expirations.
                 let mut epoch_start = t_clock.now();
-                let mut dead = false;
-                while !dead && !t_stop.load(Ordering::Relaxed) {
-                    // Drain the transport into per-shard batches: one
-                    // blocking poll, then whatever is already queued.
-                    let mut drained = 0usize;
-                    loop {
-                        let timeout = if drained == 0 { cfg.poll_interval } else { Duration::ZERO };
-                        match source.recv(timeout) {
-                            Ok(Some(hb)) => {
-                                let idx = (splitmix64(hb.stream) & t_shared.mask) as usize;
-                                buckets[idx].push((hb.stream, hb.seq));
-                                drained += 1;
-                                if drained >= BATCH_CAP {
-                                    break;
-                                }
-                            }
-                            Ok(None) => break,
-                            Err(_) => {
-                                dead = true; // transport gone; flush and exit
-                                break;
-                            }
-                        }
-                    }
-
-                    let now = t_clock.now();
-                    if drained > 0 {
-                        for (idx, bucket) in buckets.iter_mut().enumerate() {
-                            if bucket.is_empty() {
-                                continue;
-                            }
-                            let mut shard = t_shared.shards[idx].lock();
-                            for (stream, seq) in bucket.drain(..) {
-                                if !shard.heartbeat(stream, seq, now) {
-                                    t_shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                    }
-                    for shard in &t_shared.shards {
-                        shard.lock().advance(now);
-                    }
-                    if let Some(epoch_len) = cfg.epoch {
-                        if now - epoch_start >= epoch_len {
-                            for shard in &t_shared.shards {
-                                shard.lock().apply_epoch_feedback(epoch_start, now);
-                            }
-                            epoch_start = now;
+                while !t_stop.load(Ordering::Relaxed) {
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        Self::service_loop(&source, &cfg, &t_shared, &t_clock, &t_stop, &mut epoch_start)
+                    }));
+                    match run {
+                        Ok(()) => break, // clean exit: stopped or transport gone
+                        Err(_) => {
+                            let n =
+                                t_shared.supervisor_restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                            eprintln!(
+                                "sfd-multi-monitor: service loop panicked; restarting (restart #{n})"
+                            );
                         }
                     }
                 }
@@ -397,6 +505,80 @@ impl MultiMonitorService {
             .expect("spawn multi-monitor thread");
 
         MultiMonitorService { shared, clock, stop, handle: Some(handle) }
+    }
+
+    /// Body of the service thread; returns on stop or dead transport.
+    /// Runs under the supervisor's `catch_unwind`.
+    fn service_loop<S: HeartbeatSource>(
+        source: &S,
+        cfg: &MonitorConfig,
+        shared: &Shared,
+        clock: &WallClock,
+        stop: &AtomicBool,
+        epoch_start: &mut Instant,
+    ) {
+        let nshards = shared.shards.len();
+        let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nshards];
+        let mut dead = false;
+        while !dead && !stop.load(Ordering::Relaxed) {
+            if shared.inject_panic.swap(false, Ordering::Relaxed) {
+                panic!("injected service-loop panic (test hook)");
+            }
+            // Drain the transport into per-shard batches: one
+            // blocking poll, then whatever is already queued.
+            let mut drained = 0usize;
+            loop {
+                let timeout = if drained == 0 { cfg.poll_interval } else { Duration::ZERO };
+                match source.recv(timeout) {
+                    Ok(Some(hb)) => {
+                        if !hb.plausible_sent() {
+                            // A corrupted datagram that happened to keep a
+                            // valid header; count it and keep it away from
+                            // the detectors.
+                            shared.implausible_timestamps.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let idx = (splitmix64(hb.stream) & shared.mask) as usize;
+                        buckets[idx].push((hb.stream, hb.seq));
+                        drained += 1;
+                        if drained >= BATCH_CAP {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead = true; // transport gone; flush and exit
+                        break;
+                    }
+                }
+            }
+
+            let now = clock.now();
+            if drained > 0 {
+                for (idx, bucket) in buckets.iter_mut().enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let mut shard = shared.shards[idx].lock();
+                    for (stream, seq) in bucket.drain(..) {
+                        if shard.heartbeat(stream, seq, now) == IngestOutcome::UnknownStream {
+                            shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            for shard in &shared.shards {
+                shard.lock().advance(now);
+            }
+            if let Some(epoch_len) = cfg.epoch {
+                if now - *epoch_start >= epoch_len {
+                    for shard in &shared.shards {
+                        shard.lock().apply_epoch_feedback(*epoch_start, now);
+                    }
+                    *epoch_start = now;
+                }
+            }
+        }
     }
 
     /// Spawn the service on `source`, polling at `poll_interval`.
@@ -433,17 +615,42 @@ impl MultiMonitorService {
         self.shared.unknown_heartbeats.load(Ordering::Relaxed)
     }
 
+    /// Heartbeats discarded at ingest because their sender timestamp was
+    /// outside the plausible window (corrupted datagrams whose header
+    /// survived the magic/version check).
+    pub fn implausible_timestamps(&self) -> u64 {
+        self.shared.implausible_timestamps.load(Ordering::Relaxed)
+    }
+
+    /// Times the service loop panicked and was restarted by its
+    /// supervisor. Zero in a healthy deployment; also stamped onto every
+    /// [`StreamSnapshot`]'s health.
+    pub fn supervisor_restarts(&self) -> u64 {
+        self.shared.supervisor_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Chaos/test hook: make the next service-loop iteration panic, to
+    /// exercise the supervisor's restart path. Detection state survives.
+    pub fn inject_loop_panic(&self) {
+        self.shared.inject_panic.store(true, Ordering::Relaxed);
+    }
+
     /// Snapshot one stream now (`None` if not watched).
     pub fn status(&self, stream: u64) -> Option<StreamSnapshot> {
         let now = self.clock.now();
-        self.shared.shard_of(stream).lock().snapshot(stream, now)
+        self.shared.shard_of(stream).lock().snapshot(stream, now).map(|s| self.shared.stamp(s))
     }
 
     /// Snapshot every watched stream now.
     pub fn statuses(&self) -> Vec<StreamSnapshot> {
         let now = self.clock.now();
-        let mut all: Vec<StreamSnapshot> =
-            self.shared.shards.iter().flat_map(|s| s.lock().snapshot_all(now)).collect();
+        let mut all: Vec<StreamSnapshot> = self
+            .shared
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().snapshot_all(now))
+            .map(|s| self.shared.stamp(s))
+            .collect();
         all.sort_unstable_by_key(|s| s.stream);
         all
     }
@@ -476,12 +683,17 @@ impl Monitor for MultiMonitorService {
     }
 
     fn snapshot(&self, stream: u64, now: Instant) -> Option<StreamSnapshot> {
-        self.shared.shard_of(stream).lock().snapshot(stream, now)
+        self.shared.shard_of(stream).lock().snapshot(stream, now).map(|s| self.shared.stamp(s))
     }
 
     fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
-        let mut all: Vec<StreamSnapshot> =
-            self.shared.shards.iter().flat_map(|s| s.lock().snapshot_all(now)).collect();
+        let mut all: Vec<StreamSnapshot> = self
+            .shared
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().snapshot_all(now))
+            .map(|s| self.shared.stamp(s))
+            .collect();
         all.sort_unstable_by_key(|s| s.stream);
         all
     }
@@ -660,10 +872,14 @@ mod tests {
         .unwrap();
         for i in 0..50u64 {
             let at = Instant::from_millis((i as i64 + 1) * 100);
-            assert!(core.heartbeat(1, i, at));
+            assert_eq!(core.heartbeat(1, i, at), IngestOutcome::Accepted);
             core.advance(at);
         }
-        assert!(!core.heartbeat(9, 0, Instant::from_millis(5_000)), "unknown stream");
+        assert_eq!(
+            core.heartbeat(9, 0, Instant::from_millis(5_000)),
+            IngestOutcome::UnknownStream,
+            "unknown stream"
+        );
         assert!(!core.snapshot(1, Instant::from_millis(5_050)).unwrap().suspect);
         // Silence: the wheel fires and the transition is logged once.
         assert_eq!(core.advance(Instant::from_millis(60_000)), 1);
@@ -672,9 +888,145 @@ mod tests {
         assert_eq!(tr.len(), 1);
         assert!(tr[0].suspect);
         // The next heartbeat logs the trust transition and re-arms.
-        assert!(core.heartbeat(1, 50, Instant::from_millis(61_500)));
+        assert_eq!(core.heartbeat(1, 50, Instant::from_millis(61_500)), IngestOutcome::Accepted);
         let tr = core.transitions(1).unwrap();
         assert_eq!(tr.len(), 2);
         assert!(!tr[1].suspect);
+    }
+
+    fn chen_core() -> ShardCore {
+        let interval = Duration::from_millis(100);
+        let mut core = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+        core.register(
+            1,
+            &DetectorSpec::default_for(sfd_core::detector::DetectorKind::Chen, interval),
+        )
+        .unwrap();
+        core
+    }
+
+    #[test]
+    fn duplicates_are_rejected_and_counted() {
+        let mut core = chen_core();
+        for i in 0..20u64 {
+            let at = Instant::from_millis((i as i64 + 1) * 100);
+            assert!(core.heartbeat(1, i, at).is_accepted());
+        }
+        let fp_before = core.snapshot(1, Instant::from_millis(2_000)).unwrap().freshness_point;
+        // Replay a recent heartbeat twice: rejected, detector untouched.
+        let at = Instant::from_millis(2_050);
+        assert_eq!(core.heartbeat(1, 19, at), IngestOutcome::Duplicate);
+        assert_eq!(core.heartbeat(1, 3, at), IngestOutcome::Duplicate);
+        let snap = core.snapshot(1, at).unwrap();
+        assert_eq!(snap.health.duplicates, 2);
+        assert_eq!(snap.heartbeats, 20, "duplicates not counted as heartbeats");
+        assert_eq!(snap.freshness_point, fp_before, "duplicate must not move τ");
+    }
+
+    #[test]
+    fn duplicate_does_not_clear_suspicion() {
+        let mut core = chen_core();
+        for i in 0..20u64 {
+            core.heartbeat(1, i, Instant::from_millis((i as i64 + 1) * 100));
+        }
+        assert_eq!(core.advance(Instant::from_millis(60_000)), 1);
+        // A replayed old heartbeat is not evidence of life.
+        assert_eq!(core.heartbeat(1, 5, Instant::from_millis(60_100)), IngestOutcome::Duplicate);
+        assert!(core.snapshot(1, Instant::from_millis(60_200)).unwrap().suspect);
+    }
+
+    #[test]
+    fn absurd_seq_jump_is_rejected() {
+        let mut core = chen_core();
+        for i in 0..20u64 {
+            core.heartbeat(1, i, Instant::from_millis((i as i64 + 1) * 100));
+        }
+        // A flipped high bit teleports seq; the baseline must not follow.
+        let at = Instant::from_millis(2_100);
+        assert_eq!(core.heartbeat(1, 19 | (1 << 40), at), IngestOutcome::SeqJump);
+        assert_eq!(core.heartbeat(1, u64::MAX, at), IngestOutcome::SeqJump);
+        // The honest successor is still accepted.
+        assert_eq!(core.heartbeat(1, 20, at), IngestOutcome::Accepted);
+        let snap = core.snapshot(1, at).unwrap();
+        assert_eq!(snap.health.rejected_seq_jumps, 2);
+        assert_eq!(snap.heartbeats, 21);
+    }
+
+    #[test]
+    fn stale_streak_rebaselines_after_sender_restart() {
+        let mut core = chen_core();
+        for i in 100..150u64 {
+            core.heartbeat(1, i, Instant::from_millis((i as i64 - 99) * 100));
+        }
+        // Sender restarts: seq counter resets to 0. The first few arrivals
+        // look stale; a full streak re-baselines the stream.
+        let mut outcome = IngestOutcome::Accepted;
+        let mut t = 5_100i64;
+        let mut seq = 0u64;
+        for _ in 0..STALE_STREAK_REBASELINE {
+            outcome = core.heartbeat(1, seq, Instant::from_millis(t));
+            seq += 1;
+            t += 100;
+        }
+        assert_eq!(outcome, IngestOutcome::Rebaselined);
+        let snap = core.snapshot(1, Instant::from_millis(t)).unwrap();
+        assert_eq!(snap.health.rebaselines, 1);
+        // From here the restarted sender's stream is tracked normally.
+        assert_eq!(core.heartbeat(1, seq, Instant::from_millis(t)), IngestOutcome::Accepted);
+    }
+
+    #[test]
+    fn backwards_clock_is_clamped() {
+        let mut core = chen_core();
+        for i in 0..20u64 {
+            core.heartbeat(1, i, Instant::from_millis((i as i64 + 1) * 100));
+        }
+        // The platform clock steps back 1 s; ingest is clamped to the
+        // high-water mark instead of feeding the detector rewound time.
+        assert!(core.heartbeat(1, 20, Instant::from_millis(1_000)).is_accepted());
+        let snap = core.snapshot(1, Instant::from_millis(2_100)).unwrap();
+        assert_eq!(snap.health.clock_clamps, 1);
+        assert_eq!(snap.last_heartbeat, Some(Instant::from_millis(2_000)), "clamped arrival");
+        assert_eq!(core.clock_clamps(), 1);
+    }
+
+    #[test]
+    fn supervisor_restarts_after_panic_and_detection_survives() {
+        let (sink, source) = MemoryTransport::perfect();
+        let sink = Arc::new(sink);
+        let mut monitor = MultiMonitorService::spawn_with_config(source, cfg());
+        monitor.watch(1, &spec()).unwrap();
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert!(!monitor.status(1).unwrap().suspect);
+
+        monitor.inject_loop_panic();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert_eq!(monitor.supervisor_restarts(), 1, "panic was caught and the loop restarted");
+        let snap = monitor.status(1).unwrap();
+        assert_eq!(snap.health.supervisor_restarts, 1);
+        assert!(!snap.suspect, "stream stayed trusted across the restart");
+
+        // Detection still works after the restart: crash the sender.
+        sender.crash();
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        assert!(monitor.status(1).unwrap().suspect, "crash detected post-restart");
+        monitor.stop();
+    }
+
+    #[test]
+    fn implausible_timestamps_are_filtered() {
+        let (sink, source) = MemoryTransport::perfect();
+        let mut monitor = MultiMonitorService::spawn_with_config(source, cfg());
+        monitor.watch(1, &spec()).unwrap();
+        sink.send(crate::wire::Heartbeat { stream: 1, seq: 0, sent_nanos: i64::MIN }).unwrap();
+        sink.send(crate::wire::Heartbeat { stream: 1, seq: 1, sent_nanos: 0 }).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert_eq!(monitor.implausible_timestamps(), 1);
+        assert_eq!(monitor.status(1).unwrap().heartbeats, 1, "only the plausible one landed");
+        monitor.stop();
     }
 }

@@ -26,6 +26,7 @@ pub struct SenderConfig {
 pub struct HeartbeatSender {
     stop: Arc<AtomicBool>,
     sent: Arc<AtomicU64>,
+    missed: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -35,8 +36,10 @@ impl HeartbeatSender {
     pub fn spawn<S: HeartbeatSink + 'static>(cfg: SenderConfig, sink: S) -> HeartbeatSender {
         let stop = Arc::new(AtomicBool::new(false));
         let sent = Arc::new(AtomicU64::new(0));
+        let missed = Arc::new(AtomicU64::new(0));
         let thread_stop = stop.clone();
         let thread_sent = sent.clone();
+        let thread_missed = missed.clone();
         let handle = std::thread::Builder::new()
             .name(format!("sfd-sender-{}", cfg.stream))
             .spawn(move || {
@@ -50,23 +53,47 @@ impl HeartbeatSender {
                         break; // transport gone: nothing left to do
                     }
                     seq += 1;
-                    thread_sent.store(seq, Ordering::Relaxed);
+                    thread_sent.fetch_add(1, Ordering::Relaxed);
                     next += cfg.interval;
                     // Absolute-deadline pacing: a slow send does not shift
                     // the whole schedule (avoids cumulative drift).
                     let now = clock.now();
                     if next > now {
                         std::thread::sleep((next - now).to_std());
+                    } else {
+                        // Behind schedule (a stalled sink, a GC-like
+                        // pause): *skip* the missed deadlines instead of
+                        // bursting zero-gap catch-up heartbeats, which
+                        // would poison the monitor's inter-arrival
+                        // statistics. Each skipped deadline consumes its
+                        // sequence number, so the monitor sees the stall
+                        // as message loss — which is the honest signal.
+                        let mut skipped = 0u64;
+                        while next + cfg.interval <= now {
+                            next += cfg.interval;
+                            seq += 1;
+                            skipped += 1;
+                        }
+                        if skipped > 0 {
+                            thread_missed.fetch_add(skipped, Ordering::Relaxed);
+                        }
                     }
                 }
             })
             .expect("spawn sender thread");
-        HeartbeatSender { stop, sent, handle: Some(handle) }
+        HeartbeatSender { stop, sent, missed, handle: Some(handle) }
     }
 
     /// Heartbeats sent so far.
     pub fn sent(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Send deadlines skipped because the sender fell behind schedule
+    /// (its sequence numbers were consumed without a send, so the monitor
+    /// sees them as losses rather than a zero-gap burst).
+    pub fn missed_sends(&self) -> u64 {
+        self.missed.load(Ordering::Relaxed)
     }
 
     /// Fail-stop crash: stop emitting, silently. Blocks until the sender
@@ -107,14 +134,55 @@ mod tests {
         let n = sender.sent();
         // ~24 expected; CI schedulers are rough, accept a wide band.
         assert!((10..=40).contains(&n), "sent {n}");
-        // All heartbeats are sequential and carry the stream id.
-        let mut expected = 0;
+        // All heartbeats are in order and carry the stream id; seq gaps
+        // only appear where deadlines were missed.
+        let mut last: Option<u64> = None;
+        let mut received = 0u64;
         while let Some(hb) = source.recv(Duration::ZERO).unwrap() {
             assert_eq!(hb.stream, 1);
-            assert_eq!(hb.seq, expected);
-            expected += 1;
+            if let Some(l) = last {
+                assert!(hb.seq > l, "monotonic seqs");
+            }
+            last = Some(hb.seq);
+            received += 1;
         }
-        assert_eq!(expected, n);
+        assert_eq!(received, n);
+    }
+
+    #[test]
+    fn stalled_sink_skips_deadlines_instead_of_bunching() {
+        /// A sink that stalls hard on one send, like a long GC pause.
+        struct StallingSink {
+            inner: crate::transport::MemorySink,
+            stalled: AtomicBool,
+        }
+        impl HeartbeatSink for &'static StallingSink {
+            fn send(&self, hb: Heartbeat) -> std::io::Result<()> {
+                if hb.seq == 3 && !self.stalled.swap(true, Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                }
+                self.inner.send(hb)
+            }
+        }
+        let (sink, source) = MemoryTransport::perfect();
+        let sink: &'static StallingSink =
+            Box::leak(Box::new(StallingSink { inner: sink, stalled: AtomicBool::new(false) }));
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            sink,
+        );
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        sender.crash();
+        // The ~60 ms stall spans ~12 deadlines; they must be skipped and
+        // counted, not emitted as a zero-gap burst afterwards.
+        assert!(sender.missed_sends() >= 5, "missed {}", sender.missed_sends());
+        let mut seqs = Vec::new();
+        while let Some(hb) = source.recv(Duration::ZERO).unwrap() {
+            seqs.push(hb.seq);
+        }
+        let has_gap = seqs.windows(2).any(|w| w[1] - w[0] > 1);
+        assert!(has_gap, "the stall must surface as a seq gap, got {seqs:?}");
+        assert!(seqs.windows(2).all(|w| w[1] > w[0]), "still monotonic");
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //! * [`MemoryTransport`] — an in-process crossbeam channel with optional
 //!   Bernoulli loss, for deterministic tests and examples that should not
 //!   depend on networking.
+//!
+//! In-memory queues are **bounded** (default [`DEFAULT_QUEUE_CAPACITY`]):
+//! an unbounded ingest queue turns a stalled consumer into unbounded
+//! memory growth, which is exactly the kind of self-inflicted failure a
+//! failure detector must not have. Overflow behaviour is an explicit
+//! [`OverloadPolicy`], and every overflow is counted.
 
 use crate::wire::{Heartbeat, WIRE_SIZE};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use sfd_core::time::Duration;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -67,6 +73,7 @@ impl HeartbeatSink for UdpSink {
 /// UDP receiving endpoint.
 pub struct UdpSource {
     socket: UdpSocket,
+    malformed: AtomicU64,
 }
 
 impl UdpSource {
@@ -74,12 +81,20 @@ impl UdpSource {
     /// back with [`UdpSource::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<UdpSource> {
         let socket = UdpSocket::bind(addr)?;
-        Ok(UdpSource { socket })
+        Ok(UdpSource { socket, malformed: AtomicU64::new(0) })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.socket.local_addr()
+    }
+
+    /// Datagrams received but discarded as malformed (wrong size, magic,
+    /// or version). Malformed input is counted, not silently dropped — a
+    /// rising count is the operator's signal of corruption or a port
+    /// collision.
+    pub fn malformed(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
     }
 }
 
@@ -89,7 +104,13 @@ impl HeartbeatSource for UdpSource {
             .set_read_timeout(Some(timeout.to_std().max(std::time::Duration::from_millis(1))))?;
         let mut buf = [0u8; WIRE_SIZE + 16];
         match self.socket.recv(&mut buf) {
-            Ok(n) => Ok(Heartbeat::decode(&buf[..n])),
+            Ok(n) => {
+                let decoded = Heartbeat::decode(&buf[..n]);
+                if decoded.is_none() {
+                    self.malformed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(decoded)
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -102,18 +123,43 @@ impl HeartbeatSource for UdpSource {
 
 // ───────────────────── in-memory ───────────────────────
 
+/// Default bound on in-memory heartbeat queues.
+///
+/// At 29 bytes per heartbeat this caps a completely stalled consumer's
+/// queue at ~2 MB while still absorbing minutes of backlog at realistic
+/// heartbeat rates.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 65_536;
+
+/// What a bounded queue does with a new message when it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Evict the oldest queued heartbeat to admit the new one. The right
+    /// default for failure detection: the *newest* heartbeat carries the
+    /// freshest liveness evidence, and old ones age into irrelevance.
+    #[default]
+    DropOldest,
+    /// Reject the new heartbeat, keeping the queue as is. Matches what a
+    /// full OS socket buffer does to a UDP datagram.
+    DropNewest,
+}
+
 /// In-process transport: a channel pair with optional deterministic loss.
 ///
 /// Loss is decided by a splitmix-style hash of the sequence number against
 /// the configured rate, so a given `(seed, rate)` drops the *same*
 /// heartbeats on every run — tests stay deterministic without real time.
+///
+/// The queue is bounded; what happens at the bound is governed by the
+/// [`OverloadPolicy`] and counted in [`MemorySink::overflowed`].
 pub struct MemoryTransport {
     tx: Sender<Heartbeat>,
     rx: Receiver<Heartbeat>,
     loss_rate: f64,
     seed: u64,
+    policy: OverloadPolicy,
     sent: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
+    overflowed: Arc<AtomicU64>,
 }
 
 impl MemoryTransport {
@@ -123,18 +169,33 @@ impl MemoryTransport {
     }
 
     /// Transport dropping roughly `loss_rate` of messages,
-    /// deterministically in `seed`.
+    /// deterministically in `seed`, with the default queue bound and
+    /// overload policy.
     pub fn with_loss(loss_rate: f64, seed: u64) -> (MemorySink, MemorySourceHalf) {
-        let (tx, rx) = unbounded();
+        Self::with_options(loss_rate, seed, DEFAULT_QUEUE_CAPACITY, OverloadPolicy::default())
+    }
+
+    /// Fully configured transport: loss model, queue bound, and overload
+    /// policy. `capacity` is clamped to at least 1.
+    pub fn with_options(
+        loss_rate: f64,
+        seed: u64,
+        capacity: usize,
+        policy: OverloadPolicy,
+    ) -> (MemorySink, MemorySourceHalf) {
+        let (tx, rx) = bounded(capacity.max(1));
         let sent = Arc::new(AtomicU64::new(0));
         let dropped = Arc::new(AtomicU64::new(0));
+        let overflowed = Arc::new(AtomicU64::new(0));
         let t = MemoryTransport {
             tx,
             rx,
             loss_rate,
             seed,
+            policy,
             sent: sent.clone(),
             dropped: dropped.clone(),
+            overflowed: overflowed.clone(),
         };
         let shared = Arc::new(t);
         (MemorySink { inner: shared.clone() }, MemorySourceHalf { inner: shared })
@@ -156,7 +217,9 @@ impl MemoryTransport {
     }
 }
 
-/// Sending half of a [`MemoryTransport`].
+/// Sending half of a [`MemoryTransport`]. Clones share the queue (and
+/// its counters), so many senders can feed one monitor.
+#[derive(Clone)]
 pub struct MemorySink {
     inner: Arc<MemoryTransport>,
 }
@@ -168,7 +231,28 @@ impl HeartbeatSink for MemorySink {
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
-        self.inner.tx.send(hb).map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+        let mut hb = hb;
+        loop {
+            match self.inner.tx.try_send(hb) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(back)) => {
+                    self.inner.overflowed.fetch_add(1, Ordering::Relaxed);
+                    match self.inner.policy {
+                        OverloadPolicy::DropNewest => return Ok(()),
+                        OverloadPolicy::DropOldest => {
+                            // Evict the head; the queue momentarily has a
+                            // free slot, so the retry loop terminates as
+                            // long as producers make progress.
+                            let _ = self.inner.rx.try_recv();
+                            hb = back;
+                        }
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"));
+                }
+            }
+        }
     }
 }
 
@@ -181,6 +265,14 @@ impl MemorySink {
     /// Messages dropped so far.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages that hit the queue bound so far. Under
+    /// [`OverloadPolicy::DropOldest`] each overflow evicted an older
+    /// queued heartbeat; under [`OverloadPolicy::DropNewest`] it discarded
+    /// the message being sent.
+    pub fn overflowed(&self) -> u64 {
+        self.inner.overflowed.load(Ordering::Relaxed)
     }
 }
 
@@ -264,6 +356,34 @@ mod tests {
     }
 
     #[test]
+    fn bounded_drop_oldest_keeps_newest() {
+        let (sink, source) = MemoryTransport::with_options(0.0, 0, 4, OverloadPolicy::DropOldest);
+        for i in 0..10 {
+            sink.send(hb(i)).unwrap();
+        }
+        assert_eq!(sink.overflowed(), 6);
+        let mut got = Vec::new();
+        while let Some(h) = source.recv(Duration::ZERO).unwrap() {
+            got.push(h.seq);
+        }
+        assert_eq!(got, vec![6, 7, 8, 9], "oldest evicted, newest retained");
+    }
+
+    #[test]
+    fn bounded_drop_newest_keeps_oldest() {
+        let (sink, source) = MemoryTransport::with_options(0.0, 0, 4, OverloadPolicy::DropNewest);
+        for i in 0..10 {
+            sink.send(hb(i)).unwrap();
+        }
+        assert_eq!(sink.overflowed(), 6);
+        let mut got = Vec::new();
+        while let Some(h) = source.recv(Duration::ZERO).unwrap() {
+            got.push(h.seq);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3], "newest rejected, oldest retained");
+    }
+
+    #[test]
     fn udp_loopback_round_trip() {
         let source = UdpSource::bind(("127.0.0.1", 0)).unwrap();
         let addr = source.local_addr().unwrap();
@@ -295,8 +415,10 @@ mod tests {
         let addr = source.local_addr().unwrap();
         let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
         raw.send_to(b"not a heartbeat", addr).unwrap();
-        // The malformed datagram is consumed and reported as "nothing".
+        // The malformed datagram is consumed, reported as "nothing", and
+        // counted rather than silently discarded.
         let got = source.recv(Duration::from_millis(100)).unwrap();
         assert_eq!(got, None);
+        assert_eq!(source.malformed(), 1);
     }
 }

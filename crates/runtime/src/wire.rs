@@ -68,6 +68,24 @@ impl Heartbeat {
         }
         Some(Heartbeat { stream: data.get_u64(), seq: data.get_u64(), sent_nanos: data.get_i64() })
     }
+
+    /// Is the sender timestamp inside the plausible wall-clock window?
+    ///
+    /// `sent_nanos` is nanoseconds since the sender's own epoch, so exact
+    /// validation is impossible — but real senders stamp either process
+    /// uptime (small positive values) or Unix time (≈ 1.7·10¹⁸ ns in the
+    /// 2020s). Values below −1 hour or beyond ~20 years past the Unix-time
+    /// present have no honest producer and mark a corrupted or forged
+    /// datagram. A uniformly random `i64` lands inside this window with
+    /// probability ≈ 3%, so the check filters the bulk of bit-flip
+    /// corruption that survives the magic/version gate.
+    pub fn plausible_sent(&self) -> bool {
+        // −1 h allows modest clock steps just after sender start.
+        const MIN_SENT: i64 = -3_600 * 1_000_000_000;
+        // 2046 in Unix nanos: (2046 − 1970) ≈ 76 years ≈ 2.4·10¹⁸ ns.
+        const MAX_SENT: i64 = 2_400_000_000 * 1_000_000_000;
+        (MIN_SENT..=MAX_SENT).contains(&self.sent_nanos)
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +125,16 @@ mod tests {
     fn extreme_values() {
         let hb = Heartbeat { stream: u64::MAX, seq: u64::MAX, sent_nanos: i64::MIN };
         assert_eq!(Heartbeat::decode(&hb.encode()), Some(hb));
+    }
+
+    #[test]
+    fn timestamp_plausibility_window() {
+        let hb = |sent_nanos| Heartbeat { stream: 1, seq: 1, sent_nanos };
+        assert!(hb(0).plausible_sent());
+        assert!(hb(-1_000_000_000).plausible_sent()); // small negative step
+        assert!(hb(1_754_000_000 * 1_000_000_000).plausible_sent()); // Unix now
+        assert!(!hb(i64::MIN).plausible_sent());
+        assert!(!hb(i64::MAX).plausible_sent());
+        assert!(!hb(-7_200 * 1_000_000_000).plausible_sent()); // −2 h
     }
 }

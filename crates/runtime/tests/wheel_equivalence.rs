@@ -13,7 +13,7 @@ use sfd_core::detector::DetectorKind;
 use sfd_core::monitor::Monitor;
 use sfd_core::registry::DetectorSpec;
 use sfd_core::time::{Duration, Instant};
-use sfd_runtime::{ExpiryPolicy, ShardCore};
+use sfd_runtime::{ExpiryPolicy, ShardCore, MAX_SEQ_JUMP};
 
 const STREAMS: usize = 4;
 const KINDS: [DetectorKind; 4] =
@@ -49,8 +49,8 @@ fn drive_and_compare(events: &[(i64, usize, bool)], interval_ms: i64, wheel_tick
             let stream = (idx % STREAMS) as u64;
             let seq = seqs[idx % STREAMS];
             seqs[idx % STREAMS] += 1;
-            assert!(wheel.heartbeat(stream, seq, now));
-            assert!(scan.heartbeat(stream, seq, now));
+            assert!(wheel.heartbeat(stream, seq, now).is_accepted());
+            assert!(scan.heartbeat(stream, seq, now).is_accepted());
         }
         wheel.advance(now);
         scan.advance(now);
@@ -96,6 +96,63 @@ proptest! {
         events in prop::collection::vec((1i64..250, 0usize..4, any::<bool>()), 20..120),
     ) {
         drive_and_compare(&events, 20, 10);
+    }
+
+    /// Hostile schedules: stale replays, corrupt sequence jumps and a
+    /// backwards-stepping clock. The ingest guards (dedupe, jump
+    /// rejection, stale-streak re-baseline, clock clamping) must make
+    /// identical decisions under both expiry policies.
+    fn wheel_matches_scan_hostile(
+        events in prop::collection::vec((0i64..80, 0usize..4, 0u8..10), 30..200),
+    ) {
+        drive_and_compare_hostile(&events, 20, 1);
+    }
+}
+
+/// Like [`drive_and_compare`], but each event carries a fault `kind`:
+/// `0` rewinds the clock by `dt` (must be clamped), `1` replays a stale
+/// sequence number, `2` injects a corrupt out-of-range jump, anything
+/// else is an honest heartbeat `dt` ms later.
+fn drive_and_compare_hostile(events: &[(i64, usize, u8)], interval_ms: i64, wheel_tick_ms: i64) {
+    let (mut wheel, mut scan) = core_pair(interval_ms, wheel_tick_ms);
+    let mut t = 0i64;
+    let mut seqs = [0u64; STREAMS];
+    for &(dt, idx, kind) in events {
+        let idx = idx % STREAMS;
+        let stream = idx as u64;
+        let now = if kind == 0 {
+            Instant::from_millis((t - dt).max(0))
+        } else {
+            t += dt;
+            Instant::from_millis(t)
+        };
+        let seq = match kind {
+            1 => seqs[idx].saturating_sub(1),
+            2 => seqs[idx] + MAX_SEQ_JUMP + 7,
+            _ => {
+                seqs[idx] += 1;
+                seqs[idx]
+            }
+        };
+        let a = wheel.heartbeat(stream, seq, now);
+        let b = scan.heartbeat(stream, seq, now);
+        assert_eq!(a, b, "ingest outcome diverged for stream {stream} seq {seq} at t={t}ms");
+        wheel.advance(now);
+        scan.advance(now);
+        for s in 0..STREAMS as u64 {
+            assert_eq!(
+                wheel.snapshot(s, now),
+                scan.snapshot(s, now),
+                "snapshot diverged for stream {s} at t={t}ms"
+            );
+        }
+    }
+    for s in 0..STREAMS as u64 {
+        assert_eq!(
+            wheel.transitions(s).expect("registered"),
+            scan.transitions(s).expect("registered"),
+            "transition log diverged for stream {s}"
+        );
     }
 }
 

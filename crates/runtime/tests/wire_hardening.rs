@@ -1,0 +1,118 @@
+//! Wire-format hardening: [`Heartbeat::decode`] is the single point
+//! where hostile bytes enter the runtime, so it must (a) never panic,
+//! (b) round-trip every encodable heartbeat exactly, and (c) reject —
+//! not misparse — the classic malformation corpus: truncations,
+//! padding, and single-bit flips in the header.
+
+use proptest::prelude::*;
+use sfd_runtime::wire::{Heartbeat, WIRE_SIZE};
+use sfd_runtime::Heartbeat as ReexportedHeartbeat;
+
+/// Compile-time check that the facade re-export is the same type.
+#[allow(dead_code)]
+fn same_type(hb: ReexportedHeartbeat) -> Heartbeat {
+    hb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every encodable heartbeat survives an encode/decode round trip.
+    fn round_trips_exactly(
+        stream in any::<u64>(),
+        seq in any::<u64>(),
+        sent_nanos in any::<i64>(),
+    ) {
+        let hb = Heartbeat { stream, seq, sent_nanos };
+        let enc = hb.encode();
+        prop_assert_eq!(enc.len(), WIRE_SIZE);
+        prop_assert_eq!(Heartbeat::decode(&enc), Some(hb));
+    }
+
+    /// Arbitrary byte soup of arbitrary length: decode may reject, may
+    /// (for well-formed 29-byte inputs) accept, but must never panic.
+    fn decode_never_panics_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let _ = Heartbeat::decode(&data);
+    }
+
+    /// A single flipped bit anywhere in the 5-byte header must kill the
+    /// datagram; a flip in the payload must still decode (the payload
+    /// fields carry no redundancy — the ingest guards deal with them).
+    fn single_bit_flips_classified_by_region(
+        stream in any::<u64>(),
+        seq in any::<u64>(),
+        sent_nanos in any::<i64>(),
+        bit in 0usize..(WIRE_SIZE * 8),
+    ) {
+        let hb = Heartbeat { stream, seq, sent_nanos };
+        let mut enc = hb.encode();
+        enc[bit / 8] ^= 1 << (bit % 8);
+        match Heartbeat::decode(&enc) {
+            None => prop_assert!(bit < 5 * 8, "payload flip at bit {bit} must decode"),
+            Some(got) => {
+                prop_assert!(bit >= 5 * 8, "header flip at bit {bit} must be rejected");
+                prop_assert!(got != hb, "a payload flip cannot decode to the original");
+            }
+        }
+    }
+
+    /// Truncations and oversize padding of a valid datagram are rejected
+    /// at every length except the exact wire size.
+    fn wrong_lengths_rejected(
+        stream in any::<u64>(),
+        seq in any::<u64>(),
+        sent_nanos in any::<i64>(),
+        len in 0usize..(2 * WIRE_SIZE),
+    ) {
+        let hb = Heartbeat { stream, seq, sent_nanos };
+        let enc = hb.encode();
+        let mut data = enc.to_vec();
+        data.resize(len, 0);
+        if len == WIRE_SIZE {
+            prop_assert_eq!(Heartbeat::decode(&data), Some(hb));
+        } else {
+            prop_assert_eq!(Heartbeat::decode(&data), None);
+        }
+    }
+}
+
+/// Deterministic corpus of classic malformations, independent of the
+/// property sampler (and of whichever proptest backend runs it).
+#[test]
+fn malformation_corpus() {
+    let hb = Heartbeat { stream: 0xDEAD_BEEF, seq: 42, sent_nanos: 1_000_000_007 };
+    let enc = hb.encode();
+
+    // Empty, single byte, every truncation, one-over, double-size.
+    assert_eq!(Heartbeat::decode(&[]), None);
+    assert_eq!(Heartbeat::decode(&[0x53]), None);
+    for cut in 1..WIRE_SIZE {
+        assert_eq!(Heartbeat::decode(&enc[..cut]), None, "truncation to {cut} bytes");
+    }
+    let mut over = enc.to_vec();
+    over.push(0);
+    assert_eq!(Heartbeat::decode(&over), None);
+    let doubled: Vec<u8> = enc.iter().chain(enc.iter()).copied().collect();
+    assert_eq!(Heartbeat::decode(&doubled), None);
+
+    // All-zero and all-ones datagrams of the right size.
+    assert_eq!(Heartbeat::decode(&[0u8; WIRE_SIZE]), None);
+    assert_eq!(Heartbeat::decode(&[0xFFu8; WIRE_SIZE]), None);
+
+    // Magic shifted by one byte (common off-by-one framing bug).
+    let mut shifted = [0u8; WIRE_SIZE];
+    shifted[1..].copy_from_slice(&enc[..WIRE_SIZE - 1]);
+    assert_eq!(Heartbeat::decode(&shifted), None);
+
+    // Version 0 and version 2 are foreign.
+    for bad_version in [0u8, 2, 0xFF] {
+        let mut v = enc;
+        v[4] = bad_version;
+        assert_eq!(Heartbeat::decode(&v), None, "version {bad_version}");
+    }
+
+    // The original still decodes after all that (no aliasing mistakes).
+    assert_eq!(Heartbeat::decode(&enc), Some(hb));
+}

@@ -33,8 +33,10 @@ pub mod prelude {
     };
     pub use sfd_core::prelude::*;
     pub use sfd_runtime::{
-        DynMonitorService, ExpiryPolicy, Heartbeat, HeartbeatSender, HeartbeatSink,
-        HeartbeatSource, MemoryTransport, MonitorConfig, MonitorService, MultiMonitorService,
-        SenderConfig, ShardCore, StatusSnapshot, TimingWheel, UdpSink, UdpSource, WallClock,
+        ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, DynMonitorService,
+        ExpiryPolicy, Heartbeat, HeartbeatSender, HeartbeatSink, HeartbeatSource, IngestOutcome,
+        MemoryTransport, MonitorConfig, MonitorService, MultiMonitorService, OverloadPolicy,
+        ReorderConfig, SenderConfig, ShardCore, StatusSnapshot, TimingWheel, UdpSink, UdpSource,
+        WallClock,
     };
 }

@@ -1,0 +1,312 @@
+//! Chaos soak suite: the hardened monitor runtime under a hostile
+//! transport.
+//!
+//! Every scenario drives real service threads through scripted fault
+//! episodes from [`ChaosSink`] — duplication, burst loss, reordering,
+//! bit corruption, partitions, sender stalls, and monitor-loop panics —
+//! and asserts the invariants the robustness work guarantees:
+//!
+//! * no panic escapes the monitor (the supervisor absorbs and restarts);
+//! * healthy streams re-trust after every episode; crashed streams are
+//!   still detected;
+//! * every injected fault is visible in a counter, and the counters
+//!   reconcile with the chaos layer's ground truth;
+//! * both expiry policies ([`ExpiryPolicy::Scan`] and
+//!   [`ExpiryPolicy::Wheel`]) behave identically.
+//!
+//! The fault schedule is seeded (override with `SFD_CHAOS_SEED`), so CI
+//! can soak several schedules while every failure stays reproducible.
+
+use sfd::prelude::*;
+use sfd::simnet::LossConfig;
+
+/// Seed for the fault schedules; override with `SFD_CHAOS_SEED=<n>`.
+fn seed() -> u64 {
+    std::env::var("SFD_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+fn chen_spec(interval_ms: i64) -> DetectorSpec {
+    DetectorSpec::default_for(DetectorKind::Chen, Duration::from_millis(interval_ms))
+}
+
+fn monitor_cfg() -> MonitorConfig {
+    MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None }
+}
+
+/// Poll until `pred` holds or `timeout` elapses; panics with `what` on
+/// timeout. Chaos runs on real threads, so point-in-time assertions
+/// about trust would race transient (and legitimate) suspicion — the
+/// invariants are all of the *eventually* kind.
+fn eventually(timeout: std::time::Duration, what: &str, mut pred: impl FnMut() -> bool) {
+    let began = std::time::Instant::now();
+    while !pred() {
+        assert!(began.elapsed() < timeout, "timed out waiting for: {what}");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+fn all_trusted(monitor: &MultiMonitorService, streams: &[u64]) -> bool {
+    streams.iter().all(|&s| monitor.status(s).is_some_and(|st| !st.suspect))
+}
+
+/// The flagship soak: four streams over one chaotic path (burst loss +
+/// duplication + reordering), a partition episode, then a real crash —
+/// under both expiry policies.
+fn soak(policy: ExpiryPolicy) {
+    let streams = [1u64, 2, 3, 4];
+    let (inner, source) = MemoryTransport::perfect();
+    let cfg = ChaosConfig {
+        seed: seed(),
+        loss: LossConfig::bursty(0.05, 3.0),
+        dup_rate: 0.10,
+        corrupt_rate: 0.0,
+        reorder: Some(ReorderConfig { buffer: 4, p_hold: 0.2 }),
+    };
+    let (sink, ctl) = ChaosSink::wrap(inner, cfg);
+
+    let mut monitor = MultiMonitorService::spawn_sharded(source, monitor_cfg(), 4, policy);
+    for &s in &streams {
+        monitor.watch(s, &chen_spec(10)).expect("register");
+    }
+    let mut senders: Vec<HeartbeatSender> = streams
+        .iter()
+        .map(|&s| {
+            HeartbeatSender::spawn(
+                SenderConfig { stream: s, interval: Duration::from_millis(10) },
+                sink.clone(),
+            )
+        })
+        .collect();
+
+    // Soak through the fault mix: everyone must (re-)converge to trust
+    // while their sender is alive, no matter what the chaos layer did.
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    eventually(std::time::Duration::from_secs(5), "all streams trusted under chaos", || {
+        all_trusted(&monitor, &streams)
+    });
+    let healthy: Vec<StreamSnapshot> = monitor.statuses();
+    assert_eq!(healthy.len(), streams.len());
+    for s in &healthy {
+        assert!(s.heartbeats > 20, "stream {} only {} heartbeats", s.stream, s.heartbeats);
+    }
+
+    // The injected duplicates must be visible: the chaos layer counted
+    // what it injected, and the monitor rejected (and counted) them
+    // instead of feeding them to the detectors. Reordering adds more
+    // stale arrivals on top, hence >=.
+    let stats = ctl.stats();
+    assert!(stats.duplicated > 0, "soak long enough to duplicate: {stats:?}");
+    assert!(stats.lost > 0, "soak long enough to lose: {stats:?}");
+    let monitor_dups: u64 = healthy.iter().map(|s| s.health.duplicates).sum();
+    assert!(
+        monitor_dups >= stats.duplicated,
+        "monitor saw {monitor_dups} stale arrivals, chaos injected {} dups",
+        stats.duplicated
+    );
+
+    // Partition episode: every stream must become suspect while the
+    // window is open, and re-trust after it heals.
+    ctl.set_partitioned(true);
+    eventually(std::time::Duration::from_secs(5), "all streams suspect under partition", || {
+        streams.iter().all(|&s| monitor.status(s).is_some_and(|st| st.suspect))
+    });
+    ctl.set_partitioned(false);
+    eventually(std::time::Duration::from_secs(5), "all streams re-trusted after heal", || {
+        all_trusted(&monitor, &streams)
+    });
+
+    // Real crash: stream 1 dies for good; the others stay monitored.
+    senders[0].crash();
+    eventually(std::time::Duration::from_secs(5), "crashed stream suspected", || {
+        monitor.status(1).is_some_and(|st| st.suspect)
+    });
+    eventually(std::time::Duration::from_secs(5), "survivors still trusted", || {
+        all_trusted(&monitor, &streams[1..])
+    });
+
+    // The chaos was absorbed by the ingest guards, not by panics.
+    assert_eq!(monitor.supervisor_restarts(), 0);
+    monitor.stop();
+}
+
+#[test]
+fn soak_scan_policy() {
+    soak(ExpiryPolicy::Scan);
+}
+
+#[test]
+fn soak_wheel_policy() {
+    soak(ExpiryPolicy::Wheel);
+}
+
+/// Duplication-only chaos reconciles *exactly*: every injected duplicate
+/// is rejected and counted by the monitor, every original is accepted.
+#[test]
+fn duplicate_counters_reconcile_exactly() {
+    let (inner, source) = MemoryTransport::perfect();
+    let cfg = ChaosConfig { seed: seed(), dup_rate: 0.3, ..ChaosConfig::default() };
+    let (sink, ctl) = ChaosSink::wrap(inner, cfg);
+    let mut monitor =
+        MultiMonitorService::spawn_sharded(source, monitor_cfg(), 2, ExpiryPolicy::Wheel);
+    monitor.watch(7, &chen_spec(2)).expect("register");
+
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 7, interval: Duration::from_millis(2) },
+        sink,
+    );
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    sender.crash();
+
+    // Everything offered is now in the monitor's queue; wait for the
+    // drain to quiesce, then reconcile against the ground truth.
+    let stats = ctl.stats();
+    assert!(stats.duplicated > 10, "soak long enough: {stats:?}");
+    assert_eq!(stats.in_flight(), 0);
+    eventually(std::time::Duration::from_secs(5), "monitor drained the queue", || {
+        monitor.status(7).is_some_and(|st| st.heartbeats + st.health.duplicates == stats.delivered)
+    });
+    let snap = monitor.status(7).expect("watched");
+    assert_eq!(snap.heartbeats, stats.offered, "every original accepted");
+    assert_eq!(snap.health.duplicates, stats.duplicated, "every duplicate rejected and counted");
+    assert_eq!(snap.health.rejected_seq_jumps, 0);
+    assert_eq!(monitor.implausible_timestamps(), 0);
+    assert_eq!(monitor.unknown_heartbeats(), 0);
+    monitor.stop();
+}
+
+/// Bit-flip corruption: every delivered datagram is accounted for in
+/// exactly one monitor-side bucket (accepted, duplicate, seq-jump,
+/// implausible timestamp, or unknown stream), and the detector keeps
+/// working on the clean majority.
+#[test]
+fn corrupted_datagrams_are_quarantined_and_accounted() {
+    let (inner, source) = MemoryTransport::perfect();
+    let cfg = ChaosConfig { seed: seed(), corrupt_rate: 0.25, ..ChaosConfig::default() };
+    let (sink, ctl) = ChaosSink::wrap(inner, cfg);
+    let mut monitor =
+        MultiMonitorService::spawn_sharded(source, monitor_cfg(), 2, ExpiryPolicy::Wheel);
+    monitor.watch(9, &chen_spec(2)).expect("register");
+
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 9, interval: Duration::from_millis(2) },
+        sink,
+    );
+    std::thread::sleep(std::time::Duration::from_millis(600));
+
+    // The clean majority keeps the live stream trusted.
+    eventually(std::time::Duration::from_secs(5), "stream trusted despite corruption", || {
+        monitor.status(9).is_some_and(|st| !st.suspect)
+    });
+    sender.crash();
+
+    let stats = ctl.stats();
+    assert!(stats.corrupted > 20, "soak long enough: {stats:?}");
+    assert!(
+        stats.corrupt_dropped > 0 && stats.corrupt_dropped < stats.corrupted,
+        "some flips die in the header, some survive into the payload: {stats:?}"
+    );
+    // Conservation: delivered == Σ monitor-side buckets, once drained.
+    let buckets = |monitor: &MultiMonitorService| {
+        let per_stream: u64 = monitor
+            .statuses()
+            .iter()
+            .map(|s| s.heartbeats + s.health.duplicates + s.health.rejected_seq_jumps)
+            .sum();
+        per_stream + monitor.implausible_timestamps() + monitor.unknown_heartbeats()
+    };
+    eventually(std::time::Duration::from_secs(5), "all delivered datagrams accounted for", || {
+        buckets(&monitor) == stats.delivered
+    });
+    // Corrupted survivors really were quarantined somewhere visible.
+    let snap = monitor.status(9).expect("watched");
+    let quarantined = snap.health.duplicates
+        + snap.health.rejected_seq_jumps
+        + monitor.implausible_timestamps()
+        + monitor.unknown_heartbeats();
+    assert!(quarantined > 0, "no corrupted survivor was caught: {snap:?}");
+    assert_eq!(monitor.supervisor_restarts(), 0);
+    monitor.stop();
+}
+
+/// A panicking service loop is restarted by the supervisor; detector
+/// state (stream trust, heartbeat counts, pending wheel expirations)
+/// survives, and detection still works afterwards.
+fn supervisor_restart(policy: ExpiryPolicy) {
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, _ctl) = ChaosSink::wrap(inner, ChaosConfig { seed: seed(), ..Default::default() });
+    let mut monitor = MultiMonitorService::spawn_sharded(source, monitor_cfg(), 2, policy);
+    monitor.watch(3, &chen_spec(5)).expect("register");
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 3, interval: Duration::from_millis(5) },
+        sink,
+    );
+
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    eventually(std::time::Duration::from_secs(5), "stream trusted before panic", || {
+        monitor.status(3).is_some_and(|st| !st.suspect)
+    });
+    let before = monitor.status(3).expect("watched").heartbeats;
+
+    monitor.inject_loop_panic();
+    eventually(std::time::Duration::from_secs(5), "supervisor restarted the loop", || {
+        monitor.supervisor_restarts() >= 1
+    });
+
+    // State survived the unwind, and the restart is visible on snapshots.
+    let snap = monitor.status(3).expect("stream survived the panic");
+    assert!(snap.heartbeats >= before, "heartbeat count survived");
+    assert!(snap.health.supervisor_restarts >= 1, "restart stamped onto snapshots");
+    eventually(std::time::Duration::from_secs(5), "stream trusted after restart", || {
+        monitor.status(3).is_some_and(|st| !st.suspect)
+    });
+
+    // The restarted loop still detects: crash the sender for real.
+    sender.crash();
+    eventually(std::time::Duration::from_secs(5), "crash detected after restart", || {
+        monitor.status(3).is_some_and(|st| st.suspect)
+    });
+    monitor.stop();
+}
+
+#[test]
+fn supervisor_restart_scan_policy() {
+    supervisor_restart(ExpiryPolicy::Scan);
+}
+
+#[test]
+fn supervisor_restart_wheel_policy() {
+    supervisor_restart(ExpiryPolicy::Wheel);
+}
+
+/// A GC-like sender stall: the sender skips the missed deadlines (seq
+/// gap, counted in `missed_sends`), the monitor suspects during the
+/// silence and re-trusts when heartbeats resume.
+#[test]
+fn sender_stall_is_missed_sends_plus_retrust() {
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, ctl) = ChaosSink::wrap(inner, ChaosConfig { seed: seed(), ..Default::default() });
+    let mut monitor =
+        MultiMonitorService::spawn_sharded(source, monitor_cfg(), 2, ExpiryPolicy::Wheel);
+    monitor.watch(5, &chen_spec(5)).expect("register");
+    let sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 5, interval: Duration::from_millis(5) },
+        sink,
+    );
+
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    eventually(std::time::Duration::from_secs(5), "trusted before the stall", || {
+        monitor.status(5).is_some_and(|st| !st.suspect)
+    });
+
+    // ~30 deadlines' worth of stall.
+    ctl.stall_for(Duration::from_millis(150));
+    eventually(std::time::Duration::from_secs(5), "stall long enough to suspect", || {
+        monitor.status(5).is_some_and(|st| st.suspect)
+    });
+    eventually(std::time::Duration::from_secs(5), "re-trusted after the stall", || {
+        monitor.status(5).is_some_and(|st| !st.suspect)
+    });
+    assert!(sender.missed_sends() >= 10, "missed {} sends", sender.missed_sends());
+    assert_eq!(monitor.supervisor_restarts(), 0);
+    monitor.stop();
+}
