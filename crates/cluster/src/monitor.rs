@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use sfd_core::detector::{AccrualDetector, FailureDetector, SelfTuning};
 use sfd_core::error::{CoreError, CoreResult};
 use sfd_core::feedback::FeedbackConfig;
+use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::{QosMeasured, QosSpec};
 use sfd_core::registry::DetectorSpec;
@@ -62,6 +63,8 @@ struct TargetState {
     /// Newest accepted sequence number — the dedupe baseline.
     last_seq: Option<u64>,
     health: StreamHealth,
+    /// QoS measured over the most recent feedback epoch for this link.
+    last_qos: Option<QosMeasured>,
 }
 
 /// A manager monitoring many targets: one SFD instance per target.
@@ -93,6 +96,7 @@ impl OneMonitorsMany {
                 last_heartbeat: None,
                 last_seq: None,
                 health: StreamHealth::default(),
+                last_qos: None,
             },
         );
     }
@@ -151,6 +155,7 @@ impl OneMonitorsMany {
         match self.targets.get_mut(&target) {
             Some(st) => {
                 let _ = st.fd.apply_feedback(measured);
+                st.last_qos = Some(*measured);
                 true
             }
             None => false,
@@ -196,6 +201,7 @@ impl Monitor for OneMonitorsMany {
                 last_heartbeat: None,
                 last_seq: None,
                 health: StreamHealth::default(),
+                last_qos: None,
             },
         );
         Ok(())
@@ -220,6 +226,40 @@ impl Monitor for OneMonitorsMany {
 
     fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
         self.apply_feedback(TargetId(stream), measured)
+    }
+
+    /// Manager-level totals plus per-target gauges, every target-scoped
+    /// sample labelled `target="<id>"`. Targets are a `BTreeMap`, so the
+    /// page is deterministic in target order.
+    fn metrics(&self, now: Instant) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        let suspects = self.targets.values().filter(|st| st.fd.is_suspect(now)).count();
+        m.gauge("sfd_streams_watched", "Targets currently watched.", &[], self.targets.len() as f64);
+        m.gauge("sfd_streams_suspect", "Targets currently suspected.", &[], suspects as f64);
+        m.counter(
+            "sfd_heartbeats_accepted_total",
+            "Heartbeats accepted across all watched targets.",
+            &[],
+            self.targets.values().map(|st| st.heartbeats).sum(),
+        );
+        for (&target, st) in &self.targets {
+            let tid = target.0.to_string();
+            let labels = [("target", tid.as_str())];
+            m.gauge(
+                "sfd_suspicion_level",
+                "Accrual suspicion level of the target's detector.",
+                &labels,
+                st.fd.suspicion(now),
+            );
+            st.health.export(&mut m, &labels);
+            if let Some(ts) = st.fd.tuning_state() {
+                ts.export(&mut m, &labels);
+            }
+            if let Some(q) = &st.last_qos {
+                q.export(&mut m, &labels);
+            }
+        }
+        m
     }
 }
 

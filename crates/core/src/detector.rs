@@ -15,8 +15,10 @@
 //! [`AccrualDetector`] adds the continuous output. The replay-based QoS
 //! evaluator in `sfd-qos` only needs [`FailureDetector`].
 
+use crate::feedback::Sat;
+use crate::metrics::MetricsSnapshot;
 use crate::qos::{QosMeasured, QosSpec};
-use crate::time::Instant;
+use crate::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 /// Which detector scheme an object implements; used for labelling
@@ -102,6 +104,92 @@ pub trait FailureDetector {
     fn self_tuning(&mut self) -> Option<&mut dyn SelfTuning> {
         None
     }
+
+    /// Read-only view of the detector's feedback-loop state, if it is
+    /// self-tuning. This is the `&self` companion of
+    /// [`self_tuning`](FailureDetector::self_tuning): monitors export it
+    /// as QoS gauges (`SM`, `Sat_k`, spec targets) without needing mutable
+    /// access or a downcast. `None` for non-tuning schemes.
+    fn tuning_state(&self) -> Option<TuningState> {
+        None
+    }
+}
+
+/// Point-in-time view of a self-tuning detector's feedback loop, for
+/// observability exports: the QoS targets it is tuning towards, the
+/// current safety margin `SM`, and what the last epoch's control signal
+/// decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningState {
+    /// The QoS requirement being tuned towards.
+    pub spec: QosSpec,
+    /// Current safety margin `SM`.
+    pub margin: Duration,
+    /// Control signal of the most recent feedback epoch (`None` before
+    /// the first epoch).
+    pub last_sat: Option<Sat>,
+    /// Feedback epochs applied so far.
+    pub epochs: u64,
+    /// Consecutive epochs the requirement has been fully satisfied.
+    pub stable_epochs: u64,
+    /// Has the controller concluded the requirement is infeasible?
+    pub infeasible: bool,
+}
+
+impl TuningState {
+    /// Append this state as metric samples tagged with `labels`: the
+    /// margin/signal gauges of the feedback loop and the `QosSpec` target
+    /// gauges the measured QoS is compared against.
+    pub fn export(&self, m: &mut MetricsSnapshot, labels: &[(&str, &str)]) {
+        m.gauge(
+            "sfd_feedback_margin_seconds",
+            "Current safety margin SM of the feedback controller.",
+            labels,
+            self.margin.as_secs_f64(),
+        );
+        m.gauge(
+            "sfd_feedback_sat",
+            "Last epoch's control signal Sat_k: +1 increase, 0 hold, -1 decrease.",
+            labels,
+            self.last_sat.map_or(0.0, Sat::direction),
+        );
+        m.counter(
+            "sfd_feedback_epochs_total",
+            "Feedback epochs applied to the detector.",
+            labels,
+            self.epochs,
+        );
+        m.gauge(
+            "sfd_feedback_stable_epochs",
+            "Consecutive epochs with the QoS requirement fully satisfied.",
+            labels,
+            self.stable_epochs as f64,
+        );
+        m.gauge(
+            "sfd_feedback_infeasible",
+            "1 once the controller reported the QoS requirement infeasible.",
+            labels,
+            f64::from(u8::from(self.infeasible)),
+        );
+        m.gauge(
+            "sfd_qos_target_detection_time_seconds",
+            "QoS requirement: upper bound on detection time T_D.",
+            labels,
+            self.spec.max_detection_time.as_secs_f64(),
+        );
+        m.gauge(
+            "sfd_qos_target_mistake_rate",
+            "QoS requirement: upper bound on mistake rate lambda_MR (1/s).",
+            labels,
+            self.spec.max_mistake_rate,
+        );
+        m.gauge(
+            "sfd_qos_target_query_accuracy",
+            "QoS requirement: lower bound on query accuracy probability P_A.",
+            labels,
+            self.spec.min_query_accuracy,
+        );
+    }
 }
 
 impl<T: FailureDetector + ?Sized> FailureDetector for Box<T> {
@@ -122,6 +210,9 @@ impl<T: FailureDetector + ?Sized> FailureDetector for Box<T> {
     }
     fn self_tuning(&mut self) -> Option<&mut dyn SelfTuning> {
         (**self).self_tuning()
+    }
+    fn tuning_state(&self) -> Option<TuningState> {
+        (**self).tuning_state()
     }
 }
 

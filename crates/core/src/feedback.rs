@@ -36,6 +36,18 @@ pub enum Sat {
     Decrease,
 }
 
+impl Sat {
+    /// Numeric direction of the signal (`+1`, `0`, `−1`), e.g. for
+    /// exporting the last epoch's decision as a gauge.
+    pub fn direction(self) -> f64 {
+        match self {
+            Sat::Increase => 1.0,
+            Sat::Hold => 0.0,
+            Sat::Decrease => -1.0,
+        }
+    }
+}
+
 /// Outcome of one feedback epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FeedbackDecision {
@@ -143,6 +155,8 @@ pub struct FeedbackController {
     epochs: u64,
     stable_epochs: u64,
     consecutive_infeasible: u32,
+    #[serde(default)]
+    last_sat: Option<Sat>,
 }
 
 impl FeedbackController {
@@ -158,6 +172,7 @@ impl FeedbackController {
             epochs: 0,
             stable_epochs: 0,
             consecutive_infeasible: 0,
+            last_sat: None,
         })
     }
 
@@ -194,6 +209,12 @@ impl FeedbackController {
         self.stable_epochs
     }
 
+    /// The `Sat` signal applied in the most recent epoch (`None` before
+    /// the first epoch or when the last epoch was reported infeasible).
+    pub fn last_sat(&self) -> Option<Sat> {
+        self.last_sat
+    }
+
     /// The controller configuration.
     pub fn config(&self) -> FeedbackConfig {
         self.cfg
@@ -219,13 +240,16 @@ impl FeedbackController {
             None => {
                 self.consecutive_infeasible += 1;
                 if self.consecutive_infeasible >= self.cfg.infeasible_tolerance {
+                    self.last_sat = None;
                     return FeedbackDecision::Infeasible { measured: *measured };
                 }
                 // Tolerated: hold parameters this epoch.
+                self.last_sat = Some(Sat::Hold);
                 FeedbackDecision::Adjusted { sat: Sat::Hold, margin: self.margin }
             }
             Some(sat) => {
                 self.consecutive_infeasible = 0;
+                self.last_sat = Some(sat);
                 let step = self.cfg.alpha.mul_f64(self.cfg.beta);
                 match sat {
                     Sat::Increase => self.margin = self.margin.saturating_add(step),

@@ -62,6 +62,7 @@ pub mod estimate;
 pub mod feedback;
 pub mod gapfill;
 pub mod histogram;
+pub mod metrics;
 pub mod monitor;
 pub mod phi;
 pub mod qos;
@@ -74,12 +75,15 @@ pub mod window;
 
 pub use bertier::{BertierConfig, BertierFd};
 pub use chen::{ChenConfig, ChenFd};
-pub use detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
+pub use detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning, TuningState};
 pub use error::{CoreError, CoreResult};
 pub use estimate::{ChenEstimator, JacobsonEstimator};
 pub use feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
 pub use gapfill::GapFiller;
 pub use histogram::DurationHistogram;
+pub use metrics::{
+    HistogramSnapshot, MetricFamily, MetricKind, MetricValue, MetricsSnapshot, Sample,
+};
 pub use monitor::{Monitor, StreamHealth, StreamId, StreamSnapshot};
 pub use phi::{PhiConfig, PhiFd};
 pub use qos::{QosMeasured, QosSpec};
@@ -93,8 +97,11 @@ pub use window::SampleWindow;
 pub mod prelude {
     pub use crate::bertier::{BertierConfig, BertierFd};
     pub use crate::chen::{ChenConfig, ChenFd};
-    pub use crate::detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning};
+    pub use crate::detector::{
+        AccrualDetector, DetectorKind, FailureDetector, SelfTuning, TuningState,
+    };
     pub use crate::feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
+    pub use crate::metrics::{MetricFamily, MetricKind, MetricValue, MetricsSnapshot};
     pub use crate::monitor::{Monitor, StreamHealth, StreamId, StreamSnapshot};
     pub use crate::phi::{PhiConfig, PhiFd};
     pub use crate::qos::{QosMeasured, QosSpec};

@@ -1,0 +1,403 @@
+//! The metrics snapshot data model shared by every layer of the stack.
+//!
+//! The paper's detector measures its own output QoS each epoch (Sec.
+//! IV-A); a production deployment additionally needs the *runtime's* own
+//! behaviour — ingest outcomes, expiry sweep latency, transport drops — to
+//! be continuously observable. This module defines the I/O-free snapshot
+//! types that [`Monitor::metrics`](crate::monitor::Monitor::metrics)
+//! returns: a list of [`MetricFamily`] values, each a named counter,
+//! gauge, or fixed-bucket histogram with labelled samples.
+//!
+//! The types deliberately mirror the Prometheus data model (family name +
+//! help + kind, samples with label pairs, cumulative histogram buckets)
+//! so that `sfd-obs::encode_text` can render a snapshot into the standard
+//! text exposition format without translation. Collection (atomic
+//! handles, registries, scrape servers) lives in `sfd-obs`; this module
+//! is pure data so that `sfd-core` stays dependency-free.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing event count.
+    Counter,
+    /// Instantaneous value that can go up and down.
+    Gauge,
+    /// Fixed-bucket distribution with cumulative readout.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Point-in-time state of one fixed-bucket histogram.
+///
+/// `bounds` holds the finite bucket upper bounds in strictly increasing
+/// order; `counts` has one entry per bound **plus one** trailing overflow
+/// bucket (the implicit `+Inf` bucket), so
+/// `counts.len() == bounds.len() + 1` and `counts.iter().sum() == count`
+/// always hold (the conservation invariant the observability suite
+/// asserts exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; last entry is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observed values.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over the given bounds.
+    pub fn empty(bounds: &[f64]) -> Self {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// `true` iff the per-bucket counts sum exactly to `count`.
+    pub fn is_conserved(&self) -> bool {
+        self.counts.len() == self.bounds.len() + 1
+            && self.counts.iter().copied().sum::<u64>() == self.count
+    }
+
+    /// Quantile estimate (`q ∈ [0, 1]`, clamped): the upper bound of the
+    /// bucket containing the `⌈q·count⌉`-th observation, like Prometheus'
+    /// `histogram_quantile` without interpolation. Observations in the
+    /// overflow bucket report the largest finite bound (the estimator
+    /// cannot say more than "beyond the last bound"). Returns `0.0` when
+    /// empty. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1).min(self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                // Overflow bucket clamps to the largest finite bound.
+                let idx = i.min(self.bounds.len() - 1);
+                return self.bounds[idx];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Merge another snapshot into this one. Both must share identical
+    /// bounds.
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// One value inside a metric family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The kind this value belongs to.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One labelled sample of a metric family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Label pairs, e.g. `[("shard", "3"), ("outcome", "accepted")]`.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// A named group of samples sharing a kind and a help string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFamily {
+    /// Metric name (snake_case; counters end in `_total` by convention).
+    pub name: String,
+    /// One-line description for the `# HELP` comment.
+    pub help: String,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// The labelled readings.
+    pub samples: Vec<Sample>,
+}
+
+/// An ordered collection of metric families — the return type of
+/// [`Monitor::metrics`](crate::monitor::Monitor::metrics).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// The families, in insertion order until [`MetricsSnapshot::sort`].
+    pub families: Vec<MetricFamily>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Number of families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// `true` if there are no families.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn push_sample(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+    ) {
+        let sample = Sample { labels: owned_labels(labels), value };
+        match self.families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                debug_assert_eq!(f.kind, kind, "kind clash on family {name}");
+                f.samples.push(sample);
+            }
+            None => self.families.push(MetricFamily {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                samples: vec![sample],
+            }),
+        }
+    }
+
+    /// Append one counter sample (creates the family on first use).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push_sample(name, help, MetricKind::Counter, labels, MetricValue::Counter(value));
+    }
+
+    /// Append one gauge sample (creates the family on first use).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push_sample(name, help, MetricKind::Gauge, labels, MetricValue::Gauge(value));
+    }
+
+    /// Append one histogram sample (creates the family on first use).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: HistogramSnapshot,
+    ) {
+        self.push_sample(name, help, MetricKind::Histogram, labels, MetricValue::Histogram(value));
+    }
+
+    /// Absorb `other`: samples of same-named families are appended, new
+    /// families are pushed at the end.
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        for fam in other.families {
+            match self.families.iter_mut().find(|f| f.name == fam.name) {
+                Some(existing) => {
+                    debug_assert_eq!(existing.kind, fam.kind, "kind clash on family {}", fam.name);
+                    existing.samples.extend(fam.samples);
+                }
+                None => self.families.push(fam),
+            }
+        }
+    }
+
+    /// Absorb `other` with `extra` label pairs prepended to every sample —
+    /// the way to put several monitors' pages side by side (e.g. label
+    /// each manager of a multiple-monitor deployment) without their
+    /// same-named families colliding.
+    pub fn merge_labelled(&mut self, mut other: MetricsSnapshot, extra: &[(&str, &str)]) {
+        for fam in &mut other.families {
+            for sample in &mut fam.samples {
+                let mut labels = owned_labels(extra);
+                labels.append(&mut sample.labels);
+                sample.labels = labels;
+            }
+        }
+        self.merge(other);
+    }
+
+    /// Sort families by name and samples by label set, for deterministic
+    /// rendering regardless of collection order.
+    pub fn sort(&mut self) {
+        for f in &mut self.families {
+            f.samples.sort_by(|a, b| a.labels.cmp(&b.labels));
+        }
+        self.families.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Look up a family by name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Convenience: the reading of a counter sample whose label set
+    /// contains all of `labels` (first match wins).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let fam = self.family(name)?;
+        fam.samples
+            .iter()
+            .find(|s| {
+                labels.iter().all(|(k, v)| {
+                    s.labels.iter().any(|(sk, sv)| sk == k && sv == v)
+                })
+            })
+            .and_then(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// Convenience: the reading of a gauge sample whose label set contains
+    /// all of `labels` (first match wins).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let fam = self.family(name)?;
+        fam.samples
+            .iter()
+            .find(|s| {
+                labels.iter().all(|(k, v)| {
+                    s.labels.iter().any(|(sk, sv)| sk == k && sv == v)
+                })
+            })
+            .and_then(|s| match s.value {
+                MetricValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_conservation_and_quantiles() {
+        let mut h = HistogramSnapshot::empty(&[1.0, 2.0, 4.0]);
+        assert!(h.is_conserved());
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.counts = vec![2, 3, 4, 1];
+        h.count = 10;
+        h.sum = 20.0;
+        assert!(h.is_conserved());
+        assert_eq!(h.quantile(0.0), 1.0); // first observation is in bucket ≤1
+        assert_eq!(h.quantile(0.2), 1.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.9), 4.0);
+        // Overflow bucket clamps to the last finite bound.
+        assert_eq!(h.quantile(1.0), 4.0);
+        h.count = 11;
+        assert!(!h.is_conserved());
+    }
+
+    #[test]
+    fn histogram_quantile_is_monotone() {
+        let mut h = HistogramSnapshot::empty(&[0.5, 1.0, 5.0, 10.0]);
+        h.counts = vec![1, 0, 7, 2, 3];
+        h.count = 13;
+        let mut last = f64::MIN;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = HistogramSnapshot::empty(&[1.0, 2.0]);
+        a.counts = vec![1, 2, 3];
+        a.count = 6;
+        a.sum = 9.0;
+        let mut b = HistogramSnapshot::empty(&[1.0, 2.0]);
+        b.counts = vec![4, 0, 1];
+        b.count = 5;
+        b.sum = 6.0;
+        a.merge(&b);
+        assert_eq!(a.counts, vec![5, 2, 4]);
+        assert_eq!(a.count, 11);
+        assert!((a.sum - 15.0).abs() < 1e-12);
+        assert!(a.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = HistogramSnapshot::empty(&[1.0]);
+        let b = HistogramSnapshot::empty(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn snapshot_builders_group_families() {
+        let mut m = MetricsSnapshot::new();
+        m.counter("sfd_x_total", "x", &[("shard", "0")], 3);
+        m.counter("sfd_x_total", "x", &[("shard", "1")], 4);
+        m.gauge("sfd_y", "y", &[], 1.5);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.family("sfd_x_total").unwrap().samples.len(), 2);
+        assert_eq!(m.counter_value("sfd_x_total", &[("shard", "1")]), Some(4));
+        assert_eq!(m.counter_value("sfd_x_total", &[("shard", "9")]), None);
+        assert_eq!(m.gauge_value("sfd_y", &[]), Some(1.5));
+    }
+
+    #[test]
+    fn merge_and_sort_are_deterministic() {
+        let mut a = MetricsSnapshot::new();
+        a.counter("b_total", "b", &[], 1);
+        let mut b = MetricsSnapshot::new();
+        b.counter("a_total", "a", &[("k", "2")], 2);
+        b.counter("b_total", "b", &[("k", "1")], 3);
+        a.merge(b);
+        a.sort();
+        assert_eq!(a.families[0].name, "a_total");
+        assert_eq!(a.families[1].name, "b_total");
+        assert_eq!(a.families[1].samples.len(), 2);
+        // Unlabelled sample sorts before the labelled one.
+        assert!(a.families[1].samples[0].labels.is_empty());
+    }
+}

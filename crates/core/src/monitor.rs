@@ -14,6 +14,7 @@
 //! monitor's own clock for live services and simulated time for replay.
 
 use crate::error::CoreResult;
+use crate::metrics::MetricsSnapshot;
 use crate::qos::QosMeasured;
 use crate::registry::DetectorSpec;
 use crate::time::Instant;
@@ -110,6 +111,76 @@ pub trait Monitor {
     /// Binary suspicion for one stream (`None` = not watched).
     fn is_suspect(&self, stream: StreamId, now: Instant) -> Option<bool> {
         self.snapshot(stream, now).map(|s| s.suspect)
+    }
+
+    /// Export this monitor's internal counters, gauges and histograms as
+    /// a [`MetricsSnapshot`] (see `crate::metrics` for the data model and
+    /// `sfd-obs` for rendering/scraping). The default implementation
+    /// derives a small health/liveness snapshot from `snapshot_all`, so
+    /// every monitor is observable; implementations with richer internal
+    /// state (ingest outcome counters, latency histograms, per-shard
+    /// statistics) override it.
+    fn metrics(&self, now: Instant) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        let snaps = self.snapshot_all(now);
+        let suspects = snaps.iter().filter(|s| s.suspect).count();
+        m.gauge("sfd_streams_watched", "Streams currently watched.", &[], snaps.len() as f64);
+        m.gauge("sfd_streams_suspect", "Streams currently suspected.", &[], suspects as f64);
+        let mut health = StreamHealth::default();
+        let mut heartbeats = 0u64;
+        for s in &snaps {
+            heartbeats += s.heartbeats;
+            health.duplicates += s.health.duplicates;
+            health.rejected_seq_jumps += s.health.rejected_seq_jumps;
+            health.rejected_timestamps += s.health.rejected_timestamps;
+            health.clock_clamps += s.health.clock_clamps;
+            health.rebaselines += s.health.rebaselines;
+        }
+        m.counter(
+            "sfd_heartbeats_accepted_total",
+            "Heartbeats accepted across all watched streams.",
+            &[],
+            heartbeats,
+        );
+        health.export(&mut m, &[]);
+        m
+    }
+}
+
+impl StreamHealth {
+    /// Append this health record's counters to a metrics snapshot, one
+    /// sample per counter under the shared `sfd_stream_rejects_total` /
+    /// dedicated families, tagged with `labels`.
+    pub fn export(&self, m: &mut MetricsSnapshot, labels: &[(&str, &str)]) {
+        let with = |extra: &str| -> Vec<(String, String)> {
+            let mut v: Vec<(String, String)> =
+                labels.iter().map(|(k, val)| (k.to_string(), val.to_string())).collect();
+            v.push(("reason".to_string(), extra.to_string()));
+            v
+        };
+        let help = "Heartbeats the monitor refused to believe, by reason.";
+        for (reason, count) in [
+            ("duplicate", self.duplicates),
+            ("seq_jump", self.rejected_seq_jumps),
+            ("timestamp", self.rejected_timestamps),
+        ] {
+            let owned = with(reason);
+            let borrowed: Vec<(&str, &str)> =
+                owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            m.counter("sfd_stream_rejects_total", help, &borrowed, count);
+        }
+        m.counter(
+            "sfd_clock_clamps_total",
+            "Non-monotonic clock reads clamped during ingest.",
+            labels,
+            self.clock_clamps,
+        );
+        m.counter(
+            "sfd_rebaselines_total",
+            "Stream re-baselines after stale-sequence streaks.",
+            labels,
+            self.rebaselines,
+        );
     }
 }
 

@@ -116,6 +116,36 @@ impl QosMeasured {
     pub fn speed_ok(&self, spec: &QosSpec) -> bool {
         self.detection_time <= spec.max_detection_time
     }
+
+    /// Append this measurement as gauges tagged with `labels` — the
+    /// measured counterparts of the `sfd_qos_target_*` gauges exported by
+    /// [`TuningState::export`](crate::detector::TuningState::export).
+    pub fn export(&self, m: &mut crate::metrics::MetricsSnapshot, labels: &[(&str, &str)]) {
+        m.gauge(
+            "sfd_qos_detection_time_seconds",
+            "Detection time T_D measured over the last feedback epoch.",
+            labels,
+            self.detection_time.as_secs_f64(),
+        );
+        m.gauge(
+            "sfd_qos_mistake_rate",
+            "Mistake rate lambda_MR measured over the last feedback epoch (1/s).",
+            labels,
+            self.mistake_rate,
+        );
+        m.gauge(
+            "sfd_qos_query_accuracy",
+            "Query accuracy probability P_A measured over the last feedback epoch.",
+            labels,
+            self.query_accuracy,
+        );
+        m.gauge(
+            "sfd_qos_epoch_mistakes",
+            "Wrong suspicions during the last feedback epoch.",
+            labels,
+            self.mistakes as f64,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +211,82 @@ mod tests {
     }
 
     #[test]
+    fn axis_helpers_accept_exact_boundaries() {
+        // `accuracy_ok`/`speed_ok` use the same closed comparisons as
+        // `is_satisfied_by`: a measurement sitting exactly on every bound
+        // passes each axis individually too.
+        let spec = QosSpec::new(Duration::from_millis(500), 0.01, 0.99).unwrap();
+        let m = meas(500, 0.01, 0.99);
+        assert!(m.accuracy_ok(&spec));
+        assert!(m.speed_ok(&spec));
+        assert!(spec.is_satisfied_by(&m));
+        // One ulp past a bound on each axis flips only that axis.
+        let slow = meas(501, 0.01, 0.99);
+        assert!(slow.accuracy_ok(&spec) && !slow.speed_ok(&spec));
+        let mistaken = meas(500, 0.01 + f64::EPSILON, 0.99);
+        assert!(!mistaken.accuracy_ok(&spec) && mistaken.speed_ok(&spec));
+        let inaccurate = meas(500, 0.01, 0.99 - 1e-12);
+        assert!(!inaccurate.accuracy_ok(&spec) && inaccurate.speed_ok(&spec));
+    }
+
+    #[test]
+    fn empty_epoch_satisfies_any_spec() {
+        // A zero-duration epoch (no arrivals, no queries) measures the
+        // neutral output: instant detection, no mistakes, perfect
+        // accuracy. Even the strictest valid spec accepts it, so an idle
+        // epoch never drives the tuner toward more conservatism.
+        let m = QosMeasured::empty();
+        assert_eq!(m.observed_for, Duration::ZERO);
+        let strict = QosSpec::new(Duration::from_nanos(1), 0.0, 1.0).unwrap();
+        assert!(strict.is_satisfied_by(&m));
+        assert!(m.accuracy_ok(&strict) && m.speed_ok(&strict));
+    }
+
+    #[test]
+    fn nan_measurements_never_satisfy() {
+        // NaN compares false on both sides of every bound, so a corrupted
+        // measurement fails the spec instead of silently passing — the
+        // conservative direction for a tuner.
+        let spec = QosSpec::permissive();
+        assert!(!spec.is_satisfied_by(&meas(0, f64::NAN, 1.0)));
+        assert!(!spec.is_satisfied_by(&meas(0, 0.0, f64::NAN)));
+        assert!(!meas(0, f64::NAN, 1.0).accuracy_ok(&spec));
+        assert!(!meas(0, 0.0, f64::NAN).accuracy_ok(&spec));
+    }
+
+    #[test]
+    fn infinite_mistake_rate_only_passes_the_permissive_spec() {
+        // A zero-length observation window with mistakes yields an
+        // infinite rate; only `permissive()` (whose bound is itself ∞)
+        // tolerates it.
+        let burst = QosMeasured {
+            mistake_rate: f64::INFINITY,
+            mistakes: 3,
+            ..QosMeasured::empty()
+        };
+        assert!(QosSpec::permissive().is_satisfied_by(&burst));
+        let real = QosSpec::new(Duration::from_millis(500), 1e9, 0.0).unwrap();
+        assert!(!real.is_satisfied_by(&burst));
+    }
+
+    #[test]
+    fn export_emits_the_measured_gauges() {
+        let mut page = crate::metrics::MetricsSnapshot::new();
+        let m = QosMeasured { mistakes: 4, ..meas(250, 0.02, 0.97) };
+        m.export(&mut page, &[("stream", "7")]);
+        let labels = [("stream", "7")];
+        assert_eq!(page.gauge_value("sfd_qos_detection_time_seconds", &labels), Some(0.25));
+        assert_eq!(page.gauge_value("sfd_qos_mistake_rate", &labels), Some(0.02));
+        assert_eq!(page.gauge_value("sfd_qos_query_accuracy", &labels), Some(0.97));
+        assert_eq!(page.gauge_value("sfd_qos_epoch_mistakes", &labels), Some(4.0));
+    }
+
+    #[test]
     fn serde_round_trip() {
+        if serde_json::to_string(&7u8).ok().and_then(|s| serde_json::from_str::<u8>(&s).ok()) != Some(7) {
+            eprintln!("skipping: serde_json backend is a non-functional stub here");
+            return;
+        }
         let m = meas(123, 0.5, 0.75);
         let js = serde_json::to_string(&m).unwrap();
         let back: QosMeasured = serde_json::from_str(&js).unwrap();

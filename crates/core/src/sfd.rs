@@ -237,6 +237,17 @@ impl FailureDetector for SfdFd {
     fn self_tuning(&mut self) -> Option<&mut dyn crate::detector::SelfTuning> {
         Some(self)
     }
+
+    fn tuning_state(&self) -> Option<crate::detector::TuningState> {
+        Some(crate::detector::TuningState {
+            spec: self.controller.spec(),
+            margin: self.controller.margin(),
+            last_sat: self.controller.last_sat(),
+            epochs: self.controller.epochs(),
+            stable_epochs: self.controller.stable_epochs(),
+            infeasible: self.infeasible_reported,
+        })
+    }
 }
 
 impl AccrualDetector for SfdFd {

@@ -1,0 +1,194 @@
+//! Prometheus text exposition (format version 0.0.4), hand-rolled.
+//!
+//! One function, [`encode_text`], renders a
+//! [`MetricsSnapshot`] into the scrape format every Prometheus-compatible
+//! collector understands:
+//!
+//! ```text
+//! # HELP sfd_ingest_outcomes_total Heartbeat ingest outcomes by kind.
+//! # TYPE sfd_ingest_outcomes_total counter
+//! sfd_ingest_outcomes_total{outcome="accepted"} 1500
+//! ```
+//!
+//! Histograms expand into cumulative `_bucket{le="…"}` series plus
+//! `_sum`/`_count`, exactly as client libraries do. Families and samples
+//! are rendered in sorted order so that equal snapshots produce
+//! byte-equal pages — the property the golden-snapshot suite relies on.
+
+use sfd_core::metrics::{MetricValue, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Escape a HELP string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslash, double-quote and newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render an `f64` the way Prometheus expects (`+Inf`, `-Inf`, `NaN`
+/// spelled out; otherwise Rust's shortest round-trip decimal).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot into the Prometheus text exposition format.
+///
+/// The snapshot is sorted (families by name, samples by label set) before
+/// rendering, so the output is deterministic regardless of collection
+/// order.
+pub fn encode_text(snapshot: &MetricsSnapshot) -> String {
+    let mut snap = snapshot.clone();
+    snap.sort();
+    let mut out = String::new();
+    for fam in &snap.families {
+        let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        for sample in &fam.samples {
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    let _ =
+                        writeln!(out, "{}{} {}", fam.name, fmt_labels(&sample.labels, None), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        fam.name,
+                        fmt_labels(&sample.labels, None),
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cum += h.counts.get(i).copied().unwrap_or(0);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            fam.name,
+                            fmt_labels(&sample.labels, Some(("le", &fmt_f64(*bound)))),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        fam.name,
+                        fmt_labels(&sample.labels, Some(("le", "+Inf"))),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        fam.name,
+                        fmt_labels(&sample.labels, None),
+                        fmt_f64(h.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        fam.name,
+                        fmt_labels(&sample.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::metrics::HistogramSnapshot;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let mut m = MetricsSnapshot::new();
+        m.counter("sfd_events_total", "Events.", &[("kind", "a")], 5);
+        m.gauge("sfd_level", "Level.", &[], 1.5);
+        let mut h = HistogramSnapshot::empty(&[0.1, 1.0]);
+        h.counts = vec![2, 1, 1];
+        h.count = 4;
+        h.sum = 3.25;
+        m.histogram("sfd_lat_seconds", "Latency.", &[], h);
+        let text = encode_text(&m);
+        let expect = "\
+# HELP sfd_events_total Events.
+# TYPE sfd_events_total counter
+sfd_events_total{kind=\"a\"} 5
+# HELP sfd_lat_seconds Latency.
+# TYPE sfd_lat_seconds histogram
+sfd_lat_seconds_bucket{le=\"0.1\"} 2
+sfd_lat_seconds_bucket{le=\"1\"} 3
+sfd_lat_seconds_bucket{le=\"+Inf\"} 4
+sfd_lat_seconds_sum 3.25
+sfd_lat_seconds_count 4
+# HELP sfd_level Level.
+# TYPE sfd_level gauge
+sfd_level 1.5
+";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn escapes_help_and_labels() {
+        let mut m = MetricsSnapshot::new();
+        m.counter("sfd_x_total", "line1\nline2 \\ end", &[("path", "a\"b\\c")], 1);
+        let text = encode_text(&m);
+        assert!(text.contains("# HELP sfd_x_total line1\\nline2 \\\\ end"));
+        assert!(text.contains("sfd_x_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn output_is_deterministic_under_reordering() {
+        let mut a = MetricsSnapshot::new();
+        a.counter("b_total", "b", &[], 1);
+        a.counter("a_total", "a", &[("x", "2")], 2);
+        a.counter("a_total", "a", &[("x", "1")], 3);
+        let mut b = MetricsSnapshot::new();
+        b.counter("a_total", "a", &[("x", "1")], 3);
+        b.counter("a_total", "a", &[("x", "2")], 2);
+        b.counter("b_total", "b", &[], 1);
+        assert_eq!(encode_text(&a), encode_text(&b));
+    }
+
+    #[test]
+    fn special_floats_spelled_out() {
+        let mut m = MetricsSnapshot::new();
+        m.gauge("sfd_inf", "inf", &[], f64::INFINITY);
+        m.gauge("sfd_ninf", "ninf", &[], f64::NEG_INFINITY);
+        m.gauge("sfd_nan", "nan", &[], f64::NAN);
+        let text = encode_text(&m);
+        assert!(text.contains("sfd_inf +Inf"));
+        assert!(text.contains("sfd_ninf -Inf"));
+        assert!(text.contains("sfd_nan NaN"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Lock-light metric handles.
+//!
+//! Handles are thin `Arc`s over `std` atomics: cloning one yields another
+//! view of the same metric, so instrumented code keeps a handle while the
+//! [`Registry`](crate::registry::Registry) keeps a twin for gathering.
+//! Updates are single atomic operations (a CAS loop for the `f64` cells);
+//! there are no locks on the hot path.
+
+use sfd_core::metrics::HistogramSnapshot;
+use sfd_core::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A monotonically non-decreasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move in both directions.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the reading.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Set from a duration, in seconds.
+    #[inline]
+    pub fn set_duration(&self, d: Duration) {
+        self.set(d.as_secs_f64());
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        f64_add(&self.0, v);
+    }
+
+    /// Current reading.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistInner {
+    /// Finite upper bounds, strictly increasing.
+    bounds: Box<[f64]>,
+    /// One slot per bound plus the trailing `+Inf` overflow slot.
+    buckets: Box<[AtomicU64]>,
+    /// Running sum of finite observations, as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram with quantile readout.
+///
+/// Observations land in the first bucket whose upper bound is `≥` the
+/// value; anything above the last bound — and any `NaN` — lands in the
+/// implicit `+Inf` overflow bucket. Non-finite observations are counted
+/// but excluded from `sum`, so the count-conservation invariant
+/// (`Σ buckets == count`) holds for *arbitrary* input sequences.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.0.bounds)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Build from explicit finite bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly increasing");
+        }
+        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistInner {
+            bounds: bounds.to_vec().into_boxed_slice(),
+            buckets,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }))
+    }
+
+    /// `count` bounds spaced linearly: `start, start+width, …`.
+    pub fn linear(start: f64, width: f64, count: usize) -> Self {
+        assert!(width > 0.0 && count > 0);
+        let bounds: Vec<f64> = (0..count).map(|i| start + width * i as f64).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// `count` bounds spaced geometrically: `start, start·factor, …`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let bounds: Vec<f64> = (0..count).map(|i| start * factor.powi(i as i32)).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Default layout for latency-style metrics in seconds: sixteen
+    /// geometric buckets from 1 µs to ~4.3 s (factor 4), overflow beyond.
+    pub fn latency_seconds() -> Self {
+        Histogram::exponential(1e-6, 4.0, 16)
+    }
+
+    /// Default layout for small-count metrics (batch sizes, queue
+    /// depths): 1, 2, 4, …, 4096.
+    pub fn size_buckets() -> Self {
+        Histogram::exponential(1.0, 2.0, 13)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        // `partition_point` on a sorted slice: first bound ≥ v. NaN is
+        // routed to the overflow bucket explicitly (its comparisons are
+        // all false, which would otherwise select bucket 0).
+        let idx = if v.is_nan() {
+            self.0.bounds.len()
+        } else {
+            self.0.bounds.partition_point(|&b| b < v)
+        };
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            f64_add(&self.0.sum_bits, v);
+        }
+    }
+
+    /// Record a duration, in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations (sum of all buckets, so conservation holds by
+    /// construction even under concurrent updates).
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured finite bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Quantile estimate — see [`HistogramSnapshot::quantile`] for the
+    /// exact semantics (bucket upper bound, monotone in `q`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Point-in-time snapshot. `count` is derived from the bucket counts,
+    /// so `snapshot().is_conserved()` always holds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot { bounds: self.0.bounds.to_vec(), counts, sum: self.sum(), count }
+    }
+
+    /// Merged snapshot of two histograms with identical bounds.
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ.
+    pub fn merged_snapshot(&self, other: &Histogram) -> HistogramSnapshot {
+        let mut snap = self.snapshot();
+        snap.merge(&other.snapshot());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let view = c.clone();
+        view.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+        g.set_duration(Duration::from_millis(250));
+        assert!((g.get() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // 0.5 and 1.0 in ≤1, 1.5 in ≤2, 3.0 in ≤4, 100 overflow.
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!(s.is_conserved());
+        assert!((s.sum - 106.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_observations_conserve_count() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert!(s.is_conserved());
+        assert_eq!(s.sum, 0.0);
+        // NaN and +Inf overflow; −Inf sits below the first bound.
+        assert_eq!(s.counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_bounds() {
+        let h = Histogram::linear(10.0, 10.0, 10); // 10..100
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.quantile(0.05), 10.0);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.95), 100.0);
+    }
+
+    #[test]
+    fn merged_snapshot_adds() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        let m = a.merged_snapshot(&b);
+        assert_eq!(m.counts, vec![1, 1, 1]);
+        assert_eq!(m.count, 3);
+        assert!(m.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let h = Histogram::latency_seconds();
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let hh = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    hh.observe(i as f64 * 1e-6);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert!(h.snapshot().is_conserved());
+    }
+}

@@ -1,0 +1,36 @@
+//! # sfd-obs — observability for the SFD stack
+//!
+//! The paper's detector measures its own output QoS every epoch and feeds
+//! it back into the safety margin (Sec. IV-A); this crate makes that
+//! self-measurement — and the runtime machinery around it — continuously
+//! observable. It provides:
+//!
+//! * lock-light metric handles ([`Counter`], [`Gauge`], [`Histogram`]) —
+//!   plain `std` atomics, cloneable, shareable across threads;
+//! * a [`Registry`] that owns handles and composes [`MetricsSource`]s
+//!   (anything that can produce a `sfd_core::metrics::MetricsSnapshot`,
+//!   e.g. every `Monitor` implementation) into one gathered snapshot;
+//! * [`encode_text`] — a renderer for the Prometheus text exposition
+//!   format (version 0.0.4), with no external dependencies;
+//! * [`MetricsServer`] — a minimal plain-TCP scrape endpoint.
+//!
+//! The *data model* (families, samples, histogram snapshots) lives in
+//! `sfd_core::metrics` so that `sfd-core` needs no dependency on this
+//! crate; everything here is collection and presentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod handles;
+pub mod registry;
+pub mod server;
+
+pub use encode::encode_text;
+pub use handles::{Counter, Gauge, Histogram};
+pub use registry::{MetricsSource, Registry};
+pub use server::MetricsServer;
+
+pub use sfd_core::metrics::{
+    HistogramSnapshot, MetricFamily, MetricKind, MetricValue, MetricsSnapshot, Sample,
+};

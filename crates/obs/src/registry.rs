@@ -1,0 +1,202 @@
+//! The metrics registry: owns handles, composes sources, gathers
+//! snapshots.
+//!
+//! Two kinds of producer feed a [`Registry`]:
+//!
+//! 1. **Handles** created through the registry ([`Registry::counter`],
+//!    [`Registry::gauge`], [`Registry::histogram`] and their `_with`
+//!    label variants). The registry keeps a clone; the instrumented code
+//!    updates its own clone lock-free.
+//! 2. **Sources** — anything implementing [`MetricsSource`] (closures
+//!    qualify), typically wrapping a `Monitor::metrics()` call so that a
+//!    live service's internal state is re-sampled at every gather.
+//!
+//! [`Registry::gather`] merges both into one sorted
+//! [`MetricsSnapshot`], which is what [`crate::encode_text`] and
+//! [`crate::MetricsServer`] render. A mutex guards registration and
+//! gathering only — never the metric update paths.
+
+use crate::handles::{Counter, Gauge, Histogram};
+use sfd_core::metrics::MetricsSnapshot;
+use std::sync::Mutex;
+
+/// A producer of metrics snapshots, re-sampled at every gather.
+pub trait MetricsSource: Send + Sync {
+    /// Produce the current snapshot.
+    fn collect(&self) -> MetricsSnapshot;
+}
+
+impl<F> MetricsSource for F
+where
+    F: Fn() -> MetricsSnapshot + Send + Sync,
+{
+    fn collect(&self) -> MetricsSnapshot {
+        self()
+    }
+}
+
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A collection point for metric handles and snapshot sources.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+    sources: Mutex<Vec<Box<dyn MetricsSource>>>,
+}
+
+fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], handle: Handle) {
+        self.entries.lock().expect("registry poisoned").push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: owned(labels),
+            handle,
+        });
+    }
+
+    /// Register and return an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register and return a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let c = Counter::new();
+        self.push(name, help, labels, Handle::Counter(c.clone()));
+        c
+    }
+
+    /// Register and return an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register and return a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, help, labels, Handle::Gauge(g.clone()));
+        g
+    }
+
+    /// Register and return an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Register and return a labelled histogram over `bounds`.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        let h = Histogram::new(bounds);
+        self.push(name, help, labels, Handle::Histogram(h.clone()));
+        h
+    }
+
+    /// Register an already-built histogram handle (e.g. one of the
+    /// preset layouts) without creating a new one.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+    ) {
+        self.push(name, help, labels, Handle::Histogram(h.clone()));
+    }
+
+    /// Register a snapshot source, re-sampled at every [`Registry::gather`].
+    pub fn register_source(&self, source: Box<dyn MetricsSource>) {
+        self.sources.lock().expect("registry poisoned").push(source);
+    }
+
+    /// Gather every handle and source into one sorted snapshot.
+    pub fn gather(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        {
+            let entries = self.entries.lock().expect("registry poisoned");
+            for e in entries.iter() {
+                let labels: Vec<(&str, &str)> =
+                    e.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                match &e.handle {
+                    Handle::Counter(c) => out.counter(&e.name, &e.help, &labels, c.get()),
+                    Handle::Gauge(g) => out.gauge(&e.name, &e.help, &labels, g.get()),
+                    Handle::Histogram(h) => {
+                        out.histogram(&e.name, &e.help, &labels, h.snapshot())
+                    }
+                }
+            }
+        }
+        {
+            let sources = self.sources.lock().expect("registry poisoned");
+            for s in sources.iter() {
+                out.merge(s.collect());
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::metrics::MetricValue;
+
+    #[test]
+    fn gather_combines_handles_and_sources() {
+        let reg = Registry::new();
+        let c = reg.counter_with("sfd_demo_total", "demo", &[("shard", "0")]);
+        let g = reg.gauge("sfd_level", "level");
+        let h = reg.histogram("sfd_lat_seconds", "lat", &[0.1, 1.0]);
+        c.add(3);
+        g.set(0.5);
+        h.observe(0.05);
+        reg.register_source(Box::new(|| {
+            let mut m = MetricsSnapshot::new();
+            m.counter("sfd_demo_total", "demo", &[("shard", "1")], 7);
+            m.gauge("sfd_extra", "extra", &[], 9.0);
+            m
+        }));
+
+        let snap = reg.gather();
+        assert_eq!(snap.counter_value("sfd_demo_total", &[("shard", "0")]), Some(3));
+        assert_eq!(snap.counter_value("sfd_demo_total", &[("shard", "1")]), Some(7));
+        assert_eq!(snap.gauge_value("sfd_extra", &[]), Some(9.0));
+        // Families are sorted for deterministic rendering.
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        match &snap.family("sfd_lat_seconds").unwrap().samples[0].value {
+            MetricValue::Histogram(hs) => {
+                assert_eq!(hs.count, 1);
+                assert!(hs.is_conserved());
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

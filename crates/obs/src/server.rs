@@ -1,0 +1,139 @@
+//! A minimal, std-only scrape endpoint.
+//!
+//! [`MetricsServer`] binds a TCP listener and answers every request with
+//! the registry's current metrics page as an HTTP/1.0-style response —
+//! enough for `curl`, Prometheus, or the observability test suite; it is
+//! deliberately not a web server (no routing, no keep-alive, no TLS).
+
+use crate::encode::encode_text;
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+/// A background thread serving `Registry::gather()` over plain TCP.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving scrapes of `registry` on a background thread.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sfd-metrics".into())
+            .spawn(move || serve_loop(listener, registry, stop2))
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Best effort: a failed scrape must not kill the server.
+                let _ = answer(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(StdDuration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(StdDuration::from_millis(20)),
+        }
+    }
+}
+
+fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(StdDuration::from_millis(500)))?;
+    stream.set_write_timeout(Some(StdDuration::from_millis(2000)))?;
+    stream.set_nonblocking(false)?;
+    // Drain the request head (we serve one page regardless of path).
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = encode_text(&registry.gather());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_registry_page() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("sfd_pings_total", "Pings.");
+        c.add(41);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = server.local_addr();
+
+        let page = scrape(addr);
+        assert!(page.starts_with("HTTP/1.1 200 OK"));
+        assert!(page.contains("text/plain; version=0.0.4"));
+        assert!(page.contains("sfd_pings_total 41"));
+
+        // Live: a second scrape sees the updated counter.
+        c.inc();
+        let page = scrape(addr);
+        assert!(page.contains("sfd_pings_total 42"));
+        server.stop();
+    }
+}

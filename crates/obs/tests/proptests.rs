@@ -1,0 +1,156 @@
+//! Property-based tests for the `sfd-obs` histogram/quantile estimator.
+//!
+//! Three families of properties, per the observability issue:
+//!
+//! 1. **Count conservation** — for *arbitrary* `f64` sequences (finite,
+//!    huge, negative, `NaN`, `±Inf`), the per-bucket counts always sum to
+//!    the observation count, and `count()` equals the sequence length.
+//! 2. **Quantile monotonicity** — `quantile(q)` is non-decreasing in `q`
+//!    and always reports one of the configured bucket bounds.
+//! 3. **Merge associativity** — merging snapshots is associative and
+//!    agrees with recording the concatenated sequence into one histogram
+//!    (exactly for counts, up to float-sum tolerance for `sum`).
+
+use proptest::prelude::*;
+use sfd_core::metrics::HistogramSnapshot;
+use sfd_obs::Histogram;
+
+/// Decode a `(value, selector)` pair into a possibly-special f64: the
+/// selector occasionally replaces the finite value with NaN/±Inf/0/huge
+/// so the "arbitrary sequence" really exercises the edge cases.
+fn decode(v: f64, sel: u8) -> f64 {
+    match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::MAX,
+        6 => f64::MIN,
+        _ => v,
+    }
+}
+
+/// Build strictly increasing bounds from positive increments.
+fn bounds_from(increments: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0f64;
+    increments
+        .iter()
+        .map(|&d| {
+            acc += d.max(1e-9);
+            acc
+        })
+        .collect()
+}
+
+fn record_all(bounds: &[f64], xs: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new(bounds);
+    for &x in xs {
+        h.observe(x);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Conservation: Σ buckets == count == number of observations, no
+    /// matter what was observed.
+    #[test]
+    fn count_conservation_under_arbitrary_input(
+        incs in prop::collection::vec(1e-6f64..1e3, 1..24),
+        xs in prop::collection::vec((-1e12f64..1e12, 0u8..16), 0..400),
+    ) {
+        let bounds = bounds_from(&incs);
+        let h = Histogram::new(&bounds);
+        for &(v, sel) in &xs {
+            h.observe(decode(v, sel));
+        }
+        let snap = h.snapshot();
+        prop_assert!(snap.is_conserved());
+        prop_assert_eq!(snap.count, xs.len() as u64);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(snap.counts.len(), bounds.len() + 1);
+        // The sum of finite observations never becomes NaN.
+        prop_assert!(!snap.sum.is_nan());
+    }
+
+    /// Monotonicity: quantile(q) is non-decreasing in q, and every
+    /// readout is one of the configured bounds (or 0 when empty).
+    #[test]
+    fn quantile_monotone_and_bound_valued(
+        incs in prop::collection::vec(1e-6f64..1e3, 1..24),
+        xs in prop::collection::vec((-1e12f64..1e12, 0u8..16), 0..300),
+    ) {
+        let bounds = bounds_from(&incs);
+        let h = Histogram::new(&bounds);
+        for &(v, sel) in &xs {
+            h.observe(decode(v, sel));
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=50 {
+            let q = i as f64 / 50.0;
+            let got = h.quantile(q);
+            prop_assert!(got >= last, "quantile({}) = {} < previous {}", q, got, last);
+            if xs.is_empty() {
+                prop_assert_eq!(got, 0.0);
+            } else {
+                prop_assert!(
+                    bounds.iter().any(|&b| b == got),
+                    "quantile {} not a configured bound", got
+                );
+            }
+            last = got;
+        }
+        // Out-of-range q clamps rather than panicking.
+        prop_assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        prop_assert_eq!(h.quantile(7.5), h.quantile(1.0));
+    }
+
+    /// Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and both equal the
+    /// snapshot of the concatenated sequence (counts exactly; sums up to
+    /// float-addition reassociation error).
+    #[test]
+    fn merge_is_associative_and_matches_concat(
+        incs in prop::collection::vec(1e-3f64..1e3, 1..16),
+        a in prop::collection::vec(-1e9f64..1e9, 0..120),
+        b in prop::collection::vec(-1e9f64..1e9, 0..120),
+        c in prop::collection::vec(-1e9f64..1e9, 0..120),
+    ) {
+        let bounds = bounds_from(&incs);
+        let sa = record_all(&bounds, &a);
+        let sb = record_all(&bounds, &b);
+        let sc = record_all(&bounds, &c);
+
+        // Left association.
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // Right association.
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(left.count, right.count);
+        let tol = 1e-9 * left.sum.abs().max(1.0);
+        prop_assert!((left.sum - right.sum).abs() <= tol);
+
+        // Against one histogram fed the concatenation.
+        let mut all: Vec<f64> = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let concat = record_all(&bounds, &all);
+        prop_assert_eq!(&left.counts, &concat.counts);
+        prop_assert_eq!(left.count, concat.count);
+        let tol = 1e-9 * concat.sum.abs().max(1.0);
+        prop_assert!((left.sum - concat.sum).abs() <= tol);
+        prop_assert!(left.is_conserved() && concat.is_conserved());
+
+        // Quantiles agree exactly: they depend only on counts.
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            prop_assert_eq!(left.quantile(q), concat.quantile(q));
+        }
+    }
+}

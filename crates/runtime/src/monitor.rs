@@ -23,6 +23,7 @@ use crate::transport::HeartbeatSource;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
 use sfd_core::error::CoreResult;
+use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
 use sfd_core::registry::DetectorSpec;
@@ -88,6 +89,9 @@ struct State<D> {
     epoch_start: Option<Instant>,
     epoch_td_sum: f64,
     epoch_td_count: u64,
+    /// QoS measured over the most recent completed epoch (exported as
+    /// `sfd_qos_*` gauges next to the detector's `sfd_qos_target_*`).
+    last_qos: Option<QosMeasured>,
 }
 
 /// A running monitor service around a detector `D`.
@@ -137,6 +141,7 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
             epoch_start: None,
             epoch_td_sum: 0.0,
             epoch_td_count: 0,
+            last_qos: None,
         }));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -244,6 +249,7 @@ impl<D: FailureDetector + Send + 'static> MonitorService<D> {
                             };
                             hook(&mut st.detector, &qos);
                             st.finished_mistakes += qos.mistakes;
+                            st.last_qos = Some(qos);
                             st.log.truncate_before(now);
                             st.epoch_start = Some(now);
                             st.epoch_td_sum = 0.0;
@@ -336,6 +342,7 @@ impl Monitor for DynMonitorService {
         st.epoch_start = None;
         st.epoch_td_sum = 0.0;
         st.epoch_td_count = 0;
+        st.last_qos = None;
         Ok(())
     }
 
@@ -357,6 +364,7 @@ impl Monitor for DynMonitorService {
         st.epoch_start = None;
         st.epoch_td_sum = 0.0;
         st.epoch_td_count = 0;
+        st.last_qos = None;
         true
     }
 
@@ -382,10 +390,55 @@ impl Monitor for DynMonitorService {
         match st.detector.self_tuning() {
             Some(tuner) => {
                 let _ = tuner.apply_feedback(measured);
+                st.last_qos = Some(*measured);
                 true
             }
             None => false,
         }
+    }
+
+    fn metrics(&self, now: Instant) -> MetricsSnapshot {
+        let st = self.state.lock();
+        let mut m = MetricsSnapshot::new();
+        let bound = st.stream.is_some();
+        m.gauge(
+            "sfd_streams_watched",
+            "Streams currently watched.",
+            &[],
+            f64::from(u8::from(bound)),
+        );
+        m.gauge(
+            "sfd_streams_suspect",
+            "Streams currently suspected.",
+            &[],
+            f64::from(u8::from(bound && st.detector.is_suspect(now))),
+        );
+        m.counter(
+            "sfd_heartbeats_accepted_total",
+            "Heartbeats accepted across all watched streams.",
+            &[],
+            st.heartbeats,
+        );
+        st.health.export(&mut m, &[]);
+        m.counter(
+            "sfd_monitor_epochs_total",
+            "Feedback epochs completed by the service loop.",
+            &[],
+            st.epochs,
+        );
+        m.counter(
+            "sfd_monitor_mistakes_total",
+            "Wrong suspicions observed so far (finished suspicion periods).",
+            &[],
+            st.finished_mistakes + st.log.mistakes_in(Instant::ZERO, Instant::FAR_FUTURE),
+        );
+        if let Some(q) = &st.last_qos {
+            q.export(&mut m, &[]);
+        }
+        if let Some(ts) = st.detector.tuning_state() {
+            ts.export(&mut m, &[]);
+        }
+        m
     }
 }
 

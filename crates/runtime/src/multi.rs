@@ -33,8 +33,10 @@ use crate::wheel::TimingWheel;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
 use sfd_core::error::CoreResult;
+use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
+use sfd_obs::Histogram;
 use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::{SuspicionLog, Transition};
 use sfd_core::time::{Duration, Instant};
@@ -124,6 +126,9 @@ struct StreamState {
     suspect: bool,
     log: SuspicionLog,
     health: StreamHealth,
+    /// QoS measured over the most recent feedback epoch (exported as the
+    /// `sfd_qos_*` gauges next to the detector's `sfd_qos_target_*`).
+    last_qos: Option<QosMeasured>,
 }
 
 impl StreamState {
@@ -137,8 +142,34 @@ impl StreamState {
             suspect: false,
             log: SuspicionLog::new(),
             health: StreamHealth::default(),
+            last_qos: None,
         }
     }
+}
+
+/// Shard-wide ingest decision tally: exactly one field is bumped per
+/// [`ShardCore::heartbeat`] call, so the fields always sum to the number
+/// of calls (a conservation law the observability suite asserts).
+#[derive(Debug, Default, Clone, Copy)]
+struct IngestCounters {
+    accepted: u64,
+    rebaselined: u64,
+    duplicate: u64,
+    seq_jump: u64,
+    unknown: u64,
+}
+
+/// Extend a label set with one more pair, returning the owned storage and
+/// a borrow helper for [`MetricsSnapshot`]'s `&[(&str, &str)]` surface.
+fn with_label(base: &[(&str, &str)], key: &str, val: &str) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> =
+        base.iter().map(|(k, value)| (k.to_string(), value.to_string())).collect();
+    v.push((key.to_string(), val.to_string()));
+    v
+}
+
+fn borrow_labels(owned: &[(String, String)]) -> Vec<(&str, &str)> {
+    owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect()
 }
 
 /// One shard of the multi-stream monitor: a detector map plus the expiry
@@ -162,6 +193,9 @@ pub struct ShardCore {
     /// if the platform clock steps backwards.
     last_now: Option<Instant>,
     clock_clamps: u64,
+    ingest: IngestCounters,
+    /// Whole-shard epoch feedback rounds applied so far.
+    feedback_rounds: u64,
 }
 
 impl ShardCore {
@@ -175,6 +209,8 @@ impl ShardCore {
             wheel: TimingWheel::new(wheel_tick),
             last_now: None,
             clock_clamps: 0,
+            ingest: IngestCounters::default(),
+            feedback_rounds: 0,
         }
     }
 
@@ -209,6 +245,18 @@ impl ShardCore {
     /// heartbeats reach the detector and re-arm the stream's expiry
     /// timer; rejected ones only bump the stream's health counters.
     pub fn heartbeat(&mut self, stream: u64, seq: u64, now: Instant) -> IngestOutcome {
+        let outcome = self.heartbeat_inner(stream, seq, now);
+        match outcome {
+            IngestOutcome::Accepted => self.ingest.accepted += 1,
+            IngestOutcome::Rebaselined => self.ingest.rebaselined += 1,
+            IngestOutcome::Duplicate => self.ingest.duplicate += 1,
+            IngestOutcome::SeqJump => self.ingest.seq_jump += 1,
+            IngestOutcome::UnknownStream => self.ingest.unknown += 1,
+        }
+        outcome
+    }
+
+    fn heartbeat_inner(&mut self, stream: u64, seq: u64, now: Instant) -> IngestOutcome {
         let now = self.clamp_now(now);
         let Some(st) = self.streams.get_mut(&stream) else {
             return IngestOutcome::UnknownStream;
@@ -294,11 +342,13 @@ impl ShardCore {
     /// Deliver per-stream accuracy feedback for the epoch `[start, now]`
     /// to every self-tuning detector, then roll the transition logs over.
     pub fn apply_epoch_feedback(&mut self, start: Instant, now: Instant) {
+        self.feedback_rounds += 1;
         let mut resync = Vec::new();
         for (&stream, st) in self.streams.iter_mut() {
             if let Some(tuner) = st.detector.self_tuning() {
                 let measured = st.log.accuracy_summary(start, now);
                 let _ = tuner.apply_feedback(&measured);
+                st.last_qos = Some(measured);
                 resync.push(stream);
             }
             st.log.truncate_before(now);
@@ -320,6 +370,7 @@ impl ShardCore {
             return false;
         };
         let _ = tuner.apply_feedback(measured);
+        st.last_qos = Some(*measured);
         self.resync(stream, now);
         true
     }
@@ -350,6 +401,86 @@ impl ShardCore {
     /// tests). `None` if the stream is unknown.
     pub fn transitions(&self, stream: u64) -> Option<&[Transition]> {
         self.streams.get(&stream).map(|st| st.log.transitions())
+    }
+
+    /// Append the shard's counters, gauges and per-stream QoS state to a
+    /// metrics snapshot, every sample tagged with `labels` (the service
+    /// adds `shard="i"`; standalone use passes `&[]`).
+    pub fn export_metrics(&self, m: &mut MetricsSnapshot, labels: &[(&str, &str)], now: Instant) {
+        let suspects = self.streams.values().filter(|st| st.detector.is_suspect(now)).count();
+        m.gauge("sfd_streams_watched", "Streams currently watched.", labels, self.streams.len() as f64);
+        m.gauge("sfd_streams_suspect", "Streams currently suspected.", labels, suspects as f64);
+
+        let mut heartbeats = 0u64;
+        let mut agg = StreamHealth { clock_clamps: self.clock_clamps, ..StreamHealth::default() };
+        for st in self.streams.values() {
+            heartbeats += st.heartbeats;
+            agg.duplicates += st.health.duplicates;
+            agg.rejected_seq_jumps += st.health.rejected_seq_jumps;
+            agg.rejected_timestamps += st.health.rejected_timestamps;
+            agg.rebaselines += st.health.rebaselines;
+        }
+        m.counter(
+            "sfd_heartbeats_accepted_total",
+            "Heartbeats accepted across all watched streams.",
+            labels,
+            heartbeats,
+        );
+        agg.export(m, labels);
+
+        let help = "Ingest decisions by outcome; outcomes sum to heartbeat calls.";
+        for (outcome, n) in [
+            ("accepted", self.ingest.accepted),
+            ("rebaselined", self.ingest.rebaselined),
+            ("duplicate", self.ingest.duplicate),
+            ("seq_jump", self.ingest.seq_jump),
+            ("unknown_stream", self.ingest.unknown),
+        ] {
+            let owned = with_label(labels, "outcome", outcome);
+            m.counter("sfd_ingest_outcomes_total", help, &borrow_labels(&owned), n);
+        }
+
+        m.counter(
+            "sfd_wheel_rearms_total",
+            "Expiry timer (re-)arms scheduled on the timing wheel.",
+            labels,
+            self.wheel.rearms(),
+        );
+        m.counter(
+            "sfd_wheel_cascades_total",
+            "Wheel entries re-filed to a lower level by era cascades.",
+            labels,
+            self.wheel.cascades(),
+        );
+        m.gauge(
+            "sfd_wheel_armed_streams",
+            "Streams with an armed expiry timer.",
+            labels,
+            self.wheel.armed() as f64,
+        );
+        m.counter(
+            "sfd_epoch_feedback_total",
+            "Whole-shard epoch feedback rounds applied.",
+            labels,
+            self.feedback_rounds,
+        );
+
+        // Per-stream feedback-loop state: the measured QoS of the last
+        // epoch next to the targets the controller compares it against.
+        let mut ids: Vec<u64> = self.streams.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let st = &self.streams[&id];
+            let sid = id.to_string();
+            let owned = with_label(labels, "stream", &sid);
+            let stream_labels = borrow_labels(&owned);
+            if let Some(ts) = st.detector.tuning_state() {
+                ts.export(m, &stream_labels);
+            }
+            if let Some(q) = &st.last_qos {
+                q.export(m, &stream_labels);
+            }
+        }
     }
 
     fn snapshot_inner(&self, stream: u64, st: &StreamState, now: Instant) -> StreamSnapshot {
@@ -399,10 +530,39 @@ impl Monitor for ShardCore {
             self.streams.get(&stream).and_then(|st| st.last_heartbeat).unwrap_or(Instant::ZERO);
         ShardCore::feedback(self, stream, measured, now)
     }
+
+    fn metrics(&self, now: Instant) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        self.export_metrics(&mut m, &[], now);
+        m
+    }
+}
+
+/// Wall-clock runtime histograms for one shard, updated lock-free by the
+/// service thread and read by scrapes.
+struct ShardObs {
+    /// Time to drain one ingest batch into the shard (lock held).
+    ingest_latency: Histogram,
+    /// Time for one `advance` pass over the shard (lock held).
+    expiry_latency: Histogram,
+    /// Heartbeats per ingest batch delivered to the shard.
+    batch_size: Histogram,
+}
+
+impl ShardObs {
+    fn new() -> ShardObs {
+        ShardObs {
+            ingest_latency: Histogram::latency_seconds(),
+            expiry_latency: Histogram::latency_seconds(),
+            batch_size: Histogram::size_buckets(),
+        }
+    }
 }
 
 struct Shared {
     shards: Vec<Mutex<ShardCore>>,
+    /// Runtime timing/batch histograms, one per shard.
+    obs: Vec<ShardObs>,
     /// `shards.len() - 1`; the shard count is a power of two.
     mask: u64,
     unknown_heartbeats: AtomicU64,
@@ -464,6 +624,7 @@ impl MultiMonitorService {
         let wheel_tick = Duration::from_millis(1);
         let shared = Arc::new(Shared {
             shards: (0..nshards).map(|_| Mutex::new(ShardCore::new(policy, wheel_tick))).collect(),
+            obs: (0..nshards).map(|_| ShardObs::new()).collect(),
             mask: nshards as u64 - 1,
             unknown_heartbeats: AtomicU64::new(0),
             implausible_timestamps: AtomicU64::new(0),
@@ -559,16 +720,24 @@ impl MultiMonitorService {
                     if bucket.is_empty() {
                         continue;
                     }
-                    let mut shard = shared.shards[idx].lock();
-                    for (stream, seq) in bucket.drain(..) {
-                        if shard.heartbeat(stream, seq, now) == IngestOutcome::UnknownStream {
-                            shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                    let obs = &shared.obs[idx];
+                    obs.batch_size.observe(bucket.len() as f64);
+                    let t0 = std::time::Instant::now();
+                    {
+                        let mut shard = shared.shards[idx].lock();
+                        for (stream, seq) in bucket.drain(..) {
+                            if shard.heartbeat(stream, seq, now) == IngestOutcome::UnknownStream {
+                                shared.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
+                    obs.ingest_latency.observe(t0.elapsed().as_secs_f64());
                 }
             }
-            for shard in &shared.shards {
+            for (idx, shard) in shared.shards.iter().enumerate() {
+                let t0 = std::time::Instant::now();
                 shard.lock().advance(now);
+                shared.obs[idx].expiry_latency.observe(t0.elapsed().as_secs_f64());
             }
             if let Some(epoch_len) = cfg.epoch {
                 if now - *epoch_start >= epoch_len {
@@ -701,6 +870,53 @@ impl Monitor for MultiMonitorService {
     fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
         let now = self.clock.now();
         self.shared.shard_of(stream).lock().feedback(stream, measured, now)
+    }
+
+    fn metrics(&self, now: Instant) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        for (idx, shard) in self.shared.shards.iter().enumerate() {
+            let sid = idx.to_string();
+            let labels = [("shard", sid.as_str())];
+            shard.lock().export_metrics(&mut m, &labels, now);
+            let obs = &self.shared.obs[idx];
+            m.histogram(
+                "sfd_ingest_latency_seconds",
+                "Time to drain one ingest batch into a shard (lock held).",
+                &labels,
+                obs.ingest_latency.snapshot(),
+            );
+            m.histogram(
+                "sfd_expiry_latency_seconds",
+                "Time for one expiry-advance pass over a shard (lock held).",
+                &labels,
+                obs.expiry_latency.snapshot(),
+            );
+            m.histogram(
+                "sfd_ingest_batch_size",
+                "Heartbeats per ingest batch delivered to a shard.",
+                &labels,
+                obs.batch_size.snapshot(),
+            );
+        }
+        m.counter(
+            "sfd_unknown_heartbeats_total",
+            "Heartbeats that arrived for unregistered streams.",
+            &[],
+            self.unknown_heartbeats(),
+        );
+        m.counter(
+            "sfd_implausible_timestamps_total",
+            "Heartbeats discarded at ingest for an implausible sender timestamp.",
+            &[],
+            self.implausible_timestamps(),
+        );
+        m.counter(
+            "sfd_supervisor_restarts_total",
+            "Times the service loop panicked and was restarted by its supervisor.",
+            &[],
+            self.supervisor_restarts(),
+        );
+        m
     }
 }
 

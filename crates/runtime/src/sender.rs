@@ -3,7 +3,9 @@
 use crate::clock::WallClock;
 use crate::transport::HeartbeatSink;
 use crate::wire::Heartbeat;
+use sfd_core::metrics::{HistogramSnapshot, MetricsSnapshot};
 use sfd_core::time::Duration;
+use sfd_obs::Histogram;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,9 +26,11 @@ pub struct SenderConfig {
 /// emitting *without* any goodbye message, which is exactly what the
 /// failure detector must notice.
 pub struct HeartbeatSender {
+    stream: u64,
     stop: Arc<AtomicBool>,
     sent: Arc<AtomicU64>,
     missed: Arc<AtomicU64>,
+    pacing_drift: Histogram,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -37,9 +41,11 @@ impl HeartbeatSender {
         let stop = Arc::new(AtomicBool::new(false));
         let sent = Arc::new(AtomicU64::new(0));
         let missed = Arc::new(AtomicU64::new(0));
+        let pacing_drift = Histogram::latency_seconds();
         let thread_stop = stop.clone();
         let thread_sent = sent.clone();
         let thread_missed = missed.clone();
+        let thread_drift = pacing_drift.clone();
         let handle = std::thread::Builder::new()
             .name(format!("sfd-sender-{}", cfg.stream))
             .spawn(move || {
@@ -47,8 +53,12 @@ impl HeartbeatSender {
                 let mut seq = 0u64;
                 let mut next = clock.now();
                 while !thread_stop.load(Ordering::Relaxed) {
-                    let hb =
-                        Heartbeat { stream: cfg.stream, seq, sent_nanos: clock.now().as_nanos() };
+                    let send_at = clock.now();
+                    // Lateness of this send against its absolute deadline
+                    // (`next` is this heartbeat's scheduled instant until
+                    // the post-send `next += interval` below).
+                    thread_drift.observe_duration((send_at - next).max_zero());
+                    let hb = Heartbeat { stream: cfg.stream, seq, sent_nanos: send_at.as_nanos() };
                     if sink.send(hb).is_err() {
                         break; // transport gone: nothing left to do
                     }
@@ -59,7 +69,16 @@ impl HeartbeatSender {
                     // the whole schedule (avoids cumulative drift).
                     let now = clock.now();
                     if next > now {
-                        std::thread::sleep((next - now).to_std());
+                        // Sleep in short slices so `crash()`/drop never
+                        // blocks for a whole (possibly long) interval.
+                        let mut remaining = next - now;
+                        while remaining > Duration::ZERO
+                            && !thread_stop.load(Ordering::Relaxed)
+                        {
+                            std::thread::sleep(remaining.min(Duration::from_millis(10)).to_std());
+                            let now = clock.now();
+                            remaining = if next > now { next - now } else { Duration::ZERO };
+                        }
                     } else {
                         // Behind schedule (a stalled sink, a GC-like
                         // pause): *skip* the missed deadlines instead of
@@ -81,7 +100,7 @@ impl HeartbeatSender {
                 }
             })
             .expect("spawn sender thread");
-        HeartbeatSender { stop, sent, missed, handle: Some(handle) }
+        HeartbeatSender { stream: cfg.stream, stop, sent, missed, pacing_drift, handle: Some(handle) }
     }
 
     /// Heartbeats sent so far.
@@ -94,6 +113,36 @@ impl HeartbeatSender {
     /// sees them as losses rather than a zero-gap burst).
     pub fn missed_sends(&self) -> u64 {
         self.missed.load(Ordering::Relaxed)
+    }
+
+    /// Distribution of send lateness against the absolute-deadline
+    /// schedule, in seconds. A healthy sender sits in the lowest buckets;
+    /// mass in the tail means the host stalls the sender thread.
+    pub fn pacing_drift(&self) -> HistogramSnapshot {
+        self.pacing_drift.snapshot()
+    }
+
+    /// The sender's counters and pacing-drift histogram as metric
+    /// samples, labelled with the sender's stream id so pages from many
+    /// senders merge without colliding.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let sid = self.stream.to_string();
+        let labels = [("stream", sid.as_str())];
+        let mut m = MetricsSnapshot::new();
+        m.counter("sfd_sender_sent_total", "Heartbeats emitted by the sender.", &labels, self.sent());
+        m.counter(
+            "sfd_sender_missed_sends_total",
+            "Send deadlines skipped because the sender fell behind schedule.",
+            &labels,
+            self.missed_sends(),
+        );
+        m.histogram(
+            "sfd_sender_pacing_drift_seconds",
+            "Send lateness against the absolute-deadline schedule.",
+            &labels,
+            self.pacing_drift.snapshot(),
+        );
+        m
     }
 
     /// Fail-stop crash: stop emitting, silently. Blocks until the sender

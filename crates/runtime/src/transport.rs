@@ -18,6 +18,7 @@
 
 use crate::wire::{Heartbeat, WIRE_SIZE};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::time::Duration;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -95,6 +96,18 @@ impl UdpSource {
     /// collision.
     pub fn malformed(&self) -> u64 {
         self.malformed.load(Ordering::Relaxed)
+    }
+
+    /// The source's counters as metric samples.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.counter(
+            "sfd_transport_malformed_total",
+            "Datagrams discarded as malformed (wrong size, magic, or version).",
+            &[],
+            self.malformed(),
+        );
+        m
     }
 }
 
@@ -273,6 +286,31 @@ impl MemorySink {
     /// the message being sent.
     pub fn overflowed(&self) -> u64 {
         self.inner.overflowed.load(Ordering::Relaxed)
+    }
+
+    /// The transport's counters as metric samples: offered, dropped by
+    /// the loss model, and overflowed at the queue bound.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.counter(
+            "sfd_transport_sent_total",
+            "Heartbeats offered to the transport.",
+            &[],
+            self.sent(),
+        );
+        m.counter(
+            "sfd_transport_dropped_total",
+            "Heartbeats dropped by the transport's loss model.",
+            &[],
+            self.dropped(),
+        );
+        m.counter(
+            "sfd_transport_overflowed_total",
+            "Heartbeats that hit the bounded queue's capacity.",
+            &[],
+            self.overflowed(),
+        );
+        m
     }
 }
 

@@ -71,6 +71,12 @@ pub struct TimingWheel {
     /// stream → generation of its live entry; older generations are stale.
     armed: HashMap<u64, u64>,
     next_gen: u64,
+    /// Lifetime count of [`schedule`](TimingWheel::schedule) calls — every
+    /// heartbeat re-arm and every feedback-driven re-sync lands here.
+    rearms: u64,
+    /// Lifetime count of entries moved down a level (or re-filed at the
+    /// top) by the cascade in [`advance`](TimingWheel::advance).
+    cascades: u64,
 }
 
 impl TimingWheel {
@@ -96,12 +102,15 @@ impl TimingWheel {
             carry: Vec::new(),
             armed: HashMap::new(),
             next_gen: 0,
+            rearms: 0,
+            cascades: 0,
         }
     }
 
     /// Arm (or re-arm) `stream` to fire once `deadline` has passed.
     /// Any previously armed deadline for the stream is superseded.
     pub fn schedule(&mut self, stream: u64, deadline: Instant) {
+        self.rearms += 1;
         self.next_gen += 1;
         let gen = self.next_gen;
         self.armed.insert(stream, gen);
@@ -124,6 +133,16 @@ impl TimingWheel {
         self.armed.len()
     }
 
+    /// Lifetime count of `schedule` calls (arms + re-arms).
+    pub fn rearms(&self) -> u64 {
+        self.rearms
+    }
+
+    /// Lifetime count of live entries re-filed by level cascades.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
     /// Advance to `now`, returning every stream whose armed deadline has
     /// passed (`deadline < now`). Fired streams are disarmed; re-arm them
     /// via [`schedule`](TimingWheel::schedule) when their next heartbeat
@@ -144,6 +163,7 @@ impl TimingWheel {
                 let entries = std::mem::take(&mut self.levels[l][slot]);
                 for e in entries {
                     if self.is_live(&e) {
+                        self.cascades += 1;
                         self.insert(e);
                     }
                 }
@@ -291,6 +311,23 @@ mod tests {
         assert_eq!(fired_at.get(&2), Some(&501_000));
         assert_eq!(fired_at.get(&3), Some(&10_001_000));
         assert_eq!(fired_at.get(&4), Some(&65_536_000));
+    }
+
+    #[test]
+    fn rearm_and_cascade_counters_advance() {
+        let mut w = wheel();
+        assert_eq!((w.rearms(), w.cascades()), (0, 0));
+        w.schedule(1, ms(10));
+        w.schedule(1, ms(50));
+        w.schedule(2, ms(5_000)); // level 1: must cascade before firing
+        assert_eq!(w.rearms(), 3);
+        let mut t = 0;
+        while t < 6_000 {
+            t += 10;
+            w.advance(ms(t));
+        }
+        assert_eq!(w.armed(), 0, "everything fired");
+        assert!(w.cascades() >= 1, "the level-1 entry cascaded down");
     }
 
     #[test]

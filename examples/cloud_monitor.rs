@@ -18,6 +18,7 @@ use sfd::simnet::channel::ChannelConfig;
 use sfd::simnet::delay::DelayConfig;
 use sfd::simnet::heartbeat::HeartbeatSchedule;
 use sfd::simnet::loss::LossConfig;
+use std::sync::Arc;
 
 fn link_for(cloud: TargetId, delay_ms: i64, loss: f64) -> LinkSetup {
     LinkSetup {
@@ -113,4 +114,42 @@ fn main() {
         verdict.suspecting, verdict.total, verdict.quorum, verdict.suspected
     );
     assert!(!verdict.suspected, "quorum must overrule the partitioned view");
+
+    // Observability: both managers' self-measured state on one scrape
+    // endpoint. Each manager is registered as a snapshot source, so a
+    // scrape re-samples live state; the `manager` label keeps their
+    // per-target families from colliding.
+    println!("\nobservability — both managers on one scrape endpoint:");
+    let registry = Arc::new(Registry::new());
+    let views = [("healthy", healthy_view), ("partitioned", partitioned_view)];
+    for (name, view) in views {
+        registry.register_source(Box::new(move || {
+            let mut page = sfd::core::metrics::MetricsSnapshot::new();
+            page.merge_labelled(view.metrics(now), &[("manager", name)]);
+            page
+        }));
+    }
+    let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry))
+        .expect("bind metrics endpoint");
+    println!("  scrape endpoint: http://{}/metrics", server.local_addr());
+    let page = scrape(server.local_addr());
+    for line in page.lines().filter(|l| {
+        l.starts_with("sfd_suspicion_level") || l.starts_with("sfd_streams_suspect")
+    }) {
+        println!("  {line}");
+    }
+    server.stop();
+}
+
+/// Fetch the metrics page like Prometheus would (one plain HTTP GET).
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read scrape response");
+    match response.split_once("\r\n\r\n") {
+        Some((_head, body)) => body.to_string(),
+        None => response,
+    }
 }

@@ -8,6 +8,7 @@
 //! sfdctl sweep    wan3.sfdt --scheme chen --from 10ms --to 2s --points 12
 //! sfdctl send     --to 127.0.0.1:9999 --interval 100ms [--stream N] [--crash-after 30s]
 //! sfdctl monitor  --bind 0.0.0.0:9999 --interval 100ms [--margin 200ms] [--for 60s]
+//! sfdctl metrics  [--streams N] [--seed N] [--policy wheel|scan] [--serve ADDR]
 //! ```
 //!
 //! `generate`/`stats`/`eval`/`sweep` operate on trace files (the compact
@@ -32,7 +33,8 @@ fn usage() -> ! {
          sfdctl sweep FILE --scheme chen|phi [--from D --to D --points N]\n  \
          sfdctl plan FILE [--max-td D] [--max-mr F] [--min-qap F]\n  \
          sfdctl send --to ADDR --interval D [--stream N] [--crash-after D]\n  \
-         sfdctl monitor --bind ADDR --interval D [--margin D] [--for D]\n\n\
+         sfdctl monitor --bind ADDR --interval D [--margin D] [--for D]\n  \
+         sfdctl metrics [--streams N] [--seed N] [--policy wheel|scan] [--serve ADDR]\n\n\
          durations: 100ms, 2s, 1.5s, 250us"
     );
     exit(2);
@@ -393,6 +395,122 @@ fn cmd_monitor(flags: &HashMap<String, String>) {
     monitor.stop();
 }
 
+/// Deterministic split-mix step for the metrics demo scenario — no
+/// external RNG so the rendered page is reproducible bit-for-bit.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run a deterministic monitoring scenario (a sharded core plus a cluster
+/// manager) and render the combined metrics page — to stdout, and
+/// optionally on a scrape endpoint with `--serve ADDR`.
+fn cmd_metrics(flags: &HashMap<String, String>) {
+    let streams: u64 = flag_num(flags, "streams").unwrap_or(4);
+    let seed: u64 = flag_num(flags, "seed").unwrap_or(1);
+    let policy = match flags.get("policy").map(String::as_str) {
+        None | Some("wheel") => ExpiryPolicy::Wheel,
+        Some("scan") => ExpiryPolicy::Scan,
+        Some(other) => {
+            eprintln!("unknown expiry policy {other}");
+            usage()
+        }
+    };
+    let interval = Duration::from_millis(100);
+    let spec = DetectorSpec::Sfd {
+        config: SfdConfig {
+            window: 200,
+            expected_interval: interval,
+            initial_margin: Duration::from_millis(200),
+            ..SfdConfig::default()
+        },
+        qos: QosSpec::new(Duration::from_millis(600), 0.1, 0.97).expect("valid spec"),
+    };
+
+    // --- The sharded runtime core: 30 s of jittery heartbeats with 2%
+    // loss, the last stream fail-stops at t = 20 s. Duplicates and an
+    // unknown stream exercise the ingest-outcome counters.
+    let mut shard = ShardCore::new(policy, Duration::from_millis(1));
+    for s in 0..streams {
+        shard.register(s, &spec).expect("register stream");
+    }
+    let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+    let mut events: Vec<(Instant, u64, u64)> = Vec::new();
+    for s in 0..streams {
+        for seq in 0..300u64 {
+            if s == streams - 1 && seq >= 200 {
+                break; // fail-stop crash, no goodbye
+            }
+            let send_at = Instant::from_millis(seq as i64 * 100 + s as i64 * 13);
+            let r = mix(&mut rng);
+            if (r >> 32) % 100 < 2 {
+                continue; // message loss
+            }
+            let arrival = send_at + Duration::from_micros((r % 20_000) as i64);
+            events.push((arrival, s, seq));
+            if seq == 50 {
+                events.push((arrival + Duration::from_micros(40), s, seq)); // duplicate
+            }
+        }
+    }
+    events.push((Instant::from_secs_f64(1.0), 999, 0)); // unknown stream
+    events.sort_by_key(|&(at, s, seq)| (at, s, seq));
+    let epoch = Duration::from_secs(10);
+    let mut epoch_start = Instant::ZERO;
+    for (at, s, seq) in events {
+        shard.advance(at);
+        while at - epoch_start >= epoch {
+            shard.apply_epoch_feedback(epoch_start, epoch_start + epoch);
+            epoch_start = epoch_start + epoch;
+        }
+        shard.heartbeat(s, seq, at);
+    }
+    let end = Instant::from_secs_f64(31.0);
+    shard.advance(end);
+    shard.apply_epoch_feedback(epoch_start, end);
+
+    // --- A cluster manager watching three targets; target 3 stops
+    // half-way, so its suspicion level is high at scrape time.
+    let mut manager = OneMonitorsMany::new(
+        QosSpec::new(Duration::from_millis(600), 0.1, 0.97).expect("valid spec"),
+        StatusClassifier::default(),
+    );
+    for t in 1..=3u64 {
+        manager.watch(TargetId(t), TargetConfig { window: 100, ..TargetConfig::default() });
+    }
+    for seq in 0..300u64 {
+        for t in 1..=3u64 {
+            if t == 3 && seq >= 150 {
+                continue;
+            }
+            manager.heartbeat(TargetId(t), seq, Instant::from_millis(seq as i64 * 100 + t as i64));
+        }
+    }
+
+    let mut page = MetricsSnapshot::new();
+    shard.export_metrics(&mut page, &[("shard", "0")], end);
+    page.merge(manager.metrics(Instant::from_secs_f64(30.5)));
+    page.sort();
+    print!("{}", encode_text(&page));
+
+    if let Some(addr) = flags.get("serve") {
+        let reg = std::sync::Arc::new(Registry::new());
+        let snap = page.clone();
+        reg.register_source(Box::new(move || snap.clone()));
+        let server = MetricsServer::bind(addr, reg).unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1);
+        });
+        eprintln!("serving metrics on http://{}/metrics; ctrl-c to stop", server.local_addr());
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
@@ -405,6 +523,7 @@ fn main() {
         "plan" => cmd_plan(&pos, &flags),
         "send" => cmd_send(&flags),
         "monitor" => cmd_monitor(&flags),
+        "metrics" => cmd_metrics(&flags),
         _ => usage(),
     }
 }

@@ -12,12 +12,14 @@
 //! | [`qos`] | `sfd-qos` | replay-based QoS evaluation (`T_D`, `MR`, `QAP`), parameter sweeps, convergence harness |
 //! | [`runtime`] | `sfd-runtime` | live monitoring over UDP or in-memory transports with epoch self-tuning |
 //! | [`cluster`] | `sfd-cluster` | cloud topology monitoring: managers, clouds, multi-monitor aggregation |
+//! | [`obs`] | `sfd-obs` | metrics registry, Prometheus text exposition, std-only scrape server |
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! paper-to-code map.
 
 pub use sfd_cluster as cluster;
 pub use sfd_core as core;
+pub use sfd_obs as obs;
 pub use sfd_qos as qos;
 pub use sfd_runtime as runtime;
 pub use sfd_simnet as simnet;
@@ -32,6 +34,7 @@ pub mod prelude {
         TargetId,
     };
     pub use sfd_core::prelude::*;
+    pub use sfd_obs::{encode_text, Counter, Gauge, Histogram, MetricsServer, Registry};
     pub use sfd_runtime::{
         ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, DynMonitorService,
         ExpiryPolicy, Heartbeat, HeartbeatSender, HeartbeatSink, HeartbeatSource, IngestOutcome,

@@ -1,0 +1,594 @@
+//! Golden-snapshot observability suite.
+//!
+//! Each scenario drives a monitor (single-stream, sharded under both
+//! expiry policies, cluster manager) through a deterministic workload,
+//! renders its metrics page with `sfd_obs::encode_text`, normalizes the
+//! families that depend on wall-clock timing, and diffs the page against
+//! a checked-in golden under `tests/goldens/`.
+//!
+//! To regenerate the goldens after an intentional metrics change:
+//!
+//! ```sh
+//! SFD_BLESS=1 cargo test --test observability
+//! ```
+//!
+//! The deterministic scenarios are driven by `sfd-simnet` (seeded channel
+//! delay/loss), so every value on their pages — margins, QoS gauges,
+//! wheel counters — is reproduced bit-for-bit. The live scenarios run the
+//! real threaded services over an in-memory transport; their *counters*
+//! are exact (the workload is scripted and drained), while timing-derived
+//! families are normalized to zero, locking names, labels and help text.
+
+use sfd::obs::encode_text;
+use sfd::prelude::*;
+use sfd::simnet::channel::ChannelConfig;
+use sfd::simnet::delay::DelayConfig;
+use sfd::simnet::heartbeat::HeartbeatSchedule;
+use sfd::simnet::loss::LossConfig;
+use sfd::simnet::sim::{PairSim, PairSimConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+#[path = "support/rng_gate.rs"]
+mod rng_gate;
+use rng_gate::rng_backend_matches_blessed;
+
+// ---------------------------------------------------------------------------
+// Harness: normalization + golden diffing
+// ---------------------------------------------------------------------------
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(format!("{name}.prom"))
+}
+
+/// Zero out the values of `volatile` families (wall-clock timing, thread
+/// races) while keeping every name, label set and help line intact. For
+/// histograms this zeroes `_bucket`/`_sum`/`_count` lines too, so the
+/// bucket layout itself stays under golden control.
+fn normalize(page: &str, volatile: &[&str]) -> String {
+    let mut out = String::new();
+    for line in page.lines() {
+        if line.starts_with('#') {
+            out.push_str(line);
+        } else {
+            let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+            let base = line[..name_end]
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            if volatile.contains(&base) {
+                let (head, _value) = line.rsplit_once(' ').expect("sample line has a value");
+                let _ = write!(out, "{head} 0");
+            } else {
+                out.push_str(line);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Drop whole families (HELP/TYPE/sample lines) whose name starts with
+/// any of `prefixes` — used to compare wheel- and scan-policy pages.
+fn strip_families(page: &str, prefixes: &[&str]) -> String {
+    let mut out = String::new();
+    for line in page.lines() {
+        let name = match line.strip_prefix("# HELP ").or_else(|| line.strip_prefix("# TYPE ")) {
+            Some(rest) => rest.split(' ').next().unwrap_or(""),
+            None => line.split(['{', ' ']).next().unwrap_or(""),
+        };
+        if !prefixes.iter().any(|p| name.starts_with(p)) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Compare `actual` against the checked-in golden, or re-bless it when
+/// `SFD_BLESS=1`. A mismatch fails with a readable line-by-line diff.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SFD_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("create goldens dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with `SFD_BLESS=1 cargo test --test observability`",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut diff = String::new();
+    let mut shown = 0;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                let _ = writeln!(diff, "  line {:>4} - {e}", i + 1);
+            }
+            if let Some(a) = a {
+                let _ = writeln!(diff, "  line {:>4} + {a}", i + 1);
+            }
+            shown += 1;
+            if shown >= 15 {
+                let _ = writeln!(diff, "  … (further differences elided)");
+                break;
+            }
+        }
+    }
+    panic!(
+        "metrics page for `{name}` differs from golden {} \
+         ({} golden lines, {} actual):\n{diff}\
+         If the change is intentional, re-bless with \
+         `SFD_BLESS=1 cargo test --test observability`.",
+        path.display(),
+        exp.len(),
+        act.len(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic scenario builders (simnet-driven, no threads)
+// ---------------------------------------------------------------------------
+
+fn sfd_spec(interval: Duration) -> DetectorSpec {
+    DetectorSpec::Sfd {
+        config: SfdConfig {
+            window: 64,
+            expected_interval: interval,
+            initial_margin: interval * 2,
+            ..SfdConfig::default()
+        },
+        qos: QosSpec::new(interval * 6, 0.2, 0.9).expect("valid spec"),
+    }
+}
+
+fn pair_sim(interval: Duration, delay_ms: i64, loss: LossConfig, seed: u64) -> PairSim {
+    PairSim::new(PairSimConfig {
+        schedule: HeartbeatSchedule::periodic(interval),
+        channel: ChannelConfig {
+            delay: DelayConfig::normal(
+                Duration::from_millis(delay_ms),
+                Duration::from_millis(3),
+                Duration::from_millis(1),
+            ),
+            loss,
+            fifo: true,
+        },
+        seed,
+    })
+}
+
+struct ShardRun {
+    shard: ShardCore,
+    /// Total `ShardCore::heartbeat` calls made, for the conservation law.
+    heartbeat_calls: u64,
+    end: Instant,
+}
+
+/// Three streams over heterogeneous simnet channels for 30 s: stream 0 on
+/// a clean link, stream 1 on a 5%-lossy one, stream 2 fail-stops at 15 s.
+/// Replayed duplicates, a corrupted sequence number and an unknown stream
+/// exercise every ingest outcome; epoch feedback runs every 10 s.
+fn run_shard_scenario(policy: ExpiryPolicy, seed: u64) -> ShardRun {
+    let interval = Duration::from_millis(100);
+    let mut shard = ShardCore::new(policy, Duration::from_millis(1));
+    for s in 0..3u64 {
+        shard.register(s, &sfd_spec(interval)).expect("register stream");
+    }
+
+    let mut events: Vec<(Instant, u64, u64)> = Vec::new();
+    for s in 0..3u64 {
+        let loss = match s {
+            1 => LossConfig::Bernoulli { p: 0.05 },
+            _ => LossConfig::Never,
+        };
+        let mut sim = pair_sim(interval, 10 + 10 * s as i64, loss, seed * 1000 + s);
+        let count = if s == 2 { 150 } else { 300 };
+        for rec in sim.generate(count) {
+            if let Some(at) = rec.arrival {
+                events.push((at, s, rec.seq));
+            }
+        }
+    }
+    events.sort_unstable();
+    // Replayed datagrams: three deliveries repeat half a millisecond later.
+    let dups: Vec<(Instant, u64, u64)> = [40usize, 200, 400]
+        .iter()
+        .filter_map(|&i| events.get(i).copied())
+        .map(|(at, s, seq)| (at + Duration::from_micros(500), s, seq))
+        .collect();
+    events.extend(dups);
+    // One flipped-bit sequence number (beyond the plausible-jump guard)
+    // and one heartbeat for a stream nobody registered.
+    events.push((Instant::from_secs_f64(16.0), 0, 5_000_000));
+    events.push((Instant::from_secs_f64(1.0), 9, 0));
+    events.sort_unstable();
+
+    let epoch = Duration::from_secs(10);
+    let mut epoch_start = Instant::ZERO;
+    let mut heartbeat_calls = 0u64;
+    for (at, s, seq) in events {
+        while at - epoch_start >= epoch {
+            let boundary = epoch_start + epoch;
+            shard.advance(boundary);
+            shard.apply_epoch_feedback(epoch_start, boundary);
+            epoch_start = boundary;
+        }
+        shard.advance(at);
+        shard.heartbeat(s, seq, at);
+        heartbeat_calls += 1;
+    }
+    let end = Instant::from_secs_f64(35.0);
+    shard.advance(end);
+    shard.apply_epoch_feedback(epoch_start, end);
+    ShardRun { shard, heartbeat_calls, end }
+}
+
+/// A cluster manager watching three targets; target 3 fail-stops at 15 s.
+/// Two scripted feedback rounds push each target's controller in a
+/// different direction (increase / hold / decrease).
+fn run_cluster_scenario(seed: u64) -> (OneMonitorsMany, Instant) {
+    let interval = Duration::from_millis(100);
+    let mut mgr = OneMonitorsMany::new(
+        QosSpec::new(Duration::from_millis(600), 0.1, 0.95).expect("valid spec"),
+        StatusClassifier::default(),
+    );
+    for t in 1..=3u64 {
+        mgr.watch(
+            TargetId(t),
+            TargetConfig {
+                interval,
+                window: 100,
+                initial_margin: Duration::from_millis(150),
+                ..TargetConfig::default()
+            },
+        );
+    }
+    let mut events: Vec<(Instant, u64, u64)> = Vec::new();
+    for t in 1..=3u64 {
+        let mut sim = pair_sim(interval, 15 * t as i64, LossConfig::Bernoulli { p: 0.02 }, seed * 77 + t);
+        let count = if t == 3 { 150 } else { 300 };
+        for rec in sim.generate(count) {
+            if let Some(at) = rec.arrival {
+                events.push((at, t, rec.seq));
+            }
+        }
+    }
+    events.sort_unstable();
+    for (at, t, seq) in events {
+        mgr.heartbeat(TargetId(t), seq, at);
+    }
+    // Scripted epoch measurements: target 1 is too inaccurate (margin must
+    // grow), target 2 meets the spec (hold), target 3 is too slow while
+    // accurate (margin may shrink).
+    let inaccurate = QosMeasured {
+        detection_time: Duration::from_millis(300),
+        mistake_rate: 0.5,
+        query_accuracy: 0.80,
+        avg_mistake_duration: None,
+        avg_mistake_recurrence: None,
+        mistakes: 15,
+        observed_for: Duration::from_secs(30),
+    };
+    let healthy = QosMeasured {
+        detection_time: Duration::from_millis(300),
+        mistake_rate: 0.0,
+        query_accuracy: 1.0,
+        avg_mistake_duration: None,
+        avg_mistake_recurrence: None,
+        mistakes: 0,
+        observed_for: Duration::from_secs(30),
+    };
+    let slow = QosMeasured { detection_time: Duration::from_millis(900), ..healthy };
+    for round in 0..2 {
+        let _ = round;
+        assert!(mgr.apply_feedback(TargetId(1), &inaccurate));
+        assert!(mgr.apply_feedback(TargetId(2), &healthy));
+        assert!(mgr.apply_feedback(TargetId(3), &slow));
+    }
+    (mgr, Instant::from_secs_f64(31.0))
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic goldens
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_wheel_goldens_across_three_seeds() {
+    if !rng_backend_matches_blessed() {
+        return;
+    }
+    for seed in [1u64, 2, 3] {
+        let run = run_shard_scenario(ExpiryPolicy::Wheel, seed);
+        let again = run_shard_scenario(ExpiryPolicy::Wheel, seed);
+        let snap = run.shard.metrics(run.end);
+        let page = encode_text(&snap);
+        assert_eq!(
+            page,
+            encode_text(&again.shard.metrics(again.end)),
+            "scenario must be bit-for-bit deterministic (seed {seed})"
+        );
+
+        // Conservation: every heartbeat call lands in exactly one outcome
+        // counter, and the aggregate accepted counter matches the
+        // accepted + rebaselined outcomes (both reach the detector).
+        let outcome = |o: &str| {
+            snap.counter_value("sfd_ingest_outcomes_total", &[("outcome", o)])
+                .unwrap_or_else(|| panic!("missing outcome counter {o}"))
+        };
+        let outcomes_sum = outcome("accepted")
+            + outcome("rebaselined")
+            + outcome("duplicate")
+            + outcome("seq_jump")
+            + outcome("unknown_stream");
+        assert_eq!(outcomes_sum, run.heartbeat_calls, "outcome counters must sum to ingest calls");
+        assert_eq!(
+            snap.counter_value("sfd_heartbeats_accepted_total", &[]),
+            Some(outcome("accepted") + outcome("rebaselined")),
+        );
+        assert_eq!(outcome("duplicate"), 3, "the three replayed datagrams");
+        assert_eq!(outcome("seq_jump"), 1, "the one corrupted sequence number");
+        assert_eq!(outcome("unknown_stream"), 1, "the one unregistered stream");
+
+        assert_golden(&format!("shard_wheel_seed{seed}"), &page);
+    }
+}
+
+#[test]
+fn shard_scan_golden_matches_wheel_modulo_wheel_families() {
+    if !rng_backend_matches_blessed() {
+        return;
+    }
+    let scan = run_shard_scenario(ExpiryPolicy::Scan, 1);
+    let scan_page = encode_text(&scan.shard.metrics(scan.end));
+    assert_golden("shard_scan_seed1", &scan_page);
+
+    // Same workload, same seed: the two expiry policies must agree on
+    // everything except the wheel's own counters — the timing wheel is an
+    // optimization, not a semantic change.
+    let wheel = run_shard_scenario(ExpiryPolicy::Wheel, 1);
+    let wheel_page = encode_text(&wheel.shard.metrics(wheel.end));
+    assert_eq!(
+        strip_families(&scan_page, &["sfd_wheel_"]),
+        strip_families(&wheel_page, &["sfd_wheel_"]),
+        "scan and wheel policies diverged outside the sfd_wheel_* families"
+    );
+}
+
+#[test]
+fn cluster_manager_golden() {
+    if !rng_backend_matches_blessed() {
+        return;
+    }
+    let (mgr, now) = run_cluster_scenario(1);
+    let snap = mgr.metrics(now);
+    let page = encode_text(&snap);
+    assert_eq!(
+        page,
+        encode_text(&run_cluster_scenario(1).0.metrics(now)),
+        "cluster scenario must be deterministic"
+    );
+    // The scripted feedback rounds must surface as opposite Sat_k signs.
+    assert_eq!(snap.gauge_value("sfd_feedback_sat", &[("target", "1")]), Some(1.0));
+    assert_eq!(snap.gauge_value("sfd_feedback_sat", &[("target", "2")]), Some(0.0));
+    assert_eq!(snap.gauge_value("sfd_feedback_sat", &[("target", "3")]), Some(-1.0));
+    // Target 3 stopped at 15 s; by 31 s its suspicion level dwarfs the
+    // live targets'.
+    let s3 = snap.gauge_value("sfd_suspicion_level", &[("target", "3")]).expect("target 3");
+    let s1 = snap.gauge_value("sfd_suspicion_level", &[("target", "1")]).expect("target 1");
+    assert!(s3 > 10.0 && s3 > s1 * 10.0, "crashed target must stand out (s1={s1}, s3={s3})");
+    assert_golden("cluster_seed1", &page);
+}
+
+// ---------------------------------------------------------------------------
+// Live (threaded) scenarios: exact counters, normalized timings
+// ---------------------------------------------------------------------------
+
+/// Families whose values depend on wall-clock thread timing.
+const LIVE_VOLATILE: &[&str] = &[
+    "sfd_streams_suspect",
+    "sfd_monitor_mistakes_total",
+    "sfd_ingest_latency_seconds",
+    "sfd_expiry_latency_seconds",
+    "sfd_ingest_batch_size",
+    "sfd_wheel_rearms_total",
+    "sfd_wheel_cascades_total",
+    "sfd_wheel_armed_streams",
+];
+
+fn wait_until(deadline_ms: u64, mut done: impl FnMut() -> bool) {
+    let start = std::time::Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(deadline_ms),
+            "live scenario did not drain in time"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn single_stream_live_golden() {
+    let (sink, source) = MemoryTransport::perfect();
+    let fd = sfd_spec(Duration::from_millis(100)).build().expect("build detector");
+    let mut svc = MonitorService::spawn(
+        fd,
+        source,
+        MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None },
+    );
+    let send = |seq: u64| {
+        sink.send(Heartbeat { stream: 7, seq, sent_nanos: seq as i64 * 5_000_000 }).expect("send");
+    };
+    for seq in 0..20 {
+        send(seq);
+    }
+    send(19); // replayed datagram
+    send(10); // late replay
+    send(19 + 2_000_000); // corrupted sequence number, rejected
+    sink.send(Heartbeat { stream: 7, seq: 20, sent_nanos: i64::MIN }).expect("send"); // implausible
+    sink.send(Heartbeat { stream: 8, seq: 0, sent_nanos: 0 }).expect("send"); // foreign stream
+    for seq in 20..40 {
+        send(seq);
+    }
+    wait_until(5_000, || svc.status().stream.heartbeats == 40);
+
+    let snap = svc.metrics(svc.clock().now());
+    svc.stop();
+    assert_eq!(snap.counter_value("sfd_heartbeats_accepted_total", &[]), Some(40));
+    assert_eq!(
+        snap.counter_value("sfd_stream_rejects_total", &[("reason", "duplicate")]),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter_value("sfd_stream_rejects_total", &[("reason", "seq_jump")]),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter_value("sfd_stream_rejects_total", &[("reason", "timestamp")]),
+        Some(1)
+    );
+    assert_golden("single_stream_live", &normalize(&encode_text(&snap), LIVE_VOLATILE));
+}
+
+fn run_sharded_live(policy: ExpiryPolicy) -> sfd::core::metrics::MetricsSnapshot {
+    let (sink, source) = MemoryTransport::perfect();
+    let mut svc = MultiMonitorService::spawn_sharded(
+        source,
+        MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None },
+        2,
+        policy,
+    );
+    let spec = sfd_spec(Duration::from_millis(100));
+    for s in 1..=3u64 {
+        svc.watch(s, &spec).expect("watch stream");
+    }
+    for seq in 0..30u64 {
+        for s in 1..=3u64 {
+            sink.send(Heartbeat { stream: s, seq, sent_nanos: seq as i64 * 5_000_000 })
+                .expect("send");
+        }
+    }
+    sink.send(Heartbeat { stream: 99, seq: 0, sent_nanos: 0 }).expect("send"); // unwatched
+    sink.send(Heartbeat { stream: 1, seq: 30, sent_nanos: i64::MIN }).expect("send"); // implausible
+    wait_until(5_000, || {
+        svc.statuses().iter().map(|st| st.heartbeats).sum::<u64>() == 90
+            && svc.unknown_heartbeats() == 1
+            && svc.implausible_timestamps() == 1
+    });
+    let snap = svc.metrics(svc.clock().now());
+    svc.stop();
+    snap
+}
+
+#[test]
+fn sharded_live_golden_both_policies() {
+    for (policy, name) in
+        [(ExpiryPolicy::Wheel, "sharded_live_wheel"), (ExpiryPolicy::Scan, "sharded_live_scan")]
+    {
+        let snap = run_sharded_live(policy);
+        // The stream→shard hash is fixed, so per-shard accepted counts are
+        // exact; their sum is the scripted 90 accepted heartbeats.
+        let accepted: u64 = ["0", "1"]
+            .iter()
+            .filter_map(|sid| {
+                snap.counter_value("sfd_ingest_outcomes_total", &[("shard", sid), ("outcome", "accepted")])
+            })
+            .sum();
+        assert_eq!(accepted, 90);
+        assert_eq!(snap.counter_value("sfd_unknown_heartbeats_total", &[]), Some(1));
+        assert_eq!(snap.counter_value("sfd_implausible_timestamps_total", &[]), Some(1));
+        assert_eq!(snap.counter_value("sfd_supervisor_restarts_total", &[]), Some(0));
+        assert_golden(name, &normalize(&encode_text(&snap), LIVE_VOLATILE));
+    }
+}
+
+#[test]
+fn sender_and_transport_metrics_golden() {
+    let (sink, source) = MemoryTransport::perfect();
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 4, interval: Duration::from_millis(5) },
+        sink.clone(),
+    );
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    sender.crash();
+    while source.recv(Duration::ZERO).expect("recv").is_some() {}
+
+    let mut snap = sender.metrics();
+    snap.merge(sink.metrics());
+    let udp = UdpSource::bind("127.0.0.1:0").expect("bind probe socket");
+    snap.merge(udp.metrics());
+    // Everything the sender did is wall-clock paced; the golden locks the
+    // family names, labels and bucket layout, not the counts.
+    let volatile = [
+        "sfd_sender_sent_total",
+        "sfd_sender_missed_sends_total",
+        "sfd_sender_pacing_drift_seconds",
+        "sfd_transport_sent_total",
+        "sfd_transport_dropped_total",
+        "sfd_transport_overflowed_total",
+    ];
+    assert_golden("sender_transport", &normalize(&encode_text(&snap), &volatile));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn combined_page_covers_the_metric_taxonomy() {
+    // One page spanning the whole stack: the sharded runtime (with its
+    // wheel and per-stream QoS state), the cluster manager, a sender and
+    // a transport.
+    let run = run_shard_scenario(ExpiryPolicy::Wheel, 1);
+    let mut page = sfd::core::metrics::MetricsSnapshot::new();
+    run.shard.export_metrics(&mut page, &[("shard", "0")], run.end);
+    let (mgr, now) = run_cluster_scenario(1);
+    page.merge_labelled(mgr.metrics(now), &[("manager", "m1")]);
+    let (sink, _source) = MemoryTransport::perfect();
+    let sender =
+        HeartbeatSender::spawn(SenderConfig { stream: 4, interval: Duration::from_secs(60) }, sink.clone());
+    page.merge(sender.metrics());
+    page.merge(sink.metrics());
+    page.sort();
+
+    let families: Vec<&str> = page.families.iter().map(|f| f.name.as_str()).collect();
+    assert!(
+        families.len() >= 20,
+        "expected at least 20 metric families on the combined page, got {}: {families:?}",
+        families.len()
+    );
+    // At least one family from every layer of the taxonomy.
+    for required in [
+        "sfd_streams_watched",          // monitor surface
+        "sfd_ingest_outcomes_total",    // runtime ingest
+        "sfd_wheel_rearms_total",       // expiry machinery
+        "sfd_epoch_feedback_total",     // epoch plumbing
+        "sfd_qos_detection_time_seconds",      // measured QoS
+        "sfd_qos_target_detection_time_seconds", // QoS requirement
+        "sfd_feedback_margin_seconds",  // controller state
+        "sfd_suspicion_level",          // cluster/accrual surface
+        "sfd_stream_rejects_total",     // hostile-input counters
+        "sfd_sender_sent_total",        // sender side
+        "sfd_transport_sent_total",     // transport side
+    ] {
+        assert!(families.contains(&required), "family {required} missing from combined page");
+    }
+
+    // Histogram bucket conservation holds for every histogram family.
+    for fam in &page.families {
+        for sample in &fam.samples {
+            if let sfd::core::metrics::MetricValue::Histogram(h) = &sample.value {
+                assert!(h.is_conserved(), "non-conserved histogram in {}", fam.name);
+            }
+        }
+    }
+}

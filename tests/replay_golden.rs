@@ -1,0 +1,428 @@
+//! Golden regression for the replay evaluator: re-run the full fig. 6/7
+//! WAN-0 comparison behind `results/fig6_7-wan0.json` and check that the
+//! measured QoS still lands where the checked-in experiment artifact says
+//! it did, for every detector series and every swept point.
+//!
+//! The artifact is produced by the same recipe as
+//! `crates/bench/src/bin/fig6_7_wan.rs` on the deterministic WAN-0
+//! workload (150 000 heartbeats, preset seed), so any drift here means a
+//! detector, the evaluator or the workload generator changed behaviour —
+//! which must be a conscious decision, not an accident. When it *is*
+//! conscious, re-bless the artifact from the in-repo code:
+//!
+//! ```sh
+//! SFD_BLESS=1 cargo test --test replay_golden
+//! ```
+//!
+//! which rewrites both `results/fig6_7-wan0.json` and the `.csv` next to
+//! it. The JSON is read and written with minimal local code because this
+//! environment's `serde_json` may be a non-functional stub (see
+//! `tests/serialization.rs`).
+
+use sfd::core::prelude::*;
+use sfd::qos::eval::EvalConfig;
+use sfd::qos::report::{CurveSeries, ExperimentResult};
+use sfd::qos::sweep::{
+    bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd,
+};
+use sfd::trace::presets::WanCase;
+use std::fmt::Write as _;
+
+#[path = "support/rng_gate.rs"]
+mod rng_gate;
+use rng_gate::rng_backend_matches_blessed;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, bools, null)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Reader { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("unexpected end of JSON")
+    }
+
+    fn expect(&mut self, b: u8) {
+        let got = self.peek();
+        assert_eq!(got as char, b as char, "JSON parse error at byte {}", self.pos);
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Json {
+        self.skip_ws();
+        assert!(
+            self.bytes[self.pos..].starts_with(word.as_bytes()),
+            "JSON parse error at byte {}",
+            self.pos
+        );
+        self.pos += word.len();
+        value
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut pairs = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(pairs);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            pairs.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(pairs);
+                }
+                c => panic!("JSON parse error: expected ',' or '}}', got {:?}", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                c => panic!("JSON parse error: expected ',' or ']', got {:?}", c as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bytes[self.pos];
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .expect("utf8 escape");
+                            self.pos += 4;
+                            let code = u32::from_str_radix(hex, 16).expect("hex escape");
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => panic!("unsupported escape \\{}", other as char),
+                    }
+                }
+                b => {
+                    // Copy the raw byte; multi-byte UTF-8 passes through.
+                    let start = self.pos;
+                    let len = if b < 0x80 {
+                        1
+                    } else if b < 0xE0 {
+                        2
+                    } else if b < 0xF0 {
+                        3
+                    } else {
+                        4
+                    };
+                    self.pos += len;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8 string"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8 number");
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad JSON number {text:?}")))
+    }
+}
+
+fn parse_json(s: &str) -> Json {
+    let mut r = Reader::new(s);
+    let v = r.value();
+    r.skip_ws();
+    assert_eq!(r.pos, r.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+/// Render an [`ExperimentResult`] in the same pretty-printed shape
+/// `serde_json::to_string_pretty` produces for it (2-space indent,
+/// shortest-round-trip floats), so blessed artifacts stay diffable
+/// against ones written by the bench binaries on a full toolchain.
+fn to_pretty_json(r: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"id\": \"{}\",", r.id);
+    let _ = writeln!(out, "  \"workload\": \"{}\",", r.workload);
+    let _ = writeln!(out, "  \"heartbeats\": {},", r.heartbeats);
+    let _ = writeln!(out, "  \"series\": [");
+    for (si, s) in r.series.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"detector\": \"{:?}\",", s.detector);
+        let _ = writeln!(out, "      \"points\": [");
+        for (pi, p) in s.points.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"param\": {},", p.param);
+            let _ = writeln!(out, "          \"td_secs\": {},", p.td_secs);
+            let _ = writeln!(out, "          \"mr\": {},", p.mr);
+            let _ = writeln!(out, "          \"qap\": {}", p.qap);
+            let _ = writeln!(out, "        }}{}", if pi + 1 < s.points.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{}", if si + 1 < r.series.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The regression itself
+// ---------------------------------------------------------------------------
+
+/// Re-run the fig. 6/7 comparison exactly as the bench binary does
+/// (`ExperimentPlan::standard` + `paper_spec` in `crates/bench/src/lib.rs`,
+/// constants inlined because `sfd-bench` is not a dependency of the root
+/// package): window 1000, margins spanning 0.3×–80× the heartbeat
+/// interval, 20 s feedback epochs, 1000-heartbeat warmup.
+fn regenerate() -> ExperimentResult {
+    let trace = WanCase::Wan0.preset().generate(150_000);
+    let interval = trace.interval;
+    let window = 1000usize;
+    let lo = interval.mul_f64(0.3).max(Duration::from_millis(1));
+    let hi = interval.mul_f64(80.0);
+    let eval = EvalConfig { warmup: 1000 };
+    let spec = QosSpec::new(Duration::from_millis(900), 0.35, 0.95).expect("paper spec");
+
+    let sfd = sweep_sfd(
+        &trace,
+        SfdConfig {
+            window,
+            expected_interval: interval,
+            initial_margin: Duration::ZERO,
+            feedback: FeedbackConfig {
+                alpha: interval.mul_f64(2.0),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        },
+        spec,
+        &log_spaced_margins(lo, hi, 12),
+        Duration::from_secs(20),
+        eval,
+    );
+    let chen = sweep_chen(
+        &trace,
+        sfd::core::chen::ChenConfig { window, expected_interval: interval, alpha: Duration::ZERO },
+        &log_spaced_margins(lo, hi, 18),
+        eval,
+    );
+    let bertier = bertier_point(
+        &trace,
+        sfd::core::bertier::BertierConfig {
+            window,
+            expected_interval: interval,
+            ..Default::default()
+        },
+        eval,
+    );
+    let phi = sweep_phi(
+        &trace,
+        sfd::core::phi::PhiConfig {
+            window,
+            expected_interval: interval,
+            threshold: 1.0,
+            min_std_fraction: 0.01,
+        },
+        &lin_spaced(0.5, 16.0, 16),
+        eval,
+    );
+
+    ExperimentResult {
+        id: "fig6_7-wan0".into(),
+        workload: trace.name.clone(),
+        heartbeats: trace.sent(),
+        series: vec![
+            CurveSeries::from_sweep(DetectorKind::Sfd, sfd),
+            CurveSeries::from_sweep(DetectorKind::Chen, chen),
+            CurveSeries::from_sweep(DetectorKind::Bertier, bertier.into_iter().collect()),
+            CurveSeries::from_sweep(DetectorKind::Phi, phi),
+        ],
+    }
+}
+
+fn artifact_paths() -> (std::path::PathBuf, std::path::PathBuf) {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    (dir.join("fig6_7-wan0.json"), dir.join("fig6_7-wan0.csv"))
+}
+
+#[test]
+fn replay_evaluator_matches_fig6_7_artifact() {
+    if !rng_backend_matches_blessed() {
+        return;
+    }
+    let fresh = regenerate();
+    let (json_path, csv_path) = artifact_paths();
+
+    if std::env::var("SFD_BLESS").is_ok() {
+        std::fs::write(&json_path, to_pretty_json(&fresh)).expect("write blessed artifact");
+        std::fs::write(&csv_path, fresh.to_csv()).expect("write blessed csv");
+        eprintln!("blessed {} and {}", json_path.display(), csv_path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", json_path.display()));
+    let root = parse_json(&text);
+    assert_eq!(
+        root.get("heartbeats").and_then(Json::as_f64),
+        Some(fresh.heartbeats as f64),
+        "artifact heartbeat count"
+    );
+    assert_eq!(root.get("workload").and_then(Json::as_str), Some("WAN-0"));
+    let stored = root.get("series").and_then(Json::as_arr).expect("series array");
+    assert_eq!(stored.len(), fresh.series.len(), "detector series count");
+
+    // Regression bands. The replay is deterministic, so on the platform
+    // that blessed the artifact these hold exactly; the slack only covers
+    // last-ulp libm differences across platforms, where one shifted
+    // suspicion transition moves MR by ~1/observed (≈ 1e-4 here). They are
+    // orders of magnitude tighter than the spacing between neighbouring
+    // curve points, so a behaviour change cannot hide inside them.
+    let close = |a: f64, b: f64, what: &str, ctx: &str| {
+        assert!(
+            (a - b).abs() <= 1e-3 * b.abs().max(0.1),
+            "{what} drifted {ctx}: replay {a:.9} vs artifact {b:.9}\n\
+             (if the change is intentional, re-bless with SFD_BLESS=1 cargo test --test replay_golden)"
+        );
+    };
+
+    for (series, want) in stored.iter().zip(&fresh.series) {
+        let name = series.get("detector").and_then(Json::as_str).expect("detector name");
+        assert_eq!(name, format!("{:?}", want.detector), "series order");
+        let points = series.get("points").and_then(Json::as_arr).expect("points array");
+        assert_eq!(points.len(), want.points.len(), "{name}: point count");
+        for (stored_pt, fresh_pt) in points.iter().zip(&want.points) {
+            let param = stored_pt.get("param").and_then(Json::as_f64).expect("param");
+            let ctx = format!("at {name} param={param}");
+            assert!(
+                (param - fresh_pt.param).abs() <= 1e-6 * fresh_pt.param.abs().max(1.0),
+                "sweep grid drifted: replay param {} vs artifact {param} ({name})",
+                fresh_pt.param
+            );
+            let td = stored_pt.get("td_secs").and_then(Json::as_f64).expect("td_secs");
+            let mr = stored_pt.get("mr").and_then(Json::as_f64).expect("mr");
+            let qap = stored_pt.get("qap").and_then(Json::as_f64).expect("qap");
+            close(fresh_pt.td_secs, td, "TD", &ctx);
+            close(fresh_pt.mr, mr, "MR", &ctx);
+            close(fresh_pt.qap, qap, "QAP", &ctx);
+        }
+    }
+
+    // The paper-level claims the figures rest on must hold in the fresh
+    // run regardless of artifact bit-rot: SFD's curve stays inside the
+    // feasible band at its conservative end, and its aggressive end is
+    // faster than its conservative end.
+    let sfd_series = &fresh.series[0];
+    let (td_lo, td_hi) = sfd_series.td_range_secs().expect("non-empty SFD series");
+    assert!(td_lo < td_hi, "SM₁ sweep must trade speed for accuracy");
+    assert!(td_hi < 10.0, "even the most conservative SM₁ detects within 10 s");
+}

@@ -1,0 +1,61 @@
+//! Gate for sim-seeded golden tests: a blessed fingerprint of the `rand`
+//! backend's output stream.
+//!
+//! The deterministic goldens pin byte-exact numbers produced through the
+//! seeded simnet/trace RNG, so they are a property of the RNG backend as
+//! much as of the detector code: building against a substituted `rand`
+//! (e.g. an offline stub) yields a different — equally valid — stream.
+//! Rather than fail on numbers no code change caused, each sim-seeded
+//! test first compares the backend it is running on against the
+//! fingerprint that blessed the goldens and skips with a note when they
+//! differ. `SFD_BLESS=1` rewrites the fingerprint along with the goldens.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fingerprint_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/rng_fingerprint.txt")
+}
+
+/// The first records of a seeded WAN-0 trace, one line per heartbeat —
+/// enough draws to involve both the delay and the loss streams.
+fn current_fingerprint() -> String {
+    let trace = sfd::trace::presets::WanCase::Wan0.preset().generate(4);
+    let mut fp = String::new();
+    for r in &trace.records {
+        let arrival =
+            r.arrival.map(|a| a.as_nanos().to_string()).unwrap_or_else(|| "lost".into());
+        let _ = writeln!(fp, "{};{};{arrival}", r.seq, r.sent.as_nanos());
+    }
+    fp
+}
+
+/// `true` when the running RNG backend is the one that blessed the
+/// goldens (always `true` while blessing, which rewrites the
+/// fingerprint). On `false` the caller should return early; a skip note
+/// has already been printed.
+pub fn rng_backend_matches_blessed() -> bool {
+    let path = fingerprint_path();
+    let fp = current_fingerprint();
+    if std::env::var_os("SFD_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("create goldens dir");
+        std::fs::write(&path, &fp).expect("write rng fingerprint");
+        return true;
+    }
+    let blessed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing RNG fingerprint {} ({e}); bless it with `SFD_BLESS=1 cargo test`",
+            path.display()
+        )
+    });
+    if blessed == fp {
+        return true;
+    }
+    eprintln!(
+        "skipping: the `rand` backend differs from the one that blessed the goldens \
+         ({} does not match); re-bless with `SFD_BLESS=1 cargo test` on this \
+         toolchain if its numbers should become the reference",
+        path.display()
+    );
+    false
+}
