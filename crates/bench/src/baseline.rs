@@ -1,0 +1,305 @@
+//! The pre-optimisation replay path, preserved as an independent
+//! reference.
+//!
+//! This module reimplements the evaluation loop exactly as it stood
+//! before the parallel sweep engine landed: every sweep point re-derives
+//! the delivery order from the trace (`Trace::deliveries`, an O(n log n)
+//! sort per point), binary-searches the record table for each delivered
+//! heartbeat's send time, and allocates a fresh suspicion log and
+//! detection-time histogram. It exists for two reasons:
+//!
+//! 1. **Speedup denominator.** `bench_sweep` times this path against the
+//!    schedule-sharing engine and reports the ratio in `BENCH_sweep.json`
+//!    — the perf trajectory the ROADMAP asks for needs a fixed reference
+//!    point that does not itself get faster.
+//! 2. **Equality oracle.** It was written against the same paper
+//!    semantics but shares no code with `sfd_qos::eval`'s hot path, so
+//!    "baseline ≡ serial ≡ parallel" is a genuine cross-implementation
+//!    check, not a tautology.
+//!
+//! Keep this file boring: it should change only if the *semantics* of the
+//! evaluation change, never for performance.
+
+use crate::ExperimentPlan;
+use sfd_core::bertier::{BertierConfig, BertierFd};
+use sfd_core::chen::{ChenConfig, ChenFd};
+use sfd_core::detector::{DetectorKind, FailureDetector, SelfTuning};
+use sfd_core::feedback::FeedbackConfig;
+use sfd_core::phi::{PhiConfig, PhiFd};
+use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::sfd::{SfdConfig, SfdFd};
+use sfd_core::suspicion::SuspicionLog;
+use sfd_core::time::{Duration, Instant};
+use sfd_qos::eval::EvalConfig;
+use sfd_qos::report::{CurveSeries, ExperimentResult};
+use sfd_qos::sweep::SweepPoint;
+use sfd_trace::trace::Trace;
+
+/// Measured QoS plus the TD sample count (needed for φ's rounding-cliff
+/// drop rule).
+struct BaselineReport {
+    qos: QosMeasured,
+    td_samples: u64,
+}
+
+/// The seed replay loop, verbatim: per-point `deliveries()` sort,
+/// `partition_point` send lookup, fresh accumulators.
+fn evaluate_with_epochs<D, F>(
+    eval: EvalConfig,
+    detector: &mut D,
+    trace: &Trace,
+    epoch_len: Duration,
+    mut on_epoch: F,
+) -> Option<BaselineReport>
+where
+    D: FailureDetector + ?Sized,
+    F: FnMut(&mut D, &QosMeasured),
+{
+    let deliveries = trace.deliveries();
+    if deliveries.len() <= eval.warmup {
+        return None;
+    }
+    // Send-time lookup: records are in sequence order.
+    let send_of = |seq: u64| -> Option<Instant> {
+        let idx = trace.records.partition_point(|r| r.seq < seq);
+        trace.records.get(idx).filter(|r| r.seq == seq).map(|r| r.sent)
+    };
+
+    let mut log = SuspicionLog::new();
+    let mut td_sum = 0.0f64;
+    let mut td_count = 0u64;
+    let mut epoch_td_sum = 0.0f64;
+    let mut epoch_td_count = 0u64;
+
+    let mut measured_from = None;
+    let mut prev_fp: Option<Instant> = None;
+    let mut prev_arrival: Option<Instant> = None;
+    let mut epoch_start: Option<Instant> = None;
+
+    for (i, &(seq, arrival)) in deliveries.iter().enumerate() {
+        if let (Some(fp), Some(pa)) = (prev_fp, prev_arrival) {
+            let suspect_from = fp.max(pa);
+            if suspect_from < arrival {
+                log.record(suspect_from, true);
+                log.record(arrival, false);
+            }
+        }
+
+        detector.heartbeat(seq, arrival);
+        let fp = detector.freshness_point();
+
+        let in_measurement = i >= eval.warmup;
+        if in_measurement {
+            if measured_from.is_none() {
+                measured_from = Some(arrival);
+                epoch_start = Some(arrival);
+            }
+            if let (Some(fp), Some(sent)) = (fp, send_of(seq)) {
+                if fp != Instant::FAR_FUTURE {
+                    let suspected_at = fp.max(arrival);
+                    let td = suspected_at - sent;
+                    td_sum += td.as_secs_f64();
+                    td_count += 1;
+                    epoch_td_sum += td.as_secs_f64();
+                    epoch_td_count += 1;
+                }
+            }
+        }
+
+        prev_fp = fp;
+        prev_arrival = Some(arrival);
+
+        if let Some(es) = epoch_start {
+            if epoch_len != Duration::MAX && arrival - es >= epoch_len {
+                let mut epoch_qos = log.accuracy_summary(es, arrival);
+                epoch_qos.detection_time = if epoch_td_count > 0 {
+                    Duration::from_secs_f64(epoch_td_sum / epoch_td_count as f64)
+                } else {
+                    Duration::ZERO
+                };
+                on_epoch(detector, &epoch_qos);
+                epoch_start = Some(arrival);
+                epoch_td_sum = 0.0;
+                epoch_td_count = 0;
+                prev_fp = detector.freshness_point();
+            }
+        }
+    }
+
+    let measured_from = measured_from?;
+    let last_arrival = prev_arrival.expect("at least one delivery");
+    let trace_end = trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO) + trace.span();
+    if let Some(fp) = prev_fp {
+        let suspect_from = fp.max(last_arrival);
+        if suspect_from < trace_end {
+            log.record(suspect_from, true);
+        }
+    }
+
+    let mut qos = log.accuracy_summary(measured_from, trace_end);
+    qos.detection_time = if td_count > 0 {
+        Duration::from_secs_f64(td_sum / td_count as f64)
+    } else {
+        trace_end - measured_from
+    };
+
+    Some(BaselineReport { qos, td_samples: td_count })
+}
+
+fn evaluate<D: FailureDetector + ?Sized>(
+    eval: EvalConfig,
+    detector: &mut D,
+    trace: &Trace,
+) -> Option<BaselineReport> {
+    evaluate_with_epochs(eval, detector, trace, Duration::MAX, |_, _| {})
+}
+
+/// Seed-path Chen sweep.
+pub fn sweep_chen(
+    trace: &Trace,
+    base: ChenConfig,
+    alphas: &[Duration],
+    eval: EvalConfig,
+) -> Vec<SweepPoint> {
+    alphas
+        .iter()
+        .filter_map(|&alpha| {
+            let mut fd = ChenFd::new(ChenConfig { alpha, ..base });
+            let r = evaluate(eval, &mut fd, trace)?;
+            Some(SweepPoint { param: alpha.as_millis_f64(), qos: r.qos })
+        })
+        .collect()
+}
+
+/// Seed-path φ sweep (drops points past the rounding cliff).
+pub fn sweep_phi(
+    trace: &Trace,
+    base: PhiConfig,
+    thresholds: &[f64],
+    eval: EvalConfig,
+) -> Vec<SweepPoint> {
+    thresholds
+        .iter()
+        .filter_map(|&threshold| {
+            let mut fd = PhiFd::new(PhiConfig { threshold, ..base });
+            let r = evaluate(eval, &mut fd, trace)?;
+            if r.td_samples == 0 {
+                return None;
+            }
+            Some(SweepPoint { param: threshold, qos: r.qos })
+        })
+        .collect()
+}
+
+/// Seed-path Bertier point.
+pub fn bertier_point(trace: &Trace, cfg: BertierConfig, eval: EvalConfig) -> Option<SweepPoint> {
+    let mut fd = BertierFd::new(cfg);
+    let r = evaluate(eval, &mut fd, trace)?;
+    Some(SweepPoint { param: 0.0, qos: r.qos })
+}
+
+/// Seed-path SFD sweep with the epoch feedback loop.
+pub fn sweep_sfd(
+    trace: &Trace,
+    base: SfdConfig,
+    spec: QosSpec,
+    initial_margins: &[Duration],
+    epoch_len: Duration,
+    eval: EvalConfig,
+) -> Vec<SweepPoint> {
+    initial_margins
+        .iter()
+        .filter_map(|&sm1| {
+            let cfg = SfdConfig { initial_margin: sm1, ..base };
+            let mut fd = SfdFd::new(cfg, spec);
+            let r = evaluate_with_epochs(eval, &mut fd, trace, epoch_len, |d, q| {
+                let _ = d.apply_feedback(q);
+            })?;
+            Some(SweepPoint { param: sm1.as_millis_f64(), qos: r.qos })
+        })
+        .collect()
+}
+
+/// Seed-path four-detector comparison, mirroring
+/// [`crate::run_comparison`]'s configs and series order exactly.
+pub fn run_comparison(id: &str, trace: &Trace, plan: &ExperimentPlan) -> ExperimentResult {
+    let eval = EvalConfig { warmup: plan.warmup };
+    let interval = trace.interval;
+
+    let chen = sweep_chen(
+        trace,
+        ChenConfig { window: plan.window, expected_interval: interval, alpha: Duration::ZERO },
+        &plan.alphas,
+        eval,
+    );
+    let phi = sweep_phi(
+        trace,
+        PhiConfig {
+            window: plan.window,
+            expected_interval: interval,
+            threshold: 1.0,
+            min_std_fraction: 0.01,
+        },
+        &plan.thresholds,
+        eval,
+    );
+    let bertier = bertier_point(
+        trace,
+        BertierConfig { window: plan.window, expected_interval: interval, ..Default::default() },
+        eval,
+    );
+    let sfd = sweep_sfd(
+        trace,
+        SfdConfig {
+            window: plan.window,
+            expected_interval: interval,
+            initial_margin: Duration::ZERO,
+            feedback: FeedbackConfig {
+                alpha: interval.mul_f64(2.0),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        },
+        plan.spec,
+        &plan.sm1,
+        plan.epoch,
+        eval,
+    );
+
+    ExperimentResult {
+        id: id.to_string(),
+        workload: trace.name.clone(),
+        heartbeats: trace.sent(),
+        series: vec![
+            CurveSeries::from_sweep(DetectorKind::Sfd, sfd),
+            CurveSeries::from_sweep(DetectorKind::Chen, chen),
+            CurveSeries::from_sweep(DetectorKind::Bertier, bertier.into_iter().collect()),
+            CurveSeries::from_sweep(DetectorKind::Phi, phi),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_comparison_jobs;
+    use sfd_trace::presets::WanCase;
+
+    /// The real point of this module: the seed path and the optimised
+    /// engine are independent implementations that must agree bit-for-bit.
+    #[test]
+    fn baseline_agrees_with_engine() {
+        let trace = WanCase::Wan3.preset().generate(20_000);
+        let mut plan =
+            ExperimentPlan::standard(trace.interval, ExperimentPlan::paper_spec(trace.interval));
+        plan.alphas.truncate(4);
+        plan.thresholds.truncate(4);
+        plan.sm1.truncate(3);
+        plan.warmup = 500;
+        let reference = run_comparison("x", &trace, &plan);
+        for jobs in [1, 3] {
+            assert_eq!(run_comparison_jobs("x", &trace, &plan, jobs), reference, "jobs={jobs}");
+        }
+    }
+}

@@ -6,7 +6,7 @@ use sfd_core::feedback::FeedbackConfig;
 use sfd_core::qos::QosSpec;
 use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
-use sfd_qos::ablation::{beta_ablation, epoch_length_ablation, gap_fill_ablation};
+use sfd_qos::ablation::{beta_ablation_jobs, epoch_length_ablation_jobs, gap_fill_ablation};
 use sfd_qos::eval::EvalConfig;
 use sfd_trace::presets::WanCase;
 
@@ -61,7 +61,7 @@ fn main() {
         Duration::from_secs(30),
         Duration::from_secs(60),
     ];
-    let rows = epoch_length_ablation(&trace3, cfg3, spec3, &epochs, eval);
+    let rows = epoch_length_ablation_jobs(&trace3, cfg3, spec3, &epochs, eval, cli.jobs);
     println!("\n── feedback epoch-length ablation on WAN-3");
     println!(
         "   {:>9} {:>11} {:>11} {:>9} {:>12} {:>10}",
@@ -86,7 +86,8 @@ fn main() {
 
     // ── 3. Adjustment rate β. ──
     let betas = [0.1, 0.25, 0.5, 1.0];
-    let rows = beta_ablation(&trace3, cfg3, spec3, &betas, Duration::from_secs(15), eval);
+    let rows =
+        beta_ablation_jobs(&trace3, cfg3, spec3, &betas, Duration::from_secs(15), eval, cli.jobs);
     println!("\n── adjustment-rate (β) ablation on WAN-3");
     println!(
         "   {:>6} {:>11} {:>9} {:>12} {:>10}",

@@ -38,8 +38,10 @@ fn main() {
 
         // Crossover between Chen and φ (the paper's aggressive-range
         // comparison).
-        let chen = result.series.iter().find(|s| s.detector.label() == "Chen FD").unwrap();
-        let phi = result.series.iter().find(|s| s.detector.label() == "phi FD").unwrap();
+        let chen =
+            result.series.iter().find(|s| s.detector.label() == "Chen FD").expect("Chen series");
+        let phi =
+            result.series.iter().find(|s| s.detector.label() == "phi FD").expect("phi series");
         match crossover_td(&chen.points, &phi.points, &grid) {
             Some(td) => println!("   Chen/φ best-MR crossover near TD ≈ {td:.2} s"),
             None => println!("   no Chen/φ crossover in the grid range"),

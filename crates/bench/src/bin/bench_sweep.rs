@@ -1,0 +1,71 @@
+//! The reproducible sweep benchmark: time the fig. 6/7 WAN-0 grid through
+//! three implementations of the same evaluation —
+//!
+//! 1. **baseline** — the seed replay path (per-point delivery sort +
+//!    binary-search send lookups, fresh allocations per point);
+//! 2. **serial** — the schedule-sharing engine with a single worker
+//!    (hot-path wins only);
+//! 3. **parallel** — the engine with `--jobs` workers (default: all
+//!    cores);
+//!
+//! verify the three outputs are bit-for-bit identical, and write
+//! `BENCH_sweep.json` into the current directory (run from the repo root
+//! to refresh the committed artifact). Exits non-zero if the outputs
+//! disagree, so CI can use it as an equality gate.
+
+use sfd_bench::timing::{timed, PassTiming, SweepBenchReport};
+use sfd_bench::{baseline, comparison_points, run_comparison_jobs, Cli, ExperimentPlan};
+use sfd_qos::parallel::effective_jobs;
+use sfd_trace::presets::WanCase;
+
+fn main() {
+    let cli = Cli::parse();
+    let case = WanCase::Wan0;
+    let count = cli.count_for(case);
+    let jobs = effective_jobs(cli.jobs);
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    eprintln!("generating {case} trace ({count} heartbeats)…");
+    let trace = case.preset().generate(count);
+    let spec = ExperimentPlan::paper_spec(trace.interval);
+    let plan = ExperimentPlan::standard(trace.interval, spec);
+    let points = comparison_points(&plan);
+    let replayed = points as u64 * trace.received();
+
+    eprintln!("grid: {points} points × {} delivered heartbeats, {jobs} jobs", trace.received());
+
+    eprintln!("pass 1/3: baseline (seed path)…");
+    let (base_result, base_secs) = timed(|| baseline::run_comparison("fig6_7-wan0", &trace, &plan));
+    eprintln!("  {base_secs:.2}s");
+    eprintln!("pass 2/3: engine, 1 worker…");
+    let (serial_result, serial_secs) =
+        timed(|| run_comparison_jobs("fig6_7-wan0", &trace, &plan, 1));
+    eprintln!("  {serial_secs:.2}s");
+    eprintln!("pass 3/3: engine, {jobs} workers…");
+    let (par_result, par_secs) = timed(|| run_comparison_jobs("fig6_7-wan0", &trace, &plan, jobs));
+    eprintln!("  {par_secs:.2}s");
+
+    let identical = base_result == serial_result && serial_result == par_result;
+
+    let report = SweepBenchReport {
+        grid: "fig6_7-wan0".into(),
+        workload: trace.name.clone(),
+        trace_heartbeats: trace.sent(),
+        grid_points: points,
+        jobs,
+        cores,
+        baseline: PassTiming { wall_secs: base_secs, replayed_heartbeats: replayed },
+        serial: PassTiming { wall_secs: serial_secs, replayed_heartbeats: replayed },
+        parallel: PassTiming { wall_secs: par_secs, replayed_heartbeats: replayed },
+        outputs_identical: identical,
+    };
+
+    println!("{}", report.summary());
+    report.write("BENCH_sweep.json").expect("write BENCH_sweep.json");
+    eprintln!("report written to BENCH_sweep.json");
+
+    if !identical {
+        eprintln!("ERROR: baseline/serial/parallel outputs differ — determinism is broken");
+        std::process::exit(1);
+    }
+}

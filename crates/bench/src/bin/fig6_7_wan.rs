@@ -10,7 +10,7 @@
 //! * SFD has no points in the too-aggressive or too-conservative ranges —
 //!   self-tuning pulls every SM₁ into the feasible band.
 
-use sfd_bench::{print_figure_summary, run_comparison, Cli, ExperimentPlan};
+use sfd_bench::{print_figure_summary, run_comparison_jobs, Cli, ExperimentPlan};
 use sfd_trace::presets::WanCase;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         spec.max_detection_time, spec.max_mistake_rate, spec.min_query_accuracy
     );
 
-    let result = run_comparison("fig6_7-wan0", &trace, &plan);
+    let result = run_comparison_jobs("fig6_7-wan0", &trace, &plan, cli.jobs);
 
     println!("\nFig. 6 — mistake rate vs detection time (WAN-0)");
     println!("Fig. 7 — query accuracy vs detection time (WAN-0)\n");

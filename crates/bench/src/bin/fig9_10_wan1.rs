@@ -2,7 +2,7 @@
 //! workload (Stanford → NAIST, 12.8 ms heartbeats, 0% loss, send-side
 //! jitter and clock drift).
 
-use sfd_bench::{print_figure_summary, run_comparison, Cli, ExperimentPlan};
+use sfd_bench::{print_figure_summary, run_comparison_jobs, Cli, ExperimentPlan};
 use sfd_trace::presets::WanCase;
 
 fn main() {
@@ -15,7 +15,7 @@ fn main() {
     let spec = ExperimentPlan::paper_spec(trace.interval);
     let plan = ExperimentPlan::standard(trace.interval, spec);
 
-    let result = run_comparison("fig9_10-wan1", &trace, &plan);
+    let result = run_comparison_jobs("fig9_10-wan1", &trace, &plan, cli.jobs);
 
     println!("\nFig. 9 — mistake rate vs detection time (WAN-1)");
     println!("Fig. 10 — query accuracy vs detection time (WAN-1)\n");

@@ -4,7 +4,7 @@
 //! WAN-1. For the limited space for this paper, here we only show … WAN-1"
 //! — we have no page limit, so we print them all).
 
-use sfd_bench::{print_figure_summary, run_comparison, Cli, ExperimentPlan};
+use sfd_bench::{print_figure_summary, run_comparison_jobs, Cli, ExperimentPlan};
 use sfd_trace::presets::WanCase;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
         let spec = ExperimentPlan::paper_spec(trace.interval);
         let plan = ExperimentPlan::standard(trace.interval, spec);
         let id = format!("wan_all-{}", case.to_string().to_lowercase());
-        let result = run_comparison(&id, &trace, &plan);
+        let result = run_comparison_jobs(&id, &trace, &plan, cli.jobs);
         println!();
         print_figure_summary(&result);
         result.write_artifacts(&cli.out).expect("write artifacts");

@@ -15,10 +15,14 @@
 //!
 //! Each binary accepts `--count N` (heartbeats to generate; default
 //! 300 000), `--full` (use the paper's multi-million-heartbeat counts),
-//! and `--out DIR` (artifact directory, default `results/`).
+//! `--out DIR` (artifact directory, default `results/`), and `--jobs N`
+//! (sweep worker threads; `0` = all cores, the default).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod baseline;
+pub mod timing;
 
 use sfd_core::bertier::BertierConfig;
 use sfd_core::chen::ChenConfig;
@@ -28,10 +32,12 @@ use sfd_core::phi::PhiConfig;
 use sfd_core::qos::QosSpec;
 use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
-use sfd_qos::eval::EvalConfig;
+use sfd_qos::eval::{EvalConfig, EvalScratch, ReplayEvaluator, ReplaySchedule};
+use sfd_qos::parallel::par_map_with;
 use sfd_qos::report::{CurveSeries, ExperimentResult};
 use sfd_qos::sweep::{
-    bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd,
+    bertier_point_on, chen_point_on, lin_spaced, log_spaced_margins, phi_point_on, sfd_point_on,
+    SweepPoint,
 };
 use sfd_trace::presets::WanCase;
 use sfd_trace::trace::Trace;
@@ -45,11 +51,13 @@ pub struct Cli {
     pub full: bool,
     /// Output directory for JSON/CSV artifacts.
     pub out: std::path::PathBuf,
+    /// Sweep worker threads (`0` = one per available core).
+    pub jobs: usize,
 }
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { count: 300_000, full: false, out: "results".into() }
+        Cli { count: 300_000, full: false, out: "results".into(), jobs: 0 }
     }
 }
 
@@ -68,8 +76,12 @@ impl Cli {
                 "--out" => {
                     cli.out = args.next().expect("--out needs a value").into();
                 }
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a value");
+                    cli.jobs = v.parse().expect("--jobs must be an integer");
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--count N] [--full] [--out DIR]");
+                    eprintln!("usage: [--count N] [--full] [--out DIR] [--jobs N]");
                     std::process::exit(0);
                 }
                 other => {
@@ -143,51 +155,100 @@ impl ExperimentPlan {
     }
 }
 
-/// Run the full four-detector comparison on one trace.
+/// One grid cell of the flattened four-detector comparison.
+#[derive(Debug, Clone, Copy)]
+enum GridTask {
+    Sfd(Duration),
+    Chen(Duration),
+    Bertier,
+    Phi(f64),
+}
+
+/// The plan's flattened detector × parameter grid, in series order
+/// (SFD, Chen, Bertier, φ).
+fn grid_tasks(plan: &ExperimentPlan) -> Vec<GridTask> {
+    let mut tasks =
+        Vec::with_capacity(plan.sm1.len() + plan.alphas.len() + 1 + plan.thresholds.len());
+    tasks.extend(plan.sm1.iter().map(|&m| GridTask::Sfd(m)));
+    tasks.extend(plan.alphas.iter().map(|&a| GridTask::Chen(a)));
+    tasks.push(GridTask::Bertier);
+    tasks.extend(plan.thresholds.iter().map(|&t| GridTask::Phi(t)));
+    tasks
+}
+
+/// Total grid points the comparison evaluates (before any φ drop-outs).
+pub fn comparison_points(plan: &ExperimentPlan) -> usize {
+    plan.sm1.len() + plan.alphas.len() + 1 + plan.thresholds.len()
+}
+
+/// Run the full four-detector comparison on one trace, serially.
 pub fn run_comparison(id: &str, trace: &Trace, plan: &ExperimentPlan) -> ExperimentResult {
+    run_comparison_jobs(id, trace, plan, 1)
+}
+
+/// Run the full four-detector comparison with the whole detector ×
+/// parameter grid flattened into one task list and fanned across up to
+/// `jobs` worker threads (`0` = all cores).
+///
+/// Flattening across detectors (rather than parallelising each sweep in
+/// turn) keeps every core busy through the tail of each sweep: a slow
+/// conservative Chen point can overlap with the φ grid instead of
+/// serialising behind its own sweep's barrier. Every point replays the
+/// shared [`ReplaySchedule`] zero-copy; output is bit-for-bit identical
+/// to the serial run for any job count.
+pub fn run_comparison_jobs(
+    id: &str,
+    trace: &Trace,
+    plan: &ExperimentPlan,
+    jobs: usize,
+) -> ExperimentResult {
     let eval = EvalConfig { warmup: plan.warmup };
     let interval = trace.interval;
+    let chen_cfg =
+        ChenConfig { window: plan.window, expected_interval: interval, alpha: Duration::ZERO };
+    let phi_cfg = PhiConfig {
+        window: plan.window,
+        expected_interval: interval,
+        threshold: 1.0,
+        min_std_fraction: 0.01,
+    };
+    let bertier_cfg =
+        BertierConfig { window: plan.window, expected_interval: interval, ..Default::default() };
+    let sfd_cfg = SfdConfig {
+        window: plan.window,
+        expected_interval: interval,
+        initial_margin: Duration::ZERO,
+        feedback: FeedbackConfig { alpha: interval.mul_f64(2.0), beta: 0.5, ..Default::default() },
+        fill_gaps: true,
+    };
 
-    let chen = sweep_chen(
-        trace,
-        ChenConfig { window: plan.window, expected_interval: interval, alpha: Duration::ZERO },
-        &plan.alphas,
-        eval,
-    );
-    let phi = sweep_phi(
-        trace,
-        PhiConfig {
-            window: plan.window,
-            expected_interval: interval,
-            threshold: 1.0,
-            min_std_fraction: 0.01,
-        },
-        &plan.thresholds,
-        eval,
-    );
-    let bertier = bertier_point(
-        trace,
-        BertierConfig { window: plan.window, expected_interval: interval, ..Default::default() },
-        eval,
-    );
-    let sfd = sweep_sfd(
-        trace,
-        SfdConfig {
-            window: plan.window,
-            expected_interval: interval,
-            initial_margin: Duration::ZERO,
-            feedback: FeedbackConfig {
-                alpha: interval.mul_f64(2.0),
-                beta: 0.5,
-                ..Default::default()
-            },
-            fill_gaps: true,
-        },
-        plan.spec,
-        &plan.sm1,
-        plan.epoch,
-        eval,
-    );
+    let tasks = grid_tasks(plan);
+    let evaluator = ReplayEvaluator::new(eval);
+    let schedule = ReplaySchedule::new(trace);
+    let results = par_map_with(&tasks, jobs, EvalScratch::new, |scratch, task, _| match *task {
+        GridTask::Sfd(sm1) => {
+            sfd_point_on(&evaluator, &schedule, scratch, sfd_cfg, plan.spec, sm1, plan.epoch)
+        }
+        GridTask::Chen(alpha) => chen_point_on(&evaluator, &schedule, scratch, chen_cfg, alpha),
+        GridTask::Bertier => bertier_point_on(&evaluator, &schedule, scratch, bertier_cfg),
+        GridTask::Phi(threshold) => {
+            phi_point_on(&evaluator, &schedule, scratch, phi_cfg, threshold)
+        }
+    });
+
+    let mut sfd: Vec<SweepPoint> = Vec::new();
+    let mut chen: Vec<SweepPoint> = Vec::new();
+    let mut bertier: Vec<SweepPoint> = Vec::new();
+    let mut phi: Vec<SweepPoint> = Vec::new();
+    for (task, point) in tasks.iter().zip(results) {
+        let Some(point) = point else { continue };
+        match task {
+            GridTask::Sfd(_) => sfd.push(point),
+            GridTask::Chen(_) => chen.push(point),
+            GridTask::Bertier => bertier.push(point),
+            GridTask::Phi(_) => phi.push(point),
+        }
+    }
 
     ExperimentResult {
         id: id.to_string(),
@@ -196,7 +257,7 @@ pub fn run_comparison(id: &str, trace: &Trace, plan: &ExperimentPlan) -> Experim
         series: vec![
             CurveSeries::from_sweep(DetectorKind::Sfd, sfd),
             CurveSeries::from_sweep(DetectorKind::Chen, chen),
-            CurveSeries::from_sweep(DetectorKind::Bertier, bertier.into_iter().collect()),
+            CurveSeries::from_sweep(DetectorKind::Bertier, bertier),
             CurveSeries::from_sweep(DetectorKind::Phi, phi),
         ],
     }
@@ -211,7 +272,7 @@ pub fn print_figure_summary(result: &ExperimentResult) {
             println!("{:<12} (no points)", s.detector.label());
             continue;
         }
-        let (lo, hi) = s.td_range_secs().unwrap();
+        let (lo, hi) = s.td_range_secs().expect("non-empty series has a TD range");
         let best_mr = s.points.iter().map(|p| p.mr).fold(f64::INFINITY, f64::min);
         let best_qap = s.points.iter().map(|p| p.qap).fold(0.0f64, f64::max);
         println!(

@@ -1,0 +1,206 @@
+//! Wall-clock timing utilities and the `BENCH_sweep.json` report.
+//!
+//! The JSON is hand-rolled: the artifact must be producible in
+//! environments where the `serde_json` backend is stubbed out, and the
+//! format is flat enough that a formatter is overkill.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Run `f` once and return its result together with the elapsed wall time
+/// in seconds.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// One measured sweep configuration (a full grid pass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassTiming {
+    /// Wall-clock seconds for the whole grid.
+    pub wall_secs: f64,
+    /// Delivered heartbeats replayed across all grid points.
+    pub replayed_heartbeats: u64,
+}
+
+impl PassTiming {
+    /// Replayed heartbeats per second of wall time.
+    pub fn heartbeats_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.replayed_heartbeats as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `BENCH_sweep.json` payload: three timed passes over the same grid
+/// (seed-path baseline, the new engine with one worker, the new engine
+/// with `jobs` workers) plus the equality verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBenchReport {
+    /// Grid identifier, e.g. `"fig6_7-wan0"`.
+    pub grid: String,
+    /// Workload name, e.g. `"WAN-0"`.
+    pub workload: String,
+    /// Heartbeats in the generated trace.
+    pub trace_heartbeats: u64,
+    /// Grid points evaluated per pass (before φ drop-outs).
+    pub grid_points: usize,
+    /// Worker threads used by the parallel pass.
+    pub jobs: usize,
+    /// Cores available on the machine that produced this report.
+    pub cores: usize,
+    /// The pre-optimisation path (per-point sort + binary-search lookups).
+    pub baseline: PassTiming,
+    /// The schedule-sharing engine, single worker.
+    pub serial: PassTiming,
+    /// The schedule-sharing engine, `jobs` workers.
+    pub parallel: PassTiming,
+    /// Whether all three passes produced bit-identical results.
+    pub outputs_identical: bool,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl SweepBenchReport {
+    /// Parallel pass speedup over the seed path — the headline number.
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        self.baseline.wall_secs / self.parallel.wall_secs
+    }
+
+    /// Parallel pass speedup over the single-worker engine (thread
+    /// scaling only).
+    pub fn speedup_vs_serial(&self) -> f64 {
+        self.serial.wall_secs / self.parallel.wall_secs
+    }
+
+    /// Single-worker engine speedup over the seed path (hot-path work
+    /// only — independent of core count).
+    pub fn serial_speedup_vs_baseline(&self) -> f64 {
+        self.baseline.wall_secs / self.serial.wall_secs
+    }
+
+    /// Render the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"bench\": \"sweep\",");
+        let _ = writeln!(s, "  \"grid\": \"{}\",", self.grid);
+        let _ = writeln!(s, "  \"workload\": \"{}\",", self.workload);
+        let _ = writeln!(s, "  \"trace_heartbeats\": {},", self.trace_heartbeats);
+        let _ = writeln!(s, "  \"grid_points\": {},", self.grid_points);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"wall_secs\": {{");
+        let _ = writeln!(s, "    \"baseline\": {},", json_f64(self.baseline.wall_secs));
+        let _ = writeln!(s, "    \"serial\": {},", json_f64(self.serial.wall_secs));
+        let _ = writeln!(s, "    \"parallel\": {}", json_f64(self.parallel.wall_secs));
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"heartbeats_per_sec\": {{");
+        let _ = writeln!(s, "    \"baseline\": {},", json_f64(self.baseline.heartbeats_per_sec()));
+        let _ = writeln!(s, "    \"serial\": {},", json_f64(self.serial.heartbeats_per_sec()));
+        let _ = writeln!(s, "    \"parallel\": {}", json_f64(self.parallel.heartbeats_per_sec()));
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"speedup\": {{");
+        let _ =
+            writeln!(s, "    \"parallel_vs_baseline\": {},", json_f64(self.speedup_vs_baseline()));
+        let _ = writeln!(s, "    \"parallel_vs_serial\": {},", json_f64(self.speedup_vs_serial()));
+        let _ = writeln!(
+            s,
+            "    \"serial_vs_baseline\": {}",
+            json_f64(self.serial_speedup_vs_baseline())
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"outputs_identical\": {}", self.outputs_identical);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// One-line human summary for the bench log.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} grid: {} pts × {} hb — baseline {:.2}s, serial {:.2}s, parallel({} jobs) {:.2}s \
+             → {:.2}× vs baseline ({:.2}× threads × {:.2}× hot path), {:.0} hb/s, identical={}",
+            self.grid,
+            self.grid_points,
+            self.trace_heartbeats,
+            self.baseline.wall_secs,
+            self.serial.wall_secs,
+            self.jobs,
+            self.parallel.wall_secs,
+            self.speedup_vs_baseline(),
+            self.speedup_vs_serial(),
+            self.serial_speedup_vs_baseline(),
+            self.parallel.heartbeats_per_sec(),
+            self.outputs_identical,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SweepBenchReport {
+        SweepBenchReport {
+            grid: "fig6_7-wan0".into(),
+            workload: "WAN-0".into(),
+            trace_heartbeats: 150_000,
+            grid_points: 47,
+            jobs: 4,
+            cores: 4,
+            baseline: PassTiming { wall_secs: 10.0, replayed_heartbeats: 7_000_000 },
+            serial: PassTiming { wall_secs: 4.0, replayed_heartbeats: 7_000_000 },
+            parallel: PassTiming { wall_secs: 1.0, replayed_heartbeats: 7_000_000 },
+            outputs_identical: true,
+        }
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn speedups() {
+        let r = report();
+        assert!((r.speedup_vs_baseline() - 10.0).abs() < 1e-12);
+        assert!((r.speedup_vs_serial() - 4.0).abs() < 1e-12);
+        assert!((r.serial_speedup_vs_baseline() - 2.5).abs() < 1e-12);
+        assert!((r.parallel.heartbeats_per_sec() - 7_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let js = report().to_json();
+        assert!(js.starts_with("{\n") && js.ends_with("}\n"));
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+        assert!(js.contains("\"parallel_vs_baseline\": 10.0000"));
+        assert!(js.contains("\"outputs_identical\": true"));
+        // No trailing commas before closing braces.
+        assert!(!js.contains(",\n  }") && !js.contains(",\n}"));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let mut r = report();
+        r.parallel.wall_secs = 0.0;
+        let js = r.to_json();
+        assert!(js.contains("\"parallel_vs_baseline\": null"));
+        assert_eq!(r.parallel.heartbeats_per_sec(), 0.0);
+    }
+}

@@ -234,7 +234,12 @@ impl Monitor for OneMonitorsMany {
     fn metrics(&self, now: Instant) -> MetricsSnapshot {
         let mut m = MetricsSnapshot::new();
         let suspects = self.targets.values().filter(|st| st.fd.is_suspect(now)).count();
-        m.gauge("sfd_streams_watched", "Targets currently watched.", &[], self.targets.len() as f64);
+        m.gauge(
+            "sfd_streams_watched",
+            "Targets currently watched.",
+            &[],
+            self.targets.len() as f64,
+        );
         m.gauge("sfd_streams_suspect", "Targets currently suspected.", &[], suspects as f64);
         m.counter(
             "sfd_heartbeats_accepted_total",

@@ -282,9 +282,7 @@ impl MetricsSnapshot {
         fam.samples
             .iter()
             .find(|s| {
-                labels.iter().all(|(k, v)| {
-                    s.labels.iter().any(|(sk, sv)| sk == k && sv == v)
-                })
+                labels.iter().all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
             })
             .and_then(|s| match s.value {
                 MetricValue::Counter(v) => Some(v),
@@ -299,9 +297,7 @@ impl MetricsSnapshot {
         fam.samples
             .iter()
             .find(|s| {
-                labels.iter().all(|(k, v)| {
-                    s.labels.iter().any(|(sk, sv)| sk == k && sv == v)
-                })
+                labels.iter().all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
             })
             .and_then(|s| match s.value {
                 MetricValue::Gauge(v) => Some(v),

@@ -259,11 +259,8 @@ mod tests {
         // A zero-length observation window with mistakes yields an
         // infinite rate; only `permissive()` (whose bound is itself ∞)
         // tolerates it.
-        let burst = QosMeasured {
-            mistake_rate: f64::INFINITY,
-            mistakes: 3,
-            ..QosMeasured::empty()
-        };
+        let burst =
+            QosMeasured { mistake_rate: f64::INFINITY, mistakes: 3, ..QosMeasured::empty() };
         assert!(QosSpec::permissive().is_satisfied_by(&burst));
         let real = QosSpec::new(Duration::from_millis(500), 1e9, 0.0).unwrap();
         assert!(!real.is_satisfied_by(&burst));
@@ -283,7 +280,9 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        if serde_json::to_string(&7u8).ok().and_then(|s| serde_json::from_str::<u8>(&s).ok()) != Some(7) {
+        if serde_json::to_string(&7u8).ok().and_then(|s| serde_json::from_str::<u8>(&s).ok())
+            != Some(7)
+        {
             eprintln!("skipping: serde_json backend is a non-functional stub here");
             return;
         }

@@ -37,6 +37,18 @@ impl SuspicionLog {
         SuspicionLog { transitions: Vec::new() }
     }
 
+    /// Empty log with room for `capacity` transitions before the first
+    /// reallocation — replay evaluators that reuse one log across many
+    /// sweep points pre-size it once and then stay allocation-free.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SuspicionLog { transitions: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of transitions the log can record without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.transitions.capacity()
+    }
+
     /// Record that the detector output `suspect` at instant `at`.
     ///
     /// Returns `true` if this was an actual state change.

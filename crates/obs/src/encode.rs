@@ -43,10 +43,8 @@ fn fmt_f64(v: f64) -> String {
 }
 
 fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
-    let mut parts: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
-        .collect();
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{}\"", escape_label(v)));
     }
@@ -72,8 +70,7 @@ pub fn encode_text(snapshot: &MetricsSnapshot) -> String {
         for sample in &fam.samples {
             match &sample.value {
                 MetricValue::Counter(v) => {
-                    let _ =
-                        writeln!(out, "{}{} {}", fam.name, fmt_labels(&sample.labels, None), v);
+                    let _ = writeln!(out, "{}{} {}", fam.name, fmt_labels(&sample.labels, None), v);
                 }
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(

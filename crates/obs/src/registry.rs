@@ -144,9 +144,7 @@ impl Registry {
                 match &e.handle {
                     Handle::Counter(c) => out.counter(&e.name, &e.help, &labels, c.get()),
                     Handle::Gauge(g) => out.gauge(&e.name, &e.help, &labels, g.get()),
-                    Handle::Histogram(h) => {
-                        out.histogram(&e.name, &e.help, &labels, h.snapshot())
-                    }
+                    Handle::Histogram(h) => out.histogram(&e.name, &e.help, &labels, h.snapshot()),
                 }
             }
         }

@@ -67,6 +67,24 @@ pub struct TuningAblationRow {
     pub final_margin: Duration,
 }
 
+fn convergence_row(
+    value: f64,
+    trace: &Trace,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    epoch: Duration,
+    eval: EvalConfig,
+) -> Option<TuningAblationRow> {
+    let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
+    Some(TuningAblationRow {
+        value,
+        first_hold: rep.first_hold,
+        infeasible_epochs: rep.infeasible_epochs,
+        overall: rep.overall,
+        final_margin: rep.epochs.last().map(|e| e.margin).unwrap_or(Duration::ZERO),
+    })
+}
+
 /// Vary the feedback epoch length; everything else fixed.
 pub fn epoch_length_ablation(
     trace: &Trace,
@@ -75,19 +93,26 @@ pub fn epoch_length_ablation(
     epochs: &[Duration],
     eval: EvalConfig,
 ) -> Vec<TuningAblationRow> {
-    epochs
-        .iter()
-        .filter_map(|&epoch| {
-            let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
-            Some(TuningAblationRow {
-                value: epoch.as_secs_f64(),
-                first_hold: rep.first_hold,
-                infeasible_epochs: rep.infeasible_epochs,
-                overall: rep.overall,
-                final_margin: rep.epochs.last().map(|e| e.margin).unwrap_or(Duration::ZERO),
-            })
-        })
-        .collect()
+    epoch_length_ablation_jobs(trace, cfg, spec, epochs, eval, 1)
+}
+
+/// [`epoch_length_ablation`] with the rows fanned across up to `jobs`
+/// worker threads (`0` = all cores). Rows are independent replays, so the
+/// output is identical to the serial run.
+pub fn epoch_length_ablation_jobs(
+    trace: &Trace,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    epochs: &[Duration],
+    eval: EvalConfig,
+    jobs: usize,
+) -> Vec<TuningAblationRow> {
+    crate::parallel::par_map(epochs, jobs, |&epoch, _| {
+        convergence_row(epoch.as_secs_f64(), trace, cfg, spec, epoch, eval)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Vary the adjustment rate `β`; everything else fixed.
@@ -99,20 +124,27 @@ pub fn beta_ablation(
     epoch: Duration,
     eval: EvalConfig,
 ) -> Vec<TuningAblationRow> {
-    betas
-        .iter()
-        .filter_map(|&beta| {
-            let cfg = SfdConfig { feedback: FeedbackConfig { beta, ..cfg.feedback }, ..cfg };
-            let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
-            Some(TuningAblationRow {
-                value: beta,
-                first_hold: rep.first_hold,
-                infeasible_epochs: rep.infeasible_epochs,
-                overall: rep.overall,
-                final_margin: rep.epochs.last().map(|e| e.margin).unwrap_or(Duration::ZERO),
-            })
-        })
-        .collect()
+    beta_ablation_jobs(trace, cfg, spec, betas, epoch, eval, 1)
+}
+
+/// [`beta_ablation`] with the rows fanned across up to `jobs` worker
+/// threads (`0` = all cores). Output identical to the serial run.
+pub fn beta_ablation_jobs(
+    trace: &Trace,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    betas: &[f64],
+    epoch: Duration,
+    eval: EvalConfig,
+    jobs: usize,
+) -> Vec<TuningAblationRow> {
+    crate::parallel::par_map(betas, jobs, |&beta, _| {
+        let cfg = SfdConfig { feedback: FeedbackConfig { beta, ..cfg.feedback }, ..cfg };
+        convergence_row(beta, trace, cfg, spec, epoch, eval)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

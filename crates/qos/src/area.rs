@@ -27,9 +27,7 @@ pub fn dominates(a: &CurvePoint, b: &CurvePoint) -> bool {
 /// ascending TD.
 pub fn pareto_front(points: &[CurvePoint]) -> Vec<CurvePoint> {
     let mut sorted: Vec<CurvePoint> = points.to_vec();
-    sorted.sort_by(|a, b| {
-        a.td_secs.partial_cmp(&b.td_secs).unwrap().then(a.mr.partial_cmp(&b.mr).unwrap())
-    });
+    sorted.sort_by(|a, b| a.td_secs.total_cmp(&b.td_secs).then(a.mr.total_cmp(&b.mr)));
     let mut front: Vec<CurvePoint> = Vec::new();
     let mut best_mr = f64::INFINITY;
     for p in sorted {
@@ -119,7 +117,7 @@ pub fn crossover_td(a: &[CurvePoint], b: &[CurvePoint], grid: &RequirementGrid) 
         if !ma.is_finite() && !mb.is_finite() {
             continue;
         }
-        let sign = match ma.partial_cmp(&mb).unwrap() {
+        let sign = match ma.total_cmp(&mb) {
             std::cmp::Ordering::Less => -1,
             std::cmp::Ordering::Greater => 1,
             std::cmp::Ordering::Equal => 0,

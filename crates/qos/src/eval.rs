@@ -67,6 +67,78 @@ pub struct EvalReport {
     pub measured_to: Instant,
 }
 
+/// A trace pre-resolved for replay: delivered heartbeats in arrival order
+/// with their send instants carried along, plus the trace-end instant the
+/// trailing-suspicion accounting needs.
+///
+/// Building the schedule costs one pass over the trace (plus a sort by
+/// arrival); replaying against it is O(1) per delivery with no lookups and
+/// no allocation. Parameter sweeps build it **once** and share it across
+/// every sweep point — and, in the parallel engine, across every worker
+/// thread zero-copy (`&ReplaySchedule` is `Sync`).
+#[derive(Debug, Clone)]
+pub struct ReplaySchedule {
+    /// `(seq, sent, arrival)` sorted by `(arrival, seq)`.
+    steps: Vec<(u64, Instant, Instant)>,
+    /// First send instant plus the trace span: where trailing suspicion
+    /// accounting stops.
+    trace_end: Instant,
+}
+
+impl ReplaySchedule {
+    /// Resolve `trace` into a replay schedule.
+    pub fn new(trace: &Trace) -> Self {
+        ReplaySchedule {
+            steps: trace.deliveries_with_sends(),
+            trace_end: trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO)
+                + trace.span(),
+        }
+    }
+
+    /// Number of delivered heartbeats in the schedule.
+    pub fn deliveries(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// End of the observation window (first send + trace span).
+    pub fn trace_end(&self) -> Instant {
+        self.trace_end
+    }
+}
+
+/// Reusable per-replay working memory: the suspicion log and the
+/// detection-time histogram.
+///
+/// One scratch serves one replay at a time; reusing it across the points
+/// of a sweep keeps the hot loop allocation-free in steady state (the
+/// log's transition buffer and the histogram's bucket array are recycled
+/// instead of re-allocated per point). Each worker thread of the parallel
+/// engine owns its own scratch.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    log: SuspicionLog,
+    td_hist: DurationHistogram,
+}
+
+impl EvalScratch {
+    /// Scratch pre-sized for typical sweeps (room for 1024 suspicion
+    /// transitions before the first reallocation).
+    pub fn new() -> Self {
+        EvalScratch { log: SuspicionLog::with_capacity(1024), td_hist: DurationHistogram::new() }
+    }
+
+    fn reset(&mut self) {
+        self.log.clear();
+        self.td_hist.clear();
+    }
+}
+
+impl Default for EvalScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Replays traces through detectors.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayEvaluator {
@@ -88,6 +160,11 @@ impl ReplayEvaluator {
     ///
     /// Returns `None` if the trace has fewer post-warm-up deliveries than
     /// needed to measure anything.
+    ///
+    /// Convenience wrapper: builds a fresh [`ReplaySchedule`] and
+    /// [`EvalScratch`] per call. Loops that evaluate many detectors against
+    /// the same trace should build both once and call
+    /// [`ReplayEvaluator::evaluate_scheduled`] instead.
     pub fn evaluate<D: FailureDetector + ?Sized>(
         &self,
         detector: &mut D,
@@ -104,27 +181,52 @@ impl ReplayEvaluator {
         detector: &mut D,
         trace: &Trace,
         epoch_len: Duration,
+        on_epoch: F,
+    ) -> Option<EvalReport>
+    where
+        D: FailureDetector + ?Sized,
+        F: FnMut(&mut D, &QosMeasured),
+    {
+        let schedule = ReplaySchedule::new(trace);
+        let mut scratch = EvalScratch::new();
+        self.evaluate_scheduled_with_epochs(detector, &schedule, &mut scratch, epoch_len, on_epoch)
+    }
+
+    /// Replay a pre-resolved schedule through `detector`, reusing
+    /// `scratch`'s buffers. The hot path of the sweep engine: O(1) and
+    /// allocation-free per delivered heartbeat in steady state.
+    pub fn evaluate_scheduled<D: FailureDetector + ?Sized>(
+        &self,
+        detector: &mut D,
+        schedule: &ReplaySchedule,
+        scratch: &mut EvalScratch,
+    ) -> Option<EvalReport> {
+        self.evaluate_scheduled_with_epochs(detector, schedule, scratch, Duration::MAX, |_, _| {})
+    }
+
+    /// [`ReplayEvaluator::evaluate_scheduled`] with the epoch feedback
+    /// hook (see [`ReplayEvaluator::evaluate_with_epochs`]).
+    pub fn evaluate_scheduled_with_epochs<D, F>(
+        &self,
+        detector: &mut D,
+        schedule: &ReplaySchedule,
+        scratch: &mut EvalScratch,
+        epoch_len: Duration,
         mut on_epoch: F,
     ) -> Option<EvalReport>
     where
         D: FailureDetector + ?Sized,
         F: FnMut(&mut D, &QosMeasured),
     {
-        let deliveries = trace.deliveries();
-        if deliveries.len() <= self.cfg.warmup {
+        if schedule.steps.len() <= self.cfg.warmup {
             return None;
         }
-        // Send-time lookup: records are in sequence order.
-        let send_of = |seq: u64| -> Option<Instant> {
-            let idx = trace.records.partition_point(|r| r.seq < seq);
-            trace.records.get(idx).filter(|r| r.seq == seq).map(|r| r.sent)
-        };
-
-        let mut log = SuspicionLog::new();
+        scratch.reset();
+        let log = &mut scratch.log;
+        let td_hist = &mut scratch.td_hist;
         let mut td_sum = 0.0f64;
         let mut td_count = 0u64;
         let mut td_max = Duration::ZERO;
-        let mut td_hist = DurationHistogram::new();
         // Epoch-local TD accumulation for the feedback callback.
         let mut epoch_td_sum = 0.0f64;
         let mut epoch_td_count = 0u64;
@@ -134,7 +236,7 @@ impl ReplayEvaluator {
         let mut prev_arrival: Option<Instant> = None;
         let mut epoch_start: Option<Instant> = None;
 
-        for (i, &(seq, arrival)) in deliveries.iter().enumerate() {
+        for (i, &(seq, sent, arrival)) in schedule.steps.iter().enumerate() {
             // 1. Close the suspicion interval the previous freshness point
             //    opened, if it started before this arrival.
             if let (Some(fp), Some(pa)) = (prev_fp, prev_arrival) {
@@ -156,7 +258,7 @@ impl ReplayEvaluator {
                     measured_from = Some(arrival);
                     epoch_start = Some(arrival);
                 }
-                if let (Some(fp), Some(sent)) = (fp, send_of(seq)) {
+                if let Some(fp) = fp {
                     if fp != Instant::FAR_FUTURE {
                         let suspected_at = fp.max(arrival);
                         let td = suspected_at - sent;
@@ -196,8 +298,7 @@ impl ReplayEvaluator {
         let measured_from = measured_from?;
         let last_arrival = prev_arrival.expect("at least one delivery");
         // Close any trailing suspicion up to the end of the trace.
-        let trace_end =
-            trace.records.first().map(|r| r.sent).unwrap_or(Instant::ZERO) + trace.span();
+        let trace_end = schedule.trace_end;
         if let Some(fp) = prev_fp {
             let suspect_from = fp.max(last_arrival);
             if suspect_from < trace_end {
@@ -217,9 +318,9 @@ impl ReplayEvaluator {
         Some(EvalReport {
             qos,
             max_detection_time: td_max,
-            td_histogram: td_hist,
+            td_histogram: td_hist.clone(),
             td_samples: td_count,
-            deliveries: deliveries.len() as u64,
+            deliveries: schedule.steps.len() as u64,
             measured_from,
             measured_to: trace_end,
         })

@@ -13,6 +13,8 @@
 //!   time, including under mid-run network shifts;
 //! * [`area`] — the paper's "area covered by the failure detector"
 //!   analysis: Pareto fronts, matched-requirement coverage, crossovers;
+//! * [`parallel`] — the parallel sweep engine: fan sweep points across
+//!   cores with results bit-for-bit identical to the serial path;
 //! * [`ablation`] — ablations of SFD's design choices (gap filling,
 //!   epoch length, adjustment rate β);
 //! * [`planner`] — analytic margin planning from measured network
@@ -29,16 +31,19 @@ pub mod ablation;
 pub mod area;
 pub mod convergence;
 pub mod eval;
+pub mod parallel;
 pub mod planner;
 pub mod report;
 pub mod sweep;
 
 pub use ablation::{
-    beta_ablation, epoch_length_ablation, gap_fill_ablation, GapFillAblation, TuningAblationRow,
+    beta_ablation, beta_ablation_jobs, epoch_length_ablation, epoch_length_ablation_jobs,
+    gap_fill_ablation, GapFillAblation, TuningAblationRow,
 };
 pub use area::{can_match, coverage, crossover_td, dominates, pareto_front, RequirementGrid};
 pub use convergence::{ConvergenceReport, EpochSnapshot};
-pub use eval::{EvalConfig, EvalReport, ReplayEvaluator};
+pub use eval::{EvalConfig, EvalReport, EvalScratch, ReplayEvaluator, ReplaySchedule};
+pub use parallel::{effective_jobs, par_map, par_map_with, ParallelSweeper};
 pub use planner::{plan_margin, MarginPlan, NetworkModel};
 pub use report::{CurvePoint, CurveSeries, ExperimentResult};
 pub use sweep::{

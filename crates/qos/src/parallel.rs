@@ -1,0 +1,331 @@
+//! Parallel sweep engine: fan sweep points across cores, bit-for-bit
+//! identical to the serial path.
+//!
+//! The paper's whole evaluation method (Sec. V) is "replay the same
+//! recorded trace through every detector at every parameter value" — an
+//! embarrassingly parallel grid. Every point is a pure function of
+//! `(trace, config, parameter)`: detectors are built fresh per point and
+//! the replay only *reads* the trace, so points share the pre-resolved
+//! [`ReplaySchedule`] zero-copy (`&ReplaySchedule` across scoped threads)
+//! and no point can observe another's execution.
+//!
+//! ## Determinism guarantee
+//!
+//! Results are **bit-for-bit identical** to the serial sweeps in
+//! [`crate::sweep`], for any job count:
+//!
+//! * each point's value depends only on its own inputs (same
+//!   [`ReplayEvaluator::evaluate_scheduled`] code path as serial, same
+//!   floating-point operation order within the point);
+//! * workers place each result into a slot indexed by the point's grid
+//!   position, and dropped points (e.g. φ's rounding cliff) are filtered
+//!   *after* the join in grid order — so the output ordering is exactly
+//!   the serial `filter_map` ordering regardless of which worker finished
+//!   first.
+//!
+//! Scheduling uses [`std::thread::scope`] with an atomic work index (no
+//! new dependencies): workers pull the next unclaimed point, keeping cores
+//! busy even when conservative parameter values replay slower than
+//! aggressive ones. Each worker owns one [`EvalScratch`], so the steady
+//! state stays allocation-free per replayed heartbeat.
+
+use crate::eval::{EvalConfig, EvalScratch, ReplayEvaluator, ReplaySchedule};
+use crate::sweep::{bertier_point_on, chen_point_on, phi_point_on, sfd_point_on, SweepPoint};
+use sfd_core::bertier::BertierConfig;
+use sfd_core::chen::ChenConfig;
+use sfd_core::phi::PhiConfig;
+use sfd_core::qos::QosSpec;
+use sfd_core::sfd::SfdConfig;
+use sfd_core::time::Duration;
+use sfd_trace::trace::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a `--jobs` request: `0` means "one worker per available core".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` scoped worker threads, preserving
+/// input order in the output. Each worker gets its own state from `init`
+/// (scratch buffers, etc.). `jobs == 0` uses all available cores; with one
+/// job (or one item) the map runs inline on the calling thread.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map_with<T, S, R, I, F>(items: &[T], jobs: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T, usize) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, t, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        produced.push((i, f(&mut state, item, i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, r) in worker.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("work index covered every item")).collect()
+}
+
+/// [`par_map_with`] without worker-local state.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, usize) -> R + Sync,
+{
+    par_map_with(items, jobs, || (), |(), t, i| f(t, i))
+}
+
+/// Parameter sweeps fanned across worker threads.
+///
+/// Drop-in parallel counterpart of the free functions in [`crate::sweep`]:
+/// same signatures plus a job count, same results bit-for-bit (see the
+/// module docs for the determinism argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelSweeper {
+    jobs: usize,
+}
+
+impl ParallelSweeper {
+    /// Sweeper running up to `jobs` worker threads (`0` = all cores).
+    pub fn new(jobs: usize) -> Self {
+        ParallelSweeper { jobs }
+    }
+
+    /// The effective worker count this sweeper will use.
+    pub fn jobs(&self) -> usize {
+        effective_jobs(self.jobs)
+    }
+
+    /// Parallel [`crate::sweep::sweep_chen`].
+    pub fn sweep_chen(
+        &self,
+        trace: &Trace,
+        base: ChenConfig,
+        alphas: &[Duration],
+        eval: EvalConfig,
+    ) -> Vec<SweepPoint> {
+        let evaluator = ReplayEvaluator::new(eval);
+        let schedule = ReplaySchedule::new(trace);
+        par_map_with(alphas, self.jobs, EvalScratch::new, |scratch, &alpha, _| {
+            chen_point_on(&evaluator, &schedule, scratch, base, alpha)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Parallel [`crate::sweep::sweep_phi`].
+    pub fn sweep_phi(
+        &self,
+        trace: &Trace,
+        base: PhiConfig,
+        thresholds: &[f64],
+        eval: EvalConfig,
+    ) -> Vec<SweepPoint> {
+        let evaluator = ReplayEvaluator::new(eval);
+        let schedule = ReplaySchedule::new(trace);
+        par_map_with(thresholds, self.jobs, EvalScratch::new, |scratch, &threshold, _| {
+            phi_point_on(&evaluator, &schedule, scratch, base, threshold)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// [`crate::sweep::bertier_point`] — a single point, evaluated inline
+    /// (nothing to parallelise).
+    pub fn bertier_point(
+        &self,
+        trace: &Trace,
+        cfg: BertierConfig,
+        eval: EvalConfig,
+    ) -> Option<SweepPoint> {
+        let evaluator = ReplayEvaluator::new(eval);
+        let schedule = ReplaySchedule::new(trace);
+        let mut scratch = EvalScratch::new();
+        bertier_point_on(&evaluator, &schedule, &mut scratch, cfg)
+    }
+
+    /// Parallel [`crate::sweep::sweep_sfd`]. Each initial margin runs its
+    /// own detector and its own epoch-feedback loop, so SM₁ points are
+    /// mutually independent and fan out like any other grid.
+    pub fn sweep_sfd(
+        &self,
+        trace: &Trace,
+        base: SfdConfig,
+        spec: QosSpec,
+        initial_margins: &[Duration],
+        epoch_len: Duration,
+        eval: EvalConfig,
+    ) -> Vec<SweepPoint> {
+        let evaluator = ReplayEvaluator::new(eval);
+        let schedule = ReplaySchedule::new(trace);
+        par_map_with(initial_margins, self.jobs, EvalScratch::new, |scratch, &sm1, _| {
+            sfd_point_on(&evaluator, &schedule, scratch, base, spec, sm1, epoch_len)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{
+        bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd,
+    };
+    use sfd_core::feedback::FeedbackConfig;
+    use sfd_trace::presets::WanCase;
+
+    fn small_trace() -> Trace {
+        WanCase::Wan3.preset().generate(20_000)
+    }
+
+    fn eval() -> EvalConfig {
+        EvalConfig { warmup: 500 }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [0, 1, 2, 3, 7] {
+            let out = par_map(&items, jobs, |&x, i| x * 2 + i as u64);
+            let expect: Vec<u64> =
+                items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        let items: Vec<u32> = (0..50).collect();
+        // State counts how many items this worker processed; the result
+        // must not depend on it — only on the item.
+        let out = par_map_with(
+            &items,
+            4,
+            || 0u32,
+            |seen, &x, _| {
+                *seen += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(&empty, 4, |&x, _| x).is_empty());
+        assert_eq!(par_map(&[7u8], 4, |&x, _| x), vec![7]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn chen_parallel_is_bit_identical_to_serial() {
+        let trace = small_trace();
+        let base =
+            ChenConfig { window: 500, expected_interval: trace.interval, alpha: Duration::ZERO };
+        let alphas = log_spaced_margins(Duration::from_millis(5), Duration::from_millis(2000), 10);
+        let serial = sweep_chen(&trace, base, &alphas, eval());
+        for jobs in [1, 2, 3, 8] {
+            let par = ParallelSweeper::new(jobs).sweep_chen(&trace, base, &alphas, eval());
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn phi_parallel_is_bit_identical_to_serial_including_dropped_points() {
+        let trace = small_trace();
+        let base = PhiConfig {
+            window: 500,
+            expected_interval: trace.interval,
+            threshold: 1.0,
+            min_std_fraction: 0.01,
+        };
+        let mut thresholds = lin_spaced(0.5, 16.0, 8);
+        thresholds.push(18.0); // past the rounding cliff: serial drops it
+        let serial = sweep_phi(&trace, base, &thresholds, eval());
+        for jobs in [1, 2, 8] {
+            let par = ParallelSweeper::new(jobs).sweep_phi(&trace, base, &thresholds, eval());
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sfd_parallel_is_bit_identical_to_serial() {
+        let trace = small_trace();
+        let spec = QosSpec::new(Duration::from_millis(300), 0.05, 0.98).unwrap();
+        let base = SfdConfig {
+            window: 500,
+            expected_interval: trace.interval,
+            initial_margin: Duration::from_millis(50),
+            feedback: FeedbackConfig {
+                alpha: Duration::from_millis(40),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        };
+        let margins =
+            vec![Duration::from_millis(2), Duration::from_millis(60), Duration::from_millis(800)];
+        let serial = sweep_sfd(&trace, base, spec, &margins, Duration::from_secs(20), eval());
+        for jobs in [1, 2, 8] {
+            let par = ParallelSweeper::new(jobs).sweep_sfd(
+                &trace,
+                base,
+                spec,
+                &margins,
+                Duration::from_secs(20),
+                eval(),
+            );
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn bertier_matches_serial() {
+        let trace = small_trace();
+        let cfg =
+            BertierConfig { window: 500, expected_interval: trace.interval, ..Default::default() };
+        let serial = bertier_point(&trace, cfg, eval());
+        let par = ParallelSweeper::new(4).bertier_point(&trace, cfg, eval());
+        assert_eq!(par, serial);
+    }
+}

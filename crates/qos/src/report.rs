@@ -48,12 +48,12 @@ impl CurveSeries {
 
     /// The point with the smallest detection time.
     pub fn most_aggressive(&self) -> Option<&CurvePoint> {
-        self.points.iter().min_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
+        self.points.iter().min_by(|a, b| a.td_secs.total_cmp(&b.td_secs))
     }
 
     /// The point with the largest detection time.
     pub fn most_conservative(&self) -> Option<&CurvePoint> {
-        self.points.iter().max_by(|a, b| a.td_secs.partial_cmp(&b.td_secs).unwrap())
+        self.points.iter().max_by(|a, b| a.td_secs.total_cmp(&b.td_secs))
     }
 
     /// Detection-time span covered by this detector (the "area covered"
@@ -196,7 +196,9 @@ mod tests {
 
     #[test]
     fn artifacts_round_trip() {
-        if serde_json::to_string(&7u8).ok().and_then(|s| serde_json::from_str::<u8>(&s).ok()) != Some(7) {
+        if serde_json::to_string(&7u8).ok().and_then(|s| serde_json::from_str::<u8>(&s).ok())
+            != Some(7)
+        {
             eprintln!("skipping: serde_json backend is a non-functional stub here");
             return;
         }

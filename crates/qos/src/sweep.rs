@@ -14,7 +14,7 @@
 //!   during the replay; points cluster inside the feasible region of the
 //!   QoS requirement because self-tuning pulls out-of-range margins back.
 
-use crate::eval::{EvalConfig, ReplayEvaluator};
+use crate::eval::{EvalConfig, EvalScratch, ReplayEvaluator, ReplaySchedule};
 use serde::{Deserialize, Serialize};
 use sfd_core::bertier::{BertierConfig, BertierFd};
 use sfd_core::chen::{ChenConfig, ChenFd};
@@ -34,6 +34,82 @@ pub struct SweepPoint {
     pub qos: QosMeasured,
 }
 
+/// Evaluate one Chen point (`α = alpha`) against a pre-resolved schedule.
+///
+/// Building blocks for both the serial sweeps below and the parallel
+/// engine in [`crate::parallel`]: each point is an independent pure
+/// function of `(schedule, config, parameter)`, so fanning points across
+/// threads cannot change any point's value.
+pub fn chen_point_on(
+    evaluator: &ReplayEvaluator,
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
+    base: ChenConfig,
+    alpha: Duration,
+) -> Option<SweepPoint> {
+    let mut fd = ChenFd::new(ChenConfig { alpha, ..base });
+    let r = evaluator.evaluate_scheduled(&mut fd, schedule, scratch)?;
+    Some(SweepPoint { param: alpha.as_millis_f64(), qos: r.qos })
+}
+
+/// Evaluate one φ point (`Φ = threshold`) against a pre-resolved schedule.
+///
+/// Returns `None` past the rounding cliff (no computable timeout → no TD
+/// samples), exactly like [`sweep_phi`].
+pub fn phi_point_on(
+    evaluator: &ReplayEvaluator,
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
+    base: PhiConfig,
+    threshold: f64,
+) -> Option<SweepPoint> {
+    let mut fd = PhiFd::new(PhiConfig { threshold, ..base });
+    let r = evaluator.evaluate_scheduled(&mut fd, schedule, scratch)?;
+    // The paper's φ curves stop where rounding prevents computing
+    // points (no valid timeout → no TD samples).
+    if r.td_samples == 0 {
+        return None;
+    }
+    Some(SweepPoint { param: threshold, qos: r.qos })
+}
+
+/// Evaluate Bertier's single point against a pre-resolved schedule.
+pub fn bertier_point_on(
+    evaluator: &ReplayEvaluator,
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
+    cfg: BertierConfig,
+) -> Option<SweepPoint> {
+    let mut fd = BertierFd::new(cfg);
+    let r = evaluator.evaluate_scheduled(&mut fd, schedule, scratch)?;
+    Some(SweepPoint { param: 0.0, qos: r.qos })
+}
+
+/// Evaluate one SFD point (`SM₁ = sm1`) against a pre-resolved schedule,
+/// with the Algorithm-1 feedback loop running every `epoch_len`.
+pub fn sfd_point_on(
+    evaluator: &ReplayEvaluator,
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
+    base: SfdConfig,
+    spec: QosSpec,
+    sm1: Duration,
+    epoch_len: Duration,
+) -> Option<SweepPoint> {
+    let cfg = SfdConfig { initial_margin: sm1, ..base };
+    let mut fd = SfdFd::new(cfg, spec);
+    let r = evaluator.evaluate_scheduled_with_epochs(
+        &mut fd,
+        schedule,
+        scratch,
+        epoch_len,
+        |d, q| {
+            let _ = d.apply_feedback(q);
+        },
+    )?;
+    Some(SweepPoint { param: sm1.as_millis_f64(), qos: r.qos })
+}
+
 /// Sweep Chen FD over a list of constant margins `α`.
 pub fn sweep_chen(
     trace: &Trace,
@@ -42,13 +118,11 @@ pub fn sweep_chen(
     eval: EvalConfig,
 ) -> Vec<SweepPoint> {
     let evaluator = ReplayEvaluator::new(eval);
+    let schedule = ReplaySchedule::new(trace);
+    let mut scratch = EvalScratch::new();
     alphas
         .iter()
-        .filter_map(|&alpha| {
-            let mut fd = ChenFd::new(ChenConfig { alpha, ..base });
-            let r = evaluator.evaluate(&mut fd, trace)?;
-            Some(SweepPoint { param: alpha.as_millis_f64(), qos: r.qos })
-        })
+        .filter_map(|&alpha| chen_point_on(&evaluator, &schedule, &mut scratch, base, alpha))
         .collect()
 }
 
@@ -60,27 +134,20 @@ pub fn sweep_phi(
     eval: EvalConfig,
 ) -> Vec<SweepPoint> {
     let evaluator = ReplayEvaluator::new(eval);
+    let schedule = ReplaySchedule::new(trace);
+    let mut scratch = EvalScratch::new();
     thresholds
         .iter()
-        .filter_map(|&threshold| {
-            let mut fd = PhiFd::new(PhiConfig { threshold, ..base });
-            let r = evaluator.evaluate(&mut fd, trace)?;
-            // The paper's φ curves stop where rounding prevents computing
-            // points (no valid timeout → no TD samples).
-            if r.td_samples == 0 {
-                return None;
-            }
-            Some(SweepPoint { param: threshold, qos: r.qos })
-        })
+        .filter_map(|&threshold| phi_point_on(&evaluator, &schedule, &mut scratch, base, threshold))
         .collect()
 }
 
 /// Bertier FD has no dynamic parameter — evaluate its single point.
 pub fn bertier_point(trace: &Trace, cfg: BertierConfig, eval: EvalConfig) -> Option<SweepPoint> {
     let evaluator = ReplayEvaluator::new(eval);
-    let mut fd = BertierFd::new(cfg);
-    let r = evaluator.evaluate(&mut fd, trace)?;
-    Some(SweepPoint { param: 0.0, qos: r.qos })
+    let schedule = ReplaySchedule::new(trace);
+    let mut scratch = EvalScratch::new();
+    bertier_point_on(&evaluator, &schedule, &mut scratch, cfg)
 }
 
 /// Sweep SFD over a list of initial margins `SM₁`, running the Algorithm-1
@@ -100,15 +167,12 @@ pub fn sweep_sfd(
     eval: EvalConfig,
 ) -> Vec<SweepPoint> {
     let evaluator = ReplayEvaluator::new(eval);
+    let schedule = ReplaySchedule::new(trace);
+    let mut scratch = EvalScratch::new();
     initial_margins
         .iter()
         .filter_map(|&sm1| {
-            let cfg = SfdConfig { initial_margin: sm1, ..base };
-            let mut fd = SfdFd::new(cfg, spec);
-            let r = evaluator.evaluate_with_epochs(&mut fd, trace, epoch_len, |d, q| {
-                let _ = d.apply_feedback(q);
-            })?;
-            Some(SweepPoint { param: sm1.as_millis_f64(), qos: r.qos })
+            sfd_point_on(&evaluator, &schedule, &mut scratch, base, spec, sm1, epoch_len)
         })
         .collect()
 }

@@ -36,10 +36,10 @@ use sfd_core::error::CoreResult;
 use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
-use sfd_obs::Histogram;
 use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::{SuspicionLog, Transition};
 use sfd_core::time::{Duration, Instant};
+use sfd_obs::Histogram;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -408,7 +408,12 @@ impl ShardCore {
     /// adds `shard="i"`; standalone use passes `&[]`).
     pub fn export_metrics(&self, m: &mut MetricsSnapshot, labels: &[(&str, &str)], now: Instant) {
         let suspects = self.streams.values().filter(|st| st.detector.is_suspect(now)).count();
-        m.gauge("sfd_streams_watched", "Streams currently watched.", labels, self.streams.len() as f64);
+        m.gauge(
+            "sfd_streams_watched",
+            "Streams currently watched.",
+            labels,
+            self.streams.len() as f64,
+        );
         m.gauge("sfd_streams_suspect", "Streams currently suspected.", labels, suspects as f64);
 
         let mut heartbeats = 0u64;
@@ -750,19 +755,6 @@ impl MultiMonitorService {
         }
     }
 
-    /// Spawn the service on `source`, polling at `poll_interval`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use spawn_with_config(source, MonitorConfig { poll_interval, .. }) \
-                so both runtime entry points share one config type"
-    )]
-    pub fn spawn<S: HeartbeatSource + 'static>(
-        source: S,
-        poll_interval: Duration,
-    ) -> MultiMonitorService {
-        Self::spawn_with_config(source, MonitorConfig { poll_interval, ..MonitorConfig::default() })
-    }
-
     /// Register a stream with a detector built from `spec`. Replaces any
     /// existing registration for the id.
     pub fn watch(&self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
@@ -1045,16 +1037,6 @@ mod tests {
         let bad =
             DetectorSpec::Chen(sfd_core::chen::ChenConfig { window: 0, ..Default::default() });
         assert!(monitor.watch(8, &bad).is_err());
-        monitor.stop();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_spawn_still_works() {
-        let (_sink, source) = MemoryTransport::perfect();
-        let mut monitor = MultiMonitorService::spawn(source, Duration::from_millis(1));
-        monitor.watch(1, &spec()).unwrap();
-        assert_eq!(monitor.watched(), 1);
         monitor.stop();
     }
 

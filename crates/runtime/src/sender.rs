@@ -72,9 +72,7 @@ impl HeartbeatSender {
                         // Sleep in short slices so `crash()`/drop never
                         // blocks for a whole (possibly long) interval.
                         let mut remaining = next - now;
-                        while remaining > Duration::ZERO
-                            && !thread_stop.load(Ordering::Relaxed)
-                        {
+                        while remaining > Duration::ZERO && !thread_stop.load(Ordering::Relaxed) {
                             std::thread::sleep(remaining.min(Duration::from_millis(10)).to_std());
                             let now = clock.now();
                             remaining = if next > now { next - now } else { Duration::ZERO };
@@ -100,7 +98,14 @@ impl HeartbeatSender {
                 }
             })
             .expect("spawn sender thread");
-        HeartbeatSender { stream: cfg.stream, stop, sent, missed, pacing_drift, handle: Some(handle) }
+        HeartbeatSender {
+            stream: cfg.stream,
+            stop,
+            sent,
+            missed,
+            pacing_drift,
+            handle: Some(handle),
+        }
     }
 
     /// Heartbeats sent so far.
@@ -129,7 +134,12 @@ impl HeartbeatSender {
         let sid = self.stream.to_string();
         let labels = [("stream", sid.as_str())];
         let mut m = MetricsSnapshot::new();
-        m.counter("sfd_sender_sent_total", "Heartbeats emitted by the sender.", &labels, self.sent());
+        m.counter(
+            "sfd_sender_sent_total",
+            "Heartbeats emitted by the sender.",
+            &labels,
+            self.sent(),
+        );
         m.counter(
             "sfd_sender_missed_sends_total",
             "Send deadlines skipped because the sender fell behind schedule.",

@@ -129,13 +129,14 @@ fn main() {
             page
         }));
     }
-    let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry))
-        .expect("bind metrics endpoint");
+    let server =
+        MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind metrics endpoint");
     println!("  scrape endpoint: http://{}/metrics", server.local_addr());
     let page = scrape(server.local_addr());
-    for line in page.lines().filter(|l| {
-        l.starts_with("sfd_suspicion_level") || l.starts_with("sfd_streams_suspect")
-    }) {
+    for line in page
+        .lines()
+        .filter(|l| l.starts_with("sfd_suspicion_level") || l.starts_with("sfd_streams_suspect"))
+    {
         println!("  {line}");
     }
     server.stop();

@@ -17,7 +17,8 @@
 
 use sfd::prelude::*;
 use sfd::qos::eval::{EvalConfig, ReplayEvaluator};
-use sfd::qos::sweep::{log_spaced_margins, sweep_chen, sweep_phi};
+use sfd::qos::parallel::ParallelSweeper;
+use sfd::qos::sweep::log_spaced_margins;
 use sfd::trace::presets::WanCase;
 use sfd::trace::stats::TraceStats;
 use sfd::trace::trace::Trace;
@@ -30,7 +31,7 @@ fn usage() -> ! {
          sfdctl generate --case WAN-0..WAN-6 --count N --out FILE [--seed N]\n  \
          sfdctl stats FILE\n  \
          sfdctl eval FILE (--scheme chen|bertier|phi|sfd [--margin D] [--threshold F] | --spec JSONFILE) [--window N] [--warmup N]\n  \
-         sfdctl sweep FILE --scheme chen|phi [--from D --to D --points N]\n  \
+         sfdctl sweep FILE --scheme chen|phi [--from D --to D --points N] [--jobs N]\n  \
          sfdctl plan FILE [--max-td D] [--max-mr F] [--min-qap F]\n  \
          sfdctl send --to ADDR --interval D [--stream N] [--crash-after D]\n  \
          sfdctl monitor --bind ADDR --interval D [--margin D] [--for D]\n  \
@@ -239,13 +240,17 @@ fn cmd_sweep(pos: &[String], flags: &HashMap<String, String>) {
     let points: usize = flag_num(flags, "points").unwrap_or(12);
     let window: usize = flag_num(flags, "window").unwrap_or(1000);
     let eval = EvalConfig { warmup };
+    // `--jobs 0` (the default) fans points across all cores; the result is
+    // bit-for-bit identical to a serial sweep for any job count.
+    let jobs: usize = flag_num(flags, "jobs").unwrap_or(0);
+    let sweeper = ParallelSweeper::new(jobs);
     let scheme = flags.get("scheme").map(String::as_str).unwrap_or("chen");
     println!("{:>12} {:>10} {:>12} {:>9}", "param", "TD [s]", "MR [1/s]", "QAP [%]");
     let pts = match scheme {
         "chen" => {
             let from = flag_duration(flags, "from").unwrap_or(trace.interval.mul_f64(0.3));
             let to = flag_duration(flags, "to").unwrap_or(trace.interval.mul_f64(80.0));
-            sweep_chen(
+            sweeper.sweep_chen(
                 &trace,
                 ChenConfig { window, expected_interval: trace.interval, alpha: Duration::ZERO },
                 &log_spaced_margins(from, to, points),
@@ -255,7 +260,7 @@ fn cmd_sweep(pos: &[String], flags: &HashMap<String, String>) {
         "phi" => {
             let from: f64 = flag_num(flags, "from-phi").unwrap_or(0.5);
             let to: f64 = flag_num(flags, "to-phi").unwrap_or(16.0);
-            sweep_phi(
+            sweeper.sweep_phi(
                 &trace,
                 PhiConfig {
                     window,

@@ -255,7 +255,8 @@ fn run_cluster_scenario(seed: u64) -> (OneMonitorsMany, Instant) {
     }
     let mut events: Vec<(Instant, u64, u64)> = Vec::new();
     for t in 1..=3u64 {
-        let mut sim = pair_sim(interval, 15 * t as i64, LossConfig::Bernoulli { p: 0.02 }, seed * 77 + t);
+        let mut sim =
+            pair_sim(interval, 15 * t as i64, LossConfig::Bernoulli { p: 0.02 }, seed * 77 + t);
         let count = if t == 3 { 150 } else { 300 };
         for rec in sim.generate(count) {
             if let Some(at) = rec.arrival {
@@ -444,18 +445,9 @@ fn single_stream_live_golden() {
     let snap = svc.metrics(svc.clock().now());
     svc.stop();
     assert_eq!(snap.counter_value("sfd_heartbeats_accepted_total", &[]), Some(40));
-    assert_eq!(
-        snap.counter_value("sfd_stream_rejects_total", &[("reason", "duplicate")]),
-        Some(2)
-    );
-    assert_eq!(
-        snap.counter_value("sfd_stream_rejects_total", &[("reason", "seq_jump")]),
-        Some(1)
-    );
-    assert_eq!(
-        snap.counter_value("sfd_stream_rejects_total", &[("reason", "timestamp")]),
-        Some(1)
-    );
+    assert_eq!(snap.counter_value("sfd_stream_rejects_total", &[("reason", "duplicate")]), Some(2));
+    assert_eq!(snap.counter_value("sfd_stream_rejects_total", &[("reason", "seq_jump")]), Some(1));
+    assert_eq!(snap.counter_value("sfd_stream_rejects_total", &[("reason", "timestamp")]), Some(1));
     assert_golden("single_stream_live", &normalize(&encode_text(&snap), LIVE_VOLATILE));
 }
 
@@ -500,7 +492,10 @@ fn sharded_live_golden_both_policies() {
         let accepted: u64 = ["0", "1"]
             .iter()
             .filter_map(|sid| {
-                snap.counter_value("sfd_ingest_outcomes_total", &[("shard", sid), ("outcome", "accepted")])
+                snap.counter_value(
+                    "sfd_ingest_outcomes_total",
+                    &[("shard", sid), ("outcome", "accepted")],
+                )
             })
             .sum();
         assert_eq!(accepted, 90);
@@ -554,8 +549,10 @@ fn combined_page_covers_the_metric_taxonomy() {
     let (mgr, now) = run_cluster_scenario(1);
     page.merge_labelled(mgr.metrics(now), &[("manager", "m1")]);
     let (sink, _source) = MemoryTransport::perfect();
-    let sender =
-        HeartbeatSender::spawn(SenderConfig { stream: 4, interval: Duration::from_secs(60) }, sink.clone());
+    let sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 4, interval: Duration::from_secs(60) },
+        sink.clone(),
+    );
     page.merge(sender.metrics());
     page.merge(sink.metrics());
     page.sort();
@@ -568,17 +565,17 @@ fn combined_page_covers_the_metric_taxonomy() {
     );
     // At least one family from every layer of the taxonomy.
     for required in [
-        "sfd_streams_watched",          // monitor surface
-        "sfd_ingest_outcomes_total",    // runtime ingest
-        "sfd_wheel_rearms_total",       // expiry machinery
-        "sfd_epoch_feedback_total",     // epoch plumbing
-        "sfd_qos_detection_time_seconds",      // measured QoS
+        "sfd_streams_watched",                   // monitor surface
+        "sfd_ingest_outcomes_total",             // runtime ingest
+        "sfd_wheel_rearms_total",                // expiry machinery
+        "sfd_epoch_feedback_total",              // epoch plumbing
+        "sfd_qos_detection_time_seconds",        // measured QoS
         "sfd_qos_target_detection_time_seconds", // QoS requirement
-        "sfd_feedback_margin_seconds",  // controller state
-        "sfd_suspicion_level",          // cluster/accrual surface
-        "sfd_stream_rejects_total",     // hostile-input counters
-        "sfd_sender_sent_total",        // sender side
-        "sfd_transport_sent_total",     // transport side
+        "sfd_feedback_margin_seconds",           // controller state
+        "sfd_suspicion_level",                   // cluster/accrual surface
+        "sfd_stream_rejects_total",              // hostile-input counters
+        "sfd_sender_sent_total",                 // sender side
+        "sfd_transport_sent_total",              // transport side
     ] {
         assert!(families.contains(&required), "family {required} missing from combined page");
     }

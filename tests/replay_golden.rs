@@ -21,10 +21,9 @@
 
 use sfd::core::prelude::*;
 use sfd::qos::eval::EvalConfig;
+use sfd::qos::parallel::ParallelSweeper;
 use sfd::qos::report::{CurveSeries, ExperimentResult};
-use sfd::qos::sweep::{
-    bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd,
-};
+use sfd::qos::sweep::{lin_spaced, log_spaced_margins};
 use sfd::trace::presets::WanCase;
 use std::fmt::Write as _;
 
@@ -282,6 +281,12 @@ fn to_pretty_json(r: &ExperimentResult) -> String {
 /// constants inlined because `sfd-bench` is not a dependency of the root
 /// package): window 1000, margins spanning 0.3×–80× the heartbeat
 /// interval, 20 s feedback epochs, 1000-heartbeat warmup.
+///
+/// The sweeps run through the *parallel* engine (4 workers) on purpose:
+/// the artifact was blessed from serial runs, so this regression also
+/// pins the engine's bit-for-bit determinism guarantee against the
+/// goldens (`tests/sweep_parallel.rs` covers serial ≡ parallel on small
+/// traces; this covers the real fig. 6/7 grid).
 fn regenerate() -> ExperimentResult {
     let trace = WanCase::Wan0.preset().generate(150_000);
     let interval = trace.interval;
@@ -290,8 +295,9 @@ fn regenerate() -> ExperimentResult {
     let hi = interval.mul_f64(80.0);
     let eval = EvalConfig { warmup: 1000 };
     let spec = QosSpec::new(Duration::from_millis(900), 0.35, 0.95).expect("paper spec");
+    let sweeper = ParallelSweeper::new(4);
 
-    let sfd = sweep_sfd(
+    let sfd = sweeper.sweep_sfd(
         &trace,
         SfdConfig {
             window,
@@ -309,13 +315,13 @@ fn regenerate() -> ExperimentResult {
         Duration::from_secs(20),
         eval,
     );
-    let chen = sweep_chen(
+    let chen = sweeper.sweep_chen(
         &trace,
         sfd::core::chen::ChenConfig { window, expected_interval: interval, alpha: Duration::ZERO },
         &log_spaced_margins(lo, hi, 18),
         eval,
     );
-    let bertier = bertier_point(
+    let bertier = sweeper.bertier_point(
         &trace,
         sfd::core::bertier::BertierConfig {
             window,
@@ -324,7 +330,7 @@ fn regenerate() -> ExperimentResult {
         },
         eval,
     );
-    let phi = sweep_phi(
+    let phi = sweeper.sweep_phi(
         &trace,
         sfd::core::phi::PhiConfig {
             window,

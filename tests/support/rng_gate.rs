@@ -23,8 +23,7 @@ fn current_fingerprint() -> String {
     let trace = sfd::trace::presets::WanCase::Wan0.preset().generate(4);
     let mut fp = String::new();
     for r in &trace.records {
-        let arrival =
-            r.arrival.map(|a| a.as_nanos().to_string()).unwrap_or_else(|| "lost".into());
+        let arrival = r.arrival.map(|a| a.as_nanos().to_string()).unwrap_or_else(|| "lost".into());
         let _ = writeln!(fp, "{};{};{arrival}", r.seq, r.sent.as_nanos());
     }
     fp

@@ -1,0 +1,116 @@
+//! Property test for the parallel sweep engine's determinism guarantee:
+//! for every detector, every job count (including `--jobs 1` and
+//! oversubscription), every workload shape and every seed, the parallel
+//! sweep is **bit-for-bit identical** to the serial sweep — same points,
+//! same order, same floats (`assert_eq!` on `SweepPoint`, no tolerance).
+//!
+//! Traces are kept small (8 000 heartbeats, window 200) so the property
+//! runs many cases quickly; `tests/replay_golden.rs` covers the full-size
+//! fig. 6/7 grid through the parallel path against the blessed artifact.
+
+use proptest::prelude::*;
+use sfd::core::prelude::*;
+use sfd::qos::eval::EvalConfig;
+use sfd::qos::parallel::ParallelSweeper;
+use sfd::qos::sweep::{
+    bertier_point, lin_spaced, log_spaced_margins, sweep_chen, sweep_phi, sweep_sfd,
+};
+use sfd::trace::presets::WanCase;
+use sfd::trace::trace::Trace;
+
+const COUNT: u64 = 8_000;
+const WINDOW: usize = 200;
+const WARMUP: usize = 200;
+const JOB_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn trace_for(case_idx: usize, seed: u64) -> Trace {
+    let cases = WanCase::all();
+    let case = cases[case_idx % cases.len()];
+    case.preset().generate_seeded(COUNT, seed)
+}
+
+fn eval() -> EvalConfig {
+    EvalConfig { warmup: WARMUP }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chen_parallel_equals_serial(case_idx in 0usize..7, seed in 1u64..1_000_000) {
+        let trace = trace_for(case_idx, seed);
+        let base = ChenConfig {
+            window: WINDOW,
+            expected_interval: trace.interval,
+            alpha: Duration::ZERO,
+        };
+        let lo = trace.interval.mul_f64(0.3).max(Duration::from_millis(1));
+        let alphas = log_spaced_margins(lo, trace.interval.mul_f64(50.0), 6);
+        let serial = sweep_chen(&trace, base, &alphas, eval());
+        for jobs in JOB_COUNTS {
+            let par = ParallelSweeper::new(jobs).sweep_chen(&trace, base, &alphas, eval());
+            prop_assert_eq!(&par, &serial, "jobs={}", jobs);
+        }
+    }
+
+    #[test]
+    fn phi_parallel_equals_serial(case_idx in 0usize..7, seed in 1u64..1_000_000) {
+        let trace = trace_for(case_idx, seed);
+        let base = PhiConfig {
+            window: WINDOW,
+            expected_interval: trace.interval,
+            threshold: 1.0,
+            min_std_fraction: 0.01,
+        };
+        // Include thresholds past the rounding cliff so point drop-out is
+        // exercised under both paths.
+        let mut thresholds = lin_spaced(0.5, 16.0, 6);
+        thresholds.push(20.0);
+        let serial = sweep_phi(&trace, base, &thresholds, eval());
+        for jobs in JOB_COUNTS {
+            let par = ParallelSweeper::new(jobs).sweep_phi(&trace, base, &thresholds, eval());
+            prop_assert_eq!(&par, &serial, "jobs={}", jobs);
+        }
+    }
+
+    #[test]
+    fn sfd_parallel_equals_serial(case_idx in 0usize..7, seed in 1u64..1_000_000) {
+        let trace = trace_for(case_idx, seed);
+        let spec = QosSpec::new(Duration::from_millis(900), 0.35, 0.95).expect("spec");
+        let base = SfdConfig {
+            window: WINDOW,
+            expected_interval: trace.interval,
+            initial_margin: Duration::ZERO,
+            feedback: FeedbackConfig {
+                alpha: trace.interval.mul_f64(2.0),
+                beta: 0.5,
+                ..Default::default()
+            },
+            fill_gaps: true,
+        };
+        let lo = trace.interval.mul_f64(0.3).max(Duration::from_millis(1));
+        let margins = log_spaced_margins(lo, trace.interval.mul_f64(50.0), 4);
+        let epoch = Duration::from_secs(10);
+        let serial = sweep_sfd(&trace, base, spec, &margins, epoch, eval());
+        for jobs in JOB_COUNTS {
+            let par = ParallelSweeper::new(jobs)
+                .sweep_sfd(&trace, base, spec, &margins, epoch, eval());
+            prop_assert_eq!(&par, &serial, "jobs={}", jobs);
+        }
+    }
+
+    #[test]
+    fn bertier_parallel_equals_serial(case_idx in 0usize..7, seed in 1u64..1_000_000) {
+        let trace = trace_for(case_idx, seed);
+        let cfg = BertierConfig {
+            window: WINDOW,
+            expected_interval: trace.interval,
+            ..Default::default()
+        };
+        let serial = bertier_point(&trace, cfg, eval());
+        for jobs in JOB_COUNTS {
+            let par = ParallelSweeper::new(jobs).bertier_point(&trace, cfg, eval());
+            prop_assert_eq!(&par, &serial, "jobs={}", jobs);
+        }
+    }
+}
