@@ -7,14 +7,14 @@ use sfd_core::chen::{ChenConfig, ChenFd};
 use sfd_core::qos::QosSpec;
 use sfd_core::sfd::{SfdConfig, SfdFd};
 use sfd_core::time::Duration;
-use sfd_qos::eval::{EvalConfig, ReplayEvaluator};
+use sfd_qos::eval::{EvalConfig, Evaluation};
 use sfd_trace::presets::WanCase;
 
 const N: u64 = 50_000;
 
 fn bench_replay(c: &mut Criterion) {
     let trace = WanCase::Wan3.preset().generate(N);
-    let eval = ReplayEvaluator::new(EvalConfig { warmup: 1000 });
+    let eval = EvalConfig { warmup: 1000 };
 
     let mut group = c.benchmark_group("replay");
     group.throughput(Throughput::Elements(N));
@@ -27,7 +27,7 @@ fn bench_replay(c: &mut Criterion) {
                 expected_interval: trace.interval,
                 alpha: Duration::from_millis(60),
             });
-            black_box(eval.evaluate(&mut fd, &trace))
+            black_box(Evaluation::of(&trace).config(eval).run(&mut fd))
         });
     });
 
@@ -43,15 +43,15 @@ fn bench_replay(c: &mut Criterion) {
                 },
                 spec,
             );
-            black_box(eval.evaluate_with_epochs(
-                &mut fd,
-                &trace,
-                Duration::from_secs(20),
-                |d, q| {
-                    use sfd_core::detector::SelfTuning;
-                    let _ = d.apply_feedback(q);
-                },
-            ))
+            black_box(
+                Evaluation::of(&trace)
+                    .config(eval)
+                    .epochs(Duration::from_secs(20))
+                    .run_with_epochs(&mut fd, |d, q| {
+                        use sfd_core::detector::SelfTuning;
+                        let _ = d.apply_feedback(q);
+                    }),
+            )
         });
     });
 

@@ -8,15 +8,23 @@ use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
 use sfd_qos::ablation::{beta_ablation_jobs, epoch_length_ablation_jobs, gap_fill_ablation};
 use sfd_qos::eval::EvalConfig;
-use sfd_trace::presets::WanCase;
+use sfd_trace::presets::{generate_wan_traces, WanCase};
 
 fn main() {
     let cli = Cli::parse();
     let eval = EvalConfig { warmup: 1000 };
     std::fs::create_dir_all(&cli.out).expect("create out dir");
 
+    // Both workloads' chunks fan across the shared pool at once.
+    let requests = [
+        (WanCase::Wan2, cli.count_for(WanCase::Wan2)),
+        (WanCase::Wan3, cli.count_for(WanCase::Wan3)),
+    ];
+    let mut traces = generate_wan_traces(&requests, cli.jobs).into_iter();
+    let trace = traces.next().expect("WAN-2 trace");
+    let trace3 = traces.next().expect("WAN-3 trace");
+
     // ── 1. Gap filling, on the lossiest workload (WAN-2, 5% bursty). ──
-    let trace = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2));
     let spec = QosSpec::new(Duration::from_millis(900), 0.10, 0.95).expect("spec");
     let cfg = SfdConfig {
         window: 1000,
@@ -52,7 +60,6 @@ fn main() {
     .expect("write");
 
     // ── 2. Epoch length. ──
-    let trace3 = WanCase::Wan3.preset().generate(cli.count_for(WanCase::Wan3));
     let spec3 = QosSpec::new(Duration::from_millis(800), 0.05, 0.97).expect("spec");
     let cfg3 = SfdConfig { expected_interval: trace3.interval, ..cfg };
     let epochs = [

@@ -4,24 +4,37 @@
 //! readings ("Chen FD has an extensive performance range", "φ FD is
 //! available in only the aggressive range", "Bertier FD has only one
 //! aggressive performance value").
+//!
+//! Trace generation and the three comparisons both run through the one
+//! shared pool: chunked generation (`generate_wan_traces`) followed by a
+//! single flattened (workload × detector × parameter) task list
+//! (`run_comparisons_jobs`).
 
-use sfd_bench::{run_comparison, Cli, ExperimentPlan};
+use sfd_bench::{run_comparisons_jobs, Cli, ExperimentPlan};
 use sfd_qos::area::{coverage, crossover_td, RequirementGrid};
-use sfd_trace::presets::WanCase;
+use sfd_trace::presets::{generate_wan_traces, WanCase};
+use sfd_trace::trace::Trace;
 
 fn main() {
     let cli = Cli::parse();
     std::fs::create_dir_all(&cli.out).expect("create out dir");
     let mut artifacts = Vec::new();
 
-    for case in [WanCase::Wan0, WanCase::Wan1, WanCase::Wan3] {
-        let count = cli.count_for(case);
-        eprintln!("generating {case} trace ({count} heartbeats)…");
-        let trace = case.preset().generate(count);
-        let spec = ExperimentPlan::paper_spec(trace.interval);
-        let plan = ExperimentPlan::standard(trace.interval, spec);
-        let result = run_comparison(&format!("area-{case}"), &trace, &plan);
+    let cases = [WanCase::Wan0, WanCase::Wan1, WanCase::Wan3];
+    let requests: Vec<(WanCase, u64)> = cases.iter().map(|&c| (c, cli.count_for(c))).collect();
+    eprintln!("generating {} traces through the shared pool…", cases.len());
+    let traces = generate_wan_traces(&requests, cli.jobs);
 
+    let plans: Vec<ExperimentPlan> = traces
+        .iter()
+        .map(|t| ExperimentPlan::standard(t.interval, ExperimentPlan::paper_spec(t.interval)))
+        .collect();
+    let ids: Vec<String> = cases.iter().map(|c| format!("area-{c}")).collect();
+    let workloads: Vec<(&str, &Trace, &ExperimentPlan)> =
+        ids.iter().zip(&traces).zip(&plans).map(|((id, t), p)| (id.as_str(), t, p)).collect();
+    let results = run_comparisons_jobs(&workloads, cli.jobs);
+
+    for (case, result) in cases.iter().zip(&results) {
         // Requirement grid spanning the figure's axes.
         let grid = RequirementGrid::log_mr(0.05, 2.0, 40, 1e-4, 30.0, 40);
         println!(

@@ -1,0 +1,82 @@
+//! Ingest-path benchmark harness: times [`ShardCore`] heartbeat ingest
+//! and expiry under `ExpiryPolicy::{Scan,Wheel}` at several stream
+//! scales, verifies the two policies produce identical per-stream
+//! outputs, and writes `BENCH_ingest.json` (committed at the repo root;
+//! see DESIGN.md §11).
+//!
+//! Usage: `bench_ingest [--streams N,N,…] [--ticks N] [--jobs N]
+//! [--out FILE]`. Exits 1 if any scale's scan/wheel outputs diverge.
+//!
+//! [`ShardCore`]: sfd_runtime::multi::ShardCore
+
+use sfd_bench::ingest::{run_scale, shard_count, IngestBenchReport, IngestWorkload};
+use sfd_core::par::effective_jobs;
+use sfd_core::time::Duration;
+
+fn main() {
+    let mut streams: Vec<u64> = vec![1_000, 10_000, 100_000];
+    let mut ticks: u64 = 200;
+    let mut jobs: usize = 0;
+    let mut out = std::path::PathBuf::from("BENCH_ingest.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--streams" => {
+                let v = args.next().expect("--streams needs a value");
+                streams = v
+                    .split(',')
+                    .map(|n| n.parse().expect("--streams takes comma-separated integers"))
+                    .collect();
+            }
+            "--ticks" => {
+                let v = args.next().expect("--ticks needs a value");
+                ticks = v.parse().expect("--ticks must be an integer");
+            }
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs must be an integer");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a value").into();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_ingest [--streams N,N,…] [--ticks N] [--jobs N] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    // Like bench_sweep: an explicit --jobs is honoured, the default stays
+    // within the machine.
+    let jobs = if jobs == 0 { cores } else { effective_jobs(jobs) };
+    let interval = Duration::from_millis(100);
+
+    let mut scales = Vec::new();
+    for &n in &streams {
+        let w = IngestWorkload { streams: n, ticks, interval };
+        eprintln!(
+            "driving {n} streams × {ticks} ticks ({} heartbeats) under both policies…",
+            w.heartbeat_calls()
+        );
+        scales.push(run_scale(&w, jobs));
+    }
+
+    let report =
+        IngestBenchReport { ticks, interval, jobs, cores, shards: shard_count(jobs), scales };
+    println!("{}", report.summary());
+    report.write(&out).expect("write BENCH_ingest.json");
+    eprintln!("report written to {}", out.display());
+
+    if !report.outputs_identical() {
+        eprintln!("ERROR: scan and wheel outputs diverged — see {}", out.display());
+        std::process::exit(1);
+    }
+}

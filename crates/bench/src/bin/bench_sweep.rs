@@ -22,8 +22,15 @@ fn main() {
     let cli = Cli::parse();
     let case = WanCase::Wan0;
     let count = cli.count_for(case);
-    let jobs = effective_jobs(cli.jobs);
     let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    // Default to one worker per core; an explicit --jobs above the core
+    // count is honoured but flagged, since its "speedup" only measures
+    // time-slicing.
+    let jobs = if cli.jobs == 0 { cores } else { effective_jobs(cli.jobs) };
+    let oversubscribed = jobs > cores;
+    if oversubscribed {
+        eprintln!("warning: {jobs} jobs on {cores} core(s) — thread-scaling speedup suppressed");
+    }
 
     eprintln!("generating {case} trace ({count} heartbeats)…");
     let trace = case.preset().generate(count);
@@ -54,6 +61,7 @@ fn main() {
         grid_points: points,
         jobs,
         cores,
+        oversubscribed,
         baseline: PassTiming { wall_secs: base_secs, replayed_heartbeats: replayed },
         serial: PassTiming { wall_secs: serial_secs, replayed_heartbeats: replayed },
         parallel: PassTiming { wall_secs: par_secs, replayed_heartbeats: replayed },

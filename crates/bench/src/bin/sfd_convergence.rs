@@ -1,14 +1,19 @@
 //! Section V-B2 self-tuning narrative: margin trajectories, `Sat`
 //! decision sequences, re-tuning after a mid-run network shift, and the
 //! infeasibility response of Algorithm 1.
+//!
+//! Each workload is indexed once into a shared `ReplaySchedule` and every
+//! convergence run replays it zero-copy (`run_convergence_on`): the two
+//! WAN-1 narratives share one schedule, and the infeasibility run reuses
+//! the rough WAN-2 trace generated for the network-shift scenario.
 
 use sfd_bench::Cli;
 use sfd_core::feedback::{FeedbackConfig, Sat};
 use sfd_core::qos::QosSpec;
 use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
-use sfd_qos::convergence::{concat_traces, run_convergence, ConvergenceReport};
-use sfd_qos::eval::EvalConfig;
+use sfd_qos::convergence::{concat_traces, run_convergence_on, ConvergenceReport};
+use sfd_qos::eval::{EvalConfig, EvalScratch, ReplaySchedule};
 use sfd_trace::presets::WanCase;
 
 fn cfg(interval: Duration, sm1: Duration) -> SfdConfig {
@@ -61,20 +66,31 @@ fn main() {
     std::fs::create_dir_all(&cli.out).expect("create out dir");
     let mut artifacts: Vec<(String, ConvergenceReport)> = Vec::new();
 
+    let mut scratch = EvalScratch::new();
+
     // 1. Aggressive start on WAN-1: margin must grow until MR is in
     //    budget ("we should take multiple steps to increase SM").
     let trace = WanCase::Wan1.preset().generate(cli.count_for(WanCase::Wan1));
+    let wan1 = ReplaySchedule::new(&trace);
     let spec = QosSpec::new(Duration::from_millis(400), 0.02, 0.99).expect("spec");
-    let rep =
-        run_convergence(&trace, cfg(trace.interval, Duration::from_millis(1)), spec, epoch, eval)
-            .expect("trace long enough");
+    let rep = run_convergence_on(
+        &wan1,
+        &mut scratch,
+        cfg(trace.interval, Duration::from_millis(1)),
+        spec,
+        epoch,
+        eval,
+    )
+    .expect("trace long enough");
     print_report("aggressive start (SM₁ = 1 ms) on WAN-1", &rep);
     artifacts.push(("aggressive_start".into(), rep));
 
     // 2. Conservative start: margin must shrink until TD is in budget
     //    ("our scheme can reduce the SM … to get shorter TD gradually").
-    let rep = run_convergence(
-        &trace,
+    //    Same workload, same schedule — replayed zero-copy.
+    let rep = run_convergence_on(
+        &wan1,
+        &mut scratch,
         cfg(trace.interval, Duration::from_millis(2000)),
         spec,
         epoch,
@@ -90,18 +106,25 @@ fn main() {
     let rough = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2) / 2);
     let both = concat_traces(&calm, &rough, Duration::from_millis(500));
     let spec3 = QosSpec::new(Duration::from_millis(900), 0.05, 0.95).expect("spec");
-    let rep =
-        run_convergence(&both, cfg(both.interval, Duration::from_millis(30)), spec3, epoch, eval)
-            .expect("trace long enough");
+    let rep = run_convergence_on(
+        &ReplaySchedule::new(&both),
+        &mut scratch,
+        cfg(both.interval, Duration::from_millis(30)),
+        spec3,
+        epoch,
+        eval,
+    )
+    .expect("trace long enough");
     print_report("network shift: WAN-3 → WAN-2 (loss 2% → 5%)", &rep);
     artifacts.push(("network_shift".into(), rep));
 
-    // 4. Infeasible requirement: Algorithm 1's "give a response" branch.
+    // 4. Infeasible requirement: Algorithm 1's "give a response" branch,
+    //    on the rough WAN-2 trace already generated for scenario 3.
     let spec4 = QosSpec::new(Duration::from_millis(15), 1e-6, 0.999999).expect("spec");
-    let rough_only = WanCase::Wan2.preset().generate(cli.count_for(WanCase::Wan2) / 2);
-    let rep = run_convergence(
-        &rough_only,
-        cfg(rough_only.interval, Duration::from_millis(300)),
+    let rep = run_convergence_on(
+        &ReplaySchedule::new(&rough),
+        &mut scratch,
+        cfg(rough.interval, Duration::from_millis(300)),
         spec4,
         epoch,
         eval,

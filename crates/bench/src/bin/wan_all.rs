@@ -3,20 +3,38 @@
 //! results from WAN-2 to WAN-6 obtained on the PlanetLab are similar to
 //! WAN-1. For the limited space for this paper, here we only show … WAN-1"
 //! — we have no page limit, so we print them all).
+//!
+//! Both stages run through one shared pool with no per-workload barrier
+//! inside a stage: trace generation fans every chunk of every workload
+//! across the workers (`generate_wan_traces`), and the comparisons
+//! flatten every (workload, detector, parameter) cell into one task list
+//! (`run_comparisons_jobs`). Results are byte-identical for any
+//! `--jobs` value.
 
-use sfd_bench::{print_figure_summary, run_comparison_jobs, Cli, ExperimentPlan};
-use sfd_trace::presets::WanCase;
+use sfd_bench::{print_figure_summary, run_comparisons_jobs, Cli, ExperimentPlan};
+use sfd_trace::presets::{generate_wan_traces, WanCase};
+use sfd_trace::trace::Trace;
 
 fn main() {
     let cli = Cli::parse();
-    for case in [WanCase::Wan2, WanCase::Wan3, WanCase::Wan4, WanCase::Wan5, WanCase::Wan6] {
-        let count = cli.count_for(case);
-        eprintln!("generating {case} trace ({count} heartbeats)…");
-        let trace = case.preset().generate(count);
-        let spec = ExperimentPlan::paper_spec(trace.interval);
-        let plan = ExperimentPlan::standard(trace.interval, spec);
-        let id = format!("wan_all-{}", case.to_string().to_lowercase());
-        let result = run_comparison_jobs(&id, &trace, &plan, cli.jobs);
+    let cases = [WanCase::Wan2, WanCase::Wan3, WanCase::Wan4, WanCase::Wan5, WanCase::Wan6];
+
+    let requests: Vec<(WanCase, u64)> = cases.iter().map(|&c| (c, cli.count_for(c))).collect();
+    let total: u64 = requests.iter().map(|&(_, n)| n).sum();
+    eprintln!("generating {} traces ({total} heartbeats) through the shared pool…", cases.len());
+    let traces = generate_wan_traces(&requests, cli.jobs);
+
+    let plans: Vec<ExperimentPlan> = traces
+        .iter()
+        .map(|t| ExperimentPlan::standard(t.interval, ExperimentPlan::paper_spec(t.interval)))
+        .collect();
+    let ids: Vec<String> =
+        cases.iter().map(|c| format!("wan_all-{}", c.to_string().to_lowercase())).collect();
+    let workloads: Vec<(&str, &Trace, &ExperimentPlan)> =
+        ids.iter().zip(&traces).zip(&plans).map(|((id, t), p)| (id.as_str(), t, p)).collect();
+
+    eprintln!("running {} comparisons through one flattened task list…", workloads.len());
+    for result in run_comparisons_jobs(&workloads, cli.jobs) {
         println!();
         print_figure_summary(&result);
         result.write_artifacts(&cli.out).expect("write artifacts");

@@ -9,6 +9,10 @@
 //!   (stale and burst-era samples pollute the arrival estimate), and SFD
 //!   "is able to get acceptable performance with very small window size,
 //!   and it can save valuable memory resources" (scalability claim).
+//!
+//! The trace is indexed once into a shared `ReplaySchedule`; every
+//! (window, detector) cell is one task on the shared pool, replaying
+//! that schedule zero-copy through the `Evaluation` point functions.
 
 use sfd_bench::{Cli, ExperimentPlan};
 use sfd_core::bertier::BertierConfig;
@@ -17,16 +21,35 @@ use sfd_core::feedback::FeedbackConfig;
 use sfd_core::phi::PhiConfig;
 use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
-use sfd_qos::eval::EvalConfig;
-use sfd_qos::sweep::{bertier_point, sweep_chen, sweep_phi, sweep_sfd};
-use sfd_trace::presets::WanCase;
+use sfd_qos::eval::{EvalConfig, EvalScratch, ReplaySchedule};
+use sfd_qos::parallel::par_map_with;
+use sfd_qos::sweep::{bertier_point_on, chen_point_on, phi_point_on, sfd_point_on};
+
+#[derive(Debug, Clone, Copy)]
+enum Det {
+    Sfd,
+    Chen,
+    Bertier,
+    Phi,
+}
+
+impl Det {
+    fn label(self) -> &'static str {
+        match self {
+            Det::Sfd => "SFD",
+            Det::Chen => "Chen FD",
+            Det::Bertier => "Bertier FD",
+            Det::Phi => "phi FD",
+        }
+    }
+}
 
 fn main() {
     let cli = Cli::parse();
-    let case = WanCase::Wan1;
+    let case = sfd_trace::presets::WanCase::Wan1;
     let count = cli.count_for(case);
     eprintln!("generating {case} trace ({count} heartbeats)…");
-    let trace = case.preset().generate(count);
+    let trace = case.preset().generate_jobs(count, cli.jobs);
     let interval = trace.interval;
     let spec = ExperimentPlan::paper_spec(interval);
 
@@ -35,73 +58,83 @@ fn main() {
     let alpha = interval.mul_f64(6.0);
     let threshold = 4.0;
     let sm1 = interval.mul_f64(6.0);
+    let epoch = Duration::from_secs(20);
 
     let windows = [100usize, 500, 1000, 2000];
-    println!("{:<10} {:>6} {:>10} {:>12} {:>9}", "detector", "WS", "TD [s]", "MR [1/s]", "QAP [%]");
+    let dets = [Det::Sfd, Det::Chen, Det::Bertier, Det::Phi];
+    let tasks: Vec<(usize, Det)> =
+        windows.iter().flat_map(|&ws| dets.iter().map(move |&d| (ws, d))).collect();
 
-    let mut artifacts = Vec::new();
-    for &ws in &windows {
+    // Index the trace once; every cell replays the same schedule.
+    let schedule = ReplaySchedule::new(&trace);
+    let results = par_map_with(&tasks, cli.jobs, EvalScratch::new, |scratch, &(ws, det), _| {
         let eval = EvalConfig { warmup: ws.max(1000) };
-
-        let chen = sweep_chen(
-            &trace,
-            ChenConfig { window: ws, expected_interval: interval, alpha },
-            &[alpha],
-            eval,
-        );
-        let phi = sweep_phi(
-            &trace,
-            PhiConfig {
-                window: ws,
-                expected_interval: interval,
-                threshold,
-                min_std_fraction: 0.01,
-            },
-            &[threshold],
-            eval,
-        );
-        let bertier = bertier_point(
-            &trace,
-            BertierConfig { window: ws, expected_interval: interval, ..Default::default() },
-            eval,
-        );
-        let sfd = sweep_sfd(
-            &trace,
-            SfdConfig {
-                window: ws,
-                expected_interval: interval,
-                initial_margin: sm1,
-                feedback: FeedbackConfig {
-                    alpha: interval.mul_f64(2.0),
-                    beta: 0.5,
-                    ..Default::default()
+        match det {
+            Det::Sfd => sfd_point_on(
+                eval,
+                &schedule,
+                scratch,
+                SfdConfig {
+                    window: ws,
+                    expected_interval: interval,
+                    initial_margin: sm1,
+                    feedback: FeedbackConfig {
+                        alpha: interval.mul_f64(2.0),
+                        beta: 0.5,
+                        ..Default::default()
+                    },
+                    fill_gaps: true,
                 },
-                fill_gaps: true,
-            },
-            spec,
-            &[sm1],
-            Duration::from_secs(20),
-            eval,
-        );
+                spec,
+                sm1,
+                epoch,
+            ),
+            Det::Chen => chen_point_on(
+                eval,
+                &schedule,
+                scratch,
+                ChenConfig { window: ws, expected_interval: interval, alpha },
+                alpha,
+            ),
+            Det::Bertier => bertier_point_on(
+                eval,
+                &schedule,
+                scratch,
+                BertierConfig { window: ws, expected_interval: interval, ..Default::default() },
+            ),
+            Det::Phi => phi_point_on(
+                eval,
+                &schedule,
+                scratch,
+                PhiConfig {
+                    window: ws,
+                    expected_interval: interval,
+                    threshold,
+                    min_std_fraction: 0.01,
+                },
+                threshold,
+            ),
+        }
+    });
 
-        let mut row = |name: &str, pts: &[sfd_qos::sweep::SweepPoint]| {
-            if let Some(p) = pts.first() {
-                println!(
-                    "{:<10} {:>6} {:>10.4} {:>12.6} {:>9.4}",
-                    name,
-                    ws,
-                    p.qos.detection_time.as_secs_f64(),
-                    p.qos.mistake_rate,
-                    p.qos.query_accuracy * 100.0
-                );
-                artifacts.push((name.to_string(), ws, p.qos));
-            }
-        };
-        row("SFD", &sfd);
-        row("Chen FD", &chen);
-        row("Bertier FD", &bertier.into_iter().collect::<Vec<_>>());
-        row("phi FD", &phi);
-        println!();
+    println!("{:<10} {:>6} {:>10} {:>12} {:>9}", "detector", "WS", "TD [s]", "MR [1/s]", "QAP [%]");
+    let mut artifacts = Vec::new();
+    let mut last_ws = None;
+    for (&(ws, det), point) in tasks.iter().zip(&results) {
+        if last_ws.is_some_and(|w| w != ws) {
+            println!();
+        }
+        last_ws = Some(ws);
+        let Some(p) = point else { continue };
+        println!(
+            "{:<10} {:>6} {:>10.4} {:>12.6} {:>9.4}",
+            det.label(),
+            ws,
+            p.qos.detection_time.as_secs_f64(),
+            p.qos.mistake_rate,
+            p.qos.query_accuracy * 100.0
+        );
+        artifacts.push((det.label().to_string(), ws, p.qos));
     }
 
     std::fs::create_dir_all(&cli.out).expect("create out dir");

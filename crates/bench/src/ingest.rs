@@ -1,0 +1,380 @@
+//! The ingest-path benchmark behind `bench_ingest`: drive the sharded
+//! monitor's [`ShardCore`] through a deterministic multi-stream heartbeat
+//! timeline under both expiry policies and report wall-clock throughput
+//! plus the scan≡wheel equivalence verdict (`BENCH_ingest.json`).
+//!
+//! The workload is a miniature cluster lifecycle on simulated time:
+//! every stream heartbeats once per tick, an eighth of the streams go
+//! silent for the third quarter of the run (suspicion fires, then the
+//! revival heartbeat restores trust), and a final far-forward advance
+//! expires everyone. That exercises the three costs the two policies
+//! trade off — per-tick advance, timer re-arms on ingest, and bulk
+//! expiry — while keeping the output a pure function of the workload, so
+//! the scan and wheel runs must agree stream for stream.
+//!
+//! Streams are partitioned across [`ShardCore`]s with the service's own
+//! [`stream_shard`] hash and the shards are driven concurrently on the
+//! shared pool ([`par_map`]), mirroring the deployed topology: shards
+//! never share state, so per-shard digests merge without coordination.
+
+use crate::timing::{json_f64, timed, PassTiming};
+use sfd_core::chen::ChenConfig;
+use sfd_core::monitor::Monitor;
+use sfd_core::par::{effective_jobs, par_map};
+use sfd_core::registry::DetectorSpec;
+use sfd_core::suspicion::Transition;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::multi::{stream_shard, ExpiryPolicy, ShardCore};
+use std::fmt::Write as _;
+
+/// The deterministic multi-stream timeline driven through a shard set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestWorkload {
+    /// Streams to register (ids `0..streams`).
+    pub streams: u64,
+    /// Heartbeat ticks to simulate.
+    pub ticks: u64,
+    /// Nominal heartbeat interval (one tick of simulated time).
+    pub interval: Duration,
+}
+
+impl IngestWorkload {
+    /// Standard workload at a given stream count: 100 ms heartbeats,
+    /// enough ticks for the silent window to trip suspicion (Chen's
+    /// `τ = EA + 2Δ` fires ~3 ticks into a 1/4-run silence).
+    pub fn at_scale(streams: u64, ticks: u64) -> IngestWorkload {
+        IngestWorkload { streams, ticks, interval: Duration::from_millis(100) }
+    }
+
+    /// Is `stream` silent at `tick`? An eighth of the streams stop for
+    /// the third quarter of the run.
+    fn silent(&self, stream: u64, tick: u64) -> bool {
+        stream % 8 == 3 && tick >= self.ticks / 2 && tick < self.ticks * 3 / 4
+    }
+
+    /// Heartbeat calls one full pass makes (the throughput denominator).
+    pub fn heartbeat_calls(&self) -> u64 {
+        let silent_streams = (3..self.streams).step_by(8).count() as u64;
+        let silent_ticks = self.ticks * 3 / 4 - self.ticks / 2;
+        self.streams * self.ticks - silent_streams * silent_ticks
+    }
+}
+
+/// Everything observable about one stream after a pass — the equality
+/// surface the scan≡wheel verdict compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDigest {
+    /// Stream id.
+    pub stream: u64,
+    /// Final binary output.
+    pub suspect: bool,
+    /// Accepted heartbeats.
+    pub heartbeats: u64,
+    /// Final freshness point τ.
+    pub freshness_point: Option<Instant>,
+    /// Full trust/suspect transition log.
+    pub transitions: Vec<Transition>,
+}
+
+/// One full pass over the workload under one expiry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Per-stream digests, sorted by stream id.
+    pub digests: Vec<StreamDigest>,
+    /// Heartbeat calls made.
+    pub heartbeats: u64,
+    /// Total transitions recorded across all streams.
+    pub transitions: u64,
+}
+
+/// Shard count the harness uses for a `--jobs` request: one shard per
+/// worker, rounded to a power of two like the service, capped at 64.
+pub fn shard_count(jobs: usize) -> usize {
+    effective_jobs(jobs).next_power_of_two().min(64)
+}
+
+/// Drive the whole workload under `policy`, sharded across the pool.
+///
+/// The outcome is a pure function of `(policy, workload)` — the shard
+/// partition depends only on [`stream_shard`] and each shard evolves
+/// independently — so any `jobs` value produces identical digests.
+pub fn drive(policy: ExpiryPolicy, w: &IngestWorkload, jobs: usize) -> DriveOutcome {
+    let shards = shard_count(jobs);
+    let mut parts: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for s in 0..w.streams {
+        parts[stream_shard(s, shards)].push(s);
+    }
+    let runs = par_map(&parts, jobs, |streams, _| drive_shard(policy, w, streams));
+
+    let mut digests = Vec::with_capacity(w.streams as usize);
+    let mut heartbeats = 0;
+    let mut transitions = 0;
+    for run in runs {
+        heartbeats += run.heartbeats;
+        transitions += run.transitions;
+        digests.extend(run.digests);
+    }
+    digests.sort_unstable_by_key(|d| d.stream);
+    DriveOutcome { digests, heartbeats, transitions }
+}
+
+/// Drive one shard's streams through the full timeline on simulated time.
+fn drive_shard(policy: ExpiryPolicy, w: &IngestWorkload, streams: &[u64]) -> DriveOutcome {
+    let mut core = ShardCore::new(policy, Duration::from_millis(1));
+    let spec = DetectorSpec::Chen(ChenConfig {
+        window: 100,
+        expected_interval: w.interval,
+        alpha: w.interval * 2,
+    });
+    for &s in streams {
+        core.register(s, &spec).expect("valid Chen spec");
+    }
+
+    // Arrivals inside a tick are staggered by *global* stream id — a pure
+    // function of the workload, so the timeline is identical under any
+    // shard partition — and a shard's stream list is id-ascending, so
+    // ingest time stays monotonic without leaning on the shard's clamp.
+    let stagger = Duration::from_nanos(w.interval.as_nanos() / (w.streams as i64 + 1));
+    let mut heartbeats = 0;
+    for tick in 0..w.ticks {
+        let tick_start = Instant::ZERO + w.interval * tick as i64;
+        for &s in streams {
+            if w.silent(s, tick) {
+                continue;
+            }
+            core.heartbeat(s, tick, tick_start + stagger * (s as i64 + 1));
+            heartbeats += 1;
+        }
+        core.advance(tick_start + w.interval);
+    }
+    // Epilogue: a far-forward advance expires every stream at once (the
+    // wheel's bulk-cascade worst case; the scan's usual full pass).
+    let final_now = Instant::ZERO + w.interval * (w.ticks as i64 + 64);
+    core.advance(final_now);
+
+    let mut transitions = 0;
+    let digests = streams
+        .iter()
+        .map(|&s| {
+            let snap = core.snapshot(s, final_now).expect("registered stream");
+            let log = core.transitions(s).expect("registered stream").to_vec();
+            transitions += log.len() as u64;
+            StreamDigest {
+                stream: s,
+                suspect: snap.suspect,
+                heartbeats: snap.heartbeats,
+                freshness_point: snap.freshness_point,
+                transitions: log,
+            }
+        })
+        .collect();
+    DriveOutcome { digests, heartbeats, transitions }
+}
+
+/// Measured result at one stream scale: both policies timed over the
+/// same workload, plus the equality verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleResult {
+    /// Streams driven.
+    pub streams: u64,
+    /// Heartbeat calls per pass.
+    pub heartbeats: u64,
+    /// Transitions recorded per pass.
+    pub transitions: u64,
+    /// The O(streams)-per-tick scan policy.
+    pub scan: PassTiming,
+    /// The O(expiries)-per-tick timing-wheel policy.
+    pub wheel: PassTiming,
+    /// Did both policies produce identical per-stream digests?
+    pub outputs_identical: bool,
+}
+
+impl ScaleResult {
+    /// Wheel speedup over scan at this scale — the headline number.
+    pub fn wheel_vs_scan(&self) -> f64 {
+        self.scan.wall_secs / self.wheel.wall_secs
+    }
+}
+
+/// Run both policies at one scale and compare their digests.
+pub fn run_scale(w: &IngestWorkload, jobs: usize) -> ScaleResult {
+    let (scan, scan_secs) = timed(|| drive(ExpiryPolicy::Scan, w, jobs));
+    let (wheel, wheel_secs) = timed(|| drive(ExpiryPolicy::Wheel, w, jobs));
+    ScaleResult {
+        streams: w.streams,
+        heartbeats: scan.heartbeats,
+        transitions: scan.transitions,
+        scan: PassTiming { wall_secs: scan_secs, replayed_heartbeats: scan.heartbeats },
+        wheel: PassTiming { wall_secs: wheel_secs, replayed_heartbeats: wheel.heartbeats },
+        outputs_identical: scan == wheel,
+    }
+}
+
+/// The `BENCH_ingest.json` payload: one [`ScaleResult`] per stream scale
+/// plus the run's worker/shard topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestBenchReport {
+    /// Ticks simulated per pass.
+    pub ticks: u64,
+    /// Simulated heartbeat interval.
+    pub interval: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Cores available on the machine that produced this report.
+    pub cores: usize,
+    /// Shard cores the streams were partitioned across.
+    pub shards: usize,
+    /// One entry per `--streams` scale, ascending.
+    pub scales: Vec<ScaleResult>,
+}
+
+impl IngestBenchReport {
+    /// Did every scale produce identical scan/wheel outputs?
+    pub fn outputs_identical(&self) -> bool {
+        self.scales.iter().all(|s| s.outputs_identical)
+    }
+
+    /// Render the report as pretty-printed JSON (hand-rolled, like
+    /// `BENCH_sweep.json`, so a stubbed `serde_json` cannot block it).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"bench\": \"ingest\",");
+        let _ = writeln!(s, "  \"ticks\": {},", self.ticks);
+        let _ = writeln!(s, "  \"interval_ms\": {},", json_f64(self.interval.as_millis_f64()));
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"shards\": {},", self.shards);
+        let _ = writeln!(s, "  \"scales\": [");
+        for (i, sc) in self.scales.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"streams\": {},", sc.streams);
+            let _ = writeln!(s, "      \"heartbeats\": {},", sc.heartbeats);
+            let _ = writeln!(s, "      \"transitions\": {},", sc.transitions);
+            let _ = writeln!(s, "      \"wall_secs\": {{");
+            let _ = writeln!(s, "        \"scan\": {},", json_f64(sc.scan.wall_secs));
+            let _ = writeln!(s, "        \"wheel\": {}", json_f64(sc.wheel.wall_secs));
+            let _ = writeln!(s, "      }},");
+            let _ = writeln!(s, "      \"heartbeats_per_sec\": {{");
+            let _ = writeln!(s, "        \"scan\": {},", json_f64(sc.scan.heartbeats_per_sec()));
+            let _ = writeln!(s, "        \"wheel\": {}", json_f64(sc.wheel.heartbeats_per_sec()));
+            let _ = writeln!(s, "      }},");
+            let _ = writeln!(s, "      \"wheel_vs_scan\": {},", json_f64(sc.wheel_vs_scan()));
+            let _ = writeln!(s, "      \"outputs_identical\": {}", sc.outputs_identical);
+            let comma = if i + 1 < self.scales.len() { "," } else { "" };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"outputs_identical\": {}", self.outputs_identical());
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// One human summary line per scale for the bench log.
+    pub fn summary(&self) -> String {
+        self.scales
+            .iter()
+            .map(|sc| {
+                format!(
+                    "{} streams: {} hb, {} transitions — scan {:.2}s, wheel {:.2}s \
+                     → {:.2}× wheel, {:.0} hb/s, identical={}",
+                    sc.streams,
+                    sc.heartbeats,
+                    sc.transitions,
+                    sc.scan.wall_secs,
+                    sc.wheel.wall_secs,
+                    sc.wheel_vs_scan(),
+                    sc.wheel.heartbeats_per_sec(),
+                    sc.outputs_identical,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> IngestWorkload {
+        IngestWorkload::at_scale(64, 40)
+    }
+
+    #[test]
+    fn scan_and_wheel_agree_stream_for_stream() {
+        let w = small();
+        let scan = drive(ExpiryPolicy::Scan, &w, 1);
+        let wheel = drive(ExpiryPolicy::Wheel, &w, 1);
+        assert_eq!(scan, wheel);
+        assert_eq!(scan.digests.len(), 64);
+        assert_eq!(scan.heartbeats, w.heartbeat_calls());
+    }
+
+    #[test]
+    fn drive_is_independent_of_jobs() {
+        let w = small();
+        let serial = drive(ExpiryPolicy::Wheel, &w, 1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(drive(ExpiryPolicy::Wheel, &w, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_produces_the_expected_transitions() {
+        let w = small();
+        let out = drive(ExpiryPolicy::Wheel, &w, 1);
+        for d in &out.digests {
+            assert!(d.suspect, "far-forward epilogue expires every stream");
+            let expected = if d.stream % 8 == 3 {
+                // Silent window: suspect, revived to trust, final suspect.
+                3
+            } else {
+                // Only the epilogue.
+                1
+            };
+            assert_eq!(d.transitions.len(), expected, "stream {}", d.stream);
+            assert!(d.transitions.last().unwrap().suspect);
+        }
+    }
+
+    #[test]
+    fn run_scale_reports_equality_and_counts() {
+        let sc = run_scale(&small(), 2);
+        assert!(sc.outputs_identical);
+        assert_eq!(sc.streams, 64);
+        assert_eq!(sc.heartbeats, small().heartbeat_calls());
+        assert!(sc.transitions > 64, "silent streams add revival churn");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = IngestBenchReport {
+            ticks: 40,
+            interval: Duration::from_millis(100),
+            jobs: 2,
+            cores: 2,
+            shards: 2,
+            scales: vec![run_scale(&small(), 2)],
+        };
+        let js = report.to_json();
+        assert!(js.starts_with("{\n") && js.ends_with("}\n"));
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+        assert!(js.contains("\"bench\": \"ingest\""));
+        assert!(js.contains("\"streams\": 64"));
+        assert!(js.contains("\"outputs_identical\": true"));
+        assert!(!js.contains(",\n  }") && !js.contains(",\n}") && !js.contains(",\n  ]"));
+        assert!(report.summary().contains("identical=true"));
+    }
+
+    #[test]
+    fn shard_count_follows_the_service_rounding() {
+        assert_eq!(shard_count(1), 1);
+        assert_eq!(shard_count(3), 4);
+        assert_eq!(shard_count(1000), 64);
+    }
+}

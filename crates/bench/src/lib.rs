@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod ingest;
 pub mod timing;
 
 use sfd_core::bertier::BertierConfig;
@@ -32,7 +33,7 @@ use sfd_core::phi::PhiConfig;
 use sfd_core::qos::QosSpec;
 use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
-use sfd_qos::eval::{EvalConfig, EvalScratch, ReplayEvaluator, ReplaySchedule};
+use sfd_qos::eval::{EvalConfig, EvalScratch, ReplaySchedule};
 use sfd_qos::parallel::par_map_with;
 use sfd_qos::report::{CurveSeries, ExperimentResult};
 use sfd_qos::sweep::{
@@ -181,86 +182,146 @@ pub fn comparison_points(plan: &ExperimentPlan) -> usize {
     plan.sm1.len() + plan.alphas.len() + 1 + plan.thresholds.len()
 }
 
+/// Per-workload evaluation context: the detector base configurations and
+/// the pre-indexed replay schedule every grid cell of that workload
+/// shares.
+struct WorkloadCtx {
+    eval: EvalConfig,
+    chen: ChenConfig,
+    phi: PhiConfig,
+    bertier: BertierConfig,
+    sfd: SfdConfig,
+    spec: QosSpec,
+    epoch: Duration,
+    schedule: ReplaySchedule,
+}
+
+impl WorkloadCtx {
+    fn new(trace: &Trace, plan: &ExperimentPlan) -> WorkloadCtx {
+        let interval = trace.interval;
+        WorkloadCtx {
+            eval: EvalConfig { warmup: plan.warmup },
+            chen: ChenConfig {
+                window: plan.window,
+                expected_interval: interval,
+                alpha: Duration::ZERO,
+            },
+            phi: PhiConfig {
+                window: plan.window,
+                expected_interval: interval,
+                threshold: 1.0,
+                min_std_fraction: 0.01,
+            },
+            bertier: BertierConfig {
+                window: plan.window,
+                expected_interval: interval,
+                ..Default::default()
+            },
+            sfd: SfdConfig {
+                window: plan.window,
+                expected_interval: interval,
+                initial_margin: Duration::ZERO,
+                feedback: FeedbackConfig {
+                    alpha: interval.mul_f64(2.0),
+                    beta: 0.5,
+                    ..Default::default()
+                },
+                fill_gaps: true,
+            },
+            spec: plan.spec,
+            epoch: plan.epoch,
+            schedule: ReplaySchedule::new(trace),
+        }
+    }
+}
+
 /// Run the full four-detector comparison on one trace, serially.
 pub fn run_comparison(id: &str, trace: &Trace, plan: &ExperimentPlan) -> ExperimentResult {
     run_comparison_jobs(id, trace, plan, 1)
 }
 
-/// Run the full four-detector comparison with the whole detector ×
-/// parameter grid flattened into one task list and fanned across up to
-/// `jobs` worker threads (`0` = all cores).
-///
-/// Flattening across detectors (rather than parallelising each sweep in
-/// turn) keeps every core busy through the tail of each sweep: a slow
-/// conservative Chen point can overlap with the φ grid instead of
-/// serialising behind its own sweep's barrier. Every point replays the
-/// shared [`ReplaySchedule`] zero-copy; output is bit-for-bit identical
-/// to the serial run for any job count.
+/// Run the full four-detector comparison on one trace with the detector ×
+/// parameter grid fanned across up to `jobs` workers — a one-workload
+/// [`run_comparisons_jobs`].
 pub fn run_comparison_jobs(
     id: &str,
     trace: &Trace,
     plan: &ExperimentPlan,
     jobs: usize,
 ) -> ExperimentResult {
-    let eval = EvalConfig { warmup: plan.warmup };
-    let interval = trace.interval;
-    let chen_cfg =
-        ChenConfig { window: plan.window, expected_interval: interval, alpha: Duration::ZERO };
-    let phi_cfg = PhiConfig {
-        window: plan.window,
-        expected_interval: interval,
-        threshold: 1.0,
-        min_std_fraction: 0.01,
-    };
-    let bertier_cfg =
-        BertierConfig { window: plan.window, expected_interval: interval, ..Default::default() };
-    let sfd_cfg = SfdConfig {
-        window: plan.window,
-        expected_interval: interval,
-        initial_margin: Duration::ZERO,
-        feedback: FeedbackConfig { alpha: interval.mul_f64(2.0), beta: 0.5, ..Default::default() },
-        fill_gaps: true,
-    };
+    run_comparisons_jobs(&[(id, trace, plan)], jobs).pop().expect("one workload in, one result out")
+}
 
-    let tasks = grid_tasks(plan);
-    let evaluator = ReplayEvaluator::new(eval);
-    let schedule = ReplaySchedule::new(trace);
-    let results = par_map_with(&tasks, jobs, EvalScratch::new, |scratch, task, _| match *task {
-        GridTask::Sfd(sm1) => {
-            sfd_point_on(&evaluator, &schedule, scratch, sfd_cfg, plan.spec, sm1, plan.epoch)
-        }
-        GridTask::Chen(alpha) => chen_point_on(&evaluator, &schedule, scratch, chen_cfg, alpha),
-        GridTask::Bertier => bertier_point_on(&evaluator, &schedule, scratch, bertier_cfg),
-        GridTask::Phi(threshold) => {
-            phi_point_on(&evaluator, &schedule, scratch, phi_cfg, threshold)
+/// Run four-detector comparisons on **several workloads at once**: every
+/// `(workload, detector, parameter)` cell across all requested traces is
+/// flattened into one task list and fanned across up to `jobs` worker
+/// threads (`0` = all cores).
+///
+/// Flattening across workloads as well as detectors keeps every core
+/// busy through the tail of each experiment: the last slow conservative
+/// Chen point of WAN-2 overlaps with WAN-6's φ grid instead of
+/// serialising behind a per-workload barrier, and there are no nested
+/// scopes — one pool, one work index. Each cell replays its workload's
+/// shared [`ReplaySchedule`] zero-copy; results are returned in workload
+/// order and are bit-for-bit identical to serial runs for any job count.
+pub fn run_comparisons_jobs(
+    workloads: &[(&str, &Trace, &ExperimentPlan)],
+    jobs: usize,
+) -> Vec<ExperimentResult> {
+    let ctxs: Vec<WorkloadCtx> =
+        workloads.iter().map(|&(_, trace, plan)| WorkloadCtx::new(trace, plan)).collect();
+    let tasks: Vec<(usize, GridTask)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(w, &(_, _, plan))| grid_tasks(plan).into_iter().map(move |t| (w, t)))
+        .collect();
+
+    let results = par_map_with(&tasks, jobs, EvalScratch::new, |scratch, &(w, task), _| {
+        let ctx = &ctxs[w];
+        match task {
+            GridTask::Sfd(sm1) => {
+                sfd_point_on(ctx.eval, &ctx.schedule, scratch, ctx.sfd, ctx.spec, sm1, ctx.epoch)
+            }
+            GridTask::Chen(alpha) => {
+                chen_point_on(ctx.eval, &ctx.schedule, scratch, ctx.chen, alpha)
+            }
+            GridTask::Bertier => bertier_point_on(ctx.eval, &ctx.schedule, scratch, ctx.bertier),
+            GridTask::Phi(threshold) => {
+                phi_point_on(ctx.eval, &ctx.schedule, scratch, ctx.phi, threshold)
+            }
         }
     });
 
-    let mut sfd: Vec<SweepPoint> = Vec::new();
-    let mut chen: Vec<SweepPoint> = Vec::new();
-    let mut bertier: Vec<SweepPoint> = Vec::new();
-    let mut phi: Vec<SweepPoint> = Vec::new();
-    for (task, point) in tasks.iter().zip(results) {
+    // Demux grid cells back to their workloads; tasks are in (workload,
+    // series) order, so pushing in sequence preserves series order.
+    let mut buckets: Vec<[Vec<SweepPoint>; 4]> =
+        workloads.iter().map(|_| [Vec::new(), Vec::new(), Vec::new(), Vec::new()]).collect();
+    for (&(w, task), point) in tasks.iter().zip(results) {
         let Some(point) = point else { continue };
-        match task {
-            GridTask::Sfd(_) => sfd.push(point),
-            GridTask::Chen(_) => chen.push(point),
-            GridTask::Bertier => bertier.push(point),
-            GridTask::Phi(_) => phi.push(point),
-        }
+        let series = match task {
+            GridTask::Sfd(_) => 0,
+            GridTask::Chen(_) => 1,
+            GridTask::Bertier => 2,
+            GridTask::Phi(_) => 3,
+        };
+        buckets[w][series].push(point);
     }
 
-    ExperimentResult {
-        id: id.to_string(),
-        workload: trace.name.clone(),
-        heartbeats: trace.sent(),
-        series: vec![
-            CurveSeries::from_sweep(DetectorKind::Sfd, sfd),
-            CurveSeries::from_sweep(DetectorKind::Chen, chen),
-            CurveSeries::from_sweep(DetectorKind::Bertier, bertier),
-            CurveSeries::from_sweep(DetectorKind::Phi, phi),
-        ],
-    }
+    workloads
+        .iter()
+        .zip(buckets)
+        .map(|(&(id, trace, _), [sfd, chen, bertier, phi])| ExperimentResult {
+            id: id.to_string(),
+            workload: trace.name.clone(),
+            heartbeats: trace.sent(),
+            series: vec![
+                CurveSeries::from_sweep(DetectorKind::Sfd, sfd),
+                CurveSeries::from_sweep(DetectorKind::Chen, chen),
+                CurveSeries::from_sweep(DetectorKind::Bertier, bertier),
+                CurveSeries::from_sweep(DetectorKind::Phi, phi),
+            ],
+        })
+        .collect()
 }
 
 /// Print the figure-style summary: per detector, the TD range covered and
@@ -323,6 +384,31 @@ mod tests {
         assert_eq!(r.series[2].points.len(), 1); // Bertier: one point
         assert!(!r.series[3].points.is_empty());
         print_figure_summary(&r); // must not panic
+    }
+
+    #[test]
+    fn flattened_multi_workload_matches_per_workload_serial() {
+        let traces: Vec<Trace> =
+            [WanCase::Wan2, WanCase::Wan4].iter().map(|c| c.preset().generate(25_000)).collect();
+        let plans: Vec<ExperimentPlan> = traces
+            .iter()
+            .map(|t| {
+                let mut plan =
+                    ExperimentPlan::standard(t.interval, ExperimentPlan::paper_spec(t.interval));
+                plan.alphas.truncate(3);
+                plan.thresholds.truncate(3);
+                plan.sm1.truncate(2);
+                plan.warmup = 500;
+                plan
+            })
+            .collect();
+        let workloads: Vec<(&str, &Trace, &ExperimentPlan)> =
+            traces.iter().zip(&plans).map(|(t, p)| (t.name.as_str(), t as &Trace, p)).collect();
+        let serial: Vec<ExperimentResult> =
+            workloads.iter().map(|&(id, trace, plan)| run_comparison(id, trace, plan)).collect();
+        for jobs in [1, 2, 4] {
+            assert_eq!(run_comparisons_jobs(&workloads, jobs), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct SweepBenchReport {
     pub jobs: usize,
     /// Cores available on the machine that produced this report.
     pub cores: usize,
+    /// `jobs > cores`: the parallel pass time-sliced more workers than
+    /// the machine has cores, so thread-scaling speedup is meaningless
+    /// (reported as `null`).
+    pub oversubscribed: bool,
     /// The pre-optimisation path (per-point sort + binary-search lookups).
     pub baseline: PassTiming,
     /// The schedule-sharing engine, single worker.
@@ -62,7 +66,7 @@ pub struct SweepBenchReport {
     pub outputs_identical: bool,
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
     } else {
@@ -98,6 +102,7 @@ impl SweepBenchReport {
         let _ = writeln!(s, "  \"grid_points\": {},", self.grid_points);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"oversubscribed\": {},", self.oversubscribed);
         let _ = writeln!(s, "  \"wall_secs\": {{");
         let _ = writeln!(s, "    \"baseline\": {},", json_f64(self.baseline.wall_secs));
         let _ = writeln!(s, "    \"serial\": {},", json_f64(self.serial.wall_secs));
@@ -111,7 +116,10 @@ impl SweepBenchReport {
         let _ = writeln!(s, "  \"speedup\": {{");
         let _ =
             writeln!(s, "    \"parallel_vs_baseline\": {},", json_f64(self.speedup_vs_baseline()));
-        let _ = writeln!(s, "    \"parallel_vs_serial\": {},", json_f64(self.speedup_vs_serial()));
+        // On an oversubscribed run the parallel/serial ratio measures
+        // scheduler time-slicing, not thread scaling — suppress it.
+        let par_vs_serial = if self.oversubscribed { f64::NAN } else { self.speedup_vs_serial() };
+        let _ = writeln!(s, "    \"parallel_vs_serial\": {},", json_f64(par_vs_serial));
         let _ = writeln!(
             s,
             "    \"serial_vs_baseline\": {}",
@@ -130,9 +138,14 @@ impl SweepBenchReport {
 
     /// One-line human summary for the bench log.
     pub fn summary(&self) -> String {
+        let threads = if self.oversubscribed {
+            format!("oversubscribed: {} jobs on {} cores", self.jobs, self.cores)
+        } else {
+            format!("{:.2}× threads", self.speedup_vs_serial())
+        };
         format!(
             "{} grid: {} pts × {} hb — baseline {:.2}s, serial {:.2}s, parallel({} jobs) {:.2}s \
-             → {:.2}× vs baseline ({:.2}× threads × {:.2}× hot path), {:.0} hb/s, identical={}",
+             → {:.2}× vs baseline ({} × {:.2}× hot path), {:.0} hb/s, identical={}",
             self.grid,
             self.grid_points,
             self.trace_heartbeats,
@@ -141,7 +154,7 @@ impl SweepBenchReport {
             self.jobs,
             self.parallel.wall_secs,
             self.speedup_vs_baseline(),
-            self.speedup_vs_serial(),
+            threads,
             self.serial_speedup_vs_baseline(),
             self.parallel.heartbeats_per_sec(),
             self.outputs_identical,
@@ -161,6 +174,7 @@ mod tests {
             grid_points: 47,
             jobs: 4,
             cores: 4,
+            oversubscribed: false,
             baseline: PassTiming { wall_secs: 10.0, replayed_heartbeats: 7_000_000 },
             serial: PassTiming { wall_secs: 4.0, replayed_heartbeats: 7_000_000 },
             parallel: PassTiming { wall_secs: 1.0, replayed_heartbeats: 7_000_000 },
@@ -193,6 +207,20 @@ mod tests {
         assert!(js.contains("\"outputs_identical\": true"));
         // No trailing commas before closing braces.
         assert!(!js.contains(",\n  }") && !js.contains(",\n}"));
+    }
+
+    #[test]
+    fn oversubscribed_suppresses_thread_speedup() {
+        let mut r = report();
+        r.cores = 1;
+        r.oversubscribed = true;
+        let js = r.to_json();
+        assert!(js.contains("\"oversubscribed\": true"));
+        assert!(js.contains("\"parallel_vs_serial\": null"));
+        // The hot-path and end-to-end numbers stay: they compare equal
+        // worker counts and are unaffected by time-slicing.
+        assert!(js.contains("\"serial_vs_baseline\": 2.5000"));
+        assert!(r.summary().contains("oversubscribed: 4 jobs on 1 cores"));
     }
 
     #[test]

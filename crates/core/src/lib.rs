@@ -64,6 +64,7 @@ pub mod gapfill;
 pub mod histogram;
 pub mod metrics;
 pub mod monitor;
+pub mod par;
 pub mod phi;
 pub mod qos;
 pub mod registry;

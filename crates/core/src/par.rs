@@ -1,0 +1,123 @@
+//! Order-preserving work-stealing map over scoped threads — the one
+//! thread pool every layer of the workspace shares.
+//!
+//! Lives in `sfd-core` (rather than the QoS crate where it started) so
+//! that trace *generation* can fan chunks across the same primitives the
+//! sweep engine uses for replay, without `sfd-trace` depending on
+//! `sfd-qos`. The contract is the determinism one: output order equals
+//! input order for any job count, so anything built on [`par_map_with`]
+//! is bit-for-bit identical to its serial equivalent as long as each
+//! item's result is a pure function of the item.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a `--jobs` request: `0` means "one worker per available core".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` scoped worker threads, preserving
+/// input order in the output. Each worker gets its own state from `init`
+/// (scratch buffers, etc.). `jobs == 0` uses all available cores; with one
+/// job (or one item) the map runs inline on the calling thread.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map_with<T, S, R, I, F>(items: &[T], jobs: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T, usize) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, t, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        produced.push((i, f(&mut state, item, i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, r) in worker.join().expect("pool worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("work index covered every item")).collect()
+}
+
+/// [`par_map_with`] without worker-local state.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, usize) -> R + Sync,
+{
+    par_map_with(items, jobs, || (), |(), t, i| f(t, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [0, 1, 2, 3, 7] {
+            let out = par_map(&items, jobs, |&x, i| x * 2 + i as u64);
+            let expect: Vec<u64> =
+                items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        let items: Vec<u32> = (0..50).collect();
+        // State counts how many items this worker processed; the result
+        // must not depend on it — only on the item.
+        let out = par_map_with(
+            &items,
+            4,
+            || 0u32,
+            |seen, &x, _| {
+                *seen += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(&empty, 4, |&x, _| x).is_empty());
+        assert_eq!(par_map(&[7u8], 4, |&x, _| x), vec![7]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+}

@@ -9,8 +9,8 @@
 //! * **Adjustment rate `β`** (paper Eq. 13): "the value β is for the
 //!   adjusting rate, and it could be dynamically chosen by users".
 
-use crate::convergence::run_convergence;
-use crate::eval::{EvalConfig, ReplayEvaluator};
+use crate::convergence::run_convergence_on;
+use crate::eval::{EvalConfig, EvalScratch, Evaluation, ReplaySchedule};
 use serde::{Deserialize, Serialize};
 use sfd_core::detector::SelfTuning;
 use sfd_core::feedback::FeedbackConfig;
@@ -39,16 +39,21 @@ pub fn gap_fill_ablation(
     epoch: Duration,
     eval: EvalConfig,
 ) -> Option<GapFillAblation> {
-    let evaluator = ReplayEvaluator::new(eval);
-    let run = |fill: bool| -> Option<(QosMeasured, u64)> {
+    let schedule = ReplaySchedule::new(trace);
+    let mut scratch = EvalScratch::new();
+    let run = |fill: bool, scratch: &mut EvalScratch| -> Option<(QosMeasured, u64)> {
         let mut fd = SfdFd::new(SfdConfig { fill_gaps: fill, ..base }, spec);
-        let r = evaluator.evaluate_with_epochs(&mut fd, trace, epoch, |d, q| {
-            let _ = d.apply_feedback(q);
-        })?;
+        let r = Evaluation::over(&schedule)
+            .config(eval)
+            .scratch(scratch)
+            .epochs(epoch)
+            .run_with_epochs(&mut fd, |d, q| {
+                let _ = d.apply_feedback(q);
+            })?;
         Some((r.qos, fd.synthetic_samples()))
     };
-    let (with_fill, synthetic) = run(true)?;
-    let (without_fill, _) = run(false)?;
+    let (with_fill, synthetic) = run(true, &mut scratch)?;
+    let (without_fill, _) = run(false, &mut scratch)?;
     Some(GapFillAblation { with_fill, without_fill, synthetic_samples: synthetic })
 }
 
@@ -69,13 +74,14 @@ pub struct TuningAblationRow {
 
 fn convergence_row(
     value: f64,
-    trace: &Trace,
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
     cfg: SfdConfig,
     spec: QosSpec,
     epoch: Duration,
     eval: EvalConfig,
 ) -> Option<TuningAblationRow> {
-    let rep = run_convergence(trace, cfg, spec, epoch, eval)?;
+    let rep = run_convergence_on(schedule, scratch, cfg, spec, epoch, eval)?;
     Some(TuningAblationRow {
         value,
         first_hold: rep.first_hold,
@@ -107,8 +113,9 @@ pub fn epoch_length_ablation_jobs(
     eval: EvalConfig,
     jobs: usize,
 ) -> Vec<TuningAblationRow> {
-    crate::parallel::par_map(epochs, jobs, |&epoch, _| {
-        convergence_row(epoch.as_secs_f64(), trace, cfg, spec, epoch, eval)
+    let schedule = ReplaySchedule::new(trace);
+    crate::parallel::par_map_with(epochs, jobs, EvalScratch::new, |scratch, &epoch, _| {
+        convergence_row(epoch.as_secs_f64(), &schedule, scratch, cfg, spec, epoch, eval)
     })
     .into_iter()
     .flatten()
@@ -138,9 +145,10 @@ pub fn beta_ablation_jobs(
     eval: EvalConfig,
     jobs: usize,
 ) -> Vec<TuningAblationRow> {
-    crate::parallel::par_map(betas, jobs, |&beta, _| {
+    let schedule = ReplaySchedule::new(trace);
+    crate::parallel::par_map_with(betas, jobs, EvalScratch::new, |scratch, &beta, _| {
         let cfg = SfdConfig { feedback: FeedbackConfig { beta, ..cfg.feedback }, ..cfg };
-        convergence_row(beta, trace, cfg, spec, epoch, eval)
+        convergence_row(beta, &schedule, scratch, cfg, spec, epoch, eval)
     })
     .into_iter()
     .flatten()

@@ -6,7 +6,7 @@
 //! multiple freshness points τ to reduce the MR of output QoS" and the
 //! infeasibility response.
 
-use crate::eval::{EvalConfig, ReplayEvaluator};
+use crate::eval::{EvalConfig, EvalScratch, Evaluation, ReplaySchedule};
 use serde::{Deserialize, Serialize};
 use sfd_core::detector::SelfTuning;
 use sfd_core::feedback::Sat;
@@ -64,18 +64,38 @@ pub fn run_convergence(
     epoch_len: Duration,
     eval: EvalConfig,
 ) -> Option<ConvergenceReport> {
-    let evaluator = ReplayEvaluator::new(eval);
+    let schedule = ReplaySchedule::new(trace);
+    let mut scratch = EvalScratch::new();
+    run_convergence_on(&schedule, &mut scratch, cfg, spec, epoch_len, eval)
+}
+
+/// [`run_convergence`] against a pre-resolved [`ReplaySchedule`] and a
+/// reusable [`EvalScratch`] — the building block ablation grids and bench
+/// bins fan out over worker threads, resolving the trace once per sweep
+/// instead of once per row.
+pub fn run_convergence_on(
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
+    cfg: SfdConfig,
+    spec: QosSpec,
+    epoch_len: Duration,
+    eval: EvalConfig,
+) -> Option<ConvergenceReport> {
     let mut fd = SfdFd::new(cfg, spec);
     let mut epochs: Vec<EpochSnapshot> = Vec::new();
-    let report = evaluator.evaluate_with_epochs(&mut fd, trace, epoch_len, |d, q| {
-        let decision = d.apply_feedback(q);
-        epochs.push(EpochSnapshot {
-            epoch: epochs.len() as u64,
-            margin: d.margin(),
-            sat: decision.sat(),
-            qos: *q,
-        });
-    })?;
+    let report = Evaluation::over(schedule)
+        .config(eval)
+        .scratch(scratch)
+        .epochs(epoch_len)
+        .run_with_epochs(&mut fd, |d, q| {
+            let decision = d.apply_feedback(q);
+            epochs.push(EpochSnapshot {
+                epoch: epochs.len() as u64,
+                margin: d.margin(),
+                sat: decision.sat(),
+                qos: *q,
+            });
+        })?;
 
     let first_hold = epochs.iter().find(|e| e.sat == Some(Sat::Hold)).map(|e| e.epoch);
     let infeasible_epochs = epochs.iter().filter(|e| e.sat.is_none()).count() as u64;

@@ -139,7 +139,154 @@ impl Default for EvalScratch {
     }
 }
 
+/// Builder-style entry point for a replay evaluation — the one way to run
+/// the paper's Sec. V methodology.
+///
+/// Start from a trace ([`Evaluation::of`]) or a pre-resolved schedule
+/// ([`Evaluation::over`]), chain the knobs you need, and finish with
+/// [`Evaluation::run`] (plain replay) or [`Evaluation::run_with_epochs`]
+/// (Algorithm-1 feedback hook). Everything not set takes the obvious
+/// default: `EvalConfig::default()` warm-up, a fresh [`EvalScratch`], no
+/// epoch ticking.
+///
+/// ```
+/// use sfd_qos::eval::Evaluation;
+/// use sfd_core::chen::{ChenConfig, ChenFd};
+/// use sfd_core::time::Duration;
+/// use sfd_trace::presets::WanCase;
+///
+/// let trace = WanCase::Wan3.preset().generate(30_000);
+/// let mut fd = ChenFd::new(ChenConfig {
+///     window: 500,
+///     expected_interval: trace.interval,
+///     alpha: Duration::from_millis(50),
+/// });
+/// let report = Evaluation::of(&trace).warmup(500).run(&mut fd).unwrap();
+/// assert!(report.qos.detection_time > Duration::ZERO);
+/// ```
+///
+/// ## Migrating from the old four-way `ReplayEvaluator` surface
+///
+/// | deprecated call | builder equivalent |
+/// |---|---|
+/// | `ReplayEvaluator::new(cfg).evaluate(&mut d, &trace)` | `Evaluation::of(&trace).config(cfg).run(&mut d)` |
+/// | `….evaluate_with_epochs(&mut d, &trace, len, hook)` | `Evaluation::of(&trace).config(cfg).epochs(len).run_with_epochs(&mut d, hook)` |
+/// | `….evaluate_scheduled(&mut d, &sched, &mut scratch)` | `Evaluation::over(&sched).config(cfg).scratch(&mut scratch).run(&mut d)` |
+/// | `….evaluate_scheduled_with_epochs(&mut d, &sched, &mut scratch, len, hook)` | `Evaluation::over(&sched).config(cfg).scratch(&mut scratch).epochs(len).run_with_epochs(&mut d, hook)` |
+///
+/// Sweeps that share one schedule across many points keep doing exactly
+/// that: build the [`ReplaySchedule`] once, then one cheap `Evaluation`
+/// per point over it.
+#[must_use = "an Evaluation does nothing until .run() / .run_with_epochs()"]
+pub struct Evaluation<'a> {
+    source: EvalSource<'a>,
+    cfg: EvalConfig,
+    scratch: Option<&'a mut EvalScratch>,
+    epoch_len: Duration,
+}
+
+enum EvalSource<'a> {
+    Trace(&'a Trace),
+    Schedule(&'a ReplaySchedule),
+}
+
+impl<'a> Evaluation<'a> {
+    /// Evaluate against `trace`; the replay schedule is resolved at
+    /// [`Evaluation::run`] time (once, for this run only).
+    pub fn of(trace: &'a Trace) -> Self {
+        Evaluation {
+            source: EvalSource::Trace(trace),
+            cfg: EvalConfig::default(),
+            scratch: None,
+            epoch_len: Duration::MAX,
+        }
+    }
+
+    /// Evaluate against a pre-resolved schedule, zero-copy — the sweep hot
+    /// path, where many points share one [`ReplaySchedule`].
+    pub fn over(schedule: &'a ReplaySchedule) -> Self {
+        Evaluation {
+            source: EvalSource::Schedule(schedule),
+            cfg: EvalConfig::default(),
+            scratch: None,
+            epoch_len: Duration::MAX,
+        }
+    }
+
+    /// Replace the replay source with a pre-resolved schedule (overrides
+    /// the trace given to [`Evaluation::of`]).
+    pub fn schedule(mut self, schedule: &'a ReplaySchedule) -> Self {
+        self.source = EvalSource::Schedule(schedule);
+        self
+    }
+
+    /// Set the full evaluation configuration.
+    pub fn config(mut self, cfg: EvalConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set just the warm-up delivery count.
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.cfg.warmup = warmup;
+        self
+    }
+
+    /// Reuse caller-owned working memory instead of allocating a fresh
+    /// [`EvalScratch`] — keeps sweep loops allocation-free per point.
+    pub fn scratch(mut self, scratch: &'a mut EvalScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Tick epochs every `epoch_len` of trace time. Only observable
+    /// through [`Evaluation::run_with_epochs`]'s hook; a plain
+    /// [`Evaluation::run`] with epochs set measures identically to one
+    /// without (the rollover only refreshes detector-derived state).
+    pub fn epochs(mut self, epoch_len: Duration) -> Self {
+        self.epoch_len = epoch_len;
+        self
+    }
+
+    /// Replay and measure. Returns `None` if the source has fewer
+    /// post-warm-up deliveries than needed to measure anything.
+    pub fn run<D: FailureDetector + ?Sized>(self, detector: &mut D) -> Option<EvalReport> {
+        self.run_with_epochs(detector, |_, _| {})
+    }
+
+    /// Replay with the epoch feedback hook: `on_epoch(detector,
+    /// epoch_qos)` fires every [`Evaluation::epochs`] of trace time with
+    /// the QoS measured over that epoch — where Algorithm 1's
+    /// `apply_feedback` plugs in.
+    pub fn run_with_epochs<D, F>(self, detector: &mut D, on_epoch: F) -> Option<EvalReport>
+    where
+        D: FailureDetector + ?Sized,
+        F: FnMut(&mut D, &QosMeasured),
+    {
+        let Evaluation { source, cfg, scratch, epoch_len } = self;
+        let built;
+        let schedule = match source {
+            EvalSource::Schedule(s) => s,
+            EvalSource::Trace(t) => {
+                built = ReplaySchedule::new(t);
+                &built
+            }
+        };
+        match scratch {
+            Some(s) => replay(cfg, detector, schedule, s, epoch_len, on_epoch),
+            None => {
+                let mut s = EvalScratch::new();
+                replay(cfg, detector, schedule, &mut s, epoch_len, on_epoch)
+            }
+        }
+    }
+}
+
 /// Replays traces through detectors.
+///
+/// Superseded by the [`Evaluation`] builder; the struct remains as the
+/// namespace for the deprecated compatibility shims (see the migration
+/// table on [`Evaluation`]).
 #[derive(Debug, Clone, Default)]
 pub struct ReplayEvaluator {
     cfg: EvalConfig,
@@ -157,25 +304,20 @@ impl ReplayEvaluator {
     }
 
     /// Replay `trace` through `detector` and measure its QoS.
-    ///
-    /// Returns `None` if the trace has fewer post-warm-up deliveries than
-    /// needed to measure anything.
-    ///
-    /// Convenience wrapper: builds a fresh [`ReplaySchedule`] and
-    /// [`EvalScratch`] per call. Loops that evaluate many detectors against
-    /// the same trace should build both once and call
-    /// [`ReplayEvaluator::evaluate_scheduled`] instead.
+    #[deprecated(since = "0.6.0", note = "use Evaluation::of(trace).config(cfg).run(detector)")]
     pub fn evaluate<D: FailureDetector + ?Sized>(
         &self,
         detector: &mut D,
         trace: &Trace,
     ) -> Option<EvalReport> {
-        self.evaluate_with_epochs(detector, trace, Duration::MAX, |_, _| {})
+        Evaluation::of(trace).config(self.cfg).run(detector)
     }
 
-    /// Replay with an epoch callback: `on_epoch(detector, epoch_qos)` is
-    /// invoked every `epoch_len` of trace time with the QoS measured over
-    /// that epoch — the hook the self-tuning feedback loop plugs into.
+    /// Replay with an epoch callback.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Evaluation::of(trace).config(cfg).epochs(len).run_with_epochs(detector, hook)"
+    )]
     pub fn evaluate_with_epochs<D, F>(
         &self,
         detector: &mut D,
@@ -187,144 +329,168 @@ impl ReplayEvaluator {
         D: FailureDetector + ?Sized,
         F: FnMut(&mut D, &QosMeasured),
     {
-        let schedule = ReplaySchedule::new(trace);
-        let mut scratch = EvalScratch::new();
-        self.evaluate_scheduled_with_epochs(detector, &schedule, &mut scratch, epoch_len, on_epoch)
+        Evaluation::of(trace).config(self.cfg).epochs(epoch_len).run_with_epochs(detector, on_epoch)
     }
 
-    /// Replay a pre-resolved schedule through `detector`, reusing
-    /// `scratch`'s buffers. The hot path of the sweep engine: O(1) and
-    /// allocation-free per delivered heartbeat in steady state.
+    /// Replay a pre-resolved schedule through `detector`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Evaluation::over(schedule).config(cfg).scratch(scratch).run(detector)"
+    )]
     pub fn evaluate_scheduled<D: FailureDetector + ?Sized>(
         &self,
         detector: &mut D,
         schedule: &ReplaySchedule,
         scratch: &mut EvalScratch,
     ) -> Option<EvalReport> {
-        self.evaluate_scheduled_with_epochs(detector, schedule, scratch, Duration::MAX, |_, _| {})
+        Evaluation::over(schedule).config(self.cfg).scratch(scratch).run(detector)
     }
 
-    /// [`ReplayEvaluator::evaluate_scheduled`] with the epoch feedback
-    /// hook (see [`ReplayEvaluator::evaluate_with_epochs`]).
+    /// Replay a pre-resolved schedule with the epoch feedback hook.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Evaluation::over(schedule).config(cfg).scratch(scratch).epochs(len).run_with_epochs(detector, hook)"
+    )]
     pub fn evaluate_scheduled_with_epochs<D, F>(
         &self,
         detector: &mut D,
         schedule: &ReplaySchedule,
         scratch: &mut EvalScratch,
         epoch_len: Duration,
-        mut on_epoch: F,
+        on_epoch: F,
     ) -> Option<EvalReport>
     where
         D: FailureDetector + ?Sized,
         F: FnMut(&mut D, &QosMeasured),
     {
-        if schedule.steps.len() <= self.cfg.warmup {
-            return None;
-        }
-        scratch.reset();
-        let log = &mut scratch.log;
-        let td_hist = &mut scratch.td_hist;
-        let mut td_sum = 0.0f64;
-        let mut td_count = 0u64;
-        let mut td_max = Duration::ZERO;
-        // Epoch-local TD accumulation for the feedback callback.
-        let mut epoch_td_sum = 0.0f64;
-        let mut epoch_td_count = 0u64;
-
-        let mut measured_from = None;
-        let mut prev_fp: Option<Instant> = None;
-        let mut prev_arrival: Option<Instant> = None;
-        let mut epoch_start: Option<Instant> = None;
-
-        for (i, &(seq, sent, arrival)) in schedule.steps.iter().enumerate() {
-            // 1. Close the suspicion interval the previous freshness point
-            //    opened, if it started before this arrival.
-            if let (Some(fp), Some(pa)) = (prev_fp, prev_arrival) {
-                let suspect_from = fp.max(pa);
-                if suspect_from < arrival {
-                    log.record(suspect_from, true);
-                    log.record(arrival, false);
-                }
-            }
-
-            // 2. Feed the detector.
-            detector.heartbeat(seq, arrival);
-            let fp = detector.freshness_point();
-
-            // 3. Crash-after-send detection-time sample.
-            let in_measurement = i >= self.cfg.warmup;
-            if in_measurement {
-                if measured_from.is_none() {
-                    measured_from = Some(arrival);
-                    epoch_start = Some(arrival);
-                }
-                if let Some(fp) = fp {
-                    if fp != Instant::FAR_FUTURE {
-                        let suspected_at = fp.max(arrival);
-                        let td = suspected_at - sent;
-                        td_sum += td.as_secs_f64();
-                        td_count += 1;
-                        td_max = td_max.max(td);
-                        td_hist.record(td);
-                        epoch_td_sum += td.as_secs_f64();
-                        epoch_td_count += 1;
-                    }
-                }
-            }
-
-            prev_fp = fp;
-            prev_arrival = Some(arrival);
-
-            // 4. Epoch rollover for the feedback hook.
-            if let Some(es) = epoch_start {
-                if epoch_len != Duration::MAX && arrival - es >= epoch_len {
-                    let mut epoch_qos = log.accuracy_summary(es, arrival);
-                    epoch_qos.detection_time = if epoch_td_count > 0 {
-                        Duration::from_secs_f64(epoch_td_sum / epoch_td_count as f64)
-                    } else {
-                        Duration::ZERO
-                    };
-                    on_epoch(detector, &epoch_qos);
-                    epoch_start = Some(arrival);
-                    epoch_td_sum = 0.0;
-                    epoch_td_count = 0;
-                    // A parameter change invalidates the pre-arrival
-                    // freshness point; recompute from current state.
-                    prev_fp = detector.freshness_point();
-                }
-            }
-        }
-
-        let measured_from = measured_from?;
-        let last_arrival = prev_arrival.expect("at least one delivery");
-        // Close any trailing suspicion up to the end of the trace.
-        let trace_end = schedule.trace_end;
-        if let Some(fp) = prev_fp {
-            let suspect_from = fp.max(last_arrival);
-            if suspect_from < trace_end {
-                log.record(suspect_from, true);
-            }
-        }
-
-        let mut qos = log.accuracy_summary(measured_from, trace_end);
-        qos.detection_time = if td_count > 0 {
-            Duration::from_secs_f64(td_sum / td_count as f64)
-        } else {
-            // Pure warm-up or always-far-future detector: report the span
-            // as a conservative upper bound.
-            trace_end - measured_from
-        };
-
-        Some(EvalReport {
-            qos,
-            max_detection_time: td_max,
-            td_histogram: td_hist.clone(),
-            td_samples: td_count,
-            deliveries: schedule.steps.len() as u64,
-            measured_from,
-            measured_to: trace_end,
-        })
+        Evaluation::over(schedule)
+            .config(self.cfg)
+            .scratch(scratch)
+            .epochs(epoch_len)
+            .run_with_epochs(detector, on_epoch)
     }
+}
+
+/// The replay loop itself — shared by every [`Evaluation`] run. O(1) and
+/// allocation-free per delivered heartbeat in steady state.
+fn replay<D, F>(
+    cfg: EvalConfig,
+    detector: &mut D,
+    schedule: &ReplaySchedule,
+    scratch: &mut EvalScratch,
+    epoch_len: Duration,
+    mut on_epoch: F,
+) -> Option<EvalReport>
+where
+    D: FailureDetector + ?Sized,
+    F: FnMut(&mut D, &QosMeasured),
+{
+    if schedule.steps.len() <= cfg.warmup {
+        return None;
+    }
+    scratch.reset();
+    let log = &mut scratch.log;
+    let td_hist = &mut scratch.td_hist;
+    let mut td_sum = 0.0f64;
+    let mut td_count = 0u64;
+    let mut td_max = Duration::ZERO;
+    // Epoch-local TD accumulation for the feedback callback.
+    let mut epoch_td_sum = 0.0f64;
+    let mut epoch_td_count = 0u64;
+
+    let mut measured_from = None;
+    let mut prev_fp: Option<Instant> = None;
+    let mut prev_arrival: Option<Instant> = None;
+    let mut epoch_start: Option<Instant> = None;
+
+    for (i, &(seq, sent, arrival)) in schedule.steps.iter().enumerate() {
+        // 1. Close the suspicion interval the previous freshness point
+        //    opened, if it started before this arrival.
+        if let (Some(fp), Some(pa)) = (prev_fp, prev_arrival) {
+            let suspect_from = fp.max(pa);
+            if suspect_from < arrival {
+                log.record(suspect_from, true);
+                log.record(arrival, false);
+            }
+        }
+
+        // 2. Feed the detector.
+        detector.heartbeat(seq, arrival);
+        let fp = detector.freshness_point();
+
+        // 3. Crash-after-send detection-time sample.
+        let in_measurement = i >= cfg.warmup;
+        if in_measurement {
+            if measured_from.is_none() {
+                measured_from = Some(arrival);
+                epoch_start = Some(arrival);
+            }
+            if let Some(fp) = fp {
+                if fp != Instant::FAR_FUTURE {
+                    let suspected_at = fp.max(arrival);
+                    let td = suspected_at - sent;
+                    td_sum += td.as_secs_f64();
+                    td_count += 1;
+                    td_max = td_max.max(td);
+                    td_hist.record(td);
+                    epoch_td_sum += td.as_secs_f64();
+                    epoch_td_count += 1;
+                }
+            }
+        }
+
+        prev_fp = fp;
+        prev_arrival = Some(arrival);
+
+        // 4. Epoch rollover for the feedback hook.
+        if let Some(es) = epoch_start {
+            if epoch_len != Duration::MAX && arrival - es >= epoch_len {
+                let mut epoch_qos = log.accuracy_summary(es, arrival);
+                epoch_qos.detection_time = if epoch_td_count > 0 {
+                    Duration::from_secs_f64(epoch_td_sum / epoch_td_count as f64)
+                } else {
+                    Duration::ZERO
+                };
+                on_epoch(detector, &epoch_qos);
+                epoch_start = Some(arrival);
+                epoch_td_sum = 0.0;
+                epoch_td_count = 0;
+                // A parameter change invalidates the pre-arrival
+                // freshness point; recompute from current state.
+                prev_fp = detector.freshness_point();
+            }
+        }
+    }
+
+    let measured_from = measured_from?;
+    let last_arrival = prev_arrival.expect("at least one delivery");
+    // Close any trailing suspicion up to the end of the trace.
+    let trace_end = schedule.trace_end;
+    if let Some(fp) = prev_fp {
+        let suspect_from = fp.max(last_arrival);
+        if suspect_from < trace_end {
+            log.record(suspect_from, true);
+        }
+    }
+
+    let mut qos = log.accuracy_summary(measured_from, trace_end);
+    qos.detection_time = if td_count > 0 {
+        Duration::from_secs_f64(td_sum / td_count as f64)
+    } else {
+        // Pure warm-up or always-far-future detector: report the span
+        // as a conservative upper bound.
+        trace_end - measured_from
+    };
+
+    Some(EvalReport {
+        qos,
+        max_detection_time: td_max,
+        td_histogram: td_hist.clone(),
+        td_samples: td_count,
+        deliveries: schedule.steps.len() as u64,
+        measured_from,
+        measured_to: trace_end,
+    })
 }
 
 #[cfg(test)]
@@ -361,9 +527,8 @@ mod tests {
     #[test]
     fn perfect_trace_has_no_mistakes() {
         let trace = trace_with_losses(500, &[]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 30);
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert_eq!(r.qos.mistakes, 0);
         assert_eq!(r.qos.query_accuracy, 1.0);
         assert_eq!(r.qos.mistake_rate, 0.0);
@@ -380,11 +545,11 @@ mod tests {
     #[test]
     fn td_scales_with_alpha() {
         let trace = trace_with_losses(500, &[]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut aggressive = chen(20, 10);
         let mut conservative = chen(20, 500);
-        let ta = eval.evaluate(&mut aggressive, &trace).unwrap().qos.detection_time;
-        let tc = eval.evaluate(&mut conservative, &trace).unwrap().qos.detection_time;
+        let ta = Evaluation::of(&trace).warmup(50).run(&mut aggressive).unwrap().qos.detection_time;
+        let tc =
+            Evaluation::of(&trace).warmup(50).run(&mut conservative).unwrap().qos.detection_time;
         assert!((tc - ta).as_millis_f64() - 490.0 < 1.0 && (tc - ta).as_millis_f64() > 480.0);
     }
 
@@ -393,9 +558,8 @@ mod tests {
         // Heartbeat 100 lost: with α = 10 ms the timeout expires ~60 ms
         // before heartbeat 101 arrives → one mistake.
         let trace = trace_with_losses(300, &[100]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert_eq!(r.qos.mistakes, 1);
         assert!(r.qos.query_accuracy < 1.0);
         // Mistake duration ≈ arrival(101) − τ(100) ≈ 10_250 − 10_160 = 90 ms.
@@ -406,9 +570,8 @@ mod tests {
     #[test]
     fn conservative_margin_rides_out_losses() {
         let trace = trace_with_losses(300, &[100, 150, 200]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 300); // margin > one lost interval
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert_eq!(r.qos.mistakes, 0);
     }
 
@@ -417,9 +580,8 @@ mod tests {
         // Deliveries every 100 ms over ~30 s, 3 single losses with a
         // 10 ms margin → 3 mistakes.
         let trace = trace_with_losses(300, &[100, 150, 200]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert_eq!(r.qos.mistakes, 3);
         let span = (r.measured_to - r.measured_from).as_secs_f64();
         assert!((r.qos.mistake_rate - 3.0 / span).abs() < 1e-9);
@@ -430,18 +592,16 @@ mod tests {
         // Loss at seq 10 lands inside the warm-up window and must not be
         // counted.
         let trace = trace_with_losses(300, &[10]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert_eq!(r.qos.mistakes, 0);
     }
 
     #[test]
     fn too_short_trace_returns_none() {
         let trace = trace_with_losses(30, &[]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
-        assert!(eval.evaluate(&mut fd, &trace).is_none());
+        assert!(Evaluation::of(&trace).warmup(50).run(&mut fd).is_none());
     }
 
     #[test]
@@ -449,14 +609,13 @@ mod tests {
         // Conservative φ (huge threshold): timeout saturates, no mistakes,
         // and TD samples are skipped (would be infinite).
         let trace = trace_with_losses(300, &[100]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = PhiFd::new(PhiConfig {
             window: 100,
             expected_interval: Duration::from_millis(100),
             threshold: 17.0, // past the rounding cliff
             min_std_fraction: 0.01,
         });
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert_eq!(r.qos.mistakes, 0);
         assert_eq!(r.td_samples, 0);
     }
@@ -464,18 +623,20 @@ mod tests {
     #[test]
     fn epoch_callback_fires_and_sees_qos() {
         let trace = trace_with_losses(1000, &[200, 400, 600]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
         let mut epochs = 0;
         let mut saw_mistake_epoch = false;
-        eval.evaluate_with_epochs(&mut fd, &trace, Duration::from_secs(10), |_, q| {
-            epochs += 1;
-            if q.mistakes > 0 {
-                saw_mistake_epoch = true;
-            }
-            assert!(q.detection_time > Duration::ZERO);
-        })
-        .unwrap();
+        Evaluation::of(&trace)
+            .warmup(50)
+            .epochs(Duration::from_secs(10))
+            .run_with_epochs(&mut fd, |_, q| {
+                epochs += 1;
+                if q.mistakes > 0 {
+                    saw_mistake_epoch = true;
+                }
+                assert!(q.detection_time > Duration::ZERO);
+            })
+            .unwrap();
         // ~95 s of measured trace → ~9 epochs.
         assert!(epochs >= 8, "epochs {epochs}");
         assert!(saw_mistake_epoch);
@@ -484,11 +645,12 @@ mod tests {
     #[test]
     fn epoch_callback_can_mutate_detector() {
         let trace = trace_with_losses(1000, &[]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
         let mut bumped = false;
-        let r = eval
-            .evaluate_with_epochs(&mut fd, &trace, Duration::from_secs(20), |d, _| {
+        let r = Evaluation::of(&trace)
+            .warmup(50)
+            .epochs(Duration::from_secs(20))
+            .run_with_epochs(&mut fd, |d, _| {
                 if !bumped {
                     d.set_alpha(Duration::from_millis(500));
                     bumped = true;
@@ -506,10 +668,63 @@ mod tests {
         // to the end of the trace.
         let lost: Vec<u64> = (290..300).collect();
         let trace = trace_with_losses(300, &lost);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
         let mut fd = chen(20, 10);
-        let r = eval.evaluate(&mut fd, &trace).unwrap();
+        let r = Evaluation::of(&trace).warmup(50).run(&mut fd).unwrap();
         assert!(r.qos.mistakes >= 1);
         assert!(r.qos.query_accuracy < 1.0);
+    }
+
+    #[test]
+    fn builder_over_schedule_with_scratch_matches_of_trace() {
+        let trace = trace_with_losses(400, &[100, 200]);
+        let schedule = ReplaySchedule::new(&trace);
+        let mut scratch = EvalScratch::new();
+        let mut fd1 = chen(20, 10);
+        let mut fd2 = chen(20, 10);
+        let direct = Evaluation::of(&trace).warmup(50).run(&mut fd1).unwrap();
+        let shared =
+            Evaluation::over(&schedule).warmup(50).scratch(&mut scratch).run(&mut fd2).unwrap();
+        assert_eq!(direct, shared);
+        // Scratch reuse across runs must not leak state between points.
+        let mut fd3 = chen(20, 10);
+        let again = Evaluation::of(&trace)
+            .schedule(&schedule)
+            .warmup(50)
+            .scratch(&mut scratch)
+            .run(&mut fd3)
+            .unwrap();
+        assert_eq!(direct, again);
+    }
+
+    #[test]
+    fn epochs_without_hook_measure_identically() {
+        let trace = trace_with_losses(800, &[300, 500]);
+        let mut plain = chen(20, 10);
+        let mut ticked = chen(20, 10);
+        let a = Evaluation::of(&trace).warmup(50).run(&mut plain).unwrap();
+        let b = Evaluation::of(&trace)
+            .warmup(50)
+            .epochs(Duration::from_secs(10))
+            .run(&mut ticked)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_builder() {
+        let trace = trace_with_losses(400, &[100]);
+        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let mut fd1 = chen(20, 10);
+        let mut fd2 = chen(20, 10);
+        let old = eval.evaluate(&mut fd1, &trace).unwrap();
+        let new = Evaluation::of(&trace).warmup(50).run(&mut fd2).unwrap();
+        assert_eq!(old, new);
+
+        let schedule = ReplaySchedule::new(&trace);
+        let mut scratch = EvalScratch::new();
+        let mut fd3 = chen(20, 10);
+        let old_sched = eval.evaluate_scheduled(&mut fd3, &schedule, &mut scratch).unwrap();
+        assert_eq!(old_sched, new);
     }
 }

@@ -15,7 +15,7 @@
 //! [`crate::sweep`], for any job count:
 //!
 //! * each point's value depends only on its own inputs (same
-//!   [`ReplayEvaluator::evaluate_scheduled`] code path as serial, same
+//!   [`crate::eval::Evaluation`] replay code path as serial, same
 //!   floating-point operation order within the point);
 //! * workers place each result into a slot indexed by the point's grid
 //!   position, and dropped points (e.g. φ's rounding cliff) are filtered
@@ -29,7 +29,7 @@
 //! aggressive ones. Each worker owns one [`EvalScratch`], so the steady
 //! state stays allocation-free per replayed heartbeat.
 
-use crate::eval::{EvalConfig, EvalScratch, ReplayEvaluator, ReplaySchedule};
+use crate::eval::{EvalConfig, EvalScratch, ReplaySchedule};
 use crate::sweep::{bertier_point_on, chen_point_on, phi_point_on, sfd_point_on, SweepPoint};
 use sfd_core::bertier::BertierConfig;
 use sfd_core::chen::ChenConfig;
@@ -38,72 +38,11 @@ use sfd_core::qos::QosSpec;
 use sfd_core::sfd::SfdConfig;
 use sfd_core::time::Duration;
 use sfd_trace::trace::Trace;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Resolve a `--jobs` request: `0` means "one worker per available core".
-pub fn effective_jobs(jobs: usize) -> usize {
-    if jobs == 0 {
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-    } else {
-        jobs
-    }
-}
-
-/// Map `f` over `items` on up to `jobs` scoped worker threads, preserving
-/// input order in the output. Each worker gets its own state from `init`
-/// (scratch buffers, etc.). `jobs == 0` uses all available cores; with one
-/// job (or one item) the map runs inline on the calling thread.
-///
-/// # Panics
-/// Propagates a panic from `f` (the scope joins all workers first).
-pub fn par_map_with<T, S, R, I, F>(items: &[T], jobs: usize, init: I, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    I: Fn() -> S + Sync,
-    F: Fn(&mut S, &T, usize) -> R + Sync,
-{
-    let jobs = effective_jobs(jobs).min(items.len().max(1));
-    if jobs <= 1 {
-        let mut state = init();
-        return items.iter().enumerate().map(|(i, t)| f(&mut state, t, i)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut produced = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        produced.push((i, f(&mut state, item, i)));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for worker in workers {
-            for (i, r) in worker.join().expect("sweep worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots.into_iter().map(|s| s.expect("work index covered every item")).collect()
-}
-
-/// [`par_map_with`] without worker-local state.
-pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T, usize) -> R + Sync,
-{
-    par_map_with(items, jobs, || (), |(), t, i| f(t, i))
-}
+// The pool primitives moved down into `sfd_core::par` so trace generation
+// can share them; re-exported here so existing `sfd_qos::parallel::par_map`
+// imports keep working unchanged.
+pub use sfd_core::par::{effective_jobs, par_map, par_map_with};
 
 /// Parameter sweeps fanned across worker threads.
 ///
@@ -134,10 +73,9 @@ impl ParallelSweeper {
         alphas: &[Duration],
         eval: EvalConfig,
     ) -> Vec<SweepPoint> {
-        let evaluator = ReplayEvaluator::new(eval);
         let schedule = ReplaySchedule::new(trace);
         par_map_with(alphas, self.jobs, EvalScratch::new, |scratch, &alpha, _| {
-            chen_point_on(&evaluator, &schedule, scratch, base, alpha)
+            chen_point_on(eval, &schedule, scratch, base, alpha)
         })
         .into_iter()
         .flatten()
@@ -152,10 +90,9 @@ impl ParallelSweeper {
         thresholds: &[f64],
         eval: EvalConfig,
     ) -> Vec<SweepPoint> {
-        let evaluator = ReplayEvaluator::new(eval);
         let schedule = ReplaySchedule::new(trace);
         par_map_with(thresholds, self.jobs, EvalScratch::new, |scratch, &threshold, _| {
-            phi_point_on(&evaluator, &schedule, scratch, base, threshold)
+            phi_point_on(eval, &schedule, scratch, base, threshold)
         })
         .into_iter()
         .flatten()
@@ -170,10 +107,9 @@ impl ParallelSweeper {
         cfg: BertierConfig,
         eval: EvalConfig,
     ) -> Option<SweepPoint> {
-        let evaluator = ReplayEvaluator::new(eval);
         let schedule = ReplaySchedule::new(trace);
         let mut scratch = EvalScratch::new();
-        bertier_point_on(&evaluator, &schedule, &mut scratch, cfg)
+        bertier_point_on(eval, &schedule, &mut scratch, cfg)
     }
 
     /// Parallel [`crate::sweep::sweep_sfd`]. Each initial margin runs its
@@ -188,10 +124,9 @@ impl ParallelSweeper {
         epoch_len: Duration,
         eval: EvalConfig,
     ) -> Vec<SweepPoint> {
-        let evaluator = ReplayEvaluator::new(eval);
         let schedule = ReplaySchedule::new(trace);
         par_map_with(initial_margins, self.jobs, EvalScratch::new, |scratch, &sm1, _| {
-            sfd_point_on(&evaluator, &schedule, scratch, base, spec, sm1, epoch_len)
+            sfd_point_on(eval, &schedule, scratch, base, spec, sm1, epoch_len)
         })
         .into_iter()
         .flatten()
@@ -214,47 +149,6 @@ mod tests {
 
     fn eval() -> EvalConfig {
         EvalConfig { warmup: 500 }
-    }
-
-    #[test]
-    fn par_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        for jobs in [0, 1, 2, 3, 7] {
-            let out = par_map(&items, jobs, |&x, i| x * 2 + i as u64);
-            let expect: Vec<u64> =
-                items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
-            assert_eq!(out, expect, "jobs={jobs}");
-        }
-    }
-
-    #[test]
-    fn par_map_with_reuses_worker_state() {
-        let items: Vec<u32> = (0..50).collect();
-        // State counts how many items this worker processed; the result
-        // must not depend on it — only on the item.
-        let out = par_map_with(
-            &items,
-            4,
-            || 0u32,
-            |seen, &x, _| {
-                *seen += 1;
-                x + 1
-            },
-        );
-        assert_eq!(out, (1..=50).collect::<Vec<u32>>());
-    }
-
-    #[test]
-    fn par_map_empty_and_single() {
-        let empty: Vec<u8> = vec![];
-        assert!(par_map(&empty, 4, |&x, _| x).is_empty());
-        assert_eq!(par_map(&[7u8], 4, |&x, _| x), vec![7]);
-    }
-
-    #[test]
-    fn effective_jobs_resolves_zero() {
-        assert!(effective_jobs(0) >= 1);
-        assert_eq!(effective_jobs(3), 3);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   during the replay; points cluster inside the feasible region of the
 //!   QoS requirement because self-tuning pulls out-of-range margins back.
 
-use crate::eval::{EvalConfig, EvalScratch, ReplayEvaluator, ReplaySchedule};
+use crate::eval::{EvalConfig, EvalScratch, Evaluation, ReplaySchedule};
 use serde::{Deserialize, Serialize};
 use sfd_core::bertier::{BertierConfig, BertierFd};
 use sfd_core::chen::{ChenConfig, ChenFd};
@@ -41,14 +41,14 @@ pub struct SweepPoint {
 /// function of `(schedule, config, parameter)`, so fanning points across
 /// threads cannot change any point's value.
 pub fn chen_point_on(
-    evaluator: &ReplayEvaluator,
+    eval: EvalConfig,
     schedule: &ReplaySchedule,
     scratch: &mut EvalScratch,
     base: ChenConfig,
     alpha: Duration,
 ) -> Option<SweepPoint> {
     let mut fd = ChenFd::new(ChenConfig { alpha, ..base });
-    let r = evaluator.evaluate_scheduled(&mut fd, schedule, scratch)?;
+    let r = Evaluation::over(schedule).config(eval).scratch(scratch).run(&mut fd)?;
     Some(SweepPoint { param: alpha.as_millis_f64(), qos: r.qos })
 }
 
@@ -57,14 +57,14 @@ pub fn chen_point_on(
 /// Returns `None` past the rounding cliff (no computable timeout → no TD
 /// samples), exactly like [`sweep_phi`].
 pub fn phi_point_on(
-    evaluator: &ReplayEvaluator,
+    eval: EvalConfig,
     schedule: &ReplaySchedule,
     scratch: &mut EvalScratch,
     base: PhiConfig,
     threshold: f64,
 ) -> Option<SweepPoint> {
     let mut fd = PhiFd::new(PhiConfig { threshold, ..base });
-    let r = evaluator.evaluate_scheduled(&mut fd, schedule, scratch)?;
+    let r = Evaluation::over(schedule).config(eval).scratch(scratch).run(&mut fd)?;
     // The paper's φ curves stop where rounding prevents computing
     // points (no valid timeout → no TD samples).
     if r.td_samples == 0 {
@@ -75,20 +75,20 @@ pub fn phi_point_on(
 
 /// Evaluate Bertier's single point against a pre-resolved schedule.
 pub fn bertier_point_on(
-    evaluator: &ReplayEvaluator,
+    eval: EvalConfig,
     schedule: &ReplaySchedule,
     scratch: &mut EvalScratch,
     cfg: BertierConfig,
 ) -> Option<SweepPoint> {
     let mut fd = BertierFd::new(cfg);
-    let r = evaluator.evaluate_scheduled(&mut fd, schedule, scratch)?;
+    let r = Evaluation::over(schedule).config(eval).scratch(scratch).run(&mut fd)?;
     Some(SweepPoint { param: 0.0, qos: r.qos })
 }
 
 /// Evaluate one SFD point (`SM₁ = sm1`) against a pre-resolved schedule,
 /// with the Algorithm-1 feedback loop running every `epoch_len`.
 pub fn sfd_point_on(
-    evaluator: &ReplayEvaluator,
+    eval: EvalConfig,
     schedule: &ReplaySchedule,
     scratch: &mut EvalScratch,
     base: SfdConfig,
@@ -98,15 +98,13 @@ pub fn sfd_point_on(
 ) -> Option<SweepPoint> {
     let cfg = SfdConfig { initial_margin: sm1, ..base };
     let mut fd = SfdFd::new(cfg, spec);
-    let r = evaluator.evaluate_scheduled_with_epochs(
-        &mut fd,
-        schedule,
-        scratch,
-        epoch_len,
-        |d, q| {
+    let r = Evaluation::over(schedule)
+        .config(eval)
+        .scratch(scratch)
+        .epochs(epoch_len)
+        .run_with_epochs(&mut fd, |d, q| {
             let _ = d.apply_feedback(q);
-        },
-    )?;
+        })?;
     Some(SweepPoint { param: sm1.as_millis_f64(), qos: r.qos })
 }
 
@@ -117,12 +115,11 @@ pub fn sweep_chen(
     alphas: &[Duration],
     eval: EvalConfig,
 ) -> Vec<SweepPoint> {
-    let evaluator = ReplayEvaluator::new(eval);
     let schedule = ReplaySchedule::new(trace);
     let mut scratch = EvalScratch::new();
     alphas
         .iter()
-        .filter_map(|&alpha| chen_point_on(&evaluator, &schedule, &mut scratch, base, alpha))
+        .filter_map(|&alpha| chen_point_on(eval, &schedule, &mut scratch, base, alpha))
         .collect()
 }
 
@@ -133,21 +130,19 @@ pub fn sweep_phi(
     thresholds: &[f64],
     eval: EvalConfig,
 ) -> Vec<SweepPoint> {
-    let evaluator = ReplayEvaluator::new(eval);
     let schedule = ReplaySchedule::new(trace);
     let mut scratch = EvalScratch::new();
     thresholds
         .iter()
-        .filter_map(|&threshold| phi_point_on(&evaluator, &schedule, &mut scratch, base, threshold))
+        .filter_map(|&threshold| phi_point_on(eval, &schedule, &mut scratch, base, threshold))
         .collect()
 }
 
 /// Bertier FD has no dynamic parameter — evaluate its single point.
 pub fn bertier_point(trace: &Trace, cfg: BertierConfig, eval: EvalConfig) -> Option<SweepPoint> {
-    let evaluator = ReplayEvaluator::new(eval);
     let schedule = ReplaySchedule::new(trace);
     let mut scratch = EvalScratch::new();
-    bertier_point_on(&evaluator, &schedule, &mut scratch, cfg)
+    bertier_point_on(eval, &schedule, &mut scratch, cfg)
 }
 
 /// Sweep SFD over a list of initial margins `SM₁`, running the Algorithm-1
@@ -166,14 +161,11 @@ pub fn sweep_sfd(
     epoch_len: Duration,
     eval: EvalConfig,
 ) -> Vec<SweepPoint> {
-    let evaluator = ReplayEvaluator::new(eval);
     let schedule = ReplaySchedule::new(trace);
     let mut scratch = EvalScratch::new();
     initial_margins
         .iter()
-        .filter_map(|&sm1| {
-            sfd_point_on(&evaluator, &schedule, &mut scratch, base, spec, sm1, epoch_len)
-        })
+        .filter_map(|&sm1| sfd_point_on(eval, &schedule, &mut scratch, base, spec, sm1, epoch_len))
         .collect()
 }
 

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sfd_core::chen::{ChenConfig, ChenFd};
 use sfd_core::time::{Duration, Instant};
-use sfd_qos::eval::{EvalConfig, ReplayEvaluator};
+use sfd_qos::eval::{EvalConfig, Evaluation};
 use sfd_qos::sweep::sweep_chen;
 use sfd_simnet::heartbeat::HeartbeatRecord;
 use sfd_trace::trace::Trace;
@@ -39,13 +39,13 @@ proptest! {
     /// The evaluator's outputs always satisfy the QoS-metric domains.
     #[test]
     fn eval_report_within_domains(trace in arb_trace(), alpha_ms in 1i64..2000) {
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let eval = EvalConfig { warmup: 50 };
         let mut fd = ChenFd::new(ChenConfig {
             window: 30,
             expected_interval: trace.interval,
             alpha: Duration::from_millis(alpha_ms),
         });
-        if let Some(r) = eval.evaluate(&mut fd, &trace) {
+        if let Some(r) = Evaluation::of(&trace).config(eval).run(&mut fd) {
             prop_assert!((0.0..=1.0).contains(&r.qos.query_accuracy));
             prop_assert!(r.qos.mistake_rate >= 0.0);
             prop_assert!(r.qos.detection_time > Duration::ZERO);
@@ -86,14 +86,14 @@ proptest! {
     /// Evaluation is a pure function of (detector config, trace).
     #[test]
     fn eval_is_deterministic(trace in arb_trace()) {
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
+        let eval = EvalConfig { warmup: 50 };
         let run = || {
             let mut fd = ChenFd::new(ChenConfig {
                 window: 30,
                 expected_interval: trace.interval,
                 alpha: Duration::from_millis(120),
             });
-            eval.evaluate(&mut fd, &trace)
+            Evaluation::of(&trace).config(eval).run(&mut fd)
         };
         prop_assert_eq!(run(), run());
     }

@@ -47,7 +47,7 @@ pub use chaos::{ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, R
 pub use clock::WallClock;
 pub use monitor::{DynMonitorService, MonitorConfig, MonitorService, StatusSnapshot};
 pub use multi::{
-    ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore, MAX_SEQ_JUMP,
+    stream_shard, ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore, MAX_SEQ_JUMP,
     STALE_STREAK_REBASELINE,
 };
 pub use probe::{EchoResponder, RttProbe, RttReport};

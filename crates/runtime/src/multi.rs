@@ -113,6 +113,18 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Which of `shards` shards owns `stream` — the same splitmix64 hash the
+/// service uses, exposed so external drivers (the `bench_ingest` harness,
+/// capacity planners) can partition streams exactly as the service would.
+///
+/// # Panics
+/// `shards` must be a non-zero power of two, matching the service's
+/// mask-based routing.
+pub fn stream_shard(stream: u64, shards: usize) -> usize {
+    assert!(shards.is_power_of_two(), "shard count must be a power of two, got {shards}");
+    (splitmix64(stream) & (shards as u64 - 1)) as usize
+}
+
 struct StreamState {
     detector: Box<dyn FailureDetector + Send>,
     heartbeats: u64,
@@ -568,8 +580,6 @@ struct Shared {
     shards: Vec<Mutex<ShardCore>>,
     /// Runtime timing/batch histograms, one per shard.
     obs: Vec<ShardObs>,
-    /// `shards.len() - 1`; the shard count is a power of two.
-    mask: u64,
     unknown_heartbeats: AtomicU64,
     /// Heartbeats discarded at ingest for an implausible sender
     /// timestamp (see [`crate::wire::Heartbeat::plausible_sent`]).
@@ -582,7 +592,7 @@ struct Shared {
 
 impl Shared {
     fn shard_of(&self, stream: u64) -> &Mutex<ShardCore> {
-        &self.shards[(splitmix64(stream) & self.mask) as usize]
+        &self.shards[stream_shard(stream, self.shards.len())]
     }
 
     /// Stamp service-level health (supervisor restarts) onto a snapshot
@@ -630,7 +640,6 @@ impl MultiMonitorService {
         let shared = Arc::new(Shared {
             shards: (0..nshards).map(|_| Mutex::new(ShardCore::new(policy, wheel_tick))).collect(),
             obs: (0..nshards).map(|_| ShardObs::new()).collect(),
-            mask: nshards as u64 - 1,
             unknown_heartbeats: AtomicU64::new(0),
             implausible_timestamps: AtomicU64::new(0),
             supervisor_restarts: AtomicU64::new(0),
@@ -704,7 +713,7 @@ impl MultiMonitorService {
                             shared.implausible_timestamps.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
-                        let idx = (splitmix64(hb.stream) & shared.mask) as usize;
+                        let idx = stream_shard(hb.stream, nshards);
                         buckets[idx].push((hb.stream, hb.seq));
                         drained += 1;
                         if drained >= BATCH_CAP {
@@ -953,6 +962,23 @@ mod tests {
 
     fn cfg() -> MonitorConfig {
         MonitorConfig { poll_interval: Duration::from_millis(1), ..Default::default() }
+    }
+
+    #[test]
+    fn stream_shard_is_stable_bounded_and_spread() {
+        for shards in [1usize, 2, 8, 64] {
+            for s in 0..512u64 {
+                let idx = stream_shard(s, shards);
+                assert!(idx < shards);
+                assert_eq!(idx, stream_shard(s, shards), "deterministic");
+            }
+        }
+        // A reasonably sized id pool lands on every shard.
+        let mut hit = [false; 8];
+        for s in 0..512u64 {
+            hit[stream_shard(s, 8)] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
     }
 
     #[test]

@@ -71,9 +71,14 @@ impl Channel {
         }
     }
 
-    /// Transmit a message sent at `sent`: returns its arrival instant, or
-    /// `None` if the channel lost it.
-    pub fn transmit(&mut self, sent: Instant) -> Option<Instant> {
+    /// Draw one message's fate from the loss and delay models: `None` if
+    /// lost, otherwise its raw one-way delay — *before* the FIFO queueing
+    /// clamp, which is a sequential recurrence over arrivals.
+    ///
+    /// This is the per-message kernel sharded trace generation records
+    /// per chunk (`sim::generate_raw_chunk`); [`transmit`](Self::transmit)
+    /// is `sample_fate` plus the clamp and delivery accounting.
+    pub fn sample_fate(&mut self) -> Option<Duration> {
         if self.loss.is_lost(&mut self.rng) {
             // Burn a delay draw anyway so the loss decision does not
             // shift the delay stream of subsequent messages (keeps
@@ -81,7 +86,13 @@ impl Channel {
             let _ = self.delay.sample(&mut self.rng);
             return None;
         }
-        let d = self.delay.sample(&mut self.rng);
+        Some(self.delay.sample(&mut self.rng))
+    }
+
+    /// Transmit a message sent at `sent`: returns its arrival instant, or
+    /// `None` if the channel lost it.
+    pub fn transmit(&mut self, sent: Instant) -> Option<Instant> {
+        let d = self.sample_fate()?;
         let mut arrival = sent + d;
         if self.fifo {
             if let Some(last) = self.last_arrival {

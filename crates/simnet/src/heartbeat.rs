@@ -48,6 +48,18 @@ impl HeartbeatSchedule {
             catch_up: true,
         }
     }
+
+    /// Minimum spacing between consecutive sends (1% of the interval,
+    /// never zero) — the clamp that keeps send times strictly increasing
+    /// under pathological jitter.
+    pub fn send_floor(&self) -> Duration {
+        self.interval.mul_f64(0.01).max(Duration::NANOSECOND)
+    }
+
+    /// The drifted per-tick step on the ideal timeline.
+    pub fn drift_step(&self) -> Duration {
+        self.interval.mul_f64(1.0 + self.drift_ppm * 1e-6)
+    }
 }
 
 /// One heartbeat's fate, as recorded by the simulation.
@@ -91,6 +103,29 @@ impl SenderSim {
         SenderSim { schedule, next_seq: 0, next_ideal: first, last_send: None, rng }
     }
 
+    /// Create a sender positioned at sequence number `first_seq` of a
+    /// **catch-up** schedule, as if `first_seq` ticks had already elapsed.
+    ///
+    /// In catch-up mode the ideal timeline is disturbance-free — tick `k`
+    /// aims at `start + Δ + k·step`, an exact integer computation on
+    /// nanosecond ticks — so a resumed sender produces the same raw
+    /// targets as one that walked there, given the same RNG. This is the
+    /// entry point for sharded trace generation; random-walk schedules
+    /// (`catch_up: false`) have history-dependent timelines and cannot be
+    /// resumed.
+    pub fn resume_at(
+        schedule: HeartbeatSchedule,
+        start: Instant,
+        first_seq: u64,
+        rng: SimRng,
+    ) -> Self {
+        assert!(schedule.catch_up, "resume_at requires an absolute-deadline (catch_up) schedule");
+        let step = schedule.drift_step();
+        let first =
+            start + schedule.interval + Duration::from_nanos(step.as_nanos() * first_seq as i64);
+        SenderSim { schedule, next_seq: first_seq, next_ideal: first, last_send: None, rng }
+    }
+
     /// The schedule in force.
     pub fn schedule(&self) -> HeartbeatSchedule {
         self.schedule
@@ -113,29 +148,44 @@ impl SenderSim {
         t
     }
 
-    /// Produce the next `(seq, send_instant)` and advance the schedule.
-    pub fn next_send(&mut self) -> (u64, Instant) {
+    /// Produce the next raw `(seq, target_instant)` of a catch-up
+    /// schedule and advance it — the disturbance-delayed deadline
+    /// *before* the strictly-increasing send floor is applied.
+    ///
+    /// This is the per-tick kernel sharded generation records per chunk;
+    /// the floor clamp is a sequential recurrence and is re-applied when
+    /// chunks are stitched (`sim::stitch_raw`). [`next_send`] is
+    /// `next_target` plus that clamp.
+    pub fn next_target(&mut self) -> (u64, Instant) {
+        debug_assert!(self.schedule.catch_up, "raw targets exist only in catch-up mode");
         let seq = self.next_seq;
         self.next_seq += 1;
-        let drift = 1.0 + self.schedule.drift_ppm * 1e-6;
-        let step = self.schedule.interval.mul_f64(drift);
-        let floor = self.schedule.interval.mul_f64(0.01).max(Duration::NANOSECOND);
         let t = self.transient();
+        // Absolute deadline: the disturbance delays this send only.
+        let target = self.next_ideal + Duration::from_secs_f64(t.max(0.0));
+        self.next_ideal += self.schedule.drift_step();
+        (seq, target)
+    }
 
-        let send = if self.schedule.catch_up {
-            // Absolute deadline: the disturbance delays this send only.
-            let target = self.next_ideal + Duration::from_secs_f64(t.max(0.0));
-            self.next_ideal += step;
-            match self.last_send {
+    /// Produce the next `(seq, send_instant)` and advance the schedule.
+    pub fn next_send(&mut self) -> (u64, Instant) {
+        let floor = self.schedule.send_floor();
+        let (seq, send) = if self.schedule.catch_up {
+            let (seq, target) = self.next_target();
+            let send = match self.last_send {
                 Some(last) => target.max(last + floor),
                 None => target,
-            }
+            };
+            (seq, send)
         } else {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let t = self.transient();
             // Random walk: the disturbance shifts all later sends too.
             let out = self.next_ideal;
-            let shifted = step + Duration::from_secs_f64(t);
+            let shifted = self.schedule.drift_step() + Duration::from_secs_f64(t);
             self.next_ideal += shifted.max(floor);
-            out
+            (seq, out)
         };
         self.last_send = Some(send);
         (seq, send)

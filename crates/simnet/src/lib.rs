@@ -46,4 +46,6 @@ pub use heartbeat::{HeartbeatRecord, HeartbeatSchedule, SenderSim};
 pub use loss::{LossConfig, LossSampler};
 pub use rng::SimRng;
 pub use scenario::{Phase, Scenario};
-pub use sim::{CrashOutcome, PairSim, PairSimConfig};
+pub use sim::{
+    chunk_seed, generate_raw_chunk, stitch_raw, CrashOutcome, PairSim, PairSimConfig, RawHeartbeat,
+};

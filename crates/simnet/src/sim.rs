@@ -72,6 +72,110 @@ impl PairSim {
     }
 }
 
+/// One heartbeat's **raw draws** — the per-tick quantities that depend
+/// only on the chunk's RNG streams, before the two sequential recurrences
+/// (the sender's send floor and the channel's FIFO queueing clamp) are
+/// applied across chunk boundaries by [`stitch_raw`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawHeartbeat {
+    /// Sequence number.
+    pub seq: u64,
+    /// Disturbance-delayed ideal send deadline (pre-floor).
+    pub target: Instant,
+    /// Raw one-way delay, or `None` if the channel lost the message.
+    pub delay: Option<Duration>,
+}
+
+/// Seed for chunk `chunk` of a sharded generation run.
+///
+/// Chunk 0 uses the master seed unchanged, so a single-chunk sharded run
+/// derives *exactly* the RNG streams of [`PairSim::new`] and reproduces
+/// the legacy single-threaded output bit-for-bit. Later chunks mix the
+/// chunk index through a SplitMix64-style finalizer so their streams are
+/// decorrelated from each other and from the master stream.
+pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    if chunk == 0 {
+        return seed;
+    }
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate the raw draws for one chunk of a sharded run: `count`
+/// heartbeats starting at sequence number `first_seq`, using RNG streams
+/// derived from [`chunk_seed`]`(cfg.seed, chunk)`.
+///
+/// Chunks are independent — each is a pure function of
+/// `(cfg, chunk, first_seq, count)` — so they can be produced on any
+/// worker in any order and stitched by [`stitch_raw`]. Requires a
+/// catch-up schedule (random-walk timelines are history-dependent and
+/// cannot be sharded; callers fall back to [`PairSim::generate`]).
+pub fn generate_raw_chunk(
+    cfg: PairSimConfig,
+    chunk: u64,
+    first_seq: u64,
+    count: u64,
+) -> Vec<RawHeartbeat> {
+    assert!(cfg.schedule.catch_up, "sharded generation requires a catch-up schedule");
+    let mut master = SimRng::seed_from_u64(chunk_seed(cfg.seed, chunk));
+    let sender_rng = master.fork(0x53_4E_44); // "SND"
+    let channel_rng = master.fork(0x43_48_4E); // "CHN"
+    let mut sender = SenderSim::resume_at(cfg.schedule, Instant::ZERO, first_seq, sender_rng);
+    let mut channel = Channel::new(cfg.channel, channel_rng);
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (seq, target) = sender.next_target();
+        let delay = channel.sample_fate();
+        out.push(RawHeartbeat { seq, target, delay });
+    }
+    out
+}
+
+/// Stitch raw chunks (in sequence order) into finished
+/// [`HeartbeatRecord`]s by applying the two sequential recurrences the
+/// raw form factors out:
+///
+/// * **send floor** — `sent = max(target, prev_sent + floor)` keeps send
+///   times strictly increasing under pathological jitter;
+/// * **FIFO clamp** — on an ordered channel a delivered message arrives
+///   no earlier than 1 µs after its predecessor's arrival.
+///
+/// Both are cheap `O(n)` scans, so generation parallelises over the raw
+/// chunks while the stitch stays serial and deterministic.
+pub fn stitch_raw<I>(cfg: &PairSimConfig, chunks: I) -> Vec<HeartbeatRecord>
+where
+    I: IntoIterator<Item = Vec<RawHeartbeat>>,
+{
+    let floor = cfg.schedule.send_floor();
+    let fifo = cfg.channel.fifo;
+    let mut last_send: Option<Instant> = None;
+    let mut last_arrival: Option<Instant> = None;
+    let mut out = Vec::new();
+    for chunk in chunks {
+        for raw in chunk {
+            let sent = match last_send {
+                Some(last) => raw.target.max(last + floor),
+                None => raw.target,
+            };
+            last_send = Some(sent);
+            let arrival = raw.delay.map(|d| {
+                let mut at = sent + d;
+                if fifo {
+                    if let Some(last) = last_arrival {
+                        at = at.max(last + Duration::from_micros(1));
+                    }
+                    last_arrival = Some(at);
+                }
+                at
+            });
+            out.push(HeartbeatRecord { seq: raw.seq, sent, arrival });
+        }
+    }
+    out
+}
+
 /// Sort delivered heartbeats into *arrival order* — the order the monitor
 /// actually observes, which can differ from sequence order on a jittery
 /// channel.
@@ -219,6 +323,46 @@ mod tests {
             alpha: Duration::from_millis(30),
         });
         assert!(run_crash_detection(&mut fd2, &recs, 0).is_some());
+    }
+
+    #[test]
+    fn single_chunk_raw_stitch_matches_legacy_generate() {
+        // With chunk 0 the sharded path derives the exact RNG streams of
+        // PairSim::new, so raw + stitch must be bit-for-bit identical to
+        // the sequential generator — jitter, stalls, loss, FIFO and all.
+        let mut c = cfg(0xC0FFEE);
+        c.schedule.jitter_std = Duration::from_millis(20);
+        c.schedule.stall_prob = 0.05;
+        c.schedule.stall_mean = Duration::from_millis(300);
+        c.schedule.drift_ppm = 150.0;
+        c.channel.loss = LossConfig::Bernoulli { p: 0.1 };
+        let legacy = PairSim::new(c).generate(5_000);
+        let sharded = stitch_raw(&c, [generate_raw_chunk(c, 0, 0, 5_000)]);
+        assert_eq!(legacy, sharded);
+    }
+
+    #[test]
+    fn chunked_stitch_is_deterministic_and_chunk_pure() {
+        let mut c = cfg(0xBEEF);
+        c.schedule.jitter_std = Duration::from_millis(10);
+        c.channel.loss = LossConfig::Bernoulli { p: 0.05 };
+        // Chunks are pure functions of their index: regenerating any one
+        // of them reproduces the same raw draws.
+        let a = generate_raw_chunk(c, 2, 2_000, 1_000);
+        let b = generate_raw_chunk(c, 2, 2_000, 1_000);
+        assert_eq!(a, b);
+        // And different chunk indices yield decorrelated streams.
+        let other = generate_raw_chunk(c, 3, 2_000, 1_000);
+        assert_ne!(a, other);
+        // The stitched whole is deterministic too.
+        let chunks = |cfg: PairSimConfig| {
+            (0..3u64).map(move |i| generate_raw_chunk(cfg, i, i * 1_000, 1_000))
+        };
+        let x = stitch_raw(&c, chunks(c));
+        let y = stitch_raw(&c, chunks(c));
+        assert_eq!(x, y);
+        assert_eq!(x.len(), 3_000);
+        assert!(x.windows(2).all(|w| w[0].sent < w[1].sent && w[0].seq + 1 == w[1].seq));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Sharded, deterministic trace generation.
+//!
+//! Single-threaded generation dominates `--full` benchmark runs (a
+//! multi-million-heartbeat workload per WAN case), so this module splits
+//! a seeded generation run into fixed-size **chunks** and fans them
+//! across the shared worker pool (`sfd_core::par`). Determinism is
+//! preserved by construction, not by luck:
+//!
+//! * each chunk draws from its own RNG streams, derived from the master
+//!   seed and the chunk index ([`sfd_simnet::chunk_seed`]) — chunk 0
+//!   reuses the master seed unchanged, so any run that fits in one chunk
+//!   is bit-for-bit identical to the legacy sequential generator;
+//! * chunks record **raw draws** ([`sfd_simnet::RawHeartbeat`]): the
+//!   disturbance-delayed send deadline and the message's loss/delay fate,
+//!   which are pure functions of `(config, chunk index)`;
+//! * the two sequential recurrences — the sender's send floor and the
+//!   FIFO queueing clamp — are re-applied in one cheap ordered pass
+//!   ([`sfd_simnet::stitch_raw`]).
+//!
+//! The stitched output is therefore a pure function of
+//! `(config, count, chunk_size)` and **independent of the job count**:
+//! `--jobs 8` and `--jobs 1` produce byte-identical traces. The default
+//! chunk size ([`DEFAULT_CHUNK`]) is larger than every existing test and
+//! golden workload, so those all take the single-chunk (legacy-identical)
+//! path.
+
+use sfd_core::par::par_map;
+use sfd_simnet::heartbeat::HeartbeatRecord;
+use sfd_simnet::sim::{generate_raw_chunk, stitch_raw, PairSim, PairSimConfig, RawHeartbeat};
+
+/// Default chunk size (heartbeats) for sharded generation: 2²⁰.
+///
+/// Large enough that every in-repo test, golden and calibration workload
+/// (≤ 400k heartbeats) generates as a single chunk — bit-for-bit the
+/// legacy sequential output — while full-scale paper workloads (≈ 7M
+/// heartbeats) split into enough chunks to occupy a typical pool.
+pub const DEFAULT_CHUNK: u64 = 1 << 20;
+
+/// Produce the raw draws for one generation task.
+///
+/// Catch-up schedules shard through [`generate_raw_chunk`]; random-walk
+/// schedules are history-dependent and run the legacy sequential
+/// generator (always as a single whole-run task), re-expressed as raw
+/// draws — the stitch recurrences are idempotent on already-clamped
+/// records, so stitching reproduces the sequential output exactly.
+fn raw_task(cfg: PairSimConfig, chunk: u64, first_seq: u64, count: u64) -> Vec<RawHeartbeat> {
+    if cfg.schedule.catch_up {
+        generate_raw_chunk(cfg, chunk, first_seq, count)
+    } else {
+        debug_assert_eq!(first_seq, 0, "random-walk schedules cannot be sharded");
+        PairSim::new(cfg)
+            .generate(count)
+            .into_iter()
+            .map(|r| RawHeartbeat {
+                seq: r.seq,
+                target: r.sent,
+                delay: r.arrival.map(|a| a - r.sent),
+            })
+            .collect()
+    }
+}
+
+/// Split `count` heartbeats into `(chunk_index, first_seq, len)` tasks.
+/// Random-walk schedules yield one whole-run task regardless of
+/// `chunk_size`.
+fn plan_chunks(cfg: &PairSimConfig, count: u64, chunk_size: u64) -> Vec<(u64, u64, u64)> {
+    let chunk_size = chunk_size.max(1);
+    if !cfg.schedule.catch_up || count <= chunk_size {
+        return vec![(0, 0, count)];
+    }
+    (0..count.div_ceil(chunk_size))
+        .map(|c| {
+            let first = c * chunk_size;
+            (c, first, chunk_size.min(count - first))
+        })
+        .collect()
+}
+
+/// Generate `count` heartbeat records for `cfg`, sharded into
+/// `chunk_size`-heartbeat segments fanned across `jobs` pool workers
+/// (`0` = all cores).
+///
+/// The output depends only on `(cfg, count, chunk_size)`; the job count
+/// affects wall time, never bytes.
+pub fn generate_records(
+    cfg: PairSimConfig,
+    count: u64,
+    chunk_size: u64,
+    jobs: usize,
+) -> Vec<HeartbeatRecord> {
+    let plan = plan_chunks(&cfg, count, chunk_size);
+    let raw = par_map(&plan, jobs, |&(chunk, first, n), _| raw_task(cfg, chunk, first, n));
+    stitch_raw(&cfg, raw)
+}
+
+/// Generate several workloads through **one** flattened task list: every
+/// chunk of every requested trace competes for the same pool workers, so
+/// a batch of mixed-size workloads saturates the pool with no per-trace
+/// barriers.
+///
+/// Returns one record vector per request, in request order, each
+/// byte-identical to [`generate_records`] on that request alone.
+pub fn generate_batch(
+    requests: &[(PairSimConfig, u64)],
+    chunk_size: u64,
+    jobs: usize,
+) -> Vec<Vec<HeartbeatRecord>> {
+    let mut tasks: Vec<(usize, u64, u64, u64)> = Vec::new();
+    for (idx, &(cfg, count)) in requests.iter().enumerate() {
+        for (chunk, first, n) in plan_chunks(&cfg, count, chunk_size) {
+            tasks.push((idx, chunk, first, n));
+        }
+    }
+    let raw = par_map(&tasks, jobs, |&(idx, chunk, first, n), _| {
+        raw_task(requests[idx].0, chunk, first, n)
+    });
+    // Demux chunks back to their requests; `tasks` is in (request, chunk)
+    // order, so a stable partition preserves stitch order.
+    let mut per_request: Vec<Vec<Vec<RawHeartbeat>>> =
+        requests.iter().map(|_| Vec::new()).collect();
+    for ((idx, _, _, _), chunk) in tasks.into_iter().zip(raw) {
+        per_request[idx].push(chunk);
+    }
+    requests.iter().zip(per_request).map(|(&(cfg, _), chunks)| stitch_raw(&cfg, chunks)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::WanCase;
+
+    #[test]
+    fn single_chunk_matches_legacy() {
+        let cfg = WanCase::Wan3.preset().sim;
+        let legacy = PairSim::new(cfg).generate(4_000);
+        let sharded = generate_records(cfg, 4_000, DEFAULT_CHUNK, 0);
+        assert_eq!(legacy, sharded);
+    }
+
+    #[test]
+    fn chunked_output_is_independent_of_jobs() {
+        let cfg = WanCase::Wan5.preset().sim;
+        let serial = generate_records(cfg, 9_000, 2_000, 1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(serial, generate_records(cfg, 9_000, 2_000, jobs), "jobs={jobs}");
+        }
+        assert_eq!(serial.len(), 9_000);
+    }
+
+    #[test]
+    fn batch_matches_individual_generation() {
+        let reqs: Vec<_> = [WanCase::Wan1, WanCase::Wan2, WanCase::Wan4]
+            .iter()
+            .map(|c| (c.preset().sim, 5_000u64))
+            .collect();
+        let batched = generate_batch(&reqs, 1_500, 4);
+        for (i, &(cfg, count)) in reqs.iter().enumerate() {
+            assert_eq!(batched[i], generate_records(cfg, count, 1_500, 1), "request {i}");
+        }
+    }
+
+    #[test]
+    fn random_walk_falls_back_to_sequential() {
+        let mut cfg = WanCase::Wan0.preset().sim;
+        cfg.schedule.catch_up = false;
+        let legacy = PairSim::new(cfg).generate(3_000);
+        // Even with a tiny chunk size the random-walk path must stay
+        // sequential (one whole-run task) and reproduce the legacy output.
+        assert_eq!(legacy, generate_records(cfg, 3_000, 100, 4));
+    }
+}

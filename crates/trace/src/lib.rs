@@ -15,6 +15,9 @@
 //!   cases (EPFL↔JAIST plus PlanetLab WAN-1…WAN-6, Tables I–II),
 //!   synthesised to the published statistics since the original traces are
 //!   not redistributable;
+//! * [`gen`] — sharded, deterministic trace generation: seeded runs split
+//!   into per-chunk RNG streams, fanned across the shared worker pool and
+//!   stitched bit-for-bit equal to the single-threaded output;
 //! * [`replay`] — iteration of a trace in monitor-observed (arrival)
 //!   order, with epoch chunking for the self-tuning feedback loop;
 //! * [`transform`] — trace surgery: slicing, decimation, post-hoc loss
@@ -23,13 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gen;
 pub mod presets;
 pub mod replay;
 pub mod stats;
 pub mod trace;
 pub mod transform;
 
-pub use presets::{WanCase, WanPreset};
+pub use gen::{generate_batch, generate_records, DEFAULT_CHUNK};
+pub use presets::{generate_wan_traces, WanCase, WanPreset};
 pub use replay::{EpochReplay, ReplayIter};
 pub use stats::TraceStats;
 pub use trace::Trace;

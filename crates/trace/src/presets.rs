@@ -28,7 +28,7 @@ use sfd_simnet::channel::ChannelConfig;
 use sfd_simnet::delay::{BaseDelay, BurstConfig, DelayConfig};
 use sfd_simnet::heartbeat::HeartbeatSchedule;
 use sfd_simnet::loss::LossConfig;
-use sfd_simnet::sim::{PairSim, PairSimConfig};
+use sfd_simnet::sim::PairSimConfig;
 
 /// The seven WAN cases of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -391,12 +391,44 @@ impl WanPreset {
     }
 
     /// Generate with an explicit seed (for multi-run experiments).
+    ///
+    /// Routes through the sharded generator ([`crate::gen`]) with the
+    /// default chunk size and all cores: runs that fit in one chunk
+    /// (≤ 2²⁰ heartbeats) are bit-for-bit the legacy sequential output,
+    /// larger ones split the RNG stream per chunk and stitch in order.
     pub fn generate_seeded(&self, count: u64, seed: u64) -> Trace {
+        self.generate_seeded_jobs(count, seed, 0)
+    }
+
+    /// [`generate`](Self::generate) with an explicit pool width.
+    pub fn generate_jobs(&self, count: u64, jobs: usize) -> Trace {
+        self.generate_seeded_jobs(count, self.sim.seed, jobs)
+    }
+
+    /// [`generate_seeded`](Self::generate_seeded) with an explicit pool
+    /// width (`0` = all cores). The job count never changes the bytes —
+    /// output is a pure function of `(preset, count, seed)`.
+    pub fn generate_seeded_jobs(&self, count: u64, seed: u64, jobs: usize) -> Trace {
         let mut cfg = self.sim;
         cfg.seed = seed;
-        let records = PairSim::new(cfg).generate(count);
+        let records = crate::gen::generate_records(cfg, count, crate::gen::DEFAULT_CHUNK, jobs);
         Trace::new(self.case.to_string(), self.interval(), records)
     }
+}
+
+/// Generate one trace per `(WAN case, heartbeat count)` request through
+/// **one** flattened chunk list on the shared pool — the batch path
+/// `wan_all` uses so multi-workload generation saturates the workers
+/// with no per-trace barrier.
+pub fn generate_wan_traces(cases: &[(WanCase, u64)], jobs: usize) -> Vec<Trace> {
+    let presets: Vec<WanPreset> = cases.iter().map(|&(c, _)| c.preset()).collect();
+    let requests: Vec<_> =
+        presets.iter().zip(cases).map(|(p, &(_, count))| (p.sim, count)).collect();
+    crate::gen::generate_batch(&requests, crate::gen::DEFAULT_CHUNK, jobs)
+        .into_iter()
+        .zip(&presets)
+        .map(|(records, p)| Trace::new(p.case.to_string(), p.interval(), records))
+        .collect()
 }
 
 #[cfg(test)]

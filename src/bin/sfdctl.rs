@@ -16,7 +16,7 @@
 //! on each end of a real path gives you the paper's deployment.
 
 use sfd::prelude::*;
-use sfd::qos::eval::{EvalConfig, ReplayEvaluator};
+use sfd::qos::eval::{EvalConfig, Evaluation};
 use sfd::qos::parallel::ParallelSweeper;
 use sfd::qos::sweep::log_spaced_margins;
 use sfd::trace::presets::WanCase;
@@ -205,8 +205,7 @@ fn cmd_eval(pos: &[String], flags: &HashMap<String, String>) {
     let trace = load_trace(path);
     let mut fd = detector_from_flags(&trace, flags);
     let warmup: usize = flag_num(flags, "warmup").unwrap_or(1000);
-    let eval = ReplayEvaluator::new(EvalConfig { warmup });
-    match eval.evaluate(&mut *fd, &trace) {
+    match Evaluation::of(&trace).config(EvalConfig { warmup }).run(&mut *fd) {
         Some(r) => {
             println!("detector: {}", fd.kind().label());
             println!("deliveries replayed: {} (warm-up {warmup})", r.deliveries);

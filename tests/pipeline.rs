@@ -150,8 +150,10 @@ fn all_presets_survive_the_full_pipeline() {
             expected_interval: trace.interval,
             alpha: trace.interval.mul_f64(10.0),
         });
-        let eval = sfd::qos::eval::ReplayEvaluator::new(EvalConfig { warmup: 500 });
-        let r = eval.evaluate(&mut fd, &trace).unwrap_or_else(|| panic!("{case} evaluable"));
+        let r = sfd::qos::eval::Evaluation::of(&trace)
+            .config(EvalConfig { warmup: 500 })
+            .run(&mut fd)
+            .unwrap_or_else(|| panic!("{case} evaluable"));
         assert!(r.qos.detection_time > Duration::ZERO, "{case}");
         assert!((0.0..=1.0).contains(&r.qos.query_accuracy), "{case}");
     }

@@ -1,0 +1,79 @@
+//! Property test for sharded trace generation: a preset's seeded RNG
+//! stream is split into deterministic per-chunk segments and stitched in
+//! order, and the result must be bit-for-bit identical to running the
+//! same chunk plan single-threaded — exact [`Trace`] equality, for every
+//! WAN preset, any chunk count, and any pool width. A one-chunk plan is
+//! additionally bit-for-bit the legacy sequential output, which is what
+//! keeps every golden artifact (all ≤ `DEFAULT_CHUNK` heartbeats)
+//! untouched while `generate_wan_traces` fans whole workloads across the
+//! shared pool.
+//!
+//! Unlike the golden-file tests, this property is RNG-backend-agnostic:
+//! both sides of every comparison run on the same backend, so it must
+//! hold even where the `rand` crates are stubbed.
+
+use proptest::prelude::*;
+use sfd::trace::gen::{generate_records, DEFAULT_CHUNK};
+use sfd::trace::presets::WanCase;
+use sfd::trace::trace::Trace;
+
+const ALL_CASES: [WanCase; 7] = [
+    WanCase::Wan0,
+    WanCase::Wan1,
+    WanCase::Wan2,
+    WanCase::Wan3,
+    WanCase::Wan4,
+    WanCase::Wan5,
+    WanCase::Wan6,
+];
+
+const CHUNK_COUNTS: [u64; 4] = [1, 2, 3, 8];
+
+fn trace_of(case: WanCase, count: u64, chunk_size: u64, jobs: usize) -> Trace {
+    let preset = case.preset();
+    let records = generate_records(preset.sim, count, chunk_size, jobs);
+    Trace::new(case.to_string(), preset.interval(), records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Parallel sharded generation ≡ the single-threaded run of the same
+    /// chunk plan, exactly, for every preset × chunk count; a one-chunk
+    /// plan ≡ the legacy sequential path.
+    #[test]
+    fn sharded_generation_equals_single_threaded(count in 600u64..2400) {
+        for case in ALL_CASES {
+            let legacy = trace_of(case, count, DEFAULT_CHUNK, 1);
+            for chunks in CHUNK_COUNTS {
+                let chunk_size = count.div_ceil(chunks);
+                let serial = trace_of(case, count, chunk_size, 1);
+                let sharded = trace_of(case, count, chunk_size, 4);
+                prop_assert_eq!(
+                    &sharded, &serial,
+                    "case {} count {} chunks {}", case, count, chunks
+                );
+                if chunks == 1 {
+                    prop_assert_eq!(&serial, &legacy, "one chunk is the legacy stream");
+                }
+            }
+        }
+    }
+
+    /// The pool width never reaches the bytes: any `jobs` value agrees
+    /// with the serial run at the same chunking.
+    #[test]
+    fn job_count_never_changes_the_bytes(count in 600u64..2400) {
+        for case in [WanCase::Wan0, WanCase::Wan2, WanCase::Wan5] {
+            let chunk_size = count.div_ceil(3);
+            let serial = trace_of(case, count, chunk_size, 1);
+            for jobs in [2usize, 3, 8] {
+                let parallel = trace_of(case, count, chunk_size, jobs);
+                prop_assert_eq!(
+                    &parallel, &serial,
+                    "case {} count {} jobs {}", case, count, jobs
+                );
+            }
+        }
+    }
+}
