@@ -16,6 +16,7 @@
 use crate::detector::{DetectorKind, FailureDetector};
 use crate::error::{CoreError, CoreResult};
 use crate::estimate::{ChenEstimator, JacobsonConfig, JacobsonEstimator};
+use crate::persist::DetectorState;
 use crate::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +136,26 @@ impl FailureDetector for BertierFd {
         self.estimator.reset();
         self.margin.reset();
     }
+
+    fn export_state(&self) -> Option<DetectorState> {
+        Some(DetectorState::Bertier {
+            arrivals: self.estimator.window().iter().collect(),
+            margin: self.margin.state(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> bool {
+        let DetectorState::Bertier { arrivals, margin } = state else { return false };
+        self.estimator.reset();
+        for s in arrivals {
+            self.estimator.record(s.seq, s.arrival);
+        }
+        // The smoother is restored directly rather than re-derived from the
+        // window: its state depends on the full arrival history, not just
+        // the retained samples.
+        self.margin.restore(margin);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +222,30 @@ mod tests {
         let fd = fd();
         assert_eq!(fd.freshness_point(), None);
         assert!(!fd.is_suspect(inst(1_000_000)));
+    }
+
+    #[test]
+    fn export_restore_round_trip() {
+        let mut noisy = fd();
+        for i in 0..500u64 {
+            let jitter = if i % 2 == 0 { 30 } else { -10 };
+            noisy.heartbeat(i, inst((i as i64 + 1) * 100 + jitter));
+        }
+        let state = noisy.export_state().unwrap();
+        let mut back = BertierFd::new(noisy.config());
+        assert!(back.restore_state(&state));
+        assert_eq!(back.freshness_point(), noisy.freshness_point());
+        assert_eq!(back.margin(), noisy.margin());
+        assert_eq!(back.margin_estimator().observations(), noisy.margin_estimator().observations());
+        // A NaN smuggled into the smoother state degrades to zero, not NaN.
+        let mut hostile = state.clone();
+        if let DetectorState::Bertier { margin, .. } = &mut hostile {
+            margin.margin_secs = f64::NAN;
+            margin.delay_secs = f64::INFINITY;
+        }
+        assert!(back.restore_state(&hostile));
+        assert_eq!(back.margin(), Duration::ZERO);
+        assert_eq!(back.margin_estimator().smoothed_delay_secs(), 0.0);
     }
 
     #[test]

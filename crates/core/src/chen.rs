@@ -16,6 +16,7 @@
 use crate::detector::{DetectorKind, FailureDetector};
 use crate::error::{CoreError, CoreResult};
 use crate::estimate::ChenEstimator;
+use crate::persist::DetectorState;
 use crate::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +122,21 @@ impl FailureDetector for ChenFd {
     fn reset(&mut self) {
         self.estimator.reset();
     }
+
+    fn export_state(&self) -> Option<DetectorState> {
+        Some(DetectorState::Chen { arrivals: self.estimator.window().iter().collect() })
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> bool {
+        let DetectorState::Chen { arrivals } = state else { return false };
+        self.estimator.reset();
+        // Replay through `record` so eviction and the shifted-sum cache are
+        // rebuilt by the live code path; out-of-order samples are dropped.
+        for s in arrivals {
+            self.estimator.record(s.seq, s.arrival);
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +220,24 @@ mod tests {
         let mut fd = periodic_fd(50);
         fd.reset();
         assert_eq!(fd.freshness_point(), None);
+    }
+
+    #[test]
+    fn export_restore_round_trip() {
+        let fd = periodic_fd(50);
+        let state = fd.export_state().unwrap();
+        let mut back = ChenFd::new(fd.config());
+        assert!(back.restore_state(&state));
+        assert_eq!(back.freshness_point(), fd.freshness_point());
+        assert_eq!(back.estimator().samples(), fd.estimator().samples());
+        assert_eq!(back.estimator().last_seq(), fd.estimator().last_seq());
+        // Cross-kind restore is rejected and the detector stays cold.
+        let mut other = ChenFd::new(fd.config());
+        assert!(!other.restore_state(&DetectorState::Phi {
+            inter_arrival_secs: vec![],
+            last_seq: None,
+            last_arrival: None,
+        }));
     }
 
     #[test]

@@ -113,6 +113,24 @@ pub trait FailureDetector {
     fn tuning_state(&self) -> Option<TuningState> {
         None
     }
+
+    /// Export the detector's learned state for checkpointing, or `None`
+    /// if the scheme does not support persistence. The four built-in
+    /// detectors all override this.
+    fn export_state(&self) -> Option<crate::persist::DetectorState> {
+        None
+    }
+
+    /// Replace the detector's learned state with a previously exported
+    /// snapshot. Returns `false` (leaving the detector untouched apart
+    /// from a reset) when the state belongs to a different scheme or the
+    /// scheme does not support persistence — the caller then proceeds
+    /// with a cold start. Implementations must tolerate arbitrary field
+    /// values (a checkpoint is untrusted input) without panicking.
+    fn restore_state(&mut self, state: &crate::persist::DetectorState) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// Point-in-time view of a self-tuning detector's feedback loop, for
@@ -213,6 +231,12 @@ impl<T: FailureDetector + ?Sized> FailureDetector for Box<T> {
     }
     fn tuning_state(&self) -> Option<TuningState> {
         (**self).tuning_state()
+    }
+    fn export_state(&self) -> Option<crate::persist::DetectorState> {
+        (**self).export_state()
+    }
+    fn restore_state(&mut self, state: &crate::persist::DetectorState) -> bool {
+        (**self).restore_state(state)
     }
 }
 

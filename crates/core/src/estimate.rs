@@ -185,6 +185,27 @@ impl JacobsonEstimator {
         self.margin = 0.0;
         self.observations = 0;
     }
+
+    /// Export the smoother state for checkpointing.
+    pub fn state(&self) -> crate::persist::JacobsonState {
+        crate::persist::JacobsonState {
+            delay_secs: self.delay,
+            error_secs: self.var,
+            margin_secs: self.margin,
+            observations: self.observations,
+        }
+    }
+
+    /// Restore a previously exported state. Non-finite fields (possible in
+    /// an untrusted checkpoint) fall back to the zero state rather than
+    /// poisoning the margin arithmetic; the weights keep their configured
+    /// values.
+    pub fn restore(&mut self, s: &crate::persist::JacobsonState) {
+        self.delay = crate::persist::finite_or(s.delay_secs, 0.0);
+        self.var = crate::persist::finite_or(s.error_secs, 0.0);
+        self.margin = crate::persist::finite_or(s.margin_secs, 0.0);
+        self.observations = s.observations;
+    }
 }
 
 #[cfg(test)]

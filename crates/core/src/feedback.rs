@@ -233,6 +233,31 @@ impl FeedbackController {
         }
     }
 
+    /// Export the mutable controller state for checkpointing. The spec
+    /// and configuration are excluded: they travel with the enclosing
+    /// `DetectorSpec`.
+    pub fn state(&self) -> crate::persist::ControllerState {
+        crate::persist::ControllerState {
+            margin: self.margin,
+            epochs: self.epochs,
+            stable_epochs: self.stable_epochs,
+            consecutive_infeasible: self.consecutive_infeasible,
+            last_sat: self.last_sat,
+        }
+    }
+
+    /// Restore a previously exported state. The margin is re-clamped to
+    /// this controller's configured `[min_margin, max_margin]`, so a
+    /// checkpoint written under looser clamps (or corrupted in flight)
+    /// cannot push `SM` outside the current operating envelope.
+    pub fn restore(&mut self, s: &crate::persist::ControllerState) {
+        self.margin = s.margin.max(self.cfg.min_margin).min(self.cfg.max_margin);
+        self.epochs = s.epochs;
+        self.stable_epochs = s.stable_epochs;
+        self.consecutive_infeasible = s.consecutive_infeasible;
+        self.last_sat = s.last_sat;
+    }
+
     /// Process one epoch: update `SM` per Eqs. 12–13 and report.
     pub fn step(&mut self, measured: &QosMeasured) -> FeedbackDecision {
         self.epochs += 1;

@@ -82,6 +82,27 @@ impl GapFiller {
     pub fn current_run_len(&self) -> u64 {
         self.current_run
     }
+
+    /// Export the loss statistics for checkpointing.
+    pub fn state(&self) -> crate::persist::GapFillerState {
+        crate::persist::GapFillerState {
+            last_delay_secs: self.last_delay_secs,
+            gap_runs: self.gap_runs,
+            total_gap_len: self.total_gap_len,
+            current_run: self.current_run,
+        }
+    }
+
+    /// Restore previously exported statistics. The baseline delay is
+    /// clamped to a finite non-negative value — `fill_loss` feeds it back
+    /// into itself, so an untrusted NaN or negative baseline would
+    /// otherwise compound forever.
+    pub fn restore(&mut self, s: &crate::persist::GapFillerState) {
+        self.last_delay_secs = crate::persist::finite_or(s.last_delay_secs, 0.0).max(0.0);
+        self.gap_runs = s.gap_runs;
+        self.total_gap_len = s.total_gap_len;
+        self.current_run = s.current_run;
+    }
 }
 
 #[cfg(test)]

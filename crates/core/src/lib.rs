@@ -65,6 +65,7 @@ pub mod histogram;
 pub mod metrics;
 pub mod monitor;
 pub mod par;
+pub mod persist;
 pub mod phi;
 pub mod qos;
 pub mod registry;
@@ -86,6 +87,7 @@ pub use metrics::{
     HistogramSnapshot, MetricFamily, MetricKind, MetricValue, MetricsSnapshot, Sample,
 };
 pub use monitor::{Monitor, StreamHealth, StreamId, StreamSnapshot};
+pub use persist::{ControllerState, DetectorState, GapFillerState, JacobsonState};
 pub use phi::{PhiConfig, PhiFd};
 pub use qos::{QosMeasured, QosSpec};
 pub use registry::DetectorSpec;
@@ -104,6 +106,7 @@ pub mod prelude {
     pub use crate::feedback::{FeedbackConfig, FeedbackController, FeedbackDecision, Sat};
     pub use crate::metrics::{MetricFamily, MetricKind, MetricValue, MetricsSnapshot};
     pub use crate::monitor::{Monitor, StreamHealth, StreamId, StreamSnapshot};
+    pub use crate::persist::{ControllerState, DetectorState, GapFillerState, JacobsonState};
     pub use crate::phi::{PhiConfig, PhiFd};
     pub use crate::qos::{QosMeasured, QosSpec};
     pub use crate::registry::DetectorSpec;

@@ -1,0 +1,250 @@
+//! Portable snapshots of learned detector state.
+//!
+//! The paper's value is *accumulated* state — the sliding arrival window,
+//! the tuned safety margin `SM`, the gap filler's loss statistics — yet a
+//! monitor restart discards all of it and re-enters the high-mistake
+//! warm-up regime. This module defines [`DetectorState`]: a plain-data
+//! snapshot each detector can export and a later incarnation (same
+//! process or a different one) can restore. The types here are
+//! transport-agnostic; the crash-safe binary file format lives in
+//! `sfd-runtime`'s `checkpoint` module.
+//!
+//! Restore is *replay-based* where possible: arrival windows are rebuilt
+//! by feeding the retained samples back through the estimator, so every
+//! derived quantity (shifted sums, incremental moments) is reconstructed
+//! by the same code path that built it live. Scalar estimator state
+//! (Jacobson smoother, feedback controller, gap filler) is restored
+//! field-by-field with finiteness guards, because a checkpoint file is
+//! untrusted input: a bit flip that survives the CRC must never smuggle a
+//! `NaN` into the margin arithmetic.
+
+use crate::detector::DetectorKind;
+use crate::feedback::Sat;
+use crate::time::{Duration, Instant};
+use crate::window::ArrivalSample;
+
+/// Clamp an untrusted float to a finite value, substituting `fallback`.
+pub(crate) fn finite_or(x: f64, fallback: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        fallback
+    }
+}
+
+/// Snapshot of a [`JacobsonEstimator`](crate::estimate::JacobsonEstimator):
+/// the smoothed delay/error pair and the margin they last produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JacobsonState {
+    /// Smoothed estimation error ("delay" in the paper), seconds.
+    pub delay_secs: f64,
+    /// Smoothed error magnitude ("var" in the paper), seconds.
+    pub error_secs: f64,
+    /// Raw (possibly negative) margin `α`, seconds.
+    pub margin_secs: f64,
+    /// Observations folded in so far.
+    pub observations: u64,
+}
+
+/// Snapshot of a [`FeedbackController`](crate::feedback::FeedbackController)'s
+/// mutable state. The QoS spec and step configuration are *not* part of
+/// the snapshot — they travel with the `DetectorSpec` the detector is
+/// rebuilt from, so a restored controller always enforces the currently
+/// configured clamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerState {
+    /// Current safety margin `SM`.
+    pub margin: Duration,
+    /// Feedback epochs processed.
+    pub epochs: u64,
+    /// Epochs in which all targets held.
+    pub stable_epochs: u64,
+    /// Consecutive infeasible epochs at snapshot time.
+    pub consecutive_infeasible: u32,
+    /// The most recent control signal.
+    pub last_sat: Option<Sat>,
+}
+
+/// Snapshot of a [`GapFiller`](crate::gapfill::GapFiller)'s loss-run
+/// statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapFillerState {
+    /// Delay attributed to the previous heartbeat (`d_{i−1}`), seconds.
+    pub last_delay_secs: f64,
+    /// Completed loss runs.
+    pub gap_runs: u64,
+    /// Total lost heartbeats across completed runs.
+    pub total_gap_len: u64,
+    /// Length of the loss run in progress.
+    pub current_run: u64,
+}
+
+/// Learned state of one failure detector, exported for checkpointing.
+///
+/// Each variant matches one `DetectorKind`; restoring a state into a
+/// detector of a different kind is rejected (the caller falls back to a
+/// cold start). All `Instant`s are on the *exporting* monitor's clock;
+/// cross-process restore must [`shift`](DetectorState::shift) them onto
+/// the new clock first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorState {
+    /// Chen FD: the arrival window is the entire learned state.
+    Chen {
+        /// Retained `(seq, arrival)` samples, oldest → newest.
+        arrivals: Vec<ArrivalSample>,
+    },
+    /// Bertier FD: arrival window plus the Jacobson margin smoother.
+    Bertier {
+        /// Retained `(seq, arrival)` samples, oldest → newest.
+        arrivals: Vec<ArrivalSample>,
+        /// Margin smoother state.
+        margin: JacobsonState,
+    },
+    /// φ FD: inter-arrival window plus the last-arrival cursor.
+    Phi {
+        /// Retained inter-arrival gaps, seconds, oldest → newest.
+        inter_arrival_secs: Vec<f64>,
+        /// Sequence number of the newest accepted heartbeat.
+        last_seq: Option<u64>,
+        /// Arrival instant of the newest accepted heartbeat.
+        last_arrival: Option<Instant>,
+    },
+    /// SFD: arrival window, tuned feedback controller, and gap filler.
+    Sfd {
+        /// Retained `(seq, arrival)` samples, oldest → newest.
+        arrivals: Vec<ArrivalSample>,
+        /// Feedback controller state (tuned margin `SM`, epoch counters).
+        controller: ControllerState,
+        /// Gap filler loss statistics.
+        gap_filler: GapFillerState,
+        /// Whether infeasibility had been reported.
+        infeasible_reported: bool,
+        /// Synthetic samples injected by gap filling.
+        synthetic_samples: u64,
+    },
+}
+
+impl DetectorState {
+    /// The detector kind this state belongs to.
+    pub fn kind(&self) -> DetectorKind {
+        match self {
+            DetectorState::Chen { .. } => DetectorKind::Chen,
+            DetectorState::Bertier { .. } => DetectorKind::Bertier,
+            DetectorState::Phi { .. } => DetectorKind::Phi,
+            DetectorState::Sfd { .. } => DetectorKind::Sfd,
+        }
+    }
+
+    /// Number of window samples carried by this state.
+    pub fn samples(&self) -> usize {
+        match self {
+            DetectorState::Chen { arrivals }
+            | DetectorState::Bertier { arrivals, .. }
+            | DetectorState::Sfd { arrivals, .. } => arrivals.len(),
+            DetectorState::Phi { inter_arrival_secs, .. } => inter_arrival_secs.len(),
+        }
+    }
+
+    /// Rebase every absolute instant by `by` (saturating). Used when a
+    /// checkpoint written on one process's clock is restored on another:
+    /// the restorer computes the offset between the two timelines and
+    /// shifts all arrival instants onto the new clock before replay.
+    /// Relative quantities (inter-arrival gaps, margins) are unaffected.
+    pub fn shift(&mut self, by: Duration) {
+        match self {
+            DetectorState::Chen { arrivals }
+            | DetectorState::Bertier { arrivals, .. }
+            | DetectorState::Sfd { arrivals, .. } => {
+                for s in arrivals.iter_mut() {
+                    s.arrival = s.arrival.saturating_add(by);
+                }
+            }
+            DetectorState::Phi { last_arrival, .. } => {
+                if let Some(t) = last_arrival {
+                    *t = t.saturating_add(by);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn kind_and_samples() {
+        let s = DetectorState::Chen {
+            arrivals: vec![
+                ArrivalSample { seq: 0, arrival: inst(100) },
+                ArrivalSample { seq: 1, arrival: inst(200) },
+            ],
+        };
+        assert_eq!(s.kind(), DetectorKind::Chen);
+        assert_eq!(s.samples(), 2);
+
+        let p = DetectorState::Phi {
+            inter_arrival_secs: vec![0.1, 0.1, 0.12],
+            last_seq: Some(3),
+            last_arrival: Some(inst(400)),
+        };
+        assert_eq!(p.kind(), DetectorKind::Phi);
+        assert_eq!(p.samples(), 3);
+    }
+
+    #[test]
+    fn shift_moves_absolute_instants_only() {
+        let mut s = DetectorState::Sfd {
+            arrivals: vec![ArrivalSample { seq: 7, arrival: inst(700) }],
+            controller: ControllerState {
+                margin: Duration::from_millis(150),
+                epochs: 4,
+                stable_epochs: 2,
+                consecutive_infeasible: 0,
+                last_sat: Some(Sat::Hold),
+            },
+            gap_filler: GapFillerState {
+                last_delay_secs: 0.01,
+                gap_runs: 1,
+                total_gap_len: 2,
+                current_run: 0,
+            },
+            infeasible_reported: false,
+            synthetic_samples: 2,
+        };
+        s.shift(Duration::from_millis(-500));
+        match &s {
+            DetectorState::Sfd { arrivals, controller, .. } => {
+                assert_eq!(arrivals[0].arrival, inst(200));
+                assert_eq!(controller.margin, Duration::from_millis(150));
+            }
+            _ => unreachable!(),
+        }
+
+        let mut p = DetectorState::Phi {
+            inter_arrival_secs: vec![0.1],
+            last_seq: Some(1),
+            last_arrival: Some(inst(100)),
+        };
+        p.shift(Duration::from_millis(50));
+        match &p {
+            DetectorState::Phi { last_arrival, inter_arrival_secs, .. } => {
+                assert_eq!(*last_arrival, Some(inst(150)));
+                assert_eq!(inter_arrival_secs[0], 0.1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn finite_or_guards() {
+        assert_eq!(finite_or(1.5, 0.0), 1.5);
+        assert_eq!(finite_or(f64::NAN, 0.25), 0.25);
+        assert_eq!(finite_or(f64::INFINITY, 0.0), 0.0);
+        assert_eq!(finite_or(f64::NEG_INFINITY, -1.0), -1.0);
+    }
+}

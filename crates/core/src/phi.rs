@@ -19,6 +19,7 @@
 
 use crate::detector::{AccrualDetector, DetectorKind, FailureDetector};
 use crate::error::{CoreError, CoreResult};
+use crate::persist::DetectorState;
 use crate::stats::{normal_quantile, normal_tail};
 use crate::time::{Duration, Instant};
 use crate::window::SampleWindow;
@@ -138,6 +139,11 @@ impl PhiFd {
         self.inter_arrivals.len()
     }
 
+    /// Arrival instant of the newest accepted heartbeat.
+    pub fn last_arrival(&self) -> Option<Instant> {
+        self.last_arrival
+    }
+
     /// The paper's Eq. 10: probability that a heartbeat arrives more than
     /// `elapsed` after the previous one.
     pub fn p_later(&self, elapsed: Duration) -> f64 {
@@ -204,6 +210,31 @@ impl FailureDetector for PhiFd {
         self.last_arrival = None;
         self.last_seq = None;
     }
+
+    fn export_state(&self) -> Option<DetectorState> {
+        Some(DetectorState::Phi {
+            inter_arrival_secs: self.inter_arrivals.iter().collect(),
+            last_seq: self.last_seq,
+            last_arrival: self.last_arrival,
+        })
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> bool {
+        let DetectorState::Phi { inter_arrival_secs, last_seq, last_arrival } = state else {
+            return false;
+        };
+        self.inter_arrivals.clear();
+        for &gap in inter_arrival_secs {
+            // Gaps are durations: finite and non-negative by construction,
+            // so anything else in an untrusted checkpoint is discarded.
+            if gap.is_finite() && gap >= 0.0 {
+                self.inter_arrivals.push(gap);
+            }
+        }
+        self.last_seq = *last_seq;
+        self.last_arrival = *last_arrival;
+        true
+    }
 }
 
 impl AccrualDetector for PhiFd {
@@ -229,6 +260,26 @@ mod tests {
 
     fn inst(ms: i64) -> Instant {
         Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn export_restore_round_trip() {
+        let fd = jittered_fd(8.0);
+        let state = fd.export_state().unwrap();
+        let mut back = PhiFd::new(fd.config());
+        assert!(back.restore_state(&state));
+        assert_eq!(back.freshness_point(), fd.freshness_point());
+        assert_eq!(back.samples(), fd.samples());
+        let t = fd.last_arrival().unwrap() + Duration::from_millis(350);
+        assert_eq!(back.suspicion(t), fd.suspicion(t));
+        // Hostile gaps (NaN, negative) are dropped on restore.
+        let mut hostile = state.clone();
+        if let DetectorState::Phi { inter_arrival_secs, .. } = &mut hostile {
+            inter_arrival_secs.push(f64::NAN);
+            inter_arrival_secs.push(-3.0);
+        }
+        assert!(back.restore_state(&hostile));
+        assert_eq!(back.samples(), fd.samples());
     }
 
     fn jittered_fd(threshold: f64) -> PhiFd {

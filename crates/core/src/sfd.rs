@@ -28,6 +28,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::estimate::ChenEstimator;
 use crate::feedback::{FeedbackConfig, FeedbackController, FeedbackDecision};
 use crate::gapfill::GapFiller;
+use crate::persist::DetectorState;
 use crate::qos::{QosMeasured, QosSpec};
 use crate::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
@@ -169,6 +170,11 @@ impl SfdFd {
         self.synthetic_samples
     }
 
+    /// Snapshot of the gap filler's loss statistics, for diagnostics.
+    pub fn gap_filler_state(&self) -> crate::persist::GapFillerState {
+        self.gap_filler.state()
+    }
+
     /// Expected arrival of the next heartbeat, `EA(k+1)`.
     pub fn next_expected_arrival(&self) -> Option<Instant> {
         self.estimator.next_expected_arrival()
@@ -236,6 +242,40 @@ impl FailureDetector for SfdFd {
 
     fn self_tuning(&mut self) -> Option<&mut dyn crate::detector::SelfTuning> {
         Some(self)
+    }
+
+    fn export_state(&self) -> Option<DetectorState> {
+        Some(DetectorState::Sfd {
+            arrivals: self.estimator.window().iter().collect(),
+            controller: self.controller.state(),
+            gap_filler: self.gap_filler.state(),
+            infeasible_reported: self.infeasible_reported,
+            synthetic_samples: self.synthetic_samples,
+        })
+    }
+
+    fn restore_state(&mut self, state: &DetectorState) -> bool {
+        let DetectorState::Sfd {
+            arrivals,
+            controller,
+            gap_filler,
+            infeasible_reported,
+            synthetic_samples,
+        } = state
+        else {
+            return false;
+        };
+        self.estimator.reset();
+        for s in arrivals {
+            self.estimator.record(s.seq, s.arrival);
+        }
+        // The controller re-clamps the restored margin to this config's
+        // bounds; the gap filler guards against non-finite baselines.
+        self.controller.restore(controller);
+        self.gap_filler.restore(gap_filler);
+        self.infeasible_reported = *infeasible_reported;
+        self.synthetic_samples = *synthetic_samples;
+        true
     }
 
     fn tuning_state(&self) -> Option<crate::detector::TuningState> {
@@ -466,6 +506,39 @@ mod tests {
         let s = fd.suspicion(inst(5000));
         assert!(s.is_finite());
         assert!(s > 0.0);
+    }
+
+    #[test]
+    fn export_restore_round_trip() {
+        let mut fd = fed(100);
+        // Lose a few heartbeats so the gap filler carries real state, and
+        // run one feedback epoch so the margin has moved off SM₁.
+        fd.heartbeat(45, inst(4600));
+        let sloppy = QosMeasured {
+            detection_time: Duration::from_millis(200),
+            mistake_rate: 0.5,
+            query_accuracy: 0.9,
+            ..QosMeasured::empty()
+        };
+        fd.apply_feedback(&sloppy);
+
+        let state = fd.export_state().unwrap();
+        let mut back = SfdFd::new(cfg(100), spec());
+        assert!(back.restore_state(&state));
+        assert_eq!(back.freshness_point(), fd.freshness_point());
+        assert_eq!(back.margin(), fd.margin());
+        assert_eq!(back.synthetic_samples(), fd.synthetic_samples());
+        assert_eq!(back.controller().epochs(), fd.controller().epochs());
+        assert_eq!(back.controller().last_sat(), fd.controller().last_sat());
+        assert_eq!(back.gap_filler_state(), fd.gap_filler_state());
+
+        // Restored margin is clamped to the restoring config's bounds.
+        let mut hostile = state.clone();
+        if let DetectorState::Sfd { controller, .. } = &mut hostile {
+            controller.margin = Duration::from_secs(10_000);
+        }
+        assert!(back.restore_state(&hostile));
+        assert_eq!(back.margin(), back.config().feedback.max_margin);
     }
 
     #[test]

@@ -165,15 +165,6 @@ impl Default for EvalScratch {
 /// assert!(report.qos.detection_time > Duration::ZERO);
 /// ```
 ///
-/// ## Migrating from the old four-way `ReplayEvaluator` surface
-///
-/// | deprecated call | builder equivalent |
-/// |---|---|
-/// | `ReplayEvaluator::new(cfg).evaluate(&mut d, &trace)` | `Evaluation::of(&trace).config(cfg).run(&mut d)` |
-/// | `….evaluate_with_epochs(&mut d, &trace, len, hook)` | `Evaluation::of(&trace).config(cfg).epochs(len).run_with_epochs(&mut d, hook)` |
-/// | `….evaluate_scheduled(&mut d, &sched, &mut scratch)` | `Evaluation::over(&sched).config(cfg).scratch(&mut scratch).run(&mut d)` |
-/// | `….evaluate_scheduled_with_epochs(&mut d, &sched, &mut scratch, len, hook)` | `Evaluation::over(&sched).config(cfg).scratch(&mut scratch).epochs(len).run_with_epochs(&mut d, hook)` |
-///
 /// Sweeps that share one schedule across many points keep doing exactly
 /// that: build the [`ReplaySchedule`] once, then one cheap `Evaluation`
 /// per point over it.
@@ -279,95 +270,6 @@ impl<'a> Evaluation<'a> {
                 replay(cfg, detector, schedule, &mut s, epoch_len, on_epoch)
             }
         }
-    }
-}
-
-/// Replays traces through detectors.
-///
-/// Superseded by the [`Evaluation`] builder; the struct remains as the
-/// namespace for the deprecated compatibility shims (see the migration
-/// table on [`Evaluation`]).
-#[derive(Debug, Clone, Default)]
-pub struct ReplayEvaluator {
-    cfg: EvalConfig,
-}
-
-impl ReplayEvaluator {
-    /// Evaluator with the given configuration.
-    pub fn new(cfg: EvalConfig) -> Self {
-        ReplayEvaluator { cfg }
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> EvalConfig {
-        self.cfg
-    }
-
-    /// Replay `trace` through `detector` and measure its QoS.
-    #[deprecated(since = "0.6.0", note = "use Evaluation::of(trace).config(cfg).run(detector)")]
-    pub fn evaluate<D: FailureDetector + ?Sized>(
-        &self,
-        detector: &mut D,
-        trace: &Trace,
-    ) -> Option<EvalReport> {
-        Evaluation::of(trace).config(self.cfg).run(detector)
-    }
-
-    /// Replay with an epoch callback.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Evaluation::of(trace).config(cfg).epochs(len).run_with_epochs(detector, hook)"
-    )]
-    pub fn evaluate_with_epochs<D, F>(
-        &self,
-        detector: &mut D,
-        trace: &Trace,
-        epoch_len: Duration,
-        on_epoch: F,
-    ) -> Option<EvalReport>
-    where
-        D: FailureDetector + ?Sized,
-        F: FnMut(&mut D, &QosMeasured),
-    {
-        Evaluation::of(trace).config(self.cfg).epochs(epoch_len).run_with_epochs(detector, on_epoch)
-    }
-
-    /// Replay a pre-resolved schedule through `detector`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Evaluation::over(schedule).config(cfg).scratch(scratch).run(detector)"
-    )]
-    pub fn evaluate_scheduled<D: FailureDetector + ?Sized>(
-        &self,
-        detector: &mut D,
-        schedule: &ReplaySchedule,
-        scratch: &mut EvalScratch,
-    ) -> Option<EvalReport> {
-        Evaluation::over(schedule).config(self.cfg).scratch(scratch).run(detector)
-    }
-
-    /// Replay a pre-resolved schedule with the epoch feedback hook.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Evaluation::over(schedule).config(cfg).scratch(scratch).epochs(len).run_with_epochs(detector, hook)"
-    )]
-    pub fn evaluate_scheduled_with_epochs<D, F>(
-        &self,
-        detector: &mut D,
-        schedule: &ReplaySchedule,
-        scratch: &mut EvalScratch,
-        epoch_len: Duration,
-        on_epoch: F,
-    ) -> Option<EvalReport>
-    where
-        D: FailureDetector + ?Sized,
-        F: FnMut(&mut D, &QosMeasured),
-    {
-        Evaluation::over(schedule)
-            .config(self.cfg)
-            .scratch(scratch)
-            .epochs(epoch_len)
-            .run_with_epochs(detector, on_epoch)
     }
 }
 
@@ -708,23 +610,5 @@ mod tests {
             .run(&mut ticked)
             .unwrap();
         assert_eq!(a, b);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_builder() {
-        let trace = trace_with_losses(400, &[100]);
-        let eval = ReplayEvaluator::new(EvalConfig { warmup: 50 });
-        let mut fd1 = chen(20, 10);
-        let mut fd2 = chen(20, 10);
-        let old = eval.evaluate(&mut fd1, &trace).unwrap();
-        let new = Evaluation::of(&trace).warmup(50).run(&mut fd2).unwrap();
-        assert_eq!(old, new);
-
-        let schedule = ReplaySchedule::new(&trace);
-        let mut scratch = EvalScratch::new();
-        let mut fd3 = chen(20, 10);
-        let old_sched = eval.evaluate_scheduled(&mut fd3, &schedule, &mut scratch).unwrap();
-        assert_eq!(old_sched, new);
     }
 }

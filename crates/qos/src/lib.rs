@@ -42,7 +42,7 @@ pub use ablation::{
 };
 pub use area::{can_match, coverage, crossover_td, dominates, pareto_front, RequirementGrid};
 pub use convergence::{ConvergenceReport, EpochSnapshot};
-pub use eval::{EvalConfig, EvalReport, EvalScratch, Evaluation, ReplayEvaluator, ReplaySchedule};
+pub use eval::{EvalConfig, EvalReport, EvalScratch, Evaluation, ReplaySchedule};
 pub use parallel::{effective_jobs, par_map, par_map_with, ParallelSweeper};
 pub use planner::{plan_margin, MarginPlan, NetworkModel};
 pub use report::{CurvePoint, CurveSeries, ExperimentResult};

@@ -1,0 +1,1101 @@
+//! Crash-safe checkpoints of learned monitor state.
+//!
+//! A monitor restart — supervisor `catch_unwind`, process crash, planned
+//! redeploy — cold-starts every stream and discards exactly the state the
+//! paper's scheme spends an epoch accumulating: arrival windows, tuned
+//! safety margins, gap statistics. This module defines the on-disk
+//! snapshot that survives those restarts:
+//!
+//! ```text
+//! ┌───────┬─────────┬─────────────┬─────────┬───────┐
+//! │ magic │ version │ payload_len │ payload │ crc32 │
+//! │ SFCP  │   u8    │     u32     │  bytes  │  u32  │
+//! └───────┴─────────┴─────────────┴─────────┴───────┘
+//! ```
+//!
+//! All integers are big-endian; floats travel as IEEE-754 bit patterns.
+//! The CRC (IEEE polynomial, the one used by zlib and Ethernet) covers
+//! the payload; the header is protected by its own structural checks, so
+//! *every* single-bit flip anywhere in the file is detected. Decoding is
+//! panic-free by construction: every read is bounds-checked, every count
+//! is validated against the bytes that remain, and a malformed file is a
+//! [`CheckpointError`], never a crash or a silently wrong detector.
+//!
+//! Persistence is atomic: [`save_atomic`] writes to a sibling temp file,
+//! fsyncs, then renames over the target, so a crash mid-write leaves the
+//! previous checkpoint intact.
+//!
+//! ## Clock rebasing
+//!
+//! Monitor instants are offsets from a per-process epoch
+//! ([`WallClock`](crate::clock::WallClock) anchors `Instant::ZERO` at
+//! clock creation), so instants from one process are meaningless in
+//! another. A checkpoint therefore records the *pair* (wall-clock time,
+//! monitor instant) at creation; the restoring process computes the shift
+//! between the two timelines from its own pair and rebases every stored
+//! instant before replay. Downtime is preserved: a stream silent across
+//! the restart has its freshness point correctly in the past.
+
+use crate::clock::WallClock;
+use sfd_core::monitor::StreamHealth;
+use sfd_core::persist::{ControllerState, DetectorState, GapFillerState, JacobsonState};
+use sfd_core::qos::{QosMeasured, QosSpec};
+use sfd_core::registry::DetectorSpec;
+use sfd_core::suspicion::Transition;
+use sfd_core::time::{Duration, Instant};
+use sfd_core::window::ArrivalSample;
+use sfd_core::{
+    estimate::JacobsonConfig, BertierConfig, ChenConfig, FeedbackConfig, PhiConfig, SfdConfig,
+};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File magic: "SFCP" (SFd CheckPoint).
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SFCP";
+/// Current format version. Decoders reject anything else.
+pub const CHECKPOINT_VERSION: u8 = 1;
+/// Header (magic + version + payload length) plus trailing CRC.
+pub const CHECKPOINT_OVERHEAD: usize = 4 + 1 + 4 + 4;
+/// Most recent transitions retained per stream when exporting. The
+/// suspicion log is epoch-truncated in steady state but can grow between
+/// epochs; the cap bounds checkpoint size without touching live state.
+pub const MAX_STREAM_TRANSITIONS: usize = 1024;
+/// Upper bound on a spec's window size accepted from a checkpoint file.
+/// Rebuilding a detector pre-allocates the window, so an unchecked
+/// corrupted size would turn into a gigantic allocation.
+const MAX_SPEC_WINDOW: u64 = 1 << 22;
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file is shorter than the fixed header + trailer.
+    TooSmall,
+    /// The magic bytes are not `SFCP`.
+    BadMagic,
+    /// The format version is not one this build understands.
+    UnsupportedVersion(u8),
+    /// The declared payload length disagrees with the file size.
+    LengthMismatch {
+        /// Bytes the header implies the file should hold.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The payload checksum does not match (truncation within the
+    /// declared length, bit rot, or tampering).
+    BadCrc {
+        /// CRC recorded in the file.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The payload is structurally invalid (bad tag, non-monotonic
+    /// cursors, count exceeding the remaining bytes, …).
+    Malformed(&'static str),
+    /// The checkpoint is older than the configured maximum age; the
+    /// learned state no longer describes the network and the caller
+    /// should cold-start instead.
+    Stale {
+        /// Age of the checkpoint at load time.
+        age: Duration,
+        /// The configured clamp it exceeded.
+        max_age: Duration,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::TooSmall => write!(f, "file too small to be a checkpoint"),
+            CheckpointError::BadMagic => write!(f, "bad magic (not an SFCP checkpoint)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION})")
+            }
+            CheckpointError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: header implies {expected} bytes, found {found}")
+            }
+            CheckpointError::BadCrc { stored, computed } => {
+                write!(f, "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CheckpointError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            CheckpointError::Stale { age, max_age } => {
+                write!(f, "checkpoint is stale: age {age} exceeds clamp {max_age}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Where and how often a [`MultiMonitorService`](crate::multi::MultiMonitorService)
+/// persists checkpoints, and how old a checkpoint may be before a warm
+/// restart refuses it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path. The sibling `<path>.tmp` is used for the
+    /// atomic write-rename dance and must be on the same filesystem.
+    pub path: PathBuf,
+    /// Cadence of periodic saves from the service loop; `None` saves only
+    /// on [`stop`](crate::multi::MultiMonitorService::stop) and explicit
+    /// [`save_checkpoint`](crate::multi::MultiMonitorService::save_checkpoint)
+    /// calls.
+    pub every: Option<Duration>,
+    /// Maximum checkpoint age accepted on load. Ancient state describes a
+    /// network that no longer exists; past this clamp the service
+    /// cold-starts instead of poisoning its estimators. `None` disables
+    /// the clamp.
+    pub max_age: Option<Duration>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` with the default cadence (every 5 s) and
+    /// staleness clamp (15 min).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every: Some(Duration::from_secs(5)),
+            max_age: Some(Duration::from_secs(900)),
+        }
+    }
+
+    /// Set the periodic save cadence (`None` = only on stop).
+    pub fn every(mut self, every: Option<Duration>) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Set the staleness clamp (`None` = accept any age).
+    pub fn max_age(mut self, max_age: Option<Duration>) -> Self {
+        self.max_age = max_age;
+        self
+    }
+}
+
+/// Everything the monitor knows about one stream, in portable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Stream identifier.
+    pub stream: u64,
+    /// The spec the detector was built from; restore rebuilds from this,
+    /// so config changes between runs win over stale persisted layouts.
+    pub spec: DetectorSpec,
+    /// The detector's learned state.
+    pub detector: DetectorState,
+    /// Heartbeats accepted on this stream.
+    pub heartbeats: u64,
+    /// Arrival instant of the newest accepted heartbeat.
+    pub last_heartbeat: Option<Instant>,
+    /// Sequence number of the newest accepted heartbeat.
+    pub last_seq: Option<u64>,
+    /// Consecutive stale-sequence rejections (rebaseline cursor).
+    pub stale_streak: u32,
+    /// Whether the stream was suspected at checkpoint time.
+    pub suspect: bool,
+    /// Ingest-hardening counters.
+    pub health: StreamHealth,
+    /// Most recent trust/suspect transitions (capped at
+    /// [`MAX_STREAM_TRANSITIONS`]).
+    pub transitions: Vec<Transition>,
+    /// QoS measured over the last completed feedback epoch.
+    pub last_qos: Option<QosMeasured>,
+}
+
+impl StreamCheckpoint {
+    /// Rebase every absolute instant by `by` (saturating) — see the
+    /// module docs on cross-process clock rebasing.
+    pub fn shift(&mut self, by: Duration) {
+        self.detector.shift(by);
+        if let Some(t) = &mut self.last_heartbeat {
+            *t = t.saturating_add(by);
+        }
+        for tr in &mut self.transitions {
+            tr.at = tr.at.saturating_add(by);
+        }
+    }
+}
+
+/// A complete snapshot of a multi-stream monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Wall-clock time (UNIX nanoseconds) when the snapshot was taken.
+    pub created_wall_nanos: i64,
+    /// The monitor-clock instant paired with `created_wall_nanos`; with
+    /// the restorer's own (wall, instant) pair this determines the shift
+    /// between the two timelines.
+    pub created_instant: Instant,
+    /// Per-stream snapshots, sorted by stream id.
+    pub streams: Vec<StreamCheckpoint>,
+}
+
+impl Checkpoint {
+    /// Age of this checkpoint at wall-clock time `wall_nanos` (clamped to
+    /// zero if the clock went backwards across the restart).
+    pub fn age_at(&self, wall_nanos: i64) -> Duration {
+        Duration::from_nanos(wall_nanos.saturating_sub(self.created_wall_nanos)).max_zero()
+    }
+
+    /// The shift that maps instants on the checkpoint's timeline onto a
+    /// restorer whose monitor clock reads `now` at wall time `now_wall`.
+    pub fn restore_shift(&self, now: Instant, now_wall_nanos: i64) -> Duration {
+        (now - self.created_instant) - self.age_at(now_wall_nanos)
+    }
+
+    /// Serialise to the framed, CRC-guarded byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Wr::default();
+        payload.i64(self.created_wall_nanos);
+        payload.instant(self.created_instant);
+        payload.u32(self.streams.len() as u32);
+        for s in &self.streams {
+            encode_stream(&mut payload, s);
+        }
+        let payload = payload.buf;
+
+        let mut out = Vec::with_capacity(payload.len() + CHECKPOINT_OVERHEAD);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_be_bytes());
+        out
+    }
+
+    /// Parse and verify a checkpoint file image. Never panics: any
+    /// deviation from the format is a [`CheckpointError`].
+    pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if data.len() < CHECKPOINT_OVERHEAD {
+            return Err(CheckpointError::TooSmall);
+        }
+        if data[..4] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if data[4] != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(data[4]));
+        }
+        let declared = u32::from_be_bytes([data[5], data[6], data[7], data[8]]) as usize;
+        let expected = declared
+            .checked_add(CHECKPOINT_OVERHEAD)
+            .ok_or(CheckpointError::Malformed("payload length overflows"))?;
+        if data.len() != expected {
+            return Err(CheckpointError::LengthMismatch { expected, found: data.len() });
+        }
+        let payload = &data[9..9 + declared];
+        let stored = u32::from_be_bytes([
+            data[expected - 4],
+            data[expected - 3],
+            data[expected - 2],
+            data[expected - 1],
+        ]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CheckpointError::BadCrc { stored, computed });
+        }
+
+        let mut rd = Rd { b: payload };
+        let created_wall_nanos = rd.i64()?;
+        let created_instant = rd.instant()?;
+        let count = rd.u32()? as usize;
+        // Each stream record is ≥ 40 bytes even when empty; bound the
+        // allocation by what the payload could possibly hold.
+        if count > rd.remaining() / 40 {
+            return Err(CheckpointError::Malformed("stream count exceeds payload"));
+        }
+        let mut streams = Vec::with_capacity(count);
+        let mut prev_stream: Option<u64> = None;
+        for _ in 0..count {
+            let s = decode_stream(&mut rd)?;
+            if prev_stream.is_some_and(|p| s.stream <= p) {
+                return Err(CheckpointError::Malformed("stream ids not strictly increasing"));
+            }
+            prev_stream = Some(s.stream);
+            streams.push(s);
+        }
+        if rd.remaining() != 0 {
+            return Err(CheckpointError::Malformed("trailing payload bytes"));
+        }
+        Ok(Checkpoint { created_wall_nanos, created_instant, streams })
+    }
+}
+
+/// Current wall-clock time as UNIX nanoseconds (saturating).
+pub fn wall_now_nanos() -> i64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => i64::try_from(d.as_nanos()).unwrap_or(i64::MAX),
+        Err(_) => 0,
+    }
+}
+
+/// Build a checkpoint envelope stamped with the current wall clock and
+/// the given monitor clock.
+pub fn snapshot(clock: &WallClock, streams: Vec<StreamCheckpoint>) -> Checkpoint {
+    Checkpoint { created_wall_nanos: wall_now_nanos(), created_instant: clock.now(), streams }
+}
+
+/// Atomically persist `cp` to `path`: encode, write `<path>.tmp`, fsync,
+/// rename. Returns the encoded size in bytes.
+pub fn save_atomic(path: &Path, cp: &Checkpoint) -> std::io::Result<u64> {
+    let bytes = cp.encode();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Load and verify the checkpoint at `path`.
+pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let data = std::fs::read(path)?;
+    Checkpoint::decode(&data)
+}
+
+/// Load, verify, and age-clamp the checkpoint at `path`: a checkpoint
+/// older than `max_age` at wall time `now_wall_nanos` is rejected as
+/// [`CheckpointError::Stale`].
+pub fn load_fresh(
+    path: &Path,
+    max_age: Option<Duration>,
+    now_wall_nanos: i64,
+) -> Result<Checkpoint, CheckpointError> {
+    let cp = load(path)?;
+    if let Some(max_age) = max_age {
+        let age = cp.age_at(now_wall_nanos);
+        if age > max_age {
+            return Err(CheckpointError::Stale { age, max_age });
+        }
+    }
+    Ok(cp)
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, reflected), hand-rolled: the container has
+// no crc crate and the polynomial fits in a const table.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`, as produced by zlib's `crc32()`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Payload writer/reader. The reader is panic-free: every access is
+// length-checked and returns Malformed on underrun.
+
+#[derive(Default)]
+struct Wr {
+    buf: Vec<u8>,
+}
+
+impl Wr {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn duration(&mut self, v: Duration) {
+        self.i64(v.as_nanos());
+    }
+    fn instant(&mut self, v: Instant) {
+        self.i64(v.as_nanos());
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn opt_instant(&mut self, v: Option<Instant>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.instant(x);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn opt_duration(&mut self, v: Option<Duration>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.duration(x);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+struct Rd<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Rd<'a> {
+    fn remaining(&self) -> usize {
+        self.b.len()
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.b.len() < n {
+            return Err(CheckpointError::Malformed("payload truncated"));
+        }
+        let (head, tail) = self.b.split_at(n);
+        self.b = tail;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn i64(&mut self) -> Result<i64, CheckpointError> {
+        Ok(self.u64()? as i64)
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A spec-parameter float. NaN is always corruption; infinities are
+    /// left to `DetectorSpec::validate` at rebuild time (they are
+    /// legitimate in places — `QosSpec::permissive()` uses `+∞` for "no
+    /// mistake-rate bound").
+    fn spec_f64(&mut self) -> Result<f64, CheckpointError> {
+        let v = self.f64()?;
+        if v.is_nan() {
+            Err(CheckpointError::Malformed("NaN spec float"))
+        } else {
+            Ok(v)
+        }
+    }
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Malformed("invalid bool tag")),
+        }
+    }
+    fn duration(&mut self) -> Result<Duration, CheckpointError> {
+        Ok(Duration::from_nanos(self.i64()?))
+    }
+    fn instant(&mut self) -> Result<Instant, CheckpointError> {
+        Ok(Instant::from_nanos(self.i64()?))
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, CheckpointError> {
+        match self.bool()? {
+            false => Ok(None),
+            true => Ok(Some(self.u64()?)),
+        }
+    }
+    fn opt_instant(&mut self) -> Result<Option<Instant>, CheckpointError> {
+        match self.bool()? {
+            false => Ok(None),
+            true => Ok(Some(self.instant()?)),
+        }
+    }
+    fn opt_duration(&mut self) -> Result<Option<Duration>, CheckpointError> {
+        match self.bool()? {
+            false => Ok(None),
+            true => Ok(Some(self.duration()?)),
+        }
+    }
+    /// Read a `u32` element count and verify the remaining payload can
+    /// actually hold `count` elements of at least `elem_size` bytes.
+    fn count(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(elem_size).is_none_or(|total| total > self.remaining()) {
+            return Err(CheckpointError::Malformed("count exceeds payload"));
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream / spec / state codecs.
+
+const KIND_CHEN: u8 = 0;
+const KIND_BERTIER: u8 = 1;
+const KIND_PHI: u8 = 2;
+const KIND_SFD: u8 = 3;
+
+fn encode_stream(w: &mut Wr, s: &StreamCheckpoint) {
+    w.u64(s.stream);
+    encode_spec(w, &s.spec);
+    encode_state(w, &s.detector);
+    w.u64(s.heartbeats);
+    w.opt_instant(s.last_heartbeat);
+    w.opt_u64(s.last_seq);
+    w.u32(s.stale_streak);
+    w.bool(s.suspect);
+    w.u64(s.health.duplicates);
+    w.u64(s.health.rejected_seq_jumps);
+    w.u64(s.health.rejected_timestamps);
+    w.u64(s.health.clock_clamps);
+    w.u64(s.health.rebaselines);
+    w.u64(s.health.supervisor_restarts);
+    w.u32(s.transitions.len() as u32);
+    for t in &s.transitions {
+        w.instant(t.at);
+        w.bool(t.suspect);
+    }
+    match &s.last_qos {
+        None => w.bool(false),
+        Some(q) => {
+            w.bool(true);
+            w.duration(q.detection_time);
+            w.f64(q.mistake_rate);
+            w.f64(q.query_accuracy);
+            w.opt_duration(q.avg_mistake_duration);
+            w.opt_duration(q.avg_mistake_recurrence);
+            w.u64(q.mistakes);
+            w.duration(q.observed_for);
+        }
+    }
+}
+
+fn decode_stream(rd: &mut Rd<'_>) -> Result<StreamCheckpoint, CheckpointError> {
+    let stream = rd.u64()?;
+    let spec = decode_spec(rd)?;
+    let detector = decode_state(rd)?;
+    if detector.kind() != spec.kind() {
+        return Err(CheckpointError::Malformed("detector state kind disagrees with spec"));
+    }
+    let heartbeats = rd.u64()?;
+    let last_heartbeat = rd.opt_instant()?;
+    let last_seq = rd.opt_u64()?;
+    let stale_streak = rd.u32()?;
+    let suspect = rd.bool()?;
+    let health = StreamHealth {
+        duplicates: rd.u64()?,
+        rejected_seq_jumps: rd.u64()?,
+        rejected_timestamps: rd.u64()?,
+        clock_clamps: rd.u64()?,
+        rebaselines: rd.u64()?,
+        supervisor_restarts: rd.u64()?,
+    };
+    let n = rd.count(9)?;
+    let mut transitions = Vec::with_capacity(n);
+    let mut prev: Option<Instant> = None;
+    for _ in 0..n {
+        let at = rd.instant()?;
+        let suspect = rd.bool()?;
+        // The suspicion log asserts time order on replay; enforce it here
+        // so a corrupt file surfaces as an error, not a downstream panic.
+        if prev.is_some_and(|p| at < p) {
+            return Err(CheckpointError::Malformed("transitions out of time order"));
+        }
+        prev = Some(at);
+        transitions.push(Transition { at, suspect });
+    }
+    let last_qos = match rd.bool()? {
+        false => None,
+        true => Some(QosMeasured {
+            detection_time: rd.duration()?,
+            mistake_rate: rd.f64()?,
+            query_accuracy: rd.f64()?,
+            avg_mistake_duration: rd.opt_duration()?,
+            avg_mistake_recurrence: rd.opt_duration()?,
+            mistakes: rd.u64()?,
+            observed_for: rd.duration()?,
+        }),
+    };
+    Ok(StreamCheckpoint {
+        stream,
+        spec,
+        detector,
+        heartbeats,
+        last_heartbeat,
+        last_seq,
+        stale_streak,
+        suspect,
+        health,
+        transitions,
+        last_qos,
+    })
+}
+
+fn encode_spec(w: &mut Wr, spec: &DetectorSpec) {
+    match spec {
+        DetectorSpec::Chen(c) => {
+            w.u8(KIND_CHEN);
+            w.u64(c.window as u64);
+            w.duration(c.expected_interval);
+            w.duration(c.alpha);
+        }
+        DetectorSpec::Bertier(c) => {
+            w.u8(KIND_BERTIER);
+            w.u64(c.window as u64);
+            w.duration(c.expected_interval);
+            w.f64(c.jacobson.gamma);
+            w.f64(c.jacobson.beta);
+            w.f64(c.jacobson.phi);
+        }
+        DetectorSpec::Phi(c) => {
+            w.u8(KIND_PHI);
+            w.u64(c.window as u64);
+            w.duration(c.expected_interval);
+            w.f64(c.threshold);
+            w.f64(c.min_std_fraction);
+        }
+        DetectorSpec::Sfd { config, qos } => {
+            w.u8(KIND_SFD);
+            w.u64(config.window as u64);
+            w.duration(config.expected_interval);
+            w.duration(config.initial_margin);
+            w.duration(config.feedback.alpha);
+            w.f64(config.feedback.beta);
+            w.duration(config.feedback.min_margin);
+            w.duration(config.feedback.max_margin);
+            w.u32(config.feedback.infeasible_tolerance);
+            w.bool(config.fill_gaps);
+            w.duration(qos.max_detection_time);
+            w.f64(qos.max_mistake_rate);
+            w.f64(qos.min_query_accuracy);
+        }
+    }
+}
+
+fn decode_window(rd: &mut Rd<'_>) -> Result<usize, CheckpointError> {
+    let w = rd.u64()?;
+    if w == 0 || w > MAX_SPEC_WINDOW {
+        return Err(CheckpointError::Malformed("spec window size out of range"));
+    }
+    Ok(w as usize)
+}
+
+fn decode_spec(rd: &mut Rd<'_>) -> Result<DetectorSpec, CheckpointError> {
+    match rd.u8()? {
+        KIND_CHEN => Ok(DetectorSpec::Chen(ChenConfig {
+            window: decode_window(rd)?,
+            expected_interval: rd.duration()?,
+            alpha: rd.duration()?,
+        })),
+        KIND_BERTIER => Ok(DetectorSpec::Bertier(BertierConfig {
+            window: decode_window(rd)?,
+            expected_interval: rd.duration()?,
+            jacobson: JacobsonConfig {
+                gamma: rd.spec_f64()?,
+                beta: rd.spec_f64()?,
+                phi: rd.spec_f64()?,
+            },
+        })),
+        KIND_PHI => Ok(DetectorSpec::Phi(PhiConfig {
+            window: decode_window(rd)?,
+            expected_interval: rd.duration()?,
+            threshold: rd.spec_f64()?,
+            min_std_fraction: rd.spec_f64()?,
+        })),
+        KIND_SFD => Ok(DetectorSpec::Sfd {
+            config: SfdConfig {
+                window: decode_window(rd)?,
+                expected_interval: rd.duration()?,
+                initial_margin: rd.duration()?,
+                feedback: FeedbackConfig {
+                    alpha: rd.duration()?,
+                    beta: rd.spec_f64()?,
+                    min_margin: rd.duration()?,
+                    max_margin: rd.duration()?,
+                    infeasible_tolerance: rd.u32()?,
+                },
+                fill_gaps: rd.bool()?,
+            },
+            qos: QosSpec {
+                max_detection_time: rd.duration()?,
+                max_mistake_rate: rd.spec_f64()?,
+                min_query_accuracy: rd.spec_f64()?,
+            },
+        }),
+        _ => Err(CheckpointError::Malformed("unknown detector spec tag")),
+    }
+}
+
+fn encode_arrivals(w: &mut Wr, arrivals: &[ArrivalSample]) {
+    w.u32(arrivals.len() as u32);
+    for a in arrivals {
+        w.u64(a.seq);
+        w.instant(a.arrival);
+    }
+}
+
+fn decode_arrivals(rd: &mut Rd<'_>) -> Result<Vec<ArrivalSample>, CheckpointError> {
+    let n = rd.count(16)?;
+    let mut arrivals = Vec::with_capacity(n);
+    let mut prev: Option<u64> = None;
+    for _ in 0..n {
+        let seq = rd.u64()?;
+        let arrival = rd.instant()?;
+        // The arrival window requires strictly increasing sequence
+        // numbers; a violation here means the file is corrupt.
+        if prev.is_some_and(|p| seq <= p) {
+            return Err(CheckpointError::Malformed("arrival seqs not strictly increasing"));
+        }
+        prev = Some(seq);
+        arrivals.push(ArrivalSample { seq, arrival });
+    }
+    Ok(arrivals)
+}
+
+fn encode_jacobson(w: &mut Wr, j: &JacobsonState) {
+    w.f64(j.delay_secs);
+    w.f64(j.error_secs);
+    w.f64(j.margin_secs);
+    w.u64(j.observations);
+}
+
+fn decode_jacobson(rd: &mut Rd<'_>) -> Result<JacobsonState, CheckpointError> {
+    Ok(JacobsonState {
+        delay_secs: rd.f64()?,
+        error_secs: rd.f64()?,
+        margin_secs: rd.f64()?,
+        observations: rd.u64()?,
+    })
+}
+
+fn encode_state(w: &mut Wr, state: &DetectorState) {
+    match state {
+        DetectorState::Chen { arrivals } => {
+            w.u8(KIND_CHEN);
+            encode_arrivals(w, arrivals);
+        }
+        DetectorState::Bertier { arrivals, margin } => {
+            w.u8(KIND_BERTIER);
+            encode_arrivals(w, arrivals);
+            encode_jacobson(w, margin);
+        }
+        DetectorState::Phi { inter_arrival_secs, last_seq, last_arrival } => {
+            w.u8(KIND_PHI);
+            w.u32(inter_arrival_secs.len() as u32);
+            for &g in inter_arrival_secs {
+                w.f64(g);
+            }
+            w.opt_u64(*last_seq);
+            w.opt_instant(*last_arrival);
+        }
+        DetectorState::Sfd {
+            arrivals,
+            controller,
+            gap_filler,
+            infeasible_reported,
+            synthetic_samples,
+        } => {
+            w.u8(KIND_SFD);
+            encode_arrivals(w, arrivals);
+            w.duration(controller.margin);
+            w.u64(controller.epochs);
+            w.u64(controller.stable_epochs);
+            w.u32(controller.consecutive_infeasible);
+            w.u8(match controller.last_sat {
+                None => 0,
+                Some(sfd_core::Sat::Increase) => 1,
+                Some(sfd_core::Sat::Hold) => 2,
+                Some(sfd_core::Sat::Decrease) => 3,
+            });
+            w.f64(gap_filler.last_delay_secs);
+            w.u64(gap_filler.gap_runs);
+            w.u64(gap_filler.total_gap_len);
+            w.u64(gap_filler.current_run);
+            w.bool(*infeasible_reported);
+            w.u64(*synthetic_samples);
+        }
+    }
+}
+
+fn decode_state(rd: &mut Rd<'_>) -> Result<DetectorState, CheckpointError> {
+    match rd.u8()? {
+        KIND_CHEN => Ok(DetectorState::Chen { arrivals: decode_arrivals(rd)? }),
+        KIND_BERTIER => Ok(DetectorState::Bertier {
+            arrivals: decode_arrivals(rd)?,
+            margin: decode_jacobson(rd)?,
+        }),
+        KIND_PHI => {
+            let n = rd.count(8)?;
+            let mut inter_arrival_secs = Vec::with_capacity(n);
+            for _ in 0..n {
+                inter_arrival_secs.push(rd.f64()?);
+            }
+            Ok(DetectorState::Phi {
+                inter_arrival_secs,
+                last_seq: rd.opt_u64()?,
+                last_arrival: rd.opt_instant()?,
+            })
+        }
+        KIND_SFD => Ok(DetectorState::Sfd {
+            arrivals: decode_arrivals(rd)?,
+            controller: ControllerState {
+                margin: rd.duration()?,
+                epochs: rd.u64()?,
+                stable_epochs: rd.u64()?,
+                consecutive_infeasible: rd.u32()?,
+                last_sat: match rd.u8()? {
+                    0 => None,
+                    1 => Some(sfd_core::Sat::Increase),
+                    2 => Some(sfd_core::Sat::Hold),
+                    3 => Some(sfd_core::Sat::Decrease),
+                    _ => return Err(CheckpointError::Malformed("invalid Sat tag")),
+                },
+            },
+            gap_filler: GapFillerState {
+                last_delay_secs: rd.f64()?,
+                gap_runs: rd.u64()?,
+                total_gap_len: rd.u64()?,
+                current_run: rd.u64()?,
+            },
+            infeasible_reported: rd.bool()?,
+            synthetic_samples: rd.u64()?,
+        }),
+        _ => Err(CheckpointError::Malformed("unknown detector state tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfd_core::DetectorKind;
+
+    fn inst(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut streams = Vec::new();
+        for (i, kind) in DetectorKind::all().into_iter().enumerate() {
+            let spec = DetectorSpec::default_for(kind, Duration::from_millis(100));
+            let mut fd = spec.build().unwrap();
+            for seq in 0..60u64 {
+                fd.heartbeat(seq, inst((seq as i64 + 1) * 100 + (seq as i64 % 7)));
+            }
+            streams.push(StreamCheckpoint {
+                stream: i as u64 * 11 + 3,
+                detector: fd.export_state().unwrap(),
+                spec,
+                heartbeats: 60,
+                last_heartbeat: Some(inst(6004)),
+                last_seq: Some(59),
+                stale_streak: i as u32,
+                suspect: i % 2 == 1,
+                health: StreamHealth {
+                    duplicates: 2,
+                    rejected_seq_jumps: 1,
+                    rejected_timestamps: 0,
+                    clock_clamps: 3,
+                    rebaselines: 1,
+                    supervisor_restarts: 0,
+                },
+                transitions: vec![
+                    Transition { at: inst(500), suspect: true },
+                    Transition { at: inst(900), suspect: false },
+                ],
+                last_qos: (i == 0).then(|| QosMeasured {
+                    detection_time: Duration::from_millis(350),
+                    mistake_rate: 0.004,
+                    query_accuracy: 0.997,
+                    avg_mistake_duration: Some(Duration::from_millis(40)),
+                    avg_mistake_recurrence: None,
+                    mistakes: 2,
+                    observed_for: Duration::from_secs(6),
+                }),
+            });
+        }
+        Checkpoint {
+            created_wall_nanos: 1_754_000_000_000_000_000,
+            created_instant: inst(6100),
+            streams,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cp = sample_checkpoint();
+        let bytes = cp.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = sample_checkpoint().encode();
+        // Exhaustive over the frame for a small checkpoint would be slow
+        // in the payload; cover the whole header/trailer and a stride of
+        // payload positions.
+        let mut positions: Vec<usize> = (0..13).collect();
+        positions.extend((13..bytes.len()).step_by(97));
+        positions.extend(bytes.len() - 4..bytes.len());
+        for pos in positions {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[pos] ^= 1 << bit;
+                assert!(
+                    Checkpoint::decode(&evil).is_err(),
+                    "flip at byte {pos} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let bytes = sample_checkpoint().encode();
+        for len in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..len]).is_err(), "truncation to {len} accepted");
+        }
+        // Padding is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(Checkpoint::decode(&padded), Err(CheckpointError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = sample_checkpoint().encode();
+        for v in [0u8, 2, 7, 255] {
+            bytes[4] = v;
+            assert!(matches!(
+                Checkpoint::decode(&bytes),
+                Err(CheckpointError::UnsupportedVersion(got)) if got == v
+            ));
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_and_staleness() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sfd-ckpt-test-{}.bin", std::process::id()));
+        let cp = sample_checkpoint();
+        let size = save_atomic(&path, &cp).unwrap();
+        assert_eq!(size as usize, cp.encode().len());
+        let back = load(&path).unwrap();
+        assert_eq!(back, cp);
+
+        // Fresh enough at (created + 1s) with a 10s clamp…
+        let now_wall = cp.created_wall_nanos + 1_000_000_000;
+        assert!(load_fresh(&path, Some(Duration::from_secs(10)), now_wall).is_ok());
+        // …stale at (created + 11s).
+        let later = cp.created_wall_nanos + 11_000_000_000;
+        match load_fresh(&path, Some(Duration::from_secs(10)), later) {
+            Err(CheckpointError::Stale { age, .. }) => {
+                assert_eq!(age, Duration::from_secs(11));
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        // No clamp accepts any age.
+        assert!(load_fresh(&path, None, later).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = Path::new("/nonexistent/sfd/checkpoint.bin");
+        assert!(matches!(load(p), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn shift_rebases_instants() {
+        let mut cp = sample_checkpoint();
+        let orig = cp.clone();
+        let by = Duration::from_millis(-2500);
+        for s in &mut cp.streams {
+            s.shift(by);
+        }
+        for (s, o) in cp.streams.iter().zip(&orig.streams) {
+            assert_eq!(s.last_heartbeat.unwrap(), o.last_heartbeat.unwrap() + by);
+            assert_eq!(s.transitions[0].at, o.transitions[0].at + by);
+        }
+    }
+
+    #[test]
+    fn restore_shift_accounts_for_downtime() {
+        let cp = sample_checkpoint();
+        // New process: monitor clock restarted near zero, 3 s of wall time
+        // elapsed since the checkpoint was written.
+        let now = inst(50);
+        let now_wall = cp.created_wall_nanos + 3_000_000_000;
+        let shift = cp.restore_shift(now, now_wall);
+        // created_instant (6100 ms) maps to (now − age) = 50ms − 3000ms.
+        assert_eq!(cp.created_instant.saturating_add(shift), now - Duration::from_secs(3));
+    }
+
+    #[test]
+    fn semantic_corruption_is_rejected() {
+        // Out-of-order transitions and non-increasing arrival seqs must be
+        // caught at decode, not panic later in the suspicion log.
+        let mut cp = sample_checkpoint();
+        cp.streams[0].transitions = vec![
+            Transition { at: inst(900), suspect: true },
+            Transition { at: inst(500), suspect: false },
+        ];
+        let bytes = cp.encode();
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::Malformed("transitions out of time order"))
+        ));
+
+        let mut cp = sample_checkpoint();
+        cp.streams.swap(0, 1); // ids now out of order
+        assert!(Checkpoint::decode(&cp.encode()).is_err());
+    }
+}

@@ -8,6 +8,10 @@
 //!   sender timestamp);
 //! * [`clock`] — a monotonic wall clock mapped onto the crate-wide
 //!   [`Instant`](sfd_core::time::Instant) timeline;
+//! * [`checkpoint`] — crash-safe snapshots of learned detector state: a
+//!   versioned, CRC-guarded binary format with atomic write-rename
+//!   persistence and staleness clamping, powering warm restarts of the
+//!   multi-stream monitor;
 //! * [`transport`] — the send/receive abstraction with two
 //!   implementations: real UDP sockets (the paper's protocol) and an
 //!   in-process channel with configurable loss for deterministic tests;
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod clock;
 pub mod monitor;
 pub mod multi;
@@ -44,11 +49,14 @@ pub mod wheel;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, ReorderConfig};
+pub use checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointError, StreamCheckpoint, CHECKPOINT_VERSION,
+};
 pub use clock::WallClock;
 pub use monitor::{DynMonitorService, MonitorConfig, MonitorService, StatusSnapshot};
 pub use multi::{
-    stream_shard, ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore, MAX_SEQ_JUMP,
-    STALE_STREAK_REBASELINE,
+    stream_shard, CheckpointStats, ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore,
+    MAX_SEQ_JUMP, STALE_STREAK_REBASELINE,
 };
 pub use probe::{EchoResponder, RttProbe, RttReport};
 pub use sender::{HeartbeatSender, SenderConfig};

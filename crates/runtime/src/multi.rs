@@ -26,13 +26,14 @@
 //! wraps a shard array with a transport-draining service thread. Both
 //! implement the crate-wide [`Monitor`] trait.
 
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError, StreamCheckpoint};
 use crate::clock::WallClock;
 use crate::monitor::MonitorConfig;
 use crate::transport::HeartbeatSource;
 use crate::wheel::TimingWheel;
 use parking_lot::Mutex;
 use sfd_core::detector::FailureDetector;
-use sfd_core::error::CoreResult;
+use sfd_core::error::{CoreError, CoreResult};
 use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
@@ -41,7 +42,7 @@ use sfd_core::suspicion::{SuspicionLog, Transition};
 use sfd_core::time::{Duration, Instant};
 use sfd_obs::Histogram;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -126,6 +127,10 @@ pub fn stream_shard(stream: u64, shards: usize) -> usize {
 }
 
 struct StreamState {
+    /// The spec the detector was built from, kept so the stream can be
+    /// checkpointed (restore rebuilds the detector from the spec and
+    /// replays the exported state into it).
+    spec: DetectorSpec,
     detector: Box<dyn FailureDetector + Send>,
     heartbeats: u64,
     last_heartbeat: Option<Instant>,
@@ -144,8 +149,9 @@ struct StreamState {
 }
 
 impl StreamState {
-    fn fresh(detector: Box<dyn FailureDetector + Send>) -> StreamState {
+    fn fresh(spec: DetectorSpec, detector: Box<dyn FailureDetector + Send>) -> StreamState {
         StreamState {
+            spec,
             detector,
             heartbeats: 0,
             last_heartbeat: None,
@@ -415,6 +421,115 @@ impl ShardCore {
         self.streams.get(&stream).map(|st| st.log.transitions())
     }
 
+    /// Export every stream's persistent state, sorted by stream id, for a
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint). Streams whose
+    /// detector cannot export state (none of the built-in kinds) are
+    /// skipped rather than half-written.
+    pub fn export_streams(&self) -> Vec<StreamCheckpoint> {
+        let mut out: Vec<StreamCheckpoint> = self
+            .streams
+            .iter()
+            .filter_map(|(&stream, st)| {
+                let detector = st.detector.export_state()?;
+                let transitions = st.log.transitions();
+                let tail = transitions.len().saturating_sub(checkpoint::MAX_STREAM_TRANSITIONS);
+                Some(StreamCheckpoint {
+                    stream,
+                    spec: st.spec.clone(),
+                    detector,
+                    heartbeats: st.heartbeats,
+                    last_heartbeat: st.last_heartbeat,
+                    last_seq: st.last_seq,
+                    stale_streak: st.stale_streak,
+                    suspect: st.suspect,
+                    health: st.health,
+                    transitions: transitions[tail..].to_vec(),
+                    last_qos: st.last_qos,
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.stream);
+        out
+    }
+
+    /// Rehydrate one stream from a (already clock-rebased) checkpoint
+    /// record: rebuild the detector from the spec, replay the exported
+    /// state into it, restore the cursors and transition log, and re-arm
+    /// the expiry timer. Replaces any existing registration for the id.
+    ///
+    /// Errors (invalid spec, state/spec kind mismatch) leave the stream
+    /// unregistered — a cold start for that stream, never a panic.
+    pub fn restore_stream(&mut self, cp: &StreamCheckpoint, now: Instant) -> CoreResult<()> {
+        let mut detector = cp.spec.build()?;
+        if !detector.restore_state(&cp.detector) {
+            return Err(CoreError::InvalidConfig {
+                field: "checkpoint.detector",
+                reason: format!(
+                    "exported {:?} state cannot restore into a {:?} detector",
+                    cp.detector.kind(),
+                    cp.spec.kind()
+                ),
+            });
+        }
+        // Rebuild the transition log by replay, dropping anything the
+        // suspicion log would assert on: out-of-order entries (the codec
+        // already rejects these) and entries from the future (possible
+        // only if the wall clock jumped backwards across the restart).
+        let mut log = SuspicionLog::new();
+        let mut last: Option<Instant> = None;
+        for t in &cp.transitions {
+            if t.at > now || last.is_some_and(|l| t.at < l) {
+                continue;
+            }
+            last = Some(t.at);
+            log.record(t.at, t.suspect);
+        }
+        self.streams.insert(
+            cp.stream,
+            StreamState {
+                spec: cp.spec.clone(),
+                detector,
+                heartbeats: cp.heartbeats,
+                last_heartbeat: cp.last_heartbeat.map(|t| t.min(now)),
+                last_seq: cp.last_seq,
+                stale_streak: cp.stale_streak,
+                suspect: cp.suspect,
+                log,
+                health: cp.health,
+                last_qos: cp.last_qos,
+            },
+        );
+        self.wheel.cancel(cp.stream);
+        // Re-derive the binary output at `now` (the stream may have gone
+        // stale during the downtime) and arm the timer from the restored τ.
+        self.resync(cp.stream, now);
+        Ok(())
+    }
+
+    /// Re-derive every stream's binary output and re-arm its expiry timer
+    /// from the detector's current freshness point. The supervisor calls
+    /// this after a service-loop panic: the unwound loop may have popped
+    /// wheel entries without recording their transitions, and a restored
+    /// shard starts with an empty wheel. Returns the number of streams
+    /// with an armed timer afterwards.
+    pub fn rearm(&mut self, now: Instant) -> usize {
+        let ids: Vec<u64> = self.streams.keys().copied().collect();
+        for stream in ids {
+            self.resync(stream, now);
+        }
+        self.wheel.armed()
+    }
+
+    /// Test hook: drop every armed timer without touching stream state,
+    /// simulating the wheel damage a mid-`advance` panic can leave behind.
+    #[cfg(test)]
+    pub(crate) fn disarm_all(&mut self) {
+        let ids: Vec<u64> = self.streams.keys().copied().collect();
+        for stream in ids {
+            self.wheel.cancel(stream);
+        }
+    }
+
     /// Append the shard's counters, gauges and per-stream QoS state to a
     /// metrics snapshot, every sample tagged with `labels` (the service
     /// adds `shard="i"`; standalone use passes `&[]`).
@@ -516,7 +631,7 @@ impl ShardCore {
 impl Monitor for ShardCore {
     fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
         let detector = spec.build()?;
-        self.streams.insert(stream, StreamState::fresh(detector));
+        self.streams.insert(stream, StreamState::fresh(spec.clone(), detector));
         // A fresh detector is in warm-up (no τ yet); the first heartbeat
         // arms the timer. Any stale timer for a replaced stream dies here.
         self.wheel.cancel(stream);
@@ -576,6 +691,56 @@ impl ShardObs {
     }
 }
 
+/// Live checkpoint machinery: the config plus counters every save/load
+/// outcome lands in (exported as `sfd_checkpoint_*` metrics).
+struct CheckpointRuntime {
+    cfg: CheckpointConfig,
+    saves: AtomicU64,
+    save_failures: AtomicU64,
+    load_rejections: AtomicU64,
+    restored_streams: AtomicU64,
+    /// Wall-clock stamp (UNIX nanos) of the last successful save; 0 until
+    /// the first save succeeds.
+    last_save_wall: AtomicI64,
+    /// Encoded size of the last successful save.
+    last_size: AtomicU64,
+}
+
+impl CheckpointRuntime {
+    fn new(cfg: CheckpointConfig) -> CheckpointRuntime {
+        CheckpointRuntime {
+            cfg,
+            saves: AtomicU64::new(0),
+            save_failures: AtomicU64::new(0),
+            load_rejections: AtomicU64::new(0),
+            restored_streams: AtomicU64::new(0),
+            last_save_wall: AtomicI64::new(0),
+            last_size: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Checkpoint activity counters of a running service — see
+/// [`MultiMonitorService::checkpoint_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Successful checkpoint saves.
+    pub saves: u64,
+    /// Failed save attempts (I/O errors; the previous checkpoint on disk
+    /// survives thanks to write-rename).
+    pub save_failures: u64,
+    /// Checkpoint loads rejected at startup (corrupt, stale, or
+    /// per-stream restore failures) — each one is a deliberate cold start.
+    pub load_rejections: u64,
+    /// Streams rehydrated from the checkpoint at startup.
+    pub restored_streams: u64,
+    /// Wall-clock stamp (UNIX nanos) of the last successful save; 0 if
+    /// none yet.
+    pub last_save_wall_nanos: i64,
+    /// Encoded size in bytes of the last successful save; 0 if none yet.
+    pub last_size_bytes: u64,
+}
+
 struct Shared {
     shards: Vec<Mutex<ShardCore>>,
     /// Runtime timing/batch histograms, one per shard.
@@ -588,6 +753,8 @@ struct Shared {
     supervisor_restarts: AtomicU64,
     /// Test hook: makes the next service-loop iteration panic.
     inject_panic: AtomicBool,
+    /// Checkpoint persistence, when configured.
+    ckpt: Option<CheckpointRuntime>,
 }
 
 impl Shared {
@@ -600,6 +767,82 @@ impl Shared {
     fn stamp(&self, mut snap: StreamSnapshot) -> StreamSnapshot {
         snap.health.supervisor_restarts = self.supervisor_restarts.load(Ordering::Relaxed);
         snap
+    }
+
+    /// Export every shard and atomically persist a checkpoint, recording
+    /// the outcome in the counters. `Err(Unsupported)` when checkpointing
+    /// is not configured.
+    fn save_checkpoint(&self, clock: &WallClock) -> std::io::Result<u64> {
+        let Some(rt) = &self.ckpt else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "service was spawned without a checkpoint config",
+            ));
+        };
+        let mut streams = Vec::new();
+        for shard in &self.shards {
+            streams.extend(shard.lock().export_streams());
+        }
+        streams.sort_unstable_by_key(|s| s.stream);
+        let cp = checkpoint::snapshot(clock, streams);
+        match checkpoint::save_atomic(&rt.cfg.path, &cp) {
+            Ok(size) => {
+                rt.saves.fetch_add(1, Ordering::Relaxed);
+                rt.last_save_wall.store(cp.created_wall_nanos, Ordering::Relaxed);
+                rt.last_size.store(size, Ordering::Relaxed);
+                Ok(size)
+            }
+            Err(e) => {
+                rt.save_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Warm restart: load the checkpoint (if any), rebase its instants
+    /// onto this process's clock, and rehydrate every stream into its
+    /// shard. Any rejection — corrupt file, stale age, bad stream — is
+    /// counted and degrades to a cold start; nothing here panics.
+    fn restore_from_checkpoint(&self, clock: &WallClock) {
+        let Some(rt) = &self.ckpt else { return };
+        let cp = match checkpoint::load_fresh(
+            &rt.cfg.path,
+            rt.cfg.max_age,
+            checkpoint::wall_now_nanos(),
+        ) {
+            Ok(cp) => cp,
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return; // first boot: nothing to restore
+            }
+            Err(e) => {
+                rt.load_rejections.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "sfd-multi-monitor: checkpoint {} rejected, cold-starting: {e}",
+                    rt.cfg.path.display()
+                );
+                return;
+            }
+        };
+        let now = clock.now();
+        let shift = cp.restore_shift(now, checkpoint::wall_now_nanos());
+        let nshards = self.shards.len();
+        for mut sc in cp.streams {
+            sc.shift(shift);
+            let outcome =
+                self.shards[stream_shard(sc.stream, nshards)].lock().restore_stream(&sc, now);
+            match outcome {
+                Ok(()) => {
+                    rt.restored_streams.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    rt.load_rejections.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "sfd-multi-monitor: stream {} not restored, cold-starting it: {e}",
+                        sc.stream
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -635,6 +878,34 @@ impl MultiMonitorService {
         shards: usize,
         policy: ExpiryPolicy,
     ) -> MultiMonitorService {
+        Self::spawn_inner(source, cfg, shards, policy, None)
+    }
+
+    /// Spawn with checkpoint persistence: if a fresh, intact checkpoint
+    /// exists at the configured path it is rehydrated (warm restart)
+    /// before the service thread starts; the service then saves on the
+    /// configured cadence, on [`stop`](MultiMonitorService::stop), and on
+    /// every explicit [`save_checkpoint`](MultiMonitorService::save_checkpoint)
+    /// call. A missing checkpoint is a quiet cold start; a corrupt or
+    /// stale one is a *counted* cold start (see
+    /// [`checkpoint_stats`](MultiMonitorService::checkpoint_stats)).
+    pub fn spawn_with_checkpoints<S: HeartbeatSource + 'static>(
+        source: S,
+        cfg: MonitorConfig,
+        shards: usize,
+        policy: ExpiryPolicy,
+        ckpt: CheckpointConfig,
+    ) -> MultiMonitorService {
+        Self::spawn_inner(source, cfg, shards, policy, Some(ckpt))
+    }
+
+    fn spawn_inner<S: HeartbeatSource + 'static>(
+        source: S,
+        cfg: MonitorConfig,
+        shards: usize,
+        policy: ExpiryPolicy,
+        ckpt: Option<CheckpointConfig>,
+    ) -> MultiMonitorService {
         let nshards = shards.max(1).next_power_of_two();
         let wheel_tick = Duration::from_millis(1);
         let shared = Arc::new(Shared {
@@ -644,8 +915,12 @@ impl MultiMonitorService {
             implausible_timestamps: AtomicU64::new(0),
             supervisor_restarts: AtomicU64::new(0),
             inject_panic: AtomicBool::new(false),
+            ckpt: ckpt.map(CheckpointRuntime::new),
         });
         let clock = WallClock::new();
+        // Warm restart happens before the service thread exists, so the
+        // loop's first pass already sees the rehydrated streams.
+        shared.restore_from_checkpoint(&clock);
         let stop = Arc::new(AtomicBool::new(false));
 
         let t_shared = shared.clone();
@@ -661,9 +936,18 @@ impl MultiMonitorService {
                 // when the loop unwinds, so the restarted loop resumes
                 // over the same detectors and pending expirations.
                 let mut epoch_start = t_clock.now();
+                let mut last_ckpt = t_clock.now();
                 while !t_stop.load(Ordering::Relaxed) {
                     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        Self::service_loop(&source, &cfg, &t_shared, &t_clock, &t_stop, &mut epoch_start)
+                        Self::service_loop(
+                            &source,
+                            &cfg,
+                            &t_shared,
+                            &t_clock,
+                            &t_stop,
+                            &mut epoch_start,
+                            &mut last_ckpt,
+                        )
                     }));
                     match run {
                         Ok(()) => break, // clean exit: stopped or transport gone
@@ -673,6 +957,14 @@ impl MultiMonitorService {
                             eprintln!(
                                 "sfd-multi-monitor: service loop panicked; restarting (restart #{n})"
                             );
+                            // The unwound loop may have popped wheel
+                            // entries without recording their transitions;
+                            // re-derive every stream's output and re-arm
+                            // its timer before resuming.
+                            let now = t_clock.now();
+                            for shard in t_shared.shards.iter() {
+                                shard.lock().rearm(now);
+                            }
                         }
                     }
                 }
@@ -691,6 +983,7 @@ impl MultiMonitorService {
         clock: &WallClock,
         stop: &AtomicBool,
         epoch_start: &mut Instant,
+        last_ckpt: &mut Instant,
     ) {
         let nshards = shared.shards.len();
         let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nshards];
@@ -759,6 +1052,16 @@ impl MultiMonitorService {
                         shard.lock().apply_epoch_feedback(*epoch_start, now);
                     }
                     *epoch_start = now;
+                }
+            }
+            if let Some(every) = shared.ckpt.as_ref().and_then(|rt| rt.cfg.every) {
+                // `last_ckpt` lives in the supervisor frame, so the
+                // cadence survives service-loop restarts. A failed save is
+                // counted and retried next period; the on-disk checkpoint
+                // stays at its last good version.
+                if now - *last_ckpt >= every {
+                    *last_ckpt = now;
+                    let _ = shared.save_checkpoint(clock);
                 }
             }
         }
@@ -830,11 +1133,36 @@ impl MultiMonitorService {
         &self.clock
     }
 
-    /// Stop the service thread.
+    /// Persist a checkpoint of every stream's learned state right now.
+    /// Returns the encoded size, or `Err(Unsupported)` if the service was
+    /// spawned without a checkpoint config.
+    pub fn save_checkpoint(&self) -> std::io::Result<u64> {
+        self.shared.save_checkpoint(&self.clock)
+    }
+
+    /// Checkpoint activity counters; `None` if the service was spawned
+    /// without a checkpoint config.
+    pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
+        self.shared.ckpt.as_ref().map(|rt| CheckpointStats {
+            saves: rt.saves.load(Ordering::Relaxed),
+            save_failures: rt.save_failures.load(Ordering::Relaxed),
+            load_rejections: rt.load_rejections.load(Ordering::Relaxed),
+            restored_streams: rt.restored_streams.load(Ordering::Relaxed),
+            last_save_wall_nanos: rt.last_save_wall.load(Ordering::Relaxed),
+            last_size_bytes: rt.last_size.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Stop the service thread. With checkpointing configured, a final
+    /// checkpoint is saved after the thread quiesces, so a clean shutdown
+    /// always leaves the freshest possible state on disk.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        if self.shared.ckpt.is_some() {
+            let _ = self.shared.save_checkpoint(&self.clock);
         }
     }
 }
@@ -917,6 +1245,47 @@ impl Monitor for MultiMonitorService {
             &[],
             self.supervisor_restarts(),
         );
+        if let Some(stats) = self.checkpoint_stats() {
+            m.counter(
+                "sfd_checkpoint_saves_total",
+                "Successful checkpoint saves.",
+                &[],
+                stats.saves,
+            );
+            m.counter(
+                "sfd_checkpoint_save_failures_total",
+                "Checkpoint save attempts that failed (previous file kept).",
+                &[],
+                stats.save_failures,
+            );
+            m.counter(
+                "sfd_checkpoint_load_rejected_total",
+                "Checkpoint loads rejected at startup (corrupt/stale/bad stream); each is a cold start.",
+                &[],
+                stats.load_rejections,
+            );
+            m.gauge(
+                "sfd_checkpoint_restored_streams",
+                "Streams rehydrated from the checkpoint at startup.",
+                &[],
+                stats.restored_streams as f64,
+            );
+            m.gauge(
+                "sfd_checkpoint_size_bytes",
+                "Encoded size of the last successful checkpoint.",
+                &[],
+                stats.last_size_bytes as f64,
+            );
+            if stats.last_save_wall_nanos > 0 {
+                let age = checkpoint::wall_now_nanos().saturating_sub(stats.last_save_wall_nanos);
+                m.gauge(
+                    "sfd_checkpoint_age_seconds",
+                    "Age of the last successful checkpoint.",
+                    &[],
+                    age.max(0) as f64 / 1e9,
+                );
+            }
+        }
         m
     }
 }
@@ -1239,6 +1608,173 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(500));
         assert!(monitor.status(1).unwrap().suspect, "crash detected post-restart");
         monitor.stop();
+    }
+
+    #[test]
+    fn export_restore_round_trips_a_shard() {
+        let interval = Duration::from_millis(100);
+        let mut core = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+        for (i, kind) in sfd_core::detector::DetectorKind::all().into_iter().enumerate() {
+            core.register(i as u64, &DetectorSpec::default_for(kind, interval)).unwrap();
+        }
+        for seq in 0..80u64 {
+            let at = Instant::from_millis((seq as i64 + 1) * 100 + (seq as i64 % 5));
+            for stream in 0..4u64 {
+                core.heartbeat(stream, seq, at);
+            }
+            core.advance(at);
+        }
+        let now = Instant::from_millis(8_100);
+        let exported = core.export_streams();
+        assert_eq!(exported.len(), 4);
+        assert!(exported.windows(2).all(|w| w[0].stream < w[1].stream));
+
+        let mut twin = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+        for cp in &exported {
+            twin.restore_stream(cp, now).unwrap();
+        }
+        // Same snapshots (freshness point, counters) and same verdicts
+        // both shortly after and long after the restore point.
+        for probe in [now, Instant::from_millis(8_150), Instant::from_millis(60_000)] {
+            for stream in 0..4u64 {
+                let a = core.snapshot(stream, probe).unwrap();
+                let b = twin.snapshot(stream, probe).unwrap();
+                assert_eq!(a.suspect, b.suspect, "stream {stream} at {probe}");
+                assert_eq!(a.freshness_point, b.freshness_point, "stream {stream}");
+                assert_eq!(a.heartbeats, b.heartbeats);
+            }
+        }
+        // The restored wheel actually fires: total silence eventually
+        // flips every stream without any further heartbeat.
+        assert_eq!(twin.advance(Instant::from_millis(120_000)), 4);
+    }
+
+    #[test]
+    fn restore_stream_rejects_mismatched_state() {
+        let interval = Duration::from_millis(100);
+        let mut core = chen_core();
+        for seq in 0..20u64 {
+            core.heartbeat(1, seq, Instant::from_millis((seq as i64 + 1) * 100));
+        }
+        let mut cp = core.export_streams().remove(0);
+        // Kind mismatch between spec and state must be an error, and the
+        // stream must stay unregistered (cold start), not half-restored.
+        cp.spec = DetectorSpec::default_for(sfd_core::detector::DetectorKind::Phi, interval);
+        let mut twin = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+        assert!(twin.restore_stream(&cp, Instant::from_millis(2_100)).is_err());
+        assert!(!twin.contains(1));
+    }
+
+    #[test]
+    fn rearm_recovers_late_fire_after_wheel_damage() {
+        // Regression: a mid-`advance` panic can consume wheel entries
+        // without recording their transitions. Without `rearm`, the
+        // stream's timer is gone and the suspect transition never fires.
+        let mut core = chen_core();
+        for seq in 0..20u64 {
+            core.heartbeat(1, seq, Instant::from_millis((seq as i64 + 1) * 100));
+        }
+        core.disarm_all(); // simulate the damage
+        assert_eq!(core.advance(Instant::from_millis(60_000)), 0, "timer lost: no fire");
+        assert!(core.transitions(1).unwrap().is_empty());
+
+        // rearm re-derives the output; the stream is already past τ, so
+        // the transition is recorded immediately…
+        let armed = core.rearm(Instant::from_millis(60_100));
+        assert_eq!(armed, 0, "already-suspect stream needs no timer");
+        let tr = core.transitions(1).unwrap();
+        assert_eq!(tr.len(), 1);
+        assert!(tr[0].suspect);
+
+        // …and a stream still within τ gets its timer re-armed and fires
+        // late instead of never.
+        let mut core = chen_core();
+        for seq in 0..20u64 {
+            core.heartbeat(1, seq, Instant::from_millis((seq as i64 + 1) * 100));
+        }
+        core.disarm_all();
+        assert_eq!(core.rearm(Instant::from_millis(2_050)), 1, "timer restored");
+        assert_eq!(core.advance(Instant::from_millis(60_000)), 1, "late fire recovered");
+    }
+
+    #[test]
+    fn service_checkpoint_kill_restart_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sfd-multi-ckpt-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ckpt = CheckpointConfig::new(&path).every(None);
+
+        let (sink, source) = MemoryTransport::perfect();
+        let sink = Arc::new(sink);
+        let mut monitor = MultiMonitorService::spawn_with_checkpoints(
+            source,
+            cfg(),
+            4,
+            ExpiryPolicy::Wheel,
+            ckpt.clone(),
+        );
+        assert_eq!(monitor.checkpoint_stats().unwrap().restored_streams, 0, "cold start");
+        monitor.watch(1, &spec()).unwrap();
+        monitor.watch(2, &spec()).unwrap();
+        let _sender1 = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let before = monitor.status(1).unwrap();
+        assert!(before.heartbeats > 10);
+        monitor.stop(); // saves the final checkpoint
+
+        let stats = monitor.checkpoint_stats().unwrap();
+        assert!(stats.saves >= 1);
+        assert!(stats.last_size_bytes > 0);
+
+        // "New process": fresh service, fresh clock epoch, same path.
+        let (_sink2, source2) = MemoryTransport::perfect();
+        let mut restarted = MultiMonitorService::spawn_with_checkpoints(
+            source2,
+            cfg(),
+            4,
+            ExpiryPolicy::Wheel,
+            ckpt,
+        );
+        let stats = restarted.checkpoint_stats().unwrap();
+        assert_eq!(stats.restored_streams, 2, "both streams rehydrated");
+        assert_eq!(stats.load_rejections, 0);
+        let after = restarted.status(1).unwrap();
+        assert!(after.heartbeats >= before.heartbeats, "window survived the restart");
+        // No heartbeats flow in the new process: the restored detector
+        // must notice the silence on its own (re-armed timer).
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        assert!(restarted.status(1).unwrap().suspect, "restored stream goes suspect");
+        restarted.stop();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_counted_cold_start() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sfd-multi-ckpt-bad-{}.bin", std::process::id()));
+        std::fs::write(&path, b"SFCPgarbage-not-a-checkpoint").unwrap();
+        let (_sink, source) = MemoryTransport::perfect();
+        let mut monitor = MultiMonitorService::spawn_with_checkpoints(
+            source,
+            cfg(),
+            2,
+            ExpiryPolicy::Wheel,
+            CheckpointConfig::new(&path).every(None),
+        );
+        let stats = monitor.checkpoint_stats().unwrap();
+        assert_eq!(stats.load_rejections, 1, "corruption counted");
+        assert_eq!(stats.restored_streams, 0, "nothing restored");
+        assert_eq!(monitor.watched(), 0, "cold start");
+        // The service is healthy: registration and metrics still work.
+        monitor.watch(1, &spec()).unwrap();
+        let m = monitor.metrics(Instant::from_millis(1));
+        let rendered = format!("{m:?}");
+        assert!(rendered.contains("sfd_checkpoint_load_rejected_total"));
+        monitor.stop();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

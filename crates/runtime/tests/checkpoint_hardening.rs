@@ -1,0 +1,230 @@
+//! Checkpoint-format hardening: [`Checkpoint::decode`] is where a file
+//! that survived a crash — or was corrupted by one — re-enters the
+//! monitor, so it must (a) never panic, (b) round-trip every encodable
+//! checkpoint exactly, and (c) reject — not misparse — the classic
+//! malformation corpus: truncations, padding, version skew, flipped CRC
+//! bits, and single-bit flips anywhere in the frame.
+//!
+//! The sibling `wire_hardening.rs` plays the same game for the per-datagram
+//! heartbeat format; this file covers the persistent snapshot format.
+
+use proptest::prelude::*;
+use sfd_core::detector::{DetectorKind, FailureDetector};
+use sfd_core::monitor::StreamHealth;
+use sfd_core::qos::QosMeasured;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::suspicion::Transition;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::checkpoint::{crc32, Checkpoint, CheckpointError, StreamCheckpoint};
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build an arbitrary-but-valid checkpoint from a seed: mixed detector
+/// kinds, lossy jittered arrival histories, alternating transition logs,
+/// optional QoS blocks — everything the live exporter can produce.
+fn synth_checkpoint(seed: u64, nstreams: usize, beats: u64) -> Checkpoint {
+    let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+    let interval = Duration::from_millis(50 + (seed % 100) as i64);
+    let mut streams = Vec::new();
+    for i in 0..nstreams {
+        let kind = DetectorKind::all()[(mix(&mut rng) % 4) as usize];
+        let spec = DetectorSpec::default_for(kind, interval);
+        let mut fd = spec.build().expect("valid default spec");
+        for seq in 0..beats {
+            if mix(&mut rng) % 10 == 0 {
+                continue; // message loss
+            }
+            let jitter = (mix(&mut rng) % 20_000) as i64;
+            fd.heartbeat(seq, Instant::from_nanos((seq as i64 + 1) * interval.as_nanos() + jitter));
+        }
+        let detector = fd.export_state().expect("all built-in kinds export");
+
+        let ntrans = (mix(&mut rng) % 6) as usize;
+        let mut transitions = Vec::new();
+        let mut at = Instant::from_millis((mix(&mut rng) % 1000) as i64);
+        for t in 0..ntrans {
+            transitions.push(Transition { at, suspect: t % 2 == 0 });
+            at = at + Duration::from_millis((mix(&mut rng) % 500) as i64); // non-decreasing
+        }
+        let last_qos = (mix(&mut rng) % 2 == 0).then(|| QosMeasured {
+            detection_time: Duration::from_millis((mix(&mut rng) % 2_000) as i64),
+            mistake_rate: (mix(&mut rng) % 1000) as f64 / 1e4,
+            query_accuracy: (mix(&mut rng) % 1000) as f64 / 1e3,
+            avg_mistake_duration: (mix(&mut rng) % 2 == 0)
+                .then(|| Duration::from_millis((mix(&mut rng) % 300) as i64)),
+            avg_mistake_recurrence: None,
+            mistakes: mix(&mut rng) % 50,
+            observed_for: Duration::from_secs((mix(&mut rng) % 600) as i64),
+        });
+        streams.push(StreamCheckpoint {
+            stream: i as u64 * 7 + (seed % 5),
+            spec,
+            detector,
+            heartbeats: beats,
+            last_heartbeat: (mix(&mut rng) % 4 != 0)
+                .then(|| Instant::from_nanos(beats as i64 * interval.as_nanos())),
+            last_seq: (mix(&mut rng) % 4 != 0).then(|| beats.saturating_sub(1)),
+            stale_streak: (mix(&mut rng) % 8) as u32,
+            suspect: mix(&mut rng) % 2 == 0,
+            health: StreamHealth {
+                duplicates: mix(&mut rng) % 100,
+                rejected_seq_jumps: mix(&mut rng) % 10,
+                rejected_timestamps: mix(&mut rng) % 10,
+                clock_clamps: mix(&mut rng) % 10,
+                rebaselines: mix(&mut rng) % 3,
+                supervisor_restarts: mix(&mut rng) % 3,
+            },
+            transitions,
+            last_qos,
+        });
+    }
+    Checkpoint {
+        created_wall_nanos: (seed as i64).abs().max(1),
+        created_instant: Instant::from_nanos((beats as i64 + 1) * interval.as_nanos()),
+        streams,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every encodable checkpoint survives an encode/decode round trip
+    /// exactly, and re-encoding the decoded value is byte-identical
+    /// (`encode(decode(x)) == x`).
+    fn round_trips_exactly(
+        seed in any::<u64>(),
+        nstreams in 0usize..5,
+        beats in 1u64..60,
+    ) {
+        let cp = synth_checkpoint(seed, nstreams, beats);
+        let bytes = cp.encode();
+        let back = Checkpoint::decode(&bytes);
+        prop_assert!(back.is_ok(), "own encoding rejected: {:?}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &cp);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Arbitrary byte soup of arbitrary length: decode may reject, but
+    /// must never panic and never allocate absurdly.
+    fn decode_never_panics_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Checkpoint::decode(&data);
+    }
+
+    /// A single flipped bit anywhere in the frame — header, payload, or
+    /// CRC trailer — must be rejected. (Header flips die on the
+    /// structural checks, payload and trailer flips on the CRC.)
+    fn single_bit_flip_always_rejected(
+        seed in any::<u64>(),
+        bitpos in any::<u64>(),
+    ) {
+        let cp = synth_checkpoint(seed, 2, 30);
+        let mut bytes = cp.encode();
+        let bit = (bitpos % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            Checkpoint::decode(&bytes).is_err(),
+            "flip at byte {} bit {} was accepted", bit / 8, bit % 8
+        );
+    }
+
+    /// Truncation to any shorter length is rejected; so is padding.
+    fn wrong_lengths_rejected(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        pad in 1usize..16,
+    ) {
+        let cp = synth_checkpoint(seed, 1, 20);
+        let bytes = cp.encode();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "truncation to {cut}");
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0u8, pad));
+        prop_assert!(Checkpoint::decode(&padded).is_err(), "padding by {pad}");
+    }
+}
+
+/// Deterministic corpus of classic malformations, independent of the
+/// property sampler (and of whichever proptest backend runs it).
+#[test]
+fn malformation_corpus() {
+    let cp = synth_checkpoint(42, 3, 40);
+    let bytes = cp.encode();
+
+    // Empty, single byte, every truncation length, one-over padding.
+    assert!(matches!(Checkpoint::decode(&[]), Err(CheckpointError::TooSmall)));
+    assert!(matches!(Checkpoint::decode(&[0x53]), Err(CheckpointError::TooSmall)));
+    for cut in 0..bytes.len() {
+        assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "truncation to {cut} bytes");
+    }
+    let mut over = bytes.clone();
+    over.push(0);
+    assert!(matches!(Checkpoint::decode(&over), Err(CheckpointError::LengthMismatch { .. })));
+
+    // Foreign magic (off-by-one framing, zeroed header).
+    let mut shifted = vec![0u8; bytes.len()];
+    shifted[1..].copy_from_slice(&bytes[..bytes.len() - 1]);
+    assert!(matches!(Checkpoint::decode(&shifted), Err(CheckpointError::BadMagic)));
+
+    // Version skew: 0, future versions, 0xFF.
+    for v in [0u8, 2, 7, 0xFF] {
+        let mut skewed = bytes.clone();
+        skewed[4] = v;
+        assert!(
+            matches!(Checkpoint::decode(&skewed), Err(CheckpointError::UnsupportedVersion(got)) if got == v),
+            "version {v}"
+        );
+    }
+
+    // Tampered length field: always LengthMismatch (or overflow), never
+    // a misparse.
+    for delta in [1u32, 8, 1 << 20] {
+        let declared = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let mut tampered = bytes.clone();
+        tampered[5..9].copy_from_slice(&declared.wrapping_add(delta).to_be_bytes());
+        assert!(Checkpoint::decode(&tampered).is_err(), "length +{delta}");
+    }
+
+    // Flipped CRC trailer: BadCrc, with the stored value faithfully
+    // reported.
+    let mut badcrc = bytes.clone();
+    let n = badcrc.len();
+    badcrc[n - 1] ^= 0xFF;
+    match Checkpoint::decode(&badcrc) {
+        Err(CheckpointError::BadCrc { stored, computed }) => {
+            assert_ne!(stored, computed);
+            assert_eq!(computed, crc32(&bytes[9..n - 4]));
+        }
+        other => panic!("expected BadCrc, got {other:?}"),
+    }
+
+    // Payload corruption *with a fixed-up CRC* still dies on semantic
+    // validation: break the arrival-seq monotonicity of some stream and
+    // recompute the checksum so only the structural layer can catch it.
+    let mut cp2 = synth_checkpoint(7, 1, 20);
+    cp2.streams[0].transitions = vec![
+        Transition { at: Instant::from_millis(900), suspect: true },
+        Transition { at: Instant::from_millis(100), suspect: false },
+    ];
+    assert!(matches!(Checkpoint::decode(&cp2.encode()), Err(CheckpointError::Malformed(_))));
+
+    // The original still decodes after all that (no aliasing mistakes).
+    assert_eq!(Checkpoint::decode(&bytes).unwrap(), cp);
+}
+
+/// The CRC implementation matches the IEEE 802.3 / zlib check values, so
+/// external tooling can verify checkpoint files.
+#[test]
+fn crc32_reference_vectors() {
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32(b""), 0);
+    assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+}

@@ -9,11 +9,17 @@
 //! sfdctl send     --to 127.0.0.1:9999 --interval 100ms [--stream N] [--crash-after 30s]
 //! sfdctl monitor  --bind 0.0.0.0:9999 --interval 100ms [--margin 200ms] [--for 60s]
 //! sfdctl metrics  [--streams N] [--seed N] [--policy wheel|scan] [--serve ADDR]
+//! sfdctl checkpoint save FILE [--streams N] [--scheme S] [--interval D] [--heartbeats N]
+//! sfdctl checkpoint inspect FILE
+//! sfdctl checkpoint load FILE [--max-age D]
 //! ```
 //!
 //! `generate`/`stats`/`eval`/`sweep` operate on trace files (the compact
 //! `SFDT` binary format); `send`/`monitor` run the live UDP runtime — one
 //! on each end of a real path gives you the paper's deployment.
+//! `checkpoint` works with the crash-safe `SFCP` snapshots the multi
+//! monitor persists: `inspect` verifies and summarises one, `load` proves
+//! it rehydrates, and `save` synthesises a warmed-up one for drills.
 
 use sfd::prelude::*;
 use sfd::qos::eval::{EvalConfig, Evaluation};
@@ -35,7 +41,10 @@ fn usage() -> ! {
          sfdctl plan FILE [--max-td D] [--max-mr F] [--min-qap F]\n  \
          sfdctl send --to ADDR --interval D [--stream N] [--crash-after D]\n  \
          sfdctl monitor --bind ADDR --interval D [--margin D] [--for D]\n  \
-         sfdctl metrics [--streams N] [--seed N] [--policy wheel|scan] [--serve ADDR]\n\n\
+         sfdctl metrics [--streams N] [--seed N] [--policy wheel|scan] [--serve ADDR]\n  \
+         sfdctl checkpoint save FILE [--streams N] [--scheme chen|bertier|phi|sfd] [--interval D] [--heartbeats N] [--seed N]\n  \
+         sfdctl checkpoint inspect FILE\n  \
+         sfdctl checkpoint load FILE [--max-age D]\n\n\
          durations: 100ms, 2s, 1.5s, 250us"
     );
     exit(2);
@@ -468,7 +477,7 @@ fn cmd_metrics(flags: &HashMap<String, String>) {
         shard.advance(at);
         while at - epoch_start >= epoch {
             shard.apply_epoch_feedback(epoch_start, epoch_start + epoch);
-            epoch_start = epoch_start + epoch;
+            epoch_start += epoch;
         }
         shard.heartbeat(s, seq, at);
     }
@@ -515,6 +524,147 @@ fn cmd_metrics(flags: &HashMap<String, String>) {
     }
 }
 
+/// `sfdctl checkpoint save|inspect|load` — operator surface for the
+/// crash-safe `SFCP` snapshots of [`MultiMonitorService`].
+fn cmd_checkpoint(pos: &[String], flags: &HashMap<String, String>) {
+    use sfd::runtime::checkpoint;
+    let action = pos.first().map(String::as_str).unwrap_or_else(|| usage());
+    let path = pos.get(1).unwrap_or_else(|| usage());
+    match action {
+        "save" => {
+            // Synthesise a warmed-up monitor and checkpoint it — a drill
+            // fixture for restore tooling and the chaos suite.
+            let streams: u64 = flag_num(flags, "streams").unwrap_or(4);
+            let interval = flag_duration(flags, "interval").unwrap_or(Duration::from_millis(100));
+            let heartbeats: u64 = flag_num(flags, "heartbeats").unwrap_or(300);
+            let seed: u64 = flag_num(flags, "seed").unwrap_or(1);
+            let kind = match flags.get("scheme").map(String::as_str).unwrap_or("sfd") {
+                "chen" => DetectorKind::Chen,
+                "bertier" => DetectorKind::Bertier,
+                "phi" => DetectorKind::Phi,
+                "sfd" => DetectorKind::Sfd,
+                other => {
+                    eprintln!("unknown scheme {other}");
+                    usage()
+                }
+            };
+            let spec = DetectorSpec::default_for(kind, interval);
+            let mut shard = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+            let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+            for s in 0..streams {
+                shard.register(s, &spec).unwrap_or_else(|e| {
+                    eprintln!("invalid spec: {e}");
+                    exit(1);
+                });
+            }
+            let mut last = Instant::ZERO;
+            for seq in 0..heartbeats {
+                for s in 0..streams {
+                    let jitter = (mix(&mut rng) % 10_000) as i64;
+                    let at = Instant::from_nanos(
+                        (seq as i64 + 1) * interval.as_nanos() + jitter * 1_000,
+                    );
+                    shard.heartbeat(s, seq, at);
+                    last = last.max(at);
+                }
+                shard.advance(last);
+            }
+            let clock = WallClock::new();
+            let cp = checkpoint::Checkpoint {
+                created_wall_nanos: checkpoint::wall_now_nanos(),
+                created_instant: clock.now().max(last),
+                streams: shard.export_streams(),
+            };
+            match checkpoint::save_atomic(std::path::Path::new(path), &cp) {
+                Ok(size) => println!(
+                    "wrote {path}: {} streams of {kind}, {heartbeats} heartbeats each, {size} bytes"
+                , cp.streams.len()),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "inspect" => {
+            let cp = match checkpoint::load(std::path::Path::new(path)) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            };
+            let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let age = cp.age_at(checkpoint::wall_now_nanos());
+            println!(
+                "{path}: SFCP v{} ({size} bytes, CRC ok), {} streams, age {age}",
+                sfd::runtime::CHECKPOINT_VERSION,
+                cp.streams.len()
+            );
+            println!(
+                "{:>8} {:>8} {:>12} {:>8} {:>8} {:>12} {:>8}",
+                "stream", "scheme", "heartbeats", "samples", "suspect", "transitions", "last_seq"
+            );
+            for s in &cp.streams {
+                println!(
+                    "{:>8} {:>8} {:>12} {:>8} {:>8} {:>12} {:>8}",
+                    s.stream,
+                    s.spec.kind().label(),
+                    s.heartbeats,
+                    s.detector.samples(),
+                    if s.suspect { "yes" } else { "no" },
+                    s.transitions.len(),
+                    s.last_seq.map(|q| q.to_string()).unwrap_or_else(|| "-".into()),
+                );
+            }
+        }
+        "load" => {
+            // Prove the checkpoint rehydrates: rebase onto a fresh clock
+            // and restore every stream into a new shard, as a warm
+            // restart would.
+            let max_age = flag_duration(flags, "max-age");
+            let now_wall = checkpoint::wall_now_nanos();
+            let cp = match checkpoint::load_fresh(std::path::Path::new(path), max_age, now_wall) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    eprintln!("{path}: rejected, a service would cold-start: {e}");
+                    exit(1);
+                }
+            };
+            let clock = WallClock::new();
+            let now = clock.now();
+            let shift = cp.restore_shift(now, now_wall);
+            let mut shard = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+            let (mut ok, mut failed) = (0u64, 0u64);
+            for mut sc in cp.streams {
+                sc.shift(shift);
+                match shard.restore_stream(&sc, now) {
+                    Ok(()) => ok += 1,
+                    Err(e) => {
+                        failed += 1;
+                        eprintln!("stream {} not restorable: {e}", sc.stream);
+                    }
+                }
+            }
+            println!("{path}: restored {ok} streams ({failed} failed) after shift {shift}");
+            for snap in shard.snapshot_all(now) {
+                println!(
+                    "stream {:>4}: {}  heartbeats {}  τ {}",
+                    snap.stream,
+                    if snap.suspect { "SUSPECT" } else { "trust" },
+                    snap.heartbeats,
+                    snap.freshness_point
+                        .map(|fp| format!("{}", fp - now))
+                        .unwrap_or_else(|| "warm-up".into()),
+                );
+            }
+            if failed > 0 {
+                exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
@@ -528,6 +678,7 @@ fn main() {
         "send" => cmd_send(&flags),
         "monitor" => cmd_monitor(&flags),
         "metrics" => cmd_metrics(&flags),
+        "checkpoint" => cmd_checkpoint(&pos, &flags),
         _ => usage(),
     }
 }

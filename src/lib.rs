@@ -36,10 +36,11 @@ pub mod prelude {
     pub use sfd_core::prelude::*;
     pub use sfd_obs::{encode_text, Counter, Gauge, Histogram, MetricsServer, Registry};
     pub use sfd_runtime::{
-        ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, DynMonitorService,
-        ExpiryPolicy, Heartbeat, HeartbeatSender, HeartbeatSink, HeartbeatSource, IngestOutcome,
-        MemoryTransport, MonitorConfig, MonitorService, MultiMonitorService, OverloadPolicy,
-        ReorderConfig, SenderConfig, ShardCore, StatusSnapshot, TimingWheel, UdpSink, UdpSource,
+        ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, Checkpoint,
+        CheckpointConfig, CheckpointError, CheckpointStats, DynMonitorService, ExpiryPolicy,
+        Heartbeat, HeartbeatSender, HeartbeatSink, HeartbeatSource, IngestOutcome, MemoryTransport,
+        MonitorConfig, MonitorService, MultiMonitorService, OverloadPolicy, ReorderConfig,
+        SenderConfig, ShardCore, StatusSnapshot, StreamCheckpoint, TimingWheel, UdpSink, UdpSource,
         WallClock,
     };
 }

@@ -310,3 +310,259 @@ fn sender_stall_is_missed_sends_plus_retrust() {
     assert_eq!(monitor.supervisor_restarts(), 0);
     monitor.stop();
 }
+
+/// A scratch checkpoint path unique to this test run; the guard removes
+/// the file (and the write-rename temp) on drop so reruns start clean.
+struct CkptPath(std::path::PathBuf);
+
+impl CkptPath {
+    fn new(tag: &str) -> CkptPath {
+        CkptPath(std::env::temp_dir().join(format!(
+            "sfd-chaos-{tag}-{}-{}.sfcp",
+            std::process::id(),
+            seed()
+        )))
+    }
+}
+
+impl Drop for CkptPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let _ = std::fs::remove_file(self.0.with_extension("sfcp.tmp"));
+    }
+}
+
+/// Kill/restart mid-storm: a monitor checkpointing on cadence dies
+/// abruptly (dropped, *not* stopped — no shutdown save), and a fresh
+/// process warm-restarts from the last cadence save. The restored
+/// detectors must carry their learned windows: the downtime reads as
+/// silence (suspect), resumed-from-zero senders re-trust via the
+/// rebaseline path, and a real crash is still detected.
+fn checkpoint_kill_restart(policy: ExpiryPolicy, tag: &str) {
+    let path = CkptPath::new(tag);
+    let streams = [11u64, 12];
+    let storm = |seed_salt: u64| ChaosConfig {
+        seed: seed() ^ seed_salt,
+        loss: LossConfig::bursty(0.05, 3.0),
+        dup_rate: 0.05,
+        corrupt_rate: 0.05,
+        reorder: Some(ReorderConfig { buffer: 4, p_hold: 0.2 }),
+    };
+
+    // First life: soak under the storm, checkpointing every 25ms.
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, _ctl) = ChaosSink::wrap(inner, storm(0));
+    let monitor = MultiMonitorService::spawn_with_checkpoints(
+        source,
+        monitor_cfg(),
+        2,
+        policy,
+        CheckpointConfig::new(&path.0).every(Some(Duration::from_millis(25))),
+    );
+    for &s in &streams {
+        monitor.watch(s, &chen_spec(5)).expect("register");
+    }
+    let mut senders: Vec<HeartbeatSender> = streams
+        .iter()
+        .map(|&s| {
+            HeartbeatSender::spawn(
+                SenderConfig { stream: s, interval: Duration::from_millis(5) },
+                sink.clone(),
+            )
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    eventually(std::time::Duration::from_secs(5), "trusted before the kill", || {
+        all_trusted(&monitor, &streams)
+    });
+    eventually(std::time::Duration::from_secs(5), "cadence checkpoints landed", || {
+        monitor.checkpoint_stats().is_some_and(|cs| cs.saves >= 2)
+    });
+
+    // The kill: silence the senders, let the monitor drain and the next
+    // cadence save capture the settled counters, then drop without
+    // stop() — only the cadence saves survive, no shutdown save.
+    for s in &mut senders {
+        s.crash();
+    }
+    drop(senders);
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let before: Vec<u64> =
+        streams.iter().map(|&s| monitor.status(s).expect("watched").heartbeats).collect();
+    assert!(before.iter().all(|&h| h > 20), "storm soaked long enough: {before:?}");
+    drop(monitor);
+
+    // Second life: warm restart from the last cadence save.
+    let (inner2, source2) = MemoryTransport::perfect();
+    let (sink2, _ctl2) = ChaosSink::wrap(inner2, storm(0x5EED));
+    let mut revived = MultiMonitorService::spawn_with_checkpoints(
+        source2,
+        monitor_cfg(),
+        2,
+        policy,
+        CheckpointConfig::new(&path.0).every(Some(Duration::from_millis(25))),
+    );
+    let stats = revived.checkpoint_stats().expect("checkpointing configured");
+    assert_eq!(stats.restored_streams, streams.len() as u64, "both streams rehydrated");
+    assert_eq!(stats.load_rejections, 0, "clean load: {stats:?}");
+    for (i, &s) in streams.iter().enumerate() {
+        let snap = revived.status(s).expect("stream survived the kill");
+        assert_eq!(
+            snap.heartbeats, before[i],
+            "stream {s}: the last cadence save carried the settled heartbeat count"
+        );
+    }
+
+    // The downtime is preserved across the restart (clock rebasing), so
+    // the restored windows read the gap as silence and go suspect.
+    eventually(std::time::Duration::from_secs(5), "downtime read as silence", || {
+        streams.iter().all(|&s| revived.status(s).is_some_and(|st| st.suspect))
+    });
+
+    // Senders come back from seq 0 — a restart, not a resume. The
+    // restored cursors reject the stale sequences until the rebaseline
+    // guard re-admits the stream; trust must recover without a re-watch.
+    let mut senders2: Vec<HeartbeatSender> = streams
+        .iter()
+        .map(|&s| {
+            HeartbeatSender::spawn(
+                SenderConfig { stream: s, interval: Duration::from_millis(5) },
+                sink2.clone(),
+            )
+        })
+        .collect();
+    eventually(std::time::Duration::from_secs(10), "re-trusted after warm restart", || {
+        all_trusted(&revived, &streams)
+    });
+    let rebaselines: u64 = revived.statuses().iter().map(|s| s.health.rebaselines).sum();
+    assert!(rebaselines >= streams.len() as u64, "restarts re-admitted via rebaseline");
+
+    // And the revived monitor still detects a real crash.
+    senders2[0].crash();
+    eventually(std::time::Duration::from_secs(5), "crash detected after warm restart", || {
+        revived.status(streams[0]).is_some_and(|st| st.suspect)
+    });
+    eventually(std::time::Duration::from_secs(5), "survivor still trusted", || {
+        all_trusted(&revived, &streams[1..])
+    });
+    assert_eq!(revived.supervisor_restarts(), 0);
+    revived.stop();
+}
+
+#[test]
+fn checkpoint_kill_restart_scan_policy() {
+    checkpoint_kill_restart(ExpiryPolicy::Scan, "kr-scan");
+}
+
+#[test]
+fn checkpoint_kill_restart_wheel_policy() {
+    checkpoint_kill_restart(ExpiryPolicy::Wheel, "kr-wheel");
+}
+
+/// Damaged checkpoints — truncated, bit-flipped, or plain garbage — are
+/// *counted* cold starts: never a panic, never a wrong accept, and the
+/// service is fully usable afterwards.
+#[test]
+fn corrupt_checkpoint_is_a_cold_start_never_a_panic() {
+    // Manufacture a genuine checkpoint by running a short first life.
+    let path = CkptPath::new("corrupt");
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, _ctl) = ChaosSink::wrap(inner, ChaosConfig { seed: seed(), ..Default::default() });
+    let mut first = MultiMonitorService::spawn_with_checkpoints(
+        source,
+        monitor_cfg(),
+        2,
+        ExpiryPolicy::Wheel,
+        CheckpointConfig::new(&path.0).every(None),
+    );
+    first.watch(21, &chen_spec(5)).expect("register");
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 21, interval: Duration::from_millis(5) },
+        sink,
+    );
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    sender.crash();
+    first.stop(); // shutdown save: a valid checkpoint now exists
+    let good = std::fs::read(&path.0).expect("checkpoint written");
+    assert!(good.len() > 64, "non-trivial checkpoint: {} bytes", good.len());
+
+    // Each damaged variant must produce a counted cold start.
+    let truncated = good[..good.len() / 2].to_vec();
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    let variants: [(&str, Vec<u8>); 3] = [
+        ("truncated", truncated),
+        ("bit-flipped", flipped),
+        ("garbage", b"SFCPgarbage-not-a-checkpoint".to_vec()),
+    ];
+    for (what, bytes) in variants {
+        std::fs::write(&path.0, &bytes).expect("plant damaged checkpoint");
+        let (inner, source) = MemoryTransport::perfect();
+        let (sink, _ctl) =
+            ChaosSink::wrap(inner, ChaosConfig { seed: seed(), ..Default::default() });
+        let mut monitor = MultiMonitorService::spawn_with_checkpoints(
+            source,
+            monitor_cfg(),
+            2,
+            ExpiryPolicy::Wheel,
+            CheckpointConfig::new(&path.0).every(None),
+        );
+        let stats = monitor.checkpoint_stats().expect("checkpointing configured");
+        assert_eq!(stats.load_rejections, 1, "{what}: rejection counted");
+        assert_eq!(stats.restored_streams, 0, "{what}: nothing wrongly accepted");
+        assert_eq!(monitor.watched(), 0, "{what}: cold start");
+
+        // The cold-started service is still fully operational.
+        monitor.watch(21, &chen_spec(5)).expect("register after cold start");
+        let mut sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 21, interval: Duration::from_millis(5) },
+            sink,
+        );
+        eventually(std::time::Duration::from_secs(5), "trusted after cold start", || {
+            monitor.status(21).is_some_and(|st| !st.suspect)
+        });
+        sender.crash();
+        monitor.stop();
+    }
+}
+
+/// An ancient checkpoint is clamped by the staleness policy: warm state
+/// older than `max_age` would poison the detectors with a long-dead
+/// picture of the world, so the load is rejected into a counted cold
+/// start.
+#[test]
+fn stale_checkpoint_is_clamped_to_cold_start() {
+    let path = CkptPath::new("stale");
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, _ctl) = ChaosSink::wrap(inner, ChaosConfig { seed: seed(), ..Default::default() });
+    let mut first = MultiMonitorService::spawn_with_checkpoints(
+        source,
+        monitor_cfg(),
+        2,
+        ExpiryPolicy::Wheel,
+        CheckpointConfig::new(&path.0).every(None),
+    );
+    first.watch(31, &chen_spec(5)).expect("register");
+    let mut sender = HeartbeatSender::spawn(
+        SenderConfig { stream: 31, interval: Duration::from_millis(5) },
+        sink,
+    );
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    sender.crash();
+    first.stop();
+
+    // max_age zero: any downtime at all exceeds the clamp.
+    let (_inner2, source2) = MemoryTransport::perfect();
+    let monitor = MultiMonitorService::spawn_with_checkpoints(
+        source2,
+        monitor_cfg(),
+        2,
+        ExpiryPolicy::Wheel,
+        CheckpointConfig::new(&path.0).every(None).max_age(Some(Duration::ZERO)),
+    );
+    let stats = monitor.checkpoint_stats().expect("checkpointing configured");
+    assert_eq!(stats.load_rejections, 1, "staleness counted: {stats:?}");
+    assert_eq!(stats.restored_streams, 0);
+    assert_eq!(monitor.watched(), 0, "stale state clamped to cold start");
+}
