@@ -94,7 +94,7 @@ fn bench_idle_poll(c: &mut Criterion) {
                     // pure "nothing is due" poll both policies pay every
                     // tick of real operation.
                     polls += 1;
-                    if polls % 50 == 0 {
+                    if polls.is_multiple_of(50) {
                         seq += 1;
                         for s in 0..n as u64 {
                             core.heartbeat(s, seq, t);

@@ -1,0 +1,98 @@
+//! Full-service record/replay benchmark: generates WAN workloads at
+//! several stream scales, records each as an `SFWC` wire capture, replays
+//! it through the complete [`MultiMonitorService`] loop under
+//! `ExpiryPolicy::{Scan,Wheel}`, and gates on (1) per-stream digest
+//! equality against direct [`ShardCore`] ingest of the same frames and
+//! (2) double-replay byte-identical snapshots + Prometheus text. Writes
+//! `BENCH_service.json` (committed at the repo root; see DESIGN.md §13).
+//!
+//! Usage: `bench_service [--streams N,N,…] [--per-stream N] [--seed N]
+//! [--jobs N] [--out FILE]`. Exits 1 if any gate fails.
+//!
+//! [`MultiMonitorService`]: sfd_runtime::multi::MultiMonitorService
+//! [`ShardCore`]: sfd_runtime::multi::ShardCore
+
+use sfd_bench::ingest::shard_count;
+use sfd_bench::service::{run_scale, ServiceBenchReport, ServiceWorkload};
+use sfd_core::par::effective_jobs;
+use sfd_runtime::multi::SERVICE_BATCH_CAP;
+
+fn main() {
+    let mut streams: Vec<u64> = vec![1_000, 10_000, 100_000];
+    let mut per_stream: u64 = 32;
+    let mut seed: u64 = 0x5F_D5_EE_D0;
+    let mut jobs: usize = 0;
+    let mut out = std::path::PathBuf::from("BENCH_service.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--streams" => {
+                let v = args.next().expect("--streams needs a value");
+                streams = v
+                    .split(',')
+                    .map(|n| n.parse().expect("--streams takes comma-separated integers"))
+                    .collect();
+            }
+            "--per-stream" => {
+                let v = args.next().expect("--per-stream needs a value");
+                per_stream = v.parse().expect("--per-stream must be an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v.parse().expect("--seed must be an integer");
+            }
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs must be an integer");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a value").into();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_service [--streams N,N,…] [--per-stream N] [--seed N] \
+                     [--jobs N] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let jobs = if jobs == 0 { cores } else { effective_jobs(jobs) };
+
+    let mut scales = Vec::new();
+    for (i, &n) in streams.iter().enumerate() {
+        let w = ServiceWorkload { streams: n, per_stream, seed };
+        eprintln!(
+            "recording {n} streams × {per_stream} heartbeats, replaying through the full \
+             service under both policies…"
+        );
+        // The SFWC round trip is byte-exact at every scale; checking it
+        // once (at the smallest scale) keeps the 100k pass lean.
+        scales.push(run_scale(&w, jobs, i == 0));
+    }
+
+    let report = ServiceBenchReport {
+        per_stream,
+        seed,
+        jobs,
+        cores,
+        shards: shard_count(jobs),
+        batch_cap: SERVICE_BATCH_CAP,
+        scales,
+    };
+    println!("{}", report.summary());
+    report.write(&out).expect("write BENCH_service.json");
+    eprintln!("report written to {}", out.display());
+
+    if !report.all_pass() {
+        eprintln!("ERROR: a determinism gate failed — see {}", out.display());
+        std::process::exit(1);
+    }
+}

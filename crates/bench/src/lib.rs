@@ -23,6 +23,7 @@
 
 pub mod baseline;
 pub mod ingest;
+pub mod service;
 pub mod timing;
 
 use sfd_core::bertier::BertierConfig;

@@ -1,0 +1,617 @@
+//! The full-service record/replay benchmark behind `bench_service`:
+//! generate a multi-stream WAN workload, record it as an `SFWC` wire
+//! [`Capture`], replay it through the complete [`MultiMonitorService`]
+//! loop — transport drain, batching, sharded ingest, wheel/scan expiry —
+//! under a virtual clock, and gate on two determinism oracles
+//! (`BENCH_service.json`):
+//!
+//! 1. **Digest equality vs direct ingest** — an independent reimplementation
+//!    of the service's batch schedule drives the same frames straight into
+//!    [`ShardCore`]s (in parallel, one worker per shard) and must land on
+//!    identical per-stream digests: final verdict, accepted count,
+//!    freshness point, full transition log.
+//! 2. **Double-replay identity** — replaying the capture twice must
+//!    produce byte-identical snapshot debug renderings *and* byte-identical
+//!    Prometheus text for the deterministic metrics subset
+//!    ([`MultiMonitorService::core_metrics`]).
+//!
+//! Where `bench_ingest` times the shard engine alone, this times the
+//! serving path end to end — the ROADMAP's "bench the full
+//! `MultiMonitorService` loop against a replayed capture" item.
+//!
+//! [`MultiMonitorService`]: sfd_runtime::multi::MultiMonitorService
+//! [`MultiMonitorService::core_metrics`]: sfd_runtime::multi::MultiMonitorService::core_metrics
+
+use crate::ingest::{shard_count, StreamDigest};
+use crate::timing::{json_f64, timed, PassTiming};
+use sfd_core::chen::ChenConfig;
+use sfd_core::monitor::Monitor;
+use sfd_core::par::par_map;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_obs::encode_text;
+use sfd_runtime::capture::{Capture, ReplaySource};
+use sfd_runtime::clock::{VirtualClock, WallClock};
+use sfd_runtime::monitor::MonitorConfig;
+use sfd_runtime::multi::{
+    stream_shard, ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore, SERVICE_BATCH_CAP,
+};
+use sfd_runtime::wire::Heartbeat;
+use sfd_trace::gen::{generate_batch, DEFAULT_CHUNK};
+use sfd_trace::presets::WanCase;
+use std::fmt::Write as _;
+
+/// The recorded workload: `streams` heartbeat streams, each a seeded WAN
+/// pair simulation (cycling through the paper's seven WAN cases), merged
+/// into one arrival-ordered wire capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceWorkload {
+    /// Streams to record (ids `0..streams`).
+    pub streams: u64,
+    /// Heartbeats sent per stream (deliveries are fewer: WAN loss).
+    pub per_stream: u64,
+    /// Base seed; each stream derives its own generator seed from it.
+    pub seed: u64,
+}
+
+impl ServiceWorkload {
+    /// Standard workload at a given stream count.
+    pub fn at_scale(streams: u64) -> ServiceWorkload {
+        ServiceWorkload { streams, per_stream: 32, seed: 0x5F_D5_EE_D0 }
+    }
+
+    /// The WAN case stream `s` draws its schedule/channel model from.
+    fn case(s: u64) -> WanCase {
+        WanCase::all()[(s % 7) as usize]
+    }
+
+    /// The detector spec for stream `s` — shared by the service replay
+    /// and the direct-ingest oracle, so both watch identical detectors.
+    pub fn spec_for(s: u64) -> DetectorSpec {
+        let interval = Self::case(s).preset().sim.schedule.interval;
+        DetectorSpec::Chen(ChenConfig {
+            window: 100,
+            expected_interval: interval,
+            alpha: interval * 2,
+        })
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Generate the workload's delivered heartbeats (trace generation fans
+/// out across the pool) and record them as one arrival-ordered capture,
+/// plus the replay end instant (last arrival + an expiry epilogue long
+/// enough to expire every stream).
+pub fn build_capture(w: &ServiceWorkload, jobs: usize) -> (Capture, Instant) {
+    let requests: Vec<_> = (0..w.streams)
+        .map(|s| {
+            let mut sim = ServiceWorkload::case(s).preset().sim;
+            sim.seed = mix(w.seed ^ s);
+            (sim, w.per_stream)
+        })
+        .collect();
+    let traces = generate_batch(&requests, DEFAULT_CHUNK, jobs);
+
+    // Flatten deliveries and order them as the wire would: by arrival,
+    // ties broken by (stream, seq) so the capture is a pure function of
+    // the workload.
+    let mut events: Vec<(i64, u64, u64, i64)> = Vec::new();
+    for (s, trace) in traces.iter().enumerate() {
+        for r in trace {
+            if let Some(arrival) = r.arrival {
+                events.push((arrival.as_nanos(), s as u64, r.seq, r.sent.as_nanos()));
+            }
+        }
+    }
+    drop(traces);
+    events.sort_unstable();
+
+    let mut cap = Capture::new();
+    for &(arrival, stream, seq, sent_nanos) in &events {
+        cap.push(arrival, &Heartbeat { stream, seq, sent_nanos }.encode());
+    }
+    let end_at =
+        Instant::from_nanos(cap.last_arrival_nanos().unwrap_or(0)) + Duration::from_secs(30);
+    (cap, end_at)
+}
+
+/// Everything one replay (or oracle drive) of a capture produces — the
+/// comparison surface for both gates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServicePass {
+    /// Per-stream digests, sorted by stream id.
+    pub digests: Vec<StreamDigest>,
+    /// Heartbeats accepted across all streams.
+    pub accepted: u64,
+    /// Heartbeats for unregistered streams.
+    pub unknown: u64,
+    /// Heartbeats dropped for implausible sender timestamps.
+    pub implausible: u64,
+    /// Frames that did not decode as heartbeats.
+    pub malformed: u64,
+    /// `{:?}` rendering of the final snapshots (byte-compared across
+    /// replays; empty for the direct oracle, which has no service).
+    pub snapshots_debug: String,
+    /// Prometheus text of the deterministic metrics subset (empty for
+    /// the direct oracle).
+    pub metrics_text: String,
+}
+
+/// Replay `cap` through the full service under `policy` and collect the
+/// comparison surface once the replay has finished and the service has
+/// quiesced.
+pub fn replay_service(
+    cap: &Capture,
+    policy: ExpiryPolicy,
+    shards: usize,
+    streams: u64,
+    end_at: Instant,
+) -> ServicePass {
+    let vclock = VirtualClock::starting_at(Instant::ZERO);
+    let (mut src, ctl) = ReplaySource::new(cap, vclock.clone());
+    src.set_end_at(end_at);
+    let cfg = MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None };
+    let mut svc = MultiMonitorService::spawn_with_clock(
+        src,
+        cfg,
+        shards,
+        policy,
+        WallClock::virtualized(vclock),
+        None,
+    );
+    for s in 0..streams {
+        svc.watch(s, &ServiceWorkload::spec_for(s)).expect("valid Chen spec");
+    }
+    ctl.start();
+    assert!(
+        ctl.wait_finished(std::time::Duration::from_secs(900)),
+        "replay did not finish within the watchdog window"
+    );
+    svc.stop();
+
+    let snaps = svc.statuses();
+    let mut accepted = 0;
+    let digests = snaps
+        .iter()
+        .map(|sn| {
+            accepted += sn.heartbeats;
+            StreamDigest {
+                stream: sn.stream,
+                suspect: sn.suspect,
+                heartbeats: sn.heartbeats,
+                freshness_point: sn.freshness_point,
+                transitions: svc.transitions(sn.stream).expect("watched stream"),
+            }
+        })
+        .collect();
+    ServicePass {
+        digests,
+        accepted,
+        unknown: svc.unknown_heartbeats(),
+        implausible: svc.implausible_timestamps(),
+        malformed: ctl.malformed(),
+        snapshots_debug: format!("{snaps:?}"),
+        metrics_text: encode_text(&svc.core_metrics()),
+    }
+}
+
+/// Frame classification mirroring the service's drain loop.
+enum FrameClass {
+    Plausible(Heartbeat),
+    Implausible,
+    Malformed,
+}
+
+/// Drive the capture's frames directly into [`ShardCore`]s, reproducing
+/// the service's deterministic schedule *independently*: batches close
+/// after [`SERVICE_BATCH_CAP`] decoded-plausible frames (or at stream
+/// end), every heartbeat in a batch is ingested at the batch's close
+/// instant, and every shard advances at every batch close — exactly the
+/// `let now = clock.now()` once-per-pass discipline of the live loop.
+/// Shards run concurrently on the pool; the digests are
+/// partition-independent because each stream's detector sees the same
+/// `(seq, now)` sequence under any shard layout.
+pub fn drive_direct(
+    cap: &Capture,
+    policy: ExpiryPolicy,
+    shards: usize,
+    streams: u64,
+    end_at: Instant,
+    jobs: usize,
+) -> ServicePass {
+    // Replay deliveries: strictly increasing, same rule as ReplaySource.
+    let mut frames: Vec<(Instant, FrameClass)> = Vec::with_capacity(cap.len());
+    let mut prev = i64::MIN;
+    let (mut implausible, mut malformed) = (0u64, 0u64);
+    for (at, raw) in cap.iter() {
+        let delivery = if at > prev { at } else { prev + 1 };
+        prev = delivery;
+        let class = match Heartbeat::decode(raw) {
+            Some(hb) if hb.plausible_sent() => FrameClass::Plausible(hb),
+            Some(_) => {
+                implausible += 1;
+                FrameClass::Implausible
+            }
+            None => {
+                malformed += 1;
+                FrameClass::Malformed
+            }
+        };
+        frames.push((Instant::from_nanos(delivery), class));
+    }
+
+    // Batch schedule: (close instant, per-shard heartbeat runs).
+    let mut batch_nows: Vec<Instant> = Vec::new();
+    let mut parts: Vec<Vec<(u32, u64, u64)>> = vec![Vec::new(); shards];
+    let mut in_batch = 0usize;
+    for (i, (delivery, class)) in frames.iter().enumerate() {
+        if let FrameClass::Plausible(hb) = class {
+            parts[stream_shard(hb.stream, shards)].push((
+                batch_nows.len() as u32,
+                hb.stream,
+                hb.seq,
+            ));
+            in_batch += 1;
+        }
+        let last = i + 1 == frames.len();
+        if in_batch == SERVICE_BATCH_CAP || last {
+            batch_nows.push(*delivery);
+            in_batch = 0;
+        }
+    }
+
+    let mut stream_parts: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for s in 0..streams {
+        stream_parts[stream_shard(s, shards)].push(s);
+    }
+
+    // One entry per shard: its index and its `(batch, stream, seq)` slice.
+    type ShardInput<'a> = (usize, &'a [(u32, u64, u64)]);
+    let shard_inputs: Vec<ShardInput> = (0..shards).map(|i| (i, parts[i].as_slice())).collect();
+    let runs = par_map(&shard_inputs, jobs, |&(idx, entries), _| {
+        let mut core = ShardCore::new(policy, Duration::from_millis(1));
+        for &s in &stream_parts[idx] {
+            core.register(s, &ServiceWorkload::spec_for(s)).expect("valid Chen spec");
+        }
+        let mut unknown = 0u64;
+        let mut cursor = 0usize;
+        for (b, &now) in batch_nows.iter().enumerate() {
+            while let Some(&(batch, stream, seq)) = entries.get(cursor) {
+                if batch as usize != b {
+                    break;
+                }
+                if core.heartbeat(stream, seq, now) == IngestOutcome::UnknownStream {
+                    unknown += 1;
+                }
+                cursor += 1;
+            }
+            core.advance(now);
+        }
+        core.advance(end_at);
+
+        let mut accepted = 0u64;
+        let digests: Vec<StreamDigest> = stream_parts[idx]
+            .iter()
+            .map(|&s| {
+                let snap = core.snapshot(s, end_at).expect("registered stream");
+                accepted += snap.heartbeats;
+                StreamDigest {
+                    stream: s,
+                    suspect: snap.suspect,
+                    heartbeats: snap.heartbeats,
+                    freshness_point: snap.freshness_point,
+                    transitions: core.transitions(s).expect("registered stream").to_vec(),
+                }
+            })
+            .collect();
+        (digests, accepted, unknown)
+    });
+
+    let mut digests = Vec::with_capacity(streams as usize);
+    let (mut accepted, mut unknown) = (0u64, 0u64);
+    for (d, a, u) in runs {
+        digests.extend(d);
+        accepted += a;
+        unknown += u;
+    }
+    digests.sort_unstable_by_key(|d| d.stream);
+    ServicePass {
+        digests,
+        accepted,
+        unknown,
+        implausible,
+        malformed,
+        snapshots_debug: String::new(),
+        metrics_text: String::new(),
+    }
+}
+
+/// Both gates plus timings for one expiry policy at one scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyOutcome {
+    /// The direct-ingest oracle pass (parallel across shards).
+    pub direct: PassTiming,
+    /// First full-service replay.
+    pub service: PassTiming,
+    /// Second full-service replay (the determinism probe).
+    pub service_repeat: PassTiming,
+    /// Gate 1: service digests and counters == oracle digests and
+    /// counters.
+    pub digest_match: bool,
+    /// Gate 2: both replays byte-identical (digests, snapshot debug
+    /// rendering, Prometheus text of the deterministic metrics subset).
+    pub replay_deterministic: bool,
+}
+
+impl PolicyOutcome {
+    fn run(
+        cap: &Capture,
+        policy: ExpiryPolicy,
+        shards: usize,
+        w: &ServiceWorkload,
+        end_at: Instant,
+        jobs: usize,
+    ) -> PolicyOutcome {
+        let (direct, direct_secs) =
+            timed(|| drive_direct(cap, policy, shards, w.streams, end_at, jobs));
+        let (a, a_secs) = timed(|| replay_service(cap, policy, shards, w.streams, end_at));
+        let (b, b_secs) = timed(|| replay_service(cap, policy, shards, w.streams, end_at));
+        let digest_match = a.digests == direct.digests
+            && a.accepted == direct.accepted
+            && a.unknown == direct.unknown
+            && a.implausible == direct.implausible
+            && a.malformed == direct.malformed;
+        let replay_deterministic = a == b;
+        PolicyOutcome {
+            direct: PassTiming { wall_secs: direct_secs, replayed_heartbeats: cap.len() as u64 },
+            service: PassTiming { wall_secs: a_secs, replayed_heartbeats: cap.len() as u64 },
+            service_repeat: PassTiming { wall_secs: b_secs, replayed_heartbeats: cap.len() as u64 },
+            digest_match,
+            replay_deterministic,
+        }
+    }
+
+    /// Both gates green?
+    pub fn pass(&self) -> bool {
+        self.digest_match && self.replay_deterministic
+    }
+}
+
+/// Measured result at one stream scale: capture stats plus both
+/// policies' gates and timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceScaleResult {
+    /// Streams recorded.
+    pub streams: u64,
+    /// Frames in the capture (delivered heartbeats).
+    pub frames: u64,
+    /// Encoded capture size in bytes.
+    pub capture_bytes: u64,
+    /// Seconds to generate + record the capture.
+    pub record_secs: f64,
+    /// Did the capture survive an `SFWC` encode/decode round trip
+    /// exactly? (`None` when the check was skipped at this scale.)
+    pub roundtrip_ok: Option<bool>,
+    /// Scan-policy gates and timings.
+    pub scan: PolicyOutcome,
+    /// Wheel-policy gates and timings.
+    pub wheel: PolicyOutcome,
+}
+
+impl ServiceScaleResult {
+    /// Every gate at this scale green?
+    pub fn pass(&self) -> bool {
+        self.scan.pass() && self.wheel.pass() && self.roundtrip_ok != Some(false)
+    }
+}
+
+/// Record one workload and run both policies' gates over it.
+pub fn run_scale(w: &ServiceWorkload, jobs: usize, verify_roundtrip: bool) -> ServiceScaleResult {
+    let shards = shard_count(jobs);
+    let ((cap, end_at), record_secs) = timed(|| build_capture(w, jobs));
+    let roundtrip_ok = verify_roundtrip
+        .then(|| Capture::decode(&cap.encode()).map(|back| back == cap).unwrap_or(false));
+    let scan = PolicyOutcome::run(&cap, ExpiryPolicy::Scan, shards, w, end_at, jobs);
+    let wheel = PolicyOutcome::run(&cap, ExpiryPolicy::Wheel, shards, w, end_at, jobs);
+    ServiceScaleResult {
+        streams: w.streams,
+        frames: cap.len() as u64,
+        capture_bytes: (cap.frame_bytes() + cap.len() * 10 + 13) as u64,
+        record_secs,
+        roundtrip_ok,
+        scan,
+        wheel,
+    }
+}
+
+/// The `BENCH_service.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBenchReport {
+    /// Heartbeats sent per stream.
+    pub per_stream: u64,
+    /// Base workload seed.
+    pub seed: u64,
+    /// Worker threads used (oracle parallelism + trace generation).
+    pub jobs: usize,
+    /// Cores available on the machine that produced this report.
+    pub cores: usize,
+    /// Shards the service and oracle both used.
+    pub shards: usize,
+    /// The service's drain-batch cap (part of the replayed schedule).
+    pub batch_cap: usize,
+    /// One entry per `--streams` scale, ascending.
+    pub scales: Vec<ServiceScaleResult>,
+}
+
+impl ServiceBenchReport {
+    /// Every scale's every gate green?
+    pub fn all_pass(&self) -> bool {
+        self.scales.iter().all(ServiceScaleResult::pass)
+    }
+
+    /// Render as pretty-printed JSON (hand-rolled, like
+    /// `BENCH_sweep.json`, so a stubbed `serde_json` cannot block it).
+    pub fn to_json(&self) -> String {
+        fn policy(s: &mut String, name: &str, p: &PolicyOutcome, comma: &str) {
+            let _ = writeln!(s, "      \"{name}\": {{");
+            let _ = writeln!(s, "        \"direct_secs\": {},", json_f64(p.direct.wall_secs));
+            let _ = writeln!(s, "        \"service_secs\": {},", json_f64(p.service.wall_secs));
+            let _ = writeln!(
+                s,
+                "        \"service_repeat_secs\": {},",
+                json_f64(p.service_repeat.wall_secs)
+            );
+            let _ = writeln!(
+                s,
+                "        \"service_frames_per_sec\": {},",
+                json_f64(p.service.heartbeats_per_sec())
+            );
+            let _ = writeln!(s, "        \"digest_match\": {},", p.digest_match);
+            let _ = writeln!(s, "        \"replay_deterministic\": {}", p.replay_deterministic);
+            let _ = writeln!(s, "      }}{comma}");
+        }
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"bench\": \"service\",");
+        let _ = writeln!(s, "  \"per_stream\": {},", self.per_stream);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"shards\": {},", self.shards);
+        let _ = writeln!(s, "  \"batch_cap\": {},", self.batch_cap);
+        let _ = writeln!(s, "  \"scales\": [");
+        for (i, sc) in self.scales.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"streams\": {},", sc.streams);
+            let _ = writeln!(s, "      \"frames\": {},", sc.frames);
+            let _ = writeln!(s, "      \"capture_bytes\": {},", sc.capture_bytes);
+            let _ = writeln!(s, "      \"record_secs\": {},", json_f64(sc.record_secs));
+            let rt = match sc.roundtrip_ok {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(s, "      \"roundtrip_ok\": {rt},");
+            policy(&mut s, "scan", &sc.scan, ",");
+            policy(&mut s, "wheel", &sc.wheel, ",");
+            let _ = writeln!(s, "      \"pass\": {}", sc.pass());
+            let comma = if i + 1 < self.scales.len() { "," } else { "" };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"all_pass\": {}", self.all_pass());
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// One human summary line per scale for the bench log.
+    pub fn summary(&self) -> String {
+        self.scales
+            .iter()
+            .map(|sc| {
+                format!(
+                    "{} streams: {} frames — record {:.2}s; scan: direct {:.2}s / replay {:.2}s; \
+                     wheel: direct {:.2}s / replay {:.2}s ({:.0} frames/s) — \
+                     digests {}/{} deterministic {}/{}",
+                    sc.streams,
+                    sc.frames,
+                    sc.record_secs,
+                    sc.scan.direct.wall_secs,
+                    sc.scan.service.wall_secs,
+                    sc.wheel.direct.wall_secs,
+                    sc.wheel.service.wall_secs,
+                    sc.wheel.service.heartbeats_per_sec(),
+                    sc.scan.digest_match,
+                    sc.wheel.digest_match,
+                    sc.scan.replay_deterministic,
+                    sc.wheel.replay_deterministic,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServiceWorkload {
+        ServiceWorkload { streams: 23, per_stream: 24, seed: 7 }
+    }
+
+    #[test]
+    fn capture_is_a_pure_function_of_the_workload() {
+        let w = small();
+        let (a, end_a) = build_capture(&w, 1);
+        let (b, end_b) = build_capture(&w, 4);
+        assert_eq!(a, b, "trace generation and merge must be jobs-independent");
+        assert_eq!(end_a, end_b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn service_replay_matches_direct_ingest_and_repeats() {
+        let w = small();
+        let (cap, end_at) = build_capture(&w, 2);
+        for policy in [ExpiryPolicy::Scan, ExpiryPolicy::Wheel] {
+            let direct = drive_direct(&cap, policy, 4, w.streams, end_at, 2);
+            let first = replay_service(&cap, policy, 4, w.streams, end_at);
+            let second = replay_service(&cap, policy, 4, w.streams, end_at);
+            assert_eq!(first.digests, direct.digests, "{policy:?}: digest gate");
+            assert_eq!(
+                (first.accepted, first.unknown, first.implausible, first.malformed),
+                (direct.accepted, direct.unknown, direct.implausible, direct.malformed),
+                "{policy:?}: counter gate"
+            );
+            assert_eq!(first, second, "{policy:?}: double-replay gate");
+            assert!(!first.metrics_text.is_empty());
+            assert!(first.accepted > 0);
+        }
+    }
+
+    #[test]
+    fn direct_drive_is_shard_and_jobs_independent() {
+        let w = small();
+        let (cap, end_at) = build_capture(&w, 2);
+        let base = drive_direct(&cap, ExpiryPolicy::Wheel, 1, w.streams, end_at, 1);
+        for (shards, jobs) in [(2, 2), (8, 3)] {
+            let got = drive_direct(&cap, ExpiryPolicy::Wheel, shards, w.streams, end_at, jobs);
+            assert_eq!(got.digests, base.digests, "shards={shards} jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_scale_gates_and_json_are_well_formed() {
+        let sc = run_scale(&small(), 2, true);
+        assert!(sc.pass(), "all gates green on the small workload: {sc:?}");
+        assert_eq!(sc.roundtrip_ok, Some(true));
+        let report = ServiceBenchReport {
+            per_stream: small().per_stream,
+            seed: small().seed,
+            jobs: 2,
+            cores: 2,
+            shards: 2,
+            batch_cap: SERVICE_BATCH_CAP,
+            scales: vec![sc],
+        };
+        let js = report.to_json();
+        assert!(js.starts_with("{\n") && js.ends_with("}\n"));
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+        assert!(js.contains("\"bench\": \"service\""));
+        assert!(js.contains("\"digest_match\": true"));
+        assert!(js.contains("\"replay_deterministic\": true"));
+        assert!(js.contains("\"all_pass\": true"));
+        assert!(!js.contains(",\n  }") && !js.contains(",\n}") && !js.contains(",\n  ]"));
+        assert!(report.summary().contains("digests true/true"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Numerical-drift bounds for the incremental window statistics.
+//!
+//! [`SampleWindow`] and [`ArrivalWindow`] maintain running sums that are
+//! *subtracted from* on every eviction — the classic recipe for float
+//! drift over a long-lived monitor. Both rebuild their sums every
+//! `capacity` evictions, which bounds the drift; these property tests
+//! pin that bound: after 10⁶ arrivals the incremental mean/variance must
+//! agree with a from-scratch recompute over the retained samples to one
+//! part in 10⁹. The Jacobson margin smoother carries no subtractive
+//! state, so its recurrence is checked for *exact* agreement with a
+//! reference reimplementation of the paper's equations.
+//!
+//! If a future edit removes the periodic rebuild (or widens the rebuild
+//! period), these tests are the tripwire.
+
+use proptest::prelude::*;
+use sfd_core::estimate::{JacobsonConfig, JacobsonEstimator};
+use sfd_core::time::{Duration, Instant};
+use sfd_core::window::{ArrivalWindow, SampleWindow};
+
+/// Arrivals per property case. Large enough that a capacity-100 window
+/// rebuilds its sums ~10⁴ times and accumulates measurable drift if the
+/// rebuild is broken; small enough to keep the suite fast.
+const ARRIVALS: usize = 1_000_000;
+
+/// Pinned agreement bound: |incremental − naive| ≤ 10⁻⁹·max(1, |naive|).
+const REL_TOL: f64 = 1e-9;
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from the mixer.
+fn unit(state: &mut u64) -> f64 {
+    (mix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn close(incremental: f64, naive: f64) -> bool {
+    (incremental - naive).abs() <= REL_TOL * naive.abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `SampleWindow::mean`/`variance` after 10⁶ pushes agree with a
+    /// from-scratch pass over `iter()` using the same moment formulas.
+    /// The workload mimics inter-arrival samples: a base interval with
+    /// multiplicative jitter and occasional 20× spikes (GC pauses), the
+    /// heavy-tailed shape that maximises cancellation in `Σx²`.
+    fn sample_window_moments_do_not_drift(
+        seed in any::<u64>(),
+        capacity in 2usize..1000,
+        base_ms in 1u64..200,
+    ) {
+        let mut rng = seed;
+        let mut w = SampleWindow::new(capacity);
+        let base = base_ms as f64 / 1e3;
+        let mut checked = 0u32;
+        for i in 0..ARRIVALS {
+            let spike = if mix(&mut rng).is_multiple_of(503) { 20.0 } else { 1.0 };
+            w.push(base * spike * (0.5 + unit(&mut rng)));
+            // Spot-check mid-run (drift is cumulative, not just final).
+            if i % (ARRIVALS / 4) == ARRIVALS / 4 - 1 {
+                let n = w.len() as f64;
+                let sum: f64 = w.iter().sum();
+                let sum_sq: f64 = w.iter().map(|x| x * x).sum();
+                let naive_mean = sum / n;
+                let naive_var = (sum_sq / n - naive_mean * naive_mean).max(0.0);
+                prop_assert!(
+                    close(w.mean(), naive_mean),
+                    "mean drifted at arrival {}: incremental {} vs naive {}",
+                    i, w.mean(), naive_mean
+                );
+                prop_assert!(
+                    close(w.variance(), naive_var),
+                    "variance drifted at arrival {}: incremental {} vs naive {}",
+                    i, w.variance(), naive_var
+                );
+                checked += 1;
+            }
+        }
+        prop_assert_eq!(checked, 4);
+    }
+
+    /// `ArrivalWindow::shifted_mean_secs` after 10⁶ recorded arrivals
+    /// agrees with a from-scratch recompute of Chen's shifted-arrival
+    /// mean `Σ(A_i − i·Δ)/n` over the retained samples.
+    fn arrival_window_shifted_mean_does_not_drift(
+        seed in any::<u64>(),
+        capacity in 2usize..1000,
+        interval_ms in 1i64..100,
+    ) {
+        let mut rng = seed;
+        let interval = Duration::from_millis(interval_ms);
+        let mut w = ArrivalWindow::new(capacity, interval);
+        let mut seq = 0u64;
+        for _ in 0..ARRIVALS {
+            // Jittered delivery, with losses leaving sequence gaps.
+            seq += 1 + u64::from(mix(&mut rng).is_multiple_of(19));
+            let at = seq as i64 * interval.as_nanos()
+                + (unit(&mut rng) * interval.as_nanos() as f64) as i64;
+            w.record(seq, Instant::from_nanos(at));
+        }
+        let delta = interval.as_secs_f64();
+        let naive: f64 = w
+            .iter()
+            .map(|s| s.arrival.as_secs_f64() - s.seq as f64 * delta)
+            .sum::<f64>()
+            / w.len() as f64;
+        let inc = w.shifted_mean_secs().expect("window is non-empty");
+        prop_assert!(
+            close(inc, naive),
+            "shifted mean drifted after {} arrivals: incremental {} vs naive {}",
+            ARRIVALS, inc, naive
+        );
+    }
+
+    /// The Jacobson smoother is pure exponential smoothing — no
+    /// subtractive window state — so after 10⁶ observations it must match
+    /// a reference reimplementation of the paper's recurrence *exactly*
+    /// (bit-for-bit; both sides perform the identical IEEE-754 operation
+    /// sequence).
+    fn jacobson_matches_reference_recurrence_exactly(
+        seed in any::<u64>(),
+        interval_ms in 1i64..100,
+    ) {
+        let cfg = JacobsonConfig::default();
+        let mut est = JacobsonEstimator::new(cfg);
+        // Reference state, straight from paper Eq. 5–7.
+        let (mut delay, mut var, mut margin) = (0.0f64, 0.0f64, 0.0f64);
+
+        let mut rng = seed;
+        let interval = Duration::from_millis(interval_ms);
+        for k in 0..ARRIVALS as i64 {
+            let expected = Instant::from_nanos(k * interval.as_nanos());
+            let jitter = (unit(&mut rng) * 0.5 * interval.as_nanos() as f64) as i64;
+            let arrival = Instant::from_nanos(k * interval.as_nanos() + jitter);
+            est.observe(arrival, expected);
+
+            let error = (arrival - expected).as_secs_f64() - delay;
+            let prev_var = var;
+            delay += cfg.gamma * error;
+            var += cfg.gamma * (error.abs() - var);
+            margin = cfg.beta * delay + cfg.phi * prev_var;
+        }
+        prop_assert_eq!(est.smoothed_delay_secs(), delay);
+        prop_assert_eq!(est.error_magnitude_secs(), var);
+        prop_assert_eq!(est.raw_margin_secs(), margin);
+        prop_assert_eq!(est.observations(), ARRIVALS as u64);
+    }
+}

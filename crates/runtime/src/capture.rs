@@ -1,0 +1,784 @@
+//! Deterministic wire capture and replay (`SFWC` format).
+//!
+//! The paper's evaluation replays *traces* through bare estimators; the
+//! serving path needs the same discipline one layer up. This module
+//! records the exact byte stream a monitor's transport delivered —
+//! `(arrival_ns, wire_bytes)` pairs, chaos mangling and all — and plays
+//! it back through the full [`MultiMonitorService`](crate::multi)
+//! drain/batch/ingest/expiry loop under a
+//! [`VirtualClock`](crate::clock::VirtualClock), so every replay of a
+//! capture runs the *identical* schedule: same batch boundaries, same
+//! `now` stamped on every ingest and expiry sweep, same transitions.
+//!
+//! Three pieces:
+//!
+//! - [`Capture`]: an in-memory frame log with a crash-safe on-disk
+//!   format (`SFWC`, hardened exactly like the `SFCP` checkpoint
+//!   format: magic | version | length | payload | CRC-32, with a
+//!   panic-free bounded decoder).
+//! - [`CaptureSink`]: tees any [`HeartbeatSink`], stamping each frame
+//!   with the capture clock on its way through. Wrap it *under* a
+//!   [`ChaosSink`](crate::chaos::ChaosSink) to record post-chaos
+//!   traffic — exactly what the wire would have carried.
+//! - [`ReplaySource`]: a [`HeartbeatSource`] that feeds recorded frames
+//!   back, stepping a shared [`VirtualClock`] to each frame's arrival
+//!   instant so the consuming service re-lives the recorded timeline.
+//!
+//! # Replay determinism contract
+//!
+//! Frame deliveries are strictly increasing: a recorded arrival that
+//! ties or regresses (possible when frames raced the capture lock) is
+//! nudged forward by 1 ns at load, so "delivered at or before instant
+//! `t`" identifies an exact frame prefix. The service drains in batches
+//! of [`SERVICE_BATCH_CAP`](crate::multi::SERVICE_BATCH_CAP) decoded,
+//! plausible heartbeats and stamps each batch with the clock reading at
+//! drain end — under replay, the delivery instant of the last frame
+//! consumed. None of that depends on host speed, shard count, or thread
+//! scheduling, which is what the digest gates in `bench_service` and
+//! `tests/service_replay.rs` check.
+
+use crate::checkpoint::crc32;
+use crate::clock::{VirtualClock, WallClock};
+use crate::transport::{HeartbeatSink, HeartbeatSource};
+use crate::wire::Heartbeat;
+use parking_lot::Mutex;
+use sfd_core::time::{Duration, Instant};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// File magic for wire captures: `SFWC`.
+pub const CAPTURE_MAGIC: [u8; 4] = *b"SFWC";
+/// Current capture format version.
+pub const CAPTURE_VERSION: u8 = 1;
+/// Fixed framing overhead: magic + version + payload length + CRC-32.
+pub const CAPTURE_OVERHEAD: usize = 4 + 1 + 4 + 4;
+/// Largest recordable frame. Wire frames are UDP-datagram sized, so a
+/// `u16` length prefix is ample; [`Capture::push`] truncates anything
+/// longer (and nothing in this workspace produces such a frame).
+pub const MAX_FRAME_BYTES: usize = u16::MAX as usize;
+/// Smallest possible encoded frame: arrival stamp + length prefix.
+const FRAME_MIN_BYTES: usize = 8 + 2;
+
+/// Why a capture file or byte stream was rejected.
+///
+/// Mirrors [`CheckpointError`](crate::checkpoint::CheckpointError): the
+/// decoder is total — malformed input yields one of these, never a
+/// panic or a misparse.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// Shorter than the fixed framing overhead.
+    TooSmall,
+    /// Leading magic is not `SFWC`.
+    BadMagic,
+    /// Version byte is not one this build understands.
+    UnsupportedVersion(u8),
+    /// Declared payload length disagrees with the actual byte count.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Length actually present.
+        actual: usize,
+    },
+    /// CRC-32 trailer does not match the payload.
+    BadCrc {
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// Structurally framed but semantically invalid payload.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureError::Io(e) => write!(f, "capture io error: {e}"),
+            CaptureError::TooSmall => write!(f, "capture data shorter than framing overhead"),
+            CaptureError::BadMagic => write!(f, "capture magic mismatch (not an SFWC file)"),
+            CaptureError::UnsupportedVersion(v) => {
+                write!(f, "unsupported capture version {v} (expected {CAPTURE_VERSION})")
+            }
+            CaptureError::LengthMismatch { declared, actual } => {
+                write!(f, "capture length mismatch: header declares {declared}, got {actual}")
+            }
+            CaptureError::BadCrc { stored, computed } => {
+                write!(f, "capture crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CaptureError::Malformed(what) => write!(f, "malformed capture payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+impl From<io::Error> for CaptureError {
+    fn from(e: io::Error) -> Self {
+        CaptureError::Io(e)
+    }
+}
+
+/// Bounds-checked little payload reader (same discipline as the
+/// checkpoint decoder: every `take` is length-guarded; nothing indexes
+/// unchecked).
+struct Rd<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CaptureError> {
+        if self.data.len() < n {
+            return Err(CaptureError::Malformed("payload truncated"));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u16(&mut self) -> Result<u16, CaptureError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CaptureError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, CaptureError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(i64::from_be_bytes(raw))
+    }
+
+    /// Validate an element count against the bytes that remain, so a
+    /// corrupted count cannot drive an absurd allocation.
+    fn count(&mut self, min_elem_size: usize) -> Result<usize, CaptureError> {
+        let n = self.u32()? as usize;
+        if min_elem_size > 0 && n > self.data.len() / min_elem_size {
+            return Err(CaptureError::Malformed("element count exceeds payload"));
+        }
+        Ok(n)
+    }
+}
+
+/// An in-memory wire capture: ordered `(arrival_ns, frame_bytes)` pairs
+/// in a flat byte arena.
+///
+/// Arrival stamps are kept non-decreasing on [`push`](Capture::push)
+/// (clamped up to the previous stamp if a racing recorder handed frames
+/// over slightly out of order) and enforced non-decreasing on decode.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Capture {
+    arrivals: Vec<i64>,
+    /// `offsets.len() == arrivals.len() + 1` once non-empty; frame `i`
+    /// occupies `bytes[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl Capture {
+    /// An empty capture.
+    pub fn new() -> Capture {
+        Capture::default()
+    }
+
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when no frames have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Total payload bytes across all frames.
+    pub fn frame_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Append a frame observed at `arrival_nanos`. The stamp is clamped
+    /// up to the previous frame's stamp (captures are time-ordered by
+    /// construction); frames longer than [`MAX_FRAME_BYTES`] are
+    /// truncated to that bound.
+    pub fn push(&mut self, arrival_nanos: i64, frame: &[u8]) {
+        let frame = &frame[..frame.len().min(MAX_FRAME_BYTES)];
+        let at = match self.arrivals.last() {
+            Some(&prev) => arrival_nanos.max(prev),
+            None => arrival_nanos,
+        };
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.arrivals.push(at);
+        self.bytes.extend_from_slice(frame);
+        self.offsets.push(self.bytes.len() as u32);
+    }
+
+    /// Frame `i` as `(arrival_nanos, bytes)`, if present.
+    pub fn frame(&self, i: usize) -> Option<(i64, &[u8])> {
+        let at = *self.arrivals.get(i)?;
+        let lo = *self.offsets.get(i)? as usize;
+        let hi = *self.offsets.get(i + 1)? as usize;
+        Some((at, &self.bytes[lo..hi]))
+    }
+
+    /// Iterate frames in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &[u8])> + '_ {
+        (0..self.len()).filter_map(move |i| self.frame(i))
+    }
+
+    /// Arrival stamp of the last frame, if any.
+    pub fn last_arrival_nanos(&self) -> Option<i64> {
+        self.arrivals.last().copied()
+    }
+
+    /// A new capture holding only the first `n` frames (all frames when
+    /// `n >= len`). Used by kill/restart soaks to simulate a crash at a
+    /// frame boundary.
+    pub fn truncated(&self, n: usize) -> Capture {
+        let n = n.min(self.len());
+        let mut out = Capture::new();
+        for i in 0..n {
+            if let Some((at, frame)) = self.frame(i) {
+                out.push(at, frame);
+            }
+        }
+        out
+    }
+
+    /// Serialise to the `SFWC` on-disk format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(4 + self.len() * FRAME_MIN_BYTES + self.bytes.len());
+        payload.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        for (at, frame) in self.iter() {
+            payload.extend_from_slice(&at.to_be_bytes());
+            payload.extend_from_slice(&(frame.len() as u16).to_be_bytes());
+            payload.extend_from_slice(frame);
+        }
+        let mut out = Vec::with_capacity(CAPTURE_OVERHEAD + payload.len());
+        out.extend_from_slice(&CAPTURE_MAGIC);
+        out.push(CAPTURE_VERSION);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_be_bytes());
+        out
+    }
+
+    /// Decode an `SFWC` byte stream. Total: rejects (never panics on)
+    /// truncations, magic/version skew, length and CRC mismatches, and
+    /// semantically invalid payloads (frame counts that exceed the
+    /// payload, regressing arrival stamps, trailing garbage).
+    pub fn decode(data: &[u8]) -> Result<Capture, CaptureError> {
+        if data.len() < CAPTURE_OVERHEAD {
+            return Err(CaptureError::TooSmall);
+        }
+        if data[0..4] != CAPTURE_MAGIC {
+            return Err(CaptureError::BadMagic);
+        }
+        if data[4] != CAPTURE_VERSION {
+            return Err(CaptureError::UnsupportedVersion(data[4]));
+        }
+        let declared = u32::from_be_bytes([data[5], data[6], data[7], data[8]]) as usize;
+        let actual = data.len() - CAPTURE_OVERHEAD;
+        if declared != actual {
+            return Err(CaptureError::LengthMismatch { declared, actual });
+        }
+        let payload = &data[9..9 + declared];
+        let stored = u32::from_be_bytes([
+            data[9 + declared],
+            data[10 + declared],
+            data[11 + declared],
+            data[12 + declared],
+        ]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CaptureError::BadCrc { stored, computed });
+        }
+
+        let mut rd = Rd { data: payload };
+        let nframes = rd.count(FRAME_MIN_BYTES)?;
+        let mut cap = Capture::new();
+        let mut prev = i64::MIN;
+        for _ in 0..nframes {
+            let at = rd.i64()?;
+            if at < prev {
+                return Err(CaptureError::Malformed("arrival stamps regress"));
+            }
+            prev = at;
+            let len = rd.u16()? as usize;
+            let frame = rd.take(len)?;
+            cap.push(at, frame);
+        }
+        if !rd.data.is_empty() {
+            return Err(CaptureError::Malformed("trailing bytes after last frame"));
+        }
+        Ok(cap)
+    }
+
+    /// Write atomically (`path.tmp` + fsync + rename), returning the
+    /// encoded size in bytes.
+    pub fn save(&self, path: &Path) -> io::Result<u64> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("sfwc.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Load and decode a capture file.
+    pub fn load(path: &Path) -> Result<Capture, CaptureError> {
+        Capture::decode(&fs::read(path)?)
+    }
+}
+
+struct CaptureShared {
+    clock: WallClock,
+    capture: Mutex<Capture>,
+}
+
+/// A [`HeartbeatSink`] tee that records every frame passing through it,
+/// stamped with the capture clock, before forwarding to the inner sink.
+///
+/// Compose it *under* a [`ChaosSink`](crate::chaos::ChaosSink)
+/// (`sender → ChaosSink(CaptureSink(transport))`) to record the
+/// post-chaos wire: every frame the chaos layer delivered — duplicates,
+/// bit-flipped survivors, reordered stragglers — and nothing it
+/// dropped, so `capture.len()` equals
+/// [`ChaosStats::delivered`](crate::chaos::ChaosStats) once the chaos
+/// layer is flushed.
+pub struct CaptureSink<S> {
+    inner: S,
+    shared: Arc<CaptureShared>,
+}
+
+impl<S: HeartbeatSink> CaptureSink<S> {
+    /// Wrap `inner`, stamping frames with `clock`. Returns the sink and
+    /// a [`CaptureHandle`] for extracting the recording.
+    pub fn wrap(inner: S, clock: WallClock) -> (CaptureSink<S>, CaptureHandle) {
+        let shared = Arc::new(CaptureShared { clock, capture: Mutex::new(Capture::new()) });
+        (CaptureSink { inner, shared: shared.clone() }, CaptureHandle { shared })
+    }
+}
+
+impl<S: HeartbeatSink> HeartbeatSink for CaptureSink<S> {
+    fn send(&self, hb: Heartbeat) -> io::Result<()> {
+        {
+            let mut cap = self.shared.capture.lock();
+            // Stamp under the capture lock so recorded arrivals are
+            // non-decreasing in capture order even with racing senders.
+            let at = self.shared.clock.now().as_nanos();
+            cap.push(at, &hb.encode());
+        }
+        self.inner.send(hb)
+    }
+}
+
+/// Handle for reading a [`CaptureSink`]'s recording.
+#[derive(Clone)]
+pub struct CaptureHandle {
+    shared: Arc<CaptureShared>,
+}
+
+impl CaptureHandle {
+    /// Frames recorded so far.
+    pub fn frames(&self) -> usize {
+        self.shared.capture.lock().len()
+    }
+
+    /// Clone out the recording so far.
+    pub fn snapshot(&self) -> Capture {
+        self.shared.capture.lock().clone()
+    }
+
+    /// Take the recording, leaving the sink recording into an empty one.
+    pub fn take(&self) -> Capture {
+        std::mem::take(&mut *self.shared.capture.lock())
+    }
+}
+
+/// What a [`ReplaySource`] reports once every frame has been delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayEnd {
+    /// Report the transport as closed (`Err(BrokenPipe)`) so the service
+    /// loop runs its final expiry sweep and exits cleanly. The default.
+    #[default]
+    Disconnect,
+    /// Report an idle transport (`Ok(None)`) forever, keeping the
+    /// service alive for post-replay queries.
+    Idle,
+}
+
+/// How long a gated or idle replay source naps per `recv` so the
+/// service thread doesn't spin on real CPU while virtual time is frozen.
+const REPLAY_NAP: std::time::Duration = std::time::Duration::from_micros(200);
+
+struct ReplayState {
+    cursor: usize,
+    /// One `Ok(None)` has been returned after exhaustion (the service
+    /// flushes its final partial batch on that pass).
+    drained: bool,
+}
+
+struct ReplayShared {
+    /// Delivery instant (strictly increasing) and the decoded heartbeat,
+    /// or `None` for a frame that no longer parses as one.
+    frames: Vec<(Instant, Option<Heartbeat>)>,
+    clock: Arc<VirtualClock>,
+    state: Mutex<ReplayState>,
+    started: AtomicBool,
+    finished: AtomicBool,
+    position: AtomicUsize,
+    malformed: AtomicU64,
+}
+
+/// A [`HeartbeatSource`] that replays a [`Capture`] under a shared
+/// [`VirtualClock`].
+///
+/// Each `recv` consumes the next recorded frame, first stepping the
+/// virtual clock to that frame's delivery instant — so the consuming
+/// service observes time exactly as recorded. Undecodable frames are
+/// counted in [`ReplayControl::malformed`] and skipped (they still
+/// advance the clock, as the real transport would have burned time on
+/// them). Delivery is gated until [`ReplayControl::start`] so the
+/// harness can register streams first; while gated, `recv` naps
+/// briefly and reports an idle transport without touching the clock.
+///
+/// After the last frame, one `Ok(None)` lets the service flush its
+/// final partial batch at the last frame's delivery instant; the next
+/// `recv` steps the clock to the configured end instant and reports
+/// end-of-stream per [`ReplayEnd`].
+pub struct ReplaySource {
+    shared: Arc<ReplayShared>,
+    end_at: Instant,
+    end: ReplayEnd,
+}
+
+impl ReplaySource {
+    /// Build a replay of `capture` driving `clock`. Delivery instants
+    /// are the recorded arrival stamps made strictly increasing (ties
+    /// nudged forward 1 ns); the default end instant is the last
+    /// frame's delivery. Returns the source (to hand to the service)
+    /// and a [`ReplayControl`] (to keep).
+    pub fn new(capture: &Capture, clock: Arc<VirtualClock>) -> (ReplaySource, ReplayControl) {
+        let mut frames = Vec::with_capacity(capture.len());
+        let mut prev = i64::MIN;
+        for (at, raw) in capture.iter() {
+            let delivery = if at > prev { at } else { prev + 1 };
+            prev = delivery;
+            frames.push((Instant::from_nanos(delivery), Heartbeat::decode(raw)));
+        }
+        let end_at = frames.last().map(|(d, _)| *d).unwrap_or_else(|| clock.now());
+        let shared = Arc::new(ReplayShared {
+            frames,
+            clock,
+            state: Mutex::new(ReplayState { cursor: 0, drained: false }),
+            started: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            position: AtomicUsize::new(0),
+            malformed: AtomicU64::new(0),
+        });
+        let control = ReplayControl { shared: shared.clone() };
+        (ReplaySource { shared, end_at, end: ReplayEnd::default() }, control)
+    }
+
+    /// Total frames scheduled for delivery.
+    pub fn frames(&self) -> usize {
+        self.shared.frames.len()
+    }
+
+    /// Instant the clock is stepped to once replay completes.
+    pub fn end_at(&self) -> Instant {
+        self.end_at
+    }
+
+    /// Override the end instant (e.g. to run expiry long past the last
+    /// frame). Clamped up to the last frame's delivery — the clock has
+    /// already passed that point when the end is reached.
+    pub fn set_end_at(&mut self, at: Instant) {
+        self.end_at = at.max(self.end_at);
+    }
+
+    /// Choose what `recv` reports after the end instant.
+    pub fn set_end(&mut self, end: ReplayEnd) {
+        self.end = end;
+    }
+
+    /// Skip every frame whose delivery instant is at or before `cursor`
+    /// without delivering it, returning how many were skipped. This is
+    /// the restart half of the checkpoint contract: pass
+    /// [`Checkpoint::cursor`](crate::checkpoint::Checkpoint::cursor)
+    /// from a checkpoint taken during a previous replay of the *same*
+    /// capture, start the virtual clock at that cursor, and the resumed
+    /// replay continues with exactly the frames the checkpoint had not
+    /// yet absorbed.
+    pub fn seek_to(&mut self, cursor: Instant) -> usize {
+        let mut st = self.shared.state.lock();
+        let skipped = self.shared.frames.partition_point(|(d, _)| *d <= cursor);
+        st.cursor = skipped;
+        self.shared.position.store(skipped, Ordering::Relaxed);
+        skipped
+    }
+}
+
+impl HeartbeatSource for ReplaySource {
+    fn recv(&self, timeout: Duration) -> io::Result<Option<Heartbeat>> {
+        if !self.shared.started.load(Ordering::Acquire) {
+            // Gated: hold the timeline still until the harness says go.
+            if timeout > Duration::ZERO {
+                std::thread::sleep(REPLAY_NAP);
+            }
+            return Ok(None);
+        }
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(&(delivery, hb)) = self.shared.frames.get(st.cursor) {
+                st.cursor += 1;
+                self.shared.position.store(st.cursor, Ordering::Relaxed);
+                self.shared.clock.set(delivery);
+                match hb {
+                    Some(hb) => return Ok(Some(hb)),
+                    None => {
+                        self.shared.malformed.fetch_add(1, Ordering::Relaxed);
+                        continue; // skipped, like any malformed datagram
+                    }
+                }
+            }
+            if !st.drained {
+                // First exhausted pass: report idle once so the service
+                // flushes its final partial batch at the last frame's
+                // delivery instant.
+                st.drained = true;
+                return Ok(None);
+            }
+            self.shared.clock.set(self.end_at);
+            self.shared.finished.store(true, Ordering::Release);
+            return match self.end {
+                ReplayEnd::Disconnect => {
+                    Err(io::Error::new(io::ErrorKind::BrokenPipe, "replay complete"))
+                }
+                ReplayEnd::Idle => {
+                    drop(st);
+                    if timeout > Duration::ZERO {
+                        std::thread::sleep(REPLAY_NAP);
+                    }
+                    Ok(None)
+                }
+            };
+        }
+    }
+}
+
+/// Progress and control handle for a [`ReplaySource`].
+#[derive(Clone)]
+pub struct ReplayControl {
+    shared: Arc<ReplayShared>,
+}
+
+impl ReplayControl {
+    /// Open the delivery gate. Until this is called the source reports
+    /// an idle transport and virtual time stands still — register
+    /// streams, then start.
+    pub fn start(&self) {
+        self.shared.started.store(true, Ordering::Release);
+    }
+
+    /// Frames consumed so far (delivered or skipped as malformed).
+    pub fn position(&self) -> usize {
+        self.shared.position.load(Ordering::Relaxed)
+    }
+
+    /// Frames that no longer decoded as heartbeats and were skipped.
+    pub fn malformed(&self) -> u64 {
+        self.shared.malformed.load(Ordering::Relaxed)
+    }
+
+    /// True once every frame has been consumed, the final flush pass has
+    /// run, and the clock has been stepped to the end instant. The
+    /// service's closing expiry sweep at the end instant is already
+    /// underway (same loop iteration) when this flips; `stop()`-joining
+    /// the service after this point observes the complete replay.
+    pub fn finished(&self) -> bool {
+        self.shared.finished.load(Ordering::Acquire)
+    }
+
+    /// Block (real time) until [`finished`](ReplayControl::finished),
+    /// polling gently; `false` on timeout.
+    pub fn wait_finished(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.finished() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(REPLAY_NAP);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemoryTransport;
+
+    fn hb(stream: u64, seq: u64, sent_ms: i64) -> Heartbeat {
+        Heartbeat { stream, seq, sent_nanos: Instant::from_millis(sent_ms).as_nanos() }
+    }
+
+    #[test]
+    fn capture_round_trips() {
+        let mut cap = Capture::new();
+        cap.push(10, &hb(1, 0, 9).encode());
+        cap.push(25, &hb(2, 0, 24).encode());
+        cap.push(25, b"garbage frame");
+        cap.push(40, &[]);
+        let bytes = cap.encode();
+        let back = Capture::decode(&bytes).expect("own encoding decodes");
+        assert_eq!(back, cap);
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.frame(2).expect("frame 2"), (25, &b"garbage frame"[..]));
+    }
+
+    #[test]
+    fn push_clamps_regressing_stamps() {
+        let mut cap = Capture::new();
+        cap.push(100, b"a");
+        cap.push(40, b"b");
+        assert_eq!(cap.frame(1).expect("frame 1").0, 100);
+    }
+
+    #[test]
+    fn empty_capture_round_trips() {
+        let cap = Capture::new();
+        let back = Capture::decode(&cap.encode()).expect("empty capture decodes");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("sfd_capture_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("roundtrip.sfwc");
+        let mut cap = Capture::new();
+        for i in 0..50i64 {
+            cap.push(i * 1000, &hb(i as u64 % 3, i as u64, i).encode());
+        }
+        cap.save(&path).expect("save");
+        assert_eq!(Capture::load(&path).expect("load"), cap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capture_sink_tees_and_stamps() {
+        let (sink, source) = MemoryTransport::perfect();
+        let vclock = VirtualClock::starting_at(Instant::from_millis(5));
+        let (cap_sink, handle) = CaptureSink::wrap(sink, WallClock::virtualized(vclock.clone()));
+        cap_sink.send(hb(7, 0, 4)).expect("send");
+        vclock.set(Instant::from_millis(30));
+        cap_sink.send(hb(7, 1, 29)).expect("send");
+        assert_eq!(handle.frames(), 2);
+        let cap = handle.take();
+        assert_eq!(handle.frames(), 0, "take drains the recording");
+        assert_eq!(cap.frame(0).expect("frame 0").0, Instant::from_millis(5).as_nanos());
+        assert_eq!(cap.frame(1).expect("frame 1").0, Instant::from_millis(30).as_nanos());
+        // The tee forwarded both frames to the inner transport.
+        for want_seq in 0..2 {
+            let got = source.recv(Duration::ZERO).expect("recv").expect("frame forwarded");
+            assert_eq!((got.stream, got.seq), (7, want_seq));
+        }
+    }
+
+    #[test]
+    fn replay_delivers_frames_and_steps_clock() {
+        let mut cap = Capture::new();
+        cap.push(Instant::from_millis(10).as_nanos(), &hb(1, 0, 9).encode());
+        cap.push(Instant::from_millis(10).as_nanos(), b"not a heartbeat");
+        cap.push(Instant::from_millis(20).as_nanos(), &hb(1, 1, 19).encode());
+
+        let clock = VirtualClock::starting_at(Instant::ZERO);
+        let (mut src, ctl) = ReplaySource::new(&cap, clock.clone());
+        src.set_end_at(Instant::from_millis(100));
+
+        // Gated: no delivery, clock frozen.
+        assert!(src.recv(Duration::ZERO).expect("gated recv").is_none());
+        assert_eq!(clock.now(), Instant::ZERO);
+
+        ctl.start();
+        let first = src.recv(Duration::ZERO).expect("recv").expect("frame");
+        assert_eq!((first.stream, first.seq), (1, 0));
+        assert_eq!(clock.now(), Instant::from_millis(10));
+
+        // Malformed middle frame is skipped (still advancing the clock —
+        // its tied stamp was nudged 1 ns) and the next heartbeat lands.
+        let second = src.recv(Duration::ZERO).expect("recv").expect("frame");
+        assert_eq!((second.stream, second.seq), (1, 1));
+        assert_eq!(ctl.malformed(), 1);
+        assert_eq!(clock.now(), Instant::from_millis(20));
+
+        // One idle flush pass, then disconnect at the end instant.
+        assert!(src.recv(Duration::ZERO).expect("flush pass").is_none());
+        assert!(!ctl.finished());
+        let err = src.recv(Duration::ZERO).expect_err("disconnect");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(ctl.finished());
+        assert_eq!(clock.now(), Instant::from_millis(100));
+        assert_eq!(ctl.position(), 3);
+    }
+
+    #[test]
+    fn replay_idle_end_keeps_reporting_none() {
+        let mut cap = Capture::new();
+        cap.push(Instant::from_millis(1).as_nanos(), &hb(1, 0, 0).encode());
+        let clock = VirtualClock::starting_at(Instant::ZERO);
+        let (mut src, ctl) = ReplaySource::new(&cap, clock.clone());
+        src.set_end(ReplayEnd::Idle);
+        ctl.start();
+        assert!(src.recv(Duration::ZERO).expect("recv").is_some());
+        assert!(src.recv(Duration::ZERO).expect("flush").is_none());
+        for _ in 0..3 {
+            assert!(src.recv(Duration::ZERO).expect("idle").is_none());
+        }
+        assert!(ctl.finished());
+    }
+
+    #[test]
+    fn seek_skips_exactly_the_cursor_prefix() {
+        let mut cap = Capture::new();
+        for i in 0..10i64 {
+            cap.push(Instant::from_millis(i * 10).as_nanos(), &hb(1, i as u64, 0).encode());
+        }
+        let clock = VirtualClock::starting_at(Instant::from_millis(40));
+        let (mut src, ctl) = ReplaySource::new(&cap, clock);
+        assert_eq!(src.seek_to(Instant::from_millis(40)), 5, "frames at 0..=40 ms skipped");
+        ctl.start();
+        let next = src.recv(Duration::ZERO).expect("recv").expect("frame");
+        assert_eq!(next.seq, 5);
+    }
+
+    #[test]
+    fn truncated_preserves_prefix() {
+        let mut cap = Capture::new();
+        for i in 0..8i64 {
+            cap.push(i * 5, &hb(2, i as u64, 0).encode());
+        }
+        let head = cap.truncated(3);
+        assert_eq!(head.len(), 3);
+        for i in 0..3 {
+            assert_eq!(head.frame(i), cap.frame(i));
+        }
+        assert_eq!(cap.truncated(100), cap);
+    }
+}

@@ -35,6 +35,26 @@
 //! between the two timelines from its own pair and rebases every stored
 //! instant before replay. Downtime is preserved: a stream silent across
 //! the restart has its freshness point correctly in the past.
+//!
+//! ## The checkpoint cursor invariant
+//!
+//! Under deterministic replay (see [`crate::capture`]) a checkpoint
+//! doubles as a *resume point* in a recorded frame stream, via
+//! [`Checkpoint::cursor`]. The service only checkpoints between drain
+//! batches — on the save cadence, on `stop()`, and on explicit saves —
+//! never mid-batch, and it stamps `created_instant` with the clock
+//! reading at that boundary; under replay that reading is the delivery
+//! instant of the last frame the service consumed. Replay deliveries are
+//! strictly increasing, so the invariant is exact: **every frame
+//! delivered at or before the cursor is fully reflected in the
+//! checkpoint, and no later frame has been observed.** Restarting with a
+//! [`VirtualClock`](crate::clock::VirtualClock) started *at* the cursor
+//! (instants are then restored unshifted — the replayed timeline is the
+//! recorded one) and a
+//! [`ReplaySource::seek_to(cursor)`](crate::capture::ReplaySource::seek_to)
+//! resumes the stream with exactly the frames the checkpoint had not yet
+//! absorbed, and the resumed run converges to the same final snapshots
+//! as an uninterrupted replay with the same batch alignment.
 
 use crate::clock::WallClock;
 use sfd_core::monitor::StreamHealth;
@@ -254,6 +274,17 @@ impl Checkpoint {
     /// restorer whose monitor clock reads `now` at wall time `now_wall`.
     pub fn restore_shift(&self, now: Instant, now_wall_nanos: i64) -> Duration {
         (now - self.created_instant) - self.age_at(now_wall_nanos)
+    }
+
+    /// The replay cursor: the monitor-clock instant this checkpoint was
+    /// taken at — under replay, the delivery instant of the last recorded
+    /// frame the service had consumed (see the module-level *checkpoint
+    /// cursor invariant*). Pass it to
+    /// [`ReplaySource::seek_to`](crate::capture::ReplaySource::seek_to)
+    /// and start the replay's virtual clock here to resume a recorded
+    /// stream exactly where this checkpoint left off.
+    pub fn cursor(&self) -> Instant {
+        self.created_instant
     }
 
     /// Serialise to the framed, CRC-guarded byte format.

@@ -5,13 +5,62 @@
 //! monotonic OS clock onto it. Each process anchors its own epoch at
 //! clock creation — senders and monitors do *not* share an epoch, exactly
 //! like the unsynchronised clocks of the paper's system model.
+//!
+//! A [`WallClock`] can alternatively be backed by a shared
+//! [`VirtualClock`]: a timeline that only moves when something *sets* it.
+//! That is the record/replay mode (see [`crate::capture`]) — a
+//! [`ReplaySource`](crate::capture::ReplaySource) steps the virtual clock
+//! to each recorded frame's arrival instant, so the monitor service
+//! re-lives the captured timeline deterministically instead of reading
+//! the machine's own clock.
 
 use sfd_core::time::Instant;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
-/// Monotonic wall clock anchored at its creation instant.
+/// A settable, monotone timeline for deterministic replay.
+///
+/// The clock never moves on its own; [`VirtualClock::set`] advances it
+/// (attempts to move it backwards are ignored, mirroring the monotone
+/// contract of the OS clock), and every [`WallClock`] handle sharing this
+/// virtual backend observes the same instant. All operations are
+/// lock-free.
+#[derive(Debug)]
+pub struct VirtualClock {
+    nanos: AtomicI64,
+}
+
+impl VirtualClock {
+    /// A virtual clock reading `at`, shareable across handles.
+    pub fn starting_at(at: Instant) -> Arc<VirtualClock> {
+        Arc::new(VirtualClock { nanos: AtomicI64::new(at.as_nanos()) })
+    }
+
+    /// Advance the clock to `at`. Monotone: a target earlier than the
+    /// current reading leaves the clock unchanged.
+    pub fn set(&self, at: Instant) {
+        self.nanos.fetch_max(at.as_nanos(), Ordering::Release);
+    }
+
+    /// Current reading.
+    pub fn now(&self) -> Instant {
+        Instant::from_nanos(self.nanos.load(Ordering::Acquire))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ClockSource {
+    /// The OS monotonic clock, anchored at creation.
+    Monotonic { base: std::time::Instant },
+    /// A shared replay timeline.
+    Virtual(Arc<VirtualClock>),
+}
+
+/// Monotonic wall clock anchored at its creation instant (or a handle
+/// onto a shared [`VirtualClock`] timeline — see the module docs).
 #[derive(Debug, Clone)]
 pub struct WallClock {
-    base: std::time::Instant,
+    source: ClockSource,
 }
 
 impl Default for WallClock {
@@ -23,13 +72,34 @@ impl Default for WallClock {
 impl WallClock {
     /// Anchor a new clock at "now".
     pub fn new() -> Self {
-        WallClock { base: std::time::Instant::now() }
+        WallClock { source: ClockSource::Monotonic { base: std::time::Instant::now() } }
+    }
+
+    /// A clock backed by a shared virtual timeline: `now()` reads the
+    /// virtual clock, so whoever drives the virtual clock (normally a
+    /// [`ReplaySource`](crate::capture::ReplaySource)) controls time for
+    /// every component holding this handle.
+    pub fn virtualized(clock: Arc<VirtualClock>) -> Self {
+        WallClock { source: ClockSource::Virtual(clock) }
+    }
+
+    /// Is this clock driven by a [`VirtualClock`]? Consumers that rebase
+    /// persisted instants across restarts (checkpoint restore) must skip
+    /// rebasing under a virtual clock: the virtual timeline *is* the
+    /// recorded timeline, shared across runs by construction.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.source, ClockSource::Virtual(_))
     }
 
     /// Current time on this clock's timeline.
     pub fn now(&self) -> Instant {
-        let elapsed = self.base.elapsed();
-        Instant::from_nanos(elapsed.as_nanos().min(i64::MAX as u128) as i64)
+        match &self.source {
+            ClockSource::Monotonic { base } => {
+                let elapsed = base.elapsed();
+                Instant::from_nanos(elapsed.as_nanos().min(i64::MAX as u128) as i64)
+            }
+            ClockSource::Virtual(v) => v.now(),
+        }
     }
 }
 
@@ -46,6 +116,7 @@ mod tests {
         let t1 = c.now();
         assert!(t1 > t0);
         assert!((t1 - t0).as_millis_f64() >= 4.0);
+        assert!(!c.is_virtual());
     }
 
     #[test]
@@ -55,5 +126,20 @@ mod tests {
         let a = c.now();
         let b = d.now();
         assert!((b - a).abs() < sfd_core::time::Duration::from_millis(50));
+    }
+
+    #[test]
+    fn virtual_clock_is_settable_and_monotone() {
+        let v = VirtualClock::starting_at(Instant::from_millis(10));
+        let c = WallClock::virtualized(v.clone());
+        let d = c.clone();
+        assert!(c.is_virtual());
+        assert_eq!(c.now(), Instant::from_millis(10));
+        v.set(Instant::from_millis(250));
+        assert_eq!(c.now(), Instant::from_millis(250));
+        assert_eq!(d.now(), Instant::from_millis(250), "clones share the timeline");
+        // Backwards sets are ignored.
+        v.set(Instant::from_millis(100));
+        assert_eq!(c.now(), Instant::from_millis(250));
     }
 }

@@ -32,11 +32,17 @@
 //!   disambiguating crash from partition;
 //! * [`chaos`] — a fault-injecting wrapper around any transport
 //!   (loss, partitions, duplication, reordering, bit corruption, sender
-//!   stalls), seeded and deterministic, for chaos-testing the monitors.
+//!   stalls), seeded and deterministic, for chaos-testing the monitors;
+//! * [`capture`] — deterministic wire capture and replay: a CRC-guarded
+//!   `SFWC` frame log recorded by a transport tee, replayed under a
+//!   virtual clock so the whole service re-runs the identical
+//!   drain/batch/ingest/expiry schedule — the serving path's
+//!   determinism oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod chaos;
 pub mod checkpoint;
 pub mod clock;
@@ -48,15 +54,19 @@ pub mod transport;
 pub mod wheel;
 pub mod wire;
 
+pub use capture::{
+    Capture, CaptureError, CaptureHandle, CaptureSink, ReplayControl, ReplayEnd, ReplaySource,
+    CAPTURE_VERSION,
+};
 pub use chaos::{ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, ReorderConfig};
 pub use checkpoint::{
     Checkpoint, CheckpointConfig, CheckpointError, StreamCheckpoint, CHECKPOINT_VERSION,
 };
-pub use clock::WallClock;
+pub use clock::{VirtualClock, WallClock};
 pub use monitor::{DynMonitorService, MonitorConfig, MonitorService, StatusSnapshot};
 pub use multi::{
     stream_shard, CheckpointStats, ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore,
-    MAX_SEQ_JUMP, STALE_STREAK_REBASELINE,
+    MAX_SEQ_JUMP, SERVICE_BATCH_CAP, STALE_STREAK_REBASELINE,
 };
 pub use probe::{EchoResponder, RttProbe, RttReport};
 pub use sender::{HeartbeatSender, SenderConfig};

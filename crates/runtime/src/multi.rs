@@ -105,7 +105,14 @@ pub enum ExpiryPolicy {
 
 /// Most heartbeats drained from the transport per service-loop pass, so
 /// status queries are never starved behind an ingest flood.
-const BATCH_CAP: usize = 1024;
+///
+/// Public because it is part of the service's *deterministic schedule*:
+/// under replay (see [`crate::capture`]) every batch holds exactly this
+/// many decoded, plausible heartbeats (except the final partial one),
+/// and each batch's ingest/expiry `now` is the clock reading when the
+/// batch closed. Replay oracles (`bench_service`'s direct
+/// [`ShardCore`] drive) reproduce the schedule from this constant.
+pub const SERVICE_BATCH_CAP: usize = 1024;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -824,7 +831,15 @@ impl Shared {
             }
         };
         let now = clock.now();
-        let shift = cp.restore_shift(now, checkpoint::wall_now_nanos());
+        // Rebase persisted instants onto this process's clock epoch —
+        // except under a virtual clock, where the replayed timeline *is*
+        // the recorded one (the harness starts the clock at the
+        // checkpoint cursor), so instants carry over unshifted.
+        let shift = if clock.is_virtual() {
+            Duration::ZERO
+        } else {
+            cp.restore_shift(now, checkpoint::wall_now_nanos())
+        };
         let nshards = self.shards.len();
         for mut sc in cp.streams {
             sc.shift(shift);
@@ -878,7 +893,7 @@ impl MultiMonitorService {
         shards: usize,
         policy: ExpiryPolicy,
     ) -> MultiMonitorService {
-        Self::spawn_inner(source, cfg, shards, policy, None)
+        Self::spawn_inner(source, cfg, shards, policy, WallClock::new(), None)
     }
 
     /// Spawn with checkpoint persistence: if a fresh, intact checkpoint
@@ -896,7 +911,28 @@ impl MultiMonitorService {
         policy: ExpiryPolicy,
         ckpt: CheckpointConfig,
     ) -> MultiMonitorService {
-        Self::spawn_inner(source, cfg, shards, policy, Some(ckpt))
+        Self::spawn_inner(source, cfg, shards, policy, WallClock::new(), Some(ckpt))
+    }
+
+    /// Spawn with an explicit clock — the record/replay entry point: pass
+    /// a [`WallClock::virtualized`] handle whose [`VirtualClock`] is
+    /// driven by a [`ReplaySource`](crate::capture::ReplaySource) and the
+    /// service re-lives the captured timeline deterministically. With
+    /// checkpointing configured and a virtual clock, restore does *not*
+    /// rebase instants (see [`Checkpoint::cursor`](crate::checkpoint::Checkpoint::cursor));
+    /// start the virtual clock at the checkpoint cursor before spawning.
+    ///
+    /// [`WallClock::virtualized`]: crate::clock::WallClock::virtualized
+    /// [`VirtualClock`]: crate::clock::VirtualClock
+    pub fn spawn_with_clock<S: HeartbeatSource + 'static>(
+        source: S,
+        cfg: MonitorConfig,
+        shards: usize,
+        policy: ExpiryPolicy,
+        clock: WallClock,
+        ckpt: Option<CheckpointConfig>,
+    ) -> MultiMonitorService {
+        Self::spawn_inner(source, cfg, shards, policy, clock, ckpt)
     }
 
     fn spawn_inner<S: HeartbeatSource + 'static>(
@@ -904,6 +940,7 @@ impl MultiMonitorService {
         cfg: MonitorConfig,
         shards: usize,
         policy: ExpiryPolicy,
+        clock: WallClock,
         ckpt: Option<CheckpointConfig>,
     ) -> MultiMonitorService {
         let nshards = shards.max(1).next_power_of_two();
@@ -917,7 +954,6 @@ impl MultiMonitorService {
             inject_panic: AtomicBool::new(false),
             ckpt: ckpt.map(CheckpointRuntime::new),
         });
-        let clock = WallClock::new();
         // Warm restart happens before the service thread exists, so the
         // loop's first pass already sees the rehydrated streams.
         shared.restore_from_checkpoint(&clock);
@@ -1009,7 +1045,7 @@ impl MultiMonitorService {
                         let idx = stream_shard(hb.stream, nshards);
                         buckets[idx].push((hb.stream, hb.seq));
                         drained += 1;
-                        if drained >= BATCH_CAP {
+                        if drained >= SERVICE_BATCH_CAP {
                             break;
                         }
                     }
@@ -1126,6 +1162,48 @@ impl MultiMonitorService {
             .collect();
         all.sort_unstable_by_key(|s| s.stream);
         all
+    }
+
+    /// The recorded suspect/trust transition log for one stream (`None`
+    /// if not watched). A clone of the shard's bounded log — the replay
+    /// digest gates compare these across runs.
+    pub fn transitions(&self, stream: u64) -> Option<Vec<Transition>> {
+        self.shared.shard_of(stream).lock().transitions(stream).map(<[Transition]>::to_vec)
+    }
+
+    /// The *deterministic* subset of [`Monitor::metrics`]: per-shard
+    /// detector counters and gauges plus the service-level ingest
+    /// counters, evaluated at the service clock's current reading, and
+    /// nothing measured in host wall time (no latency histograms, no
+    /// checkpoint age/size). Under replay of the same capture, rendering
+    /// this with `sfd_obs::encode_text` is byte-identical across runs —
+    /// the regression oracle `bench_service` gates on.
+    pub fn core_metrics(&self) -> MetricsSnapshot {
+        let now = self.clock.now();
+        let mut m = MetricsSnapshot::new();
+        for (idx, shard) in self.shared.shards.iter().enumerate() {
+            let sid = idx.to_string();
+            shard.lock().export_metrics(&mut m, &[("shard", sid.as_str())], now);
+        }
+        m.counter(
+            "sfd_unknown_heartbeats_total",
+            "Heartbeats that arrived for unregistered streams.",
+            &[],
+            self.unknown_heartbeats(),
+        );
+        m.counter(
+            "sfd_implausible_timestamps_total",
+            "Heartbeats discarded at ingest for an implausible sender timestamp.",
+            &[],
+            self.implausible_timestamps(),
+        );
+        m.counter(
+            "sfd_supervisor_restarts_total",
+            "Times the service loop panicked and was restarted by its supervisor.",
+            &[],
+            self.supervisor_restarts(),
+        );
+        m
     }
 
     /// The monitor's clock (shares its epoch with snapshot timestamps).

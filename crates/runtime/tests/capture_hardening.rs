@@ -1,0 +1,218 @@
+//! Capture-format hardening: [`Capture::decode`] is where a wire
+//! recording — possibly torn by the crash it was meant to survive, or
+//! hand-edited by tooling — re-enters the replay harness, so it must
+//! (a) never panic, (b) round-trip every encodable capture exactly, and
+//! (c) reject — not misparse — the classic malformation corpus:
+//! truncations, padding, version skew, flipped CRC bits, tampered
+//! counts, and single-bit flips anywhere in the frame.
+//!
+//! The sibling `checkpoint_hardening.rs` plays the same game for the
+//! `SFCP` snapshot format; this file covers the `SFWC` wire-capture
+//! format, which shares its framing discipline.
+
+use proptest::prelude::*;
+use sfd_runtime::capture::{Capture, CaptureError, CAPTURE_OVERHEAD};
+use sfd_runtime::checkpoint::crc32;
+use sfd_runtime::wire::Heartbeat;
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build an arbitrary-but-valid capture from a seed: jittered
+/// non-decreasing arrivals, mostly real heartbeat frames with garbage
+/// and empty frames mixed in — everything a chaos-composed recorder can
+/// produce.
+fn synth_capture(seed: u64, nframes: usize) -> Capture {
+    let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+    let mut cap = Capture::new();
+    let mut at = (mix(&mut rng) % 1_000_000) as i64;
+    for i in 0..nframes {
+        at += (mix(&mut rng) % 5_000_000) as i64; // 0–5 ms apart
+        match mix(&mut rng) % 8 {
+            0 => cap.push(at, b"not a heartbeat"),
+            1 => cap.push(at, &[]),
+            2 => {
+                // A valid-length frame with mangled magic.
+                let mut raw = Heartbeat { stream: 1, seq: i as u64, sent_nanos: at }.encode();
+                raw[0] ^= 0x20;
+                cap.push(at, &raw);
+            }
+            _ => {
+                let hb = Heartbeat {
+                    stream: mix(&mut rng) % 64,
+                    seq: i as u64,
+                    sent_nanos: at - 1_000_000,
+                };
+                cap.push(at, &hb.encode());
+            }
+        }
+    }
+    cap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every encodable capture survives an encode/decode round trip
+    /// exactly, and re-encoding the decoded value is byte-identical
+    /// (`encode(decode(x)) == x`).
+    fn round_trips_exactly(
+        seed in any::<u64>(),
+        nframes in 0usize..80,
+    ) {
+        let cap = synth_capture(seed, nframes);
+        let bytes = cap.encode();
+        let back = Capture::decode(&bytes);
+        prop_assert!(back.is_ok(), "own encoding rejected: {:?}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &cap);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Arbitrary byte soup of arbitrary length: decode may reject, but
+    /// must never panic and never allocate absurdly.
+    fn decode_never_panics_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Capture::decode(&data);
+    }
+
+    /// A single flipped bit anywhere in the frame — header, payload, or
+    /// CRC trailer — must be rejected. (Header flips die on the
+    /// structural checks, payload and trailer flips on the CRC.)
+    fn single_bit_flip_always_rejected(
+        seed in any::<u64>(),
+        bitpos in any::<u64>(),
+    ) {
+        let cap = synth_capture(seed, 20);
+        let mut bytes = cap.encode();
+        let bit = (bitpos % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            Capture::decode(&bytes).is_err(),
+            "flip at byte {} bit {} was accepted", bit / 8, bit % 8
+        );
+    }
+
+    /// Truncation to any shorter length is rejected; so is padding.
+    fn wrong_lengths_rejected(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        pad in 1usize..16,
+    ) {
+        let cap = synth_capture(seed, 12);
+        let bytes = cap.encode();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(Capture::decode(&bytes[..cut]).is_err(), "truncation to {cut}");
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0u8, pad));
+        prop_assert!(Capture::decode(&padded).is_err(), "padding by {pad}");
+    }
+}
+
+/// Patch the payload of an encoded capture with `edit` and re-seal it
+/// (length header + CRC trailer), so only the *semantic* validation
+/// layer can reject the result.
+fn reseal(bytes: &[u8], edit: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut payload = bytes[9..bytes.len() - 4].to_vec();
+    edit(&mut payload);
+    let mut out = bytes[..5].to_vec();
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_be_bytes());
+    out
+}
+
+/// Deterministic corpus of classic malformations, independent of the
+/// property sampler (and of whichever proptest backend runs it).
+#[test]
+fn malformation_corpus() {
+    let cap = synth_capture(42, 24);
+    let bytes = cap.encode();
+
+    // Empty, single byte, every truncation length, one-over padding.
+    assert!(matches!(Capture::decode(&[]), Err(CaptureError::TooSmall)));
+    assert!(matches!(Capture::decode(&[0x53]), Err(CaptureError::TooSmall)));
+    for cut in 0..bytes.len() {
+        assert!(Capture::decode(&bytes[..cut]).is_err(), "truncation to {cut} bytes");
+    }
+    let mut over = bytes.clone();
+    over.push(0);
+    assert!(matches!(Capture::decode(&over), Err(CaptureError::LengthMismatch { .. })));
+
+    // Foreign magic (off-by-one framing, zeroed header).
+    let mut shifted = vec![0u8; bytes.len()];
+    shifted[1..].copy_from_slice(&bytes[..bytes.len() - 1]);
+    assert!(matches!(Capture::decode(&shifted), Err(CaptureError::BadMagic)));
+    // An SFCP checkpoint header is not an SFWC capture.
+    let mut foreign = bytes.clone();
+    foreign[0..4].copy_from_slice(b"SFCP");
+    assert!(matches!(Capture::decode(&foreign), Err(CaptureError::BadMagic)));
+
+    // Version skew: 0, future versions, 0xFF.
+    for v in [0u8, 2, 7, 0xFF] {
+        let mut skewed = bytes.clone();
+        skewed[4] = v;
+        assert!(
+            matches!(Capture::decode(&skewed), Err(CaptureError::UnsupportedVersion(got)) if got == v),
+            "version {v}"
+        );
+    }
+
+    // Tampered length field: always LengthMismatch (or overflow), never
+    // a misparse.
+    for delta in [1u32, 8, 1 << 20] {
+        let declared = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let mut tampered = bytes.clone();
+        tampered[5..9].copy_from_slice(&declared.wrapping_add(delta).to_be_bytes());
+        assert!(Capture::decode(&tampered).is_err(), "length +{delta}");
+    }
+
+    // Flipped CRC trailer: BadCrc, with the stored value faithfully
+    // reported.
+    let mut badcrc = bytes.clone();
+    let n = badcrc.len();
+    badcrc[n - 1] ^= 0xFF;
+    match Capture::decode(&badcrc) {
+        Err(CaptureError::BadCrc { stored, computed }) => {
+            assert_ne!(stored, computed);
+            assert_eq!(computed, crc32(&bytes[9..n - 4]));
+        }
+        other => panic!("expected BadCrc, got {other:?}"),
+    }
+
+    // Semantic corruption *with a fixed-up CRC* still dies on payload
+    // validation — the structural layer is not the last line of defence.
+    //
+    // (a) Regressing arrival stamps. `push` clamps, so a regression can
+    // only enter via hand-crafted bytes: rewrite frame 1's stamp below
+    // frame 0's and re-seal.
+    let (first_at, first_frame) = cap.frame(0).expect("frame 0");
+    let frame1_off = 4 + 8 + 2 + first_frame.len(); // count + frame 0
+    let regressed = reseal(&bytes, |payload| {
+        payload[frame1_off..frame1_off + 8].copy_from_slice(&(first_at - 1).to_be_bytes());
+    });
+    assert!(matches!(Capture::decode(&regressed), Err(CaptureError::Malformed(_))));
+
+    // (b) A frame count far beyond what the payload can hold (the
+    // absurd-allocation guard).
+    let counterfeit = reseal(&bytes, |payload| {
+        payload[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+    });
+    assert!(matches!(Capture::decode(&counterfeit), Err(CaptureError::Malformed(_))));
+
+    // (c) Trailing garbage after the last frame.
+    let trailing = reseal(&bytes, |payload| payload.extend_from_slice(b"\x00\x01\x02"));
+    assert!(matches!(Capture::decode(&trailing), Err(CaptureError::Malformed(_))));
+
+    // The original still decodes after all that (no aliasing mistakes),
+    // and its header declares exactly the payload the framing carries.
+    assert_eq!(Capture::decode(&bytes).expect("original decodes"), cap);
+    let declared = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
+    assert_eq!(declared, bytes.len() - CAPTURE_OVERHEAD);
+}

@@ -12,6 +12,9 @@
 //! sfdctl checkpoint save FILE [--streams N] [--scheme S] [--interval D] [--heartbeats N]
 //! sfdctl checkpoint inspect FILE
 //! sfdctl checkpoint load FILE [--max-age D]
+//! sfdctl capture record FILE [--streams N] [--heartbeats N] [--interval D] [--seed N] [--chaos on]
+//! sfdctl capture inspect FILE
+//! sfdctl capture replay FILE [--policy wheel|scan] [--shards N] [--interval D]
 //! ```
 //!
 //! `generate`/`stats`/`eval`/`sweep` operate on trace files (the compact
@@ -20,6 +23,10 @@
 //! `checkpoint` works with the crash-safe `SFCP` snapshots the multi
 //! monitor persists: `inspect` verifies and summarises one, `load` proves
 //! it rehydrates, and `save` synthesises a warmed-up one for drills.
+//! `capture` works with `SFWC` wire recordings: `record` synthesises one
+//! (optionally chaos-mangled), `inspect` verifies and summarises it, and
+//! `replay` re-runs it through the full multi-monitor service under a
+//! virtual clock — the same deterministic schedule every time.
 
 use sfd::prelude::*;
 use sfd::qos::eval::{EvalConfig, Evaluation};
@@ -44,7 +51,10 @@ fn usage() -> ! {
          sfdctl metrics [--streams N] [--seed N] [--policy wheel|scan] [--serve ADDR]\n  \
          sfdctl checkpoint save FILE [--streams N] [--scheme chen|bertier|phi|sfd] [--interval D] [--heartbeats N] [--seed N]\n  \
          sfdctl checkpoint inspect FILE\n  \
-         sfdctl checkpoint load FILE [--max-age D]\n\n\
+         sfdctl checkpoint load FILE [--max-age D]\n  \
+         sfdctl capture record FILE [--streams N] [--heartbeats N] [--interval D] [--seed N] [--chaos on]\n  \
+         sfdctl capture inspect FILE\n  \
+         sfdctl capture replay FILE [--policy wheel|scan] [--shards N] [--interval D]\n\n\
          durations: 100ms, 2s, 1.5s, 250us"
     );
     exit(2);
@@ -665,6 +675,233 @@ fn cmd_checkpoint(pos: &[String], flags: &HashMap<String, String>) {
     }
 }
 
+/// A sink that swallows frames — the transport behind a capture-only
+/// recorder, where the recording *is* the delivery.
+struct NullSink;
+
+impl HeartbeatSink for NullSink {
+    fn send(&self, _hb: Heartbeat) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `sfdctl capture record|inspect|replay` — operator surface for the
+/// `SFWC` wire recordings the replay harness consumes.
+fn cmd_capture(pos: &[String], flags: &HashMap<String, String>) {
+    use std::sync::Arc;
+    let action = pos.first().map(String::as_str).unwrap_or_else(|| usage());
+    let path = pos.get(1).unwrap_or_else(|| usage());
+    match action {
+        "record" => {
+            // Synthesise a deterministic WAN-ish episode and record its
+            // post-chaos wire — a fixture for `replay` and the bench.
+            let streams: u64 = flag_num(flags, "streams").unwrap_or(4);
+            let heartbeats: u64 = flag_num(flags, "heartbeats").unwrap_or(300);
+            let interval = flag_duration(flags, "interval").unwrap_or(Duration::from_millis(100));
+            let seed: u64 = flag_num(flags, "seed").unwrap_or(1);
+            let chaos_on = flags.get("chaos").is_some_and(|v| v != "off");
+            let cfg = if chaos_on {
+                ChaosConfig {
+                    seed,
+                    loss: sfd::simnet::LossConfig::bursty(0.05, 3.0),
+                    dup_rate: 0.05,
+                    corrupt_rate: 0.02,
+                    reorder: Some(ReorderConfig { buffer: 4, p_hold: 0.15 }),
+                }
+            } else {
+                // Rates of zero make the chaos layer a pass-through, so
+                // both modes share one code path.
+                ChaosConfig {
+                    seed,
+                    loss: sfd::simnet::LossConfig::Never,
+                    dup_rate: 0.0,
+                    corrupt_rate: 0.0,
+                    reorder: None,
+                }
+            };
+            let vclock = VirtualClock::starting_at(Instant::ZERO);
+            let (cap_sink, handle) =
+                CaptureSink::wrap(NullSink, WallClock::virtualized(vclock.clone()));
+            let (sink, ctl) = ChaosSink::wrap(cap_sink, cfg);
+            let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+            for seq in 0..heartbeats {
+                for s in 0..streams {
+                    let jitter = (mix(&mut rng) % (interval.as_nanos() / 5).max(1) as u64) as i64;
+                    let sent = Instant::from_nanos((seq as i64 + 1) * interval.as_nanos());
+                    let at = sent + Duration::from_nanos(jitter + s as i64 * 1_000);
+                    vclock.set(at);
+                    sink.send(Heartbeat { stream: s, seq, sent_nanos: sent.as_nanos() })
+                        .unwrap_or_else(|e| {
+                            eprintln!("record: {e}");
+                            exit(1);
+                        });
+                }
+            }
+            // Release any stragglers held in the reorder buffer.
+            vclock.set(Instant::from_nanos((heartbeats as i64 + 1) * interval.as_nanos()));
+            if let Err(e) = sink.flush() {
+                eprintln!("record: flush: {e}");
+                exit(1);
+            }
+            let cap = handle.take();
+            let stats = ctl.stats();
+            match cap.save(std::path::Path::new(path)) {
+                Ok(size) => {
+                    println!(
+                        "wrote {path}: {} frames from {streams} streams × {heartbeats} heartbeats, {size} bytes",
+                        cap.len()
+                    );
+                    if chaos_on {
+                        println!(
+                            "chaos: offered {} delivered {} lost {} duplicated {} corrupted {} held_back {}",
+                            stats.offered,
+                            stats.delivered,
+                            stats.lost,
+                            stats.duplicated,
+                            stats.corrupted,
+                            stats.held_back
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "inspect" => {
+            let cap = match Capture::load(std::path::Path::new(path)) {
+                Ok(cap) => cap,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            };
+            let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let mut decodable = 0usize;
+            let mut malformed = 0usize;
+            let mut per_stream: std::collections::BTreeMap<u64, u64> =
+                std::collections::BTreeMap::new();
+            for (_at, raw) in cap.iter() {
+                match Heartbeat::decode(raw) {
+                    Some(hb) => {
+                        decodable += 1;
+                        *per_stream.entry(hb.stream).or_insert(0) += 1;
+                    }
+                    None => malformed += 1,
+                }
+            }
+            println!(
+                "{path}: SFWC v{} ({size} bytes, CRC ok), {} frames ({} byte payload)",
+                sfd::runtime::CAPTURE_VERSION,
+                cap.len(),
+                cap.frame_bytes()
+            );
+            let span = match (cap.frame(0), cap.last_arrival_nanos()) {
+                (Some((first, _)), Some(last)) => format!(
+                    "{} .. {}",
+                    Instant::from_nanos(first) - Instant::ZERO,
+                    Instant::from_nanos(last) - Instant::ZERO
+                ),
+                _ => "(empty)".into(),
+            };
+            println!(
+                "arrivals {span}; {decodable} decodable heartbeats across {} streams, {malformed} malformed",
+                per_stream.len()
+            );
+            for (s, n) in &per_stream {
+                println!("stream {s:>6}: {n:>8} frames");
+            }
+        }
+        "replay" => {
+            let cap = match Capture::load(std::path::Path::new(path)) {
+                Ok(cap) => cap,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            };
+            let shards: usize = flag_num(flags, "shards").unwrap_or(4);
+            let interval = flag_duration(flags, "interval").unwrap_or(Duration::from_millis(100));
+            let policy = match flags.get("policy").map(String::as_str) {
+                None | Some("wheel") => ExpiryPolicy::Wheel,
+                Some("scan") => ExpiryPolicy::Scan,
+                Some(other) => {
+                    eprintln!("unknown expiry policy {other}");
+                    usage()
+                }
+            };
+            // The watch-list is the capture itself: every stream a
+            // decodable frame mentions.
+            let mut streams: Vec<u64> = cap
+                .iter()
+                .filter_map(|(_, raw)| Heartbeat::decode(raw))
+                .map(|h| h.stream)
+                .collect();
+            streams.sort_unstable();
+            streams.dedup();
+            if streams.is_empty() {
+                eprintln!("{path}: no decodable heartbeats to replay");
+                exit(1);
+            }
+            let end =
+                Instant::from_nanos(cap.last_arrival_nanos().unwrap_or(0)) + Duration::from_secs(2);
+            let vclock = VirtualClock::starting_at(Instant::ZERO);
+            let (mut src, ctl) = ReplaySource::new(&cap, Arc::clone(&vclock));
+            src.set_end_at(end);
+            let mut svc = MultiMonitorService::spawn_with_clock(
+                src,
+                MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None },
+                shards,
+                policy,
+                WallClock::virtualized(vclock),
+                None,
+            );
+            let spec = DetectorSpec::default_for(DetectorKind::Chen, interval);
+            for &s in &streams {
+                svc.watch(s, &spec).unwrap_or_else(|e| {
+                    eprintln!("cannot watch stream {s}: {e}");
+                    exit(1);
+                });
+            }
+            ctl.start();
+            if !ctl.wait_finished(std::time::Duration::from_secs(600)) {
+                eprintln!("replay did not finish within 600s of real time");
+                exit(1);
+            }
+            svc.stop();
+            println!(
+                "{path}: replayed {} frames through {shards} shard(s) under {policy:?}; \
+                 virtual end {}",
+                cap.len(),
+                end - Instant::ZERO
+            );
+            println!(
+                "ingest: unknown {} implausible {} malformed {}",
+                svc.unknown_heartbeats(),
+                svc.implausible_timestamps(),
+                ctl.malformed()
+            );
+            println!(
+                "{:>8} {:>8} {:>12} {:>10} {:>12} {:>12}",
+                "stream", "state", "heartbeats", "duplicates", "rebaselines", "transitions"
+            );
+            for snap in svc.statuses() {
+                println!(
+                    "{:>8} {:>8} {:>12} {:>10} {:>12} {:>12}",
+                    snap.stream,
+                    if snap.suspect { "SUSPECT" } else { "trust" },
+                    snap.heartbeats,
+                    snap.health.duplicates,
+                    snap.health.rebaselines,
+                    svc.transitions(snap.stream).map(|t| t.len()).unwrap_or(0),
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
@@ -679,6 +916,7 @@ fn main() {
         "monitor" => cmd_monitor(&flags),
         "metrics" => cmd_metrics(&flags),
         "checkpoint" => cmd_checkpoint(&pos, &flags),
+        "capture" => cmd_capture(&pos, &flags),
         _ => usage(),
     }
 }

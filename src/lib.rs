@@ -36,11 +36,12 @@ pub mod prelude {
     pub use sfd_core::prelude::*;
     pub use sfd_obs::{encode_text, Counter, Gauge, Histogram, MetricsServer, Registry};
     pub use sfd_runtime::{
-        ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, Checkpoint,
-        CheckpointConfig, CheckpointError, CheckpointStats, DynMonitorService, ExpiryPolicy,
-        Heartbeat, HeartbeatSender, HeartbeatSink, HeartbeatSource, IngestOutcome, MemoryTransport,
-        MonitorConfig, MonitorService, MultiMonitorService, OverloadPolicy, ReorderConfig,
+        Capture, CaptureError, CaptureHandle, CaptureSink, ChaosConfig, ChaosControl, ChaosSink,
+        ChaosSource, ChaosStats, Checkpoint, CheckpointConfig, CheckpointError, CheckpointStats,
+        DynMonitorService, ExpiryPolicy, Heartbeat, HeartbeatSender, HeartbeatSink,
+        HeartbeatSource, IngestOutcome, MemoryTransport, MonitorConfig, MonitorService,
+        MultiMonitorService, OverloadPolicy, ReorderConfig, ReplayControl, ReplayEnd, ReplaySource,
         SenderConfig, ShardCore, StatusSnapshot, StreamCheckpoint, TimingWheel, UdpSink, UdpSource,
-        WallClock,
+        VirtualClock, WallClock,
     };
 }
