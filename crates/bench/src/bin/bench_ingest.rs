@@ -2,14 +2,21 @@
 //! and expiry under `ExpiryPolicy::{Scan,Wheel}` at several stream
 //! scales, verifies the two policies produce identical per-stream
 //! outputs, and writes `BENCH_ingest.json` (committed at the repo root;
-//! see DESIGN.md §11).
+//! see DESIGN.md §11). Also times the window-core layout A/B (SoA ring
+//! vs the retained legacy deque/`Vec` windows) on one jittered stream.
 //!
 //! Usage: `bench_ingest [--streams N,N,…] [--ticks N] [--jobs N]
-//! [--out FILE]`. Exits 1 if any scale's scan/wheel outputs diverge.
+//! [--ab-samples N] [--baseline FILE] [--max-regress-pct P] [--out FILE]`.
+//! Exits 1 if any scale's scan/wheel outputs diverge, the layout A/B
+//! digests diverge, or — when `--baseline` names a previous
+//! `BENCH_ingest.json` — any scale present in both runs regresses its
+//! scan ns/heartbeat by more than `--max-regress-pct` (default 25).
 //!
 //! [`ShardCore`]: sfd_runtime::multi::ShardCore
 
-use sfd_bench::ingest::{run_scale, shard_count, IngestBenchReport, IngestWorkload};
+use sfd_bench::ingest::{
+    parse_scan_throughput, run_scale, run_window_ab, shard_count, IngestBenchReport, IngestWorkload,
+};
 use sfd_core::par::effective_jobs;
 use sfd_core::time::Duration;
 
@@ -17,6 +24,9 @@ fn main() {
     let mut streams: Vec<u64> = vec![1_000, 10_000, 100_000];
     let mut ticks: u64 = 200;
     let mut jobs: usize = 0;
+    let mut ab_samples: u64 = 2_000_000;
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut max_regress_pct: f64 = 25.0;
     let mut out = std::path::PathBuf::from("BENCH_ingest.json");
 
     let mut args = std::env::args().skip(1);
@@ -37,12 +47,24 @@ fn main() {
                 let v = args.next().expect("--jobs needs a value");
                 jobs = v.parse().expect("--jobs must be an integer");
             }
+            "--ab-samples" => {
+                let v = args.next().expect("--ab-samples needs a value");
+                ab_samples = v.parse().expect("--ab-samples must be an integer (0 skips the A/B)");
+            }
+            "--baseline" => {
+                baseline = Some(args.next().expect("--baseline needs a value").into());
+            }
+            "--max-regress-pct" => {
+                let v = args.next().expect("--max-regress-pct needs a value");
+                max_regress_pct = v.parse().expect("--max-regress-pct must be a number");
+            }
             "--out" => {
                 out = args.next().expect("--out needs a value").into();
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_ingest [--streams N,N,…] [--ticks N] [--jobs N] [--out FILE]"
+                    "usage: bench_ingest [--streams N,N,…] [--ticks N] [--jobs N] \
+                     [--ab-samples N] [--baseline FILE] [--max-regress-pct P] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -59,6 +81,11 @@ fn main() {
     let jobs = if jobs == 0 { cores } else { effective_jobs(jobs) };
     let interval = Duration::from_millis(100);
 
+    let window_ab = (ab_samples > 0).then(|| {
+        eprintln!("window layout A/B: ring vs legacy over {ab_samples} ops…");
+        run_window_ab(ab_samples, 100)
+    });
+
     let mut scales = Vec::new();
     for &n in &streams {
         let w = IngestWorkload { streams: n, ticks, interval };
@@ -69,8 +96,16 @@ fn main() {
         scales.push(run_scale(&w, jobs));
     }
 
-    let report =
-        IngestBenchReport { ticks, interval, jobs, cores, shards: shard_count(jobs), scales };
+    let report = IngestBenchReport {
+        ticks,
+        interval,
+        jobs,
+        cores,
+        oversubscribed: jobs > cores,
+        shards: shard_count(jobs),
+        window_ab,
+        scales,
+    };
     println!("{}", report.summary());
     report.write(&out).expect("write BENCH_ingest.json");
     eprintln!("report written to {}", out.display());
@@ -78,5 +113,45 @@ fn main() {
     if !report.outputs_identical() {
         eprintln!("ERROR: scan and wheel outputs diverged — see {}", out.display());
         std::process::exit(1);
+    }
+    if report.window_ab.as_ref().is_some_and(|ab| !ab.outputs_identical) {
+        eprintln!("ERROR: ring and legacy window digests diverged — see {}", out.display());
+        std::process::exit(1);
+    }
+
+    // Regression gate: compare scan ns/heartbeat against a previous
+    // report at every scale both runs measured.
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).expect("read --baseline file");
+        let base = parse_scan_throughput(&text);
+        let mut failed = false;
+        for sc in &report.scales {
+            let Some(&(_, base_hbs)) = base.iter().find(|(n, _)| *n == sc.streams) else {
+                continue;
+            };
+            if base_hbs <= 0.0 {
+                continue;
+            }
+            let base_ns = 1e9 / base_hbs;
+            let new_ns = sc.scan.ns_per_heartbeat();
+            let regress_pct = (new_ns / base_ns - 1.0) * 100.0;
+            eprintln!(
+                "{} streams: scan {:.0} ns/hb vs baseline {:.0} ns/hb ({:+.1}%)",
+                sc.streams, new_ns, base_ns, regress_pct
+            );
+            if regress_pct > max_regress_pct {
+                eprintln!(
+                    "ERROR: {} streams regressed {:.1}% > {:.1}% vs {}",
+                    sc.streams,
+                    regress_pct,
+                    max_regress_pct,
+                    path.display()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -24,8 +24,14 @@ use sfd_core::par::{effective_jobs, par_map};
 use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::Transition;
 use sfd_core::time::{Duration, Instant};
+use sfd_core::window::{legacy, ArrivalWindow, SampleWindow};
 use sfd_runtime::multi::{stream_shard, ExpiryPolicy, ShardCore};
 use std::fmt::Write as _;
+
+/// Per-stream memory layout this build measures — stamped into every
+/// `BENCH_*.json` so throughput trajectories stay comparable across PRs
+/// that change the layout.
+pub const LAYOUT: &str = "soa_ring";
 
 /// The deterministic multi-stream timeline driven through a shard set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +177,109 @@ fn drive_shard(policy: ExpiryPolicy, w: &IngestWorkload, streams: &[u64]) -> Dri
     DriveOutcome { digests, heartbeats, transitions }
 }
 
+/// One iteration of the window microbench: push one gap sample, record
+/// one (possibly gapped) arrival, and fold the freshly-queried moments
+/// into an accumulator. The accumulator is the pass digest — the ring
+/// and legacy layouts must agree on it to the last bit — and keeps the
+/// optimiser from discarding the queries.
+macro_rules! window_ab_pass {
+    ($sw:expr, $aw:expr, $samples:expr) => {{
+        let mut sw = $sw;
+        let mut aw = $aw;
+        let mut state = 0x5FD5_EED0_1234_5678u64;
+        let mut seq = 0u64;
+        let mut acc = 0.0f64;
+        for _ in 0..$samples {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let jitter = ((state >> 16) & 0xFFFF) as f64 * (1.0 / 65536.0);
+            sw.push(0.1 * (0.5 + jitter));
+            // Occasional sequence gaps, like lost heartbeats.
+            seq += 1 + u64::from(state & 0x3F == 0);
+            let at = seq as i64 * 100_000_000 + ((state >> 20) & 0xF_FFFF) as i64;
+            aw.record(seq, Instant::from_nanos(at));
+            acc += sw.mean() + sw.variance() + aw.shifted_mean_secs().unwrap_or(0.0);
+        }
+        acc
+    }};
+}
+
+/// Layout A/B over the window core itself: the production SoA rings
+/// against the retained deque/`Vec` [`legacy`] implementations, on an
+/// identical jittered sample stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAb {
+    /// Push/record iterations per pass.
+    pub samples: u64,
+    /// Logical window capacity (both layouts).
+    pub capacity: usize,
+    /// The production ring layout.
+    pub ring: PassTiming,
+    /// The historical deque/`Vec` layout.
+    pub legacy: PassTiming,
+    /// Did both layouts produce the bit-identical moment digest?
+    pub outputs_identical: bool,
+}
+
+impl WindowAb {
+    /// Ring speedup over the legacy layout (>1 means the ring wins).
+    pub fn ring_vs_legacy(&self) -> f64 {
+        self.legacy.wall_secs / self.ring.wall_secs
+    }
+}
+
+/// Time both window layouts over the same deterministic stream and
+/// bit-compare their moment digests.
+pub fn run_window_ab(samples: u64, capacity: usize) -> WindowAb {
+    let interval = Duration::from_millis(100);
+    let (ring_acc, ring_secs) = timed(|| {
+        window_ab_pass!(
+            SampleWindow::new(capacity),
+            ArrivalWindow::new(capacity, interval),
+            samples
+        )
+    });
+    let (leg_acc, leg_secs) = timed(|| {
+        window_ab_pass!(
+            legacy::LegacySampleWindow::new(capacity),
+            legacy::LegacyArrivalWindow::new(capacity, interval),
+            samples
+        )
+    });
+    WindowAb {
+        samples,
+        capacity,
+        ring: PassTiming { wall_secs: ring_secs, replayed_heartbeats: samples },
+        legacy: PassTiming { wall_secs: leg_secs, replayed_heartbeats: samples },
+        outputs_identical: ring_acc.to_bits() == leg_acc.to_bits(),
+    }
+}
+
+/// Extract `(streams, scan heartbeats/sec)` pairs from a committed
+/// `BENCH_ingest.json` — the regression-gate baseline. Hand-rolled to
+/// match our own emitter (the `serde_json` backend can be a stub), and
+/// deliberately forgiving: unparseable lines are skipped, not errors.
+pub fn parse_scan_throughput(json: &str) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    let mut streams: Option<u64> = None;
+    let mut in_hbs = false;
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(v) = t.strip_prefix("\"streams\": ") {
+            streams = v.trim_end_matches(',').parse().ok();
+        } else if t.starts_with("\"heartbeats_per_sec\"") {
+            in_hbs = true;
+        } else if in_hbs {
+            if let Some(v) = t.strip_prefix("\"scan\": ") {
+                if let (Some(s), Ok(hbs)) = (streams, v.trim_end_matches(',').parse::<f64>()) {
+                    out.push((s, hbs));
+                }
+            }
+            in_hbs = false;
+        }
+    }
+    out
+}
+
 /// Measured result at one stream scale: both policies timed over the
 /// same workload, plus the equality verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,8 +331,14 @@ pub struct IngestBenchReport {
     pub jobs: usize,
     /// Cores available on the machine that produced this report.
     pub cores: usize,
+    /// `jobs > cores`: the passes time-sliced more workers than the
+    /// machine has cores, so wall-clock throughput understates the
+    /// hot-path cost (same meaning as in `BENCH_sweep.json`).
+    pub oversubscribed: bool,
     /// Shard cores the streams were partitioned across.
     pub shards: usize,
+    /// Window-core layout A/B (ring vs legacy), when run.
+    pub window_ab: Option<WindowAb>,
     /// One entry per `--streams` scale, ascending.
     pub scales: Vec<ScaleResult>,
 }
@@ -239,11 +354,28 @@ impl IngestBenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         let _ = writeln!(s, "  \"bench\": \"ingest\",");
+        let _ = writeln!(s, "  \"layout\": \"{LAYOUT}\",");
         let _ = writeln!(s, "  \"ticks\": {},", self.ticks);
         let _ = writeln!(s, "  \"interval_ms\": {},", json_f64(self.interval.as_millis_f64()));
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"oversubscribed\": {},", self.oversubscribed);
         let _ = writeln!(s, "  \"shards\": {},", self.shards);
+        if let Some(ab) = &self.window_ab {
+            let _ = writeln!(s, "  \"window_ab\": {{");
+            let _ = writeln!(s, "    \"samples\": {},", ab.samples);
+            let _ = writeln!(s, "    \"capacity\": {},", ab.capacity);
+            let _ =
+                writeln!(s, "    \"ring_ns_per_op\": {},", json_f64(ab.ring.ns_per_heartbeat()));
+            let _ = writeln!(
+                s,
+                "    \"legacy_ns_per_op\": {},",
+                json_f64(ab.legacy.ns_per_heartbeat())
+            );
+            let _ = writeln!(s, "    \"ring_vs_legacy\": {},", json_f64(ab.ring_vs_legacy()));
+            let _ = writeln!(s, "    \"outputs_identical\": {}", ab.outputs_identical);
+            let _ = writeln!(s, "  }},");
+        }
         let _ = writeln!(s, "  \"scales\": [");
         for (i, sc) in self.scales.iter().enumerate() {
             let _ = writeln!(s, "    {{");
@@ -257,6 +389,10 @@ impl IngestBenchReport {
             let _ = writeln!(s, "      \"heartbeats_per_sec\": {{");
             let _ = writeln!(s, "        \"scan\": {},", json_f64(sc.scan.heartbeats_per_sec()));
             let _ = writeln!(s, "        \"wheel\": {}", json_f64(sc.wheel.heartbeats_per_sec()));
+            let _ = writeln!(s, "      }},");
+            let _ = writeln!(s, "      \"ns_per_heartbeat\": {{");
+            let _ = writeln!(s, "        \"scan\": {},", json_f64(sc.scan.ns_per_heartbeat()));
+            let _ = writeln!(s, "        \"wheel\": {}", json_f64(sc.wheel.ns_per_heartbeat()));
             let _ = writeln!(s, "      }},");
             let _ = writeln!(s, "      \"wheel_vs_scan\": {},", json_f64(sc.wheel_vs_scan()));
             let _ = writeln!(s, "      \"outputs_identical\": {}", sc.outputs_identical);
@@ -274,26 +410,38 @@ impl IngestBenchReport {
         std::fs::write(path, self.to_json())
     }
 
-    /// One human summary line per scale for the bench log.
+    /// One human summary line per scale for the bench log (plus a
+    /// window-layout line when the A/B ran).
     pub fn summary(&self) -> String {
-        self.scales
-            .iter()
-            .map(|sc| {
-                format!(
-                    "{} streams: {} hb, {} transitions — scan {:.2}s, wheel {:.2}s \
-                     → {:.2}× wheel, {:.0} hb/s, identical={}",
-                    sc.streams,
-                    sc.heartbeats,
-                    sc.transitions,
-                    sc.scan.wall_secs,
-                    sc.wheel.wall_secs,
-                    sc.wheel_vs_scan(),
-                    sc.wheel.heartbeats_per_sec(),
-                    sc.outputs_identical,
-                )
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
+        let mut lines: Vec<String> = Vec::new();
+        if let Some(ab) = &self.window_ab {
+            lines.push(format!(
+                "window A/B (capacity {}, {} ops): ring {:.1} ns/op vs legacy {:.1} ns/op \
+                 → {:.2}× ring, identical={}",
+                ab.capacity,
+                ab.samples,
+                ab.ring.ns_per_heartbeat(),
+                ab.legacy.ns_per_heartbeat(),
+                ab.ring_vs_legacy(),
+                ab.outputs_identical,
+            ));
+        }
+        lines.extend(self.scales.iter().map(|sc| {
+            format!(
+                "{} streams: {} hb, {} transitions — scan {:.2}s ({:.0} ns/hb), wheel {:.2}s \
+                 → {:.2}× wheel, {:.0} hb/s, identical={}",
+                sc.streams,
+                sc.heartbeats,
+                sc.transitions,
+                sc.scan.wall_secs,
+                sc.scan.ns_per_heartbeat(),
+                sc.wheel.wall_secs,
+                sc.wheel_vs_scan(),
+                sc.wheel.heartbeats_per_sec(),
+                sc.outputs_identical,
+            )
+        }));
+        lines.join("\n")
     }
 }
 
@@ -358,17 +506,67 @@ mod tests {
             interval: Duration::from_millis(100),
             jobs: 2,
             cores: 2,
+            oversubscribed: false,
             shards: 2,
+            window_ab: Some(run_window_ab(2_000, 100)),
             scales: vec![run_scale(&small(), 2)],
         };
         let js = report.to_json();
         assert!(js.starts_with("{\n") && js.ends_with("}\n"));
         assert_eq!(js.matches('{').count(), js.matches('}').count());
         assert!(js.contains("\"bench\": \"ingest\""));
+        assert!(js.contains("\"layout\": \"soa_ring\""));
+        assert!(js.contains("\"oversubscribed\": false"));
+        assert!(js.contains("\"window_ab\": {"));
+        assert!(js.contains("\"ns_per_heartbeat\": {"));
         assert!(js.contains("\"streams\": 64"));
         assert!(js.contains("\"outputs_identical\": true"));
         assert!(!js.contains(",\n  }") && !js.contains(",\n}") && !js.contains(",\n  ]"));
         assert!(report.summary().contains("identical=true"));
+        assert!(report.summary().contains("window A/B"));
+
+        // The regression-gate parser reads back our own emitted format.
+        let parsed = parse_scan_throughput(&js);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, 64);
+        let scan_hbs = report.scales[0].scan.heartbeats_per_sec();
+        assert!((parsed[0].1 - scan_hbs).abs() <= 1e-4 * scan_hbs.max(1.0) + 1e-4);
+    }
+
+    #[test]
+    fn json_without_window_ab_is_still_well_formed() {
+        let report = IngestBenchReport {
+            ticks: 40,
+            interval: Duration::from_millis(100),
+            jobs: 4,
+            cores: 2,
+            oversubscribed: true,
+            shards: 4,
+            window_ab: None,
+            scales: vec![run_scale(&small(), 2)],
+        };
+        let js = report.to_json();
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+        assert!(!js.contains("window_ab"));
+        assert!(js.contains("\"oversubscribed\": true"));
+    }
+
+    #[test]
+    fn window_ab_layouts_agree_bit_for_bit() {
+        // Capacities straddling the power-of-two boundary, long enough to
+        // evict and to trigger the periodic sum re-anchor.
+        for capacity in [1usize, 7, 64, 100] {
+            let ab = run_window_ab(5_000, capacity);
+            assert!(ab.outputs_identical, "capacity {capacity}");
+            assert_eq!(ab.samples, 5_000);
+        }
+    }
+
+    #[test]
+    fn parse_scan_throughput_skips_garbage() {
+        assert!(parse_scan_throughput("not json at all").is_empty());
+        let partial = "\"streams\": 10,\n\"heartbeats_per_sec\": {\n\"wheel\": 1.0\n}";
+        assert!(parse_scan_throughput(partial).is_empty());
     }
 
     #[test]

@@ -472,12 +472,18 @@ impl ServiceBenchReport {
                 "        \"service_frames_per_sec\": {},",
                 json_f64(p.service.heartbeats_per_sec())
             );
+            let _ = writeln!(
+                s,
+                "        \"ns_per_heartbeat\": {},",
+                json_f64(p.service.ns_per_heartbeat())
+            );
             let _ = writeln!(s, "        \"digest_match\": {},", p.digest_match);
             let _ = writeln!(s, "        \"replay_deterministic\": {}", p.replay_deterministic);
             let _ = writeln!(s, "      }}{comma}");
         }
         let mut s = String::from("{\n");
         let _ = writeln!(s, "  \"bench\": \"service\",");
+        let _ = writeln!(s, "  \"layout\": \"{}\",", crate::ingest::LAYOUT);
         let _ = writeln!(s, "  \"per_stream\": {},", self.per_stream);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
@@ -608,6 +614,8 @@ mod tests {
         assert!(js.starts_with("{\n") && js.ends_with("}\n"));
         assert_eq!(js.matches('{').count(), js.matches('}').count());
         assert!(js.contains("\"bench\": \"service\""));
+        assert!(js.contains("\"layout\": \"soa_ring\""));
+        assert!(js.contains("\"ns_per_heartbeat\": "));
         assert!(js.contains("\"digest_match\": true"));
         assert!(js.contains("\"replay_deterministic\": true"));
         assert!(js.contains("\"all_pass\": true"));

@@ -33,6 +33,17 @@ impl PassTiming {
             0.0
         }
     }
+
+    /// Wall nanoseconds spent per replayed heartbeat — the per-arrival
+    /// cost the layout work optimises (`NaN`, rendered as JSON `null`,
+    /// when nothing was replayed).
+    pub fn ns_per_heartbeat(&self) -> f64 {
+        if self.replayed_heartbeats > 0 {
+            self.wall_secs * 1e9 / self.replayed_heartbeats as f64
+        } else {
+            f64::NAN
+        }
+    }
 }
 
 /// The `BENCH_sweep.json` payload: three timed passes over the same grid

@@ -7,12 +7,76 @@
 
 use crate::bertier::{BertierConfig, BertierFd};
 use crate::chen::{ChenConfig, ChenFd};
-use crate::detector::{AccrualDetector, DetectorKind, FailureDetector};
+use crate::detector::{AccrualDetector, DetectorKind, FailureDetector, SelfTuning, TuningState};
 use crate::error::CoreResult;
+use crate::persist::DetectorState;
 use crate::phi::{PhiConfig, PhiFd};
 use crate::qos::QosSpec;
 use crate::sfd::{SfdConfig, SfdFd};
+use crate::time::Instant;
 use serde::{Deserialize, Serialize};
+
+/// The four built-in schemes as one inline enum — a [`FailureDetector`]
+/// with **no heap indirection**.
+///
+/// Fleet monitors store per-stream detectors in contiguous slabs; holding
+/// the detector as an enum (rather than `Box<dyn FailureDetector>`) keeps
+/// its window cursors and estimator scalars on the same cache lines as the
+/// surrounding stream state and replaces virtual dispatch with a jump
+/// table. Single-detector call sites that want a trait object can still
+/// use [`DetectorSpec::build`], which boxes one of these.
+#[derive(Debug, Clone)]
+pub enum AnyDetector {
+    /// Chen FD with a constant margin.
+    Chen(ChenFd),
+    /// Bertier FD (no free parameter).
+    Bertier(BertierFd),
+    /// φ accrual FD.
+    Phi(PhiFd),
+    /// The self-tuning detector.
+    Sfd(SfdFd),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $d:ident => $e:expr) => {
+        match $self {
+            AnyDetector::Chen($d) => $e,
+            AnyDetector::Bertier($d) => $e,
+            AnyDetector::Phi($d) => $e,
+            AnyDetector::Sfd($d) => $e,
+        }
+    };
+}
+
+impl FailureDetector for AnyDetector {
+    fn heartbeat(&mut self, seq: u64, arrival: Instant) {
+        dispatch!(self, d => d.heartbeat(seq, arrival))
+    }
+    fn freshness_point(&self) -> Option<Instant> {
+        dispatch!(self, d => d.freshness_point())
+    }
+    fn is_suspect(&self, now: Instant) -> bool {
+        dispatch!(self, d => d.is_suspect(now))
+    }
+    fn kind(&self) -> DetectorKind {
+        dispatch!(self, d => d.kind())
+    }
+    fn reset(&mut self) {
+        dispatch!(self, d => d.reset())
+    }
+    fn self_tuning(&mut self) -> Option<&mut dyn SelfTuning> {
+        dispatch!(self, d => d.self_tuning())
+    }
+    fn tuning_state(&self) -> Option<TuningState> {
+        dispatch!(self, d => d.tuning_state())
+    }
+    fn export_state(&self) -> Option<DetectorState> {
+        dispatch!(self, d => d.export_state())
+    }
+    fn restore_state(&mut self, state: &DetectorState) -> bool {
+        dispatch!(self, d => d.restore_state(state))
+    }
+}
 
 /// Declarative description of a detector instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,12 +121,18 @@ impl DetectorSpec {
     /// Build the detector. Fails (rather than panics) on an invalid
     /// configuration, so specs can come from untrusted files.
     pub fn build(&self) -> CoreResult<Box<dyn FailureDetector + Send>> {
+        Ok(Box::new(self.build_inline()?))
+    }
+
+    /// Build the detector inline, without heap indirection — the slab
+    /// form fleet monitors embed directly in per-shard stream arenas.
+    pub fn build_inline(&self) -> CoreResult<AnyDetector> {
         self.validate()?;
         Ok(match self.clone() {
-            DetectorSpec::Chen(c) => Box::new(ChenFd::new(c)),
-            DetectorSpec::Bertier(c) => Box::new(BertierFd::new(c)),
-            DetectorSpec::Phi(c) => Box::new(PhiFd::new(c)),
-            DetectorSpec::Sfd { config, qos } => Box::new(SfdFd::new(config, qos)),
+            DetectorSpec::Chen(c) => AnyDetector::Chen(ChenFd::new(c)),
+            DetectorSpec::Bertier(c) => AnyDetector::Bertier(BertierFd::new(c)),
+            DetectorSpec::Phi(c) => AnyDetector::Phi(PhiFd::new(c)),
+            DetectorSpec::Sfd { config, qos } => AnyDetector::Sfd(SfdFd::new(config, qos)),
         })
     }
 

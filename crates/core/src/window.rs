@@ -7,8 +7,30 @@
 //! `(sequence number, arrival instant)` heartbeat records and provides the
 //! quantities the estimators need (shifted-arrival mean for Chen's `EA`,
 //! mean inter-arrival time for SFD and φ).
+//!
+//! # Memory layout
+//!
+//! Both windows store their retained samples in flat, fixed slabs sized to
+//! the next power of two above the logical capacity, so every index step is
+//! a single `& mask` with no division and no pointer chase.
+//! [`ArrivalWindow`] is structure-of-arrays: sequence numbers and arrival
+//! instants live in two separate contiguous runs, so the full-window
+//! recompute that re-anchors the incremental sums every `capacity`
+//! evictions is a straight-line loop over contiguous memory. The *logical*
+//! capacity is unchanged (a capacity-1000 window still retains exactly
+//! 1000 samples inside its 1024-slot slab), and all incremental updates
+//! perform the identical IEEE-754 operation sequence as the historical
+//! [`legacy`] implementations — the [`legacy`] module keeps those as the
+//! bit-equality oracle for tests and layout A/B benches.
 
 use crate::time::{Duration, Instant};
+
+/// Slab size for a logical capacity: next power of two, so wrap-around is
+/// an index mask instead of a modulo.
+fn slab_for(capacity: usize) -> usize {
+    assert!(capacity > 0, "window capacity must be positive");
+    capacity.next_power_of_two()
+}
 
 /// Fixed-capacity sliding window of `f64` samples with incremental moments.
 ///
@@ -16,12 +38,18 @@ use crate::time::{Duration, Instant};
 /// "the previous oldest one is pushed out of the sampling window").
 /// Running sums are recomputed from scratch every `capacity` evictions so
 /// floating-point drift stays bounded no matter how many samples stream
-/// through.
+/// through. The recompute walks the retained samples oldest → newest,
+/// which is the same summation order the pre-ring implementation used
+/// (its physical rebuild always fired exactly when its head wrapped to
+/// zero), so the emitted moments are bit-identical across layouts.
 #[derive(Debug, Clone)]
 pub struct SampleWindow {
-    buf: Vec<f64>,
+    buf: Box<[f64]>,
+    mask: usize,
+    /// Physical index of the oldest retained sample.
     head: usize,
     len: usize,
+    capacity: usize,
     sum: f64,
     sum_sq: f64,
     evictions_since_rebuild: usize,
@@ -33,11 +61,13 @@ impl SampleWindow {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "window capacity must be positive");
+        let slab = slab_for(capacity);
         SampleWindow {
-            buf: Vec::with_capacity(capacity),
+            buf: vec![0.0; slab].into_boxed_slice(),
+            mask: slab - 1,
             head: 0,
             len: 0,
+            capacity,
             sum: 0.0,
             sum_sq: 0.0,
             evictions_since_rebuild: 0,
@@ -47,7 +77,7 @@ impl SampleWindow {
     /// Maximum number of samples retained.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.buf.capacity()
+        self.capacity
     }
 
     /// Current number of samples.
@@ -65,20 +95,23 @@ impl SampleWindow {
     /// `true` once the window has reached capacity (the "warm-up" is over).
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.len == self.capacity()
+        self.len == self.capacity
     }
 
     /// Push a sample, evicting the oldest if full. Returns the evicted
     /// sample, if any.
     pub fn push(&mut self, x: f64) -> Option<f64> {
-        let cap = self.capacity();
-        let evicted = if self.len < cap {
-            self.buf.push(x);
+        let evicted = if self.len < self.capacity {
+            self.buf[(self.head + self.len) & self.mask] = x;
             self.len += 1;
             None
         } else {
-            let old = std::mem::replace(&mut self.buf[self.head], x);
-            self.head = (self.head + 1) % cap;
+            // Read the evictee before writing: when the slab size equals
+            // the capacity (power-of-two windows) the tail slot *is* the
+            // head slot.
+            let old = self.buf[self.head];
+            self.buf[(self.head + self.len) & self.mask] = x;
+            self.head = (self.head + 1) & self.mask;
             self.sum -= old;
             self.sum_sq -= old * old;
             self.evictions_since_rebuild += 1;
@@ -86,19 +119,34 @@ impl SampleWindow {
         };
         self.sum += x;
         self.sum_sq += x * x;
-        if self.evictions_since_rebuild >= cap {
+        if self.evictions_since_rebuild >= self.capacity {
             self.rebuild_sums();
         }
         evicted
     }
 
-    fn rebuild_sums(&mut self) {
-        self.sum = 0.0;
-        self.sum_sq = 0.0;
-        for &x in &self.buf {
-            self.sum += x;
-            self.sum_sq += x * x;
+    /// The retained samples as (up to) two contiguous runs, oldest first.
+    #[inline]
+    fn runs(&self) -> (&[f64], &[f64]) {
+        let end = self.head + self.len;
+        if end <= self.buf.len() {
+            (&self.buf[self.head..end], &[])
+        } else {
+            let wrap = end - self.buf.len();
+            (&self.buf[self.head..], &self.buf[..wrap])
         }
+    }
+
+    fn rebuild_sums(&mut self) {
+        let (a, b) = self.runs();
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for &x in a.iter().chain(b) {
+            sum += x;
+            sum_sq += x * x;
+        }
+        self.sum = sum;
+        self.sum_sq = sum_sq;
         self.evictions_since_rebuild = 0;
     }
 
@@ -136,8 +184,6 @@ impl SampleWindow {
     pub fn front(&self) -> Option<f64> {
         if self.len == 0 {
             None
-        } else if self.len < self.capacity() {
-            Some(self.buf[0])
         } else {
             Some(self.buf[self.head])
         }
@@ -147,24 +193,19 @@ impl SampleWindow {
     pub fn back(&self) -> Option<f64> {
         if self.len == 0 {
             None
-        } else if self.len < self.capacity() {
-            Some(self.buf[self.len - 1])
         } else {
-            let idx = (self.head + self.capacity() - 1) % self.capacity();
-            Some(self.buf[idx])
+            Some(self.buf[(self.head + self.len - 1) & self.mask])
         }
     }
 
     /// Iterate oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
-        let cap = self.capacity();
-        let (head, len) = if self.len < cap { (0, self.len) } else { (self.head, cap) };
-        (0..len).map(move |i| self.buf[(head + i) % cap])
+        let (a, b) = self.runs();
+        a.iter().chain(b).copied()
     }
 
     /// Drop all samples, keeping the capacity.
     pub fn clear(&mut self) {
-        self.buf.clear();
         self.head = 0;
         self.len = 0;
         self.sum = 0.0;
@@ -187,9 +228,19 @@ pub struct ArrivalSample {
 /// Stores `(seq, arrival)` pairs and maintains, incrementally, the sum of
 /// *shifted arrivals* `A_i − i·Δ` that Chen's estimator averages (paper
 /// Eq. 2), where `Δ` is the nominal sending interval fixed at construction.
+///
+/// Storage is structure-of-arrays: sequence numbers and arrival instants
+/// each occupy their own flat power-of-two slab, so the periodic
+/// `shifted_sum` re-anchor streams two contiguous arrays instead of
+/// chasing deque blocks.
 #[derive(Debug, Clone)]
 pub struct ArrivalWindow {
-    samples: std::collections::VecDeque<ArrivalSample>,
+    seqs: Box<[u64]>,
+    arrivals: Box<[Instant]>,
+    mask: usize,
+    /// Physical index of the oldest retained arrival.
+    head: usize,
+    len: usize,
     capacity: usize,
     interval: Duration,
     /// Σ (A_i − i·Δ) over retained samples, in seconds.
@@ -204,9 +255,13 @@ impl ArrivalWindow {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, interval: Duration) -> Self {
-        assert!(capacity > 0, "window capacity must be positive");
+        let slab = slab_for(capacity);
         ArrivalWindow {
-            samples: std::collections::VecDeque::with_capacity(capacity),
+            seqs: vec![0; slab].into_boxed_slice(),
+            arrivals: vec![Instant::from_nanos(0); slab].into_boxed_slice(),
+            mask: slab - 1,
+            head: 0,
+            len: 0,
             capacity,
             interval,
             shifted_sum: 0.0,
@@ -229,23 +284,29 @@ impl ArrivalWindow {
     /// Current number of retained arrivals.
     #[inline]
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.len
     }
 
     /// `true` when no arrival has been recorded.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len == 0
     }
 
     /// `true` once the window holds `capacity` arrivals.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.samples.len() == self.capacity
+        self.len == self.capacity
     }
 
+    #[inline]
     fn shifted(&self, s: ArrivalSample) -> f64 {
         s.arrival.as_secs_f64() - s.seq as f64 * self.interval.as_secs_f64()
+    }
+
+    #[inline]
+    fn at(&self, physical: usize) -> ArrivalSample {
+        ArrivalSample { seq: self.seqs[physical], arrival: self.arrivals[physical] }
     }
 
     /// Record a heartbeat arrival. Out-of-order heartbeats (seq not greater
@@ -253,44 +314,74 @@ impl ArrivalWindow {
     /// the channel model has no duplication, but UDP reordering can still
     /// deliver a stale datagram late.
     pub fn record(&mut self, seq: u64, arrival: Instant) -> bool {
-        if let Some(last) = self.samples.back() {
-            if seq <= last.seq {
+        if self.len > 0 {
+            let newest = (self.head + self.len - 1) & self.mask;
+            if seq <= self.seqs[newest] {
                 return false;
             }
         }
-        let sample = ArrivalSample { seq, arrival };
-        if self.samples.len() == self.capacity {
-            if let Some(old) = self.samples.pop_front() {
-                self.shifted_sum -= self.shifted(old);
-                self.evictions_since_rebuild += 1;
-            }
+        if self.len == self.capacity {
+            let old = self.at(self.head);
+            self.shifted_sum -= self.shifted(old);
+            self.evictions_since_rebuild += 1;
+            self.head = (self.head + 1) & self.mask;
+            self.len -= 1;
         }
+        let sample = ArrivalSample { seq, arrival };
         self.shifted_sum += self.shifted(sample);
-        self.samples.push_back(sample);
+        let tail = (self.head + self.len) & self.mask;
+        self.seqs[tail] = seq;
+        self.arrivals[tail] = arrival;
+        self.len += 1;
         if self.evictions_since_rebuild >= self.capacity {
-            self.shifted_sum = self.samples.iter().map(|&s| self.shifted(s)).sum();
+            self.shifted_sum = self.recompute_shifted_sum();
             self.evictions_since_rebuild = 0;
         }
         true
     }
 
+    /// From-scratch Σ (A_i − i·Δ) over the retained arrivals, summed oldest
+    /// → newest across the (up to) two contiguous SoA runs — the same
+    /// left-to-right order the incremental path accumulated in, so the
+    /// re-anchor never changes the emitted estimate beyond drift removal.
+    fn recompute_shifted_sum(&self) -> f64 {
+        let slab = self.seqs.len();
+        let end = self.head + self.len;
+        let (r1, r2) =
+            if end <= slab { (self.head..end, 0..0) } else { (self.head..slab, 0..end - slab) };
+        let delta = self.interval.as_secs_f64();
+        let mut sum = 0.0;
+        for i in r1.chain(r2) {
+            sum += self.arrivals[i].as_secs_f64() - self.seqs[i] as f64 * delta;
+        }
+        sum
+    }
+
     /// Newest retained arrival.
     pub fn last(&self) -> Option<ArrivalSample> {
-        self.samples.back().copied()
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.at((self.head + self.len - 1) & self.mask))
+        }
     }
 
     /// Oldest retained arrival.
     pub fn first(&self) -> Option<ArrivalSample> {
-        self.samples.front().copied()
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.at(self.head))
+        }
     }
 
     /// Mean of the shifted arrivals `A_i − i·Δ`, in seconds — the first term
     /// of Chen's Eq. 2 before the `(k+1)Δ` projection.
     pub fn shifted_mean_secs(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.len == 0 {
             None
         } else {
-            Some(self.shifted_sum / self.samples.len() as f64)
+            Some(self.shifted_sum / self.len as f64)
         }
     }
 
@@ -301,8 +392,8 @@ impl ArrivalWindow {
     /// This is the "average inter-arrival time Δt in this sliding window"
     /// that SFD recomputes on every arrival (paper Sec. IV-C2).
     pub fn mean_interarrival(&self) -> Option<Duration> {
-        let first = self.samples.front()?;
-        let last = self.samples.back()?;
+        let first = self.first()?;
+        let last = self.last()?;
         if last.seq == first.seq {
             return None;
         }
@@ -312,14 +403,281 @@ impl ArrivalWindow {
 
     /// Iterate retained samples oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = ArrivalSample> + '_ {
-        self.samples.iter().copied()
+        (0..self.len).map(move |i| self.at((self.head + i) & self.mask))
     }
 
     /// Drop all samples.
     pub fn clear(&mut self) {
-        self.samples.clear();
+        self.head = 0;
+        self.len = 0;
         self.shifted_sum = 0.0;
         self.evictions_since_rebuild = 0;
+    }
+}
+
+/// Historical deque/`Vec`-backed windows, retained verbatim as the
+/// bit-equality oracle for the ring layout.
+///
+/// These are **reference implementations**, not production code: the
+/// equivalence proptests (`crates/core/tests/ring_equivalence.rs`) replay
+/// random push/record/clear sequences through both layouts and require
+/// identical outputs to the last bit, and the ingest bench's layout A/B
+/// times the production rings against them on the same sample stream.
+pub mod legacy {
+    use super::ArrivalSample;
+    use crate::time::{Duration, Instant};
+
+    /// The pre-ring [`SampleWindow`](super::SampleWindow): `Vec` storage,
+    /// modulo indexing, physical-order sum rebuild (which always coincided
+    /// with a head wrap, hence logical order).
+    #[derive(Debug, Clone)]
+    pub struct LegacySampleWindow {
+        buf: Vec<f64>,
+        head: usize,
+        len: usize,
+        sum: f64,
+        sum_sq: f64,
+        evictions_since_rebuild: usize,
+    }
+
+    impl LegacySampleWindow {
+        /// Create a window holding at most `capacity` samples.
+        ///
+        /// # Panics
+        /// Panics if `capacity == 0`.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "window capacity must be positive");
+            LegacySampleWindow {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                len: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                evictions_since_rebuild: 0,
+            }
+        }
+
+        /// Maximum number of samples retained.
+        pub fn capacity(&self) -> usize {
+            self.buf.capacity()
+        }
+
+        /// Current number of samples.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// `true` when no samples have been pushed yet.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Push a sample, evicting the oldest if full. Returns the evicted
+        /// sample, if any.
+        pub fn push(&mut self, x: f64) -> Option<f64> {
+            let cap = self.capacity();
+            let evicted = if self.len < cap {
+                self.buf.push(x);
+                self.len += 1;
+                None
+            } else {
+                let old = std::mem::replace(&mut self.buf[self.head], x);
+                self.head = (self.head + 1) % cap;
+                self.sum -= old;
+                self.sum_sq -= old * old;
+                self.evictions_since_rebuild += 1;
+                Some(old)
+            };
+            self.sum += x;
+            self.sum_sq += x * x;
+            if self.evictions_since_rebuild >= cap {
+                self.sum = 0.0;
+                self.sum_sq = 0.0;
+                for &v in &self.buf {
+                    self.sum += v;
+                    self.sum_sq += v * v;
+                }
+                self.evictions_since_rebuild = 0;
+            }
+            evicted
+        }
+
+        /// Arithmetic mean of the retained samples (0 if empty).
+        pub fn mean(&self) -> f64 {
+            if self.len == 0 {
+                0.0
+            } else {
+                self.sum / self.len as f64
+            }
+        }
+
+        /// Population variance of the retained samples (0 if fewer than 2).
+        pub fn variance(&self) -> f64 {
+            if self.len < 2 {
+                return 0.0;
+            }
+            let n = self.len as f64;
+            let mean = self.sum / n;
+            (self.sum_sq / n - mean * mean).max(0.0)
+        }
+
+        /// Population standard deviation.
+        pub fn std_dev(&self) -> f64 {
+            self.variance().sqrt()
+        }
+
+        /// Oldest retained sample.
+        pub fn front(&self) -> Option<f64> {
+            if self.len == 0 {
+                None
+            } else if self.len < self.capacity() {
+                Some(self.buf[0])
+            } else {
+                Some(self.buf[self.head])
+            }
+        }
+
+        /// Newest retained sample.
+        pub fn back(&self) -> Option<f64> {
+            if self.len == 0 {
+                None
+            } else if self.len < self.capacity() {
+                Some(self.buf[self.len - 1])
+            } else {
+                let idx = (self.head + self.capacity() - 1) % self.capacity();
+                Some(self.buf[idx])
+            }
+        }
+
+        /// Iterate oldest → newest.
+        pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+            let cap = self.capacity();
+            let (head, len) = if self.len < cap { (0, self.len) } else { (self.head, cap) };
+            (0..len).map(move |i| self.buf[(head + i) % cap])
+        }
+
+        /// Drop all samples, keeping the capacity.
+        pub fn clear(&mut self) {
+            self.buf.clear();
+            self.head = 0;
+            self.len = 0;
+            self.sum = 0.0;
+            self.sum_sq = 0.0;
+            self.evictions_since_rebuild = 0;
+        }
+    }
+
+    /// The pre-ring [`ArrivalWindow`](super::ArrivalWindow): a `VecDeque`
+    /// of `(seq, arrival)` structs with the same incremental shifted-sum
+    /// maintenance.
+    #[derive(Debug, Clone)]
+    pub struct LegacyArrivalWindow {
+        samples: std::collections::VecDeque<ArrivalSample>,
+        capacity: usize,
+        interval: Duration,
+        shifted_sum: f64,
+        evictions_since_rebuild: usize,
+    }
+
+    impl LegacyArrivalWindow {
+        /// Create a window of at most `capacity` arrivals.
+        ///
+        /// # Panics
+        /// Panics if `capacity == 0`.
+        pub fn new(capacity: usize, interval: Duration) -> Self {
+            assert!(capacity > 0, "window capacity must be positive");
+            LegacyArrivalWindow {
+                samples: std::collections::VecDeque::with_capacity(capacity),
+                capacity,
+                interval,
+                shifted_sum: 0.0,
+                evictions_since_rebuild: 0,
+            }
+        }
+
+        /// Maximum number of retained arrivals.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Current number of retained arrivals.
+        pub fn len(&self) -> usize {
+            self.samples.len()
+        }
+
+        /// `true` when no arrival has been recorded.
+        pub fn is_empty(&self) -> bool {
+            self.samples.is_empty()
+        }
+
+        fn shifted(&self, s: ArrivalSample) -> f64 {
+            s.arrival.as_secs_f64() - s.seq as f64 * self.interval.as_secs_f64()
+        }
+
+        /// Record a heartbeat arrival; stale sequence numbers are ignored.
+        pub fn record(&mut self, seq: u64, arrival: Instant) -> bool {
+            if let Some(last) = self.samples.back() {
+                if seq <= last.seq {
+                    return false;
+                }
+            }
+            let sample = ArrivalSample { seq, arrival };
+            if self.samples.len() == self.capacity {
+                if let Some(old) = self.samples.pop_front() {
+                    self.shifted_sum -= self.shifted(old);
+                    self.evictions_since_rebuild += 1;
+                }
+            }
+            self.shifted_sum += self.shifted(sample);
+            self.samples.push_back(sample);
+            if self.evictions_since_rebuild >= self.capacity {
+                self.shifted_sum = self.samples.iter().map(|&s| self.shifted(s)).sum();
+                self.evictions_since_rebuild = 0;
+            }
+            true
+        }
+
+        /// Newest retained arrival.
+        pub fn last(&self) -> Option<ArrivalSample> {
+            self.samples.back().copied()
+        }
+
+        /// Oldest retained arrival.
+        pub fn first(&self) -> Option<ArrivalSample> {
+            self.samples.front().copied()
+        }
+
+        /// Mean of the shifted arrivals `A_i − i·Δ`, in seconds.
+        pub fn shifted_mean_secs(&self) -> Option<f64> {
+            if self.samples.is_empty() {
+                None
+            } else {
+                Some(self.shifted_sum / self.samples.len() as f64)
+            }
+        }
+
+        /// Empirical mean inter-arrival time over the window.
+        pub fn mean_interarrival(&self) -> Option<Duration> {
+            let first = self.samples.front()?;
+            let last = self.samples.back()?;
+            if last.seq == first.seq {
+                return None;
+            }
+            let span = last.arrival - first.arrival;
+            Some(Duration::from_secs_f64(span.as_secs_f64() / (last.seq - first.seq) as f64))
+        }
+
+        /// Iterate retained samples oldest → newest.
+        pub fn iter(&self) -> impl Iterator<Item = ArrivalSample> + '_ {
+            self.samples.iter().copied()
+        }
+
+        /// Drop all samples.
+        pub fn clear(&mut self) {
+            self.samples.clear();
+            self.shifted_sum = 0.0;
+            self.evictions_since_rebuild = 0;
+        }
     }
 }
 
@@ -347,6 +705,30 @@ mod tests {
         assert_eq!(w.front(), Some(3.0));
         assert_eq!(w.back(), Some(5.0));
         assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_is_logical() {
+        // Capacity 5 lives in an 8-slot slab but must retain exactly 5.
+        let mut w = SampleWindow::new(5);
+        for x in 0..23 {
+            w.push(x as f64);
+        }
+        assert_eq!(w.len(), 5);
+        assert!(w.is_full());
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![18.0, 19.0, 20.0, 21.0, 22.0]);
+        assert_eq!(w.front(), Some(18.0));
+        assert_eq!(w.back(), Some(22.0));
+    }
+
+    #[test]
+    fn capacity_one_slides() {
+        let mut w = SampleWindow::new(1);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), Some(1.0));
+        assert_eq!(w.push(3.0), Some(2.0));
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![3.0]);
+        assert_eq!(w.mean(), 3.0);
     }
 
     #[test]
@@ -454,6 +836,19 @@ mod tests {
     }
 
     #[test]
+    fn arrival_window_non_power_of_two_slides() {
+        let delta = Duration::from_millis(10);
+        let mut w = ArrivalWindow::new(5, delta);
+        for i in 0..37u64 {
+            w.record(i, inst((i as i64 + 1) * 10));
+        }
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.first().unwrap().seq, 32);
+        assert_eq!(w.last().unwrap().seq, 36);
+        assert_eq!(w.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![32, 33, 34, 35, 36]);
+    }
+
+    #[test]
     fn arrival_window_single_sample_has_no_interarrival() {
         let mut w = ArrivalWindow::new(4, Duration::from_millis(100));
         assert!(w.mean_interarrival().is_none());
@@ -461,5 +856,20 @@ mod tests {
         assert!(w.mean_interarrival().is_none());
         assert_eq!(w.first().unwrap().seq, 5);
         assert_eq!(w.last().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn ring_matches_legacy_on_dense_stream() {
+        let mut ring = SampleWindow::new(7);
+        let mut leg = legacy::LegacySampleWindow::new(7);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 * 1e-6;
+            assert_eq!(ring.push(x), leg.push(x));
+            assert_eq!(ring.mean().to_bits(), leg.mean().to_bits());
+            assert_eq!(ring.variance().to_bits(), leg.variance().to_bits());
+        }
+        assert_eq!(ring.iter().collect::<Vec<_>>(), leg.iter().collect::<Vec<_>>());
     }
 }

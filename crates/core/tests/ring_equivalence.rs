@@ -1,0 +1,237 @@
+//! Ring ≡ legacy window equivalence.
+//!
+//! The SoA ring windows in `sfd_core::window` replaced deque/`Vec`-backed
+//! implementations under a hard no-behavior-change gate: every emitted
+//! number — moments, shifted means, eviction returns, iteration order —
+//! must match the historical layout **to the last bit**, because detector
+//! goldens, checkpoint round-trips and capture replays are all pinned on
+//! the old outputs. The [`legacy`] module keeps those implementations
+//! verbatim as the oracle; these property tests replay random operation
+//! sequences through both layouts side by side (the same pattern as the
+//! wheel≡scan ingest gate) and require bit-identical observations after
+//! every step.
+//!
+//! Covered op mix: pushes/records, `fill_gap`-style synthetic bursts
+//! (capped at window capacity, like `SfdFd::fill_gap`), stale/duplicate
+//! sequence rejections, `clear`, and checkpoint-style restores (rebuild a
+//! fresh window from the retained samples — the `persist` restore path).
+//! Capacities straddle the power-of-two slab boundary (1, 2, 2ᵏ, 2ᵏ±1) so
+//! the masked ring is exercised both when the slab equals the logical
+//! capacity and when it overhangs it.
+
+use proptest::prelude::*;
+use sfd_core::time::{Duration, Instant};
+use sfd_core::window::legacy::{LegacyArrivalWindow, LegacySampleWindow};
+use sfd_core::window::{ArrivalWindow, SampleWindow};
+
+/// One step against both sample-window layouts.
+#[derive(Debug, Clone, Copy)]
+enum SampleOp {
+    /// Push one observation (the hot path).
+    Push(f64),
+    /// `fill_gap`-style burst: push the current mean N times, N capped at
+    /// the window capacity like `SfdFd::fill_gap` caps its loop.
+    Gap(usize),
+    /// Drop all samples (detector `reset`).
+    Clear,
+    /// Checkpoint restore: rebuild a fresh window from the retained
+    /// samples by re-pushing them oldest → newest, as `persist` does.
+    Restore,
+}
+
+fn sample_op() -> impl Strategy<Value = SampleOp> {
+    // Weighted mix via a tag: pushes dominate (the hot path), with
+    // occasional gap bursts, clears and restores.
+    (0u8..11, -1.0e6..1.0e6f64, 0usize..4000).prop_map(|(tag, x, n)| match tag {
+        0..=7 => SampleOp::Push(x),
+        8 => SampleOp::Gap(n),
+        9 => SampleOp::Clear,
+        _ => SampleOp::Restore,
+    })
+}
+
+/// Capacities around the power-of-two slab boundary plus small edge cases.
+fn capacity() -> impl Strategy<Value = usize> {
+    (0u8..6, 1usize..130).prop_map(|(tag, c)| match tag {
+        0 => 1,
+        1 => 2,
+        2 => 63,
+        3 => 64,
+        4 => 65,
+        _ => c,
+    })
+}
+
+/// Every observable of the two sample windows, compared bit-for-bit.
+fn assert_samples_match(ring: &SampleWindow, leg: &LegacySampleWindow, step: usize) {
+    assert_eq!(ring.len(), leg.len(), "len at step {step}");
+    assert_eq!(ring.is_empty(), leg.is_empty(), "is_empty at step {step}");
+    assert_eq!(ring.mean().to_bits(), leg.mean().to_bits(), "mean at step {step}");
+    assert_eq!(ring.variance().to_bits(), leg.variance().to_bits(), "variance at step {step}");
+    assert_eq!(ring.std_dev().to_bits(), leg.std_dev().to_bits(), "std_dev at step {step}");
+    assert_eq!(
+        ring.front().map(f64::to_bits),
+        leg.front().map(f64::to_bits),
+        "front at step {step}"
+    );
+    assert_eq!(ring.back().map(f64::to_bits), leg.back().map(f64::to_bits), "back at step {step}");
+    let r: Vec<u64> = ring.iter().map(f64::to_bits).collect();
+    let l: Vec<u64> = leg.iter().map(f64::to_bits).collect();
+    assert_eq!(r, l, "retained samples at step {step}");
+}
+
+/// One step against both arrival-window layouts.
+#[derive(Debug, Clone, Copy)]
+enum ArrivalOp {
+    /// Record the next heartbeat: sequence advance (0 ⇒ stale duplicate,
+    /// which both layouts must reject) and arrival jitter in interval
+    /// fractions.
+    Record { dseq: u64, jitter_frac: f64 },
+    /// Drop all samples.
+    Clear,
+    /// Rebuild a fresh window from the retained samples.
+    Restore,
+}
+
+fn arrival_op() -> impl Strategy<Value = ArrivalOp> {
+    (0u8..12, 0u64..5, -0.4f64..0.9).prop_map(|(tag, dseq, jitter_frac)| match tag {
+        0..=9 => ArrivalOp::Record { dseq, jitter_frac },
+        10 => ArrivalOp::Clear,
+        _ => ArrivalOp::Restore,
+    })
+}
+
+fn assert_arrivals_match(ring: &ArrivalWindow, leg: &LegacyArrivalWindow, step: usize) {
+    assert_eq!(ring.len(), leg.len(), "len at step {step}");
+    assert_eq!(ring.is_empty(), leg.is_empty(), "is_empty at step {step}");
+    assert_eq!(ring.first(), leg.first(), "first at step {step}");
+    assert_eq!(ring.last(), leg.last(), "last at step {step}");
+    assert_eq!(
+        ring.shifted_mean_secs().map(f64::to_bits),
+        leg.shifted_mean_secs().map(f64::to_bits),
+        "shifted mean at step {step}"
+    );
+    assert_eq!(ring.mean_interarrival(), leg.mean_interarrival(), "mean interarrival at {step}");
+    let r: Vec<_> = ring.iter().collect();
+    let l: Vec<_> = leg.iter().collect();
+    assert_eq!(r, l, "retained arrivals at step {step}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random push/gap/clear/restore sequences leave the ring and legacy
+    /// sample windows observationally identical after every step.
+    fn sample_ring_equals_legacy(
+        cap in capacity(),
+        ops in prop::collection::vec(sample_op(), 1..400),
+    ) {
+        let mut ring = SampleWindow::new(cap);
+        let mut leg = LegacySampleWindow::new(cap);
+        prop_assert_eq!(ring.capacity(), leg.capacity());
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                SampleOp::Push(x) => {
+                    prop_assert_eq!(ring.push(x), leg.push(x), "evictee at step {}", step);
+                }
+                SampleOp::Gap(n) => {
+                    // Both sides synthesise from the same (already equal)
+                    // mean, like the gap filler does.
+                    let fill = ring.mean();
+                    for _ in 0..n.min(cap) {
+                        prop_assert_eq!(ring.push(fill), leg.push(fill));
+                    }
+                }
+                SampleOp::Clear => {
+                    ring.clear();
+                    leg.clear();
+                }
+                SampleOp::Restore => {
+                    let samples: Vec<f64> = ring.iter().collect();
+                    ring = SampleWindow::new(cap);
+                    leg = LegacySampleWindow::new(cap);
+                    for x in samples {
+                        ring.push(x);
+                        leg.push(x);
+                    }
+                }
+            }
+            assert_samples_match(&ring, &leg, step);
+        }
+    }
+
+    /// Random record/clear/restore sequences — including stale sequence
+    /// numbers and `fill_gap`-sized jumps — leave the ring and legacy
+    /// arrival windows observationally identical after every step.
+    fn arrival_ring_equals_legacy(
+        cap in capacity(),
+        interval_ms in 1i64..200,
+        ops in prop::collection::vec(arrival_op(), 1..400),
+    ) {
+        let interval = Duration::from_millis(interval_ms);
+        let mut ring = ArrivalWindow::new(cap, interval);
+        let mut leg = LegacyArrivalWindow::new(cap, interval);
+        prop_assert_eq!(ring.interval(), interval);
+        let mut seq = 0u64;
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                ArrivalOp::Record { dseq, jitter_frac } => {
+                    seq += dseq; // dseq == 0 retries the newest seq: stale.
+                    let at = Instant::from_nanos(
+                        seq as i64 * interval.as_nanos()
+                            + (jitter_frac * interval.as_nanos() as f64) as i64,
+                    );
+                    prop_assert_eq!(
+                        ring.record(seq, at),
+                        leg.record(seq, at),
+                        "accept/reject at step {}",
+                        step
+                    );
+                }
+                ArrivalOp::Clear => {
+                    ring.clear();
+                    leg.clear();
+                }
+                ArrivalOp::Restore => {
+                    let samples: Vec<_> = ring.iter().collect();
+                    ring = ArrivalWindow::new(cap, interval);
+                    leg = LegacyArrivalWindow::new(cap, interval);
+                    for s in samples {
+                        ring.record(s.seq, s.arrival);
+                        leg.record(s.seq, s.arrival);
+                    }
+                }
+            }
+            assert_arrivals_match(&ring, &leg, step);
+        }
+    }
+}
+
+/// Deterministic long-run check at the paper's window size (`WS = 1000`):
+/// enough evictions to re-anchor the incremental sums several times, so a
+/// summation-order mismatch between the layouts cannot hide.
+#[test]
+fn paper_window_size_rebuilds_stay_bit_identical() {
+    let mut sring = SampleWindow::new(1000);
+    let mut sleg = LegacySampleWindow::new(1000);
+    let interval = Duration::from_millis(100);
+    let mut aring = ArrivalWindow::new(1000, interval);
+    let mut aleg = LegacyArrivalWindow::new(1000, interval);
+
+    let mut state = 0x00C0_FFEE_F00D_5EEDu64;
+    let mut seq = 0u64;
+    for i in 0..5_000usize {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let x = 0.1 + (state >> 40) as f64 * 1e-9;
+        assert_eq!(sring.push(x), sleg.push(x));
+        seq += 1 + u64::from(state & 0x1F == 0);
+        let at = Instant::from_nanos(seq as i64 * 100_000_000 + ((state >> 20) & 0xFFFFF) as i64);
+        assert_eq!(aring.record(seq, at), aleg.record(seq, at));
+        if i % 97 == 0 {
+            assert_samples_match(&sring, &sleg, i);
+            assert_arrivals_match(&aring, &aleg, i);
+        }
+    }
+    assert_samples_match(&sring, &sleg, usize::MAX);
+    assert_arrivals_match(&aring, &aleg, usize::MAX);
+}

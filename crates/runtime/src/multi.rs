@@ -10,7 +10,13 @@
 //!
 //! * **Sharding** — streams are partitioned by id hash across `N`
 //!   independent [`ShardCore`]s, each behind its own lock, so status
-//!   queries and ingest on different shards never contend.
+//!   queries and ingest on different shards never contend. Within a
+//!   shard, per-stream state lives in a contiguous arena indexed by
+//!   dense [`StreamSlot`] handles (the id map resolves id → slot only),
+//!   with the detector held inline as an
+//!   [`AnyDetector`](sfd_core::registry::AnyDetector) — the ingest path
+//!   is one hash probe plus slab-local work, with no per-stream heap
+//!   indirection.
 //! * **Expiry scheduling** — instead of re-scanning every detector on
 //!   every poll tick (O(streams) per tick), each shard schedules each
 //!   stream's freshness point `τ` in a hierarchical [`TimingWheel`] and
@@ -37,7 +43,7 @@ use sfd_core::error::{CoreError, CoreResult};
 use sfd_core::metrics::MetricsSnapshot;
 use sfd_core::monitor::{Monitor, StreamHealth, StreamSnapshot};
 use sfd_core::qos::QosMeasured;
-use sfd_core::registry::DetectorSpec;
+use sfd_core::registry::{AnyDetector, DetectorSpec};
 use sfd_core::suspicion::{SuspicionLog, Transition};
 use sfd_core::time::{Duration, Instant};
 use sfd_obs::Histogram;
@@ -133,21 +139,47 @@ pub fn stream_shard(stream: u64, shards: usize) -> usize {
     (splitmix64(stream) & (shards as u64 - 1)) as usize
 }
 
+/// Dense, stable handle of one stream inside its shard's arena.
+///
+/// Slots are allocated on [`Monitor::register`], stay fixed for the
+/// lifetime of the registration, and are recycled through a free list on
+/// [`Monitor::deregister`]. They are *shard-local*: the same stream id
+/// would get unrelated slots on different shards, and nothing observable
+/// (snapshots, expiry, exports) depends on which slot a stream landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSlot(u32);
+
+impl StreamSlot {
+    /// Position of this slot in the shard's arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 struct StreamState {
-    /// The spec the detector was built from, kept so the stream can be
-    /// checkpointed (restore rebuilds the detector from the spec and
-    /// replays the exported state into it).
-    spec: DetectorSpec,
-    detector: Box<dyn FailureDetector + Send>,
+    /// Cached freshness point `τ` of the detector — kept in lock-step
+    /// with `detector.freshness_point()` after every detector mutation,
+    /// so the scan expiry pass is a linear walk over the arena comparing
+    /// instants, never a per-stream virtual call into window state.
+    freshness: Option<Instant>,
+    /// Binary output as of the last heartbeat/advance, driving the
+    /// transition log. Snapshots recompute exactly from the cached `τ`.
+    suspect: bool,
+    /// The stream id this state belongs to (the arena is slot-indexed, so
+    /// the id must ride along for logs, wheels and exports).
+    stream: u64,
+    detector: AnyDetector,
     heartbeats: u64,
     last_heartbeat: Option<Instant>,
     /// Newest accepted sequence number — the dedupe/corruption baseline.
     last_seq: Option<u64>,
     /// Consecutive stale arrivals since the last accepted heartbeat.
     stale_streak: u32,
-    /// Binary output as of the last heartbeat/advance, driving the
-    /// transition log. Snapshots recompute exactly from the detector.
-    suspect: bool,
+    /// The spec the detector was built from, kept so the stream can be
+    /// checkpointed (restore rebuilds the detector from the spec and
+    /// replays the exported state into it).
+    spec: DetectorSpec,
     log: SuspicionLog,
     health: StreamHealth,
     /// QoS measured over the most recent feedback epoch (exported as the
@@ -156,18 +188,39 @@ struct StreamState {
 }
 
 impl StreamState {
-    fn fresh(spec: DetectorSpec, detector: Box<dyn FailureDetector + Send>) -> StreamState {
+    fn fresh(stream: u64, spec: DetectorSpec, detector: AnyDetector) -> StreamState {
         StreamState {
-            spec,
+            freshness: None,
+            suspect: false,
+            stream,
             detector,
             heartbeats: 0,
             last_heartbeat: None,
             last_seq: None,
             stale_streak: 0,
-            suspect: false,
+            spec,
             log: SuspicionLog::new(),
             health: StreamHealth::default(),
             last_qos: None,
+        }
+    }
+
+    /// Re-derive the cached `τ` from the detector. Must be called after
+    /// anything mutates the detector (heartbeat, reset, feedback,
+    /// restore); every other read goes through the cache.
+    #[inline]
+    fn refresh_tau(&mut self) {
+        self.freshness = self.detector.freshness_point();
+    }
+
+    /// The detector's binary verdict at `now`, from the cached `τ` —
+    /// identical to `detector.is_suspect(now)` by the `refresh_tau`
+    /// invariant (no built-in detector overrides the trait default).
+    #[inline]
+    fn is_suspect_at(&self, now: Instant) -> bool {
+        match self.freshness {
+            Some(fp) => now > fp,
+            None => false,
         }
     }
 }
@@ -197,8 +250,14 @@ fn borrow_labels(owned: &[(String, String)]) -> Vec<(&str, &str)> {
     owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect()
 }
 
-/// One shard of the multi-stream monitor: a detector map plus the expiry
-/// machinery, single-threaded and I/O-free.
+/// One shard of the multi-stream monitor: a contiguous stream arena plus
+/// the expiry machinery, single-threaded and I/O-free.
+///
+/// Per-stream state lives in a slab of [`StreamState`] indexed by dense
+/// [`StreamSlot`] handles (free-list reuse on deregistration); the id map
+/// resolves id → slot only, so the ingest path does one hash probe and
+/// then works inside the arena, and the scan expiry pass walks slots in
+/// dense order instead of chasing a map of boxed detectors.
 ///
 /// All operations take an explicit `now`, so the same engine runs under
 /// the live service thread (wall clock) and under simulated time in
@@ -212,7 +271,12 @@ fn borrow_labels(owned: &[(String, String)]) -> Vec<(&str, &str)> {
 /// in the stream's [`StreamHealth`].
 pub struct ShardCore {
     policy: ExpiryPolicy,
-    streams: HashMap<u64, StreamState>,
+    /// id → slot; all per-stream state lives in `slots`.
+    index: HashMap<u64, StreamSlot>,
+    /// The stream arena. `None` entries are free-listed holes.
+    slots: Vec<Option<StreamState>>,
+    /// Recycled slots, reused LIFO on registration.
+    free: Vec<StreamSlot>,
     wheel: TimingWheel,
     /// High-water mark of observed time, enforcing monotonic ingest even
     /// if the platform clock steps backwards.
@@ -230,7 +294,9 @@ impl ShardCore {
     pub fn new(policy: ExpiryPolicy, wheel_tick: Duration) -> ShardCore {
         ShardCore {
             policy,
-            streams: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             wheel: TimingWheel::new(wheel_tick),
             last_now: None,
             clock_clamps: 0,
@@ -241,7 +307,53 @@ impl ShardCore {
 
     /// Is `stream` registered here?
     pub fn contains(&self, stream: u64) -> bool {
-        self.streams.contains_key(&stream)
+        self.index.contains_key(&stream)
+    }
+
+    /// The arena slot `stream` currently occupies (diagnostic surface;
+    /// nothing observable depends on it). `None` if not registered.
+    pub fn slot_of(&self, stream: u64) -> Option<StreamSlot> {
+        self.index.get(&stream).copied()
+    }
+
+    #[inline]
+    fn state(&self, stream: u64) -> Option<&StreamState> {
+        let slot = *self.index.get(&stream)?;
+        self.slots[slot.index()].as_ref()
+    }
+
+    #[inline]
+    fn state_mut(&mut self, stream: u64) -> Option<&mut StreamState> {
+        let slot = *self.index.get(&stream)?;
+        self.slots[slot.index()].as_mut()
+    }
+
+    /// Occupied arena entries, in slot order.
+    #[inline]
+    fn live(&self) -> impl Iterator<Item = &StreamState> {
+        self.slots.iter().flatten()
+    }
+
+    /// Place `st` for its stream id: in the existing slot if the id is
+    /// already registered (replacement), else in a free-listed or fresh
+    /// slot at the arena's tail.
+    fn place(&mut self, st: StreamState) -> StreamSlot {
+        let stream = st.stream;
+        let slot = match self.index.get(&stream) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.free.pop().unwrap_or_else(|| {
+                    let next =
+                        u32::try_from(self.slots.len()).expect("stream arena exceeds u32 slots");
+                    self.slots.push(None);
+                    StreamSlot(next)
+                });
+                self.index.insert(stream, slot);
+                slot
+            }
+        };
+        self.slots[slot.index()] = Some(st);
+        slot
     }
 
     /// Times a non-monotonic `now` was clamped to the shard's high-water
@@ -283,7 +395,10 @@ impl ShardCore {
 
     fn heartbeat_inner(&mut self, stream: u64, seq: u64, now: Instant) -> IngestOutcome {
         let now = self.clamp_now(now);
-        let Some(st) = self.streams.get_mut(&stream) else {
+        let Some(&slot) = self.index.get(&stream) else {
+            return IngestOutcome::UnknownStream;
+        };
+        let Some(st) = self.slots[slot.index()].as_mut() else {
             return IngestOutcome::UnknownStream;
         };
         let mut outcome = IngestOutcome::Accepted;
@@ -315,10 +430,11 @@ impl ShardCore {
             st.log.record(now, false);
         }
         st.detector.heartbeat(seq, now);
+        st.refresh_tau();
         st.heartbeats += 1;
         st.last_heartbeat = Some(now);
         if self.policy == ExpiryPolicy::Wheel {
-            match st.detector.freshness_point() {
+            match st.freshness {
                 Some(fp) => self.wheel.schedule(stream, fp),
                 None => {
                     self.wheel.cancel(stream);
@@ -335,9 +451,11 @@ impl ShardCore {
         let now = self.clamp_now(now);
         match self.policy {
             ExpiryPolicy::Scan => {
+                // Dense arena walk over the cached `τ`s: sequential,
+                // prefetch-friendly, no detector call per stream.
                 let mut newly = 0;
-                for st in self.streams.values_mut() {
-                    let s = st.detector.is_suspect(now);
+                for st in self.slots.iter_mut().flatten() {
+                    let s = st.is_suspect_at(now);
                     if s != st.suspect {
                         st.suspect = s;
                         st.log.record(now, s);
@@ -351,7 +469,7 @@ impl ShardCore {
                 let mut newly = 0;
                 for stream in fired {
                     // A fired timer is exactly `τ < now`, i.e. is_suspect.
-                    if let Some(st) = self.streams.get_mut(&stream) {
+                    if let Some(st) = self.state_mut(stream) {
                         if !st.suspect {
                             st.suspect = true;
                             st.log.record(now, true);
@@ -369,12 +487,12 @@ impl ShardCore {
     pub fn apply_epoch_feedback(&mut self, start: Instant, now: Instant) {
         self.feedback_rounds += 1;
         let mut resync = Vec::new();
-        for (&stream, st) in self.streams.iter_mut() {
+        for st in self.slots.iter_mut().flatten() {
             if let Some(tuner) = st.detector.self_tuning() {
                 let measured = st.log.accuracy_summary(start, now);
                 let _ = tuner.apply_feedback(&measured);
                 st.last_qos = Some(measured);
-                resync.push(stream);
+                resync.push(st.stream);
             }
             st.log.truncate_before(now);
         }
@@ -388,7 +506,7 @@ impl ShardCore {
     /// Epoch feedback for a single stream (the [`Monitor`] hook).
     /// Returns `false` if the stream is unknown or not self-tuning.
     pub fn feedback(&mut self, stream: u64, measured: &QosMeasured, now: Instant) -> bool {
-        let Some(st) = self.streams.get_mut(&stream) else {
+        let Some(st) = self.state_mut(stream) else {
             return false;
         };
         let Some(tuner) = st.detector.self_tuning() else {
@@ -401,18 +519,22 @@ impl ShardCore {
     }
 
     /// After anything other than a heartbeat mutates a detector, re-derive
-    /// the cached binary output and re-arm the wheel from the new `τ`.
+    /// the cached `τ` and binary output and re-arm the wheel.
     fn resync(&mut self, stream: u64, now: Instant) {
-        let Some(st) = self.streams.get_mut(&stream) else {
+        let Some(&slot) = self.index.get(&stream) else {
             return;
         };
-        let s = st.detector.is_suspect(now);
+        let Some(st) = self.slots[slot.index()].as_mut() else {
+            return;
+        };
+        st.refresh_tau();
+        let s = st.is_suspect_at(now);
         if s != st.suspect {
             st.suspect = s;
             st.log.record(now, s);
         }
         if self.policy == ExpiryPolicy::Wheel {
-            match (s, st.detector.freshness_point()) {
+            match (s, st.freshness) {
                 // Already suspect: nothing left to fire.
                 (true, _) | (false, None) => {
                     self.wheel.cancel(stream);
@@ -425,7 +547,7 @@ impl ShardCore {
     /// Transition log of one stream (oracle surface for equivalence
     /// tests). `None` if the stream is unknown.
     pub fn transitions(&self, stream: u64) -> Option<&[Transition]> {
-        self.streams.get(&stream).map(|st| st.log.transitions())
+        self.state(stream).map(|st| st.log.transitions())
     }
 
     /// Export every stream's persistent state, sorted by stream id, for a
@@ -434,14 +556,13 @@ impl ShardCore {
     /// skipped rather than half-written.
     pub fn export_streams(&self) -> Vec<StreamCheckpoint> {
         let mut out: Vec<StreamCheckpoint> = self
-            .streams
-            .iter()
-            .filter_map(|(&stream, st)| {
+            .live()
+            .filter_map(|st| {
                 let detector = st.detector.export_state()?;
                 let transitions = st.log.transitions();
                 let tail = transitions.len().saturating_sub(checkpoint::MAX_STREAM_TRANSITIONS);
                 Some(StreamCheckpoint {
-                    stream,
+                    stream: st.stream,
                     spec: st.spec.clone(),
                     detector,
                     heartbeats: st.heartbeats,
@@ -467,7 +588,7 @@ impl ShardCore {
     /// Errors (invalid spec, state/spec kind mismatch) leave the stream
     /// unregistered — a cold start for that stream, never a panic.
     pub fn restore_stream(&mut self, cp: &StreamCheckpoint, now: Instant) -> CoreResult<()> {
-        let mut detector = cp.spec.build()?;
+        let mut detector = cp.spec.build_inline()?;
         if !detector.restore_state(&cp.detector) {
             return Err(CoreError::InvalidConfig {
                 field: "checkpoint.detector",
@@ -491,21 +612,22 @@ impl ShardCore {
             last = Some(t.at);
             log.record(t.at, t.suspect);
         }
-        self.streams.insert(
-            cp.stream,
-            StreamState {
-                spec: cp.spec.clone(),
-                detector,
-                heartbeats: cp.heartbeats,
-                last_heartbeat: cp.last_heartbeat.map(|t| t.min(now)),
-                last_seq: cp.last_seq,
-                stale_streak: cp.stale_streak,
-                suspect: cp.suspect,
-                log,
-                health: cp.health,
-                last_qos: cp.last_qos,
-            },
-        );
+        self.place(StreamState {
+            // `resync` below re-derives the cache from the restored
+            // detector; seed it so the invariant never dangles.
+            freshness: detector.freshness_point(),
+            suspect: cp.suspect,
+            stream: cp.stream,
+            detector,
+            heartbeats: cp.heartbeats,
+            last_heartbeat: cp.last_heartbeat.map(|t| t.min(now)),
+            last_seq: cp.last_seq,
+            stale_streak: cp.stale_streak,
+            spec: cp.spec.clone(),
+            log,
+            health: cp.health,
+            last_qos: cp.last_qos,
+        });
         self.wheel.cancel(cp.stream);
         // Re-derive the binary output at `now` (the stream may have gone
         // stale during the downtime) and arm the timer from the restored τ.
@@ -520,7 +642,7 @@ impl ShardCore {
     /// shard starts with an empty wheel. Returns the number of streams
     /// with an armed timer afterwards.
     pub fn rearm(&mut self, now: Instant) -> usize {
-        let ids: Vec<u64> = self.streams.keys().copied().collect();
+        let ids: Vec<u64> = self.index.keys().copied().collect();
         for stream in ids {
             self.resync(stream, now);
         }
@@ -531,7 +653,7 @@ impl ShardCore {
     /// simulating the wheel damage a mid-`advance` panic can leave behind.
     #[cfg(test)]
     pub(crate) fn disarm_all(&mut self) {
-        let ids: Vec<u64> = self.streams.keys().copied().collect();
+        let ids: Vec<u64> = self.index.keys().copied().collect();
         for stream in ids {
             self.wheel.cancel(stream);
         }
@@ -541,18 +663,18 @@ impl ShardCore {
     /// metrics snapshot, every sample tagged with `labels` (the service
     /// adds `shard="i"`; standalone use passes `&[]`).
     pub fn export_metrics(&self, m: &mut MetricsSnapshot, labels: &[(&str, &str)], now: Instant) {
-        let suspects = self.streams.values().filter(|st| st.detector.is_suspect(now)).count();
+        let suspects = self.live().filter(|st| st.is_suspect_at(now)).count();
         m.gauge(
             "sfd_streams_watched",
             "Streams currently watched.",
             labels,
-            self.streams.len() as f64,
+            self.index.len() as f64,
         );
         m.gauge("sfd_streams_suspect", "Streams currently suspected.", labels, suspects as f64);
 
         let mut heartbeats = 0u64;
         let mut agg = StreamHealth { clock_clamps: self.clock_clamps, ..StreamHealth::default() };
-        for st in self.streams.values() {
+        for st in self.live() {
             heartbeats += st.heartbeats;
             agg.duplicates += st.health.duplicates;
             agg.rejected_seq_jumps += st.health.rejected_seq_jumps;
@@ -606,10 +728,10 @@ impl ShardCore {
 
         // Per-stream feedback-loop state: the measured QoS of the last
         // epoch next to the targets the controller compares it against.
-        let mut ids: Vec<u64> = self.streams.keys().copied().collect();
+        let mut ids: Vec<u64> = self.index.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
-            let st = &self.streams[&id];
+            let Some(st) = self.state(id) else { continue };
             let sid = id.to_string();
             let owned = with_label(labels, "stream", &sid);
             let stream_labels = borrow_labels(&owned);
@@ -622,14 +744,14 @@ impl ShardCore {
         }
     }
 
-    fn snapshot_inner(&self, stream: u64, st: &StreamState, now: Instant) -> StreamSnapshot {
+    fn snapshot_inner(&self, st: &StreamState, now: Instant) -> StreamSnapshot {
         StreamSnapshot {
-            stream,
-            suspect: st.detector.is_suspect(now),
+            stream: st.stream,
+            suspect: st.is_suspect_at(now),
             suspicion: None,
             heartbeats: st.heartbeats,
             last_heartbeat: st.last_heartbeat,
-            freshness_point: st.detector.freshness_point(),
+            freshness_point: st.freshness,
             health: StreamHealth { clock_clamps: self.clock_clamps, ..st.health },
         }
     }
@@ -637,8 +759,8 @@ impl ShardCore {
 
 impl Monitor for ShardCore {
     fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
-        let detector = spec.build()?;
-        self.streams.insert(stream, StreamState::fresh(spec.clone(), detector));
+        let detector = spec.build_inline()?;
+        self.place(StreamState::fresh(stream, spec.clone(), detector));
         // A fresh detector is in warm-up (no τ yet); the first heartbeat
         // arms the timer. Any stale timer for a replaced stream dies here.
         self.wheel.cancel(stream);
@@ -647,26 +769,38 @@ impl Monitor for ShardCore {
 
     fn deregister(&mut self, stream: u64) -> bool {
         self.wheel.cancel(stream);
-        self.streams.remove(&stream).is_some()
+        match self.index.remove(&stream) {
+            Some(slot) => {
+                self.slots[slot.index()] = None;
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
     }
 
     fn watched(&self) -> usize {
-        self.streams.len()
+        self.index.len()
     }
 
     fn snapshot(&self, stream: u64, now: Instant) -> Option<StreamSnapshot> {
-        self.streams.get(&stream).map(|st| self.snapshot_inner(stream, st, now))
+        self.state(stream).map(|st| self.snapshot_inner(st, now))
     }
 
+    /// Snapshots of every stream, sorted by stream id — the output order
+    /// is a function of the registered ids only, never of slot
+    /// assignment or registration history.
     fn snapshot_all(&self, now: Instant) -> Vec<StreamSnapshot> {
-        self.streams.iter().map(|(&stream, st)| self.snapshot_inner(stream, st, now)).collect()
+        let mut all: Vec<StreamSnapshot> =
+            self.live().map(|st| self.snapshot_inner(st, now)).collect();
+        all.sort_unstable_by_key(|s| s.stream);
+        all
     }
 
     fn feedback(&mut self, stream: u64, measured: &QosMeasured) -> bool {
         // Without a service clock the best re-sync instant we have is the
         // stream's last recorded activity.
-        let now =
-            self.streams.get(&stream).and_then(|st| st.last_heartbeat).unwrap_or(Instant::ZERO);
+        let now = self.state(stream).and_then(|st| st.last_heartbeat).unwrap_or(Instant::ZERO);
         ShardCore::feedback(self, stream, measured, now)
     }
 

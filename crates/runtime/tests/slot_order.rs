@@ -1,0 +1,190 @@
+//! Property: a [`ShardCore`]'s observable behaviour is independent of how
+//! its stream arena assigned slots.
+//!
+//! Streams live in a contiguous slab indexed by dense [`StreamSlot`]s
+//! that are recycled through a free list on deregistration, so the
+//! physical slot a stream occupies depends on the whole registration
+//! history — two cores watching the same streams can store them in
+//! completely different slots. Nothing observable may depend on that:
+//! snapshot ordering, expiry results, transition logs and checkpoint
+//! exports must be identical whether a stream sits in slot 0 or in a
+//! slot recycled from a long-gone neighbour.
+//!
+//! Each case drives two cores through the same heartbeat/advance
+//! timeline: one registered densely in ascending id order, one whose
+//! arena was scrambled by churning throwaway registrations (filling
+//! slots, then freeing them mid-way so later registrations reuse them)
+//! and registering the real streams in a shuffled order.
+
+use proptest::prelude::*;
+use sfd_core::detector::DetectorKind;
+use sfd_core::monitor::Monitor;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::{ExpiryPolicy, ShardCore};
+
+const STREAMS: u64 = 8;
+const KINDS: [DetectorKind; 4] =
+    [DetectorKind::Chen, DetectorKind::Bertier, DetectorKind::Phi, DetectorKind::Sfd];
+
+fn spec_for(stream: u64) -> DetectorSpec {
+    DetectorSpec::default_for(KINDS[stream as usize % KINDS.len()], Duration::from_millis(20))
+}
+
+/// Fisher–Yates over the stream ids, seeded from the property input (the
+/// proptest stub has no shuffle strategy).
+fn shuffled_ids(mut seed: u64) -> Vec<u64> {
+    let mut ids: Vec<u64> = (0..STREAMS).collect();
+    for i in (1..ids.len()).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ids.swap(i, (seed >> 33) as usize % (i + 1));
+    }
+    ids
+}
+
+/// Ids registered ascending into fresh slots: slot i holds stream i.
+fn dense_core(policy: ExpiryPolicy) -> ShardCore {
+    let mut core = ShardCore::new(policy, Duration::from_millis(1));
+    for s in 0..STREAMS {
+        core.register(s, &spec_for(s)).expect("valid spec");
+    }
+    core
+}
+
+/// The same ids, but the arena is scrambled: `extras` throwaway streams
+/// occupy the low slots, half the real streams register after them (in
+/// shuffled `order`), the throwaways are deregistered — putting their
+/// slots on the free list — and the remaining real streams reuse them.
+fn scrambled_core(policy: ExpiryPolicy, order: &[u64], extras: usize) -> ShardCore {
+    let mut core = ShardCore::new(policy, Duration::from_millis(1));
+    let extra_base = 1_000_000u64;
+    for e in 0..extras as u64 {
+        core.register(extra_base + e, &spec_for(extra_base + e)).expect("valid spec");
+    }
+    let (first, second) = order.split_at(order.len() / 2);
+    for &s in first {
+        core.register(s, &spec_for(s)).expect("valid spec");
+    }
+    for e in 0..extras as u64 {
+        assert!(core.deregister(extra_base + e));
+    }
+    for &s in second {
+        core.register(s, &spec_for(s)).expect("valid spec");
+    }
+    core
+}
+
+/// Drive both cores through one event list in lock step, comparing every
+/// observable at every step.
+fn drive_and_compare(
+    dense: &mut ShardCore,
+    scrambled: &mut ShardCore,
+    events: &[(i64, u64, bool)],
+) {
+    let mut t = 0i64;
+    let mut seqs = [0u64; STREAMS as usize];
+    for &(dt, idx, beat) in events {
+        t += dt;
+        let now = Instant::from_millis(t);
+        if beat {
+            let stream = idx % STREAMS;
+            let seq = seqs[stream as usize];
+            seqs[stream as usize] += 1;
+            assert_eq!(
+                dense.heartbeat(stream, seq, now),
+                scrambled.heartbeat(stream, seq, now),
+                "ingest outcome diverged for stream {stream} at t={t}ms"
+            );
+        }
+        assert_eq!(dense.advance(now), scrambled.advance(now), "expiry count at t={t}ms");
+        assert_eq!(
+            dense.snapshot_all(now),
+            scrambled.snapshot_all(now),
+            "snapshot_all (contents or ordering) diverged at t={t}ms"
+        );
+    }
+    let now = Instant::from_millis(t);
+    for s in 0..STREAMS {
+        assert_eq!(
+            dense.transitions(s).expect("registered"),
+            scrambled.transitions(s).expect("registered"),
+            "transition log diverged for stream {s}"
+        );
+    }
+    assert_eq!(dense.export_streams(), scrambled.export_streams(), "checkpoint export diverged");
+    assert_eq!(dense.watched(), scrambled.watched());
+    let _ = now;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random churn + shuffled registration vs dense registration:
+    /// identical observables under both expiry policies.
+    fn outputs_independent_of_slot_assignment(
+        shuffle_seed in any::<u64>(),
+        extras in 0usize..6,
+        events in prop::collection::vec((1i64..200, 0u64..STREAMS, any::<bool>()), 10..100),
+    ) {
+        let order = shuffled_ids(shuffle_seed);
+        for policy in [ExpiryPolicy::Scan, ExpiryPolicy::Wheel] {
+            let mut dense = dense_core(policy);
+            let mut scrambled = scrambled_core(policy, &order, extras);
+            drive_and_compare(&mut dense, &mut scrambled, &events);
+        }
+    }
+}
+
+/// Sanity: the scramble recipe really does move streams to different
+/// physical slots (otherwise the property above tests nothing), and
+/// `snapshot_all` comes back id-sorted regardless.
+#[test]
+fn scramble_actually_scrambles_slots() {
+    let order: Vec<u64> = (0..STREAMS).rev().collect();
+    let dense = dense_core(ExpiryPolicy::Wheel);
+    let scrambled = scrambled_core(ExpiryPolicy::Wheel, &order, 4);
+    let moved = (0..STREAMS)
+        .filter(|&s| {
+            dense.slot_of(s).expect("registered") != scrambled.slot_of(s).expect("registered")
+        })
+        .count();
+    assert!(moved > 0, "every stream landed in the same slot; churn recipe is inert");
+
+    let now = Instant::from_millis(5);
+    let ids: Vec<u64> = scrambled.snapshot_all(now).iter().map(|s| s.stream).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "snapshot_all must be id-sorted, not slot-ordered");
+}
+
+/// A deregistered stream's recycled slot must not leak any state into its
+/// successor: a fresh stream in a reused slot behaves exactly like a
+/// fresh stream in a fresh slot.
+#[test]
+fn recycled_slot_carries_no_state() {
+    for policy in [ExpiryPolicy::Scan, ExpiryPolicy::Wheel] {
+        let mut recycled = ShardCore::new(policy, Duration::from_millis(1));
+        // Old tenant builds up history, goes suspect, then leaves.
+        recycled.register(7, &spec_for(7)).expect("valid spec");
+        for i in 0..20u64 {
+            recycled.heartbeat(7, i, Instant::from_millis(20 * (i as i64 + 1)));
+        }
+        recycled.advance(Instant::from_millis(10_000));
+        assert!(recycled.deregister(7));
+        recycled.register(9, &spec_for(9)).expect("valid spec");
+
+        let mut fresh = ShardCore::new(policy, Duration::from_millis(1));
+        fresh.register(9, &spec_for(9)).expect("valid spec");
+
+        let slot = recycled.slot_of(9).expect("registered");
+        assert_eq!(slot.index(), 0, "slot 0 should be recycled ({policy:?})");
+        for i in 0..30u64 {
+            let now = Instant::from_millis(10_000 + 20 * (i as i64 + 1));
+            assert_eq!(recycled.heartbeat(9, i, now), fresh.heartbeat(9, i, now), "{policy:?}");
+            recycled.advance(now);
+            fresh.advance(now);
+            assert_eq!(recycled.snapshot(9, now), fresh.snapshot(9, now), "{policy:?}");
+        }
+        assert_eq!(recycled.transitions(9), fresh.transitions(9), "{policy:?}");
+    }
+}
