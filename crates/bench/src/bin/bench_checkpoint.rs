@@ -1,0 +1,122 @@
+//! Checkpoint-cadence benchmark harness: times full-vs-delta cadence
+//! saves over a sharded fleet at several stream scales under a live
+//! ingest load, verifies `restore(base + deltas)` is byte-identical to
+//! `restore(full)` (snapshots + transition logs + rendered core
+//! metrics), and writes `BENCH_checkpoint.json` (committed at the repo
+//! root; see DESIGN.md §15).
+//!
+//! Usage: `bench_checkpoint [--streams N,N,…] [--rounds N] [--ticks N]
+//! [--jobs N] [--min-bytes-ratio R] [--min-service-ratio R] [--out FILE]`.
+//! Exits 1 if any scale's restore diverges, or if at the largest scale
+//! the steady-state delta saves fail to write `--min-bytes-ratio`
+//! (default 5) times fewer bytes and take `--min-service-ratio`
+//! (default 3) times less service-loop time than full saves.
+
+use sfd_bench::checkpoint::{
+    run_scale, scratch_dir, CheckpointBenchReport, CheckpointWorkload, ScaleResult,
+};
+use sfd_core::par::effective_jobs;
+
+fn main() {
+    let mut streams: Vec<u64> = vec![1_000, 10_000, 100_000];
+    let mut rounds: u64 = 8;
+    let mut ticks: u64 = 4;
+    let mut jobs: usize = 0;
+    let mut min_bytes_ratio: f64 = 5.0;
+    let mut min_service_ratio: f64 = 3.0;
+    let mut out = std::path::PathBuf::from("BENCH_checkpoint.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--streams" => {
+                let v = args.next().expect("--streams needs a value");
+                streams = v
+                    .split(',')
+                    .map(|n| n.parse().expect("--streams takes comma-separated integers"))
+                    .collect();
+            }
+            "--rounds" => {
+                let v = args.next().expect("--rounds needs a value");
+                rounds = v.parse().expect("--rounds must be an integer >= 2");
+                assert!(rounds >= 2, "--rounds must leave room for at least one delta");
+            }
+            "--ticks" => {
+                let v = args.next().expect("--ticks needs a value");
+                ticks = v.parse().expect("--ticks must be an integer");
+            }
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs must be an integer");
+            }
+            "--min-bytes-ratio" => {
+                let v = args.next().expect("--min-bytes-ratio needs a value");
+                min_bytes_ratio = v.parse().expect("--min-bytes-ratio must be a number");
+            }
+            "--min-service-ratio" => {
+                let v = args.next().expect("--min-service-ratio needs a value");
+                min_service_ratio = v.parse().expect("--min-service-ratio must be a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a value").into();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_checkpoint [--streams N,N,…] [--rounds N] [--ticks N] \
+                     [--jobs N] [--min-bytes-ratio R] [--min-service-ratio R] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    streams.sort_unstable();
+
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let jobs = effective_jobs(jobs).min(cores);
+    // One shard per worker, like the service: the fleet partition the
+    // delta design actually runs over.
+    let nshards = jobs.next_power_of_two().min(64);
+
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).expect("create checkpoint scratch dir");
+
+    let mut scales: Vec<ScaleResult> = Vec::with_capacity(streams.len());
+    let mut warmup_ticks = 0;
+    for &n in &streams {
+        let mut w = CheckpointWorkload::at_scale(n);
+        w.rounds = rounds;
+        w.ticks_per_round = ticks;
+        warmup_ticks = w.warmup_ticks;
+        eprintln!("bench_checkpoint: {n} streams, {rounds} saves x {ticks} ticks, jobs={jobs}…");
+        let sc = run_scale(&w, jobs, nshards, &dir).expect("checkpoint bench I/O");
+        scales.push(sc);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = CheckpointBenchReport {
+        rounds,
+        ticks_per_round: ticks,
+        active_mod: 10,
+        warmup_ticks,
+        jobs,
+        cores,
+        scales,
+        min_bytes_ratio,
+        min_service_ratio,
+    };
+    report.write(&out).expect("write BENCH_checkpoint.json");
+    eprint!("{}", report.summary());
+    eprintln!("wrote {}", out.display());
+
+    if !report.gates_pass() {
+        eprintln!(
+            "bench_checkpoint: GATE FAILED (restore divergence, or largest scale under \
+             {min_bytes_ratio}x bytes / {min_service_ratio}x service-time)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,684 @@
+//! The checkpoint-cadence benchmark behind `bench_checkpoint`: drive a
+//! sharded fleet through a deterministic heartbeat timeline on simulated
+//! time and compare the two cadence-save strategies —
+//!
+//! * **full** — the pre-delta behaviour: every cadence save exports,
+//!   encodes, and writes *every* stream inside the service loop;
+//! * **delta** — the incremental behaviour: one full base, then each
+//!   cadence save exports only the dirty slots on the loop
+//!   ([`ShardCore::export_dirty`]) and encodes/writes an `SFCP` v2 delta
+//!   frame off the loop.
+//!
+//! Both passes replay the *identical* timeline, so after the last save
+//! the fleet states match and `restore(base + deltas)` must equal
+//! `restore(full)` byte for byte — snapshots, transition logs, and
+//! rendered core metrics. That equality is the gate; the timings and
+//! byte counts are the result (`BENCH_checkpoint.json`).
+//!
+//! The workload first warms the whole fleet up (every stream heartbeats
+//! until its arrival window is full — long-lived streams with
+//! established learned state), then goes steady: a fixed hot subset
+//! (`1/active_mod` of the fleet) keeps heartbeating every tick while the
+//! rest stay registered but quiet. That is the state the delta design
+//! targets — a wide fleet where only a sliver of the learned state moves
+//! between saves. One hot stream skips a round mid-run so suspect/trust
+//! transitions land in the delta chain too.
+
+use crate::timing::json_f64;
+use sfd_core::chen::ChenConfig;
+use sfd_core::metrics::MetricsSnapshot;
+use sfd_core::monitor::Monitor;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::checkpoint::{self, Checkpoint, DeltaCheckpoint, StreamCheckpoint};
+use sfd_runtime::multi::{stream_shard, ExpiryPolicy, ShardCore};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The deterministic fleet timeline both save strategies replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointWorkload {
+    /// Streams to register (ids `0..streams`).
+    pub streams: u64,
+    /// Cadence saves to perform (the first delta-pass save is the base).
+    pub rounds: u64,
+    /// Heartbeat ticks between consecutive saves.
+    pub ticks_per_round: u64,
+    /// Nominal heartbeat interval (one tick of simulated time).
+    pub interval: Duration,
+    /// `1/active_mod` of the fleet heartbeats; the rest stay silent.
+    pub active_mod: u64,
+    /// Ticks of whole-fleet heartbeats before the first save, so every
+    /// stream carries a full arrival window (uniform record sizes).
+    pub warmup_ticks: u64,
+}
+
+/// Arrival-window capacity the fleet's Chen detectors use; warm-up must
+/// outlast it so every stream's window is full before the first save.
+const WINDOW: usize = 32;
+
+impl CheckpointWorkload {
+    /// Standard workload at a given stream count: 10% of the fleet hot,
+    /// 8 saves, 4 ticks of 100 ms heartbeats between saves, after a
+    /// warm-up that fills every stream's window.
+    pub fn at_scale(streams: u64) -> CheckpointWorkload {
+        CheckpointWorkload {
+            streams,
+            rounds: 8,
+            ticks_per_round: 4,
+            interval: Duration::from_millis(100),
+            active_mod: 10,
+            warmup_ticks: WINDOW as u64 + 4,
+        }
+    }
+
+    /// Is `stream` in the hot (heartbeating) subset?
+    fn hot(&self, stream: u64) -> bool {
+        stream.is_multiple_of(self.active_mod)
+    }
+
+    /// Does `stream` skip `round` entirely? One hot stream pauses for
+    /// the middle round, long enough for Chen's τ to fire, so the
+    /// timeline records real suspect → trust transitions.
+    fn paused(&self, stream: u64, round: u64) -> bool {
+        stream == 0 && round == self.rounds / 2
+    }
+}
+
+/// The sharded fleet under test, driven on simulated time.
+struct Fleet {
+    shards: Vec<ShardCore>,
+    /// Per-stream next heartbeat sequence (continues across pauses).
+    seqs: Vec<u64>,
+    w: CheckpointWorkload,
+    now: Instant,
+}
+
+impl Fleet {
+    fn new(w: &CheckpointWorkload, nshards: usize) -> Fleet {
+        let mut shards: Vec<ShardCore> = (0..nshards)
+            .map(|_| ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1)))
+            .collect();
+        let spec = DetectorSpec::Chen(ChenConfig {
+            window: WINDOW,
+            expected_interval: w.interval,
+            alpha: w.interval * 2,
+        });
+        for s in 0..w.streams {
+            shards[stream_shard(s, nshards)].register(s, &spec).expect("valid Chen spec");
+        }
+        Fleet { shards, seqs: vec![0; w.streams as usize], w: *w, now: Instant::ZERO }
+    }
+
+    /// Whole-fleet warm-up: every stream heartbeats every tick until
+    /// its arrival window is full. Runs before the first save in both
+    /// passes, so the base snapshot already carries established state.
+    fn warmup(&mut self) {
+        let nshards = self.shards.len();
+        let stagger =
+            Duration::from_nanos(self.w.interval.as_nanos() / (self.w.streams as i64 + 1));
+        for _ in 0..self.w.warmup_ticks {
+            let tick_start = self.now;
+            for s in 0..self.w.streams {
+                let seq = self.seqs[s as usize];
+                self.seqs[s as usize] += 1;
+                self.shards[stream_shard(s, nshards)].heartbeat(
+                    s,
+                    seq,
+                    tick_start + stagger * (s as i64 + 1),
+                );
+            }
+            self.now = tick_start + self.w.interval;
+            for shard in &mut self.shards {
+                shard.advance(self.now);
+            }
+        }
+    }
+
+    /// Settle into the steady state: hot-only heartbeats long enough for
+    /// every quiet stream's suspicion to fire *before* the first save,
+    /// so those one-off transitions land in the base, not in a delta.
+    fn settle(&mut self) {
+        // τ for these Chen detectors is ≈ EA + α = 3 intervals; 8 ticks
+        // of silence puts every quiet stream safely past it.
+        for _ in 0..8u64.div_ceil(self.w.ticks_per_round.max(1)) {
+            self.round(u64::MAX);
+        }
+    }
+
+    /// Drive one round of heartbeats and expiry advances.
+    fn round(&mut self, round: u64) {
+        let nshards = self.shards.len();
+        let stagger =
+            Duration::from_nanos(self.w.interval.as_nanos() / (self.w.streams as i64 + 1));
+        for _ in 0..self.w.ticks_per_round {
+            let tick_start = self.now;
+            for s in 0..self.w.streams {
+                if !self.w.hot(s) || self.w.paused(s, round) {
+                    continue;
+                }
+                let seq = self.seqs[s as usize];
+                self.seqs[s as usize] += 1;
+                self.shards[stream_shard(s, nshards)].heartbeat(
+                    s,
+                    seq,
+                    tick_start + stagger * (s as i64 + 1),
+                );
+            }
+            self.now = tick_start + self.w.interval;
+            for shard in &mut self.shards {
+                shard.advance(self.now);
+            }
+        }
+    }
+
+    /// Export every stream (resetting dirty bookkeeping), sorted.
+    fn export_full(&mut self) -> Vec<StreamCheckpoint> {
+        let mut streams = Vec::with_capacity(self.w.streams as usize);
+        for shard in &mut self.shards {
+            streams.extend(shard.export_streams_full());
+        }
+        streams.sort_unstable_by_key(|s| s.stream);
+        streams
+    }
+
+    /// Export only the dirty slots, merged across shards, sorted.
+    fn export_dirty(&mut self) -> (Vec<StreamCheckpoint>, Vec<u64>) {
+        let mut changed = Vec::new();
+        let mut removed = Vec::new();
+        for shard in &mut self.shards {
+            let mut d = shard.export_dirty();
+            changed.append(&mut d.changed);
+            removed.append(&mut d.removed);
+        }
+        changed.sort_unstable_by_key(|s| s.stream);
+        removed.sort_unstable();
+        (changed, removed)
+    }
+
+    /// Everything observable about the fleet, rendered to one string:
+    /// per-stream snapshots, full transition logs, and the Prometheus
+    /// text rendering of the core metrics. The equality surface.
+    fn digest(&self) -> String {
+        digest_cores(&self.shards, self.now)
+    }
+}
+
+/// Render the observable state of a shard set (see [`Fleet::digest`]).
+fn digest_cores(shards: &[ShardCore], now: Instant) -> String {
+    let mut out = String::new();
+    let mut m = MetricsSnapshot::new();
+    for (idx, shard) in shards.iter().enumerate() {
+        let sid = idx.to_string();
+        shard.export_metrics(&mut m, &[("shard", sid.as_str())], now);
+        let mut snaps = shard.snapshot_all(now);
+        snaps.sort_unstable_by_key(|s| s.stream);
+        for snap in snaps {
+            let _ = writeln!(out, "{snap:?}");
+            let _ = writeln!(out, "  {:?}", shard.transitions(snap.stream).unwrap_or(&[]));
+        }
+    }
+    out.push_str(&sfd_obs::encode_text(&m));
+    out
+}
+
+/// Rehydrate `streams` into a fresh shard set and return its digest —
+/// what a warm restart at `now` would actually observe.
+fn digest_restored(
+    streams: &[StreamCheckpoint],
+    nshards: usize,
+    now: Instant,
+) -> Result<String, String> {
+    let mut shards: Vec<ShardCore> = (0..nshards)
+        .map(|_| ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1)))
+        .collect();
+    for sc in streams {
+        shards[stream_shard(sc.stream, nshards)]
+            .restore_stream(sc, now)
+            .map_err(|e| format!("stream {} failed to restore: {e}", sc.stream))?;
+    }
+    Ok(digest_cores(&shards, now))
+}
+
+/// Aggregate timings and byte counts for one save strategy's pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavePass {
+    /// Cadence saves performed.
+    pub saves: u64,
+    /// Bytes written across all saves (base included, for the delta pass).
+    pub bytes_total: u64,
+    /// Bytes written by *steady-state* saves (full pass: all of them;
+    /// delta pass: the delta frames, excluding the one-off base).
+    pub steady_bytes: u64,
+    /// Service-loop nanoseconds across steady-state saves (export, and —
+    /// for the full strategy — encode and write too).
+    pub steady_service_ns: u64,
+    /// Off-loop nanoseconds across all saves (encode + write the service
+    /// loop no longer waits for; 0 for the full strategy).
+    pub offloop_ns: u64,
+    /// Streams carried by steady-state saves (the dirty set sizes).
+    pub steady_streams: u64,
+}
+
+impl SavePass {
+    /// Steady-state bytes per save.
+    pub fn bytes_per_save(&self) -> f64 {
+        let n = self.steady_saves();
+        if n > 0 {
+            self.steady_bytes as f64 / n as f64
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Steady-state service-loop nanoseconds per save.
+    pub fn service_ns_per_save(&self) -> f64 {
+        let n = self.steady_saves();
+        if n > 0 {
+            self.steady_service_ns as f64 / n as f64
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn steady_saves(&self) -> u64 {
+        if self.offloop_ns > 0 {
+            self.saves.saturating_sub(1)
+        } else {
+            self.saves
+        }
+    }
+}
+
+/// Drive the workload saving a *full* checkpoint every round, everything
+/// inside the service-loop section (the pre-delta behaviour). Returns
+/// the pass timing and the final fleet digest; the last save stays at
+/// `path` for the restore gate.
+pub fn run_full(
+    w: &CheckpointWorkload,
+    jobs: usize,
+    nshards: usize,
+    path: &Path,
+) -> std::io::Result<(SavePass, String)> {
+    let mut fleet = Fleet::new(w, nshards);
+    fleet.warmup();
+    fleet.settle();
+    let mut pass = SavePass {
+        saves: 0,
+        bytes_total: 0,
+        steady_bytes: 0,
+        steady_service_ns: 0,
+        offloop_ns: 0,
+        steady_streams: 0,
+    };
+    for round in 0..w.rounds {
+        fleet.round(round);
+        let t0 = std::time::Instant::now();
+        let streams = fleet.export_full();
+        pass.steady_streams += streams.len() as u64;
+        let cp = Checkpoint {
+            created_wall_nanos: round as i64 + 1,
+            created_instant: fleet.now,
+            streams,
+        };
+        let bytes = cp.encode_jobs(jobs);
+        let size = checkpoint::save_atomic_bytes(path, &bytes)?;
+        pass.steady_service_ns += t0.elapsed().as_nanos() as u64;
+        pass.saves += 1;
+        pass.bytes_total += size;
+        pass.steady_bytes += size;
+    }
+    Ok((pass, fleet.digest()))
+}
+
+/// Drive the same workload the way the delta runtime does: a full base
+/// on the first round, then per-round dirty exports on the loop with the
+/// v2 delta encode/write off the loop. The chain stays rooted at `path`
+/// for the restore gate.
+pub fn run_delta(
+    w: &CheckpointWorkload,
+    jobs: usize,
+    nshards: usize,
+    path: &Path,
+) -> std::io::Result<(SavePass, String)> {
+    let mut fleet = Fleet::new(w, nshards);
+    fleet.warmup();
+    fleet.settle();
+    let mut pass = SavePass {
+        saves: 0,
+        bytes_total: 0,
+        steady_bytes: 0,
+        steady_service_ns: 0,
+        offloop_ns: 0,
+        steady_streams: 0,
+    };
+    checkpoint::clear_deltas(path);
+    let mut base_crc = 0u32;
+    let mut next_seq = 1u64;
+    for round in 0..w.rounds {
+        fleet.round(round);
+        if round == 0 {
+            // The base: export on the loop, encode + write off it.
+            let t0 = std::time::Instant::now();
+            let streams = fleet.export_full();
+            let cp = Checkpoint { created_wall_nanos: 1, created_instant: fleet.now, streams };
+            let service = t0.elapsed().as_nanos() as u64;
+            let t1 = std::time::Instant::now();
+            let bytes = cp.encode_jobs(jobs);
+            let size = checkpoint::save_atomic_bytes(path, &bytes)?;
+            pass.offloop_ns += t1.elapsed().as_nanos() as u64;
+            base_crc = checkpoint::frame_crc(&bytes).unwrap_or(0);
+            pass.saves += 1;
+            pass.bytes_total += size;
+            // The base is a one-off; steady-state counters skip it.
+            let _ = service;
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let (changed, removed) = fleet.export_dirty();
+        pass.steady_service_ns += t0.elapsed().as_nanos() as u64;
+        pass.steady_streams += changed.len() as u64;
+        if changed.is_empty() && removed.is_empty() {
+            continue;
+        }
+        let t1 = std::time::Instant::now();
+        let delta = DeltaCheckpoint {
+            base_crc,
+            delta_seq: next_seq,
+            created_wall_nanos: round as i64 + 1,
+            created_instant: fleet.now,
+            removed,
+            changed,
+        };
+        let bytes = delta.encode_jobs(jobs);
+        let size = checkpoint::save_atomic_bytes(&checkpoint::delta_path(path, next_seq), &bytes)?;
+        pass.offloop_ns += t1.elapsed().as_nanos() as u64;
+        next_seq += 1;
+        pass.saves += 1;
+        pass.bytes_total += size;
+        pass.steady_bytes += size;
+    }
+    Ok((pass, fleet.digest()))
+}
+
+/// The per-scale verdict: both strategies' timings plus the equality
+/// gates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleResult {
+    /// Stream count of this scale.
+    pub streams: u64,
+    /// Shards the fleet was partitioned into.
+    pub shards: usize,
+    /// The full-every-save pass.
+    pub full: SavePass,
+    /// The base + deltas pass.
+    pub delta: SavePass,
+    /// Did both passes leave the fleet in byte-identical observable
+    /// state? (Same timeline, so anything else is a driver bug.)
+    pub fleets_identical: bool,
+    /// Is `restore(base + deltas)` byte-identical to `restore(full)` —
+    /// snapshots, transition logs, and rendered core metrics?
+    pub restore_identical: bool,
+    /// Streams in the merged chain whose newest record came from a delta.
+    pub restored_from_deltas: usize,
+}
+
+impl ScaleResult {
+    /// How many times more bytes a steady-state full save writes.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.full.bytes_per_save() / self.delta.bytes_per_save()
+    }
+
+    /// How many times more service-loop time a steady-state full save
+    /// costs.
+    pub fn service_time_ratio(&self) -> f64 {
+        self.full.service_ns_per_save() / self.delta.service_ns_per_save()
+    }
+}
+
+/// Run one scale end to end in `dir` (which must exist): both passes,
+/// the fleet-equality check, and the restore-equality gate.
+pub fn run_scale(
+    w: &CheckpointWorkload,
+    jobs: usize,
+    nshards: usize,
+    dir: &Path,
+) -> std::io::Result<ScaleResult> {
+    let full_path = dir.join(format!("full-{}.sfcp", w.streams));
+    let chain_path = dir.join(format!("chain-{}.sfcp", w.streams));
+    let (full, full_digest) = run_full(w, jobs, nshards, &full_path)?;
+    let (delta, delta_digest) = run_delta(w, jobs, nshards, &chain_path)?;
+    let fleets_identical = full_digest == delta_digest;
+
+    // The restore gate: load both artifacts back and compare what a warm
+    // restart would observe. `max_age: None` — the stamps are simulated.
+    let io_err = |e: checkpoint::CheckpointError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    };
+    let full_cp = checkpoint::load_fresh(&full_path, None, 0).map_err(io_err)?;
+    let (merged, info) = checkpoint::load_chain(&chain_path, None, 0).map_err(io_err)?;
+    let now = full_cp.created_instant;
+    let restore_identical = !info.truncated
+        && info.deltas_applied > 0
+        && full_cp.streams == merged.streams
+        && digest_restored(&full_cp.streams, nshards, now)
+            == digest_restored(&merged.streams, nshards, now);
+
+    Ok(ScaleResult {
+        streams: w.streams,
+        shards: nshards,
+        full,
+        delta,
+        fleets_identical,
+        restore_identical,
+        restored_from_deltas: info.from_deltas,
+    })
+}
+
+/// The `BENCH_checkpoint.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointBenchReport {
+    /// Saves per pass (after the delta pass's base).
+    pub rounds: u64,
+    /// Heartbeat ticks between saves.
+    pub ticks_per_round: u64,
+    /// `1/active_mod` of the fleet heartbeats.
+    pub active_mod: u64,
+    /// Whole-fleet warm-up ticks before the first save.
+    pub warmup_ticks: u64,
+    /// Encode worker threads.
+    pub jobs: usize,
+    /// Cores on the machine that produced this report.
+    pub cores: usize,
+    /// One result per stream scale, ascending.
+    pub scales: Vec<ScaleResult>,
+    /// Gate threshold: steady-state full/delta bytes-per-save ratio the
+    /// largest scale must reach.
+    pub min_bytes_ratio: f64,
+    /// Gate threshold: service-loop time ratio the largest scale must
+    /// reach.
+    pub min_service_ratio: f64,
+}
+
+impl CheckpointBenchReport {
+    /// Do all scales restore identically *and* does the largest scale
+    /// clear both ratio gates?
+    pub fn gates_pass(&self) -> bool {
+        if self.scales.iter().any(|s| !s.restore_identical || !s.fleets_identical) {
+            return false;
+        }
+        match self.scales.last() {
+            Some(top) => {
+                self.scales.iter().all(|s| s.streams <= top.streams)
+                    && top.bytes_ratio() >= self.min_bytes_ratio
+                    && top.service_time_ratio() >= self.min_service_ratio
+            }
+            None => false,
+        }
+    }
+
+    /// Hand-rolled JSON (same reasoning as `BENCH_ingest.json`: the
+    /// `serde_json` backend can be a stub, and the format is flat).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"checkpoint_cadence\",");
+        let _ = writeln!(s, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(s, "  \"ticks_per_round\": {},", self.ticks_per_round);
+        let _ = writeln!(s, "  \"active_mod\": {},", self.active_mod);
+        let _ = writeln!(s, "  \"warmup_ticks\": {},", self.warmup_ticks);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
+        let _ = writeln!(s, "  \"min_bytes_ratio\": {},", json_f64(self.min_bytes_ratio));
+        let _ = writeln!(s, "  \"min_service_ratio\": {},", json_f64(self.min_service_ratio));
+        let _ = writeln!(s, "  \"gates_pass\": {},", self.gates_pass());
+        let _ = writeln!(s, "  \"scales\": [");
+        for (i, sc) in self.scales.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"streams\": {},", sc.streams);
+            let _ = writeln!(s, "      \"shards\": {},", sc.shards);
+            let _ = writeln!(s, "      \"full\": {{");
+            let _ = writeln!(s, "        \"saves\": {},", sc.full.saves);
+            let _ = writeln!(s, "        \"bytes_total\": {},", sc.full.bytes_total);
+            let _ =
+                writeln!(s, "        \"bytes_per_save\": {},", json_f64(sc.full.bytes_per_save()));
+            let _ = writeln!(
+                s,
+                "        \"service_ns_per_save\": {}",
+                json_f64(sc.full.service_ns_per_save())
+            );
+            let _ = writeln!(s, "      }},");
+            let _ = writeln!(s, "      \"delta\": {{");
+            let _ = writeln!(s, "        \"saves\": {},", sc.delta.saves);
+            let _ = writeln!(s, "        \"bytes_total\": {},", sc.delta.bytes_total);
+            let _ =
+                writeln!(s, "        \"bytes_per_save\": {},", json_f64(sc.delta.bytes_per_save()));
+            let _ = writeln!(
+                s,
+                "        \"service_ns_per_save\": {},",
+                json_f64(sc.delta.service_ns_per_save())
+            );
+            let _ = writeln!(
+                s,
+                "        \"offloop_ns_total\": {},",
+                json_f64(sc.delta.offloop_ns as f64)
+            );
+            let _ = writeln!(
+                s,
+                "        \"dirty_streams_per_save\": {}",
+                json_f64(
+                    sc.delta.steady_streams as f64 / sc.delta.saves.saturating_sub(1).max(1) as f64
+                )
+            );
+            let _ = writeln!(s, "      }},");
+            let _ = writeln!(s, "      \"bytes_ratio\": {},", json_f64(sc.bytes_ratio()));
+            let _ =
+                writeln!(s, "      \"service_time_ratio\": {},", json_f64(sc.service_time_ratio()));
+            let _ = writeln!(s, "      \"fleets_identical\": {},", sc.fleets_identical);
+            let _ = writeln!(s, "      \"restore_identical\": {},", sc.restore_identical);
+            let _ = writeln!(s, "      \"restored_from_deltas\": {}", sc.restored_from_deltas);
+            let comma = if i + 1 < self.scales.len() { "," } else { "" };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Write the JSON artifact.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// One-line-per-scale human summary for stderr.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for sc in &self.scales {
+            let _ = writeln!(
+                s,
+                "{:>7} streams: bytes/save {:>12.0} -> {:>9.0} ({:>5.1}x)  \
+                 service ns/save {:>12.0} -> {:>9.0} ({:>5.1}x)  restore_identical={}",
+                sc.streams,
+                sc.full.bytes_per_save(),
+                sc.delta.bytes_per_save(),
+                sc.bytes_ratio(),
+                sc.full.service_ns_per_save(),
+                sc.delta.service_ns_per_save(),
+                sc.service_time_ratio(),
+                sc.restore_identical,
+            );
+        }
+        s
+    }
+}
+
+/// Scratch directory for a bench run's checkpoint artifacts.
+pub fn scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("sfd-bench-ckpt-{}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CheckpointWorkload {
+        CheckpointWorkload {
+            streams: 64,
+            rounds: 4,
+            ticks_per_round: 3,
+            interval: Duration::from_millis(100),
+            active_mod: 8,
+            warmup_ticks: WINDOW as u64 + 4,
+        }
+    }
+
+    #[test]
+    fn passes_agree_and_restore_is_identical() {
+        let dir = scratch_dir().join("unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc = run_scale(&small(), 1, 4, &dir).unwrap();
+        assert!(sc.fleets_identical, "same timeline must end in the same state");
+        assert!(sc.restore_identical, "chain restore must match full restore");
+        assert!(sc.restored_from_deltas > 0, "hot streams land in deltas");
+        assert!(sc.delta.bytes_per_save() < sc.full.bytes_per_save());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pause_round_produces_transitions_in_the_chain() {
+        // The digest only proves equality if transitions actually occur.
+        let dir = scratch_dir().join("unit-tr");
+        std::fs::create_dir_all(&dir).unwrap();
+        let w = small();
+        let (_pass, digest) = run_full(&w, 1, 2, &dir.join("f.sfcp")).unwrap();
+        assert!(
+            digest.contains("Transition"),
+            "stream 0's pause must record suspect/trust transitions"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let dir = scratch_dir().join("unit-json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc = run_scale(&small(), 1, 2, &dir).unwrap();
+        let report = CheckpointBenchReport {
+            rounds: 4,
+            ticks_per_round: 3,
+            active_mod: 8,
+            warmup_ticks: WINDOW as u64 + 4,
+            jobs: 1,
+            cores: 1,
+            scales: vec![sc],
+            min_bytes_ratio: 1.0,
+            min_service_ratio: 0.0,
+        };
+        let js = report.to_json();
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+        assert_eq!(js.matches('[').count(), js.matches(']').count());
+        assert!(js.contains("\"bytes_ratio\""));
+        assert!(report.gates_pass(), "tiny thresholds must pass: {}", report.summary());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod ingest;
 pub mod service;
 pub mod timing;

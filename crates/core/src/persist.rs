@@ -17,6 +17,16 @@
 //! field-by-field with finiteness guards, because a checkpoint file is
 //! untrusted input: a bit flip that survives the CRC must never smuggle a
 //! `NaN` into the margin arithmetic.
+//!
+//! Every export is **self-contained**: a [`DetectorState`] depends only
+//! on the detector's state at the moment of export, never on what a
+//! previous export carried. The incremental (v2 delta) checkpoint
+//! format in `sfd-runtime` leans on exactly this property — a delta
+//! frame ships the *whole* record for each changed stream, so merging a
+//! chain is replace-by-stream-id, and restoring `base + deltas` is
+//! indistinguishable from restoring a full snapshot taken at the same
+//! instant. Detector authors adding exported fields must preserve this:
+//! no field may encode "change since the last export".
 
 use crate::detector::DetectorKind;
 use crate::feedback::Sat;

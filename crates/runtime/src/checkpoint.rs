@@ -25,6 +25,21 @@
 //! fsyncs, then renames over the target, so a crash mid-write leaves the
 //! previous checkpoint intact.
 //!
+//! ## Delta frames (v2) and chains
+//!
+//! A version-2 frame is a **delta**: the same magic/len/CRC armour
+//! around a payload that carries only the streams that changed (or were
+//! added/removed) since a *base* snapshot, identified by the pair
+//! `(base_crc, delta_seq)` — the stored CRC of the base file and the
+//! delta's 1-based position in the chain. On disk a chain is the base at
+//! `<path>` plus `<path>.d1`, `<path>.d2`, …; [`load_chain`] applies
+//! deltas in sequence and stops at the first missing, torn, or
+//! mismatched file, so a crash mid-chain always leaves a loadable prefix
+//! (every prefix of a chain is itself a consistent checkpoint).
+//! Version-1 decoding is untouched: a v1 file is a complete chain of
+//! length zero, and v1 readers reject v2 frames with
+//! [`CheckpointError::UnsupportedVersion`] rather than misparsing them.
+//!
 //! ## Clock rebasing
 //!
 //! Monitor instants are offsets from a per-process epoch
@@ -74,6 +89,9 @@ use std::path::{Path, PathBuf};
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SFCP";
 /// Current format version. Decoders reject anything else.
 pub const CHECKPOINT_VERSION: u8 = 1;
+/// Format version of a delta frame (see the module docs). Full-snapshot
+/// decoders reject it; [`decode_frame`] dispatches on it.
+pub const CHECKPOINT_VERSION_DELTA: u8 = 2;
 /// Header (magic + version + payload length) plus trailing CRC.
 pub const CHECKPOINT_OVERHEAD: usize = 4 + 1 + 4 + 4;
 /// Most recent transitions retained per stream when exporting. The
@@ -132,7 +150,11 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::TooSmall => write!(f, "file too small to be a checkpoint"),
             CheckpointError::BadMagic => write!(f, "bad magic (not an SFCP checkpoint)"),
             CheckpointError::UnsupportedVersion(v) => {
-                write!(f, "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION})")
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION} full or \
+                     {CHECKPOINT_VERSION_DELTA} delta)"
+                )
             }
             CheckpointError::LengthMismatch { expected, found } => {
                 write!(f, "length mismatch: header implies {expected} bytes, found {found}")
@@ -181,16 +203,29 @@ pub struct CheckpointConfig {
     /// cold-starts instead of poisoning its estimators. `None` disables
     /// the clamp.
     pub max_age: Option<Duration>,
+    /// Compaction bound on chain length: after this many deltas the next
+    /// cadence save rewrites a full base and clears the chain. `0`
+    /// disables delta saves entirely (every cadence save is a full
+    /// snapshot, the pre-v2 behaviour).
+    pub max_deltas: u64,
+    /// Compaction bound on chain size: when the accumulated delta bytes
+    /// exceed this fraction of the base's size, the next save compacts to
+    /// a full base even if the chain is still short. Past this point
+    /// replaying the chain costs more than rereading a snapshot.
+    pub delta_fraction: f64,
 }
 
 impl CheckpointConfig {
-    /// Checkpoint to `path` with the default cadence (every 5 s) and
-    /// staleness clamp (15 min).
+    /// Checkpoint to `path` with the default cadence (every 5 s),
+    /// staleness clamp (15 min), and compaction policy (≤ 16 deltas,
+    /// ≤ ½ of the base's bytes).
     pub fn new(path: impl Into<PathBuf>) -> Self {
         CheckpointConfig {
             path: path.into(),
             every: Some(Duration::from_secs(5)),
             max_age: Some(Duration::from_secs(900)),
+            max_deltas: 16,
+            delta_fraction: 0.5,
         }
     }
 
@@ -203,6 +238,18 @@ impl CheckpointConfig {
     /// Set the staleness clamp (`None` = accept any age).
     pub fn max_age(mut self, max_age: Option<Duration>) -> Self {
         self.max_age = max_age;
+        self
+    }
+
+    /// Set the chain-length compaction bound (`0` = full saves only).
+    pub fn max_deltas(mut self, max_deltas: u64) -> Self {
+        self.max_deltas = max_deltas;
+        self
+    }
+
+    /// Set the chain-size compaction bound as a fraction of base bytes.
+    pub fn delta_fraction(mut self, delta_fraction: f64) -> Self {
+        self.delta_fraction = delta_fraction;
         self
     }
 }
@@ -289,79 +336,200 @@ impl Checkpoint {
 
     /// Serialise to the framed, CRC-guarded byte format.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_jobs(1)
+    }
+
+    /// [`encode`](Self::encode) with the stream records serialised on up
+    /// to `jobs` worker threads. Chunks are contiguous and concatenated
+    /// in order, so the output is byte-identical to the serial encode.
+    pub fn encode_jobs(&self, jobs: usize) -> Vec<u8> {
         let mut payload = Wr::default();
         payload.i64(self.created_wall_nanos);
         payload.instant(self.created_instant);
         payload.u32(self.streams.len() as u32);
-        for s in &self.streams {
-            encode_stream(&mut payload, s);
-        }
-        let payload = payload.buf;
-
-        let mut out = Vec::with_capacity(payload.len() + CHECKPOINT_OVERHEAD);
-        out.extend_from_slice(&CHECKPOINT_MAGIC);
-        out.push(CHECKPOINT_VERSION);
-        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        out.extend_from_slice(&payload);
-        out.extend_from_slice(&crc32(&payload).to_be_bytes());
-        out
+        let mut payload = payload.buf;
+        payload.append(&mut encode_streams_chunked(&self.streams, jobs));
+        frame(CHECKPOINT_VERSION, payload)
     }
 
     /// Parse and verify a checkpoint file image. Never panics: any
-    /// deviation from the format is a [`CheckpointError`].
+    /// deviation from the format is a [`CheckpointError`]. Rejects delta
+    /// frames ([`CHECKPOINT_VERSION_DELTA`]) — use [`decode_frame`] or
+    /// [`load_chain`] where deltas are expected.
     pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
-        if data.len() < CHECKPOINT_OVERHEAD {
-            return Err(CheckpointError::TooSmall);
-        }
-        if data[..4] != CHECKPOINT_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        if data[4] != CHECKPOINT_VERSION {
-            return Err(CheckpointError::UnsupportedVersion(data[4]));
-        }
-        let declared = u32::from_be_bytes([data[5], data[6], data[7], data[8]]) as usize;
-        let expected = declared
-            .checked_add(CHECKPOINT_OVERHEAD)
-            .ok_or(CheckpointError::Malformed("payload length overflows"))?;
-        if data.len() != expected {
-            return Err(CheckpointError::LengthMismatch { expected, found: data.len() });
-        }
-        let payload = &data[9..9 + declared];
-        let stored = u32::from_be_bytes([
-            data[expected - 4],
-            data[expected - 3],
-            data[expected - 2],
-            data[expected - 1],
-        ]);
-        let computed = crc32(payload);
-        if stored != computed {
-            return Err(CheckpointError::BadCrc { stored, computed });
-        }
-
+        let payload = verify_frame(data, CHECKPOINT_VERSION)?;
         let mut rd = Rd { b: payload };
         let created_wall_nanos = rd.i64()?;
         let created_instant = rd.instant()?;
-        let count = rd.u32()? as usize;
-        // Each stream record is ≥ 40 bytes even when empty; bound the
-        // allocation by what the payload could possibly hold.
-        if count > rd.remaining() / 40 {
-            return Err(CheckpointError::Malformed("stream count exceeds payload"));
-        }
-        let mut streams = Vec::with_capacity(count);
-        let mut prev_stream: Option<u64> = None;
-        for _ in 0..count {
-            let s = decode_stream(&mut rd)?;
-            if prev_stream.is_some_and(|p| s.stream <= p) {
-                return Err(CheckpointError::Malformed("stream ids not strictly increasing"));
-            }
-            prev_stream = Some(s.stream);
-            streams.push(s);
-        }
+        let streams = decode_streams(&mut rd)?;
         if rd.remaining() != 0 {
             return Err(CheckpointError::Malformed("trailing payload bytes"));
         }
         Ok(Checkpoint { created_wall_nanos, created_instant, streams })
     }
+
+    /// Merge a delta into this (base or partially-merged) snapshot:
+    /// `removed` ids disappear, `changed` records replace or insert by
+    /// stream id, and the creation stamps advance to the delta's. Both
+    /// sides are sorted by stream id, so the merge is a single linear
+    /// pass and the result stays sorted.
+    pub fn apply_delta(&mut self, delta: &DeltaCheckpoint) {
+        self.created_wall_nanos = delta.created_wall_nanos;
+        self.created_instant = delta.created_instant;
+        let old = std::mem::take(&mut self.streams);
+        let mut merged = Vec::with_capacity(old.len() + delta.changed.len());
+        let mut ci = 0;
+        for s in old {
+            while ci < delta.changed.len() && delta.changed[ci].stream < s.stream {
+                merged.push(delta.changed[ci].clone());
+                ci += 1;
+            }
+            if ci < delta.changed.len() && delta.changed[ci].stream == s.stream {
+                merged.push(delta.changed[ci].clone());
+                ci += 1;
+            } else if delta.removed.binary_search(&s.stream).is_err() {
+                merged.push(s);
+            }
+        }
+        merged.extend(delta.changed[ci..].iter().cloned());
+        self.streams = merged;
+    }
+}
+
+/// An incremental (version-2) checkpoint frame: the streams that changed
+/// since a base snapshot, chained to it by `(base_crc, delta_seq)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaCheckpoint {
+    /// Stored CRC of the base frame this delta extends (the last four
+    /// bytes of the base file). A delta whose `base_crc` does not match
+    /// the base actually on disk is from a different incarnation and the
+    /// chain is truncated there.
+    pub base_crc: u32,
+    /// 1-based position in the chain; delta `n` lives at `<path>.dn`.
+    pub delta_seq: u64,
+    /// Wall-clock time (UNIX nanoseconds) when this delta was taken.
+    pub created_wall_nanos: i64,
+    /// Monitor-clock instant paired with `created_wall_nanos`; after the
+    /// merge this becomes the chain's replay cursor.
+    pub created_instant: Instant,
+    /// Streams deregistered since the previous link, sorted ascending.
+    /// Disjoint from `changed` by construction (enforced at decode).
+    pub removed: Vec<u64>,
+    /// Changed or newly-registered streams, sorted by stream id.
+    pub changed: Vec<StreamCheckpoint>,
+}
+
+impl DeltaCheckpoint {
+    /// Age of this delta at wall-clock time `wall_nanos`.
+    pub fn age_at(&self, wall_nanos: i64) -> Duration {
+        Duration::from_nanos(wall_nanos.saturating_sub(self.created_wall_nanos)).max_zero()
+    }
+
+    /// Serialise to a framed, CRC-guarded v2 byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_jobs(1)
+    }
+
+    /// [`encode`](Self::encode) with changed-stream records serialised on
+    /// up to `jobs` worker threads (byte-identical to the serial encode).
+    pub fn encode_jobs(&self, jobs: usize) -> Vec<u8> {
+        let mut payload = Wr::default();
+        payload.u32(self.base_crc);
+        payload.u64(self.delta_seq);
+        payload.i64(self.created_wall_nanos);
+        payload.instant(self.created_instant);
+        payload.u32(self.removed.len() as u32);
+        for &id in &self.removed {
+            payload.u64(id);
+        }
+        payload.u32(self.changed.len() as u32);
+        let mut payload = payload.buf;
+        payload.append(&mut encode_streams_chunked(&self.changed, jobs));
+        frame(CHECKPOINT_VERSION_DELTA, payload)
+    }
+
+    /// Parse and verify a delta frame. Panic-free with the same header,
+    /// CRC, and semantic checks as the v1 decoder.
+    pub fn decode(data: &[u8]) -> Result<DeltaCheckpoint, CheckpointError> {
+        let payload = verify_frame(data, CHECKPOINT_VERSION_DELTA)?;
+        let mut rd = Rd { b: payload };
+        let base_crc = rd.u32()?;
+        let delta_seq = rd.u64()?;
+        if delta_seq == 0 {
+            return Err(CheckpointError::Malformed("delta_seq must be positive"));
+        }
+        let created_wall_nanos = rd.i64()?;
+        let created_instant = rd.instant()?;
+        let n = rd.count(8)?;
+        let mut removed = Vec::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let id = rd.u64()?;
+            if prev.is_some_and(|p| id <= p) {
+                return Err(CheckpointError::Malformed("removed ids not strictly increasing"));
+            }
+            prev = Some(id);
+            removed.push(id);
+        }
+        let changed = decode_streams(&mut rd)?;
+        if rd.remaining() != 0 {
+            return Err(CheckpointError::Malformed("trailing payload bytes"));
+        }
+        // A stream cannot be both removed and (re)written in one delta;
+        // both lists are sorted so disjointness is one linear pass.
+        let mut ri = 0;
+        for s in &changed {
+            while ri < removed.len() && removed[ri] < s.stream {
+                ri += 1;
+            }
+            if ri < removed.len() && removed[ri] == s.stream {
+                return Err(CheckpointError::Malformed("stream both removed and changed"));
+            }
+        }
+        Ok(DeltaCheckpoint {
+            base_crc,
+            delta_seq,
+            created_wall_nanos,
+            created_instant,
+            removed,
+            changed,
+        })
+    }
+}
+
+/// A decoded SFCP frame of either version.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A complete v1 snapshot.
+    Full(Checkpoint),
+    /// A v2 delta chained to a base snapshot.
+    Delta(DeltaCheckpoint),
+}
+
+/// Decode either frame version, dispatching on the version byte. Headers
+/// and CRC are verified either way; unknown versions are rejected.
+pub fn decode_frame(data: &[u8]) -> Result<Frame, CheckpointError> {
+    if data.len() < CHECKPOINT_OVERHEAD {
+        return Err(CheckpointError::TooSmall);
+    }
+    if data[..4] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    match data[4] {
+        CHECKPOINT_VERSION => Ok(Frame::Full(Checkpoint::decode(data)?)),
+        CHECKPOINT_VERSION_DELTA => Ok(Frame::Delta(DeltaCheckpoint::decode(data)?)),
+        v => Err(CheckpointError::UnsupportedVersion(v)),
+    }
+}
+
+/// The stored CRC of an encoded frame (its last four bytes), used to
+/// chain deltas to their base. `None` if the image is too short to be a
+/// frame at all.
+pub fn frame_crc(data: &[u8]) -> Option<u32> {
+    (data.len() >= CHECKPOINT_OVERHEAD).then(|| {
+        let n = data.len();
+        u32::from_be_bytes([data[n - 4], data[n - 3], data[n - 2], data[n - 1]])
+    })
 }
 
 /// Current wall-clock time as UNIX nanoseconds (saturating).
@@ -378,20 +546,46 @@ pub fn snapshot(clock: &WallClock, streams: Vec<StreamCheckpoint>) -> Checkpoint
     Checkpoint { created_wall_nanos: wall_now_nanos(), created_instant: clock.now(), streams }
 }
 
-/// Atomically persist `cp` to `path`: encode, write `<path>.tmp`, fsync,
-/// rename. Returns the encoded size in bytes.
-pub fn save_atomic(path: &Path, cp: &Checkpoint) -> std::io::Result<u64> {
-    let bytes = cp.encode();
+/// Atomically persist an encoded frame image to `path`: write
+/// `<path>.tmp`, fsync, rename. Returns the size in bytes.
+pub fn save_atomic_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<u64> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
     Ok(bytes.len() as u64)
+}
+
+/// Atomically persist `cp` to `path`: encode, write `<path>.tmp`, fsync,
+/// rename. Returns the encoded size in bytes.
+pub fn save_atomic(path: &Path, cp: &Checkpoint) -> std::io::Result<u64> {
+    save_atomic_bytes(path, &cp.encode())
+}
+
+/// Where delta `seq` of the chain rooted at `path` lives: `<path>.d<seq>`.
+pub fn delta_path(path: &Path, seq: u64) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(format!(".d{seq}"));
+    PathBuf::from(p)
+}
+
+/// Delete the delta chain rooted at `path` (called after a compacting
+/// full save — the new base supersedes every delta). Walks `.d1`, `.d2`,
+/// … until the first missing file; returns how many were removed.
+pub fn clear_deltas(path: &Path) -> u64 {
+    let mut cleared = 0u64;
+    for seq in 1u64.. {
+        if std::fs::remove_file(delta_path(path, seq)).is_err() {
+            break;
+        }
+        cleared += 1;
+    }
+    cleared
 }
 
 /// Load and verify the checkpoint at `path`.
@@ -416,6 +610,181 @@ pub fn load_fresh(
         }
     }
     Ok(cp)
+}
+
+/// What [`load_chain`] found while walking a delta chain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChainLoad {
+    /// Streams carried by the base snapshot.
+    pub base_streams: usize,
+    /// Stored CRC of the base frame (what each delta must chain to).
+    pub base_crc: u32,
+    /// Encoded size of the base frame.
+    pub base_bytes: u64,
+    /// Deltas successfully verified and merged.
+    pub deltas_applied: u64,
+    /// Total encoded size of the applied deltas.
+    pub delta_bytes: u64,
+    /// Streams in the merged view whose newest record came from a delta
+    /// (changed or added after the base was written).
+    pub from_deltas: usize,
+    /// Tombstones applied across the chain (stream removals).
+    pub removed_by_deltas: usize,
+    /// True if the walk stopped at a torn, corrupt, or mismatched delta
+    /// (the merged prefix is still a consistent checkpoint).
+    pub truncated: bool,
+}
+
+/// Load the full chain rooted at `path`: verify the base, then apply
+/// `.d1`, `.d2`, … in order, stopping at the first missing delta (the
+/// normal end of the chain) or the first torn/corrupt/mismatched one
+/// (`truncated` — the prefix already merged is still consistent, exactly
+/// as if the crash had happened one save earlier). The staleness clamp
+/// applies to the *merged* checkpoint's creation time, i.e. the newest
+/// applied link.
+pub fn load_chain(
+    path: &Path,
+    max_age: Option<Duration>,
+    now_wall_nanos: i64,
+) -> Result<(Checkpoint, ChainLoad), CheckpointError> {
+    let data = std::fs::read(path)?;
+    let mut cp = Checkpoint::decode(&data)?;
+    let mut info = ChainLoad {
+        base_streams: cp.streams.len(),
+        base_crc: frame_crc(&data).unwrap_or(0),
+        base_bytes: data.len() as u64,
+        ..ChainLoad::default()
+    };
+    let mut from_deltas: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for seq in 1u64.. {
+        let Ok(bytes) = std::fs::read(delta_path(path, seq)) else {
+            break;
+        };
+        let delta = match DeltaCheckpoint::decode(&bytes) {
+            Ok(d) if d.base_crc == info.base_crc && d.delta_seq == seq => d,
+            _ => {
+                info.truncated = true;
+                break;
+            }
+        };
+        for id in &delta.removed {
+            from_deltas.remove(id);
+        }
+        for s in &delta.changed {
+            from_deltas.insert(s.stream);
+        }
+        info.removed_by_deltas += delta.removed.len();
+        info.delta_bytes += bytes.len() as u64;
+        info.deltas_applied += 1;
+        cp.apply_delta(&delta);
+    }
+    info.from_deltas = from_deltas.len();
+    if let Some(max_age) = max_age {
+        let age = cp.age_at(now_wall_nanos);
+        if age > max_age {
+            return Err(CheckpointError::Stale { age, max_age });
+        }
+    }
+    Ok((cp, info))
+}
+
+// ---------------------------------------------------------------------------
+// Frame armour shared by both versions: magic | version | len | payload |
+// crc32, with the verification mirror of the builder.
+
+/// Wrap a payload in the SFCP frame for `version`.
+fn frame(version: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + CHECKPOINT_OVERHEAD);
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.push(version);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_be_bytes());
+    out
+}
+
+/// Verify the frame structure (magic, exact version, declared length,
+/// payload CRC) and return the payload slice.
+fn verify_frame(data: &[u8], version: u8) -> Result<&[u8], CheckpointError> {
+    if data.len() < CHECKPOINT_OVERHEAD {
+        return Err(CheckpointError::TooSmall);
+    }
+    if data[..4] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if data[4] != version {
+        return Err(CheckpointError::UnsupportedVersion(data[4]));
+    }
+    let declared = u32::from_be_bytes([data[5], data[6], data[7], data[8]]) as usize;
+    let expected = declared
+        .checked_add(CHECKPOINT_OVERHEAD)
+        .ok_or(CheckpointError::Malformed("payload length overflows"))?;
+    if data.len() != expected {
+        return Err(CheckpointError::LengthMismatch { expected, found: data.len() });
+    }
+    let payload = &data[9..9 + declared];
+    let stored = u32::from_be_bytes([
+        data[expected - 4],
+        data[expected - 3],
+        data[expected - 2],
+        data[expected - 1],
+    ]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CheckpointError::BadCrc { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Serialise a sorted run of stream records, fanning contiguous chunks
+/// out to up to `jobs` workers. Chunks concatenate in input order, so
+/// the bytes are identical to a serial encode regardless of `jobs`.
+fn encode_streams_chunked(streams: &[StreamCheckpoint], jobs: usize) -> Vec<u8> {
+    let jobs = sfd_core::par::effective_jobs(jobs).min(streams.len().max(1));
+    if jobs <= 1 || streams.len() < 64 {
+        let mut w = Wr::default();
+        for s in streams {
+            encode_stream(&mut w, s);
+        }
+        return w.buf;
+    }
+    let chunk = streams.len().div_ceil(jobs);
+    let chunks: Vec<&[StreamCheckpoint]> = streams.chunks(chunk).collect();
+    let parts = sfd_core::par::par_map(&chunks, jobs, |c, _| {
+        let mut w = Wr::default();
+        for s in *c {
+            encode_stream(&mut w, s);
+        }
+        w.buf
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in &parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Decode a count-prefixed run of stream records with strictly
+/// increasing ids (shared by the v1 stream table and a delta's `changed`
+/// list).
+fn decode_streams(rd: &mut Rd<'_>) -> Result<Vec<StreamCheckpoint>, CheckpointError> {
+    let count = rd.u32()? as usize;
+    // Each stream record is ≥ 40 bytes even when empty; bound the
+    // allocation by what the payload could possibly hold.
+    if count > rd.remaining() / 40 {
+        return Err(CheckpointError::Malformed("stream count exceeds payload"));
+    }
+    let mut streams = Vec::with_capacity(count);
+    let mut prev_stream: Option<u64> = None;
+    for _ in 0..count {
+        let s = decode_stream(rd)?;
+        if prev_stream.is_some_and(|p| s.stream <= p) {
+            return Err(CheckpointError::Malformed("stream ids not strictly increasing"));
+        }
+        prev_stream = Some(s.stream);
+        streams.push(s);
+    }
+    Ok(streams)
 }
 
 // ---------------------------------------------------------------------------
@@ -1108,6 +1477,195 @@ mod tests {
         let shift = cp.restore_shift(now, now_wall);
         // created_instant (6100 ms) maps to (now − age) = 50ms − 3000ms.
         assert_eq!(cp.created_instant.saturating_add(shift), now - Duration::from_secs(3));
+    }
+
+    fn sample_delta() -> DeltaCheckpoint {
+        let base = sample_checkpoint();
+        let mut changed: Vec<StreamCheckpoint> = base.streams[1..3].to_vec();
+        for c in &mut changed {
+            c.heartbeats += 7;
+            c.suspect = !c.suspect;
+        }
+        let mut added = base.streams[0].clone();
+        added.stream = 999;
+        changed.push(added);
+        DeltaCheckpoint {
+            base_crc: frame_crc(&base.encode()).unwrap(),
+            delta_seq: 1,
+            created_wall_nanos: base.created_wall_nanos + 5_000_000_000,
+            created_instant: inst(11_100),
+            removed: vec![base.streams[0].stream],
+            changed,
+        }
+    }
+
+    #[test]
+    fn delta_encode_decode_round_trip() {
+        let d = sample_delta();
+        let bytes = d.encode();
+        assert_eq!(bytes[4], CHECKPOINT_VERSION_DELTA);
+        assert_eq!(DeltaCheckpoint::decode(&bytes).unwrap(), d);
+        match decode_frame(&bytes).unwrap() {
+            Frame::Delta(back) => assert_eq!(back, d),
+            other => panic!("expected delta frame, got {other:?}"),
+        }
+        // The v1 decoder must keep rejecting v2 frames outright.
+        assert!(matches!(Checkpoint::decode(&bytes), Err(CheckpointError::UnsupportedVersion(2))));
+        // And the frame decoder round-trips fulls too.
+        let full = sample_checkpoint();
+        match decode_frame(&full.encode()).unwrap() {
+            Frame::Full(back) => assert_eq!(back, full),
+            other => panic!("expected full frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_bit_flips_and_truncations_are_rejected() {
+        let bytes = sample_delta().encode();
+        let mut positions: Vec<usize> = (0..13).collect();
+        positions.extend((13..bytes.len()).step_by(97));
+        positions.extend(bytes.len() - 4..bytes.len());
+        for pos in positions {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[pos] ^= 1 << bit;
+                assert!(
+                    DeltaCheckpoint::decode(&evil).is_err() && decode_frame(&evil).is_err(),
+                    "delta flip at byte {pos} bit {bit} was accepted"
+                );
+            }
+        }
+        for len in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..len]).is_err(), "delta truncation to {len} accepted");
+        }
+    }
+
+    #[test]
+    fn delta_semantic_corruption_is_rejected() {
+        // removed ∩ changed must be empty.
+        let mut d = sample_delta();
+        d.removed = vec![d.changed[0].stream];
+        assert!(matches!(
+            DeltaCheckpoint::decode(&d.encode()),
+            Err(CheckpointError::Malformed("stream both removed and changed"))
+        ));
+        // removed must be strictly increasing.
+        let mut d = sample_delta();
+        d.removed = vec![9, 9];
+        assert!(matches!(
+            DeltaCheckpoint::decode(&d.encode()),
+            Err(CheckpointError::Malformed("removed ids not strictly increasing"))
+        ));
+        // delta_seq 0 is reserved (the base is link 0).
+        let mut d = sample_delta();
+        d.delta_seq = 0;
+        assert!(DeltaCheckpoint::decode(&d.encode()).is_err());
+    }
+
+    #[test]
+    fn apply_delta_merges_remove_replace_insert() {
+        let mut cp = sample_checkpoint();
+        let orig = cp.clone();
+        let d = sample_delta();
+        cp.apply_delta(&d);
+        assert_eq!(cp.created_wall_nanos, d.created_wall_nanos);
+        assert_eq!(cp.created_instant, d.created_instant);
+        assert_eq!(cp.cursor(), d.created_instant);
+        // Removed id gone, replaced ids updated, new id appended in order.
+        let ids: Vec<u64> = cp.streams.iter().map(|s| s.stream).collect();
+        assert!(!ids.contains(&orig.streams[0].stream));
+        assert!(ids.contains(&999));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "merge must stay sorted");
+        let replaced = cp.streams.iter().find(|s| s.stream == orig.streams[1].stream).unwrap();
+        assert_eq!(replaced.heartbeats, orig.streams[1].heartbeats + 7);
+        // Untouched streams survive byte-for-byte.
+        let kept = cp.streams.iter().find(|s| s.stream == orig.streams[3].stream).unwrap();
+        assert_eq!(kept, &orig.streams[3]);
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        // Pad the stream table past the serial-fallback threshold.
+        let mut cp = sample_checkpoint();
+        let template = cp.streams[0].clone();
+        for i in 0..200u64 {
+            let mut s = template.clone();
+            s.stream = 1000 + i;
+            s.heartbeats = i;
+            cp.streams.push(s);
+        }
+        for jobs in [1, 2, 3, 8] {
+            assert_eq!(cp.encode_jobs(jobs), cp.encode(), "full encode diverged at jobs={jobs}");
+        }
+        let mut d = sample_delta();
+        d.changed = cp.streams[2..].to_vec();
+        for jobs in [1, 2, 3, 8] {
+            assert_eq!(d.encode_jobs(jobs), d.encode(), "delta encode diverged at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn load_chain_merges_truncates_and_clears() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sfd-chain-test-{}.sfcp", std::process::id()));
+        let base = sample_checkpoint();
+        save_atomic(&path, &base).unwrap();
+        let d1 = sample_delta();
+        save_atomic_bytes(&delta_path(&path, 1), &d1.encode()).unwrap();
+        let mut d2 = DeltaCheckpoint {
+            delta_seq: 2,
+            created_wall_nanos: d1.created_wall_nanos + 1_000_000_000,
+            created_instant: inst(12_000),
+            removed: vec![999],
+            changed: vec![],
+            ..d1.clone()
+        };
+        let mut tweaked = base.streams[3].clone();
+        tweaked.heartbeats = 123;
+        d2.changed = vec![tweaked];
+        save_atomic_bytes(&delta_path(&path, 2), &d2.encode()).unwrap();
+
+        let (merged, info) = load_chain(&path, None, 0).unwrap();
+        let mut expect = base.clone();
+        expect.apply_delta(&d1);
+        expect.apply_delta(&d2);
+        assert_eq!(merged, expect);
+        assert_eq!(info.deltas_applied, 2);
+        assert!(!info.truncated);
+        assert_eq!(info.base_streams, base.streams.len());
+        // 999 was added by d1 then removed by d2; stream[1..3] changed in
+        // d1 and stream[3] in d2 → 3 live streams newest-from-delta.
+        assert_eq!(info.from_deltas, 3);
+        assert_eq!(info.removed_by_deltas, 2);
+
+        // Staleness clamps on the *newest* link's stamp.
+        let now = d2.created_wall_nanos + 2_000_000_000;
+        assert!(load_chain(&path, Some(Duration::from_secs(3)), now).is_ok());
+        assert!(matches!(
+            load_chain(&path, Some(Duration::from_secs(1)), now),
+            Err(CheckpointError::Stale { .. })
+        ));
+
+        // A torn third delta truncates the chain but keeps the prefix.
+        std::fs::write(delta_path(&path, 3), &d2.encode()[..20]).unwrap();
+        let (merged2, info2) = load_chain(&path, None, 0).unwrap();
+        assert_eq!(merged2, expect);
+        assert!(info2.truncated);
+        assert_eq!(info2.deltas_applied, 2);
+
+        // A wrong base_crc (delta from an older incarnation) truncates too.
+        let mut stale_link = d1.clone();
+        stale_link.base_crc ^= 0xDEAD_BEEF;
+        save_atomic_bytes(&delta_path(&path, 1), &stale_link.encode()).unwrap();
+        let (merged3, info3) = load_chain(&path, None, 0).unwrap();
+        assert_eq!(merged3, base);
+        assert!(info3.truncated);
+        assert_eq!(info3.deltas_applied, 0);
+
+        // Compaction clears the whole contiguous chain, torn tail included.
+        assert_eq!(clear_deltas(&path), 3);
+        assert!(!delta_path(&path, 1).exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

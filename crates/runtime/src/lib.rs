@@ -60,13 +60,14 @@ pub use capture::{
 };
 pub use chaos::{ChaosConfig, ChaosControl, ChaosSink, ChaosSource, ChaosStats, ReorderConfig};
 pub use checkpoint::{
-    Checkpoint, CheckpointConfig, CheckpointError, StreamCheckpoint, CHECKPOINT_VERSION,
+    ChainLoad, Checkpoint, CheckpointConfig, CheckpointError, DeltaCheckpoint, Frame,
+    StreamCheckpoint, CHECKPOINT_VERSION, CHECKPOINT_VERSION_DELTA,
 };
 pub use clock::{VirtualClock, WallClock};
 pub use monitor::{DynMonitorService, MonitorConfig, MonitorService, StatusSnapshot};
 pub use multi::{
-    stream_shard, CheckpointStats, ExpiryPolicy, IngestOutcome, MultiMonitorService, ShardCore,
-    MAX_SEQ_JUMP, SERVICE_BATCH_CAP, STALE_STREAK_REBASELINE,
+    stream_shard, CheckpointStats, DirtyExport, ExpiryPolicy, IngestOutcome, MultiMonitorService,
+    ShardCore, MAX_SEQ_JUMP, SERVICE_BATCH_CAP, STALE_STREAK_REBASELINE,
 };
 pub use probe::{EchoResponder, RttProbe, RttReport};
 pub use sender::{HeartbeatSender, SenderConfig};

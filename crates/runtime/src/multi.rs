@@ -32,7 +32,9 @@
 //! wraps a shard array with a transport-draining service thread. Both
 //! implement the crate-wide [`Monitor`] trait.
 
-use crate::checkpoint::{self, CheckpointConfig, CheckpointError, StreamCheckpoint};
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointError, DeltaCheckpoint, StreamCheckpoint,
+};
 use crate::clock::WallClock;
 use crate::monitor::MonitorConfig;
 use crate::transport::HeartbeatSource;
@@ -185,6 +187,11 @@ struct StreamState {
     /// QoS measured over the most recent feedback epoch (exported as the
     /// `sfd_qos_*` gauges next to the detector's `sfd_qos_target_*`).
     last_qos: Option<QosMeasured>,
+    /// Export epoch this stream was last marked dirty in. When it lags
+    /// the shard's [`ShardCore::epoch`] the stream has not been touched
+    /// since the last checkpoint export; marking compares-and-sets it so
+    /// each stream enters the dirty list at most once per epoch.
+    dirty_epoch: u64,
 }
 
 impl StreamState {
@@ -202,6 +209,7 @@ impl StreamState {
             log: SuspicionLog::new(),
             health: StreamHealth::default(),
             last_qos: None,
+            dirty_epoch: 0,
         }
     }
 
@@ -235,6 +243,25 @@ struct IngestCounters {
     duplicate: u64,
     seq_jump: u64,
     unknown: u64,
+}
+
+/// One shard's incremental checkpoint export: everything that changed
+/// since the previous export, in delta-frame shape (see
+/// [`ShardCore::export_dirty`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirtyExport {
+    /// Streams touched since the last export, sorted by id.
+    pub changed: Vec<StreamCheckpoint>,
+    /// Streams deregistered since the last export, sorted, disjoint from
+    /// `changed`.
+    pub removed: Vec<u64>,
+}
+
+impl DirtyExport {
+    /// Nothing changed since the last export?
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty() && self.removed.is_empty()
+    }
 }
 
 /// Extend a label set with one more pair, returning the owned storage and
@@ -285,6 +312,18 @@ pub struct ShardCore {
     ingest: IngestCounters,
     /// Whole-shard epoch feedback rounds applied so far.
     feedback_rounds: u64,
+    /// Checkpoint-export epoch, starting at 1 and bumped by every export
+    /// ([`export_dirty`](Self::export_dirty) /
+    /// [`export_streams_full`](Self::export_streams_full)). Per-stream
+    /// `dirty_epoch` stamps lag it until the stream is next touched.
+    epoch: u64,
+    /// Slots touched since the last export, in touch order. Deduped at
+    /// export time: slot recycling within one epoch can enqueue the same
+    /// index under two different streams.
+    dirty: Vec<StreamSlot>,
+    /// Stream ids deregistered since the last export — tombstones for the
+    /// next delta frame. A re-registration withdraws the tombstone.
+    removed: Vec<u64>,
 }
 
 impl ShardCore {
@@ -302,6 +341,9 @@ impl ShardCore {
             clock_clamps: 0,
             ingest: IngestCounters::default(),
             feedback_rounds: 0,
+            epoch: 1,
+            dirty: Vec::new(),
+            removed: Vec::new(),
         }
     }
 
@@ -401,6 +443,12 @@ impl ShardCore {
         let Some(st) = self.slots[slot.index()].as_mut() else {
             return IngestOutcome::UnknownStream;
         };
+        // Every non-unknown outcome mutates exported state (detector,
+        // cursors, or health counters), so the stream is dirty from here.
+        if st.dirty_epoch != self.epoch {
+            st.dirty_epoch = self.epoch;
+            self.dirty.push(slot);
+        }
         let mut outcome = IngestOutcome::Accepted;
         match st.last_seq {
             Some(last) if seq <= last => {
@@ -453,27 +501,39 @@ impl ShardCore {
             ExpiryPolicy::Scan => {
                 // Dense arena walk over the cached `τ`s: sequential,
                 // prefetch-friendly, no detector call per stream.
+                let epoch = self.epoch;
                 let mut newly = 0;
-                for st in self.slots.iter_mut().flatten() {
+                for (idx, entry) in self.slots.iter_mut().enumerate() {
+                    let Some(st) = entry.as_mut() else { continue };
                     let s = st.is_suspect_at(now);
                     if s != st.suspect {
                         st.suspect = s;
                         st.log.record(now, s);
                         newly += usize::from(s);
+                        if st.dirty_epoch != epoch {
+                            st.dirty_epoch = epoch;
+                            self.dirty.push(StreamSlot(idx as u32));
+                        }
                     }
                 }
                 newly
             }
             ExpiryPolicy::Wheel => {
                 let fired = self.wheel.advance(now);
+                let epoch = self.epoch;
                 let mut newly = 0;
                 for stream in fired {
                     // A fired timer is exactly `τ < now`, i.e. is_suspect.
-                    if let Some(st) = self.state_mut(stream) {
+                    let Some(&slot) = self.index.get(&stream) else { continue };
+                    if let Some(st) = self.slots[slot.index()].as_mut() {
                         if !st.suspect {
                             st.suspect = true;
                             st.log.record(now, true);
                             newly += 1;
+                            if st.dirty_epoch != epoch {
+                                st.dirty_epoch = epoch;
+                                self.dirty.push(slot);
+                            }
                         }
                     }
                 }
@@ -486,15 +546,30 @@ impl ShardCore {
     /// to every self-tuning detector, then roll the transition logs over.
     pub fn apply_epoch_feedback(&mut self, start: Instant, now: Instant) {
         self.feedback_rounds += 1;
+        let epoch = self.epoch;
         let mut resync = Vec::new();
-        for st in self.slots.iter_mut().flatten() {
+        for (idx, entry) in self.slots.iter_mut().enumerate() {
+            let Some(st) = entry.as_mut() else { continue };
+            let mut touched = false;
             if let Some(tuner) = st.detector.self_tuning() {
                 let measured = st.log.accuracy_summary(start, now);
                 let _ = tuner.apply_feedback(&measured);
                 st.last_qos = Some(measured);
                 resync.push(st.stream);
+                touched = true;
             }
+            // Rolling the log over mutates the exported transition list
+            // (entries drop, a synthetic suspect edge may be inserted);
+            // detect the change cheaply — the truncation only removes a
+            // prefix and may replace the head.
+            let before = (st.log.transitions().len(), st.log.transitions().first().copied());
             st.log.truncate_before(now);
+            touched |=
+                before != (st.log.transitions().len(), st.log.transitions().first().copied());
+            if touched && st.dirty_epoch != epoch {
+                st.dirty_epoch = epoch;
+                self.dirty.push(StreamSlot(idx as u32));
+            }
         }
         // Feedback moves the margin, which moves τ without a heartbeat:
         // re-derive the binary output and re-arm the timers it stales.
@@ -514,8 +589,24 @@ impl ShardCore {
         };
         let _ = tuner.apply_feedback(measured);
         st.last_qos = Some(*measured);
+        self.mark_dirty(stream);
         self.resync(stream, now);
         true
+    }
+
+    /// Enter `stream` into the dirty list for the current export epoch
+    /// (idempotent within an epoch). For the hot paths the marking is
+    /// inlined at the mutation site; this helper serves the cold ones.
+    fn mark_dirty(&mut self, stream: u64) {
+        let Some(&slot) = self.index.get(&stream) else {
+            return;
+        };
+        if let Some(st) = self.slots[slot.index()].as_mut() {
+            if st.dirty_epoch != self.epoch {
+                st.dirty_epoch = self.epoch;
+                self.dirty.push(slot);
+            }
+        }
     }
 
     /// After anything other than a heartbeat mutates a detector, re-derive
@@ -532,6 +623,10 @@ impl ShardCore {
         if s != st.suspect {
             st.suspect = s;
             st.log.record(now, s);
+            if st.dirty_epoch != self.epoch {
+                st.dirty_epoch = self.epoch;
+                self.dirty.push(slot);
+            }
         }
         if self.policy == ExpiryPolicy::Wheel {
             match (s, st.freshness) {
@@ -550,34 +645,88 @@ impl ShardCore {
         self.state(stream).map(|st| st.log.transitions())
     }
 
+    /// One stream's persistent state, or `None` if its detector cannot
+    /// export (none of the built-in kinds).
+    fn export_one(st: &StreamState) -> Option<StreamCheckpoint> {
+        let detector = st.detector.export_state()?;
+        let transitions = st.log.transitions();
+        let tail = transitions.len().saturating_sub(checkpoint::MAX_STREAM_TRANSITIONS);
+        Some(StreamCheckpoint {
+            stream: st.stream,
+            spec: st.spec.clone(),
+            detector,
+            heartbeats: st.heartbeats,
+            last_heartbeat: st.last_heartbeat,
+            last_seq: st.last_seq,
+            stale_streak: st.stale_streak,
+            suspect: st.suspect,
+            health: st.health,
+            transitions: transitions[tail..].to_vec(),
+            last_qos: st.last_qos,
+        })
+    }
+
     /// Export every stream's persistent state, sorted by stream id, for a
     /// [`Checkpoint`](crate::checkpoint::Checkpoint). Streams whose
     /// detector cannot export state (none of the built-in kinds) are
-    /// skipped rather than half-written.
+    /// skipped rather than half-written. Read-only: does not advance the
+    /// export epoch (diagnostic/CLI surface — the service's save paths
+    /// use [`export_streams_full`](Self::export_streams_full) and
+    /// [`export_dirty`](Self::export_dirty)).
     pub fn export_streams(&self) -> Vec<StreamCheckpoint> {
-        let mut out: Vec<StreamCheckpoint> = self
-            .live()
-            .filter_map(|st| {
-                let detector = st.detector.export_state()?;
-                let transitions = st.log.transitions();
-                let tail = transitions.len().saturating_sub(checkpoint::MAX_STREAM_TRANSITIONS);
-                Some(StreamCheckpoint {
-                    stream: st.stream,
-                    spec: st.spec.clone(),
-                    detector,
-                    heartbeats: st.heartbeats,
-                    last_heartbeat: st.last_heartbeat,
-                    last_seq: st.last_seq,
-                    stale_streak: st.stale_streak,
-                    suspect: st.suspect,
-                    health: st.health,
-                    transitions: transitions[tail..].to_vec(),
-                    last_qos: st.last_qos,
-                })
-            })
-            .collect();
+        let mut out: Vec<StreamCheckpoint> = self.live().filter_map(Self::export_one).collect();
         out.sort_unstable_by_key(|s| s.stream);
         out
+    }
+
+    /// Full export for a base snapshot: same records as
+    /// [`export_streams`](Self::export_streams), but also resets the
+    /// dirty tracking — the list drains, tombstones clear, and the epoch
+    /// advances, so the next [`export_dirty`](Self::export_dirty) is
+    /// relative to this snapshot.
+    pub fn export_streams_full(&mut self) -> Vec<StreamCheckpoint> {
+        self.dirty.clear();
+        self.removed.clear();
+        self.epoch += 1;
+        self.export_streams()
+    }
+
+    /// Incremental export: the streams touched since the previous export
+    /// (sorted by id) plus the tombstones of streams deregistered in the
+    /// same window, as a [`DirtyExport`] ready to become a delta frame's
+    /// payload. Drains the dirty list and advances the epoch — calling it
+    /// twice in a row yields an empty second export. O(dirty), never
+    /// O(streams): this is what keeps the cadence save off the shard's
+    /// hot path at scale.
+    pub fn export_dirty(&mut self) -> DirtyExport {
+        let mut slots = std::mem::take(&mut self.dirty);
+        // Slot recycling can enqueue the same index twice in one epoch
+        // (deregister + register); the arena holds one state per slot, so
+        // after dedup each surviving slot exports exactly once.
+        slots.sort_unstable_by_key(|s| s.index());
+        slots.dedup();
+        let mut changed: Vec<StreamCheckpoint> = slots
+            .iter()
+            .filter_map(|&slot| {
+                let st = self.slots.get(slot.index())?.as_ref()?;
+                Self::export_one(st)
+            })
+            .collect();
+        changed.sort_unstable_by_key(|s| s.stream);
+        let mut removed = std::mem::take(&mut self.removed);
+        removed.sort_unstable();
+        removed.dedup();
+        // A stream deregistered and re-registered in the same window is
+        // alive again: the changed record wins and the tombstone is
+        // dropped (the delta codec requires the lists to be disjoint).
+        removed.retain(|id| changed.binary_search_by_key(id, |s| s.stream).is_err());
+        self.epoch += 1;
+        DirtyExport { changed, removed }
+    }
+
+    /// Streams currently marked dirty (touched since the last export).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Rehydrate one stream from a (already clock-rebased) checkpoint
@@ -627,7 +776,9 @@ impl ShardCore {
             log,
             health: cp.health,
             last_qos: cp.last_qos,
+            dirty_epoch: 0,
         });
+        self.mark_dirty(cp.stream);
         self.wheel.cancel(cp.stream);
         // Re-derive the binary output at `now` (the stream may have gone
         // stale during the downtime) and arm the timer from the restored τ.
@@ -760,7 +911,16 @@ impl ShardCore {
 impl Monitor for ShardCore {
     fn register(&mut self, stream: u64, spec: &DetectorSpec) -> CoreResult<()> {
         let detector = spec.build_inline()?;
-        self.place(StreamState::fresh(stream, spec.clone(), detector));
+        let slot = self.place(StreamState::fresh(stream, spec.clone(), detector));
+        // A fresh registration is a change the next delta must carry, and
+        // it withdraws any tombstone from an earlier deregistration.
+        self.removed.retain(|&id| id != stream);
+        if let Some(st) = self.slots[slot.index()].as_mut() {
+            if st.dirty_epoch != self.epoch {
+                st.dirty_epoch = self.epoch;
+                self.dirty.push(slot);
+            }
+        }
         // A fresh detector is in warm-up (no τ yet); the first heartbeat
         // arms the timer. Any stale timer for a replaced stream dies here.
         self.wheel.cancel(stream);
@@ -773,6 +933,9 @@ impl Monitor for ShardCore {
             Some(slot) => {
                 self.slots[slot.index()] = None;
                 self.free.push(slot);
+                // Tombstone for the next delta; a checkpoint must not
+                // resurrect a stream that was explicitly dropped.
+                self.removed.push(stream);
                 true
             }
             None => false,
@@ -832,19 +995,134 @@ impl ShardObs {
     }
 }
 
-/// Live checkpoint machinery: the config plus counters every save/load
-/// outcome lands in (exported as `sfd_checkpoint_*` metrics).
+/// A checkpoint exported by the service loop and waiting for the writer
+/// thread — the double buffer between snapshot and fsync. At most one is
+/// pending: if the writer is still busy when the next export lands, the
+/// two merge (deltas compose; a full absorbs deltas) so nothing queues
+/// unboundedly and nothing is lost.
+enum PendingSave {
+    /// `(export generation, snapshot)` — the generation orders exports
+    /// across the service loop and explicit-save callers, so the writer
+    /// can drop a delta that a later-written full already covers.
+    Full(u64, checkpoint::Checkpoint),
+    Delta(u64, DeltaCheckpoint),
+}
+
+impl PendingSave {
+    /// Fold a newer export onto this pending one, preserving the
+    /// "everything since the last *written* link" meaning of the result.
+    fn merge(self, newer: PendingSave) -> PendingSave {
+        match (self, newer) {
+            // A full snapshot is complete; it supersedes anything older.
+            (_, PendingSave::Full(g, cp)) => PendingSave::Full(g, cp),
+            // Newer delta onto an unwritten full: merge it in; the result
+            // is still a complete snapshot.
+            (PendingSave::Full(g, mut cp), PendingSave::Delta(gd, d)) => {
+                cp.apply_delta(&d);
+                PendingSave::Full(g.max(gd), cp)
+            }
+            // Delta onto delta: compose the change sets. Newer records
+            // win; a newer removal kills an older change; a newer change
+            // withdraws an older tombstone.
+            (PendingSave::Delta(ga, a), PendingSave::Delta(gb, b)) => {
+                let mut changed: Vec<StreamCheckpoint> =
+                    Vec::with_capacity(a.changed.len() + b.changed.len());
+                let mut bi = 0;
+                for s in a.changed {
+                    while bi < b.changed.len() && b.changed[bi].stream < s.stream {
+                        changed.push(b.changed[bi].clone());
+                        bi += 1;
+                    }
+                    if bi < b.changed.len() && b.changed[bi].stream == s.stream {
+                        changed.push(b.changed[bi].clone());
+                        bi += 1;
+                    } else if b.removed.binary_search(&s.stream).is_err() {
+                        changed.push(s);
+                    }
+                }
+                changed.extend(b.changed[bi..].iter().cloned());
+                let mut removed: Vec<u64> =
+                    a.removed.iter().chain(b.removed.iter()).copied().collect();
+                removed.sort_unstable();
+                removed.dedup();
+                removed.retain(|id| changed.binary_search_by_key(id, |s| s.stream).is_err());
+                PendingSave::Delta(
+                    ga.max(gb),
+                    DeltaCheckpoint {
+                        base_crc: 0,
+                        delta_seq: 0,
+                        created_wall_nanos: b.created_wall_nanos,
+                        created_instant: b.created_instant,
+                        removed,
+                        changed,
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// Live checkpoint machinery: the config, the on-disk chain's state, the
+/// pending-save double buffer, and counters every save/load outcome
+/// lands in (exported as `sfd_checkpoint_*` metrics).
+///
+/// Chain bookkeeping is atomics so the service loop's full-vs-delta
+/// decision never contends with the writer thread's fsync; the `io`
+/// mutex serialises the actual file operations (writer thread vs
+/// synchronous stop/explicit saves).
 struct CheckpointRuntime {
     cfg: CheckpointConfig,
     saves: AtomicU64,
+    /// Subset of `saves` that were delta frames.
+    delta_saves: AtomicU64,
     save_failures: AtomicU64,
     load_rejections: AtomicU64,
     restored_streams: AtomicU64,
+    /// Subset of `restored_streams` whose newest record came from a
+    /// delta rather than the base snapshot.
+    restored_from_deltas: AtomicU64,
     /// Wall-clock stamp (UNIX nanos) of the last successful save; 0 until
     /// the first save succeeds.
     last_save_wall: AtomicI64,
     /// Encoded size of the last successful save.
     last_size: AtomicU64,
+    /// Streams carried by the most recent cadence export (the changed
+    /// set of a delta; every stream for a full).
+    last_dirty: AtomicU64,
+    // ---- chain state (what is actually on disk) ----
+    /// Stored CRC of the current base frame (low 32 bits).
+    base_crc: AtomicU64,
+    /// Encoded size of the current base frame.
+    base_bytes: AtomicU64,
+    /// Sequence the *next* delta will take; `chain length == next_seq-1`.
+    next_seq: AtomicU64,
+    /// Cumulative encoded size of the chain's deltas.
+    chain_bytes: AtomicU64,
+    /// Next cadence save must be a full base: set at spawn (a fresh
+    /// incarnation never extends another incarnation's chain), after any
+    /// write failure, and when compaction triggers.
+    need_full: AtomicBool,
+    /// Monotone stamp handed to every export; orders the service loop's
+    /// cadence exports against explicit-save callers.
+    export_gen: AtomicU64,
+    /// Export generation of the newest full snapshot written to disk.
+    /// The writer drops any pending delta exported before it — those
+    /// changes are already inside the base.
+    written_full_gen: AtomicU64,
+    /// The double buffer: the newest exported-but-unwritten checkpoint.
+    pending: Mutex<Option<PendingSave>>,
+    /// Doorbell for the writer thread; `None` once shutdown begins
+    /// (dropping the sender disconnects the writer's `recv`).
+    notify: Mutex<Option<std::sync::mpsc::Sender<()>>>,
+    /// Serialises file writes + chain-state updates between the writer
+    /// thread and synchronous saves.
+    io: Mutex<()>,
+    /// Worker threads used to encode stream records.
+    encode_jobs: usize,
+    /// Service-loop time per cadence export (snapshot only, in ns).
+    export_ns: Histogram,
+    /// Writer-side time per save (encode + write + fsync, in ns).
+    save_ns: Histogram,
 }
 
 impl CheckpointRuntime {
@@ -852,12 +1130,131 @@ impl CheckpointRuntime {
         CheckpointRuntime {
             cfg,
             saves: AtomicU64::new(0),
+            delta_saves: AtomicU64::new(0),
             save_failures: AtomicU64::new(0),
             load_rejections: AtomicU64::new(0),
             restored_streams: AtomicU64::new(0),
+            restored_from_deltas: AtomicU64::new(0),
             last_save_wall: AtomicI64::new(0),
             last_size: AtomicU64::new(0),
+            last_dirty: AtomicU64::new(0),
+            base_crc: AtomicU64::new(0),
+            base_bytes: AtomicU64::new(0),
+            next_seq: AtomicU64::new(1),
+            chain_bytes: AtomicU64::new(0),
+            need_full: AtomicBool::new(true),
+            export_gen: AtomicU64::new(0),
+            written_full_gen: AtomicU64::new(0),
+            pending: Mutex::new(None),
+            notify: Mutex::new(None),
+            io: Mutex::new(()),
+            encode_jobs: sfd_core::par::effective_jobs(0),
+            export_ns: Histogram::exponential(128.0, 4.0, 16),
+            save_ns: Histogram::exponential(128.0, 4.0, 16),
         }
+    }
+
+    /// Should the next cadence save be a full base? True on a fresh
+    /// chain, after a failure, or when the compaction policy says the
+    /// chain has grown past its keep.
+    fn wants_full(&self) -> bool {
+        if self.cfg.max_deltas == 0 || self.need_full.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.next_seq.load(Ordering::Relaxed) > self.cfg.max_deltas {
+            return true;
+        }
+        let base = self.base_bytes.load(Ordering::Relaxed);
+        self.chain_bytes.load(Ordering::Relaxed) as f64 > self.cfg.delta_fraction * base as f64
+    }
+
+    /// Stash an export into the double buffer (merging with any pending
+    /// one) and ring the writer's doorbell.
+    fn stash(&self, save: PendingSave) {
+        {
+            let mut slot = self.pending.lock();
+            *slot = Some(match slot.take() {
+                Some(old) => old.merge(save),
+                None => save,
+            });
+        }
+        if let Some(tx) = self.notify.lock().as_ref() {
+            let _ = tx.send(());
+        }
+    }
+
+    /// Write one pending save to disk (writer thread, or synchronous
+    /// callers holding no other locks). Returns the written size.
+    fn write_job(&self, job: PendingSave) -> std::io::Result<u64> {
+        let t0 = std::time::Instant::now();
+        let res = match job {
+            PendingSave::Full(gen, cp) => self.write_full(gen, &cp),
+            PendingSave::Delta(gen, mut d) => {
+                let _io = self.io.lock();
+                if gen <= self.written_full_gen.load(Ordering::Relaxed) {
+                    // A newer full snapshot already carries these
+                    // changes; chaining them back on would regress the
+                    // affected streams to their older records.
+                    return Ok(0);
+                }
+                d.base_crc = self.base_crc.load(Ordering::Relaxed) as u32;
+                d.delta_seq = self.next_seq.load(Ordering::Relaxed);
+                let bytes = d.encode_jobs(self.encode_jobs);
+                let path = checkpoint::delta_path(&self.cfg.path, d.delta_seq);
+                match checkpoint::save_atomic_bytes(&path, &bytes) {
+                    Ok(size) => {
+                        self.next_seq.fetch_add(1, Ordering::Relaxed);
+                        self.chain_bytes.fetch_add(size, Ordering::Relaxed);
+                        self.delta_saves.fetch_add(1, Ordering::Relaxed);
+                        self.record_save(d.created_wall_nanos, size);
+                        Ok(size)
+                    }
+                    Err(e) => {
+                        // The dirty flags behind this delta are already
+                        // drained; only a full snapshot can recover the
+                        // changes it carried.
+                        self.save_failures.fetch_add(1, Ordering::Relaxed);
+                        self.need_full.store(true, Ordering::Relaxed);
+                        Err(e)
+                    }
+                }
+            }
+        };
+        self.save_ns.observe(t0.elapsed().as_nanos() as f64);
+        res
+    }
+
+    /// Write a full base snapshot and reset the chain around it.
+    fn write_full(&self, gen: u64, cp: &checkpoint::Checkpoint) -> std::io::Result<u64> {
+        let _io = self.io.lock();
+        let bytes = cp.encode_jobs(self.encode_jobs);
+        match checkpoint::save_atomic_bytes(&self.cfg.path, &bytes) {
+            Ok(size) => {
+                self.base_crc
+                    .store(checkpoint::frame_crc(&bytes).unwrap_or(0) as u64, Ordering::Relaxed);
+                self.base_bytes.store(size, Ordering::Relaxed);
+                self.next_seq.store(1, Ordering::Relaxed);
+                self.chain_bytes.store(0, Ordering::Relaxed);
+                self.need_full.store(false, Ordering::Relaxed);
+                self.written_full_gen.fetch_max(gen, Ordering::Relaxed);
+                // The new base supersedes the old chain; stray delta
+                // files must not shadow the next incarnation's links.
+                checkpoint::clear_deltas(&self.cfg.path);
+                self.record_save(cp.created_wall_nanos, size);
+                Ok(size)
+            }
+            Err(e) => {
+                self.save_failures.fetch_add(1, Ordering::Relaxed);
+                self.need_full.store(true, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn record_save(&self, wall_nanos: i64, size: u64) {
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        self.last_save_wall.store(wall_nanos, Ordering::Relaxed);
+        self.last_size.store(size, Ordering::Relaxed);
     }
 }
 
@@ -865,8 +1262,10 @@ impl CheckpointRuntime {
 /// [`MultiMonitorService::checkpoint_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointStats {
-    /// Successful checkpoint saves.
+    /// Successful checkpoint saves (full bases *and* delta frames).
     pub saves: u64,
+    /// Subset of `saves` that were incremental delta frames.
+    pub delta_saves: u64,
     /// Failed save attempts (I/O errors; the previous checkpoint on disk
     /// survives thanks to write-rename).
     pub save_failures: u64,
@@ -875,6 +1274,14 @@ pub struct CheckpointStats {
     pub load_rejections: u64,
     /// Streams rehydrated from the checkpoint at startup.
     pub restored_streams: u64,
+    /// Streams whose newest restored record came from a delta frame
+    /// rather than the base snapshot.
+    pub restored_from_deltas: u64,
+    /// Delta frames currently chained onto the on-disk base snapshot.
+    pub chain_deltas: u64,
+    /// Streams carried by the most recent cadence export (changed set of
+    /// a delta; every stream for a full snapshot).
+    pub dirty_streams: u64,
     /// Wall-clock stamp (UNIX nanos) of the last successful save; 0 if
     /// none yet.
     pub last_save_wall_nanos: i64,
@@ -910,9 +1317,11 @@ impl Shared {
         snap
     }
 
-    /// Export every shard and atomically persist a checkpoint, recording
-    /// the outcome in the counters. `Err(Unsupported)` when checkpointing
-    /// is not configured.
+    /// Export every shard and atomically persist a *full* checkpoint
+    /// right now, synchronously, recording the outcome in the counters.
+    /// Any pending async save is discarded first (the full snapshot it
+    /// would produce is a subset of this one). `Err(Unsupported)` when
+    /// checkpointing is not configured.
     fn save_checkpoint(&self, clock: &WallClock) -> std::io::Result<u64> {
         let Some(rt) = &self.ckpt else {
             return Err(std::io::Error::new(
@@ -920,22 +1329,82 @@ impl Shared {
                 "service was spawned without a checkpoint config",
             ));
         };
+        drop(rt.pending.lock().take());
+        let gen = rt.export_gen.fetch_add(1, Ordering::Relaxed) + 1;
         let mut streams = Vec::new();
         for shard in &self.shards {
-            streams.extend(shard.lock().export_streams());
+            streams.extend(shard.lock().export_streams_full());
         }
         streams.sort_unstable_by_key(|s| s.stream);
+        rt.last_dirty.store(streams.len() as u64, Ordering::Relaxed);
         let cp = checkpoint::snapshot(clock, streams);
-        match checkpoint::save_atomic(&rt.cfg.path, &cp) {
-            Ok(size) => {
-                rt.saves.fetch_add(1, Ordering::Relaxed);
-                rt.last_save_wall.store(cp.created_wall_nanos, Ordering::Relaxed);
-                rt.last_size.store(size, Ordering::Relaxed);
-                Ok(size)
+        rt.write_full(gen, &cp)
+    }
+
+    /// Cadence save: snapshot the dirty slots (or everything, when the
+    /// compaction policy calls for a fresh base), hand the export to the
+    /// writer thread, and return. Only the snapshot happens on the
+    /// service loop; encode and fsync run on `sfd-ckpt-writer`.
+    fn export_cadence_save(&self, clock: &WallClock) {
+        let Some(rt) = &self.ckpt else { return };
+        let t0 = std::time::Instant::now();
+        let gen = rt.export_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        if rt.wants_full() {
+            let mut streams = Vec::new();
+            for shard in &self.shards {
+                streams.extend(shard.lock().export_streams_full());
             }
-            Err(e) => {
-                rt.save_failures.fetch_add(1, Ordering::Relaxed);
-                Err(e)
+            streams.sort_unstable_by_key(|s| s.stream);
+            rt.last_dirty.store(streams.len() as u64, Ordering::Relaxed);
+            let cp = checkpoint::snapshot(clock, streams);
+            rt.export_ns.observe(t0.elapsed().as_nanos() as f64);
+            rt.stash(PendingSave::Full(gen, cp));
+            return;
+        }
+        let mut changed = Vec::new();
+        let mut removed = Vec::new();
+        for shard in &self.shards {
+            let mut d = shard.lock().export_dirty();
+            changed.append(&mut d.changed);
+            removed.append(&mut d.removed);
+        }
+        rt.last_dirty.store(changed.len() as u64, Ordering::Relaxed);
+        if changed.is_empty() && removed.is_empty() {
+            // Nothing changed since the last link; an empty delta would
+            // only grow the chain. Skipping is replay-safe: duplicates
+            // and unknown-stream heartbeats leave no stream state behind
+            // that is not already on disk.
+            rt.export_ns.observe(t0.elapsed().as_nanos() as f64);
+            return;
+        }
+        changed.sort_unstable_by_key(|s| s.stream);
+        removed.sort_unstable();
+        removed.dedup();
+        let delta = DeltaCheckpoint {
+            base_crc: 0, // stamped from chain state at write time
+            delta_seq: 0,
+            created_wall_nanos: checkpoint::wall_now_nanos(),
+            created_instant: clock.now(),
+            removed,
+            changed,
+        };
+        rt.export_ns.observe(t0.elapsed().as_nanos() as f64);
+        rt.stash(PendingSave::Delta(gen, delta));
+    }
+
+    /// Body of the `sfd-ckpt-writer` thread: drain pending saves to disk
+    /// until the doorbell disconnects, then flush one last time.
+    fn writer_loop(&self, rx: &std::sync::mpsc::Receiver<()>) {
+        let Some(rt) = &self.ckpt else { return };
+        loop {
+            let alive = rx.recv().is_ok();
+            loop {
+                let job = rt.pending.lock().take();
+                let Some(job) = job else { break };
+                let _ = rt.write_job(job);
+            }
+            if !alive {
+                return;
             }
         }
     }
@@ -946,12 +1415,12 @@ impl Shared {
     /// counted and degrades to a cold start; nothing here panics.
     fn restore_from_checkpoint(&self, clock: &WallClock) {
         let Some(rt) = &self.ckpt else { return };
-        let cp = match checkpoint::load_fresh(
+        let (cp, info) = match checkpoint::load_chain(
             &rt.cfg.path,
             rt.cfg.max_age,
             checkpoint::wall_now_nanos(),
         ) {
-            Ok(cp) => cp,
+            Ok(loaded) => loaded,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return; // first boot: nothing to restore
             }
@@ -964,6 +1433,18 @@ impl Shared {
                 return;
             }
         };
+        rt.restored_from_deltas.store(info.from_deltas as u64, Ordering::Relaxed);
+        if info.truncated {
+            // A torn or mismatched delta ends the usable chain; the
+            // links before it restored fine, so this is a *partial*
+            // rejection worth counting, not a cold start.
+            rt.load_rejections.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "sfd-multi-monitor: checkpoint {} delta chain truncated after {} links",
+                rt.cfg.path.display(),
+                info.deltas_applied
+            );
+        }
         let now = clock.now();
         // Rebase persisted instants onto this process's clock epoch —
         // except under a virtual clock, where the replayed timeline *is*
@@ -1002,6 +1483,9 @@ pub struct MultiMonitorService {
     clock: WallClock,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    /// The `sfd-ckpt-writer` thread: encodes and fsyncs cadence saves off
+    /// the service loop. `None` when checkpointing is not configured.
+    writer: Option<JoinHandle<()>>,
 }
 
 impl MultiMonitorService {
@@ -1093,6 +1577,25 @@ impl MultiMonitorService {
         shared.restore_from_checkpoint(&clock);
         let stop = Arc::new(AtomicBool::new(false));
 
+        // Checkpoint writer: a dedicated thread the service loop hands
+        // exported snapshots to, so encode/fsync never block ingest. The
+        // doorbell sender lives inside the runtime; dropping it (in
+        // `stop`/`Drop`) disconnects `recv` and ends the thread after a
+        // final drain.
+        let writer = if let Some(rt) = &shared.ckpt {
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            *rt.notify.lock() = Some(tx);
+            let w_shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("sfd-ckpt-writer".into())
+                    .spawn(move || w_shared.writer_loop(&rx))
+                    .expect("spawn checkpoint writer thread"),
+            )
+        } else {
+            None
+        };
+
         let t_shared = shared.clone();
         let t_clock = clock.clone();
         let t_stop = stop.clone();
@@ -1141,7 +1644,7 @@ impl MultiMonitorService {
             })
             .expect("spawn multi-monitor thread");
 
-        MultiMonitorService { shared, clock, stop, handle: Some(handle) }
+        MultiMonitorService { shared, clock, stop, handle: Some(handle), writer }
     }
 
     /// Body of the service thread; returns on stop or dead transport.
@@ -1226,12 +1729,15 @@ impl MultiMonitorService {
             }
             if let Some(every) = shared.ckpt.as_ref().and_then(|rt| rt.cfg.every) {
                 // `last_ckpt` lives in the supervisor frame, so the
-                // cadence survives service-loop restarts. A failed save is
-                // counted and retried next period; the on-disk checkpoint
-                // stays at its last good version.
+                // cadence survives service-loop restarts. The loop only
+                // *exports* (dirty slots when the chain allows a delta);
+                // encode and fsync happen on the writer thread. A failed
+                // write is counted there and forces the next save to be a
+                // full base; the on-disk chain stays at its last good
+                // version meanwhile.
                 if now - *last_ckpt >= every {
                     *last_ckpt = now;
-                    let _ = shared.save_checkpoint(clock);
+                    shared.export_cadence_save(clock);
                 }
             }
         }
@@ -1357,9 +1863,13 @@ impl MultiMonitorService {
     pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
         self.shared.ckpt.as_ref().map(|rt| CheckpointStats {
             saves: rt.saves.load(Ordering::Relaxed),
+            delta_saves: rt.delta_saves.load(Ordering::Relaxed),
             save_failures: rt.save_failures.load(Ordering::Relaxed),
             load_rejections: rt.load_rejections.load(Ordering::Relaxed),
             restored_streams: rt.restored_streams.load(Ordering::Relaxed),
+            restored_from_deltas: rt.restored_from_deltas.load(Ordering::Relaxed),
+            chain_deltas: rt.next_seq.load(Ordering::Relaxed).saturating_sub(1),
+            dirty_streams: rt.last_dirty.load(Ordering::Relaxed),
             last_save_wall_nanos: rt.last_save_wall.load(Ordering::Relaxed),
             last_size_bytes: rt.last_size.load(Ordering::Relaxed),
         })
@@ -1373,8 +1883,20 @@ impl MultiMonitorService {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        self.shutdown_writer();
         if self.shared.ckpt.is_some() {
             let _ = self.shared.save_checkpoint(&self.clock);
+        }
+    }
+
+    /// Disconnect the writer's doorbell and join it. Any save still
+    /// pending is flushed by the writer's final drain before it exits.
+    fn shutdown_writer(&mut self) {
+        if let Some(rt) = &self.shared.ckpt {
+            drop(rt.notify.lock().take());
+        }
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
         }
     }
 }
@@ -1482,12 +2004,50 @@ impl Monitor for MultiMonitorService {
                 &[],
                 stats.restored_streams as f64,
             );
+            m.counter(
+                "sfd_checkpoint_delta_saves_total",
+                "Checkpoint saves written as incremental delta frames.",
+                &[],
+                stats.delta_saves,
+            );
+            m.gauge(
+                "sfd_checkpoint_restored_from_deltas",
+                "Restored streams whose newest record came from a delta frame.",
+                &[],
+                stats.restored_from_deltas as f64,
+            );
+            m.gauge(
+                "sfd_checkpoint_chain_deltas",
+                "Delta frames currently chained onto the on-disk base snapshot.",
+                &[],
+                stats.chain_deltas as f64,
+            );
+            m.gauge(
+                "sfd_checkpoint_dirty_streams",
+                "Streams carried by the most recent cadence export.",
+                &[],
+                stats.dirty_streams as f64,
+            );
             m.gauge(
                 "sfd_checkpoint_size_bytes",
                 "Encoded size of the last successful checkpoint.",
                 &[],
                 stats.last_size_bytes as f64,
             );
+            if let Some(rt) = &self.shared.ckpt {
+                m.histogram(
+                    "sfd_checkpoint_export_ns",
+                    "Service-loop time per cadence checkpoint export (snapshot only).",
+                    &[],
+                    rt.export_ns.snapshot(),
+                );
+                m.histogram(
+                    "sfd_checkpoint_save_ns",
+                    "Writer-thread time per checkpoint save (encode + write + fsync).",
+                    &[],
+                    rt.save_ns.snapshot(),
+                );
+            }
             if stats.last_save_wall_nanos > 0 {
                 let age = checkpoint::wall_now_nanos().saturating_sub(stats.last_save_wall_nanos);
                 m.gauge(
@@ -1508,6 +2068,7 @@ impl Drop for MultiMonitorService {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        self.shutdown_writer();
     }
 }
 
@@ -1961,6 +2522,154 @@ mod tests {
         assert!(restarted.status(1).unwrap().suspect, "restored stream goes suspect");
         restarted.stop();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dirty_export_is_incremental_and_tracks_removals() {
+        let interval = Duration::from_millis(100);
+        let spec2 = DetectorSpec::default_for(sfd_core::detector::DetectorKind::Chen, interval);
+        let mut core = chen_core();
+        core.register(2, &spec2).unwrap();
+
+        // Registration marks both streams dirty…
+        let d = core.export_dirty();
+        assert_eq!(d.changed.iter().map(|s| s.stream).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(d.removed.is_empty());
+        // …and the export drains the flags: nothing touched → empty.
+        assert!(core.export_dirty().is_empty());
+
+        // A heartbeat dirties only its own stream.
+        core.heartbeat(1, 0, Instant::from_millis(100));
+        let d = core.export_dirty();
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.changed[0].stream, 1);
+
+        // A duplicate still dirties: the health counters it bumps are
+        // part of the persisted record.
+        core.heartbeat(1, 0, Instant::from_millis(150));
+        let d = core.export_dirty();
+        assert_eq!(d.changed.iter().map(|s| s.stream).collect::<Vec<_>>(), vec![1]);
+
+        // Deregistration becomes a tombstone, not a changed record.
+        assert!(core.deregister(2));
+        let d = core.export_dirty();
+        assert!(d.changed.is_empty());
+        assert_eq!(d.removed, vec![2]);
+
+        // Re-registering withdraws any pending tombstone and exports the
+        // fresh stream as changed.
+        core.register(2, &spec2).unwrap();
+        let d = core.export_dirty();
+        assert_eq!(d.changed.iter().map(|s| s.stream).collect::<Vec<_>>(), vec![2]);
+        assert!(d.removed.is_empty());
+
+        // A full export resets all dirty bookkeeping.
+        core.heartbeat(1, 1, Instant::from_millis(200));
+        assert_eq!(core.export_streams_full().len(), 2);
+        assert!(core.export_dirty().is_empty());
+    }
+
+    #[test]
+    fn pending_save_merge_composes_deltas() {
+        let interval = Duration::from_millis(100);
+        let spec = DetectorSpec::default_for(sfd_core::detector::DetectorKind::Chen, interval);
+        let mut core = chen_core();
+        core.register(2, &spec).unwrap();
+        core.register(3, &spec).unwrap();
+        core.heartbeat(1, 0, Instant::from_millis(100));
+        let recs = core.export_streams_full();
+        let (r1, r2, r3) = (recs[0].clone(), recs[1].clone(), recs[2].clone());
+        core.heartbeat(2, 0, Instant::from_millis(200));
+        let r2b = core.export_dirty().changed.remove(0);
+        assert_ne!(r2, r2b, "the newer record must be distinguishable");
+
+        let mk = |wall: i64, removed: Vec<u64>, changed: Vec<StreamCheckpoint>| DeltaCheckpoint {
+            base_crc: 0,
+            delta_seq: 0,
+            created_wall_nanos: wall,
+            created_instant: Instant::from_millis(wall),
+            removed,
+            changed,
+        };
+        // A changed {1, 2-old}, removed {9}; B changed {2-new, 3}, removed {1}.
+        let a = mk(1, vec![9], vec![r1, r2]);
+        let b = mk(2, vec![1], vec![r2b.clone(), r3.clone()]);
+        let PendingSave::Delta(gen, m) = PendingSave::Delta(1, a).merge(PendingSave::Delta(2, b))
+        else {
+            panic!("delta onto delta stays a delta");
+        };
+        assert_eq!(gen, 2, "newest export generation wins");
+        assert_eq!(m.created_wall_nanos, 2, "stamps come from the newer delta");
+        // B's removal kills A's change of stream 1; B's change of stream 2
+        // supersedes A's; A's tombstone for 9 survives.
+        assert_eq!(m.removed, vec![1, 9]);
+        assert_eq!(m.changed, vec![r2b, r3]);
+    }
+
+    #[test]
+    fn cadence_delta_chain_survives_unclean_death() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sfd-multi-delta-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        checkpoint::clear_deltas(&path);
+        let ckpt = CheckpointConfig::new(&path).every(Some(Duration::from_millis(20)));
+
+        let (sink, source) = MemoryTransport::perfect();
+        let sink = Arc::new(sink);
+        let monitor = MultiMonitorService::spawn_with_checkpoints(
+            source,
+            cfg(),
+            4,
+            ExpiryPolicy::Wheel,
+            ckpt.clone(),
+        );
+        // A wide quiet fleet keeps the base much larger than any delta,
+        // so compaction stays out of the way.
+        for s in 1..=10u64 {
+            monitor.watch(s, &spec()).unwrap();
+        }
+        let _sender = HeartbeatSender::spawn(
+            SenderConfig { stream: 1, interval: Duration::from_millis(5) },
+            SharedSink(sink.clone()),
+        );
+        // Wait for the chain to exist: one full base plus live deltas.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = monitor.checkpoint_stats().unwrap();
+            if stats.delta_saves >= 2 && stats.chain_deltas >= 1 {
+                assert!(stats.saves > stats.delta_saves, "a full base was written first");
+                assert!(stats.dirty_streams <= 10);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no delta save within 10s: {stats:?}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let before = monitor.status(1).unwrap();
+        // Unclean death: drop without `stop` — no final full snapshot.
+        // What is on disk is the base plus whatever deltas were written.
+        drop(monitor);
+
+        let (_sink2, source2) = MemoryTransport::perfect();
+        let mut restarted = MultiMonitorService::spawn_with_checkpoints(
+            source2,
+            cfg(),
+            4,
+            ExpiryPolicy::Wheel,
+            ckpt.every(None),
+        );
+        let stats = restarted.checkpoint_stats().unwrap();
+        assert_eq!(stats.restored_streams, 10, "whole fleet rehydrated: {stats:?}");
+        assert_eq!(stats.load_rejections, 0, "chain intact: {stats:?}");
+        assert!(stats.restored_from_deltas >= 1, "stream 1's record came from a delta: {stats:?}");
+        // The restored window reflects the last *written* delta — that
+        // may trail the final live observation (no export runs on an
+        // unclean death), but the stream's learned state must be there.
+        let after = restarted.status(1).unwrap();
+        assert!(after.heartbeats > 0, "delta-carried window survived: {after:?}");
+        assert!(before.heartbeats > 0);
+        restarted.stop();
+        let _ = std::fs::remove_file(&path);
+        checkpoint::clear_deltas(&path);
     }
 
     #[test]

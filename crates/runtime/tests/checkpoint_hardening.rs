@@ -6,7 +6,9 @@
 //! bits, and single-bit flips anywhere in the frame.
 //!
 //! The sibling `wire_hardening.rs` plays the same game for the per-datagram
-//! heartbeat format; this file covers the persistent snapshot format.
+//! heartbeat format; this file covers the persistent snapshot format —
+//! both the v1 full snapshot and the v2 delta frame, plus the
+//! [`decode_frame`] version dispatcher that fronts them.
 
 use proptest::prelude::*;
 use sfd_core::detector::{DetectorKind, FailureDetector};
@@ -15,7 +17,9 @@ use sfd_core::qos::QosMeasured;
 use sfd_core::registry::DetectorSpec;
 use sfd_core::suspicion::Transition;
 use sfd_core::time::{Duration, Instant};
-use sfd_runtime::checkpoint::{crc32, Checkpoint, CheckpointError, StreamCheckpoint};
+use sfd_runtime::checkpoint::{
+    crc32, decode_frame, Checkpoint, CheckpointError, DeltaCheckpoint, Frame, StreamCheckpoint,
+};
 
 fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -91,6 +95,30 @@ fn synth_checkpoint(seed: u64, nstreams: usize, beats: u64) -> Checkpoint {
     }
 }
 
+/// Build an arbitrary-but-valid delta frame from a seed: the changed set
+/// is a slice of [`synth_checkpoint`]'s streams (already sorted strictly
+/// by id), the removed set is strictly increasing and disjoint from it,
+/// and the chain fields are positive.
+fn synth_delta(seed: u64, nstreams: usize, beats: u64) -> DeltaCheckpoint {
+    let mut rng = seed ^ 0x5851_F42D_4C95_7F2D;
+    let cp = synth_checkpoint(seed, nstreams, beats);
+    // Changed ids top out below 1 << 20; park tombstones above them.
+    let mut removed = Vec::new();
+    let mut id = 1u64 << 20;
+    for _ in 0..(mix(&mut rng) % 4) {
+        id += 1 + mix(&mut rng) % 9;
+        removed.push(id);
+    }
+    DeltaCheckpoint {
+        base_crc: mix(&mut rng) as u32,
+        delta_seq: 1 + mix(&mut rng) % 1000,
+        created_wall_nanos: (seed as i64).abs().max(1),
+        created_instant: cp.created_instant,
+        removed,
+        changed: cp.streams,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -149,6 +177,78 @@ proptest! {
         let mut padded = bytes.clone();
         padded.extend(std::iter::repeat_n(0u8, pad));
         prop_assert!(Checkpoint::decode(&padded).is_err(), "padding by {pad}");
+    }
+
+    /// Every encodable delta survives an encode/decode round trip exactly
+    /// — through both the typed decoder and the version dispatcher — and
+    /// re-encoding the decoded value is byte-identical. The parallel
+    /// encode is byte-identical to the serial one at every job count.
+    fn delta_round_trips_exactly(
+        seed in any::<u64>(),
+        nstreams in 0usize..5,
+        beats in 1u64..60,
+        jobs in 1usize..8,
+    ) {
+        let d = synth_delta(seed, nstreams, beats);
+        let bytes = d.encode();
+        prop_assert_eq!(&d.encode_jobs(jobs), &bytes, "parallel encode diverged at jobs={}", jobs);
+        let back = DeltaCheckpoint::decode(&bytes);
+        prop_assert!(back.is_ok(), "own encoding rejected: {:?}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &d);
+        prop_assert_eq!(back.encode(), bytes.clone());
+        let dispatched = decode_frame(&bytes);
+        prop_assert!(
+            matches!(&dispatched, Ok(Frame::Delta(f)) if *f == d),
+            "dispatcher returned {:?}", dispatched
+        );
+    }
+
+    /// Arbitrary byte soup through the delta decoder and the version
+    /// dispatcher: may reject, must never panic.
+    fn frame_decode_never_panics_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = DeltaCheckpoint::decode(&data);
+        let _ = decode_frame(&data);
+    }
+
+    /// A single flipped bit anywhere in a delta frame must be rejected by
+    /// both the typed decoder and the dispatcher. (The version byte 0x02
+    /// is two bit-flips away from 0x01, so a single flip can never turn a
+    /// delta into a structurally plausible v1 frame.)
+    fn delta_single_bit_flip_always_rejected(
+        seed in any::<u64>(),
+        bitpos in any::<u64>(),
+    ) {
+        let d = synth_delta(seed, 2, 30);
+        let mut bytes = d.encode();
+        let bit = (bitpos % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            DeltaCheckpoint::decode(&bytes).is_err(),
+            "flip at byte {} bit {} was accepted", bit / 8, bit % 8
+        );
+        prop_assert!(
+            decode_frame(&bytes).is_err(),
+            "dispatcher accepted flip at byte {} bit {}", bit / 8, bit % 8
+        );
+    }
+
+    /// Truncation of a delta frame to any shorter length is rejected; so
+    /// is padding.
+    fn delta_wrong_lengths_rejected(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        pad in 1usize..16,
+    ) {
+        let d = synth_delta(seed, 1, 20);
+        let bytes = d.encode();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(DeltaCheckpoint::decode(&bytes[..cut]).is_err(), "truncation to {cut}");
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0u8, pad));
+        prop_assert!(DeltaCheckpoint::decode(&padded).is_err(), "padding by {pad}");
     }
 }
 
@@ -218,6 +318,98 @@ fn malformation_corpus() {
 
     // The original still decodes after all that (no aliasing mistakes).
     assert_eq!(Checkpoint::decode(&bytes).unwrap(), cp);
+}
+
+/// Same deterministic corpus for the v2 delta frame, plus the semantic
+/// invariants the delta decoder adds on top of framing: a positive chain
+/// sequence, strictly-increasing tombstones, and removed/changed
+/// disjointness.
+#[test]
+fn delta_malformation_corpus() {
+    let d = synth_delta(42, 3, 40);
+    let bytes = d.encode();
+
+    // Empty, single byte, every truncation length, one-over padding.
+    assert!(matches!(DeltaCheckpoint::decode(&[]), Err(CheckpointError::TooSmall)));
+    assert!(matches!(decode_frame(&[0x53]), Err(CheckpointError::TooSmall)));
+    for cut in 0..bytes.len() {
+        assert!(DeltaCheckpoint::decode(&bytes[..cut]).is_err(), "truncation to {cut} bytes");
+        assert!(decode_frame(&bytes[..cut]).is_err(), "dispatcher truncation to {cut} bytes");
+    }
+    let mut over = bytes.clone();
+    over.push(0);
+    assert!(matches!(DeltaCheckpoint::decode(&over), Err(CheckpointError::LengthMismatch { .. })));
+
+    // Version skew: the typed decoder insists on v2 — including rejecting
+    // a v1 byte — and the dispatcher rejects everything it doesn't know.
+    for v in [0u8, 1, 3, 7, 0xFF] {
+        let mut skewed = bytes.clone();
+        skewed[4] = v;
+        assert!(
+            matches!(DeltaCheckpoint::decode(&skewed), Err(CheckpointError::UnsupportedVersion(got)) if got == v),
+            "version {v}"
+        );
+        assert!(decode_frame(&skewed).is_err(), "dispatcher version {v}");
+    }
+
+    // Tampered length field: never a misparse.
+    for delta in [1u32, 8, 1 << 20] {
+        let declared = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let mut tampered = bytes.clone();
+        tampered[5..9].copy_from_slice(&declared.wrapping_add(delta).to_be_bytes());
+        assert!(DeltaCheckpoint::decode(&tampered).is_err(), "length +{delta}");
+    }
+
+    // Flipped CRC trailer: BadCrc with the stored value faithfully
+    // reported.
+    let mut badcrc = bytes.clone();
+    let n = badcrc.len();
+    badcrc[n - 1] ^= 0xFF;
+    match DeltaCheckpoint::decode(&badcrc) {
+        Err(CheckpointError::BadCrc { stored, computed }) => {
+            assert_ne!(stored, computed);
+            assert_eq!(computed, crc32(&bytes[9..n - 4]));
+        }
+        other => panic!("expected BadCrc, got {other:?}"),
+    }
+
+    // Semantic corruption with a *valid* frame around it: each of these
+    // encodes cleanly (the encoder writes what it is given) but must die
+    // on the decoder's chain invariants, not misparse.
+    let mut zero_seq = d.clone();
+    zero_seq.delta_seq = 0;
+    assert!(matches!(
+        DeltaCheckpoint::decode(&zero_seq.encode()),
+        Err(CheckpointError::Malformed("delta_seq must be positive"))
+    ));
+
+    let mut unsorted = d.clone();
+    unsorted.removed = vec![9, 3];
+    assert!(matches!(
+        DeltaCheckpoint::decode(&unsorted.encode()),
+        Err(CheckpointError::Malformed("removed ids not strictly increasing"))
+    ));
+    let mut duped = d.clone();
+    duped.removed = vec![5, 5];
+    assert!(matches!(
+        DeltaCheckpoint::decode(&duped.encode()),
+        Err(CheckpointError::Malformed("removed ids not strictly increasing"))
+    ));
+
+    let mut overlap = d.clone();
+    overlap.removed = vec![d.changed[1].stream];
+    assert!(matches!(
+        DeltaCheckpoint::decode(&overlap.encode()),
+        Err(CheckpointError::Malformed("stream both removed and changed"))
+    ));
+
+    // The dispatcher routes each version to its own decoder.
+    let full = synth_checkpoint(42, 2, 30);
+    assert!(matches!(decode_frame(&full.encode()), Ok(Frame::Full(f)) if f == full));
+    assert!(matches!(decode_frame(&bytes), Ok(Frame::Delta(f)) if f == d));
+
+    // The original still decodes after all that (no aliasing mistakes).
+    assert_eq!(DeltaCheckpoint::decode(&bytes).unwrap(), d);
 }
 
 /// The CRC implementation matches the IEEE 802.3 / zlib check values, so

@@ -1,0 +1,290 @@
+//! Delta-chain equivalence: restoring `base + .d1 + .d2 + …` must be
+//! indistinguishable from restoring a full snapshot taken at the same
+//! moment, for *any* interleaving of ingest, expiry, registration,
+//! deregistration, delta saves, and compaction back to a fresh base.
+//!
+//! The property is checked at the strongest level available: the merged
+//! chain's [`StreamCheckpoint`] records must equal the live shard's full
+//! export record-for-record. Restore is a deterministic function of
+//! those records (`checkpoint_hardening.rs` proves the codec is exact),
+//! so record equality implies identical rehydrated state.
+//!
+//! This is the offline twin of `multi.rs`'s live writer tests and the
+//! `bench_checkpoint` restore gate: same chain-file layout
+//! ([`delta_path`]), same merge ([`load_chain`]), driven here through
+//! thousands of adversarial schedules instead of one benchmark workload.
+
+use proptest::prelude::*;
+use sfd_core::detector::DetectorKind;
+use sfd_core::monitor::Monitor;
+use sfd_core::registry::DetectorSpec;
+use sfd_core::time::{Duration, Instant};
+use sfd_runtime::checkpoint::{
+    clear_deltas, delta_path, frame_crc, load_chain, load_fresh, save_atomic_bytes, Checkpoint,
+    DeltaCheckpoint,
+};
+use sfd_runtime::{ExpiryPolicy, ShardCore};
+use std::path::{Path, PathBuf};
+
+const INTERVAL: Duration = Duration::from_millis(100);
+
+/// One step of an adversarial schedule, sampled by proptest.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Heartbeat on the `idx`-th live stream (wrapped), with timestamp
+    /// jitter in nanoseconds.
+    Beat { idx: usize, jitter: u64 },
+    /// Advance the clock by `ms` and run expiry — this is what flips
+    /// streams suspect and appends transitions.
+    Advance { ms: u64 },
+    /// Register a brand-new stream id.
+    Register,
+    /// Re-register the `idx`-th live stream id after deregistering it
+    /// (remove + add inside one delta window — the tombstone must be
+    /// withdrawn by the changed record).
+    Churn { idx: usize },
+    /// Deregister the `idx`-th live stream (wrapped).
+    Deregister { idx: usize },
+    /// Cadence save: export dirty state as the next delta in the chain.
+    SaveDelta,
+    /// Compaction boundary: export everything as a fresh base and clear
+    /// the chain, exactly like the writer's `wants_full()` path.
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted by hand (portable across proptest backends): mostly
+    // ingest and clock advance, with saves, membership churn, and
+    // compactions sprinkled through every schedule.
+    (any::<u64>(), any::<usize>(), any::<u64>()).prop_map(|(sel, idx, n)| match sel % 21 {
+        0..=7 => Op::Beat { idx, jitter: n % 20_000 },
+        8..=11 => Op::Advance { ms: 1 + n % 400 },
+        12 | 13 => Op::Register,
+        14 => Op::Churn { idx },
+        15 | 16 => Op::Deregister { idx },
+        17..=19 => Op::SaveDelta,
+        _ => Op::Compact,
+    })
+}
+
+/// Mirror of the production writer's chain bookkeeping, minus the
+/// background thread: a base file plus numbered delta files, with the
+/// `(base_crc, delta_seq)` stamps `load_chain` verifies.
+struct Chain {
+    path: PathBuf,
+    base_crc: u32,
+    next_seq: u64,
+    wall: i64,
+}
+
+impl Chain {
+    fn write_base(&mut self, core: &mut ShardCore, now: Instant) -> std::io::Result<Checkpoint> {
+        let mut streams = core.export_streams_full();
+        streams.sort_unstable_by_key(|s| s.stream);
+        self.wall += 1;
+        let cp = Checkpoint { created_wall_nanos: self.wall, created_instant: now, streams };
+        let bytes = cp.encode();
+        save_atomic_bytes(&self.path, &bytes)?;
+        self.base_crc = frame_crc(&bytes).expect("own encoding is framed");
+        self.next_seq = 1;
+        clear_deltas(&self.path);
+        Ok(cp)
+    }
+
+    fn write_delta(&mut self, core: &mut ShardCore, now: Instant) -> std::io::Result<bool> {
+        let d = core.export_dirty();
+        if d.is_empty() {
+            // Production skips empty deltas without consuming a seq; the
+            // chain walker must tolerate the resulting "nothing new".
+            return Ok(false);
+        }
+        self.wall += 1;
+        let delta = DeltaCheckpoint {
+            base_crc: self.base_crc,
+            delta_seq: self.next_seq,
+            created_wall_nanos: self.wall,
+            created_instant: now,
+            removed: d.removed,
+            changed: d.changed,
+        };
+        save_atomic_bytes(&delta_path(&self.path, self.next_seq), &delta.encode())?;
+        self.next_seq += 1;
+        Ok(true)
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfd-chain-eq-{}-{tag}.sfcp", std::process::id()))
+}
+
+fn cleanup(path: &Path) {
+    clear_deltas(path);
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path.with_file_name(format!(
+        "{}.full",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("eq")
+    )));
+}
+
+/// Run one sampled schedule and check the chain against ground truth.
+/// Panics on divergence (both proptest backends treat that as a failed
+/// case, and the deterministic corpus calls it directly).
+fn run_schedule(tag: &str, initial: usize, ops: &[Op]) {
+    let path = scratch(tag);
+    cleanup(&path);
+
+    let mut core = ShardCore::new(ExpiryPolicy::Wheel, Duration::from_millis(1));
+    let mut now = Instant::from_nanos(0);
+    let mut live: Vec<u64> = Vec::new();
+    let mut seqs: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut next_id: u64 = 0;
+    let kinds = DetectorKind::all();
+    let spec_for = |id: u64| DetectorSpec::default_for(kinds[id as usize % 4], INTERVAL);
+
+    for _ in 0..initial {
+        let id = next_id;
+        next_id += 1;
+        core.register(id, &spec_for(id)).expect("default spec builds");
+        live.push(id);
+    }
+
+    // The chain always starts from a base, like every service spawn
+    // (`need_full` initialises true).
+    let mut chain = Chain { path: path.clone(), base_crc: 0, next_seq: 1, wall: 0 };
+    chain.write_base(&mut core, now).expect("write base");
+    let mut deltas_since_base = 0u64;
+
+    for op in ops {
+        match *op {
+            Op::Beat { idx, jitter } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[idx % live.len()];
+                let seq = seqs.entry(id).or_insert(0);
+                now = now + Duration::from_nanos(jitter as i64 % INTERVAL.as_nanos());
+                core.heartbeat(id, *seq, now);
+                *seq += 1;
+            }
+            Op::Advance { ms } => {
+                now = now + Duration::from_millis(ms as i64);
+                core.advance(now);
+            }
+            Op::Register => {
+                let id = next_id;
+                next_id += 1;
+                core.register(id, &spec_for(id)).expect("default spec builds");
+                live.push(id);
+            }
+            Op::Churn { idx } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[idx % live.len()];
+                core.deregister(id);
+                core.register(id, &spec_for(id)).expect("default spec builds");
+                seqs.remove(&id);
+            }
+            Op::Deregister { idx } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(idx % live.len());
+                core.deregister(id);
+                seqs.remove(&id);
+            }
+            Op::SaveDelta => {
+                if chain.write_delta(&mut core, now).expect("write delta") {
+                    deltas_since_base += 1;
+                }
+            }
+            Op::Compact => {
+                chain.write_base(&mut core, now).expect("compact to base");
+                deltas_since_base = 0;
+            }
+        }
+    }
+    // Flush whatever is still dirty so the chain describes the final
+    // state, then take ground truth from the very same moment.
+    if chain.write_delta(&mut core, now).expect("final delta") {
+        deltas_since_base += 1;
+    }
+    let mut truth = core.export_streams_full();
+    truth.sort_unstable_by_key(|s| s.stream);
+
+    // restore(base + deltas) — the production load path.
+    let (merged, info) = load_chain(&path, None, i64::MAX).expect("chain loads");
+    assert!(!info.truncated, "clean chain reported truncated: {info:?}");
+    assert_eq!(
+        info.deltas_applied, deltas_since_base,
+        "walker applied a different number of deltas than were written"
+    );
+
+    // restore(full) — a full snapshot taken at the same moment, through
+    // the same file round trip.
+    let full_path = path.with_file_name(format!(
+        "{}.full",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("eq")
+    ));
+    let full =
+        Checkpoint { created_wall_nanos: chain.wall.max(1), created_instant: now, streams: truth };
+    save_atomic_bytes(&full_path, &full.encode()).expect("write full");
+    let reference = load_fresh(&full_path, None, i64::MAX).expect("full loads");
+
+    assert_eq!(
+        merged.streams.len(),
+        reference.streams.len(),
+        "merged chain and full snapshot disagree on the live set"
+    );
+    for (m, r) in merged.streams.iter().zip(reference.streams.iter()) {
+        assert_eq!(m, r, "record for stream {} diverged", r.stream);
+    }
+
+    cleanup(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary interleavings of ingest / expiry / add / remove / churn
+    /// with delta saves and compactions sprinkled anywhere: the merged
+    /// chain always equals a full snapshot of the final state.
+    fn chain_restore_equals_full_restore(
+        initial in 1usize..5,
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        run_schedule("prop", initial, &ops);
+    }
+}
+
+/// Deterministic worst-case schedules the sampler might take a while to
+/// find: remove+re-add in one window, compaction immediately after a
+/// removal, back-to-back saves with nothing dirty, and a chain that ends
+/// on a compaction (zero deltas).
+#[test]
+fn adversarial_schedules() {
+    let b = |idx| Op::Beat { idx, jitter: 0 };
+    let cases: Vec<(&str, usize, Vec<Op>)> = vec![
+        ("churn-in-window", 3, vec![b(0), Op::Churn { idx: 0 }, Op::SaveDelta, b(0)]),
+        (
+            "remove-then-compact",
+            3,
+            vec![b(1), Op::SaveDelta, Op::Deregister { idx: 1 }, Op::Compact, b(0), Op::SaveDelta],
+        ),
+        ("empty-saves", 2, vec![Op::SaveDelta, Op::SaveDelta, b(0), Op::SaveDelta, Op::SaveDelta]),
+        ("ends-on-base", 2, vec![b(0), Op::SaveDelta, b(1), Op::Compact]),
+        (
+            "suspect-transitions-in-chain",
+            2,
+            vec![b(0), b(1), Op::SaveDelta, Op::Advance { ms: 5_000 }, Op::SaveDelta, b(0)],
+        ),
+        (
+            "readd-after-removal-save",
+            2,
+            vec![b(0), Op::Deregister { idx: 0 }, Op::SaveDelta, Op::Register, Op::SaveDelta],
+        ),
+    ];
+    for (tag, initial, ops) in cases {
+        run_schedule(tag, initial, &ops);
+    }
+}

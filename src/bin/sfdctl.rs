@@ -596,19 +596,76 @@ fn cmd_checkpoint(pos: &[String], flags: &HashMap<String, String>) {
             }
         }
         "inspect" => {
-            let cp = match checkpoint::load(std::path::Path::new(path)) {
-                Ok(cp) => cp,
+            let now_wall = checkpoint::wall_now_nanos();
+            // A delta frame named directly gets its own summary — the
+            // chain view below needs the *base* as its root.
+            let raw = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                exit(1);
+            });
+            match checkpoint::decode_frame(&raw) {
+                Ok(checkpoint::Frame::Delta(d)) => {
+                    println!(
+                        "{path}: SFCP v{} delta ({} bytes, CRC ok), seq {}, chains to base \
+                         crc 0x{:08x}, +{} changed, -{} removed, age {}",
+                        sfd::runtime::CHECKPOINT_VERSION_DELTA,
+                        raw.len(),
+                        d.delta_seq,
+                        d.base_crc,
+                        d.changed.len(),
+                        d.removed.len(),
+                        d.age_at(now_wall),
+                    );
+                    return;
+                }
+                Ok(checkpoint::Frame::Full(_)) => {}
                 Err(e) => {
                     eprintln!("{path}: {e}");
                     exit(1);
                 }
-            };
-            let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            let age = cp.age_at(checkpoint::wall_now_nanos());
+            }
+            let (cp, info) =
+                match checkpoint::load_chain(std::path::Path::new(path), None, now_wall) {
+                    Ok(loaded) => loaded,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        exit(1);
+                    }
+                };
             println!(
-                "{path}: SFCP v{} ({size} bytes, CRC ok), {} streams, age {age}",
+                "{path}: SFCP v{} base ({} bytes, CRC ok, crc 0x{:08x}), {} streams",
                 sfd::runtime::CHECKPOINT_VERSION,
-                cp.streams.len()
+                info.base_bytes,
+                info.base_crc,
+                info.base_streams,
+            );
+            for seq in 1..=info.deltas_applied {
+                let dpath = checkpoint::delta_path(std::path::Path::new(path), seq);
+                let Ok(raw) = std::fs::read(&dpath) else { break };
+                let Ok(checkpoint::Frame::Delta(d)) = checkpoint::decode_frame(&raw) else {
+                    break;
+                };
+                println!(
+                    "  .d{seq}: {} bytes, +{} changed, -{} removed, age {}",
+                    raw.len(),
+                    d.changed.len(),
+                    d.removed.len(),
+                    d.age_at(now_wall),
+                );
+            }
+            if info.truncated {
+                println!(
+                    "  .d{}: torn or mismatched — chain usable up to .d{}",
+                    info.deltas_applied + 1,
+                    info.deltas_applied,
+                );
+            }
+            let age = cp.age_at(now_wall);
+            println!(
+                "merged: {} streams ({} newest-from-delta, {} removed by deltas), age {age}",
+                cp.streams.len(),
+                info.from_deltas,
+                info.removed_by_deltas,
             );
             println!(
                 "{:>8} {:>8} {:>12} {:>8} {:>8} {:>12} {:>8}",
@@ -633,13 +690,20 @@ fn cmd_checkpoint(pos: &[String], flags: &HashMap<String, String>) {
             // restart would.
             let max_age = flag_duration(flags, "max-age");
             let now_wall = checkpoint::wall_now_nanos();
-            let cp = match checkpoint::load_fresh(std::path::Path::new(path), max_age, now_wall) {
-                Ok(cp) => cp,
-                Err(e) => {
-                    eprintln!("{path}: rejected, a service would cold-start: {e}");
-                    exit(1);
-                }
-            };
+            let (cp, info) =
+                match checkpoint::load_chain(std::path::Path::new(path), max_age, now_wall) {
+                    Ok(loaded) => loaded,
+                    Err(e) => {
+                        eprintln!("{path}: rejected, a service would cold-start: {e}");
+                        exit(1);
+                    }
+                };
+            if info.truncated {
+                eprintln!(
+                    "{path}: delta chain truncated after .d{} — restoring the intact prefix",
+                    info.deltas_applied
+                );
+            }
             let clock = WallClock::new();
             let now = clock.now();
             let shift = cp.restore_shift(now, now_wall);
@@ -655,7 +719,13 @@ fn cmd_checkpoint(pos: &[String], flags: &HashMap<String, String>) {
                     }
                 }
             }
-            println!("{path}: restored {ok} streams ({failed} failed) after shift {shift}");
+            println!(
+                "{path}: restored {ok} streams ({} from {} deltas, {} from the base, \
+                 {failed} failed) after shift {shift}",
+                info.from_deltas,
+                info.deltas_applied,
+                ok.saturating_sub(info.from_deltas as u64),
+            );
             for snap in shard.snapshot_all(now) {
                 println!(
                     "stream {:>4}: {}  heartbeats {}  τ {}",

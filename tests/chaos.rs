@@ -327,6 +327,7 @@ impl CkptPath {
 
 impl Drop for CkptPath {
     fn drop(&mut self) {
+        sfd::runtime::checkpoint::clear_deltas(&self.0);
         let _ = std::fs::remove_file(&self.0);
         let _ = std::fs::remove_file(self.0.with_extension("sfcp.tmp"));
     }
@@ -457,6 +458,169 @@ fn checkpoint_kill_restart_scan_policy() {
 #[test]
 fn checkpoint_kill_restart_wheel_policy() {
     checkpoint_kill_restart(ExpiryPolicy::Wheel, "kr-wheel");
+}
+
+/// Kill/restart mid-*delta-chain*: the cadence saver has written a base
+/// plus incremental deltas (never a fresh full at the moment of death),
+/// the process dies abruptly, and the warm restart must merge
+/// `base + .d1 + …` — streams whose newest record rode a delta included.
+fn delta_chain_kill_restart(policy: ExpiryPolicy, tag: &str) {
+    let path = CkptPath::new(tag);
+    let streams = [41u64, 42, 43, 44];
+    let storm = |salt: u64| ChaosConfig {
+        seed: seed() ^ salt,
+        loss: LossConfig::bursty(0.05, 3.0),
+        dup_rate: 0.05,
+        corrupt_rate: 0.05,
+        reorder: Some(ReorderConfig { buffer: 4, p_hold: 0.2 }),
+    };
+
+    // First life: cadence saves every 25ms grow a delta chain under the
+    // storm (the first save is the forced base, the rest are deltas).
+    // The compaction budget is opened wide: with only four streams every
+    // delta rivals the base, and the default `delta_fraction` would fold
+    // the chain back into a full base before the kill lands — this test
+    // needs to die *mid-chain*.
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, _ctl) = ChaosSink::wrap(inner, storm(0));
+    let monitor = MultiMonitorService::spawn_with_checkpoints(
+        source,
+        monitor_cfg(),
+        2,
+        policy,
+        CheckpointConfig::new(&path.0)
+            .every(Some(Duration::from_millis(25)))
+            .max_deltas(10_000)
+            .delta_fraction(1e9),
+    );
+    for &s in &streams {
+        monitor.watch(s, &chen_spec(5)).expect("register");
+    }
+    let mut senders: Vec<HeartbeatSender> = streams
+        .iter()
+        .map(|&s| {
+            HeartbeatSender::spawn(
+                SenderConfig { stream: s, interval: Duration::from_millis(5) },
+                sink.clone(),
+            )
+        })
+        .collect();
+    eventually(std::time::Duration::from_secs(10), "a delta chain grew", || {
+        monitor.checkpoint_stats().is_some_and(|cs| cs.delta_saves >= 2 && cs.chain_deltas >= 1)
+    });
+    for s in &mut senders {
+        s.crash();
+    }
+    drop(senders);
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let stats = monitor.checkpoint_stats().expect("checkpointing configured");
+    assert!(stats.saves > stats.delta_saves, "the chain is rooted in a full base: {stats:?}");
+    drop(monitor); // the kill: no shutdown save, chain left as-is on disk
+
+    // Second life: every stream must come back, at least one of them
+    // from a delta link rather than the base.
+    let (_inner2, source2) = MemoryTransport::perfect();
+    let revived = MultiMonitorService::spawn_with_checkpoints(
+        source2,
+        monitor_cfg(),
+        2,
+        policy,
+        CheckpointConfig::new(&path.0).every(Some(Duration::from_millis(25))),
+    );
+    let stats = revived.checkpoint_stats().expect("checkpointing configured");
+    assert_eq!(stats.restored_streams, streams.len() as u64, "all streams rehydrated: {stats:?}");
+    assert_eq!(stats.load_rejections, 0, "clean chain load: {stats:?}");
+    assert!(stats.restored_from_deltas >= 1, "some state rode the deltas: {stats:?}");
+    for &s in &streams {
+        let snap = revived.status(s).expect("stream survived the kill");
+        assert!(snap.heartbeats > 0, "stream {s} carried learned state across the kill");
+    }
+}
+
+#[test]
+fn delta_chain_kill_restart_scan_policy() {
+    delta_chain_kill_restart(ExpiryPolicy::Scan, "dkr-scan");
+}
+
+#[test]
+fn delta_chain_kill_restart_wheel_policy() {
+    delta_chain_kill_restart(ExpiryPolicy::Wheel, "dkr-wheel");
+}
+
+/// A torn delta write — the crash landed mid-write, or the bytes rotted
+/// afterwards — truncates the chain at the damaged link: the intact
+/// prefix still restores (counted as a rejection, never a panic or a
+/// wrong accept), exactly as if the crash had happened one save earlier.
+#[test]
+fn torn_delta_truncates_chain_to_last_good_link() {
+    use sfd::runtime::checkpoint::delta_path;
+
+    let path = CkptPath::new("torn-delta");
+    let streams = [51u64, 52, 53];
+
+    // Manufacture a genuine chain, then kill. Wide compaction budget for
+    // the same reason as `delta_chain_kill_restart`: the chain must still
+    // be on disk when the tearing happens.
+    let (inner, source) = MemoryTransport::perfect();
+    let (sink, _ctl) = ChaosSink::wrap(inner, ChaosConfig { seed: seed(), ..Default::default() });
+    let monitor = MultiMonitorService::spawn_with_checkpoints(
+        source,
+        monitor_cfg(),
+        2,
+        ExpiryPolicy::Wheel,
+        CheckpointConfig::new(&path.0)
+            .every(Some(Duration::from_millis(25)))
+            .max_deltas(10_000)
+            .delta_fraction(1e9),
+    );
+    for &s in &streams {
+        monitor.watch(s, &chen_spec(5)).expect("register");
+    }
+    let mut senders: Vec<HeartbeatSender> = streams
+        .iter()
+        .map(|&s| {
+            HeartbeatSender::spawn(
+                SenderConfig { stream: s, interval: Duration::from_millis(5) },
+                sink.clone(),
+            )
+        })
+        .collect();
+    eventually(std::time::Duration::from_secs(10), "a delta chain grew", || {
+        monitor.checkpoint_stats().is_some_and(|cs| cs.chain_deltas >= 2)
+    });
+    for s in &mut senders {
+        s.crash();
+    }
+    drop(senders);
+    drop(monitor);
+
+    // Tear the newest delta in half, as a crash mid-write would.
+    let mut last = 0u64;
+    while delta_path(&path.0, last + 1).exists() {
+        last += 1;
+    }
+    assert!(last >= 2, "chain has at least two deltas on disk");
+    let torn = delta_path(&path.0, last);
+    let good = std::fs::read(&torn).expect("read last delta");
+    std::fs::write(&torn, &good[..good.len() / 2]).expect("tear last delta");
+
+    // Restart: the prefix before the torn link restores, the truncation
+    // is counted, and the service is fully usable afterwards.
+    let (_inner2, source2) = MemoryTransport::perfect();
+    let revived = MultiMonitorService::spawn_with_checkpoints(
+        source2,
+        monitor_cfg(),
+        2,
+        ExpiryPolicy::Wheel,
+        CheckpointConfig::new(&path.0).every(Some(Duration::from_millis(25))),
+    );
+    let stats = revived.checkpoint_stats().expect("checkpointing configured");
+    assert_eq!(stats.restored_streams, streams.len() as u64, "prefix restored: {stats:?}");
+    assert_eq!(stats.load_rejections, 1, "torn link counted: {stats:?}");
+    for &s in &streams {
+        let snap = revived.status(s).expect("stream restored from the intact prefix");
+        assert!(snap.heartbeats > 0, "stream {s} carried learned state");
+    }
 }
 
 /// Damaged checkpoints — truncated, bit-flipped, or plain garbage — are

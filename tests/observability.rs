@@ -506,6 +506,73 @@ fn sharded_live_golden_both_policies() {
     }
 }
 
+/// Families additionally volatile when cadence checkpointing is live:
+/// how many cadence periods elapsed (save/delta counts, chain shape,
+/// dirty set), encoded sizes, ages, and durations all track the host.
+/// Normalizing them still locks names, labels, and help text.
+const CKPT_VOLATILE: &[&str] = &[
+    "sfd_checkpoint_saves_total",
+    "sfd_checkpoint_delta_saves_total",
+    "sfd_checkpoint_chain_deltas",
+    "sfd_checkpoint_dirty_streams",
+    "sfd_checkpoint_size_bytes",
+    "sfd_checkpoint_age_seconds",
+    "sfd_checkpoint_export_ns",
+    "sfd_checkpoint_save_ns",
+];
+
+#[test]
+fn checkpointed_live_golden() {
+    let path = std::env::temp_dir().join(format!("sfd-obs-ckpt-{}.sfcp", std::process::id()));
+    let scrub = || {
+        sfd::runtime::checkpoint::clear_deltas(&path);
+        let _ = std::fs::remove_file(&path);
+    };
+    scrub();
+
+    let (sink, source) = MemoryTransport::perfect();
+    let mut svc = MultiMonitorService::spawn_with_checkpoints(
+        source,
+        MonitorConfig { poll_interval: Duration::from_millis(1), epoch: None },
+        2,
+        ExpiryPolicy::Wheel,
+        CheckpointConfig::new(&path).every(Some(Duration::from_millis(5))),
+    );
+    let spec = sfd_spec(Duration::from_millis(100));
+    for s in 1..=3u64 {
+        svc.watch(s, &spec).expect("watch stream");
+    }
+    for seq in 0..30u64 {
+        for s in 1..=3u64 {
+            sink.send(Heartbeat { stream: s, seq, sent_nanos: seq as i64 * 5_000_000 })
+                .expect("send");
+        }
+    }
+    wait_until(5_000, || svc.statuses().iter().map(|st| st.heartbeats).sum::<u64>() == 90);
+    // Let the cadence saver root the chain in a full base, then dirty
+    // the streams again so the next cadence save is a delta — every
+    // checkpoint family is live on the page, including the chain ones.
+    wait_until(5_000, || svc.checkpoint_stats().is_some_and(|cs| cs.saves >= 1));
+    for s in 1..=3u64 {
+        sink.send(Heartbeat { stream: s, seq: 30, sent_nanos: 30 * 5_000_000 }).expect("send");
+    }
+    wait_until(5_000, || svc.checkpoint_stats().is_some_and(|cs| cs.delta_saves >= 1));
+
+    let snap = svc.metrics(svc.clock().now());
+    svc.stop();
+    scrub();
+
+    // The scripted parts are exact: a clean first life never rejects a
+    // load, fails a save, or restores anything.
+    assert_eq!(snap.counter_value("sfd_checkpoint_load_rejected_total", &[]), Some(0));
+    assert_eq!(snap.counter_value("sfd_checkpoint_save_failures_total", &[]), Some(0));
+    assert_eq!(snap.gauge_value("sfd_checkpoint_restored_streams", &[]), Some(0.0));
+    assert_eq!(snap.gauge_value("sfd_checkpoint_restored_from_deltas", &[]), Some(0.0));
+
+    let volatile: Vec<&str> = LIVE_VOLATILE.iter().chain(CKPT_VOLATILE).copied().collect();
+    assert_golden("checkpointed_live", &normalize(&encode_text(&snap), &volatile));
+}
+
 #[test]
 fn sender_and_transport_metrics_golden() {
     let (sink, source) = MemoryTransport::perfect();
